@@ -1,0 +1,76 @@
+//! Benchmarks the figure-model simulations themselves: one Criterion
+//! sample per paper figure (at a representative operating point), so
+//! `cargo bench` both regenerates the figures' hot points and tracks the
+//! simulator's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{fig3a, fig3b, fig4, fig5, fig6, Backend, Constants};
+use std::hint::black_box;
+
+fn bench_fig3a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig3a_16gb");
+    g.sample_size(10);
+    let cst = Constants::default();
+    g.bench_function("hdfs", |b| {
+        b.iter(|| black_box(fig3a::throughput_mbps(&cst, Backend::Hdfs, 256, 1)))
+    });
+    g.bench_function("bsfs", |b| {
+        b.iter(|| black_box(fig3a::throughput_mbps(&cst, Backend::Bsfs, 256, 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig3b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig3b_16gb");
+    g.sample_size(10);
+    let cst = Constants::default();
+    g.bench_function("both_policies", |b| {
+        b.iter(|| black_box(fig3b::run(&cst, &[16.0])))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig4_250_clients");
+    g.sample_size(10);
+    let cst = Constants::default();
+    g.bench_function("hdfs", |b| {
+        b.iter(|| black_box(fig4::avg_client_mbps(&cst, Backend::Hdfs, 250, 1)))
+    });
+    g.bench_function("bsfs", |b| {
+        b.iter(|| black_box(fig4::avg_client_mbps(&cst, Backend::Bsfs, 250, 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig5_250_appenders");
+    g.sample_size(10);
+    let cst = Constants::default();
+    g.bench_function("bsfs", |b| {
+        b.iter(|| black_box(fig5::aggregated_mbps(&cst, fig5::OpMode::Append, 250)))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig6");
+    g.sample_size(10);
+    let cst = Constants::default();
+    g.bench_function("rtw_50_mappers", |b| {
+        b.iter(|| {
+            black_box(fig6::rtw_job_secs(&cst, Backend::Hdfs, 50, 6_871_947_674));
+            black_box(fig6::rtw_job_secs(&cst, Backend::Bsfs, 50, 6_871_947_674));
+        })
+    });
+    g.bench_function("grep_200_chunks", |b| {
+        b.iter(|| {
+            black_box(fig6::grep_job(&cst, Backend::Hdfs, 200, 1));
+            black_box(fig6::grep_job(&cst, Backend::Bsfs, 200, 1));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3a, bench_fig3b, bench_fig4, bench_fig5, bench_fig6);
+criterion_main!(benches);

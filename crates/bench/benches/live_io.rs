@@ -1,0 +1,184 @@
+//! Live-engine I/O benchmarks: the paper's three microbenchmark access
+//! patterns (§V-C) executed for real — real bytes, real threads — at
+//! laptop scale (256 KB blocks instead of 64 MB). The comparative *shapes*
+//! (BSFS concurrency vs HDFS serialization) are visible even at this
+//! scale; absolute figure-scale numbers come from the `fig*` binaries.
+
+use blobseer_core::BlobSeer;
+use blobseer_types::{BlobSeerConfig, HdfsConfig, NodeId};
+use bsfs::BsfsCluster;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfs::api::FileSystem;
+use dfs::util::write_file;
+use hdfs_sim::HdfsCluster;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const BLOCK: u64 = 256 * 1024;
+const PROVIDERS: usize = 8;
+
+fn bsfs() -> Arc<BsfsCluster> {
+    let sys = BlobSeer::deploy(
+        BlobSeerConfig::default()
+            .with_block_size(BLOCK)
+            .with_metadata_providers(4),
+        PROVIDERS,
+    );
+    BsfsCluster::new(sys)
+}
+
+fn hdfs() -> Arc<HdfsCluster> {
+    HdfsCluster::new(HdfsConfig::default().with_chunk_size(BLOCK), PROVIDERS)
+}
+
+/// Scenario 1 (§V-D): a single writer streaming a multi-block file.
+fn bench_single_writer(c: &mut Criterion) {
+    let data = vec![0xABu8; (8 * BLOCK) as usize];
+    let mut g = c.benchmark_group("live_io/single_writer_8_blocks");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("bsfs", |b| {
+        let cl = bsfs();
+        let fs = cl.mount(NodeId::new(100));
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            write_file(&fs, &format!("/w{i}"), &data).unwrap();
+        });
+    });
+    g.bench_function("hdfs", |b| {
+        let cl = hdfs();
+        let fs = cl.mount(NodeId::new(100));
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            write_file(&fs, &format!("/w{i}"), &data).unwrap();
+        });
+    });
+    g.finish();
+}
+
+/// Scenario 2 (§V-E): concurrent readers of a shared file, 4 KB records.
+fn bench_concurrent_readers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("live_io/concurrent_readers_shared_file");
+    g.sample_size(10);
+    for &threads in &[1usize, 4, 8] {
+        let data: Vec<u8> = (0..(threads as u64 * BLOCK)).map(|i| i as u8).collect();
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("bsfs", threads), &threads, |b, &threads| {
+            let cl = bsfs();
+            write_file(&cl.mount(NodeId::new(100)), "/shared", &data).unwrap();
+            b.iter(|| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let fs = cl.mount(NodeId::new(t as u64));
+                        std::thread::spawn(move || {
+                            let mut input = fs.open("/shared").unwrap();
+                            input.seek(t as u64 * BLOCK).unwrap();
+                            let mut buf = vec![0u8; 4096];
+                            for _ in 0..(BLOCK / 4096) {
+                                input.read_exact(&mut buf).unwrap();
+                            }
+                            black_box(buf[0])
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("hdfs", threads), &threads, |b, &threads| {
+            let cl = hdfs();
+            write_file(&cl.mount(NodeId::new(100)), "/shared", &data).unwrap();
+            b.iter(|| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let fs = cl.mount(NodeId::new(t as u64));
+                        std::thread::spawn(move || {
+                            let mut input = fs.open("/shared").unwrap();
+                            input.seek(t as u64 * BLOCK).unwrap();
+                            let mut buf = vec![0u8; 4096];
+                            for _ in 0..(BLOCK / 4096) {
+                                input.read_exact(&mut buf).unwrap();
+                            }
+                            black_box(buf[0])
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Scenario 3 (§V-F): concurrent appenders to one file — BSFS only, by
+/// design: the HDFS baseline refuses the operation.
+fn bench_concurrent_appenders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("live_io/concurrent_appenders_shared_file");
+    g.sample_size(10);
+    for &threads in &[1usize, 4, 8] {
+        g.throughput(Throughput::Bytes(threads as u64 * BLOCK));
+        g.bench_with_input(BenchmarkId::new("bsfs", threads), &threads, |b, &threads| {
+            let cl = bsfs();
+            let payload = Arc::new(vec![7u8; BLOCK as usize]);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let path = format!("/log{round}");
+                write_file(&cl.mount(NodeId::new(100)), &path, b"seed").unwrap();
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let fs = cl.mount(NodeId::new(t as u64));
+                        let payload = Arc::clone(&payload);
+                        let path = path.clone();
+                        std::thread::spawn(move || {
+                            let mut out = fs.append(&path).unwrap();
+                            out.write(&payload).unwrap();
+                            out.close().unwrap();
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Version GC throughput: reclaiming 32 superseded snapshots.
+fn bench_gc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("live_io/gc_32_versions");
+    g.sample_size(10);
+    g.bench_function("bsfs", |b| {
+        let sys = BlobSeer::deploy(
+            BlobSeerConfig::default().with_block_size(4096).with_metadata_providers(4),
+            4,
+        );
+        let client = sys.client(NodeId::new(0));
+        b.iter(|| {
+            let blob = client.create();
+            for i in 0..32u64 {
+                client.write(blob, (i % 4) * 4096, &[i as u8; 4096]).unwrap();
+            }
+            let report = client
+                .gc_before(blob, blobseer_types::Version::new(32))
+                .unwrap();
+            black_box(report.nodes_deleted)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_writer,
+    bench_concurrent_readers,
+    bench_concurrent_appenders,
+    bench_gc
+);
+criterion_main!(benches);

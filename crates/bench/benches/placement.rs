@@ -1,0 +1,69 @@
+//! Placement-policy benchmarks: decision cost per block and the resulting
+//! balance quality — the machinery behind Fig. 3(b).
+
+use blobseer_core::placement::{manhattan_unbalance, Placer};
+use blobseer_types::config::PlacementPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn policies() -> Vec<(&'static str, PlacementPolicy)> {
+    vec![
+        ("round_robin", PlacementPolicy::RoundRobin),
+        ("least_loaded", PlacementPolicy::LeastLoaded),
+        ("random", PlacementPolicy::Random),
+        ("sticky_65", PlacementPolicy::StickyRandom { stickiness: 65 }),
+    ]
+}
+
+/// Per-block placement decision cost over 269 providers.
+fn bench_pick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement/pick_269_providers");
+    for (name, policy) in policies() {
+        g.bench_function(name, |b| {
+            let mut placer = Placer::new(policy, 42);
+            let mut loads = vec![0u64; 269];
+            b.iter(|| {
+                let i = placer.pick(&loads, &[]);
+                loads[i] += 1;
+                black_box(i)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Placing a 16 GB file (256 blocks) end to end, including the unbalance
+/// metric computation.
+fn bench_place_file(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement/place_256_blocks_and_score");
+    for (name, policy) in policies() {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut placer = Placer::new(policy, 42);
+                let mut loads = vec![0u64; 269];
+                for _ in 0..256 {
+                    let i = placer.pick(&loads, &[]);
+                    loads[i] += 1;
+                }
+                black_box(manhattan_unbalance(&loads))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Replicated placement (3 distinct targets per block).
+fn bench_replicated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement/pick_3_replicas");
+    for (name, policy) in policies() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let mut placer = Placer::new(policy, 42);
+            let loads = vec![0u64; 269];
+            b.iter(|| black_box(placer.pick_replicas(&loads, 3)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pick, bench_place_file, bench_replicated);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the version manager — the protocol's only
+//! serialization point (§III-A.4). Assignment must stay O(1) and cheap for
+//! the Fig. 5 scaling claim to hold.
+
+use blobseer_core::stats::EngineStats;
+use blobseer_core::version_manager::{VersionManager, WriteIntent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn vm() -> VersionManager {
+    VersionManager::new(64 * 1024 * 1024, Arc::new(EngineStats::new()))
+}
+
+/// Sequential assign+commit pairs on one BLOB.
+fn bench_assign_commit(c: &mut Criterion) {
+    c.bench_function("version_manager/assign_commit", |b| {
+        let vm = vm();
+        let blob = vm.create_blob();
+        b.iter(|| {
+            let t = vm.assign(blob, WriteIntent::Append { size: 64 * 1024 * 1024 }).unwrap();
+            vm.commit(blob, t.version).unwrap();
+            black_box(t.version)
+        });
+    });
+}
+
+/// Assignment cost must not grow with history length (contrast with the
+/// namenode's O(block-list) edit logging modeled in Fig. 3(a)).
+fn bench_assign_vs_history(c: &mut Criterion) {
+    let mut g = c.benchmark_group("version_manager/assign_with_history");
+    for &history in &[0u64, 1_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(history), &history, |b, &history| {
+            let vm = vm();
+            let blob = vm.create_blob();
+            for _ in 0..history {
+                let t = vm.assign(blob, WriteIntent::Append { size: 1 }).unwrap();
+                vm.commit(blob, t.version).unwrap();
+            }
+            b.iter(|| {
+                let t = vm.assign(blob, WriteIntent::Append { size: 1 }).unwrap();
+                vm.commit(blob, t.version).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Contended assignment: 8 threads on one BLOB (the Fig. 5 hot path).
+fn bench_contended_assign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("version_manager/contended_8_threads");
+    g.sample_size(10);
+    g.bench_function("assign_commit", |b| {
+        b.iter(|| {
+            let vm = Arc::new(vm());
+            let blob = vm.create_blob();
+            let threads: Vec<_> = (0..8)
+                .map(|_| {
+                    let vm = Arc::clone(&vm);
+                    std::thread::spawn(move || {
+                        for _ in 0..500 {
+                            let t = vm.assign(blob, WriteIntent::Append { size: 64 }).unwrap();
+                            vm.commit(blob, t.version).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
+/// Snapshot-info lookups (the read-path call of §III-C).
+fn bench_snapshot_info(c: &mut Criterion) {
+    c.bench_function("version_manager/snapshot_info", |b| {
+        let vm = vm();
+        let blob = vm.create_blob();
+        for _ in 0..1000 {
+            let t = vm.assign(blob, WriteIntent::Append { size: 64 }).unwrap();
+            vm.commit(blob, t.version).unwrap();
+        }
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v % 1000 + 1;
+            black_box(vm.snapshot_info(blob, blobseer_types::Version::new(v)).unwrap())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_assign_commit,
+    bench_assign_vs_history,
+    bench_contended_assign,
+    bench_snapshot_info
+);
+criterion_main!(benches);

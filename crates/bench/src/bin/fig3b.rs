@@ -1,0 +1,14 @@
+//! Regenerates Fig. 3(b): load-balancing quality (Manhattan distance to
+//! the ideal layout) as the file grows 1→16 GB (§V-D).
+
+use experiments::{fig3b, Constants};
+
+fn main() {
+    let c = Constants::default();
+    let sizes = if bench::quick_mode() {
+        vec![2.0, 8.0, 16.0]
+    } else {
+        fig3b::paper_sizes()
+    };
+    bench::print_figure(&fig3b::run(&c, &sizes));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 4: concurrent readers of a shared file — average
+//! per-client throughput for 1→250 clients (§V-E).
+
+use experiments::{fig4, Constants};
+
+fn main() {
+    let c = Constants::default();
+    let counts = if bench::quick_mode() {
+        vec![1, 100, 250]
+    } else {
+        fig4::paper_counts()
+    };
+    bench::print_figure(&fig4::run(&c, &counts));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 5: concurrent appends to a shared file — aggregated
+//! throughput for 1→250 clients (§V-F). BSFS only: "we could not perform
+//! the same experiment for HDFS, since it does not implement the append
+//! operation".
+
+use experiments::{fig5, Constants};
+
+fn main() {
+    let c = Constants::default();
+    let counts = if bench::quick_mode() {
+        vec![1, 100, 250]
+    } else {
+        fig5::paper_counts()
+    };
+    bench::print_figure(&fig5::run(&c, &counts));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 6(a): RandomTextWriter — job completion time for a
+//! fixed 6.4 GB total output as the per-mapper share varies (§V-G).
+
+use experiments::{fig6, Constants};
+
+fn main() {
+    let c = Constants::default();
+    let mappers = if bench::quick_mode() {
+        vec![50, 5, 1]
+    } else {
+        fig6::rtw_paper_mappers()
+    };
+    bench::print_figure(&fig6::run_rtw(&c, &mappers));
+}

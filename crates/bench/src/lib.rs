@@ -1,0 +1,24 @@
+//! `bench` — benchmark harnesses for the BlobSeer reproduction.
+//!
+//! * `src/bin/fig3a.rs` … `src/bin/fig6b.rs` — one binary per figure of
+//!   the paper's evaluation (§V); each prints the figure's series as an
+//!   aligned table and as CSV. `src/bin/figures.rs` runs them all.
+//! * `benches/` — Criterion microbenchmarks of the live engine (segment
+//!   tree, DHT, version manager, concurrent I/O, placement) plus the
+//!   figure models and calibration-constant ablations.
+
+use experiments::Figure;
+
+/// Prints a figure as table + CSV blocks, the common output format of the
+/// `fig*` binaries.
+pub fn print_figure(fig: &Figure) {
+    println!("{}", fig.to_table());
+    println!("--- CSV ---");
+    println!("{}", fig.to_csv());
+}
+
+/// Parses an optional `--quick` flag: binaries then use a sparser grid so
+/// smoke tests stay fast.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

@@ -1,0 +1,252 @@
+//! Data providers: the processes that "physically store the blocks generated
+//! by appends and writes" (§III-B).
+//!
+//! A [`DataProvider`] is an in-memory block store. Blocks are immutable once
+//! stored — the cornerstone of BlobSeer's concurrency control ("no existing
+//! data or metadata is ever modified", §III-A.4) — so the store is a simple
+//! concurrent map from [`BlockId`] to [`Bytes`]. [`Bytes`] payloads make
+//! reads zero-copy: readers receive a reference-counted view.
+
+use blobseer_types::{BlockId, Error, NodeId, Result};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One data provider process, bound to a cluster node.
+#[derive(Debug)]
+pub struct DataProvider {
+    node: NodeId,
+    blocks: RwLock<HashMap<BlockId, Bytes>>,
+    bytes_stored: AtomicU64,
+    puts: AtomicU64,
+    gets: AtomicU64,
+}
+
+impl DataProvider {
+    /// Creates an empty provider hosted on `node`.
+    pub fn new(node: NodeId) -> Self {
+        Self {
+            node,
+            blocks: RwLock::new(HashMap::new()),
+            bytes_stored: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+        }
+    }
+
+    /// The cluster node hosting this provider.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Stores a block. Blocks are immutable: storing the same id twice with
+    /// different content is an engine bug and panics in debug builds;
+    /// idempotent re-puts (same content, e.g. a retried replica write) are
+    /// accepted.
+    pub fn put(&self, id: BlockId, data: Bytes) {
+        let mut map = self.blocks.write();
+        match map.get(&id) {
+            Some(existing) => {
+                debug_assert_eq!(
+                    existing, &data,
+                    "block {id} rewritten with different content — blocks are immutable"
+                );
+            }
+            None => {
+                self.bytes_stored.fetch_add(data.len() as u64, Ordering::Relaxed);
+                map.insert(id, data);
+            }
+        }
+        self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fetches a block (zero-copy clone of the payload).
+    pub fn get(&self, id: BlockId) -> Result<Bytes> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.blocks
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(Error::MissingBlock(id.raw()))
+    }
+
+    /// True if the provider holds the block.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.read().contains_key(&id)
+    }
+
+    /// Deletes a block (garbage collection). Returns the number of bytes
+    /// freed (0 if absent).
+    pub fn delete(&self, id: BlockId) -> u64 {
+        let mut map = self.blocks.write();
+        match map.remove(&id) {
+            Some(data) => {
+                let n = data.len() as u64;
+                self.bytes_stored.fetch_sub(n, Ordering::Relaxed);
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Number of blocks currently stored.
+    pub fn block_count(&self) -> usize {
+        self.blocks.read().len()
+    }
+
+    /// Total payload bytes currently stored.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored.load(Ordering::Relaxed)
+    }
+
+    /// `(puts, gets)` served since creation.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.puts.load(Ordering::Relaxed), self.gets.load(Ordering::Relaxed))
+    }
+}
+
+/// The set of data providers of a deployment, indexed densely.
+///
+/// Provider `i` lives on the node returned by `provider(i).node()`; the
+/// provider manager allocates blocks by index into this set.
+#[derive(Debug)]
+pub struct ProviderSet {
+    providers: Vec<DataProvider>,
+}
+
+impl ProviderSet {
+    /// Creates `n` providers hosted on nodes produced by `node_of`.
+    pub fn new(n: usize, node_of: impl Fn(usize) -> NodeId) -> Self {
+        assert!(n > 0, "need at least one data provider");
+        Self {
+            providers: (0..n).map(|i| DataProvider::new(node_of(i))).collect(),
+        }
+    }
+
+    /// Number of providers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Always false: deployments have at least one provider.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The provider at dense index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &DataProvider {
+        &self.providers[i]
+    }
+
+    /// Iterates over all providers.
+    pub fn iter(&self) -> impl Iterator<Item = &DataProvider> {
+        self.providers.iter()
+    }
+
+    /// Finds the dense index of the provider hosted on `node`, if any.
+    pub fn index_of_node(&self, node: NodeId) -> Option<usize> {
+        self.providers.iter().position(|p| p.node() == node)
+    }
+
+    /// Per-provider block counts — the "data layout vector" used by the
+    /// paper's load-balancing metric (§V-D, Fig. 3(b)).
+    pub fn layout_vector(&self) -> Vec<u64> {
+        self.providers.iter().map(|p| p.block_count() as u64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider() -> DataProvider {
+        DataProvider::new(NodeId::new(3))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let p = provider();
+        let data = Bytes::from_static(b"hello blocks");
+        p.put(BlockId::new(1), data.clone());
+        assert_eq!(p.get(BlockId::new(1)).unwrap(), data);
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.bytes_stored(), 12);
+        assert_eq!(p.op_counts(), (1, 1));
+    }
+
+    #[test]
+    fn missing_block_is_an_error() {
+        let p = provider();
+        assert_eq!(p.get(BlockId::new(9)), Err(Error::MissingBlock(9)));
+    }
+
+    #[test]
+    fn idempotent_reput_is_accepted() {
+        let p = provider();
+        let data = Bytes::from_static(b"same");
+        p.put(BlockId::new(1), data.clone());
+        p.put(BlockId::new(1), data); // replica retry
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.bytes_stored(), 4, "no double counting");
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks are immutable")]
+    #[cfg(debug_assertions)]
+    fn rewriting_a_block_panics_in_debug() {
+        let p = provider();
+        p.put(BlockId::new(1), Bytes::from_static(b"aa"));
+        p.put(BlockId::new(1), Bytes::from_static(b"bb"));
+    }
+
+    #[test]
+    fn delete_frees_bytes() {
+        let p = provider();
+        p.put(BlockId::new(1), Bytes::from_static(b"12345"));
+        assert_eq!(p.delete(BlockId::new(1)), 5);
+        assert_eq!(p.delete(BlockId::new(1)), 0, "second delete is a no-op");
+        assert_eq!(p.block_count(), 0);
+        assert_eq!(p.bytes_stored(), 0);
+        assert!(!p.contains(BlockId::new(1)));
+    }
+
+    #[test]
+    fn provider_set_layout_vector() {
+        let set = ProviderSet::new(3, |i| NodeId::new(10 + i as u64));
+        set.get(0).put(BlockId::new(1), Bytes::from_static(b"x"));
+        set.get(0).put(BlockId::new(2), Bytes::from_static(b"y"));
+        set.get(2).put(BlockId::new(3), Bytes::from_static(b"z"));
+        assert_eq!(set.layout_vector(), vec![2, 0, 1]);
+        assert_eq!(set.index_of_node(NodeId::new(12)), Some(2));
+        assert_eq!(set.index_of_node(NodeId::new(99)), None);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets() {
+        use std::sync::Arc;
+        let p = Arc::new(provider());
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let id = BlockId::new(t * 1000 + i);
+                        p.put(id, Bytes::from(vec![t as u8; 16]));
+                        assert_eq!(p.get(id).unwrap().len(), 16);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(p.block_count(), 800);
+        assert_eq!(p.bytes_stored(), 800 * 16);
+    }
+}

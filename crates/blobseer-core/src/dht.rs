@@ -1,0 +1,238 @@
+//! The metadata DHT: tree nodes distributed over metadata providers.
+//!
+//! "To favor efficient concurrent access to metadata, tree nodes are
+//! distributed: they are stored on the metadata providers using a DHT"
+//! (§III-A.3). Keys shard by hash; optional replication stores each node on
+//! `k` consecutive buckets, which is the DHT-level fault tolerance the paper
+//! mentions in §VI-B ("metadata is stored in a DHT … resilient to faults by
+//! construction").
+
+use crate::meta::key::NodeKey;
+use crate::meta::node::TreeNode;
+use blobseer_types::{Error, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One metadata provider: a shard of the DHT.
+#[derive(Debug, Default)]
+pub struct MetaProvider {
+    map: RwLock<HashMap<NodeKey, TreeNode>>,
+    puts: std::sync::atomic::AtomicU64,
+    gets: std::sync::atomic::AtomicU64,
+}
+
+impl MetaProvider {
+    fn put(&self, key: NodeKey, node: TreeNode) {
+        self.puts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut map = self.map.write();
+        // Metadata, like data, is immutable: re-puts must carry identical
+        // content (replica retries, abort repair idempotence).
+        if let Some(existing) = map.get(&key) {
+            debug_assert_eq!(
+                existing, &node,
+                "metadata node {key:?} rewritten with different content"
+            );
+            return;
+        }
+        map.insert(key, node);
+    }
+
+    fn get(&self, key: &NodeKey) -> Option<TreeNode> {
+        self.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.map.read().get(key).cloned()
+    }
+
+    fn delete(&self, key: &NodeKey) -> bool {
+        self.map.write().remove(key).is_some()
+    }
+
+    /// Number of nodes stored on this provider.
+    pub fn node_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// `(puts, gets)` served.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (
+            self.puts.load(std::sync::atomic::Ordering::Relaxed),
+            self.gets.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+}
+
+/// The distributed metadata store.
+#[derive(Debug)]
+pub struct MetaDht {
+    shards: Vec<MetaProvider>,
+    replication: usize,
+}
+
+impl MetaDht {
+    /// A DHT over `n` metadata providers with `replication` copies per node.
+    pub fn new(n: usize, replication: usize) -> Self {
+        assert!(n > 0, "need at least one metadata provider");
+        assert!(
+            (1..=n).contains(&replication),
+            "metadata replication {replication} must be in 1..={n}"
+        );
+        Self {
+            shards: (0..n).map(|_| MetaProvider::default()).collect(),
+            replication,
+        }
+    }
+
+    /// Number of metadata providers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The primary shard index for a key.
+    #[inline]
+    pub fn shard_of(&self, key: &NodeKey) -> usize {
+        (key.hash64() % self.shards.len() as u64) as usize
+    }
+
+    /// Stores a node on its `replication` home shards.
+    pub fn put(&self, key: NodeKey, node: TreeNode) {
+        let primary = self.shard_of(&key);
+        for i in 0..self.replication {
+            let shard = (primary + i) % self.shards.len();
+            self.shards[shard].put(key, node.clone());
+        }
+    }
+
+    /// Fetches a node, trying replicas in order.
+    pub fn get(&self, key: &NodeKey) -> Result<TreeNode> {
+        let primary = self.shard_of(key);
+        for i in 0..self.replication {
+            let shard = (primary + i) % self.shards.len();
+            if let Some(node) = self.shards[shard].get(key) {
+                return Ok(node);
+            }
+        }
+        Err(Error::MissingMetadata(format!("{key:?}")))
+    }
+
+    /// Simulates the crash of one shard by dropping its contents; used by
+    /// fault-tolerance tests to show replicated metadata survives.
+    pub fn crash_shard(&self, shard: usize) {
+        self.shards[shard].map.write().clear();
+    }
+
+    /// Deletes a node from all its replicas. Returns true if any replica
+    /// existed.
+    pub fn delete(&self, key: &NodeKey) -> bool {
+        let primary = self.shard_of(key);
+        let mut existed = false;
+        for i in 0..self.replication {
+            let shard = (primary + i) % self.shards.len();
+            existed |= self.shards[shard].delete(key);
+        }
+        existed
+    }
+
+    /// Total nodes stored across shards (replicas counted).
+    pub fn node_count(&self) -> usize {
+        self.shards.iter().map(|s| s.node_count()).sum()
+    }
+
+    /// Per-shard `(nodes, puts, gets)` — the metadata load distribution.
+    pub fn shard_stats(&self) -> Vec<(usize, u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let (p, g) = s.op_counts();
+                (s.node_count(), p, g)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::key::Pos;
+    use crate::meta::node::{BlockDescriptor, NodeRef};
+    use blobseer_types::{BlobId, BlockId, Version};
+
+    fn key(v: u64, start: u64, len: u64) -> NodeKey {
+        NodeKey::new(BlobId::new(1), Version::new(v), Pos::new(start, len))
+    }
+
+    fn leaf(b: u64) -> TreeNode {
+        TreeNode::Leaf(BlockDescriptor {
+            block_id: BlockId::new(b),
+            providers: vec![0],
+            len: 64,
+        })
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dht = MetaDht::new(4, 1);
+        dht.put(key(1, 0, 1), leaf(10));
+        assert_eq!(dht.get(&key(1, 0, 1)).unwrap(), leaf(10));
+        assert!(matches!(dht.get(&key(2, 0, 1)), Err(Error::MissingMetadata(_))));
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let dht = MetaDht::new(8, 1);
+        for v in 0..256 {
+            dht.put(key(v, 0, 1), leaf(v));
+        }
+        let stats = dht.shard_stats();
+        let nonempty = stats.iter().filter(|(n, _, _)| *n > 0).count();
+        assert_eq!(nonempty, 8, "all shards should hold nodes: {stats:?}");
+        let max = stats.iter().map(|(n, _, _)| *n).max().unwrap();
+        assert!(max < 100, "no shard should dominate: {stats:?}");
+    }
+
+    #[test]
+    fn replication_survives_one_shard_crash() {
+        let dht = MetaDht::new(4, 2);
+        for v in 0..64 {
+            dht.put(key(v, 0, 1), leaf(v));
+        }
+        dht.crash_shard(0);
+        for v in 0..64 {
+            assert!(dht.get(&key(v, 0, 1)).is_ok(), "v{v} lost after crash");
+        }
+    }
+
+    #[test]
+    fn unreplicated_dht_loses_data_on_crash() {
+        let dht = MetaDht::new(4, 1);
+        for v in 0..64 {
+            dht.put(key(v, 0, 1), leaf(v));
+        }
+        dht.crash_shard(1);
+        let lost = (0..64).filter(|&v| dht.get(&key(v, 0, 1)).is_err()).count();
+        assert!(lost > 0, "some keys must have lived on shard 1");
+    }
+
+    #[test]
+    fn delete_removes_all_replicas() {
+        let dht = MetaDht::new(3, 2);
+        dht.put(key(1, 0, 2), TreeNode::Inner { left: None, right: None });
+        assert!(dht.delete(&key(1, 0, 2)));
+        assert!(!dht.delete(&key(1, 0, 2)));
+        assert!(dht.get(&key(1, 0, 2)).is_err());
+        assert_eq!(dht.node_count(), 0);
+    }
+
+    #[test]
+    fn idempotent_reput_accepted() {
+        let dht = MetaDht::new(2, 1);
+        let n = TreeNode::LeafAlias(Some(NodeRef { blob: BlobId::new(1), version: Version::new(1) }));
+        dht.put(key(2, 0, 1), n.clone());
+        dht.put(key(2, 0, 1), n.clone());
+        assert_eq!(dht.get(&key(2, 0, 1)).unwrap(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn invalid_replication_rejected() {
+        let _ = MetaDht::new(2, 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Version garbage collection (§III-A.1: past versions remain accessible
+//! "at least as long as they have not been garbaged for the sake of storage
+//! space").
+//!
+//! Subtree sharing means a tree node may be reachable from many snapshot
+//! roots, so nodes are reference-counted:
+//!
+//! * publishing a tree node increments the refcount of every child it
+//!   references (including "predicted" children that do not exist yet —
+//!   counts are independent of DHT presence);
+//! * committing a version registers one reference on its root;
+//! * branching registers one reference on the branch point's root.
+//!
+//! Collecting a version drops its root reference and cascades: a node whose
+//! count reaches zero is deleted from the DHT, its children are released,
+//! and a deleted leaf deletes its data block from all replica providers
+//! (blocks are owned by exactly one leaf — abort repair shares leaves via
+//! aliases, never by duplicating descriptors).
+
+use crate::block_store::ProviderSet;
+use crate::dht::MetaDht;
+use crate::meta::key::NodeKey;
+use crate::meta::node::TreeNode;
+use crate::provider_manager::ProviderManager;
+use crate::stats::EngineStats;
+use blobseer_types::Result;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Outcome of a collection pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Metadata nodes deleted from the DHT.
+    pub nodes_deleted: u64,
+    /// Data blocks deleted from providers.
+    pub blocks_deleted: u64,
+    /// Payload bytes freed (primary copies; replicas add on top).
+    pub bytes_freed: u64,
+}
+
+impl GcReport {
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: GcReport) {
+        self.nodes_deleted += other.nodes_deleted;
+        self.blocks_deleted += other.blocks_deleted;
+        self.bytes_freed += other.bytes_freed;
+    }
+}
+
+/// Reference counts for tree nodes.
+#[derive(Debug, Default)]
+pub struct GcTracker {
+    node_rc: Mutex<HashMap<NodeKey, u64>>,
+}
+
+impl GcTracker {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one reference to a node (child reference, root registration or
+    /// branch registration). The node need not exist in the DHT yet.
+    pub fn inc_node(&self, key: NodeKey) {
+        *self.node_rc.lock().entry(key).or_insert(0) += 1;
+    }
+
+    /// Current count (0 if never referenced) — for tests and diagnostics.
+    pub fn node_count(&self, key: &NodeKey) -> u64 {
+        self.node_rc.lock().get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of tracked (non-zero) entries.
+    pub fn tracked_nodes(&self) -> usize {
+        self.node_rc.lock().len()
+    }
+
+    /// Releases one reference on `root` and cascades deletion of every node
+    /// and block that becomes unreachable.
+    pub fn release_root(
+        &self,
+        root: NodeKey,
+        dht: &MetaDht,
+        providers: &ProviderSet,
+        pm: &ProviderManager,
+        stats: &EngineStats,
+    ) -> Result<GcReport> {
+        let mut report = GcReport::default();
+        let mut stack = vec![root];
+        while let Some(key) = stack.pop() {
+            let freed = {
+                let mut rc = self.node_rc.lock();
+                match rc.get_mut(&key) {
+                    Some(c) if *c > 1 => {
+                        *c -= 1;
+                        false
+                    }
+                    Some(_) => {
+                        rc.remove(&key);
+                        true
+                    }
+                    None => {
+                        debug_assert!(false, "releasing untracked node {key:?}");
+                        false
+                    }
+                }
+            };
+            if !freed {
+                continue;
+            }
+            // The node is unreachable: fetch it to discover children, then
+            // delete it and release what it referenced.
+            let node = dht.get(&key)?;
+            dht.delete(&key);
+            report.nodes_deleted += 1;
+            EngineStats::add(&stats.meta_nodes_collected, 1);
+            match node {
+                TreeNode::Inner { left, right } => {
+                    if let Some(r) = left {
+                        stack.push(NodeKey::new(r.blob, r.version, key.pos.left()));
+                    }
+                    if let Some(r) = right {
+                        stack.push(NodeKey::new(r.blob, r.version, key.pos.right()));
+                    }
+                }
+                TreeNode::LeafAlias(target) => {
+                    if let Some(r) = target {
+                        stack.push(NodeKey::new(r.blob, r.version, key.pos));
+                    }
+                }
+                TreeNode::Leaf(desc) => {
+                    report.blocks_deleted += 1;
+                    EngineStats::add(&stats.blocks_collected, 1);
+                    let mut freed_bytes = 0;
+                    for &p in &desc.providers {
+                        freed_bytes = providers.get(p as usize).delete(desc.block_id).max(freed_bytes);
+                        pm.release(p as usize);
+                    }
+                    report.bytes_freed += freed_bytes;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::key::Pos;
+    use crate::meta::node::{BlockDescriptor, NodeRef};
+    use blobseer_types::config::PlacementPolicy;
+    use blobseer_types::{BlobId, BlockId, NodeId, Version};
+    use bytes::Bytes;
+
+    struct Fixture {
+        dht: MetaDht,
+        providers: ProviderSet,
+        pm: ProviderManager,
+        stats: EngineStats,
+        gc: GcTracker,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
+            dht: MetaDht::new(4, 1),
+            providers: ProviderSet::new(2, |i| NodeId::new(i as u64)),
+            pm: ProviderManager::new(2, PlacementPolicy::RoundRobin, 0),
+            stats: EngineStats::new(),
+            gc: GcTracker::new(),
+        }
+    }
+
+    fn key(v: u64, start: u64, len: u64) -> NodeKey {
+        NodeKey::new(BlobId::new(1), Version::new(v), Pos::new(start, len))
+    }
+
+    fn nref(v: u64) -> Option<NodeRef> {
+        Some(NodeRef { blob: BlobId::new(1), version: Version::new(v) })
+    }
+
+    /// Builds: v1 root(0,2) → leaves (0,1) and (1,1); v2 root(0,2) → new
+    /// leaf (0,1) and shares v1's (1,1).
+    fn build_two_versions(f: &Fixture) {
+        for (v, start, block) in [(1u64, 0u64, 10u64), (1, 1, 11), (2, 0, 12)] {
+            let desc = BlockDescriptor { block_id: BlockId::new(block), providers: vec![0], len: 4 };
+            f.providers.get(0).put(BlockId::new(block), Bytes::from_static(b"data"));
+            f.dht.put(key(v, start, 1), TreeNode::Leaf(desc));
+        }
+        f.dht.put(key(1, 0, 2), TreeNode::Inner { left: nref(1), right: nref(1) });
+        f.gc.inc_node(key(1, 0, 1));
+        f.gc.inc_node(key(1, 1, 1));
+        f.dht.put(key(2, 0, 2), TreeNode::Inner { left: nref(2), right: nref(1) });
+        f.gc.inc_node(key(2, 0, 1));
+        f.gc.inc_node(key(1, 1, 1)); // shared leaf now rc=2
+        // Root registrations.
+        f.gc.inc_node(key(1, 0, 2));
+        f.gc.inc_node(key(2, 0, 2));
+    }
+
+    #[test]
+    fn collecting_old_version_keeps_shared_leaves() {
+        let f = fixture();
+        build_two_versions(&f);
+        let report = f
+            .gc
+            .release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
+            .unwrap();
+        // v1's root and its private leaf (0,1) die; the shared leaf (1,1)
+        // survives with rc 1.
+        assert_eq!(report.nodes_deleted, 2);
+        assert_eq!(report.blocks_deleted, 1);
+        assert!(f.dht.get(&key(1, 0, 2)).is_err());
+        assert!(f.dht.get(&key(1, 0, 1)).is_err());
+        assert!(f.dht.get(&key(1, 1, 1)).is_ok(), "shared leaf must survive");
+        assert!(f.providers.get(0).contains(BlockId::new(11)));
+        assert!(!f.providers.get(0).contains(BlockId::new(10)));
+        // v2 still fully intact.
+        assert!(f.dht.get(&key(2, 0, 2)).is_ok());
+        assert!(f.dht.get(&key(2, 0, 1)).is_ok());
+    }
+
+    #[test]
+    fn collecting_both_versions_empties_everything() {
+        let f = fixture();
+        build_two_versions(&f);
+        let mut total = GcReport::default();
+        total.merge(
+            f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats).unwrap(),
+        );
+        total.merge(
+            f.gc.release_root(key(2, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats).unwrap(),
+        );
+        assert_eq!(total.nodes_deleted, 5, "2 roots + 3 leaves");
+        assert_eq!(total.blocks_deleted, 3);
+        assert_eq!(total.bytes_freed, 12);
+        assert_eq!(f.dht.node_count(), 0);
+        assert_eq!(f.providers.get(0).block_count(), 0);
+        assert_eq!(f.gc.tracked_nodes(), 0);
+        assert_eq!(f.stats.snapshot().meta_nodes_collected, 5);
+        assert_eq!(f.stats.snapshot().blocks_collected, 3);
+    }
+
+    #[test]
+    fn alias_release_cascades_to_target() {
+        let f = fixture();
+        // Leaf of v1 (rc: alias + root of v1).
+        let desc = BlockDescriptor { block_id: BlockId::new(20), providers: vec![1], len: 4 };
+        f.providers.get(1).put(BlockId::new(20), Bytes::from_static(b"xyzw"));
+        f.dht.put(key(1, 0, 1), TreeNode::Leaf(desc));
+        f.gc.inc_node(key(1, 0, 1)); // referenced as v1 root below
+        // v2 repairs with an alias to v1's leaf.
+        f.dht.put(key(2, 0, 1), TreeNode::LeafAlias(nref(1)));
+        f.gc.inc_node(key(1, 0, 1)); // alias reference
+        f.gc.inc_node(key(2, 0, 1)); // v2 root registration (leaf is root here)
+
+        // Release v2: the alias dies, v1's leaf survives (still v1's root).
+        f.gc.release_root(key(2, 0, 1), &f.dht, &f.providers, &f.pm, &f.stats).unwrap();
+        assert!(f.dht.get(&key(1, 0, 1)).is_ok());
+        assert!(f.providers.get(1).contains(BlockId::new(20)));
+        // Release v1: everything goes.
+        f.gc.release_root(key(1, 0, 1), &f.dht, &f.providers, &f.pm, &f.stats).unwrap();
+        assert!(f.dht.get(&key(1, 0, 1)).is_err());
+        assert!(!f.providers.get(1).contains(BlockId::new(20)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Tree-node positions and DHT keys.
+//!
+//! A segment-tree node covers a *position*: a power-of-two aligned run of
+//! blocks `(start, len)` (§III-A.3: "each node is associated to a range of
+//! the blob"). Leaves have `len == 1` and cover a single block. A node is
+//! identified in the DHT "by its version and by the range specified through
+//! the offset and the size it covers" — our [`NodeKey`] is exactly that
+//! triple, plus the blob lineage that materialized it (needed for O(1)
+//! branching, see `version_manager`).
+
+use blobseer_types::{BlobId, Version};
+use std::fmt;
+
+/// A power-of-two aligned run of blocks covered by one tree node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pos {
+    /// First block covered.
+    pub start: u64,
+    /// Number of blocks covered; always a power of two ≥ 1.
+    pub len: u64,
+}
+
+impl Pos {
+    /// Creates a position, validating alignment invariants.
+    #[inline]
+    pub fn new(start: u64, len: u64) -> Self {
+        debug_assert!(len.is_power_of_two(), "node length must be a power of two: {len}");
+        debug_assert!(start.is_multiple_of(len), "node start {start} must be aligned to its length {len}");
+        Self { start, len }
+    }
+
+    /// The root position of a tree covering `cap` blocks (`cap` a power of
+    /// two ≥ 1).
+    #[inline]
+    pub fn root(cap: u64) -> Self {
+        Self::new(0, cap)
+    }
+
+    /// One block past the end.
+    #[inline]
+    pub const fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// True for single-block (leaf) positions.
+    #[inline]
+    pub const fn is_leaf(&self) -> bool {
+        self.len == 1
+    }
+
+    /// Left child: the first half of the covered range.
+    #[inline]
+    pub fn left(&self) -> Pos {
+        debug_assert!(!self.is_leaf());
+        Pos::new(self.start, self.len / 2)
+    }
+
+    /// Right child: the second half of the covered range.
+    #[inline]
+    pub fn right(&self) -> Pos {
+        debug_assert!(!self.is_leaf());
+        Pos::new(self.start + self.len / 2, self.len / 2)
+    }
+
+    /// True if this position overlaps the block range `[start, end)`.
+    #[inline]
+    pub const fn intersects(&self, r: &BlockRange) -> bool {
+        !r.is_empty() && self.start < r.end && r.start < self.end()
+    }
+
+    /// True if this position is a valid node of a tree with capacity `cap`.
+    #[inline]
+    pub const fn valid_in(&self, cap: u64) -> bool {
+        self.end() <= cap
+    }
+}
+
+impl fmt::Debug for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.start, self.len)
+    }
+}
+
+/// A half-open range of blocks `[start, end)` (block indices, not bytes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockRange {
+    pub start: u64,
+    pub end: u64,
+}
+
+impl BlockRange {
+    /// Creates a block range; `end >= start`.
+    #[inline]
+    pub fn new(start: u64, end: u64) -> Self {
+        debug_assert!(end >= start, "inverted block range [{start}, {end})");
+        Self { start, end }
+    }
+
+    /// The blocks touched by the byte range `[offset, offset+size)`.
+    #[inline]
+    pub fn of_bytes(offset: u64, size: u64, block_size: u64) -> Self {
+        debug_assert!(block_size > 0);
+        if size == 0 {
+            return Self::new(offset / block_size, offset / block_size);
+        }
+        Self::new(offset / block_size, (offset + size).div_ceil(block_size))
+    }
+
+    /// Number of blocks in the range.
+    #[inline]
+    pub const fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the range covers no blocks.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates over the block indices in the range.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end
+    }
+}
+
+impl fmt::Debug for BlockRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blocks[{}, {})", self.start, self.end)
+    }
+}
+
+/// The DHT key of a tree node: which lineage wrote it, at which version,
+/// covering which position (§III-A.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeKey {
+    /// The blob lineage whose write materialized the node.
+    pub blob: BlobId,
+    /// The snapshot version that materialized the node.
+    pub version: Version,
+    /// The block range the node covers.
+    pub pos: Pos,
+}
+
+impl NodeKey {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(blob: BlobId, version: Version, pos: Pos) -> Self {
+        Self { blob, version, pos }
+    }
+
+    /// A 64-bit hash used to shard keys over metadata providers.
+    ///
+    /// SplitMix64-style finalizer over the four fields; good avalanche, no
+    /// allocation, deterministic across runs (the DHT layout figures rely
+    /// on that).
+    pub fn hash64(&self) -> u64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15u64;
+        for v in [self.blob.raw(), self.version.raw(), self.pos.start, self.pos.len] {
+            h ^= mix64(v.wrapping_add(h));
+        }
+        mix64(h)
+    }
+}
+
+impl fmt::Debug for NodeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}@{:?}", self.blob, self.version, self.pos)
+    }
+}
+
+/// SplitMix64 finalizer.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_partition_parent() {
+        let p = Pos::new(0, 8);
+        assert_eq!(p.left(), Pos::new(0, 4));
+        assert_eq!(p.right(), Pos::new(4, 4));
+        assert_eq!(p.left().end(), p.right().start);
+        assert_eq!(p.right().end(), p.end());
+        assert!(!Pos::new(6, 2).is_leaf());
+        assert!(Pos::new(7, 1).is_leaf());
+    }
+
+    #[test]
+    fn intersection_with_block_range() {
+        let p = Pos::new(4, 4); // blocks [4, 8)
+        assert!(p.intersects(&BlockRange::new(7, 9)));
+        assert!(p.intersects(&BlockRange::new(0, 5)));
+        assert!(!p.intersects(&BlockRange::new(8, 10)));
+        assert!(!p.intersects(&BlockRange::new(0, 4)));
+        assert!(!p.intersects(&BlockRange::new(5, 5)), "empty range");
+    }
+
+    #[test]
+    fn byte_to_block_projection() {
+        // 64-byte blocks.
+        assert_eq!(BlockRange::of_bytes(0, 64, 64), BlockRange::new(0, 1));
+        assert_eq!(BlockRange::of_bytes(0, 65, 64), BlockRange::new(0, 2));
+        assert_eq!(BlockRange::of_bytes(63, 2, 64), BlockRange::new(0, 2));
+        assert_eq!(BlockRange::of_bytes(64, 64, 64), BlockRange::new(1, 2));
+        assert!(BlockRange::of_bytes(10, 0, 64).is_empty());
+    }
+
+    #[test]
+    fn validity_in_capacity() {
+        assert!(Pos::new(0, 4).valid_in(4));
+        assert!(!Pos::new(0, 8).valid_in(4));
+        assert!(Pos::new(4, 4).valid_in(8));
+        assert!(!Pos::new(4, 4).valid_in(4));
+    }
+
+    #[test]
+    fn hash_is_stable_and_spreads() {
+        let k1 = NodeKey::new(BlobId::new(1), Version::new(2), Pos::new(0, 4));
+        let k2 = NodeKey::new(BlobId::new(1), Version::new(2), Pos::new(0, 4));
+        assert_eq!(k1.hash64(), k2.hash64());
+        // Nearby keys should land on many distinct buckets.
+        let mut buckets = std::collections::HashSet::new();
+        for v in 0..64u64 {
+            let k = NodeKey::new(BlobId::new(1), Version::new(v), Pos::new(0, 1));
+            buckets.insert(k.hash64() % 16);
+        }
+        assert!(buckets.len() >= 12, "poor spread: {} buckets", buckets.len());
+    }
+
+    #[test]
+    fn block_range_iter() {
+        let r = BlockRange::new(3, 6);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,315 @@
+//! The per-BLOB write log and the "materializing version" computation.
+//!
+//! The version manager records, for every assigned version, which blocks the
+//! write touched and how the tree capacity evolved. Writers receive this log
+//! with their ticket: it is the paper's *hint* mechanism ("the version
+//! manager hints the client on such dependencies … the client is able to
+//! predict the values corresponding to the metadata that is being written by
+//! the concurrent writers", §III-D). From the log alone — without reading
+//! the DHT — a writer can compute, for any tree position, the latest version
+//! that materialized a node there, and thus weave references to subtrees of
+//! lower versions even when those are still being written.
+//!
+//! # The materialization rule
+//!
+//! A write `v` with block range `R_v` and capacities `cap_before → cap_after`
+//! materializes the node at position `P` iff `P` is a valid node of the
+//! `cap_after` tree (`P.end() <= cap_after`) and either
+//!
+//! 1. `P` intersects `R_v` (the paths from every changed leaf to the root,
+//!    §III-A.3: nodes "are created only if they do cover the range of the
+//!    update"), or
+//! 2. `P` is a *spine* node: `P.start == 0`, `P.len > cap_before > 0`.
+//!    When an append grows the tree, the new levels above the old root must
+//!    exist even where they do not overlap the appended range, otherwise
+//!    old content would become unreachable from the new root.
+
+use super::key::{BlockRange, Pos};
+use blobseer_types::{BlobId, Version};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One assigned write/append in a BLOB's history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The assigned snapshot version.
+    pub version: Version,
+    /// Blocks covered by the (block-aligned) update.
+    pub blocks: BlockRange,
+    /// Tree capacity (in blocks, power of two; 0 for the empty BLOB) before
+    /// this write.
+    pub cap_before: u64,
+    /// Tree capacity after this write.
+    pub cap_after: u64,
+    /// BLOB size in bytes after this write.
+    pub size_after: u64,
+}
+
+impl LogEntry {
+    /// Does this write materialize a node at `pos`? See the module docs for
+    /// the rule.
+    #[inline]
+    pub fn materializes(&self, pos: Pos) -> bool {
+        if !pos.valid_in(self.cap_after) {
+            return false;
+        }
+        pos.intersects(&self.blocks) || (pos.start == 0 && self.cap_before > 0 && pos.len > self.cap_before)
+    }
+}
+
+/// A shareable, append-only run of log entries (one per blob lineage).
+pub type SharedLog = Arc<RwLock<Vec<LogEntry>>>;
+
+/// One lineage segment of a blob's history: `entries` of `blob`, visible
+/// for versions in `(lo, hi]`.
+#[derive(Clone)]
+pub struct LogSegment {
+    /// The lineage that owns these versions.
+    pub blob: BlobId,
+    /// Entries, sorted by version; entry `k` has version `vec_base + 1 + k`.
+    /// May extend beyond `hi` (the parent kept writing after the branch) —
+    /// lookups clamp to `hi`.
+    pub entries: SharedLog,
+    /// Version of the (virtual) entry preceding `entries[0]` — the owning
+    /// blob's base. Index arithmetic uses this.
+    pub vec_base: Version,
+    /// Visibility floor: snapshot lookups for versions `<= lo` fail (they
+    /// were garbage-collected before a branch, or belong to an earlier
+    /// segment). Metadata *weaving* still scans below `lo` — collected
+    /// versions' surviving shared nodes remain valid reference targets.
+    pub lo: Version,
+    /// Versions `> hi` are outside this segment.
+    pub hi: Version,
+}
+
+impl LogSegment {
+    /// A segment whose full entry vector is visible.
+    pub fn full(blob: BlobId, entries: SharedLog, base: Version, hi: Version) -> Self {
+        Self { blob, entries, vec_base: base, lo: base, hi }
+    }
+
+    /// Finds the entry for exactly `version`, if it is visible in this
+    /// segment.
+    pub fn entry(&self, version: Version) -> Option<LogEntry> {
+        if version <= self.lo || version > self.hi {
+            return None;
+        }
+        let entries = self.entries.read();
+        debug_assert!(version > self.vec_base);
+        let idx = (version.raw() - self.vec_base.raw() - 1) as usize;
+        let e = entries.get(idx).copied();
+        debug_assert!(e.map(|e| e.version == version).unwrap_or(true), "log must be dense");
+        e
+    }
+}
+
+/// A blob's full history: its own segment first, then ancestors
+/// (youngest → oldest). Branching (§VI-A) makes this a chain.
+#[derive(Clone)]
+pub struct LogChain {
+    segments: Vec<LogSegment>,
+}
+
+/// Identifies the write that materialized a node: lineage + version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Materializer {
+    pub blob: BlobId,
+    pub version: Version,
+}
+
+impl LogChain {
+    /// Builds a chain from segments ordered youngest (own) to oldest.
+    pub fn new(segments: Vec<LogSegment>) -> Self {
+        debug_assert!(!segments.is_empty());
+        Self { segments }
+    }
+
+    /// The segments, youngest first.
+    pub fn segments(&self) -> &[LogSegment] {
+        &self.segments
+    }
+
+    /// The log entry of exactly `version`, if assigned.
+    pub fn entry(&self, version: Version) -> Option<LogEntry> {
+        self.segments.iter().find_map(|s| s.entry(version))
+    }
+
+    /// The latest version `< before` that materialized a node at `pos`,
+    /// with the lineage that owns it. `None` means no such node exists:
+    /// the position is a hole (reads as zeros).
+    ///
+    /// The scan deliberately ignores the GC visibility floor (`lo`): a
+    /// collected version's node can still be the correct weave target,
+    /// because any node the latest surviving snapshot reaches stays alive
+    /// through GC refcounts.
+    pub fn materializer_before(&self, pos: Pos, before: Version) -> Option<Materializer> {
+        for seg in &self.segments {
+            if seg.vec_base >= before {
+                continue; // every entry here has version > vec_base >= before
+            }
+            let hi = if seg.hi < before { seg.hi } else { Version::new(before.raw() - 1) };
+            if hi <= seg.vec_base {
+                continue;
+            }
+            let entries = seg.entries.read();
+            // Entries [0, max_idx) have version <= hi.
+            let max_idx = (hi.raw() - seg.vec_base.raw()) as usize;
+            let upto = max_idx.min(entries.len());
+            for e in entries[..upto].iter().rev() {
+                debug_assert!(e.version <= hi && e.version > seg.vec_base);
+                if e.materializes(pos) {
+                    return Some(Materializer { blob: seg.blob, version: e.version });
+                }
+            }
+        }
+        None
+    }
+
+    /// Size and capacity of snapshot `version` (0 both for the empty BLOB).
+    pub fn snapshot_geometry(&self, version: Version) -> Option<(u64, u64)> {
+        if version.is_zero() {
+            return Some((0, 0));
+        }
+        self.entry(version).map(|e| (e.size_after, e.cap_after))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: u64, blocks: (u64, u64), cap_before: u64, cap_after: u64, size_after: u64) -> LogEntry {
+        LogEntry {
+            version: Version::new(v),
+            blocks: BlockRange::new(blocks.0, blocks.1),
+            cap_before,
+            cap_after,
+            size_after,
+        }
+    }
+
+    fn chain_of(blob: u64, entries: Vec<LogEntry>) -> LogChain {
+        LogChain::new(vec![LogSegment::full(
+            BlobId::new(blob),
+            Arc::new(RwLock::new(entries)),
+            Version::ZERO,
+            Version::new(u64::MAX),
+        )])
+    }
+
+    #[test]
+    fn materializes_paths_to_root() {
+        // Paper Fig. 1(b): tree of capacity 4, overwrite of blocks [0, 2).
+        let e = entry(2, (0, 2), 4, 4, 4 * 64);
+        assert!(e.materializes(Pos::new(0, 1)));
+        assert!(e.materializes(Pos::new(1, 1)));
+        assert!(e.materializes(Pos::new(0, 2)));
+        assert!(e.materializes(Pos::new(0, 4)), "root always on the path");
+        assert!(!e.materializes(Pos::new(2, 1)));
+        assert!(!e.materializes(Pos::new(2, 2)));
+        assert!(!e.materializes(Pos::new(0, 8)), "beyond capacity");
+    }
+
+    #[test]
+    fn growth_materializes_spine() {
+        // Paper Fig. 1(c): capacity grows 4 → 8 on an append of one block.
+        let e = entry(3, (4, 5), 4, 8, 5 * 64);
+        assert!(e.materializes(Pos::new(4, 1)), "the new leaf");
+        assert!(e.materializes(Pos::new(4, 2)));
+        assert!(e.materializes(Pos::new(4, 4)));
+        assert!(e.materializes(Pos::new(0, 8)), "new root");
+        assert!(!e.materializes(Pos::new(0, 4)), "old root is shared, not rebuilt");
+        assert!(!e.materializes(Pos::new(5, 1)));
+    }
+
+    #[test]
+    fn hole_write_still_builds_spine() {
+        // A write far past the end: blocks [8, 9) while old capacity was 2.
+        let e = entry(2, (8, 9), 2, 16, 9 * 64);
+        // Spine nodes keep old content reachable even though they do not
+        // intersect the written range.
+        assert!(e.materializes(Pos::new(0, 4)), "spine over old root");
+        assert!(e.materializes(Pos::new(0, 8)), "spine");
+        assert!(e.materializes(Pos::new(0, 16)), "root (intersects)");
+        assert!(!e.materializes(Pos::new(0, 2)), "old root untouched");
+        assert!(!e.materializes(Pos::new(4, 4)), "hole subtree");
+    }
+
+    #[test]
+    fn first_write_has_no_spine() {
+        let e = entry(1, (2, 3), 0, 4, 3 * 64);
+        assert!(e.materializes(Pos::new(0, 4)), "root intersects");
+        assert!(!e.materializes(Pos::new(0, 2)), "hole, not spine (empty blob before)");
+        assert!(e.materializes(Pos::new(2, 2)));
+    }
+
+    #[test]
+    fn materializer_before_scans_backwards() {
+        // v1 writes [0,4), v2 overwrites [0,2), v3 appends [4,5) growing to 8.
+        let chain = chain_of(
+            7,
+            vec![
+                entry(1, (0, 4), 0, 4, 4 * 64),
+                entry(2, (0, 2), 4, 4, 4 * 64),
+                entry(3, (4, 5), 4, 8, 5 * 64),
+            ],
+        );
+        let mv = |pos, before| chain.materializer_before(pos, Version::new(before));
+        // Reading version 3's tree: left-of-root (0,4) was last touched by v2.
+        assert_eq!(mv(Pos::new(0, 4), 4).unwrap().version, Version::new(2));
+        // Leaf 2 was last written by v1 (v2 only covered blocks 0–1).
+        assert_eq!(mv(Pos::new(2, 1), 4).unwrap().version, Version::new(1));
+        assert_eq!(mv(Pos::new(0, 1), 4).unwrap().version, Version::new(2));
+        // Before v2, leaf 0 came from v1.
+        assert_eq!(mv(Pos::new(0, 1), 2).unwrap().version, Version::new(1));
+        // Never-written position: hole.
+        assert_eq!(mv(Pos::new(5, 1), 4), None);
+        // Nothing exists before v1.
+        assert_eq!(mv(Pos::new(0, 1), 1), None);
+    }
+
+    #[test]
+    fn chain_resolves_across_branch_segments() {
+        // Parent blob 1 wrote v1..v3; child blob 2 branched at v2 and wrote v3'.
+        let parent_entries = Arc::new(RwLock::new(vec![
+            entry(1, (0, 2), 0, 2, 2 * 64),
+            entry(2, (0, 1), 2, 2, 2 * 64),
+            entry(3, (1, 2), 2, 2, 2 * 64), // parent write after the branch point
+        ]));
+        let child_entries = Arc::new(RwLock::new(vec![entry(3, (0, 1), 2, 2, 2 * 64)]));
+        let chain = LogChain::new(vec![
+            LogSegment::full(
+                BlobId::new(2),
+                child_entries,
+                Version::new(2),
+                Version::new(u64::MAX),
+            ),
+            LogSegment::full(
+                BlobId::new(1),
+                parent_entries,
+                Version::ZERO,
+                Version::new(2), // branch point: parent's v3 is invisible
+            ),
+        ]);
+        // Child's view of leaf 0 before its own v3: parent's v2.
+        let m = chain.materializer_before(Pos::new(0, 1), Version::new(3)).unwrap();
+        assert_eq!((m.blob, m.version), (BlobId::new(1), Version::new(2)));
+        // Leaf 1: parent's v1 — the parent's v3 write is beyond the branch point.
+        let m = chain.materializer_before(Pos::new(1, 1), Version::new(4)).unwrap();
+        assert_eq!((m.blob, m.version), (BlobId::new(1), Version::new(1)));
+        // Child's own v3 wins for leaf 0 at `before = 4`.
+        let m = chain.materializer_before(Pos::new(0, 1), Version::new(4)).unwrap();
+        assert_eq!((m.blob, m.version), (BlobId::new(2), Version::new(3)));
+        // Exact-entry lookup respects segment clamping.
+        assert_eq!(chain.entry(Version::new(3)).unwrap().blocks, BlockRange::new(0, 1));
+        assert_eq!(chain.entry(Version::new(1)).unwrap().blocks, BlockRange::new(0, 2));
+    }
+
+    #[test]
+    fn snapshot_geometry() {
+        let chain = chain_of(1, vec![entry(1, (0, 3), 0, 4, 180)]);
+        assert_eq!(chain.snapshot_geometry(Version::ZERO), Some((0, 0)));
+        assert_eq!(chain.snapshot_geometry(Version::new(1)), Some((180, 4)));
+        assert_eq!(chain.snapshot_geometry(Version::new(2)), None);
+    }
+}

@@ -1,0 +1,20 @@
+//! Distributed metadata: the versioned segment trees of §III-A.3.
+//!
+//! * [`key`] — node positions and DHT keys;
+//! * [`node`] — node payloads (inner nodes, leaves, aliases);
+//! * [`log`] — the per-BLOB write log and the materializing-version rule
+//!   that makes concurrent metadata *weaving* possible;
+//! * [`tree`] — publishing a write's metadata and locating blocks for reads;
+//! * [`shape`] — pure node-count arithmetic shared with the figure-scale
+//!   simulator.
+
+pub mod key;
+pub mod log;
+pub mod node;
+pub mod shape;
+pub mod tree;
+
+pub use key::{BlockRange, NodeKey, Pos};
+pub use log::{LogChain, LogEntry, LogSegment, Materializer, SharedLog};
+pub use node::{BlockDescriptor, NodeRef, TreeNode};
+pub use tree::{LocatedBlock, TreeStore};

@@ -1,0 +1,116 @@
+//! Tree node payloads stored in the metadata DHT.
+//!
+//! Inner nodes hold *references* to their children: the version (and blob
+//! lineage) whose write materialized the child at the implied position.
+//! This is how "entire subtrees are shared among the trees associated to
+//! the snapshot versions" (§III-A.3) — a new version's tree points into
+//! older versions' subtrees instead of copying them.
+
+use super::key::Pos;
+use blobseer_types::{BlobId, BlockId, Version};
+use std::fmt;
+
+/// A reference to a tree node of some (possibly earlier, possibly still
+/// in-flight) version at an implied position.
+///
+/// During concurrent writes a reference may name a node that has not been
+/// written to the DHT yet — the writer "predicts" it from the version
+/// manager's hints (§III-D). Readers never chase such dangling references
+/// because snapshots are revealed only after all lower versions committed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    /// Lineage that materialized the referenced node.
+    pub blob: BlobId,
+    /// Version that materialized the referenced node.
+    pub version: Version,
+}
+
+impl fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "→{}/{}", self.blob, self.version)
+    }
+}
+
+/// Where a block's replicas live and how long it is.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockDescriptor {
+    /// The stored block id.
+    pub block_id: BlockId,
+    /// Dense provider indices holding replicas, primary first.
+    pub providers: Vec<u32>,
+    /// Bytes actually stored — equal to the block size except for the tail
+    /// block of a snapshot, which may be shorter.
+    pub len: u32,
+}
+
+/// One metadata tree node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TreeNode {
+    /// An interior node; children cover the left/right halves of its
+    /// position. `None` means the half has never been written (a hole that
+    /// reads as zeros).
+    Inner {
+        left: Option<NodeRef>,
+        right: Option<NodeRef>,
+    },
+    /// A leaf holding the descriptor of the block covering its position.
+    Leaf(BlockDescriptor),
+    /// A leaf that aliases an earlier leaf at the same position (`None`
+    /// aliases a hole). Produced by write-abort repair, which republishes
+    /// the previous version's content without copying block data.
+    LeafAlias(Option<NodeRef>),
+}
+
+impl TreeNode {
+    /// The child reference for the half of `pos` containing `child_pos`.
+    ///
+    /// # Panics
+    /// Panics if called on a leaf or with a position that is not a child.
+    pub fn child_ref(&self, pos: Pos, child_pos: Pos) -> Option<NodeRef> {
+        match self {
+            TreeNode::Inner { left, right } => {
+                if child_pos == pos.left() {
+                    *left
+                } else if child_pos == pos.right() {
+                    *right
+                } else {
+                    panic!("{child_pos:?} is not a child of {pos:?}");
+                }
+            }
+            _ => panic!("child_ref on a leaf node"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_ref_selects_halves() {
+        let l = NodeRef { blob: BlobId::new(1), version: Version::new(3) };
+        let r = NodeRef { blob: BlobId::new(1), version: Version::new(5) };
+        let n = TreeNode::Inner { left: Some(l), right: Some(r) };
+        let pos = Pos::new(0, 4);
+        assert_eq!(n.child_ref(pos, Pos::new(0, 2)), Some(l));
+        assert_eq!(n.child_ref(pos, Pos::new(2, 2)), Some(r));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a child of")]
+    fn wrong_child_position_panics() {
+        let n = TreeNode::Inner { left: None, right: None };
+        n.child_ref(Pos::new(0, 4), Pos::new(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "child_ref on a leaf")]
+    fn leaf_has_no_children() {
+        let n = TreeNode::Leaf(BlockDescriptor {
+            block_id: BlockId::new(1),
+            providers: vec![0],
+            len: 10,
+        });
+        n.child_ref(Pos::new(0, 2), Pos::new(0, 1));
+    }
+}

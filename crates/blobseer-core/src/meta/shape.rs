@@ -1,0 +1,129 @@
+//! Pure tree-shape arithmetic, shared with the figure-scale experiment
+//! models.
+//!
+//! The discrete-event simulator never builds real trees for 16 GB files —
+//! it only needs to know *how many* metadata nodes a write creates (that
+//! many DHT puts) and how many a read visits (that many DHT gets). These
+//! functions compute exactly the counts the real implementation in
+//! `meta::tree` produces; a test in `tests/` cross-checks them against the
+//! live engine so the two can never drift.
+
+use super::key::{BlockRange, Pos};
+use super::log::LogEntry;
+
+/// Number of tree levels for a capacity of `cap` blocks (`cap` ≥ 1, power
+/// of two): depth of the root above the leaves.
+pub fn tree_depth(cap: u64) -> u32 {
+    debug_assert!(cap.is_power_of_two());
+    cap.trailing_zeros()
+}
+
+/// Number of positions at level `len` (node span, power of two) that
+/// intersect `r`.
+#[inline]
+fn intersecting_at_level(len: u64, r: &BlockRange) -> u64 {
+    if r.is_empty() {
+        return 0;
+    }
+    (r.end - 1) / len - r.start / len + 1
+}
+
+/// Number of metadata nodes the write described by `entry` materializes —
+/// exactly the number `TreeStore::publish_write` stores in the DHT.
+pub fn nodes_created(entry: &LogEntry) -> u64 {
+    if entry.blocks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut len = 1;
+    while len <= entry.cap_after {
+        // Positions at this level intersecting the written range...
+        count += intersecting_at_level(len, &entry.blocks);
+        // ...plus the spine node (0, len), if it exists at this level and
+        // was not already counted as intersecting.
+        if entry.cap_before > 0 && len > entry.cap_before {
+            let spine = Pos::new(0, len);
+            if !spine.intersects(&entry.blocks) {
+                count += 1;
+            }
+        }
+        len *= 2;
+    }
+    count
+}
+
+/// Number of tree nodes a read of `query` visits when descending a tree of
+/// capacity `cap` — exactly the number of DHT gets `TreeStore::locate`
+/// issues when no leaf is an alias and no hole prunes the walk (the
+/// worst/common case for fully-written files).
+pub fn nodes_visited(cap: u64, query: BlockRange) -> u64 {
+    if query.is_empty() || cap == 0 {
+        return 0;
+    }
+    debug_assert!(query.end <= cap);
+    let mut count = 0;
+    let mut len = 1;
+    while len <= cap {
+        count += intersecting_at_level(len, &query);
+        len *= 2;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::Version;
+
+    fn entry(blocks: (u64, u64), cap_before: u64, cap_after: u64) -> LogEntry {
+        LogEntry {
+            version: Version::new(1),
+            blocks: BlockRange::new(blocks.0, blocks.1),
+            cap_before,
+            cap_after,
+            size_after: blocks.1 * 64,
+        }
+    }
+
+    #[test]
+    fn figure_1_counts() {
+        // Fig. 1(a): append 4 blocks to empty → 4 leaves + 2 + 1 = 7 nodes.
+        assert_eq!(nodes_created(&entry((0, 4), 0, 4)), 7);
+        // Fig. 1(b): overwrite first two blocks → 2 leaves + (0,2) + root = 4.
+        assert_eq!(nodes_created(&entry((0, 2), 4, 4)), 4);
+        // Fig. 1(c): append one block, cap 4 → 8 → leaf + (4,2) + (4,4) +
+        // new root = 4.
+        assert_eq!(nodes_created(&entry((4, 5), 4, 8)), 4);
+    }
+
+    #[test]
+    fn single_block_write_costs_depth_plus_one() {
+        // Overwrite of one block in a big tree: path to root.
+        assert_eq!(nodes_created(&entry((5, 6), 256, 256)), tree_depth(256) as u64 + 1);
+    }
+
+    #[test]
+    fn spine_counted_when_append_does_not_touch_it() {
+        // Write blocks [8,9) while cap was 2: path (8,1),(8,2),(8,4),(8,8)
+        // plus root (0,16) plus spine (0,4),(0,8).
+        let e = entry((8, 9), 2, 16);
+        assert_eq!(nodes_created(&e), 7);
+    }
+
+    #[test]
+    fn full_tree_visit() {
+        // Reading all of a 4-block file: 4 + 2 + 1 nodes.
+        assert_eq!(nodes_visited(4, BlockRange::new(0, 4)), 7);
+        // One block from an 8-block file: root→leaf path = 4 nodes.
+        assert_eq!(nodes_visited(8, BlockRange::new(3, 4)), 4);
+        // Empty query.
+        assert_eq!(nodes_visited(8, BlockRange::new(3, 3)), 0);
+    }
+
+    #[test]
+    fn depth() {
+        assert_eq!(tree_depth(1), 0);
+        assert_eq!(tree_depth(2), 1);
+        assert_eq!(tree_depth(1024), 10);
+    }
+}

@@ -1,0 +1,498 @@
+//! Building and traversing the versioned distributed segment trees.
+//!
+//! **Publishing** (§III-D): after the data blocks are stored and the version
+//! manager assigned a version number, the writer generates the tree nodes
+//! that its write materializes (see `meta::log` for the rule) and weaves
+//! them with existing metadata: every child outside the written range is a
+//! *reference* to the latest lower version materializing that position —
+//! computed purely from the write log, so references to still-in-flight
+//! concurrent writers work ("the client is able to predict the values
+//! corresponding to the metadata that is being written", §III-D).
+//!
+//! **Reading** (§III-C): descend from the root of the requested snapshot,
+//! following child references across versions, visiting only subtrees that
+//! intersect the requested range, and collect leaf block descriptors.
+
+use super::key::{BlockRange, NodeKey, Pos};
+use super::log::{LogChain, LogEntry};
+use super::node::{BlockDescriptor, NodeRef, TreeNode};
+use crate::dht::MetaDht;
+use crate::gc::GcTracker;
+use crate::stats::EngineStats;
+use blobseer_types::{BlobId, Error, Result, Version};
+use std::collections::HashMap;
+
+/// A located block within a snapshot: its index and the descriptor of the
+/// stored block covering it (`None` = never-written hole, reads as zeros).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocatedBlock {
+    /// Block index within the BLOB.
+    pub index: u64,
+    /// Descriptor, or `None` for a hole.
+    pub desc: Option<BlockDescriptor>,
+}
+
+/// How to populate the leaves a write materializes.
+enum LeafMode<'a> {
+    /// Normal write: leaves carry the freshly stored blocks.
+    Blocks(&'a HashMap<u64, BlockDescriptor>),
+    /// Abort repair: leaves alias the previous version's leaves, restoring
+    /// prior content without any data movement.
+    Repair,
+}
+
+/// Metadata operations bound to one deployment's DHT/GC/stats.
+#[derive(Clone, Copy)]
+pub struct TreeStore<'a> {
+    pub dht: &'a MetaDht,
+    pub gc: &'a GcTracker,
+    pub stats: &'a EngineStats,
+}
+
+impl<'a> TreeStore<'a> {
+    /// Publishes the metadata of a normal write. `leaves` maps each block
+    /// index in `entry.blocks` to its descriptor. Returns the new root key.
+    pub fn publish_write(
+        &self,
+        blob: BlobId,
+        entry: &LogEntry,
+        chain: &LogChain,
+        leaves: &HashMap<u64, BlockDescriptor>,
+    ) -> NodeKey {
+        debug_assert!(
+            entry.blocks.iter().all(|b| leaves.contains_key(&b)),
+            "every written block needs a descriptor"
+        );
+        self.publish(blob, entry, chain, LeafMode::Blocks(leaves))
+    }
+
+    /// Publishes *repair* metadata for an aborted write: the same node
+    /// positions a normal write would create, but every leaf aliases the
+    /// previous version's content. Readers of this version observe the
+    /// previous snapshot's bytes over the aborted range (zeros where the
+    /// range extended the BLOB). Returns the new root key.
+    pub fn publish_repair(&self, blob: BlobId, entry: &LogEntry, chain: &LogChain) -> NodeKey {
+        self.publish(blob, entry, chain, LeafMode::Repair)
+    }
+
+    fn publish(
+        &self,
+        blob: BlobId,
+        entry: &LogEntry,
+        chain: &LogChain,
+        mode: LeafMode<'_>,
+    ) -> NodeKey {
+        let root = Pos::root(entry.cap_after);
+        debug_assert!(entry.materializes(root), "a write always materializes its root");
+        let r = self.build(blob, entry, chain, &mode, root);
+        debug_assert_eq!(r, Some(NodeRef { blob, version: entry.version }));
+        NodeKey::new(blob, entry.version, root)
+    }
+
+    /// Recursively materializes `pos` if the write covers it, else returns a
+    /// woven reference to the latest earlier materializer.
+    fn build(
+        &self,
+        blob: BlobId,
+        entry: &LogEntry,
+        chain: &LogChain,
+        mode: &LeafMode<'_>,
+        pos: Pos,
+    ) -> Option<NodeRef> {
+        if !entry.materializes(pos) {
+            // Weave: reference the latest lower version materializing this
+            // position (possibly still being written by a concurrent
+            // writer), or a hole.
+            return chain
+                .materializer_before(pos, entry.version)
+                .map(|m| NodeRef { blob: m.blob, version: m.version });
+        }
+        let key = NodeKey::new(blob, entry.version, pos);
+        let node = if pos.is_leaf() {
+            match mode {
+                LeafMode::Blocks(leaves) => {
+                    let desc = leaves
+                        .get(&pos.start)
+                        .expect("materialized leaf must have a descriptor")
+                        .clone();
+                    TreeNode::Leaf(desc)
+                }
+                LeafMode::Repair => {
+                    let target = chain
+                        .materializer_before(pos, entry.version)
+                        .map(|m| NodeRef { blob: m.blob, version: m.version });
+                    if let Some(t) = target {
+                        self.gc.inc_node(NodeKey::new(t.blob, t.version, pos));
+                    }
+                    TreeNode::LeafAlias(target)
+                }
+            }
+        } else {
+            let left = self.build(blob, entry, chain, mode, pos.left());
+            let right = self.build(blob, entry, chain, mode, pos.right());
+            if let Some(l) = left {
+                self.gc.inc_node(NodeKey::new(l.blob, l.version, pos.left()));
+            }
+            if let Some(r) = right {
+                self.gc.inc_node(NodeKey::new(r.blob, r.version, pos.right()));
+            }
+            TreeNode::Inner { left, right }
+        };
+        self.dht.put(key, node);
+        EngineStats::add(&self.stats.meta_nodes_written, 1);
+        Some(NodeRef { blob, version: entry.version })
+    }
+
+    /// Registers the root of a committed version (one GC reference).
+    pub fn register_root(&self, root: NodeKey) {
+        self.gc.inc_node(root);
+    }
+
+    /// Locates the blocks covering `query` in the snapshot rooted at
+    /// `(root_blob, version)` with tree capacity `cap` blocks.
+    ///
+    /// Returns one entry per block in `query`, in increasing index order;
+    /// holes yield `desc: None`.
+    pub fn locate(
+        &self,
+        root_blob: BlobId,
+        version: Version,
+        cap: u64,
+        query: BlockRange,
+    ) -> Result<Vec<LocatedBlock>> {
+        let mut out = Vec::with_capacity(query.len() as usize);
+        if query.is_empty() {
+            return Ok(out);
+        }
+        if cap == 0 {
+            return Err(Error::Internal(format!(
+                "locate on empty tree for {root_blob} {version}"
+            )));
+        }
+        let root = Pos::root(cap);
+        self.descend(NodeKey::new(root_blob, version, root), &query, &mut out)?;
+        debug_assert_eq!(out.len() as u64, query.len());
+        Ok(out)
+    }
+
+    fn descend(&self, key: NodeKey, query: &BlockRange, out: &mut Vec<LocatedBlock>) -> Result<()> {
+        let node = self.dht.get(&key)?;
+        EngineStats::add(&self.stats.meta_nodes_read, 1);
+        match node {
+            TreeNode::Leaf(desc) => {
+                out.push(LocatedBlock { index: key.pos.start, desc: Some(desc) });
+            }
+            TreeNode::LeafAlias(Some(target)) => {
+                // Follow the alias chain at the same position.
+                self.descend(NodeKey::new(target.blob, target.version, key.pos), query, out)?;
+            }
+            TreeNode::LeafAlias(None) => {
+                out.push(LocatedBlock { index: key.pos.start, desc: None });
+            }
+            TreeNode::Inner { left, right } => {
+                for (child_pos, child_ref) in
+                    [(key.pos.left(), left), (key.pos.right(), right)]
+                {
+                    if !child_pos.intersects(query) {
+                        continue;
+                    }
+                    match child_ref {
+                        Some(r) => {
+                            self.descend(NodeKey::new(r.blob, r.version, child_pos), query, out)?
+                        }
+                        None => {
+                            // A hole subtree: every queried block in it is a hole.
+                            let lo = child_pos.start.max(query.start);
+                            let hi = child_pos.end().min(query.end);
+                            for index in lo..hi {
+                                out.push(LocatedBlock { index, desc: None });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::log::LogSegment;
+    use blobseer_types::BlockId;
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+
+    struct Fx {
+        dht: MetaDht,
+        gc: GcTracker,
+        stats: EngineStats,
+        log: Arc<RwLock<Vec<LogEntry>>>,
+        blob: BlobId,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            Self {
+                dht: MetaDht::new(4, 1),
+                gc: GcTracker::new(),
+                stats: EngineStats::new(),
+                log: Arc::new(RwLock::new(Vec::new())),
+                blob: BlobId::new(1),
+            }
+        }
+
+        fn store(&self) -> TreeStore<'_> {
+            TreeStore { dht: &self.dht, gc: &self.gc, stats: &self.stats }
+        }
+
+        fn chain(&self) -> LogChain {
+            LogChain::new(vec![LogSegment::full(
+                self.blob,
+                Arc::clone(&self.log),
+                Version::ZERO,
+                Version::new(u64::MAX),
+            )])
+        }
+
+        /// Assign-then-publish a write of whole blocks [start, end) with
+        /// block ids start*100+v.
+        fn write(&self, v: u64, start: u64, end: u64) -> NodeKey {
+            let (cap_before, size_before) = {
+                let log = self.log.read();
+                log.last().map(|e| (e.cap_after, e.size_after)).unwrap_or((0, 0))
+            };
+            let size_after = size_before.max(end * 64);
+            let entry = LogEntry {
+                version: Version::new(v),
+                blocks: BlockRange::new(start, end),
+                cap_before,
+                cap_after: size_after.div_ceil(64).next_power_of_two().max(1),
+                size_after,
+            };
+            self.log.write().push(entry);
+            let leaves: HashMap<u64, BlockDescriptor> = (start..end)
+                .map(|b| {
+                    (b, BlockDescriptor {
+                        block_id: BlockId::new(b * 100 + v),
+                        providers: vec![(b % 3) as u32],
+                        len: 64,
+                    })
+                })
+                .collect();
+            self.store().publish_write(self.blob, &entry, &self.chain(), &leaves)
+        }
+
+        fn blocks_of(&self, v: u64, cap: u64, q: (u64, u64)) -> Vec<Option<u64>> {
+            self.store()
+                .locate(self.blob, Version::new(v), cap, BlockRange::new(q.0, q.1))
+                .unwrap()
+                .into_iter()
+                .map(|l| l.desc.map(|d| d.block_id.raw()))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn paper_figure_1_sequence() {
+        // Fig. 1: append 4 blocks, overwrite the first two, append 1 block.
+        let fx = Fx::new();
+        fx.write(1, 0, 4);
+        fx.write(2, 0, 2);
+        fx.write(3, 4, 5);
+        // v1 sees its own four blocks.
+        assert_eq!(
+            fx.blocks_of(1, 4, (0, 4)),
+            vec![Some(1), Some(101), Some(201), Some(301)]
+        );
+        // v2 shares blocks 2–3 with v1, replaces 0–1.
+        assert_eq!(
+            fx.blocks_of(2, 4, (0, 4)),
+            vec![Some(2), Some(102), Some(201), Some(301)]
+        );
+        // v3 (capacity 8) sees v2's front, v1's middle, its own appended block.
+        assert_eq!(
+            fx.blocks_of(3, 8, (0, 5)),
+            vec![Some(2), Some(102), Some(201), Some(301), Some(403)]
+        );
+        // Node count check against Fig. 1: v1 creates 4 leaves + 2 inner +
+        // root = 7; v2 creates 2 leaves + 1 inner + root = 4; v3 creates
+        // 1 leaf + (4,2) + (4,4) + new root = 4. Total 15.
+        assert_eq!(fx.stats.snapshot().meta_nodes_written, 15);
+    }
+
+    #[test]
+    fn old_versions_remain_readable_after_new_writes() {
+        let fx = Fx::new();
+        fx.write(1, 0, 4);
+        fx.write(2, 1, 3);
+        for _ in 0..3 {
+            // Repeated reads of the old snapshot are stable (immutability).
+            assert_eq!(
+                fx.blocks_of(1, 4, (0, 4)),
+                vec![Some(1), Some(101), Some(201), Some(301)]
+            );
+        }
+        assert_eq!(
+            fx.blocks_of(2, 4, (0, 4)),
+            vec![Some(1), Some(102), Some(202), Some(301)]
+        );
+    }
+
+    #[test]
+    fn partial_range_queries_visit_only_needed_subtrees() {
+        let fx = Fx::new();
+        fx.write(1, 0, 8);
+        let before = fx.stats.snapshot().meta_nodes_read;
+        // Query a single block: the descent reads depth+1 = 4 nodes
+        // (root, (0,4), (0,2), leaf).
+        assert_eq!(fx.blocks_of(1, 8, (0, 1)), vec![Some(1)]);
+        let visited = fx.stats.snapshot().meta_nodes_read - before;
+        assert_eq!(visited, 4);
+    }
+
+    #[test]
+    fn holes_read_as_none() {
+        let fx = Fx::new();
+        // First write covers blocks [2, 3) only; 0–1 are holes.
+        fx.write(1, 2, 3);
+        assert_eq!(fx.blocks_of(1, 4, (0, 3)), vec![None, None, Some(201)]);
+    }
+
+    #[test]
+    fn hole_write_preserves_old_content_through_spine() {
+        let fx = Fx::new();
+        fx.write(1, 0, 2); // cap 2
+        fx.write(2, 6, 8); // jumps past the end, cap 8, holes [2,6)
+        assert_eq!(
+            fx.blocks_of(2, 8, (0, 8)),
+            vec![
+                Some(1),
+                Some(101),
+                None,
+                None,
+                None,
+                None,
+                Some(602),
+                Some(702)
+            ]
+        );
+    }
+
+    #[test]
+    fn weaving_references_in_flight_lower_versions() {
+        // Simulate two concurrent writers: v2 (blocks 0–1) and v3 (blocks
+        // 2–3) both assigned before either publishes. v3 publishes FIRST,
+        // weaving a reference to v2's yet-unwritten subtree; then v2
+        // publishes; then reads of v3 see both (the version manager would
+        // only reveal v3 after v2 committed).
+        let fx = Fx::new();
+        fx.write(1, 0, 4);
+        // Assign both versions up front (entries enter the log in order).
+        let e2 = LogEntry {
+            version: Version::new(2),
+            blocks: BlockRange::new(0, 2),
+            cap_before: 4,
+            cap_after: 4,
+            size_after: 4 * 64,
+        };
+        let e3 = LogEntry {
+            version: Version::new(3),
+            blocks: BlockRange::new(2, 4),
+            cap_before: 4,
+            cap_after: 4,
+            size_after: 4 * 64,
+        };
+        fx.log.write().push(e2);
+        fx.log.write().push(e3);
+        let leaves =
+            |v: u64, s: u64, e: u64| -> HashMap<u64, BlockDescriptor> {
+                (s..e)
+                    .map(|b| {
+                        (b, BlockDescriptor {
+                            block_id: BlockId::new(b * 100 + v),
+                            providers: vec![0],
+                            len: 64,
+                        })
+                    })
+                    .collect()
+            };
+        // v3 publishes first.
+        fx.store().publish_write(fx.blob, &e3, &fx.chain(), &leaves(3, 2, 4));
+        // Reads of v3's left subtree would dangle here — which is exactly
+        // why the version manager delays revealing v3 until v2 commits.
+        // Now v2 publishes.
+        fx.store().publish_write(fx.blob, &e2, &fx.chain(), &leaves(2, 0, 2));
+        // v3's snapshot correctly shows v2's blocks on the left.
+        assert_eq!(
+            fx.blocks_of(3, 4, (0, 4)),
+            vec![Some(2), Some(102), Some(203), Some(303)]
+        );
+        // And v2's snapshot shows v1's blocks on the right.
+        assert_eq!(
+            fx.blocks_of(2, 4, (0, 4)),
+            vec![Some(2), Some(102), Some(201), Some(301)]
+        );
+    }
+
+    #[test]
+    fn repair_publishes_previous_content() {
+        let fx = Fx::new();
+        fx.write(1, 0, 4);
+        // v2 "fails" after version assignment: repair republished v1 content.
+        let e2 = LogEntry {
+            version: Version::new(2),
+            blocks: BlockRange::new(1, 3),
+            cap_before: 4,
+            cap_after: 4,
+            size_after: 4 * 64,
+        };
+        fx.log.write().push(e2);
+        fx.store().publish_repair(fx.blob, &e2, &fx.chain());
+        // v2 reads exactly like v1.
+        assert_eq!(
+            fx.blocks_of(2, 4, (0, 4)),
+            vec![Some(1), Some(101), Some(201), Some(301)]
+        );
+        // And a later write on top of v2 still weaves correctly.
+        fx.write(3, 0, 1);
+        assert_eq!(
+            fx.blocks_of(3, 4, (0, 4)),
+            vec![Some(3), Some(101), Some(201), Some(301)]
+        );
+    }
+
+    #[test]
+    fn repair_of_range_extension_reads_zero_holes() {
+        let fx = Fx::new();
+        fx.write(1, 0, 2);
+        let e2 = LogEntry {
+            version: Version::new(2),
+            blocks: BlockRange::new(2, 4),
+            cap_before: 2,
+            cap_after: 4,
+            size_after: 4 * 64,
+        };
+        fx.log.write().push(e2);
+        fx.store().publish_repair(fx.blob, &e2, &fx.chain());
+        assert_eq!(
+            fx.blocks_of(2, 4, (0, 4)),
+            vec![Some(1), Some(101), None, None]
+        );
+    }
+
+    #[test]
+    fn gc_refcounts_accumulate_during_publish() {
+        let fx = Fx::new();
+        let root1 = fx.write(1, 0, 2);
+        let _root2 = fx.write(2, 0, 1);
+        // v1's right leaf is referenced by v1's root and v2's root.
+        let shared = NodeKey::new(fx.blob, Version::new(1), Pos::new(1, 1));
+        assert_eq!(fx.gc.node_count(&shared), 2);
+        // v1's left leaf only by v1's root.
+        let private = NodeKey::new(fx.blob, Version::new(1), Pos::new(0, 1));
+        assert_eq!(fx.gc.node_count(&private), 1);
+        assert_eq!(fx.gc.node_count(&root1), 0, "roots counted at commit, not publish");
+    }
+}

@@ -1,0 +1,166 @@
+//! The provider manager: "keeps information about the available storage
+//! space and schedules the placement of newly generated blocks" (§III-B).
+//!
+//! It tracks per-provider load and hands out `(BlockId, [provider indices])`
+//! allocations. Block ids are drawn from a global atomic counter, which
+//! makes them unique without coordination — exactly the property the
+//! two-phase write protocol needs (data can be written before the version
+//! number exists, §III-D).
+
+use crate::placement::Placer;
+use blobseer_types::config::PlacementPolicy;
+use blobseer_types::{BlockId, Error, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single block allocation: the id to store under and the providers
+/// (dense indices into the deployment's `ProviderSet`) that will hold the
+/// replicas, primary first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockAllocation {
+    /// Globally unique id for the new block.
+    pub block_id: BlockId,
+    /// Replica targets (dense provider indices), primary first.
+    pub providers: Vec<usize>,
+}
+
+/// The provider manager service.
+#[derive(Debug)]
+pub struct ProviderManager {
+    n_providers: usize,
+    placer: Mutex<Placer>,
+    /// Blocks allocated (not necessarily yet stored) per provider; the load
+    /// signal for placement decisions.
+    loads: Mutex<Vec<u64>>,
+    next_block: AtomicU64,
+}
+
+impl ProviderManager {
+    /// Creates a manager over `n_providers` providers with the given policy.
+    pub fn new(n_providers: usize, policy: PlacementPolicy, seed: u64) -> Self {
+        assert!(n_providers > 0, "need at least one data provider");
+        Self {
+            n_providers,
+            placer: Mutex::new(Placer::new(policy, seed)),
+            loads: Mutex::new(vec![0; n_providers]),
+            next_block: AtomicU64::new(1),
+        }
+    }
+
+    /// Number of providers under management.
+    pub fn provider_count(&self) -> usize {
+        self.n_providers
+    }
+
+    /// Allocates ids and replica targets for `n_blocks` new blocks.
+    ///
+    /// Fails when the replication level exceeds the provider count —
+    /// "no data provider available" in the paper's terms.
+    pub fn allocate(&self, n_blocks: usize, replication: usize) -> Result<Vec<BlockAllocation>> {
+        if replication > self.n_providers {
+            return Err(Error::NoProviderAvailable(format!(
+                "replication {replication} exceeds provider count {}",
+                self.n_providers
+            )));
+        }
+        let mut placer = self.placer.lock();
+        let mut loads = self.loads.lock();
+        let mut out = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let providers = placer.pick_replicas(&loads, replication);
+            for &p in &providers {
+                loads[p] += 1;
+            }
+            let block_id = BlockId::new(self.next_block.fetch_add(1, Ordering::Relaxed));
+            out.push(BlockAllocation { block_id, providers });
+        }
+        Ok(out)
+    }
+
+    /// Releases load accounting for collected blocks (one unit per replica).
+    pub fn release(&self, provider: usize) {
+        let mut loads = self.loads.lock();
+        if let Some(l) = loads.get_mut(provider) {
+            *l = l.saturating_sub(1);
+        }
+    }
+
+    /// Copy of the current load vector (blocks allocated per provider).
+    pub fn load_vector(&self) -> Vec<u64> {
+        self.loads.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_unique_and_balanced() {
+        let pm = ProviderManager::new(4, PlacementPolicy::RoundRobin, 0);
+        let allocs = pm.allocate(8, 1).unwrap();
+        assert_eq!(allocs.len(), 8);
+        let mut ids: Vec<u64> = allocs.iter().map(|a| a.block_id.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "block ids must be unique");
+        assert_eq!(pm.load_vector(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn replication_fans_out() {
+        let pm = ProviderManager::new(5, PlacementPolicy::RoundRobin, 0);
+        let allocs = pm.allocate(1, 3).unwrap();
+        assert_eq!(allocs[0].providers.len(), 3);
+        let total: u64 = pm.load_vector().iter().sum();
+        assert_eq!(total, 3, "each replica counts toward load");
+    }
+
+    #[test]
+    fn over_replication_is_an_error() {
+        let pm = ProviderManager::new(2, PlacementPolicy::RoundRobin, 0);
+        let err = pm.allocate(1, 3).unwrap_err();
+        assert!(matches!(err, Error::NoProviderAvailable(_)), "{err}");
+    }
+
+    #[test]
+    fn release_decrements_load() {
+        let pm = ProviderManager::new(2, PlacementPolicy::RoundRobin, 0);
+        pm.allocate(4, 1).unwrap();
+        pm.release(0);
+        assert_eq!(pm.load_vector(), vec![1, 2]);
+        pm.release(0);
+        pm.release(0); // saturates at zero
+        assert_eq!(pm.load_vector(), vec![0, 2]);
+    }
+
+    #[test]
+    fn concurrent_allocation_stays_unique() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let pm = Arc::new(ProviderManager::new(8, PlacementPolicy::RoundRobin, 0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let pm = Arc::clone(&pm);
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for _ in 0..50 {
+                        for a in pm.allocate(2, 1).unwrap() {
+                            ids.push(a.block_id.raw());
+                        }
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "duplicate block id {id}");
+            }
+        }
+        assert_eq!(all.len(), 8 * 50 * 2);
+        let total: u64 = pm.load_vector().iter().sum();
+        assert_eq!(total, 800);
+    }
+}

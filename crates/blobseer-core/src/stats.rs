@@ -1,0 +1,99 @@
+//! Engine-wide counters.
+//!
+//! All counters are relaxed atomics: they are monitoring data, never used
+//! for synchronization. The experiment drivers read them to report e.g. the
+//! number of metadata RPCs a write generates, and the load-balance figures
+//! read per-provider block counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global counters for one BlobSeer deployment.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Data blocks stored on providers (each replica counts once).
+    pub blocks_written: AtomicU64,
+    /// Payload bytes stored on providers (each replica counts once).
+    pub bytes_written: AtomicU64,
+    /// Payload bytes served by providers to readers.
+    pub bytes_read: AtomicU64,
+    /// Metadata tree nodes written to the DHT (each replica counts once).
+    pub meta_nodes_written: AtomicU64,
+    /// Metadata tree node lookups served by the DHT.
+    pub meta_nodes_read: AtomicU64,
+    /// Version assignments performed by the version manager.
+    pub versions_assigned: AtomicU64,
+    /// Writes that were aborted and repaired.
+    pub writes_aborted: AtomicU64,
+    /// Tree nodes deleted by the garbage collector.
+    pub meta_nodes_collected: AtomicU64,
+    /// Data blocks deleted by the garbage collector.
+    pub blocks_collected: AtomicU64,
+}
+
+impl EngineStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters as plain integers, for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            blocks_written: g(&self.blocks_written),
+            bytes_written: g(&self.bytes_written),
+            bytes_read: g(&self.bytes_read),
+            meta_nodes_written: g(&self.meta_nodes_written),
+            meta_nodes_read: g(&self.meta_nodes_read),
+            versions_assigned: g(&self.versions_assigned),
+            writes_aborted: g(&self.writes_aborted),
+            meta_nodes_collected: g(&self.meta_nodes_collected),
+            blocks_collected: g(&self.blocks_collected),
+        }
+    }
+}
+
+/// A point-in-time copy of [`EngineStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub blocks_written: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub meta_nodes_written: u64,
+    pub meta_nodes_read: u64,
+    pub versions_assigned: u64,
+    pub writes_aborted: u64,
+    pub meta_nodes_collected: u64,
+    pub blocks_collected: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = EngineStats::new();
+        EngineStats::add(&s.blocks_written, 3);
+        EngineStats::add(&s.blocks_written, 2);
+        EngineStats::add(&s.bytes_read, 10);
+        let snap = s.snapshot();
+        assert_eq!(snap.blocks_written, 5);
+        assert_eq!(snap.bytes_read, 10);
+        assert_eq!(snap.versions_assigned, 0);
+    }
+
+    #[test]
+    fn snapshot_is_detached() {
+        let s = EngineStats::new();
+        let before = s.snapshot();
+        EngineStats::add(&s.meta_nodes_written, 1);
+        assert_eq!(before.meta_nodes_written, 0);
+        assert_eq!(s.snapshot().meta_nodes_written, 1);
+    }
+}

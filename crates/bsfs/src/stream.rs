@@ -1,0 +1,319 @@
+//! BSFS streams: the client-side caching layer of §IV-B.
+//!
+//! "Hadoop manipulates data sequentially in small chunks of a few KB
+//! (usually, 4 KB) at a time. … We implemented a similar caching mechanism
+//! in BSFS. It prefetches a whole block when the requested data is not
+//! already cached, and delays committing writes until a whole block has
+//! been filled in the cache."
+//!
+//! The read stream pins the snapshot version at open time: readers enjoy
+//! BlobSeer's snapshot isolation and never observe concurrent writers.
+
+use blobseer_core::BlobClient;
+use blobseer_types::{BlobId, Error, Result, Version};
+use bytes::{Bytes, BytesMut};
+use dfs::api::{DfsInput, DfsOutput};
+use std::time::Duration;
+
+/// How long `close()` waits for the final append's snapshot to be revealed.
+const CLOSE_REVEAL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A buffered, seekable reader over one file snapshot.
+pub struct BsfsInput {
+    client: BlobClient,
+    blob: BlobId,
+    version: Version,
+    size: u64,
+    pos: u64,
+    /// Cached whole block: (block index, payload).
+    cache: Option<(u64, Bytes)>,
+    block_size: u64,
+    /// Whole-block fetches issued (prefetch effectiveness metric).
+    fetches: u64,
+}
+
+impl BsfsInput {
+    /// Opens the latest revealed snapshot of `blob`.
+    pub fn open(client: BlobClient, blob: BlobId) -> Result<Self> {
+        let (version, size) = client.latest(blob)?;
+        Ok(Self::open_version(client, blob, version, size))
+    }
+
+    /// Opens a pinned snapshot (version-aware readers, §VI-A).
+    pub fn open_version(client: BlobClient, blob: BlobId, version: Version, size: u64) -> Self {
+        let block_size = client.system().config().block_size;
+        Self {
+            client,
+            blob,
+            version,
+            size,
+            pos: 0,
+            cache: None,
+            block_size,
+            fetches: 0,
+        }
+    }
+
+    /// The snapshot version this stream reads.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Whole-block fetches issued so far.
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches
+    }
+
+    fn fill_cache(&mut self, block: u64) -> Result<()> {
+        let start = block * self.block_size;
+        let len = self.block_size.min(self.size - start);
+        let data = self.client.read(self.blob, Some(self.version), start, len)?;
+        self.fetches += 1;
+        self.cache = Some((block, data));
+        Ok(())
+    }
+}
+
+impl DfsInput for BsfsInput {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.pos >= self.size || buf.is_empty() {
+            return Ok(0);
+        }
+        let block = self.pos / self.block_size;
+        let hit = matches!(self.cache, Some((b, _)) if b == block);
+        if !hit {
+            self.fill_cache(block)?;
+        }
+        let (_, data) = self.cache.as_ref().expect("just filled");
+        let in_block = (self.pos % self.block_size) as usize;
+        let n = buf.len().min(data.len() - in_block);
+        buf[..n].copy_from_slice(&data[in_block..in_block + n]);
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn seek(&mut self, pos: u64) -> Result<()> {
+        if pos > self.size {
+            return Err(Error::OutOfBounds { requested_end: pos, snapshot_size: self.size });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    fn len(&self) -> u64 {
+        self.size
+    }
+}
+
+/// A buffered writer that appends whole blocks to the file's BLOB.
+pub struct BsfsOutput {
+    client: BlobClient,
+    blob: BlobId,
+    buf: BytesMut,
+    block_size: usize,
+    written: u64,
+    last_version: Option<Version>,
+    closed: bool,
+    /// Appends issued to BlobSeer (write-behind effectiveness metric).
+    flushes: u64,
+}
+
+impl BsfsOutput {
+    /// Opens a write-behind stream appending to `blob`.
+    pub fn new(client: BlobClient, blob: BlobId) -> Self {
+        let block_size = client.system().config().block_size as usize;
+        Self {
+            client,
+            blob,
+            buf: BytesMut::with_capacity(block_size),
+            block_size,
+            written: 0,
+            last_version: None,
+            closed: false,
+            flushes: 0,
+        }
+    }
+
+    /// Appends issued so far.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    fn flush_buf(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let chunk = self.buf.split().freeze();
+        let (_, v) = self.client.append(self.blob, &chunk)?;
+        self.flushes += 1;
+        self.last_version = Some(v);
+        Ok(())
+    }
+}
+
+impl DfsOutput for BsfsOutput {
+    fn write(&mut self, mut data: &[u8]) -> Result<()> {
+        if self.closed {
+            return Err(Error::StreamClosed);
+        }
+        self.written += data.len() as u64;
+        // Fill the block buffer; flush every time it reaches a full block
+        // ("delays committing writes until a whole block has been filled").
+        while !data.is_empty() {
+            let room = self.block_size - self.buf.len();
+            let take = room.min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buf.len() == self.block_size {
+                self.flush_buf()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn pos(&self) -> u64 {
+        self.written
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.flush_buf()?;
+        self.closed = true;
+        // Close-to-open visibility: wait until our last append is revealed,
+        // so a reader opening after close() sees everything we wrote.
+        if let Some(v) = self.last_version {
+            self.client.wait_revealed(self.blob, v, CLOSE_REVEAL_TIMEOUT)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for BsfsOutput {
+    fn drop(&mut self) {
+        // Best-effort flush on drop; errors surface only via explicit close.
+        let _ = self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_core::BlobSeer;
+    use blobseer_types::{BlobSeerConfig, NodeId};
+    use std::sync::Arc;
+
+    fn system() -> Arc<BlobSeer> {
+        BlobSeer::deploy(BlobSeerConfig::small_for_tests().with_block_size(256), 4)
+    }
+
+    #[test]
+    fn small_writes_coalesce_into_block_appends() {
+        let sys = system();
+        let c = sys.client(NodeId::new(0));
+        let blob = c.create();
+        let mut out = BsfsOutput::new(c.clone(), blob);
+        // 100 writes of 10 bytes = 1000 bytes = 3 full blocks + 232 tail.
+        for i in 0..100u8 {
+            out.write(&[i; 10]).unwrap();
+        }
+        assert_eq!(out.flush_count(), 3, "only full blocks flushed during writes");
+        out.close().unwrap();
+        assert_eq!(out.flush_count(), 4, "tail flushed at close");
+        let (v, size) = c.latest(blob).unwrap();
+        assert_eq!(size, 1000);
+        assert_eq!(v.raw(), 4);
+        let data = c.read(blob, None, 0, 1000).unwrap();
+        for i in 0..100usize {
+            assert!(data[i * 10..(i + 1) * 10].iter().all(|&b| b == i as u8));
+        }
+    }
+
+    #[test]
+    fn reader_prefetches_whole_blocks() {
+        let sys = system();
+        let c = sys.client(NodeId::new(0));
+        let blob = c.create();
+        let payload: Vec<u8> = (0..512u32).map(|i| i as u8).collect();
+        c.write(blob, 0, &payload).unwrap();
+        let mut input = BsfsInput::open(c, blob).unwrap();
+        // 64 reads of 4 bytes from block 0: exactly one fetch.
+        let mut buf = [0u8; 4];
+        for i in 0..64usize {
+            input.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf[..], &payload[i * 4..i * 4 + 4]);
+        }
+        assert_eq!(input.fetch_count(), 1, "4 KB-style reads served from cache");
+        // Crossing into block 1 triggers the second fetch.
+        input.read_exact(&mut buf).unwrap();
+        assert_eq!(input.fetch_count(), 2);
+    }
+
+    #[test]
+    fn seek_within_cached_block_keeps_cache() {
+        let sys = system();
+        let c = sys.client(NodeId::new(0));
+        let blob = c.create();
+        c.write(blob, 0, &vec![9u8; 512]).unwrap();
+        let mut input = BsfsInput::open(c, blob).unwrap();
+        let mut buf = [0u8; 8];
+        input.read_exact(&mut buf).unwrap();
+        input.seek(100).unwrap();
+        input.read_exact(&mut buf).unwrap();
+        assert_eq!(input.fetch_count(), 1, "seek within block 0 is a cache hit");
+        input.seek(300).unwrap();
+        input.read_exact(&mut buf).unwrap();
+        assert_eq!(input.fetch_count(), 2);
+    }
+
+    #[test]
+    fn reader_is_snapshot_isolated() {
+        let sys = system();
+        let c = sys.client(NodeId::new(0));
+        let blob = c.create();
+        c.write(blob, 0, &[1u8; 256]).unwrap();
+        let mut input = BsfsInput::open(c.clone(), blob).unwrap();
+        // A concurrent writer overwrites the file.
+        c.write(blob, 0, &[2u8; 256]).unwrap();
+        let mut buf = [0u8; 256];
+        input.read_exact(&mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1), "pinned snapshot sees the old data");
+        // A fresh reader sees the new version.
+        let mut input2 = BsfsInput::open(c, blob).unwrap();
+        input2.read_exact(&mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn write_after_close_fails_and_drop_flushes() {
+        let sys = system();
+        let c = sys.client(NodeId::new(0));
+        let blob = c.create();
+        {
+            let mut out = BsfsOutput::new(c.clone(), blob);
+            out.write(b"dropped but flushed").unwrap();
+            // No explicit close: Drop must flush.
+        }
+        assert_eq!(c.latest(blob).unwrap().1, 19);
+        let mut out = BsfsOutput::new(c, blob);
+        out.close().unwrap();
+        assert!(matches!(out.write(b"x"), Err(Error::StreamClosed)));
+    }
+
+    #[test]
+    fn empty_file_reads_zero() {
+        let sys = system();
+        let c = sys.client(NodeId::new(0));
+        let blob = c.create();
+        let mut input = BsfsInput::open(c, blob).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(input.read(&mut buf).unwrap(), 0);
+        assert_eq!(input.len(), 0);
+        assert!(input.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! `dfs` — the distributed-file-system API shared by BSFS and the HDFS
+//! baseline.
+//!
+//! Hadoop accesses its storage "through a clean, specific Java API …
+//! [exposing] the basic operations of a file system: read, write, append"
+//! (§IV). The paper's whole methodology rests on swapping implementations
+//! behind that API; this crate is the Rust equivalent. The Map/Reduce
+//! engine is written exclusively against [`FileSystem`], so benchmarks and
+//! applications run unmodified on either backend — just like Hadoop jobs
+//! ran "out-of-the-box" on BSFS (§V-B).
+
+pub mod api;
+pub mod conformance;
+pub mod path;
+pub mod util;
+
+pub use api::{DfsInput, DfsOutput, FileStatus, FileSystem, FsBlockLocation};
+pub use path::DfsPath;
+pub use util::{read_fully, write_file, LineReader};

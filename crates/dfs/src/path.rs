@@ -1,0 +1,173 @@
+//! Validated absolute paths for the DFS namespace.
+//!
+//! Both backends expose "a classical hierarchical directory structure"
+//! (§IV-A). Paths are absolute, `/`-separated, with no `.`/`..`/empty
+//! components; trailing slashes normalize away. Keeping validation here
+//! means the namespace managers can index by clean strings.
+
+use blobseer_types::{Error, Result};
+use std::fmt;
+
+/// A validated, normalized absolute path.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DfsPath {
+    // Invariant: "/" or "/seg(/seg)*" with non-empty segments.
+    inner: String,
+}
+
+impl DfsPath {
+    /// The filesystem root.
+    pub fn root() -> Self {
+        Self { inner: "/".to_string() }
+    }
+
+    /// Parses and normalizes `raw`. Errors on relative paths, empty
+    /// components, `.` or `..`.
+    pub fn parse(raw: &str) -> Result<Self> {
+        if !raw.starts_with('/') {
+            return Err(Error::InvalidPath(format!("{raw} (must be absolute)")));
+        }
+        let mut segs = Vec::new();
+        for seg in raw.split('/') {
+            match seg {
+                "" => continue, // leading slash, doubled slash, trailing slash
+                "." | ".." => {
+                    return Err(Error::InvalidPath(format!("{raw} (no relative components)")))
+                }
+                s => segs.push(s),
+            }
+        }
+        if segs.is_empty() {
+            return Ok(Self::root());
+        }
+        Ok(Self { inner: format!("/{}", segs.join("/")) })
+    }
+
+    /// The normalized string form.
+    pub fn as_str(&self) -> &str {
+        &self.inner
+    }
+
+    /// True for the root path.
+    pub fn is_root(&self) -> bool {
+        self.inner == "/"
+    }
+
+    /// The parent directory; `None` for the root.
+    pub fn parent(&self) -> Option<DfsPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.inner.rfind('/') {
+            Some(0) => Some(DfsPath::root()),
+            Some(i) => Some(DfsPath { inner: self.inner[..i].to_string() }),
+            None => unreachable!("absolute path always contains '/'"),
+        }
+    }
+
+    /// The final component; empty string for the root.
+    pub fn name(&self) -> &str {
+        if self.is_root() {
+            ""
+        } else {
+            &self.inner[self.inner.rfind('/').expect("absolute") + 1..]
+        }
+    }
+
+    /// Appends a single child component.
+    pub fn join(&self, child: &str) -> Result<DfsPath> {
+        if child.is_empty() || child.contains('/') {
+            return Err(Error::InvalidPath(format!("invalid child component: {child:?}")));
+        }
+        DfsPath::parse(&format!("{}/{}", self.inner, child))
+    }
+
+    /// Path components from the root down (empty for the root itself).
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.inner.split('/').filter(|s| !s.is_empty())
+    }
+
+    /// True if `self` equals or is a descendant of `ancestor`.
+    pub fn starts_with(&self, ancestor: &DfsPath) -> bool {
+        if ancestor.is_root() {
+            return true;
+        }
+        self.inner == ancestor.inner
+            || self
+                .inner
+                .strip_prefix(&ancestor.inner)
+                .map(|rest| rest.starts_with('/'))
+                .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for DfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.inner)
+    }
+}
+
+impl fmt::Debug for DfsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalizes() {
+        assert_eq!(DfsPath::parse("/a/b").unwrap().as_str(), "/a/b");
+        assert_eq!(DfsPath::parse("/a/b/").unwrap().as_str(), "/a/b");
+        assert_eq!(DfsPath::parse("//a///b").unwrap().as_str(), "/a/b");
+        assert_eq!(DfsPath::parse("/").unwrap().as_str(), "/");
+        assert_eq!(DfsPath::parse("///").unwrap().as_str(), "/");
+    }
+
+    #[test]
+    fn parse_rejects_bad_paths() {
+        for bad in ["", "a/b", "relative", "/a/../b", "/a/./b"] {
+            assert!(DfsPath::parse(bad).is_err(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn parent_and_name() {
+        let p = DfsPath::parse("/a/b/c").unwrap();
+        assert_eq!(p.name(), "c");
+        assert_eq!(p.parent().unwrap().as_str(), "/a/b");
+        assert_eq!(DfsPath::parse("/a").unwrap().parent().unwrap().as_str(), "/");
+        assert!(DfsPath::root().parent().is_none());
+        assert_eq!(DfsPath::root().name(), "");
+    }
+
+    #[test]
+    fn join_children() {
+        let p = DfsPath::parse("/a").unwrap();
+        assert_eq!(p.join("b").unwrap().as_str(), "/a/b");
+        assert_eq!(DfsPath::root().join("x").unwrap().as_str(), "/x");
+        assert!(p.join("").is_err());
+        assert!(p.join("b/c").is_err());
+    }
+
+    #[test]
+    fn components_iterate() {
+        let p = DfsPath::parse("/a/b/c").unwrap();
+        assert_eq!(p.components().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(DfsPath::root().components().count(), 0);
+    }
+
+    #[test]
+    fn ancestry() {
+        let a = DfsPath::parse("/a").unwrap();
+        let ab = DfsPath::parse("/a/b").unwrap();
+        let abc = DfsPath::parse("/a/bc").unwrap();
+        assert!(ab.starts_with(&a));
+        assert!(ab.starts_with(&ab));
+        assert!(!abc.starts_with(&ab), "no false prefix match on /a/b vs /a/bc");
+        assert!(!a.starts_with(&ab));
+        assert!(ab.starts_with(&DfsPath::root()));
+    }
+}

@@ -1,0 +1,199 @@
+//! Convenience helpers over the FileSystem API.
+
+use crate::api::{DfsInput, FileSystem};
+use blobseer_types::Result;
+
+/// Reads an entire file into memory.
+pub fn read_fully(fs: &dyn FileSystem, path: &str) -> Result<Vec<u8>> {
+    let mut input = fs.open(path)?;
+    let mut out = vec![0u8; input.len() as usize];
+    input.read_exact(&mut out)?;
+    Ok(out)
+}
+
+/// Creates (overwriting) a file with the given contents.
+pub fn write_file(fs: &dyn FileSystem, path: &str, data: &[u8]) -> Result<()> {
+    let mut out = fs.create(path, true)?;
+    out.write(data)?;
+    out.close()
+}
+
+/// An iterator over `\n`-terminated lines of a [`DfsInput`], reading the
+/// underlying stream in small records the way Hadoop's text input format
+/// does ("Hadoop manipulates data sequentially in small chunks of a few KB
+/// … at a time", §IV-B). The stream's own block cache absorbs the small
+/// reads.
+pub struct LineReader<I> {
+    input: I,
+    buf: Vec<u8>,
+    buf_pos: usize,
+    buf_len: usize,
+    chunk: usize,
+    /// Byte offset within the file where the *next* line starts.
+    next_line_offset: u64,
+    done: bool,
+}
+
+impl<I: DfsInput> LineReader<I> {
+    /// Wraps `input`, issuing reads of `chunk` bytes (Hadoop uses 4 KB).
+    pub fn with_chunk_size(input: I, chunk: usize) -> Self {
+        assert!(chunk > 0);
+        Self {
+            next_line_offset: input.pos(),
+            input,
+            buf: vec![0; chunk],
+            buf_pos: 0,
+            buf_len: 0,
+            chunk,
+            done: false,
+        }
+    }
+
+    /// Wraps `input` with the conventional 4 KB record read size.
+    pub fn new(input: I) -> Self {
+        Self::with_chunk_size(input, 4 * 1024)
+    }
+
+    /// Offset within the file at which the next returned line starts.
+    pub fn next_offset(&self) -> u64 {
+        self.next_line_offset
+    }
+
+    /// Reads the next line (without the trailing `\n`) into `line`.
+    /// Returns `false` at end of stream. The final line needs no trailing
+    /// newline.
+    pub fn read_line(&mut self, line: &mut Vec<u8>) -> Result<bool> {
+        line.clear();
+        if self.done {
+            return Ok(false);
+        }
+        loop {
+            if self.buf_pos == self.buf_len {
+                self.buf_len = self.input.read(&mut self.buf[..self.chunk])?;
+                self.buf_pos = 0;
+                if self.buf_len == 0 {
+                    self.done = true;
+                    let produced = !line.is_empty();
+                    if produced {
+                        self.next_line_offset += line.len() as u64;
+                    }
+                    return Ok(produced);
+                }
+            }
+            let rest = &self.buf[self.buf_pos..self.buf_len];
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&rest[..i]);
+                    self.buf_pos += i + 1;
+                    self.next_line_offset += line.len() as u64 + 1;
+                    return Ok(true);
+                }
+                None => {
+                    line.extend_from_slice(rest);
+                    self.buf_pos = self.buf_len;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer_types::{Error, Result};
+
+    /// A trivial in-memory DfsInput for testing the helpers.
+    struct MemInput {
+        data: Vec<u8>,
+        pos: u64,
+    }
+
+    impl DfsInput for MemInput {
+        fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+            let rest = &self.data[self.pos as usize..];
+            let n = rest.len().min(buf.len());
+            buf[..n].copy_from_slice(&rest[..n]);
+            self.pos += n as u64;
+            Ok(n)
+        }
+        fn seek(&mut self, pos: u64) -> Result<()> {
+            if pos > self.data.len() as u64 {
+                return Err(Error::OutOfBounds {
+                    requested_end: pos,
+                    snapshot_size: self.data.len() as u64,
+                });
+            }
+            self.pos = pos;
+            Ok(())
+        }
+        fn pos(&self) -> u64 {
+            self.pos
+        }
+        fn len(&self) -> u64 {
+            self.data.len() as u64
+        }
+    }
+
+    fn mem(data: &[u8]) -> MemInput {
+        MemInput { data: data.to_vec(), pos: 0 }
+    }
+
+    #[test]
+    fn lines_split_on_newline() {
+        let mut r = LineReader::with_chunk_size(mem(b"alpha\nbeta\ngamma\n"), 4);
+        let mut line = Vec::new();
+        let mut seen = Vec::new();
+        while r.read_line(&mut line).unwrap() {
+            seen.push(String::from_utf8(line.clone()).unwrap());
+        }
+        assert_eq!(seen, vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn final_line_without_newline() {
+        let mut r = LineReader::with_chunk_size(mem(b"one\ntwo"), 3);
+        let mut line = Vec::new();
+        assert!(r.read_line(&mut line).unwrap());
+        assert_eq!(line, b"one");
+        assert!(r.read_line(&mut line).unwrap());
+        assert_eq!(line, b"two");
+        assert!(!r.read_line(&mut line).unwrap());
+        assert!(!r.read_line(&mut line).unwrap(), "stays done");
+    }
+
+    #[test]
+    fn empty_lines_and_empty_stream() {
+        let mut r = LineReader::new(mem(b"\n\nx\n"));
+        let mut line = Vec::new();
+        assert!(r.read_line(&mut line).unwrap());
+        assert!(line.is_empty());
+        assert!(r.read_line(&mut line).unwrap());
+        assert!(line.is_empty());
+        assert!(r.read_line(&mut line).unwrap());
+        assert_eq!(line, b"x");
+        assert!(!r.read_line(&mut line).unwrap());
+
+        let mut r = LineReader::new(mem(b""));
+        assert!(!r.read_line(&mut line).unwrap());
+    }
+
+    #[test]
+    fn next_offset_tracks_line_starts() {
+        let mut r = LineReader::with_chunk_size(mem(b"ab\ncdef\ng"), 2);
+        let mut line = Vec::new();
+        assert_eq!(r.next_offset(), 0);
+        r.read_line(&mut line).unwrap();
+        assert_eq!(r.next_offset(), 3);
+        r.read_line(&mut line).unwrap();
+        assert_eq!(r.next_offset(), 8);
+        r.read_line(&mut line).unwrap();
+        assert_eq!(r.next_offset(), 9);
+    }
+
+    #[test]
+    fn read_exact_past_end_errors() {
+        let mut input = mem(b"abc");
+        let mut buf = [0u8; 4];
+        assert!(input.read_exact(&mut buf).is_err());
+    }
+}

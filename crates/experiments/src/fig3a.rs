@@ -1,0 +1,238 @@
+//! Fig. 3(a): throughput of a single remote writer as the file grows from
+//! 1 to 16 GB (§V-D).
+//!
+//! The model executes the two write protocols block by block on the
+//! discrete-event simulator:
+//!
+//! * **BSFS** — per 64 MB append: client-side cache flush cost → provider
+//!   manager RPC → bulk flow to the round-robin provider (streamed to its
+//!   disk) → version-manager assignment (queued, O(1)) → parallel tree-node
+//!   puts to the metadata DHT (node count from the *real* segment-tree
+//!   arithmetic in `blobseer_core::meta::shape`) → commit. Every provider
+//!   sees at most a couple of blocks, so disks never queue: the curve is
+//!   flat.
+//! * **HDFS** — per 64 MB chunk: pipeline overhead → namenode allocation,
+//!   whose cost *grows with the file's chunk count* (0.20's OP_ADD rewrote
+//!   the file's entire block list into the synchronously-fsynced edit log
+//!   on every allocation) → bulk flow to the sticky-random datanode →
+//!   finalize. The O(chunks) namenode term bends the curve downward as the
+//!   file grows — the decline the paper attributes to HDFS's weaker
+//!   write path.
+
+use crate::constants::Constants;
+use crate::fig3b::policy_for;
+use crate::report::{Figure, Series};
+use crate::topology::{Backend, Services};
+use blobseer_core::meta::key::BlockRange;
+use blobseer_core::meta::log::LogEntry;
+use blobseer_core::meta::shape;
+use blobseer_core::placement::Placer;
+use blobseer_types::{NodeId, Version};
+use simnet::{start_flow, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration, SimTime};
+
+#[derive(Clone, Copy)]
+struct Tok {
+    started: SimTime,
+    provider: usize,
+}
+
+struct World {
+    net: FlowNet<Tok>,
+    disks: Vec<simnet::Disk>,
+    c: Constants,
+    backend: Backend,
+    services: Services,
+    targets: Vec<usize>,
+    n_blocks: usize,
+    next_block: usize,
+    client_node: NodeId,
+    /// Running tree capacity in blocks (BSFS metadata arithmetic).
+    cap: u64,
+    finished: Option<SimTime>,
+}
+
+impl NetWorld for World {
+    type Token = Tok;
+    fn net_mut(&mut self) -> &mut FlowNet<Tok> {
+        &mut self.net
+    }
+    fn on_flow_complete(&mut self, sched: &mut Scheduler<Self>, tok: Tok) {
+        // Stream hit the provider: its disk has been absorbing it since the
+        // flow started; the ack returns when both network and disk are done.
+        let disk_done = self.disks[tok.provider].submit(tok.started, self.c.block_bytes);
+        let ack = disk_done.max(sched.now()) + self.c.provider_svc;
+        sched.schedule_at(ack, |w: &mut World, s| w.after_data(s));
+    }
+}
+
+impl World {
+    fn new(c: Constants, backend: Backend, n_blocks: usize, seed: u64) -> Self {
+        let providers = backend.microbench_storage_nodes();
+        // Nodes: 0..P providers, node P = the (dedicated, non-colocated)
+        // client (§V-D: "we chose to always deploy clients on nodes where
+        // no datanode has previously been deployed").
+        let net = FlowNet::new(providers + 1, NicSpec::symmetric(c.nic_bps));
+        let disks = (0..providers).map(|_| simnet::Disk::new(c.disk_write_bps)).collect();
+        let mut placer = Placer::new(policy_for(&c, backend), seed);
+        let loads = vec![0u64; providers];
+        let targets = (0..n_blocks).map(|_| placer.pick(&loads, &[])).collect();
+        let meta_shards = if backend == Backend::Bsfs { c.meta_shards } else { 0 };
+        let services = Services::new(&c, backend, meta_shards);
+        Self {
+            net,
+            disks,
+            c,
+            backend,
+            services,
+            targets,
+            n_blocks,
+            next_block: 0,
+            client_node: NodeId::new(providers as u64),
+            cap: 0,
+            finished: None,
+        }
+    }
+
+    /// Starts the next block's cycle: client overhead + allocation RPC,
+    /// then the bulk transfer.
+    fn start_block(&mut self, sched: &mut Scheduler<Self>) {
+        if self.next_block == self.n_blocks {
+            self.finished = Some(sched.now());
+            return;
+        }
+        let now = sched.now();
+        let k = self.next_block as u64;
+        let flow_at = match self.backend {
+            Backend::Bsfs => {
+                // Cache flush cost, then the provider-manager RPC.
+                now + self.c.bsfs_block_overhead + self.c.rtt()
+            }
+            Backend::Hdfs => {
+                // Pipeline overhead, then the namenode block allocation:
+                // base + edit-log fsync + O(chunk-count) block-list rewrite.
+                let svc = self.c.nn_svc
+                    + self.c.nn_editlog_fsync
+                    + SimDuration::from_nanos(self.c.nn_blocklist_per_chunk.as_nanos() * k);
+                let t = now + self.c.hdfs_chunk_overhead;
+                self.services.central_call(t, svc, self.c.latency)
+            }
+        };
+        sched.schedule_at(flow_at, |w: &mut World, s| {
+            let provider = w.targets[w.next_block];
+            let tok = Tok { started: s.now(), provider };
+            start_flow(w, s, w.client_node, NodeId::new(provider as u64), w.c.block_bytes, tok);
+        });
+    }
+
+    /// Data phase done; run the metadata phase (BSFS) or finish the chunk
+    /// (HDFS, whose namenode was charged up front).
+    fn after_data(&mut self, sched: &mut Scheduler<Self>) {
+        let now = sched.now();
+        let done_at = match self.backend {
+            Backend::Hdfs => now,
+            Backend::Bsfs => {
+                // Version assignment (serialized, O(1))...
+                let assigned = self.services.central_call(now, self.c.vm_assign_svc, self.c.latency);
+                // ...then the tree-node puts, counted by the real segment
+                // tree arithmetic, in parallel across the DHT...
+                let k = self.next_block as u64;
+                let cap_before = self.cap;
+                let cap_after = (k + 1).next_power_of_two();
+                self.cap = cap_after;
+                let entry = LogEntry {
+                    version: Version::new(k + 1),
+                    blocks: BlockRange::new(k, k + 1),
+                    cap_before,
+                    cap_after,
+                    size_after: (k + 1) * self.c.block_bytes,
+                };
+                let puts_done =
+                    self.services
+                        .meta_parallel(assigned, shape::nodes_created(&entry), self.c.latency);
+                // ...then the commit notification.
+                puts_done + self.c.rtt()
+            }
+        };
+        self.next_block += 1;
+        sched.schedule_at(done_at, |w: &mut World, s| w.start_block(s));
+    }
+}
+
+/// Simulates one single-writer run; returns throughput in MB/s.
+pub fn throughput_mbps(c: &Constants, backend: Backend, n_blocks: usize, seed: u64) -> f64 {
+    let mut sim = Sim::new(World::new(c.clone(), backend, n_blocks, seed));
+    sim.schedule_in(SimDuration::ZERO, |w: &mut World, s| w.start_block(s));
+    let end = sim.run_until_idle();
+    assert!(sim.world.finished.is_some(), "writer did not finish");
+    let bytes = n_blocks as f64 * c.block_bytes as f64;
+    bytes / (1024.0 * 1024.0) / end.as_secs_f64()
+}
+
+/// Reproduces Fig. 3(a): write throughput vs file size (GB), averaged over
+/// the paper's 5 repetitions.
+pub fn run(c: &Constants, sizes_gb: &[f64]) -> Figure {
+    let mut fig = Figure::new(
+        "Fig. 3(a)",
+        "Single writer, single file: write throughput vs file size",
+        "file size (GB)",
+        "throughput (MB/s)",
+    );
+    for backend in [Backend::Hdfs, Backend::Bsfs] {
+        let mut series = Series::new(backend.label());
+        for &gb in sizes_gb {
+            let n_blocks = ((gb * 1024.0 * 1024.0 * 1024.0) / c.block_bytes as f64).round() as usize;
+            let mean = (0..crate::fig3b::REPETITIONS)
+                .map(|rep| throughput_mbps(c, backend, n_blocks, 0xF163A + rep))
+                .sum::<f64>()
+                / crate::fig3b::REPETITIONS as f64;
+            series.push(gb, mean);
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+/// The paper's x grid: 1 → 16 GB.
+pub fn paper_sizes() -> Vec<f64> {
+    vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsfs_is_faster_and_flat() {
+        let c = Constants::default();
+        let fig = run(&c, &[1.0, 8.0, 16.0]);
+        let hdfs = &fig.series[0];
+        let bsfs = &fig.series[1];
+        for (&(x, h), &(_, b)) in hdfs.points.iter().zip(&bsfs.points) {
+            assert!(b > h * 1.3, "BSFS should lead clearly at {x} GB: bsfs={b:.1} hdfs={h:.1}");
+        }
+        // BSFS sustains its throughput as the file grows (±10%).
+        let (b1, b16) = (bsfs.y_at(1.0).unwrap(), bsfs.y_at(16.0).unwrap());
+        assert!((b16 - b1).abs() / b1 < 0.10, "BSFS flat: {b1:.1} → {b16:.1}");
+        // HDFS declines with file size.
+        let (h1, h16) = (hdfs.y_at(1.0).unwrap(), hdfs.y_at(16.0).unwrap());
+        assert!(h16 < h1 * 0.93, "HDFS declines: {h1:.1} → {h16:.1}");
+    }
+
+    #[test]
+    fn absolute_levels_are_in_the_paper_band() {
+        // Paper: BSFS ≈ 60–70 MB/s; HDFS ≈ 35–47 MB/s.
+        let c = Constants::default();
+        let bsfs = throughput_mbps(&c, Backend::Bsfs, 128, 1);
+        let hdfs = throughput_mbps(&c, Backend::Hdfs, 128, 1);
+        assert!((55.0..75.0).contains(&bsfs), "BSFS at 8 GB: {bsfs:.1}");
+        assert!((33.0..50.0).contains(&hdfs), "HDFS at 8 GB: {hdfs:.1}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = Constants::default();
+        let a = throughput_mbps(&c, Backend::Hdfs, 32, 9);
+        let b = throughput_mbps(&c, Backend::Hdfs, 32, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 3(b): load-balancing quality of the block placement, measured as
+//! the Manhattan distance between the data-layout vector and a perfectly
+//! balanced layout (§V-D).
+//!
+//! This experiment is policy-level: it runs the *same placement code* the
+//! live engines use (`blobseer_core::placement`) at the paper's scale —
+//! 1→16 GB files striped in 64 MB blocks over 247 providers (BSFS) or
+//! 269 datanodes (HDFS) — and averages 5 repetitions like the paper.
+
+use crate::constants::Constants;
+use crate::report::{Figure, Series};
+use crate::topology::Backend;
+use blobseer_core::placement::{manhattan_unbalance, Placer};
+use blobseer_types::config::PlacementPolicy;
+
+/// Repetitions per point ("these steps are repeated 5 times", §V-C).
+pub const REPETITIONS: u64 = 5;
+
+/// Unbalance of one placement run.
+pub fn unbalance_of(policy: PlacementPolicy, n_blocks: u64, n_providers: usize, seed: u64) -> f64 {
+    let mut placer = Placer::new(policy, seed);
+    let mut loads = vec![0u64; n_providers];
+    for _ in 0..n_blocks {
+        let i = placer.pick(&loads, &[]);
+        loads[i] += 1;
+    }
+    manhattan_unbalance(&loads)
+}
+
+/// Mean unbalance over the standard repetitions.
+pub fn mean_unbalance(policy: PlacementPolicy, n_blocks: u64, n_providers: usize) -> f64 {
+    (0..REPETITIONS)
+        .map(|rep| unbalance_of(policy, n_blocks, n_providers, 0xF163B + rep))
+        .sum::<f64>()
+        / REPETITIONS as f64
+}
+
+/// The policy each backend uses for a remote writer.
+pub fn policy_for(c: &Constants, backend: Backend) -> PlacementPolicy {
+    match backend {
+        Backend::Bsfs => PlacementPolicy::RoundRobin,
+        Backend::Hdfs => PlacementPolicy::StickyRandom { stickiness: c.hdfs_stickiness },
+    }
+}
+
+/// Reproduces Fig. 3(b): unbalance vs file size (GB).
+pub fn run(c: &Constants, sizes_gb: &[f64]) -> Figure {
+    let mut fig = Figure::new(
+        "Fig. 3(b)",
+        "Load-balancing evaluation (single writer)",
+        "file size (GB)",
+        "degree of unbalance (Manhattan)",
+    );
+    for backend in [Backend::Hdfs, Backend::Bsfs] {
+        let providers = backend.microbench_storage_nodes();
+        let mut series = Series::new(backend.label());
+        for &gb in sizes_gb {
+            let n_blocks = ((gb * 1024.0 * 1024.0 * 1024.0) / c.block_bytes as f64).round() as u64;
+            series.push(gb, mean_unbalance(policy_for(c, backend), n_blocks, providers));
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+/// The standard x grid of the figure: 1 → 16 GB.
+pub fn paper_sizes() -> Vec<f64> {
+    (1..=16).map(|g| g as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdfs_unbalance_dominates_bsfs_and_grows() {
+        // At small sizes both policies sit near the metric's floor (with
+        // b ≪ n blocks even a perfect placement has Manhattan distance
+        // 2·b·(1−b/n) to the fractional ideal); the curves separate as the
+        // file grows — exactly the divergence Fig. 3(b) plots.
+        let c = Constants::default();
+        let fig = run(&c, &[2.0, 8.0, 16.0]);
+        let hdfs = &fig.series[0];
+        let bsfs = &fig.series[1];
+        assert!(hdfs.y_at(8.0).unwrap() > 1.5 * bsfs.y_at(8.0).unwrap());
+        assert!(hdfs.y_at(16.0).unwrap() > 5.0 * bsfs.y_at(16.0).unwrap());
+        // HDFS unbalance grows with file size (Fig. 3(b)'s rising curve);
+        // BSFS stays near the floor everywhere.
+        assert!(hdfs.y_at(16.0).unwrap() > hdfs.y_at(2.0).unwrap() * 2.0);
+        let floor = |blocks: f64, n: f64| 2.0 * blocks * (1.0 - blocks / n);
+        let b8 = bsfs.y_at(8.0).unwrap();
+        assert!(b8 <= floor(128.0, 247.0) + 1e-6, "BSFS at floor: {b8}");
+    }
+
+    #[test]
+    fn bsfs_round_robin_is_nearly_ideal() {
+        let c = Constants::default();
+        // 16 GB = 256 blocks over 247 providers: 9 providers hold 2 blocks,
+        // the rest 1 → tiny fractional unbalance only.
+        let u = mean_unbalance(policy_for(&c, Backend::Bsfs), 256, 247);
+        let ideal = 256.0 / 247.0;
+        let expected = 9.0 * (2.0 - ideal) + 238.0 * (ideal - 1.0);
+        assert!((u - expected).abs() < 1e-6, "u={u} expected={expected}");
+    }
+
+    #[test]
+    fn magnitudes_match_the_paper_at_16gb() {
+        // Paper: HDFS ≈ 450 (and growing), BSFS ≈ 50 at 16 GB.
+        let c = Constants::default();
+        let fig = run(&c, &[16.0]);
+        let hdfs = fig.series[0].y_at(16.0).unwrap();
+        let bsfs = fig.series[1].y_at(16.0).unwrap();
+        assert!((300.0..600.0).contains(&hdfs), "HDFS at 16 GB: {hdfs}");
+        assert!(bsfs < 60.0, "BSFS at 16 GB: {bsfs}");
+    }
+
+    #[test]
+    fn repetitions_are_deterministic() {
+        let c = Constants::default();
+        let a = run(&c, &[4.0]).series[0].y_at(4.0).unwrap();
+        let b = run(&c, &[4.0]).series[0].y_at(4.0).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,490 @@
+//! Fig. 6: Map/Reduce application benchmarks (§V-G).
+//!
+//! * **Fig. 6(a) — RandomTextWriter**: M mappers (co-deployed with storage
+//!   on 50 nodes) each generate `6.4 GB / M` of random text and write it to
+//!   their own output file. Writes are the measured path: HDFS writes
+//!   locally (its co-located policy) but pays the 0.20 chunk pipeline and
+//!   the namenode's synchronously-fsynced, O(block-list) edit log — which
+//!   *all mappers share*; BSFS streams blocks to round-robin remote
+//!   providers, overlapping disks across the cluster, and its version
+//!   manager does O(1) work per append.
+//! * **Fig. 6(b) — distributed grep**: a shared input file of 6.4→12.8 GB
+//!   (100→200 chunks) is scanned by one mapper per chunk on 150
+//!   co-deployed nodes. The jobtracker assigns tasks on 3-second
+//!   heartbeats, preferring data-local tasks. BSFS's balanced layout makes
+//!   nearly every map local; HDFS's sticky layout concentrates chunks on
+//!   hot datanodes whose disks and NICs become stragglers served remotely.
+//!
+//! Completion time = storage/compute makespan + fixed job overhead (setup
+//! and cleanup tasks) + (grep only) the small reduce phase.
+
+use crate::constants::Constants;
+use crate::fig3b::policy_for;
+use crate::report::{Figure, Series};
+use crate::topology::{Backend, Services};
+use blobseer_core::meta::key::BlockRange;
+use blobseer_core::meta::log::LogEntry;
+use blobseer_core::meta::shape;
+use blobseer_core::placement::Placer;
+use blobseer_types::{NodeId, Version};
+use simnet::{start_flow, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration, SimTime};
+
+/// Nodes in the RandomTextWriter deployment (§V-G: 50 machines).
+pub const RTW_NODES: usize = 50;
+/// Nodes in the grep deployment (§V-G: 150 machines).
+pub const GREP_NODES: usize = 150;
+/// Map slots per tasktracker (Hadoop default).
+const SLOTS: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// Fig. 6(a): RandomTextWriter
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct WTok {
+    mapper: usize,
+    provider: usize,
+    started: SimTime,
+}
+
+struct RtwWorld {
+    net: FlowNet<WTok>,
+    disks: Vec<simnet::Disk>,
+    c: Constants,
+    backend: Backend,
+    services: Services,
+    chunks_per_mapper: usize,
+    /// Chunks written so far, per mapper.
+    progress: Vec<usize>,
+    /// Global round-robin provider cursor (BSFS placement).
+    rr: usize,
+    /// Versions assigned so far per output BLOB == chunk index (BSFS).
+    done_at: Vec<Option<SimTime>>,
+}
+
+impl NetWorld for RtwWorld {
+    type Token = WTok;
+    fn net_mut(&mut self) -> &mut FlowNet<WTok> {
+        &mut self.net
+    }
+    fn on_flow_complete(&mut self, sched: &mut Scheduler<Self>, tok: WTok) {
+        let disk_done = self.disks[tok.provider].submit(tok.started, self.c.block_bytes);
+        let ack = disk_done.max(sched.now()) + self.c.provider_svc;
+        sched.schedule_at(ack, move |w: &mut RtwWorld, s| w.bsfs_metadata(s, tok.mapper));
+    }
+}
+
+impl RtwWorld {
+    fn new(c: Constants, backend: Backend, mappers: usize, chunks_per_mapper: usize) -> Self {
+        let meta_shards = if backend == Backend::Bsfs { 10 } else { 0 }; // §V-G: 10 for RTW
+        let services = Services::new(&c, backend, meta_shards);
+        Self {
+            net: FlowNet::new(RTW_NODES, NicSpec::symmetric(c.nic_bps)),
+            disks: (0..RTW_NODES).map(|_| simnet::Disk::new(c.disk_write_bps)).collect(),
+            c,
+            backend,
+            services,
+            chunks_per_mapper,
+            progress: vec![0; mappers],
+            rr: 13,
+            done_at: vec![None; mappers],
+        }
+    }
+
+    /// Generate the next chunk's text, then write it.
+    fn next_chunk(&mut self, sched: &mut Scheduler<Self>, mapper: usize) {
+        if self.progress[mapper] == self.chunks_per_mapper {
+            self.done_at[mapper] = Some(sched.now());
+            return;
+        }
+        let gen = SimDuration::from_secs_f64(self.c.block_bytes as f64 / self.c.textgen_bps);
+        sched.schedule_at(sched.now() + gen, move |w: &mut RtwWorld, s| w.write_chunk(s, mapper));
+    }
+
+    fn write_chunk(&mut self, sched: &mut Scheduler<Self>, mapper: usize) {
+        let now = sched.now();
+        let chunk_idx = self.progress[mapper] as u64;
+        match self.backend {
+            Backend::Hdfs => {
+                // Local-first placement: the mapper's own datanode. The
+                // namenode allocation — shared by every mapper — fsyncs an
+                // edit-log record containing the file's whole block list.
+                let svc = self.c.nn_svc
+                    + self.c.nn_editlog_fsync
+                    + SimDuration::from_nanos(self.c.nn_blocklist_per_chunk.as_nanos() * chunk_idx);
+                let allocated = self.services.central_call(now, svc, self.c.latency);
+                let start = allocated + self.c.hdfs_chunk_overhead_local;
+                let disk_done = {
+                    // Delay the disk submission to the (simulated) start
+                    // instant by computing from `start`.
+                    self.disks[mapper].submit(start, self.c.block_bytes)
+                };
+                self.progress[mapper] += 1;
+                sched.schedule_at(disk_done, move |w: &mut RtwWorld, s| w.next_chunk(s, mapper));
+            }
+            Backend::Bsfs => {
+                let at = now + self.c.bsfs_block_overhead + self.c.rtt();
+                sched.schedule_at(at, move |w: &mut RtwWorld, s| {
+                    let provider = w.rr % RTW_NODES;
+                    w.rr += 1;
+                    let tok = WTok { mapper, provider, started: s.now() };
+                    if provider == mapper {
+                        let disk_done = w.disks[provider].submit(s.now(), w.c.block_bytes);
+                        let ack = disk_done + w.c.provider_svc;
+                        s.schedule_at(ack, move |w: &mut RtwWorld, s| w.bsfs_metadata(s, mapper));
+                    } else {
+                        start_flow(
+                            w,
+                            s,
+                            NodeId::new(mapper as u64),
+                            NodeId::new(provider as u64),
+                            w.c.block_bytes,
+                            tok,
+                        );
+                    }
+                });
+            }
+        }
+    }
+
+    /// BSFS metadata phase for the mapper's own output BLOB.
+    fn bsfs_metadata(&mut self, sched: &mut Scheduler<Self>, mapper: usize) {
+        let now = sched.now();
+        let assigned = self.services.central_call(now, self.c.vm_assign_svc, self.c.latency);
+        let k = self.progress[mapper] as u64;
+        let entry = LogEntry {
+            version: Version::new(k + 1),
+            blocks: BlockRange::new(k, k + 1),
+            cap_before: if k == 0 { 0 } else { k.next_power_of_two() },
+            cap_after: (k + 1).next_power_of_two(),
+            size_after: (k + 1) * self.c.block_bytes,
+        };
+        let puts = self
+            .services
+            .meta_parallel(assigned, shape::nodes_created(&entry), self.c.latency);
+        self.progress[mapper] += 1;
+        sched.schedule_at(puts + self.c.rtt(), move |w: &mut RtwWorld, s| {
+            w.next_chunk(s, mapper)
+        });
+    }
+}
+
+/// Simulates one RandomTextWriter job; returns completion time in seconds.
+pub fn rtw_job_secs(c: &Constants, backend: Backend, mappers: usize, total_bytes: u64) -> f64 {
+    assert!((1..=RTW_NODES).contains(&mappers));
+    let chunks_per_mapper =
+        ((total_bytes / mappers as u64) as f64 / c.block_bytes as f64).round().max(1.0) as usize;
+    let mut sim = Sim::new(RtwWorld::new(c.clone(), backend, mappers, chunks_per_mapper));
+    for m in 0..mappers {
+        // Heartbeat-staggered dispatch plus the per-task JVM spawn.
+        let stagger = SimDuration::from_millis((m as u64 * 137) % sim.world.c.heartbeat.as_millis());
+        sim.schedule_in(stagger + c.task_overhead, move |w: &mut RtwWorld, s| {
+            w.next_chunk(s, m)
+        });
+    }
+    sim.run_until_idle();
+    let makespan = sim
+        .world
+        .done_at
+        .iter()
+        .map(|d| d.expect("mapper finished"))
+        .max()
+        .expect("at least one mapper");
+    (makespan + c.job_overhead).as_secs_f64()
+}
+
+/// Reproduces Fig. 6(a): job completion time vs data generated per mapper
+/// (total fixed at 6.4 GB).
+pub fn run_rtw(c: &Constants, mapper_counts: &[usize]) -> Figure {
+    let total: u64 = 6_871_947_674; // 6.4 GB
+    let mut fig = Figure::new(
+        "Fig. 6(a)",
+        "RandomTextWriter: job completion time, 6.4 GB total output",
+        "data per mapper (GB)",
+        "job completion time (s)",
+    );
+    for backend in [Backend::Hdfs, Backend::Bsfs] {
+        let mut series = Series::new(backend.label());
+        let mut points: Vec<(f64, f64)> = mapper_counts
+            .iter()
+            .map(|&m| {
+                let per_mapper_gb = 6.4 / m as f64;
+                (per_mapper_gb, rtw_job_secs(c, backend, m, total))
+            })
+            .collect();
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        series.points = points;
+        fig.series.push(series);
+    }
+    fig
+}
+
+/// The paper's sweep: 50 mappers (128 MB each) → 1 mapper (6.4 GB).
+pub fn rtw_paper_mappers() -> Vec<usize> {
+    vec![50, 25, 10, 5, 2, 1]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6(b): distributed grep
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct GTok {
+    task: usize,
+    host: usize,
+    started: SimTime,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum TaskState {
+    Pending,
+    Running,
+    Done,
+}
+
+struct GrepWorld {
+    net: FlowNet<GTok>,
+    disks: Vec<simnet::Disk>,
+    c: Constants,
+    backend: Backend,
+    services: Services,
+    /// Input-chunk host per task.
+    task_host: Vec<usize>,
+    state: Vec<TaskState>,
+    free_slots: Vec<u8>,
+    /// Which tracker runs each task (for slot release).
+    assigned_to: Vec<usize>,
+    remaining: usize,
+    local_maps: usize,
+    maps_done_at: Option<SimTime>,
+}
+
+impl NetWorld for GrepWorld {
+    type Token = GTok;
+    fn net_mut(&mut self) -> &mut FlowNet<GTok> {
+        &mut self.net
+    }
+    fn on_flow_complete(&mut self, sched: &mut Scheduler<Self>, tok: GTok) {
+        let disk_done = self.disks[tok.host].submit(tok.started, self.c.block_bytes);
+        let data_at = disk_done.max(sched.now());
+        let scan = SimDuration::from_secs_f64(self.c.block_bytes as f64 / self.c.grep_scan_bps);
+        sched.schedule_at(data_at + scan, move |w: &mut GrepWorld, s| {
+            w.finish_task(s, tok.task)
+        });
+    }
+}
+
+impl GrepWorld {
+    fn new(c: Constants, backend: Backend, n_chunks: usize, seed: u64) -> Self {
+        // Input layout: the boot file was written from a non-colocated
+        // client (§V-G), so HDFS spreads sticky-randomly, BSFS round-robin.
+        let mut placer = Placer::new(policy_for(&c, backend), seed);
+        let loads = vec![0u64; GREP_NODES];
+        let task_host: Vec<usize> = match backend {
+            Backend::Bsfs => (0..n_chunks).map(|i| (i + 13) % GREP_NODES).collect(),
+            Backend::Hdfs => (0..n_chunks).map(|_| placer.pick(&loads, &[])).collect(),
+        };
+        let meta_shards = if backend == Backend::Bsfs { c.meta_shards } else { 0 };
+        let services = Services::new(&c, backend, meta_shards);
+        Self {
+            net: FlowNet::new(GREP_NODES, NicSpec::symmetric(c.nic_bps)),
+            disks: (0..GREP_NODES).map(|_| simnet::Disk::new(c.disk_read_bps)).collect(),
+            c,
+            backend,
+            services,
+            state: vec![TaskState::Pending; n_chunks],
+            assigned_to: vec![0; n_chunks],
+            task_host,
+            free_slots: vec![SLOTS; GREP_NODES],
+            remaining: n_chunks,
+            local_maps: 0,
+            maps_done_at: None,
+        }
+    }
+
+    /// One tasktracker heartbeat: 0.20 assigns at most *one* new task per
+    /// tracker per heartbeat, preferring node-local tasks (greedy, no
+    /// delay scheduling).
+    fn heartbeat(&mut self, sched: &mut Scheduler<Self>, tracker: usize) {
+        if self.remaining == 0 {
+            return;
+        }
+        if self.free_slots[tracker] > 0 {
+            let local = (0..self.state.len())
+                .find(|&t| self.state[t] == TaskState::Pending && self.task_host[t] == tracker);
+            let pick = local.or_else(|| {
+                (0..self.state.len()).find(|&t| self.state[t] == TaskState::Pending)
+            });
+            if let Some(task) = pick {
+                self.state[task] = TaskState::Running;
+                self.assigned_to[task] = tracker;
+                self.free_slots[tracker] -= 1;
+                if local.is_some() {
+                    self.local_maps += 1;
+                }
+                self.launch_task(sched, task, tracker);
+            }
+        }
+        let next = sched.now() + self.c.heartbeat;
+        sched.schedule_at(next, move |w: &mut GrepWorld, s| w.heartbeat(s, tracker));
+    }
+
+    fn launch_task(&mut self, sched: &mut Scheduler<Self>, task: usize, tracker: usize) {
+        // JVM spawn + task init, then open: one central query (namenode /
+        // version manager), plus the BSFS tree descent.
+        let now = sched.now() + self.c.task_overhead;
+        let opened = self.services.central_call(now, self.c.nn_svc, self.c.latency);
+        let ready = match self.backend {
+            Backend::Hdfs => opened,
+            Backend::Bsfs => {
+                let cap = (self.task_host.len() as u64).next_power_of_two();
+                let hops = shape::tree_depth(cap) as u64 + 1;
+                self.services.meta_sequential(opened, hops, self.c.latency)
+            }
+        };
+        let host = self.task_host[task];
+        sched.schedule_at(ready, move |w: &mut GrepWorld, s| {
+            let scan = SimDuration::from_secs_f64(w.c.block_bytes as f64 / w.c.grep_scan_bps);
+            if host == tracker {
+                // Local map: read from the node's own disk.
+                let disk_done = w.disks[host].submit(s.now(), w.c.block_bytes);
+                s.schedule_at(disk_done + scan, move |w: &mut GrepWorld, s| {
+                    w.finish_task(s, task)
+                });
+            } else {
+                // Remote map: pull the chunk over the network.
+                let tok = GTok { task, host, started: s.now() };
+                start_flow(w, s, NodeId::new(host as u64), NodeId::new(tracker as u64), w.c.block_bytes, tok);
+            }
+        });
+    }
+
+    fn finish_task(&mut self, sched: &mut Scheduler<Self>, task: usize) {
+        debug_assert_eq!(self.state[task], TaskState::Running);
+        self.state[task] = TaskState::Done;
+        self.free_slots[self.assigned_to[task]] += 1;
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            self.maps_done_at = Some(sched.now());
+        }
+    }
+}
+
+/// Outcome of one grep job simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct GrepOutcome {
+    /// Completion time in seconds (maps + reduce + job overhead).
+    pub secs: f64,
+    /// Fraction of maps that were data-local.
+    pub locality: f64,
+}
+
+/// Simulates one distributed-grep job over `n_chunks` input chunks.
+pub fn grep_job(c: &Constants, backend: Backend, n_chunks: usize, seed: u64) -> GrepOutcome {
+    let mut sim = Sim::new(GrepWorld::new(c.clone(), backend, n_chunks, seed));
+    for tracker in 0..GREP_NODES {
+        // Staggered heartbeats, as in a real cluster.
+        // Scrambled phases: real tasktrackers do not heartbeat in node-id
+        // order, and ordered phases would let idle trackers steal every
+        // local task 20 ms before its owner's first heartbeat.
+        let phase = SimDuration::from_millis(
+            ((tracker as u64 * 7919) % GREP_NODES as u64) * sim.world.c.heartbeat.as_millis()
+                / GREP_NODES as u64,
+        );
+        sim.schedule_in(phase, move |w: &mut GrepWorld, s| w.heartbeat(s, tracker));
+    }
+    sim.run_until_idle();
+    let maps_done = sim.world.maps_done_at.expect("all maps finished");
+    let total = maps_done + c.reduce_phase + c.job_overhead;
+    GrepOutcome {
+        secs: total.as_secs_f64(),
+        locality: sim.world.local_maps as f64 / n_chunks as f64,
+    }
+}
+
+/// Reproduces Fig. 6(b): grep job completion time vs input size (GB).
+pub fn run_grep(c: &Constants, sizes_gb: &[f64]) -> Figure {
+    let mut fig = Figure::new(
+        "Fig. 6(b)",
+        "Distributed grep: job completion time vs input size",
+        "total text size to be searched (GB)",
+        "job completion time (s)",
+    );
+    for backend in [Backend::Hdfs, Backend::Bsfs] {
+        let mut series = Series::new(backend.label());
+        for &gb in sizes_gb {
+            let n_chunks = ((gb * 1024.0 * 1024.0 * 1024.0) / c.block_bytes as f64).round() as usize;
+            let mean = (0..crate::fig3b::REPETITIONS)
+                .map(|rep| grep_job(c, backend, n_chunks, 0xF166B + rep).secs)
+                .sum::<f64>()
+                / crate::fig3b::REPETITIONS as f64;
+            series.push(gb, mean);
+        }
+        fig.series.push(series);
+    }
+    fig
+}
+
+/// The paper's grep x grid: 6.4 → 12.8 GB in 1.6 GB increments.
+pub fn grep_paper_sizes() -> Vec<f64> {
+    vec![6.4, 8.0, 9.6, 11.2, 12.8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtw_bsfs_beats_hdfs_with_growing_gain() {
+        let c = Constants::default();
+        let total = 6_871_947_674u64;
+        let gain = |m: usize| {
+            let h = rtw_job_secs(&c, Backend::Hdfs, m, total);
+            let b = rtw_job_secs(&c, Backend::Bsfs, m, total);
+            (h - b) / h
+        };
+        let g50 = gain(50);
+        let g1 = gain(1);
+        // Paper: 7 % at 50 mappers → 11 % at 1 mapper.
+        assert!(g50 > 0.02, "BSFS must win at 50 mappers: gain {g50:.3}");
+        assert!(g1 > 0.06, "BSFS must win clearly at 1 mapper: gain {g1:.3}");
+        assert!(g1 > g50, "gain grows as mappers decrease: {g50:.3} → {g1:.3}");
+    }
+
+    #[test]
+    fn rtw_single_mapper_time_in_paper_band() {
+        // Paper Fig. 6(a): a single mapper writing 6.4 GB takes ≈ 200–250 s.
+        let c = Constants::default();
+        let h = rtw_job_secs(&c, Backend::Hdfs, 1, 6_871_947_674);
+        let b = rtw_job_secs(&c, Backend::Bsfs, 1, 6_871_947_674);
+        assert!((180.0..320.0).contains(&h), "HDFS 1 mapper: {h:.0}s");
+        assert!((160.0..300.0).contains(&b), "BSFS 1 mapper: {b:.0}s");
+    }
+
+    #[test]
+    fn grep_bsfs_wins_and_gap_holds_as_input_grows() {
+        let c = Constants::default();
+        let g64 = (
+            grep_job(&c, Backend::Hdfs, 100, 1).secs,
+            grep_job(&c, Backend::Bsfs, 100, 1).secs,
+        );
+        let g128 = (
+            grep_job(&c, Backend::Hdfs, 200, 1).secs,
+            grep_job(&c, Backend::Bsfs, 200, 1).secs,
+        );
+        let gain_64 = (g64.0 - g64.1) / g64.0;
+        let gain_128 = (g128.0 - g128.1) / g128.0;
+        // Paper: 35 % at 6.4 GB, 38 % at 12.8 GB.
+        assert!(gain_64 > 0.15, "gain at 6.4 GB: {gain_64:.2} ({g64:?})");
+        assert!(gain_128 >= gain_64 - 0.03, "gap must not shrink: {gain_64:.2} → {gain_128:.2}");
+    }
+
+    #[test]
+    fn grep_locality_tracks_placement_quality() {
+        let c = Constants::default();
+        let b = grep_job(&c, Backend::Bsfs, 150, 2);
+        let h = grep_job(&c, Backend::Hdfs, 150, 2);
+        assert!(b.locality > 0.9, "balanced layout → nearly all local: {:.2}", b.locality);
+        assert!(h.locality < b.locality, "skewed layout loses locality: {:.2}", h.locality);
+    }
+}

@@ -1,0 +1,30 @@
+//! `experiments` — the figure-scale reproduction of the paper's evaluation
+//! (§V) on the discrete-event simulator.
+//!
+//! Every module regenerates one figure:
+//!
+//! | Module | Paper figure | Scenario |
+//! |---|---|---|
+//! | [`fig3a`] | Fig. 3(a) | single writer, 1→16 GB file, 270 machines |
+//! | [`fig3b`] | Fig. 3(b) | placement unbalance (Manhattan distance) |
+//! | [`fig4`]  | Fig. 4    | 1→250 concurrent readers, shared file |
+//! | [`fig5`]  | Fig. 5    | 1→250 concurrent appenders, shared BLOB |
+//! | [`fig6`]  | Fig. 6(a)/(b) | RandomTextWriter & distributed grep |
+//!
+//! The models re-use the live engine's *protocol logic* — placement
+//! policies and segment-tree node arithmetic come from `blobseer_core` —
+//! while data movement becomes flows in `simnet`. Calibrated constants
+//! live in [`constants`] and are discussed in EXPERIMENTS.md.
+
+pub mod constants;
+pub mod fig3a;
+pub mod fig3b;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+pub mod topology;
+
+pub use constants::Constants;
+pub use report::{Figure, Series};
+pub use topology::Backend;

@@ -1,0 +1,177 @@
+//! Result series and plain-text rendering for the `fig*` binaries.
+
+use std::fmt::Write as _;
+
+/// One curve of a figure: a labelled series of `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Curve label ("BSFS", "HDFS", …).
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(label: &str) -> Self {
+        Self { label: label.to_string(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at the given x (exact match), if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+
+    /// Mean of the y values.
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|(_, y)| y).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// A reproduced figure: axis labels plus one or more series over a common
+/// x grid.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Figure id, e.g. "Fig. 3(a)".
+    pub id: String,
+    /// Title from the paper.
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// A new figure shell.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Renders the figure as an aligned text table (one row per x).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>16}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>16}", format!("{} ({})", s.label, short_unit(&self.y_label)));
+        }
+        let _ = writeln!(out);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+            .unwrap_or_default();
+        for x in xs {
+            let _ = write!(out, "{x:>16.3}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:>16.2}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>16}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the figure as CSV (`x,label1,label2,…`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", sanitize(&self.x_label));
+        for s in &self.series {
+            let _ = write!(out, ",{}", sanitize(&s.label));
+        }
+        let _ = writeln!(out);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+            .unwrap_or_default();
+        for x in xs {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, ",{y:.4}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn short_unit(y_label: &str) -> String {
+    y_label
+        .rsplit_once('(')
+        .map(|(_, u)| u.trim_end_matches(')').to_string())
+        .unwrap_or_else(|| y_label.to_string())
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace(',', ";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut fig = Figure::new("Fig. X", "demo", "clients", "throughput (MB/s)");
+        let mut a = Series::new("BSFS");
+        a.push(1.0, 60.0);
+        a.push(2.0, 61.0);
+        let mut b = Series::new("HDFS");
+        b.push(1.0, 40.0);
+        b.push(2.0, 35.5);
+        fig.series = vec![a, b];
+        fig
+    }
+
+    #[test]
+    fn table_contains_all_points() {
+        let t = sample().to_table();
+        assert!(t.contains("Fig. X"));
+        assert!(t.contains("60.00"));
+        assert!(t.contains("35.50"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "clients,BSFS,HDFS");
+        assert_eq!(lines.next().unwrap(), "1,60.0000,40.0000");
+        assert_eq!(lines.next().unwrap(), "2,61.0000,35.5000");
+    }
+
+    #[test]
+    fn series_helpers() {
+        let s = &sample().series[0];
+        assert_eq!(s.y_at(2.0), Some(61.0));
+        assert_eq!(s.y_at(9.0), None);
+        assert!((s.mean_y() - 60.5).abs() < 1e-9);
+        assert_eq!(Series::new("e").mean_y(), 0.0);
+    }
+}

@@ -1,0 +1,560 @@
+//! The HDFS FileSystem implementation: cluster wiring plus client streams.
+//!
+//! Client-side buffering mirrors §II-B: "HDFS employs a client side
+//! buffering mechanism … It prefetches data on reading. On writing, it
+//! postpones committing data after the buffer has reached at least a full
+//! chunk size."
+
+use crate::datanode::DataNode;
+use crate::namenode::{ChunkMeta, FileSnapshot, LeaseId, NameNode};
+use blobseer_types::{Error, HdfsConfig, NodeId, Result};
+use bytes::Bytes;
+use dfs::api::{DfsInput, DfsOutput, FileStatus, FileSystem, FsBlockLocation};
+use dfs::DfsPath;
+use std::sync::Arc;
+
+/// The cluster-wide HDFS state: one namenode plus the datanodes.
+pub struct HdfsCluster {
+    namenode: NameNode,
+    datanodes: Vec<DataNode>,
+}
+
+impl HdfsCluster {
+    /// Deploys HDFS with datanodes on nodes `0..n`.
+    pub fn new(cfg: HdfsConfig, n_datanodes: usize) -> Arc<Self> {
+        Self::new_on(cfg, (0..n_datanodes as u64).map(NodeId::new).collect())
+    }
+
+    /// Deploys HDFS with one datanode per given node.
+    pub fn new_on(cfg: HdfsConfig, datanode_nodes: Vec<NodeId>) -> Arc<Self> {
+        assert!(!datanode_nodes.is_empty());
+        Arc::new(Self {
+            namenode: NameNode::new(cfg, datanode_nodes.len()),
+            datanodes: datanode_nodes.into_iter().map(DataNode::new).collect(),
+        })
+    }
+
+    /// A FileSystem handle for a client on `node`. When the node hosts a
+    /// datanode, writes go local-first (§V-D).
+    pub fn mount(self: &Arc<Self>, node: NodeId) -> Hdfs {
+        let local_dn = self.datanodes.iter().position(|d| d.node() == node);
+        Hdfs { cluster: Arc::clone(self), node, local_dn }
+    }
+
+    /// The namenode (for op-count and layout inspection).
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// The datanode at dense index `i`.
+    pub fn datanode(&self, i: usize) -> &DataNode {
+        &self.datanodes[i]
+    }
+
+    /// Chunk counts per datanode (Fig. 3(b) layout vector).
+    pub fn layout_vector(&self) -> Vec<u64> {
+        self.namenode.layout_vector()
+    }
+
+    fn reclaim(&self, chunks: &[ChunkMeta]) {
+        for c in chunks {
+            for &dn in &c.datanodes {
+                self.datanodes[dn].delete(c.id);
+            }
+        }
+    }
+}
+
+/// A per-node HDFS handle.
+#[derive(Clone)]
+pub struct Hdfs {
+    cluster: Arc<HdfsCluster>,
+    node: NodeId,
+    local_dn: Option<usize>,
+}
+
+impl Hdfs {
+    /// The node this handle is mounted on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
+impl FileSystem for Hdfs {
+    fn create(&self, path: &str, overwrite: bool) -> Result<Box<dyn DfsOutput + '_>> {
+        let path = DfsPath::parse(path)?;
+        let (lease, old_chunks) = self
+            .cluster
+            .namenode
+            .create(&path, overwrite, self.local_dn)?;
+        self.cluster.reclaim(&old_chunks);
+        Ok(Box::new(HdfsOutput::new(
+            Arc::clone(&self.cluster),
+            path,
+            lease,
+            self.local_dn,
+            0,
+            0,
+        )))
+    }
+
+    fn append(&self, path: &str) -> Result<Box<dyn DfsOutput + '_>> {
+        let path = DfsPath::parse(path)?;
+        // Refused on stock 0.20 (§V-F); supported when configured like
+        // later Hadoop releases.
+        let (lease, snap) = self.cluster.namenode.append(&path, self.local_dn)?;
+        let tail = snap
+            .chunks
+            .last()
+            .map(|c| c.len as u64 % self.cluster.namenode.config().chunk_size)
+            .unwrap_or(0);
+        if tail > 0 {
+            // Reopen the partial tail chunk for writing (block recovery).
+            let meta = snap.chunks.last().expect("tail implies a chunk");
+            for &dn in &meta.datanodes {
+                self.cluster.datanodes[dn].unseal(meta.id);
+            }
+        }
+        Ok(Box::new(HdfsOutput::new(
+            Arc::clone(&self.cluster),
+            path,
+            lease,
+            self.local_dn,
+            snap.len,
+            tail,
+        )))
+    }
+
+    fn open(&self, path: &str) -> Result<Box<dyn DfsInput + '_>> {
+        let path = DfsPath::parse(path)?;
+        let snap = self.cluster.namenode.file_snapshot(&path)?;
+        Ok(Box::new(HdfsInput {
+            cluster: Arc::clone(&self.cluster),
+            snap,
+            pos: 0,
+            cache: None,
+        }))
+    }
+
+    fn exists(&self, path: &str) -> Result<bool> {
+        self.cluster.namenode.exists(&DfsPath::parse(path)?)
+    }
+
+    fn status(&self, path: &str) -> Result<FileStatus> {
+        let path = DfsPath::parse(path)?;
+        let (is_dir, len) = self.cluster.namenode.status(&path)?;
+        Ok(FileStatus {
+            path: path.to_string(),
+            is_dir,
+            len,
+            block_size: self.block_size(),
+        })
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<FileStatus>> {
+        let path = DfsPath::parse(path)?;
+        self.cluster
+            .namenode
+            .list(&path)?
+            .into_iter()
+            .map(|(name, is_dir, len)| {
+                Ok(FileStatus {
+                    path: path.join(&name)?.to_string(),
+                    is_dir,
+                    len,
+                    block_size: self.block_size(),
+                })
+            })
+            .collect()
+    }
+
+    fn mkdirs(&self, path: &str) -> Result<()> {
+        self.cluster.namenode.mkdirs(&DfsPath::parse(path)?)
+    }
+
+    fn delete(&self, path: &str, recursive: bool) -> Result<()> {
+        let chunks = self.cluster.namenode.delete(&DfsPath::parse(path)?, recursive)?;
+        self.cluster.reclaim(&chunks);
+        Ok(())
+    }
+
+    fn rename(&self, src: &str, dst: &str) -> Result<()> {
+        self.cluster
+            .namenode
+            .rename(&DfsPath::parse(src)?, &DfsPath::parse(dst)?)
+    }
+
+    fn block_locations(&self, path: &str, offset: u64, len: u64) -> Result<Vec<FsBlockLocation>> {
+        let path = DfsPath::parse(path)?;
+        let snap = self.cluster.namenode.file_snapshot(&path)?;
+        let end = (offset + len).min(snap.len);
+        let mut out = Vec::new();
+        let mut chunk_start = 0u64;
+        for c in &snap.chunks {
+            let chunk_end = chunk_start + c.len as u64;
+            if chunk_start < end && offset < chunk_end {
+                out.push(FsBlockLocation {
+                    offset: chunk_start,
+                    length: c.len as u64,
+                    hosts: c
+                        .datanodes
+                        .iter()
+                        .map(|&dn| self.cluster.datanodes[dn].node())
+                        .collect(),
+                });
+            }
+            chunk_start = chunk_end;
+        }
+        Ok(out)
+    }
+
+    fn block_size(&self) -> u64 {
+        self.cluster.namenode.config().chunk_size
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "HDFS"
+    }
+}
+
+/// Buffered chunk-prefetching reader.
+struct HdfsInput {
+    cluster: Arc<HdfsCluster>,
+    snap: FileSnapshot,
+    pos: u64,
+    /// (chunk index in snapshot, payload).
+    cache: Option<(usize, Bytes)>,
+}
+
+impl HdfsInput {
+    /// Chunk index and in-chunk offset for a file position.
+    fn locate(&self, pos: u64) -> Option<(usize, u64)> {
+        let mut start = 0u64;
+        for (i, c) in self.snap.chunks.iter().enumerate() {
+            let end = start + c.len as u64;
+            if pos < end {
+                return Some((i, pos - start));
+            }
+            start = end;
+        }
+        None
+    }
+}
+
+impl DfsInput for HdfsInput {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.pos >= self.snap.len || buf.is_empty() {
+            return Ok(0);
+        }
+        let (idx, in_chunk) = self.locate(self.pos).expect("pos < len");
+        let hit = matches!(self.cache, Some((i, _)) if i == idx);
+        if !hit {
+            // Prefetch the whole chunk from one of its replicas.
+            let meta = &self.snap.chunks[idx];
+            let replica = meta.datanodes[idx % meta.datanodes.len()];
+            let data = self.cluster.datanodes[replica].get(meta.id)?;
+            self.cache = Some((idx, data));
+        }
+        let (_, data) = self.cache.as_ref().expect("filled");
+        let in_chunk = in_chunk as usize;
+        let n = buf.len().min(data.len() - in_chunk);
+        buf[..n].copy_from_slice(&data[in_chunk..in_chunk + n]);
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn seek(&mut self, pos: u64) -> Result<()> {
+        if pos > self.snap.len {
+            return Err(Error::OutOfBounds { requested_end: pos, snapshot_size: self.snap.len });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    fn len(&self) -> u64 {
+        self.snap.len
+    }
+}
+
+/// Buffered chunk-committing writer holding the single-writer lease.
+struct HdfsOutput {
+    cluster: Arc<HdfsCluster>,
+    path: DfsPath,
+    lease: LeaseId,
+    local_dn: Option<usize>,
+    buf: Vec<u8>,
+    chunk_size: usize,
+    written: u64,
+    /// Bytes of room left in the file's (unsealed) tail chunk, for appends.
+    tail_room_used: u64,
+    closed: bool,
+}
+
+impl HdfsOutput {
+    fn new(
+        cluster: Arc<HdfsCluster>,
+        path: DfsPath,
+        lease: LeaseId,
+        local_dn: Option<usize>,
+        existing_len: u64,
+        tail_fill: u64,
+    ) -> Self {
+        let chunk_size = cluster.namenode.config().chunk_size as usize;
+        Self {
+            cluster,
+            path,
+            lease,
+            local_dn,
+            buf: Vec::with_capacity(chunk_size),
+            chunk_size,
+            written: existing_len,
+            tail_room_used: tail_fill,
+            closed: false,
+        }
+    }
+
+    /// Room left before the next chunk boundary.
+    fn room(&self) -> usize {
+        if self.tail_room_used > 0 {
+            self.chunk_size - self.tail_room_used as usize - self.buf.len()
+        } else {
+            self.chunk_size - self.buf.len()
+        }
+    }
+
+    fn flush_buf(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let data = std::mem::take(&mut self.buf);
+        if self.tail_room_used > 0 {
+            // Appending into the existing partial tail chunk.
+            let (id, dns) = self
+                .cluster
+                .namenode
+                .extend_last_chunk(&self.path, self.lease, data.len() as u32)?;
+            for &dn in &dns {
+                self.cluster.datanodes[dn].extend(id, &data)?;
+            }
+            self.tail_room_used += data.len() as u64;
+            if self.tail_room_used as usize >= self.chunk_size {
+                self.tail_room_used = 0;
+            }
+        } else {
+            let (id, dns) =
+                self.cluster
+                    .namenode
+                    .add_chunk(&self.path, self.lease, data.len() as u32, self.local_dn)?;
+            let mut first = true;
+            for &dn in &dns {
+                // The write pipeline: the client sends once; datanodes
+                // forward to the next replica.
+                if first {
+                    self.cluster.datanodes[dn].put(id, data.clone())?;
+                    first = false;
+                } else {
+                    self.cluster.datanodes[dn].put(id, data.clone())?;
+                }
+            }
+            if data.len() < self.chunk_size {
+                self.tail_room_used = data.len() as u64;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DfsOutput for HdfsOutput {
+    fn write(&mut self, mut data: &[u8]) -> Result<()> {
+        if self.closed {
+            return Err(Error::StreamClosed);
+        }
+        self.written += data.len() as u64;
+        while !data.is_empty() {
+            let take = self.room().min(data.len());
+            self.buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.room() == 0 {
+                self.flush_buf()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn pos(&self) -> u64 {
+        self.written
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.flush_buf()?;
+        self.closed = true;
+        let chunks = self.cluster.namenode.complete(&self.path, self.lease)?;
+        // Data becomes immutable once the file completes.
+        for c in &chunks {
+            for &dn in &c.datanodes {
+                self.cluster.datanodes[dn].seal(c.id);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for HdfsOutput {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfs::util::{read_fully, write_file};
+
+    fn cluster() -> Arc<HdfsCluster> {
+        HdfsCluster::new(HdfsConfig::small_for_tests().with_chunk_size(256), 4)
+    }
+
+    #[test]
+    fn conformance_suite() {
+        let fs = cluster().mount(NodeId::new(100)); // remote client
+        dfs::conformance::run_all(&fs);
+    }
+
+    #[test]
+    fn conformance_suite_colocated_client() {
+        let fs = cluster().mount(NodeId::new(0)); // co-located with datanode 0
+        dfs::conformance::run_all(&fs);
+    }
+
+    #[test]
+    fn append_unsupported_on_stock_020() {
+        let fs = cluster().mount(NodeId::new(0));
+        write_file(&fs, "/f", b"abc").unwrap();
+        assert!(matches!(fs.append("/f"), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn append_works_when_enabled() {
+        let cfg = HdfsConfig::small_for_tests()
+            .with_chunk_size(256)
+            .with_append(true);
+        let cl = HdfsCluster::new(cfg, 4);
+        let fs = cl.mount(NodeId::new(0));
+        write_file(&fs, "/f", &vec![1u8; 300]).unwrap(); // 1 full + 44-byte tail
+        let mut out = fs.append("/f").unwrap();
+        out.write(&vec![2u8; 300]).unwrap(); // fills tail (212) + new chunk (88)
+        out.close().unwrap();
+        let data = read_fully(&fs, "/f").unwrap();
+        assert_eq!(data.len(), 600);
+        assert!(data[..300].iter().all(|&b| b == 1));
+        assert!(data[300..].iter().all(|&b| b == 2));
+        // Concurrent append is still single-writer.
+        let out1 = fs.append("/f").unwrap();
+        assert!(matches!(fs.append("/f"), Err(Error::LeaseConflict(_))));
+        drop(out1);
+    }
+
+    #[test]
+    fn colocated_writer_stores_locally() {
+        // §V-D: "writing locally whenever a write is initiated on a
+        // datanode" — the motivation for the paper deploying HDFS test
+        // clients on non-datanodes.
+        let cl = cluster();
+        let fs = cl.mount(NodeId::new(2));
+        write_file(&fs, "/local", &vec![9u8; 1024]).unwrap(); // 4 chunks
+        let layout = cl.layout_vector();
+        assert_eq!(layout, vec![0, 0, 4, 0], "all chunks on the local datanode");
+    }
+
+    #[test]
+    fn remote_writer_spreads_chunks() {
+        let cl = cluster();
+        let fs = cl.mount(NodeId::new(999));
+        write_file(&fs, "/remote", &vec![9u8; 4096]).unwrap(); // 16 chunks
+        let layout = cl.layout_vector();
+        assert_eq!(layout.iter().sum::<u64>(), 16);
+        assert!(
+            layout.iter().filter(|&&c| c > 0).count() >= 2,
+            "remote chunks spread over datanodes: {layout:?}"
+        );
+    }
+
+    #[test]
+    fn single_writer_enforced_at_fs_level() {
+        let cl = cluster();
+        let fs = cl.mount(NodeId::new(0));
+        let out1 = fs.create("/locked", false).unwrap();
+        assert!(matches!(fs.create("/locked", true), Err(Error::LeaseConflict(_))));
+        drop(out1); // close releases the lease
+        let mut out2 = fs.create("/locked", true).unwrap();
+        out2.write(b"x").unwrap();
+        out2.close().unwrap();
+    }
+
+    #[test]
+    fn no_random_writes_after_close() {
+        // HDFS files are write-once: there is no API to reopen for
+        // overwrite other than create(overwrite=true), which truncates.
+        let cl = cluster();
+        let fs = cl.mount(NodeId::new(0));
+        write_file(&fs, "/once", b"version 1").unwrap();
+        write_file(&fs, "/once", b"v2").unwrap();
+        assert_eq!(read_fully(&fs, "/once").unwrap(), b"v2");
+    }
+
+    #[test]
+    fn block_locations_report_chunk_hosts() {
+        let cl = cluster();
+        let fs = cl.mount(NodeId::new(1));
+        write_file(&fs, "/f", &vec![1u8; 600]).unwrap();
+        let locs = fs.block_locations("/f", 0, 600).unwrap();
+        assert_eq!(locs.len(), 3);
+        assert_eq!(locs[0].length, 256);
+        assert_eq!(locs[2].length, 88);
+        for l in &locs {
+            assert_eq!(l.hosts, vec![NodeId::new(1)], "local-first placement");
+        }
+    }
+
+    #[test]
+    fn reclaim_on_delete_and_overwrite() {
+        let cl = cluster();
+        let fs = cl.mount(NodeId::new(0));
+        write_file(&fs, "/f", &vec![1u8; 1024]).unwrap();
+        let stored: u64 = (0..4).map(|i| cl.datanode(i).bytes_stored()).sum();
+        assert_eq!(stored, 1024);
+        write_file(&fs, "/f", &vec![2u8; 256]).unwrap();
+        let stored: u64 = (0..4).map(|i| cl.datanode(i).bytes_stored()).sum();
+        assert_eq!(stored, 256, "overwrite reclaims old chunks");
+        fs.delete("/f", false).unwrap();
+        let stored: u64 = (0..4).map(|i| cl.datanode(i).bytes_stored()).sum();
+        assert_eq!(stored, 0, "delete reclaims chunks");
+    }
+
+    #[test]
+    fn namenode_serves_every_metadata_op() {
+        // The centralized-bottleneck property: every namespace and layout
+        // operation hits the single namenode.
+        let cl = cluster();
+        let fs = cl.mount(NodeId::new(0));
+        let before = cl.namenode().op_count();
+        write_file(&fs, "/f", &vec![0u8; 600]).unwrap();
+        let after_write = cl.namenode().op_count();
+        assert!(after_write > before, "create/add_chunk/complete all hit the namenode");
+        // Reads hit it once (open), then stream from datanodes.
+        let mut input = fs.open("/f").unwrap();
+        let after_open = cl.namenode().op_count();
+        let mut buf = [0u8; 64];
+        for _ in 0..8 {
+            input.read_exact(&mut buf).unwrap();
+        }
+        assert_eq!(cl.namenode().op_count(), after_open, "reads bypass the namenode");
+    }
+}

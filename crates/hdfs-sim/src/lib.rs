@@ -1,0 +1,38 @@
+//! `hdfs-sim` — the HDFS 0.20 baseline the paper compares against (§II-B),
+//! behind the same [`dfs::FileSystem`] API as BSFS.
+//!
+//! Faithful to the semantics the paper leans on:
+//!
+//! * **Centralized metadata**: one [`namenode::NameNode`] holds the
+//!   namespace *and* the chunk layout; every metadata operation serializes
+//!   through it.
+//! * **64 MB chunks** on [`datanode::DataNode`]s; reads and writes stream
+//!   directly between clients and datanodes.
+//! * **Single writer, immutable data**: one lease per file; "once written,
+//!   data cannot be altered, neither by overwriting nor by appending";
+//!   `append` returns `Unsupported` unless configured like later releases.
+//! * **Client-side buffering**: readers prefetch whole chunks, writers
+//!   commit whole chunks.
+//! * **Local-first placement**: a writer co-located with a datanode stores
+//!   its chunks locally (§V-D); remote writers get sticky-random placement
+//!   (DESIGN.md §3.4) — the root of the load imbalance of Fig. 3(b).
+//!
+//! ```
+//! use blobseer_types::{HdfsConfig, NodeId};
+//! use dfs::{FileSystem, util};
+//! use hdfs_sim::HdfsCluster;
+//!
+//! let cluster = HdfsCluster::new(HdfsConfig::small_for_tests(), 4);
+//! let fs = cluster.mount(NodeId::new(0));
+//! util::write_file(&fs, "/data/f", b"hdfs bytes").unwrap();
+//! assert_eq!(util::read_fully(&fs, "/data/f").unwrap(), b"hdfs bytes");
+//! assert!(fs.append("/data/f").is_err(), "no append on 0.20 (§V-F)");
+//! ```
+
+pub mod datanode;
+pub mod fs;
+pub mod namenode;
+
+pub use datanode::{ChunkId, DataNode};
+pub use fs::{Hdfs, HdfsCluster};
+pub use namenode::{ChunkMeta, FileSnapshot, NameNode};

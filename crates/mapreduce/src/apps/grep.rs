@@ -1,0 +1,88 @@
+//! Distributed grep (§V-G): "representative of a distributed job where
+//! huge input data needs to be processed in order to obtain some
+//! statistics. … Mappers simply output the value of these counters, then
+//! the reducers sum up the all the outputs of the mappers."
+//!
+//! The access pattern is "concurrent reads from the same shared file".
+
+use crate::job::{Emit, InputSpec, JobSpec, Mapper, Reducer};
+
+/// The grep mapper/reducer: counts lines containing a pattern.
+pub struct DistributedGrep {
+    /// Substring to search for.
+    pub pattern: Vec<u8>,
+}
+
+impl DistributedGrep {
+    /// New grep for a pattern.
+    pub fn new(pattern: &str) -> Self {
+        Self { pattern: pattern.as_bytes().to_vec() }
+    }
+
+    /// A job spec scanning `input` with one reducer summing the counts.
+    pub fn job(input: &str, output_dir: &str) -> JobSpec {
+        JobSpec::new("distributed-grep", InputSpec::Files(vec![input.to_string()]), output_dir, 1)
+    }
+
+    /// Substring search (memmem); no regex dependency needed for the
+    /// paper's "particular expression" scans.
+    fn matches(&self, line: &[u8]) -> bool {
+        if self.pattern.is_empty() {
+            return true;
+        }
+        line.windows(self.pattern.len()).any(|w| w == &self.pattern[..])
+    }
+}
+
+impl Mapper for DistributedGrep {
+    fn map(&self, _offset: u64, line: &[u8], out: &mut Emit<'_>) {
+        if self.matches(line) {
+            out(&self.pattern, b"1");
+        }
+    }
+}
+
+impl Reducer for DistributedGrep {
+    fn reduce(&self, key: &[u8], values: &[Vec<u8>], out: &mut Emit<'_>) {
+        let total: u64 = values
+            .iter()
+            .map(|v| std::str::from_utf8(v).unwrap_or("0").parse::<u64>().unwrap_or(0))
+            .sum();
+        out(key, total.to_string().as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapper_emits_only_on_match() {
+        let g = DistributedGrep::new("needle");
+        let mut hits = 0;
+        g.map(0, b"hay needle hay", &mut |_, _| hits += 1);
+        g.map(0, b"just hay", &mut |_, _| hits += 1);
+        g.map(0, b"needleneedle", &mut |_, _| hits += 1);
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let g = DistributedGrep::new("");
+        let mut hits = 0;
+        g.map(0, b"", &mut |_, _| hits += 1);
+        g.map(0, b"anything", &mut |_, _| hits += 1);
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn reducer_sums_counts() {
+        let g = DistributedGrep::new("p");
+        let values = vec![b"1".to_vec(), b"1".to_vec(), b"1".to_vec()];
+        let mut out = Vec::new();
+        g.reduce(b"p", &values, &mut |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+        });
+        assert_eq!(out, vec![(b"p".to_vec(), b"3".to_vec())]);
+    }
+}

@@ -1,0 +1,9 @@
+//! The paper's Map/Reduce applications (§V-G), plus the classic WordCount.
+
+pub mod grep;
+pub mod random_text_writer;
+pub mod wordcount;
+
+pub use grep::DistributedGrep;
+pub use random_text_writer::RandomTextWriter;
+pub use wordcount::WordCount;

@@ -1,0 +1,85 @@
+//! RandomTextWriter (§V-G): "representative of a distributed job consisting
+//! in a large number of tasks each of which needs to write a large amount
+//! of output data (with no interaction among the tasks)".
+//!
+//! Map-only: each mapper generates `bytes_per_mapper` of random sentences
+//! and the engine stores each mapper's output as a separate part file. The
+//! access pattern is "concurrent, massively parallel writes, each of them
+//! writing to a different file".
+
+use crate::job::{Emit, InputSpec, JobSpec, Mapper};
+use crate::textgen::TextGen;
+
+/// The RandomTextWriter mapper.
+pub struct RandomTextWriter {
+    /// Output volume per mapper, in bytes (the paper sweeps 128 MB → 6.4 GB).
+    pub bytes_per_mapper: u64,
+    /// Base RNG seed; combined with the mapper id for distinct streams.
+    pub seed: u64,
+}
+
+impl RandomTextWriter {
+    /// A job spec running `mappers` generator tasks into `output_dir`.
+    pub fn job(mappers: usize, output_dir: &str) -> JobSpec {
+        JobSpec::new(
+            "random-text-writer",
+            InputSpec::Generated { splits: mappers },
+            output_dir,
+            0,
+        )
+    }
+}
+
+impl Mapper for RandomTextWriter {
+    fn map(&self, split_id: u64, _value: &[u8], out: &mut Emit<'_>) {
+        let mut gen = TextGen::new(self.seed ^ (split_id.wrapping_mul(0x9E37_79B9)));
+        let mut produced = 0u64;
+        let mut sentence = Vec::new();
+        while produced < self.bytes_per_mapper {
+            sentence.clear();
+            let n = gen.sentence_into(&mut sentence);
+            out(&sentence, b"");
+            produced += n as u64 + 1; // +1 for the record separator
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_volume() {
+        let app = RandomTextWriter { bytes_per_mapper: 10_000, seed: 1 };
+        let mut total = 0usize;
+        let mut records = 0usize;
+        app.map(0, b"", &mut |k, v| {
+            assert!(v.is_empty());
+            total += k.len() + 1;
+            records += 1;
+        });
+        assert!(total >= 10_000);
+        assert!(total < 10_300, "overshoot bounded by one sentence");
+        assert!(records > 50);
+    }
+
+    #[test]
+    fn mappers_generate_distinct_streams() {
+        let app = RandomTextWriter { bytes_per_mapper: 500, seed: 1 };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        app.map(0, b"", &mut |k, _| a.extend_from_slice(k));
+        app.map(1, b"", &mut |k, _| b.extend_from_slice(k));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn job_spec_is_map_only() {
+        let job = RandomTextWriter::job(50, "/out");
+        assert_eq!(job.reducers, 0);
+        match job.input {
+            InputSpec::Generated { splits } => assert_eq!(splits, 50),
+            _ => panic!("expected generated input"),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! WordCount: the canonical Map/Reduce example (Dean & Ghemawat [1]),
+//! included as a third runnable application exercising a heavier shuffle
+//! than grep.
+
+use crate::job::{Emit, InputSpec, JobSpec, Mapper, Reducer};
+
+/// Counts whitespace-separated words.
+pub struct WordCount;
+
+impl WordCount {
+    /// A job spec with `reducers` reduce tasks.
+    pub fn job(input: &str, output_dir: &str, reducers: usize) -> JobSpec {
+        JobSpec::new("wordcount", InputSpec::Files(vec![input.to_string()]), output_dir, reducers)
+    }
+}
+
+impl Mapper for WordCount {
+    fn map(&self, _offset: u64, line: &[u8], out: &mut Emit<'_>) {
+        for word in line.split(|&b| b == b' ' || b == b'\t') {
+            if !word.is_empty() {
+                out(word, b"1");
+            }
+        }
+    }
+}
+
+impl Reducer for WordCount {
+    fn reduce(&self, key: &[u8], values: &[Vec<u8>], out: &mut Emit<'_>) {
+        let total: u64 = values
+            .iter()
+            .map(|v| std::str::from_utf8(v).unwrap_or("0").parse::<u64>().unwrap_or(0))
+            .sum();
+        out(key, total.to_string().as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_words() {
+        let wc = WordCount;
+        let mut words = Vec::new();
+        wc.map(0, b"a b  c\t d", &mut |k, v| {
+            assert_eq!(v, b"1");
+            words.push(k.to_vec());
+        });
+        assert_eq!(words, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn reduces_to_totals() {
+        let wc = WordCount;
+        let mut out = Vec::new();
+        wc.reduce(b"w", &vec![b"1".to_vec(); 5], &mut |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+        });
+        assert_eq!(out, vec![(b"w".to_vec(), b"5".to_vec())]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Job definitions: mapper/reducer traits, input specs, splits, reports.
+//!
+//! The programming model mirrors Hadoop's: mappers consume records (lines
+//! of text, keyed by byte offset) from input splits sized like storage
+//! blocks ("usually Hadoop assigns a single mapper to process such a data
+//! block", §V-G); reducers receive sorted, grouped key/value lists.
+
+use blobseer_types::NodeId;
+
+/// Emits intermediate or output key/value pairs.
+pub type Emit<'a> = dyn FnMut(&[u8], &[u8]) + 'a;
+
+/// A map function. Must be shareable across tasktracker threads.
+pub trait Mapper: Send + Sync {
+    /// Processes one record. For file inputs, `key` is the byte offset of
+    /// the line and `value` is the line (without trailing newline). For
+    /// generated inputs (e.g. RandomTextWriter), `key` is the split index
+    /// and `value` is empty.
+    fn map(&self, key: u64, value: &[u8], out: &mut Emit<'_>);
+}
+
+/// A reduce function.
+pub trait Reducer: Send + Sync {
+    /// Processes one key with all its values (sorted by key).
+    fn reduce(&self, key: &[u8], values: &[Vec<u8>], out: &mut Emit<'_>);
+}
+
+/// Where a job's input comes from.
+#[derive(Clone, Debug)]
+pub enum InputSpec {
+    /// Files split along block boundaries, with locality hints.
+    Files(Vec<String>),
+    /// Synthetic splits with no input data (one map invocation each) —
+    /// how Hadoop's RandomTextWriter drives its mappers (§V-G).
+    Generated { splits: usize },
+}
+
+/// A job description.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Input source.
+    pub input: InputSpec,
+    /// Output directory; part files are created inside.
+    pub output_dir: String,
+    /// Number of reduce tasks; 0 makes a map-only job whose mappers write
+    /// `part-m-*` files directly (the RandomTextWriter pattern: "the output
+    /// of each of the mappers is stored as a separate file", §V-G).
+    pub reducers: usize,
+}
+
+impl JobSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, input: InputSpec, output_dir: &str, reducers: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            input,
+            output_dir: output_dir.to_string(),
+            reducers,
+        }
+    }
+}
+
+/// One unit of map work.
+#[derive(Clone, Debug)]
+pub struct InputSplit {
+    /// Split ordinal.
+    pub id: usize,
+    /// Source file (`None` for generated splits).
+    pub file: Option<String>,
+    /// Byte range `[offset, offset + len)` of the split.
+    pub offset: u64,
+    pub len: u64,
+    /// Nodes holding the split's block — the affinity hint (§IV-C).
+    pub hosts: Vec<NodeId>,
+}
+
+/// Statistics of a finished job.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Backend that served the I/O ("BSFS"/"HDFS").
+    pub backend: String,
+    /// Total map tasks executed.
+    pub map_tasks: usize,
+    /// Maps scheduled on a node holding their input block ("local maps",
+    /// §V-E).
+    pub local_maps: usize,
+    /// Maps that read their input over the network ("remote maps").
+    pub remote_maps: usize,
+    /// Reduce tasks executed.
+    pub reduce_tasks: usize,
+    /// Input records consumed by all mappers.
+    pub map_input_records: u64,
+    /// Intermediate records emitted by all mappers.
+    pub map_output_records: u64,
+    /// Records that entered the shuffle (less than `map_output_records`
+    /// when a combiner compacted them; 0 for map-only jobs).
+    pub shuffle_records: u64,
+    /// Records written by reducers (or mappers, for map-only jobs).
+    pub output_records: u64,
+    /// Wall-clock duration in microseconds (live engine runs).
+    pub duration_micros: u128,
+    /// Output part files produced.
+    pub output_files: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_builds() {
+        let job = JobSpec::new(
+            "grep",
+            InputSpec::Files(vec!["/in/a".into()]),
+            "/out",
+            2,
+        );
+        assert_eq!(job.name, "grep");
+        assert_eq!(job.reducers, 2);
+        match &job.input {
+            InputSpec::Files(f) => assert_eq!(f.len(), 1),
+            _ => panic!("wrong input kind"),
+        }
+    }
+
+    #[test]
+    fn closures_can_serve_as_mappers() {
+        struct Upper;
+        impl Mapper for Upper {
+            fn map(&self, _k: u64, v: &[u8], out: &mut Emit<'_>) {
+                out(&v.to_ascii_uppercase(), b"");
+            }
+        }
+        let m = Upper;
+        let mut seen = Vec::new();
+        m.map(0, b"abc", &mut |k, _| seen.push(k.to_vec()));
+        assert_eq!(seen, vec![b"ABC".to_vec()]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Random text generation, shared by the RandomTextWriter application and
+//! the benchmark workload generators.
+//!
+//! Mirrors Hadoop's RandomTextWriter: "each [mapper] generates a huge
+//! sequence of random sentences formed from a list of predefined words"
+//! (§V-G).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The predefined word list (a stable subset of Hadoop's
+/// `RandomTextWriter` word list).
+pub const WORDS: &[&str] = &[
+    "diurnalness", "officiously", "sanctity", "deaconship", "bedizen",
+    "repealer", "diatomaceous", "snuffiness", "bookmaking", "unglue",
+    "phytonic", "uncombable", "stereotypical", "horned", "pseudoxanthine",
+    "nonrepetition", "glaucomatous", "unfulminated", "scorer", "pomiferous",
+    "hookworm", "disfavour", "scapuloradial", "warriorwise", "sarcologist",
+    "extraorganismal", "undermentioned", "magnetooptics", "cuneiform",
+    "unconcessible", "rotular", "pentagamist", "interruptedness", "botchedly",
+    "pneumonalgia", "clannishness", "jirble", "liquidity", "unchatteled",
+    "designative", "unexplicit", "arval", "swangy", "besagne", "rebilling",
+    "bicorporeal", "uninductive", "hypotheses", "prospectiveness", "seelful",
+];
+
+/// A deterministic sentence generator.
+pub struct TextGen {
+    rng: StdRng,
+}
+
+impl TextGen {
+    /// A generator with a fixed seed (mapper id in the apps — every mapper
+    /// produces a distinct, reproducible stream).
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Appends one random sentence (5–14 words, space-separated, no
+    /// terminator) to `buf`; returns its length in bytes.
+    pub fn sentence_into(&mut self, buf: &mut Vec<u8>) -> usize {
+        let start = buf.len();
+        let n_words = self.rng.gen_range(5..15);
+        for w in 0..n_words {
+            if w > 0 {
+                buf.push(b' ');
+            }
+            let word = WORDS[self.rng.gen_range(0..WORDS.len())];
+            buf.extend_from_slice(word.as_bytes());
+        }
+        buf.len() - start
+    }
+
+    /// One random sentence as an owned string.
+    pub fn sentence(&mut self) -> String {
+        let mut buf = Vec::new();
+        self.sentence_into(&mut buf);
+        String::from_utf8(buf).expect("word list is ASCII")
+    }
+
+    /// Generates at least `target_bytes` of newline-separated sentences.
+    pub fn text(&mut self, target_bytes: usize) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(target_bytes + 128);
+        while buf.len() < target_bytes {
+            self.sentence_into(&mut buf);
+            buf.push(b'\n');
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TextGen::new(7).text(1000);
+        let b = TextGen::new(7).text(1000);
+        assert_eq!(a, b);
+        let c = TextGen::new(8).text(1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sentences_use_the_word_list() {
+        let mut g = TextGen::new(1);
+        for _ in 0..20 {
+            let s = g.sentence();
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((5..15).contains(&words.len()), "{s}");
+            for w in words {
+                assert!(WORDS.contains(&w), "unknown word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn text_reaches_target_and_ends_with_newline() {
+        let t = TextGen::new(2).text(4096);
+        assert!(t.len() >= 4096);
+        assert_eq!(*t.last().unwrap(), b'\n');
+        assert!(t.split(|&b| b == b'\n').count() > 10);
+    }
+}

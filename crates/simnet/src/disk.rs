@@ -1,0 +1,103 @@
+//! A work-conserving FIFO disk model.
+//!
+//! Each node's disk drains submitted work in order at a fixed rate. The model
+//! deliberately ignores seek time and request reordering: the paper's
+//! workloads are large sequential block transfers (64 MB), for which a rate
+//! server is an accurate abstraction. What matters for the figures is the
+//! *queueing*: when HDFS's random placement lands several blocks on the same
+//! datanode, readers of those blocks serialize behind one another on this
+//! queue (Fig. 4), while BlobSeer's round-robin keeps queues short.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A single-node disk: fixed drain rate, FIFO completion order.
+#[derive(Clone, Debug)]
+pub struct Disk {
+    rate_bps: f64,
+    busy_until: SimTime,
+    bytes_total: f64,
+    jobs_total: u64,
+}
+
+impl Disk {
+    /// A disk draining at `rate_bps` bytes per second.
+    pub fn new(rate_bps: f64) -> Self {
+        assert!(rate_bps > 0.0, "disk rate must be positive");
+        Self {
+            rate_bps,
+            busy_until: SimTime::ZERO,
+            bytes_total: 0.0,
+            jobs_total: 0,
+        }
+    }
+
+    /// Drain rate in bytes per second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Submits `bytes` of sequential work at time `now`; returns the
+    /// completion instant. Work starts when the previous job finishes
+    /// (work-conserving FIFO).
+    pub fn submit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = if self.busy_until > now { self.busy_until } else { now };
+        let dur = SimDuration::from_secs_f64(bytes as f64 / self.rate_bps);
+        self.busy_until = start + dur;
+        self.bytes_total += bytes as f64;
+        self.jobs_total += 1;
+        self.busy_until
+    }
+
+    /// The instant the disk goes idle given current queue.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Length of the backlog at `now`, in seconds of work.
+    pub fn backlog_secs(&self, now: SimTime) -> f64 {
+        (self.busy_until - now).as_secs_f64()
+    }
+
+    /// Total (bytes, jobs) ever submitted.
+    pub fn stats(&self) -> (f64, u64) {
+        (self.bytes_total, self.jobs_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_jobs_queue() {
+        let mut d = Disk::new(100.0);
+        let t1 = d.submit(SimTime::ZERO, 100); // 1 s
+        assert_eq!(t1.as_secs_f64(), 1.0);
+        // Submitted while busy: starts at t1.
+        let t2 = d.submit(SimTime::from_nanos(500_000_000), 100);
+        assert_eq!(t2.as_secs_f64(), 2.0);
+        assert_eq!(d.stats(), (200.0, 2));
+    }
+
+    #[test]
+    fn idle_disk_starts_immediately() {
+        let mut d = Disk::new(100.0);
+        d.submit(SimTime::ZERO, 100);
+        // Submit after the first job finished: no queueing.
+        let t = d.submit(SimTime::from_nanos(3_000_000_000), 50);
+        assert_eq!(t.as_secs_f64(), 3.5);
+        assert_eq!(d.backlog_secs(SimTime::from_nanos(3_000_000_000)), 0.5);
+    }
+
+    #[test]
+    fn backlog_never_negative() {
+        let d = Disk::new(10.0);
+        assert_eq!(d.backlog_secs(SimTime::from_nanos(99)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = Disk::new(0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The event loop: clock, ordered queue, `FnOnce` handlers.
+//!
+//! The simulator is generic over a user-supplied *world* type `W`. Handlers
+//! receive `(&mut W, &mut Scheduler<W>)`, so they can freely mutate world
+//! state and schedule further events without fighting the borrow checker.
+//! Events with equal timestamps fire in scheduling order (a monotonically
+//! increasing sequence number breaks ties), which makes every run
+//! deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Boxed event handler.
+type Handler<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    handler: Handler<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The clock plus the pending-event queue.
+///
+/// Handlers receive a `&mut Scheduler<W>` so they can schedule follow-up
+/// events; the world itself lives in [`Sim`].
+pub struct Scheduler<W> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<W>>,
+    seq: u64,
+    processed: u64,
+}
+
+impl<W> Scheduler<W> {
+    fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `handler` to run `delay` from now.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, handler: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, handler);
+    }
+
+    /// Schedules `handler` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past — time travel would break
+    /// causality and determinism.
+    pub fn schedule_at<F>(&mut self, at: SimTime, handler: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at:?}, now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            handler: Box::new(handler),
+        });
+    }
+}
+
+/// A simulation: a world plus its scheduler.
+pub struct Sim<W> {
+    /// The user world. Public so drivers can inspect/modify state between
+    /// `run_*` calls.
+    pub world: W,
+    sched: Scheduler<W>,
+}
+
+impl<W> Sim<W> {
+    /// Creates a simulation at time zero over `world`.
+    pub fn new(world: W) -> Self {
+        Self {
+            world,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Access to the scheduler (for scheduling from outside handlers).
+    #[inline]
+    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+        &mut self.sched
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.sched.events_processed()
+    }
+
+    /// Schedules `handler` to run `delay` from now.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, handler: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.sched.schedule_in(delay, handler);
+    }
+
+    /// Schedules `handler` at the absolute instant `at`.
+    pub fn schedule_at<F>(&mut self, at: SimTime, handler: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.sched.schedule_at(at, handler);
+    }
+
+    /// Runs a single event if one is pending. Returns `true` if an event ran.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.sched.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.sched.now);
+        self.sched.now = ev.at;
+        self.sched.processed += 1;
+        (ev.handler)(&mut self.world, &mut self.sched);
+        true
+    }
+
+    /// Runs until the event queue drains. Returns the final time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.sched.now
+    }
+
+    /// Runs events with timestamps `<= horizon`; the clock then advances to
+    /// `horizon` (even if idle earlier). Later events stay queued.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        loop {
+            match self.sched.queue.peek() {
+                Some(ev) if ev.at <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.sched.now < horizon {
+            self.sched.now = horizon;
+        }
+        self.sched.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct W {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(W::default());
+        sim.schedule_in(SimDuration::from_millis(20), |w: &mut W, s| {
+            w.log.push((s.now().as_millis(), "late"))
+        });
+        sim.schedule_in(SimDuration::from_millis(10), |w: &mut W, s| {
+            w.log.push((s.now().as_millis(), "early"))
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.world.log, vec![(10, "early"), (20, "late")]);
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut sim = Sim::new(W::default());
+        for name in ["a", "b", "c"] {
+            sim.schedule_in(SimDuration::from_millis(5), move |w: &mut W, _| {
+                w.log.push((0, name))
+            });
+        }
+        sim.run_until_idle();
+        let names: Vec<_> = sim.world.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn handlers_can_chain() {
+        let mut sim = Sim::new(W::default());
+        sim.schedule_in(SimDuration::from_secs(1), |w: &mut W, s| {
+            w.log.push((s.now().as_millis(), "first"));
+            s.schedule_in(SimDuration::from_secs(1), |w: &mut W, s| {
+                w.log.push((s.now().as_millis(), "second"));
+            });
+        });
+        let end = sim.run_until_idle();
+        assert_eq!(end.as_millis(), 2000);
+        assert_eq!(sim.world.log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Sim::new(W::default());
+        sim.schedule_in(SimDuration::from_millis(10), |w: &mut W, _| w.log.push((0, "in")));
+        sim.schedule_in(SimDuration::from_millis(100), |w: &mut W, _| w.log.push((0, "out")));
+        sim.run_until(SimTime::from_nanos(50_000_000));
+        assert_eq!(sim.world.log.len(), 1);
+        assert_eq!(sim.now().as_millis(), 50, "clock advances to the horizon");
+        sim.run_until_idle();
+        assert_eq!(sim.world.log.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Sim::new(W::default());
+        sim.schedule_in(SimDuration::from_secs(1), |_: &mut W, s| {
+            s.schedule_at(SimTime::ZERO, |_, _| {});
+        });
+        sim.run_until_idle();
+    }
+
+    #[test]
+    fn step_returns_false_when_idle() {
+        let mut sim = Sim::new(W::default());
+        assert!(!sim.step());
+        sim.schedule_in(SimDuration::ZERO, |_: &mut W, _| {});
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+}

@@ -1,0 +1,50 @@
+//! `simnet` — a small, deterministic discrete-event simulator used to model
+//! the Grid'5000 testbed of the paper's evaluation (§V-A): nodes with
+//! 1 Gbit/s NICs, 0.1 ms latency, and commodity disks.
+//!
+//! The simulator is split into orthogonal pieces:
+//!
+//! * [`kernel`] — the event loop: a simulated clock, an ordered event queue
+//!   and `FnOnce` handlers parameterised over a user "world" type. Events at
+//!   equal timestamps fire in scheduling order, so runs are deterministic.
+//! * [`flow`] — a flow-level network model. Transfers are *flows* that share
+//!   NIC capacity max-min fairly; rates are recomputed whenever a flow starts
+//!   or finishes (progressive filling). This is the standard way to capture
+//!   throughput collapse under contention without packet-level detail.
+//! * [`disk`] — a work-conserving FIFO disk per node: submissions complete in
+//!   order at a fixed drain rate, which is what makes "two readers hitting
+//!   the same datanode" slower — the effect driving Fig. 4 of the paper.
+//! * [`server`] — a serialized RPC server (single queue, fixed service time)
+//!   used for the centralized entities: HDFS's namenode and BlobSeer's
+//!   version manager ("the only step … where concurrent requests are
+//!   serialized", §III-A.4).
+//!
+//! # Example
+//!
+//! ```
+//! use simnet::{Sim, SimDuration};
+//!
+//! struct World { ticks: u32 }
+//! let mut sim = Sim::new(World { ticks: 0 });
+//! sim.schedule_in(SimDuration::from_millis(5), |w: &mut World, sched| {
+//!     w.ticks += 1;
+//!     sched.schedule_in(SimDuration::from_millis(5), |w: &mut World, _| {
+//!         w.ticks += 1;
+//!     });
+//! });
+//! sim.run_until_idle();
+//! assert_eq!(sim.world.ticks, 2);
+//! assert_eq!(sim.now().as_millis(), 10);
+//! ```
+
+pub mod disk;
+pub mod flow;
+pub mod kernel;
+pub mod server;
+pub mod time;
+
+pub use disk::Disk;
+pub use flow::{start_flow, FlowId, FlowNet, NetWorld, NicSpec};
+pub use kernel::{Scheduler, Sim};
+pub use server::FifoServer;
+pub use time::{SimDuration, SimTime};

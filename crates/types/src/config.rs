@@ -1,0 +1,219 @@
+//! Configuration for the two storage engines.
+//!
+//! Defaults mirror the paper's deployment (§V): 64 MB blocks, replication 1
+//! (the throughput experiments compare unreplicated transfers), round-robin
+//! placement for BlobSeer. Tests and benches shrink the block size so that
+//! realistic multi-block files fit in memory.
+
+/// Placement policy used by the provider manager (§III-B: "a load balancing
+/// strategy that aims at evenly distributing the blocks across data
+/// providers").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// BlobSeer's default: allocate blocks on providers in a round-robin
+    /// fashion (§V-D).
+    #[default]
+    RoundRobin,
+    /// Pick the provider currently storing the fewest blocks; ties broken by
+    /// lowest node id. A natural "even distribution" alternative used in
+    /// ablations.
+    LeastLoaded,
+    /// Uniform random placement (the balls-in-bins baseline).
+    Random,
+    /// Random with session affinity: with probability `stickiness`
+    /// (in percent, 0–100) the next block stays on the previous provider.
+    /// Models HDFS 0.20 pipeline-session behaviour for remote writers; see
+    /// DESIGN.md §3.4.
+    StickyRandom {
+        /// Probability in percent (0–100) of re-using the previous target.
+        stickiness: u8,
+    },
+}
+
+/// Configuration of a BlobSeer deployment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlobSeerConfig {
+    /// Size of a data block ("we set this size to the size of the data piece
+    /// a Map/Reduce worker is supposed to process", §III-A.2).
+    pub block_size: u64,
+    /// Number of replicas stored for each block (§VI-B). 1 = no replication.
+    pub replication: usize,
+    /// Placement policy used by the provider manager.
+    pub placement: PlacementPolicy,
+    /// Number of metadata providers forming the DHT (the paper deploys 10–20).
+    pub metadata_providers: usize,
+    /// Replication level of metadata tree nodes within the DHT (§VI-B:
+    /// "metadata is stored in a DHT … resilient to faults by construction").
+    pub metadata_replication: usize,
+    /// How many versions back from the latest must be preserved by the
+    /// garbage collector. `None` disables automatic pruning.
+    pub gc_keep_versions: Option<u64>,
+}
+
+impl Default for BlobSeerConfig {
+    fn default() -> Self {
+        Self {
+            block_size: super::PAPER_BLOCK_SIZE,
+            replication: 1,
+            placement: PlacementPolicy::RoundRobin,
+            metadata_providers: 20,
+            metadata_replication: 1,
+            gc_keep_versions: None,
+        }
+    }
+}
+
+impl BlobSeerConfig {
+    /// A configuration with small blocks, convenient for tests that want
+    /// many-block files without gigabytes of RAM.
+    pub fn small_for_tests() -> Self {
+        Self {
+            block_size: 4 * 1024,
+            replication: 1,
+            placement: PlacementPolicy::RoundRobin,
+            metadata_providers: 4,
+            metadata_replication: 1,
+            gc_keep_versions: None,
+        }
+    }
+
+    /// Builder-style override of the block size.
+    #[must_use]
+    pub fn with_block_size(mut self, block_size: u64) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        self.block_size = block_size;
+        self
+    }
+
+    /// Builder-style override of the replication level.
+    #[must_use]
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        assert!(replication >= 1, "replication level must be at least 1");
+        self.replication = replication;
+        self
+    }
+
+    /// Builder-style override of the placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Builder-style override of the metadata provider count.
+    #[must_use]
+    pub fn with_metadata_providers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one metadata provider");
+        self.metadata_providers = n;
+        self
+    }
+}
+
+/// Configuration of the HDFS baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HdfsConfig {
+    /// Chunk ("block" in HDFS terms) size; 64 MB in the paper.
+    pub chunk_size: u64,
+    /// Replication level. The paper's throughput experiments behave like
+    /// replication 1; HDFS defaults to 3 in production.
+    pub replication: usize,
+    /// Whether `append` is supported. Hadoop 0.20 does not implement it
+    /// (§V-F); flipping this models later Hadoop versions.
+    pub append_supported: bool,
+    /// Placement affinity in percent for remote writers (see
+    /// `PlacementPolicy::StickyRandom` and DESIGN.md §3.4). 0 = pure random.
+    pub placement_stickiness: u8,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> Self {
+        Self {
+            chunk_size: super::PAPER_BLOCK_SIZE,
+            replication: 1,
+            append_supported: false,
+            placement_stickiness: 40,
+        }
+    }
+}
+
+impl HdfsConfig {
+    /// Small-chunk configuration for tests.
+    pub fn small_for_tests() -> Self {
+        Self {
+            chunk_size: 4 * 1024,
+            replication: 1,
+            append_supported: false,
+            placement_stickiness: 40,
+        }
+    }
+
+    /// Builder-style override of the chunk size.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: u64) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Builder-style override of the replication level.
+    #[must_use]
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        assert!(replication >= 1, "replication level must be at least 1");
+        self.replication = replication;
+        self
+    }
+
+    /// Builder-style toggle for append support.
+    #[must_use]
+    pub fn with_append(mut self, yes: bool) -> Self {
+        self.append_supported = yes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_the_paper() {
+        let c = BlobSeerConfig::default();
+        assert_eq!(c.block_size, 64 * 1024 * 1024);
+        assert_eq!(c.replication, 1);
+        assert_eq!(c.placement, PlacementPolicy::RoundRobin);
+        assert_eq!(c.metadata_providers, 20);
+
+        let h = HdfsConfig::default();
+        assert_eq!(h.chunk_size, 64 * 1024 * 1024);
+        assert!(!h.append_supported, "Hadoop 0.20 has no append (§V-F)");
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = BlobSeerConfig::small_for_tests()
+            .with_block_size(1024)
+            .with_replication(3)
+            .with_placement(PlacementPolicy::LeastLoaded)
+            .with_metadata_providers(2);
+        assert_eq!(c.block_size, 1024);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.placement, PlacementPolicy::LeastLoaded);
+        assert_eq!(c.metadata_providers, 2);
+
+        let h = HdfsConfig::small_for_tests().with_chunk_size(512).with_append(true);
+        assert_eq!(h.chunk_size, 512);
+        assert!(h.append_supported);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_rejected() {
+        let _ = BlobSeerConfig::default().with_block_size(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication level must be at least 1")]
+    fn zero_replication_rejected() {
+        let _ = BlobSeerConfig::default().with_replication(0);
+    }
+}

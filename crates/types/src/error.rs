@@ -1,0 +1,138 @@
+//! Error types shared by the storage engine and both file-system layers.
+//!
+//! A single error enum keeps the `dfs::FileSystem` trait object-safe and lets
+//! the Map/Reduce engine handle BSFS and HDFS failures uniformly. Variants
+//! mirror the failure modes the paper discusses: unsupported operations
+//! (HDFS has no `append`), single-writer violations, missing
+//! versions/blocks, and the minimal fault-tolerance paths of §VI-B.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage engines and file-system layers.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The requested BLOB id is unknown to the version manager.
+    NoSuchBlob(u64),
+    /// The requested version has not been assigned for this BLOB.
+    NoSuchVersion { blob: u64, version: u64 },
+    /// The requested version exists but has not yet been revealed to readers
+    /// (its own or a lower version's metadata is still being written,
+    /// §III-A.5).
+    VersionNotRevealed { blob: u64, version: u64 },
+    /// A read touched a range beyond the size of the requested snapshot.
+    OutOfBounds { requested_end: u64, snapshot_size: u64 },
+    /// A metadata tree node expected to exist was not found in the DHT.
+    MissingMetadata(String),
+    /// A data block expected to exist was not found on its provider.
+    MissingBlock(u64),
+    /// No data provider could be allocated (e.g. all providers are full or
+    /// the replication level exceeds the provider count).
+    NoProviderAvailable(String),
+    /// The path does not exist.
+    NotFound(String),
+    /// The path already exists (create without overwrite, mkdir over file…).
+    AlreadyExists(String),
+    /// The operation expected a directory but found a file, or vice versa.
+    NotADirectory(String),
+    /// A directory was not empty on non-recursive delete.
+    DirectoryNotEmpty(String),
+    /// Invalid path syntax (empty, not absolute, `..` components…).
+    InvalidPath(String),
+    /// The file is already opened for writing by another client
+    /// (HDFS single-writer lease, §II-B).
+    LeaseConflict(String),
+    /// The operation is not supported by this file system
+    /// ("HDFS … does not implement the append operation", §V-F).
+    Unsupported(&'static str),
+    /// A write or append was aborted (e.g. a block failed to store:
+    /// "if writing of a block fails, then the whole write fails", §III-D).
+    WriteAborted(String),
+    /// An I/O stream was used after being closed.
+    StreamClosed,
+    /// Timeout while waiting for a snapshot to be revealed.
+    Timeout(String),
+    /// Catch-all for internal invariant violations (a bug if ever seen).
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoSuchBlob(b) => write!(f, "no such blob: blob#{b}"),
+            Error::NoSuchVersion { blob, version } => {
+                write!(f, "blob#{blob} has no version v{version}")
+            }
+            Error::VersionNotRevealed { blob, version } => {
+                write!(f, "blob#{blob} v{version} is not yet revealed to readers")
+            }
+            Error::OutOfBounds { requested_end, snapshot_size } => write!(
+                f,
+                "read past end of snapshot: requested up to byte {requested_end} but snapshot holds {snapshot_size}"
+            ),
+            Error::MissingMetadata(k) => write!(f, "metadata node missing from DHT: {k}"),
+            Error::MissingBlock(b) => write!(f, "data block blk#{b} missing from its provider"),
+            Error::NoProviderAvailable(why) => write!(f, "no data provider available: {why}"),
+            Error::NotFound(p) => write!(f, "path not found: {p}"),
+            Error::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            Error::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            Error::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            Error::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            Error::LeaseConflict(p) => write!(f, "file is locked by another writer: {p}"),
+            Error::Unsupported(op) => write!(f, "operation not supported by this file system: {op}"),
+            Error::WriteAborted(why) => write!(f, "write aborted: {why}"),
+            Error::StreamClosed => write!(f, "stream already closed"),
+            Error::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            Error::Internal(why) => write!(f, "internal invariant violated: {why}"),
+        }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::NoSuchBlob(3), "no such blob: blob#3"),
+            (
+                Error::NoSuchVersion { blob: 1, version: 9 },
+                "blob#1 has no version v9",
+            ),
+            (Error::Unsupported("append"), "operation not supported by this file system: append"),
+            (Error::StreamClosed, "stream already closed"),
+        ];
+        for (e, msg) in cases {
+            assert_eq!(e.to_string(), msg);
+            // Debug goes through Display for readability in test output.
+            assert_eq!(format!("{e:?}"), msg);
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::NoSuchBlob(1), Error::NoSuchBlob(1));
+        assert_ne!(Error::NoSuchBlob(1), Error::NoSuchBlob(2));
+        assert_ne!(
+            Error::NotFound("/a".into()),
+            Error::AlreadyExists("/a".into())
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_err(_e: &dyn std::error::Error) {}
+        takes_std_err(&Error::StreamClosed);
+    }
+}

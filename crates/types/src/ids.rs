@@ -1,0 +1,192 @@
+//! Strongly-typed identifiers.
+//!
+//! Using newtypes instead of bare integers prevents the classic confusion
+//! between "version 3 of blob 7" and "blob 3 at version 7", at zero runtime
+//! cost.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw integer id.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer id.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            #[inline]
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a BLOB (Binary Large OBject) in the system (§III-A.1).
+    ///
+    /// Each BLOB is a huge, flat, versioned sequence of bytes. Ids are
+    /// allocated by the version manager on `create`.
+    BlobId,
+    "blob#"
+);
+
+id_newtype!(
+    /// Identifies a data block stored on a data provider.
+    ///
+    /// Block ids are globally unique: each write/append allocates fresh ids
+    /// for the blocks of its differential patch, so no block is ever
+    /// overwritten (the "no existing data is ever modified" invariant of
+    /// §III-A.4).
+    BlockId,
+    "blk#"
+);
+
+id_newtype!(
+    /// Identifies a physical node of the (simulated) cluster: a machine that
+    /// may host a data provider, a metadata provider, a manager process, a
+    /// Map/Reduce tasktracker, or a client.
+    NodeId,
+    "node#"
+);
+
+id_newtype!(
+    /// Identifies a client process (used for diagnostics and for deriving
+    /// deterministic per-client RNG streams in experiments).
+    ClientId,
+    "client#"
+);
+
+/// A snapshot version of a BLOB (§III-A.1).
+///
+/// Versions are assigned by the version manager in a strictly increasing
+/// sequence per BLOB, starting at 1 for the first write; version 0 denotes the
+/// empty BLOB that `create` produces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The version of a freshly created, empty BLOB.
+    pub const ZERO: Version = Version(0);
+
+    /// Wraps a raw version number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw version number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next version in sequence.
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+
+    /// The previous version, saturating at zero.
+    #[inline]
+    #[must_use]
+    pub const fn prev(self) -> Self {
+        Self(self.0.saturating_sub(1))
+    }
+
+    /// True for the empty-BLOB version.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for Version {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        let b = BlobId::new(1);
+        let n = NodeId::new(1);
+        // These comparisons only compile within a type; raw values match.
+        assert_eq!(b.raw(), n.raw());
+        assert_eq!(format!("{b}"), "blob#1");
+        assert_eq!(format!("{n}"), "node#1");
+        assert_eq!(format!("{:?}", BlockId::new(9)), "blk#9");
+        assert_eq!(format!("{}", ClientId::new(2)), "client#2");
+    }
+
+    #[test]
+    fn version_sequence() {
+        let v = Version::ZERO;
+        assert!(v.is_zero());
+        assert_eq!(v.next(), Version::new(1));
+        assert_eq!(v.next().prev(), Version::ZERO);
+        assert_eq!(Version::ZERO.prev(), Version::ZERO);
+        assert_eq!(format!("{}", Version::new(4)), "v4");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(BlobId::new(1));
+        set.insert(BlobId::new(1));
+        set.insert(BlobId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(Version::new(3) < Version::new(10));
+        assert!(NodeId::new(3) < NodeId::new(10));
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        assert_eq!(BlobId::from(7).raw(), 7);
+        assert_eq!(Version::from(7).raw(), 7);
+    }
+}

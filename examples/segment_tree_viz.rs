@@ -1,0 +1,82 @@
+//! Reproduces Figure 1 of the paper: the evolution of the distributed
+//! segment tree metadata across three operations on a BLOB —
+//!
+//!   (a) append four blocks to an empty BLOB,
+//!   (b) overwrite the first two blocks,
+//!   (c) append one more block (tree capacity grows 4 → 8).
+//!
+//! The example performs the real operations on the live engine and renders
+//! which tree nodes each version *materialized* and which it shares with
+//! earlier versions.
+//!
+//! ```text
+//! cargo run --example segment_tree_viz
+//! ```
+
+use blobseer_core::meta::key::{NodeKey, Pos};
+use blobseer_core::BlobSeer;
+use blobseer_types::{BlobId, BlobSeerConfig, NodeId, Version};
+
+const BLOCK: u64 = 64; // tiny blocks: content is irrelevant here
+
+fn render_tree(sys: &BlobSeer, blob: BlobId, version: Version, cap: u64) {
+    // Walk positions level by level; query the DHT for each (version,pos)
+    // to see which version materialized the node reachable there.
+    println!("  version {version} (capacity {cap} blocks):");
+    let mut len = cap;
+    while len >= 1 {
+        let mut row = String::from("    ");
+        let mut start = 0;
+        while start + len <= cap {
+            let pos = Pos::new(start, len);
+            // Find the owning version by probing from `version` downward —
+            // exactly what a woven child reference encodes.
+            let owner = (1..=version.raw())
+                .rev()
+                .find(|&v| sys.dht().get(&NodeKey::new(blob, Version::new(v), pos)).is_ok());
+            let cell = match owner {
+                Some(v) if v == version.raw() => format!("[({start},{len}) NEW v{v}]"),
+                Some(v) => format!("[({start},{len}) →v{v}]"),
+                None => format!("[({start},{len}) hole]"),
+            };
+            row.push_str(&format!("{cell:^20}"));
+            start += len;
+        }
+        println!("{row}");
+        if len == 1 {
+            break;
+        }
+        len /= 2;
+    }
+}
+
+fn main() {
+    let sys = BlobSeer::deploy(
+        BlobSeerConfig::default().with_block_size(BLOCK).with_metadata_providers(4),
+        4,
+    );
+    let client = sys.client(NodeId::new(0));
+    let blob = client.create();
+
+    println!("Fig. 1(a): append of four blocks to an empty BLOB\n");
+    client.append(blob, &vec![1u8; (4 * BLOCK) as usize]).unwrap();
+    render_tree(&sys, blob, Version::new(1), 4);
+
+    println!("\nFig. 1(b): overwrite of the first two blocks\n");
+    client.write(blob, 0, &vec![2u8; (2 * BLOCK) as usize]).unwrap();
+    render_tree(&sys, blob, Version::new(2), 4);
+    println!("  → the right subtree (2,2) is shared with v1, not rebuilt");
+
+    println!("\nFig. 1(c): append of one more block (capacity 4 → 8)\n");
+    client.append(blob, &vec![3u8; BLOCK as usize]).unwrap();
+    render_tree(&sys, blob, Version::new(3), 8);
+    println!("  → the old root (0,4) is shared with v2; only the new right");
+    println!("    spine (4,4) → (4,2) → leaf (4,1) and the new root were built");
+
+    let stats = sys.stats().snapshot();
+    println!(
+        "\ntotal metadata nodes written: {} (v1: 7, v2: 4, v3: 4 — matching Fig. 1)",
+        stats.meta_nodes_written
+    );
+    assert_eq!(stats.meta_nodes_written, 15);
+}

@@ -1,0 +1,15 @@
+//! `blobseer-repro` — umbrella crate of the BlobSeer reproduction.
+//!
+//! Re-exports every workspace crate so the examples in `examples/` and the
+//! integration tests in `tests/` can reach the whole stack through one
+//! dependency. See the README for the architecture map and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction methodology.
+
+pub use blobseer_core;
+pub use blobseer_types;
+pub use bsfs;
+pub use dfs;
+pub use experiments;
+pub use hdfs_sim;
+pub use mapreduce;
+pub use simnet;

@@ -1,0 +1,85 @@
+//! Smoke tests of the figure drivers through their public entry points:
+//! every reproduced figure renders, is deterministic, and preserves the
+//! paper's headline relations on a sparse grid. (Fine-grained assertions
+//! live in `crates/experiments`.)
+
+use experiments::{fig3a, fig3b, fig4, fig5, fig6, Constants};
+
+#[test]
+fn fig3a_renders_and_orders() {
+    let c = Constants::default();
+    let fig = fig3a::run(&c, &[1.0, 16.0]);
+    assert_eq!(fig.series.len(), 2);
+    let table = fig.to_table();
+    assert!(table.contains("Fig. 3(a)"));
+    assert!(table.contains("HDFS") && table.contains("BSFS"));
+    let csv = fig.to_csv();
+    assert_eq!(csv.lines().count(), 3, "header + 2 grid points");
+    // BSFS above HDFS at both ends.
+    let hdfs = &fig.series[0];
+    let bsfs = &fig.series[1];
+    for x in [1.0, 16.0] {
+        assert!(bsfs.y_at(x).unwrap() > hdfs.y_at(x).unwrap());
+    }
+}
+
+#[test]
+fn fig3b_renders() {
+    let c = Constants::default();
+    let fig = fig3b::run(&c, &[8.0, 16.0]);
+    assert!(fig.to_table().contains("Manhattan"));
+    assert!(fig.series[0].y_at(16.0).unwrap() > fig.series[1].y_at(16.0).unwrap());
+}
+
+#[test]
+fn fig4_renders() {
+    let c = Constants::default();
+    let fig = fig4::run(&c, &[1, 250]);
+    assert!(fig.to_table().contains("Fig. 4"));
+    assert!(fig.series[1].y_at(250.0).unwrap() > 2.0 * fig.series[0].y_at(250.0).unwrap());
+}
+
+#[test]
+fn fig5_renders_single_series() {
+    let c = Constants::default();
+    let fig = fig5::run(&c, &[1, 250]);
+    assert_eq!(fig.series.len(), 1, "HDFS has no append (§V-F)");
+    assert!(fig.title.contains("HDFS unsupported"));
+    assert!(fig.series[0].y_at(250.0).unwrap() > 100.0 * fig.series[0].y_at(1.0).unwrap());
+}
+
+#[test]
+fn fig6_renders_both_apps() {
+    let c = Constants::default();
+    let rtw = fig6::run_rtw(&c, &[50, 1]);
+    assert!(rtw.to_table().contains("RandomTextWriter"));
+    let grep = fig6::run_grep(&c, &[6.4, 12.8]);
+    assert!(grep.to_table().contains("grep"));
+    for fig in [&rtw, &grep] {
+        let hdfs = &fig.series[0];
+        let bsfs = &fig.series[1];
+        for (&(x, h), &(_, b)) in hdfs.points.iter().zip(&bsfs.points) {
+            assert!(b < h, "BSFS completes faster at x={x}: {b} vs {h}");
+        }
+    }
+}
+
+#[test]
+fn full_run_is_deterministic() {
+    let c = Constants::default();
+    let a = fig4::run(&c, &[100]);
+    let b = fig4::run(&c, &[100]);
+    assert_eq!(a.series[0].points, b.series[0].points);
+    assert_eq!(a.series[1].points, b.series[1].points);
+}
+
+#[test]
+fn paper_grids_are_the_published_ones() {
+    assert_eq!(fig3a::paper_sizes().len(), 9);
+    assert_eq!(fig3b::paper_sizes(), (1..=16).map(|g| g as f64).collect::<Vec<_>>());
+    assert_eq!(fig4::paper_counts().first(), Some(&1));
+    assert_eq!(fig4::paper_counts().last(), Some(&250));
+    assert_eq!(fig5::paper_counts().last(), Some(&250));
+    assert_eq!(fig6::rtw_paper_mappers().first(), Some(&50));
+    assert_eq!(fig6::grep_paper_sizes(), vec![6.4, 8.0, 9.6, 11.2, 12.8]);
+}

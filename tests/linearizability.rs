@@ -1,0 +1,239 @@
+//! Concurrency-semantics stress tests: the §III-A.5 guarantees under real
+//! OS-thread interleavings.
+//!
+//! BlobSeer's claim is linearizability with a twist: a write *takes effect*
+//! when its snapshot is revealed, and reveal order equals version order.
+//! Concretely testable consequences:
+//!
+//! 1. snapshots are immutable — re-reading a version always returns the
+//!    same bytes;
+//! 2. the revealed version only moves forward, and every revealed snapshot
+//!    is fully readable (no dangling metadata, no torn blocks);
+//! 3. readers are never blocked by writers and never observe in-flight
+//!    data;
+//! 4. append offsets are dense and non-overlapping.
+
+use blobseer_core::{BlobSeer, WriteIntent};
+use blobseer_types::{BlobSeerConfig, NodeId, Version};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const BLOCK: u64 = 512;
+
+fn system() -> Arc<BlobSeer> {
+    BlobSeer::deploy(
+        BlobSeerConfig::small_for_tests().with_block_size(BLOCK).with_metadata_providers(4),
+        8,
+    )
+}
+
+#[test]
+fn readers_never_see_torn_writes() {
+    // Writers overwrite the whole (single-block) BLOB with uniform values;
+    // readers must always see a uniform value — any mix means a torn read.
+    let sys = system();
+    let client = sys.client(NodeId::new(0));
+    let blob = client.create();
+    client.write(blob, 0, &[0u8; 512]).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for w in 1..=3u8 {
+        let c = sys.client(NodeId::new(w as u64));
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u8;
+            while !stop.load(Ordering::Relaxed) {
+                i = i.wrapping_add(1);
+                c.write(blob, 0, &[w * 64 + (i % 32); 512]).unwrap();
+            }
+        }));
+    }
+    for r in 0..4u64 {
+        let c = sys.client(NodeId::new(4 + r));
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let data = c.read(blob, None, 0, 512).unwrap();
+                assert!(
+                    data.iter().all(|&b| b == data[0]),
+                    "torn read: saw {} and {}",
+                    data[0],
+                    data.iter().find(|&&b| b != data[0]).unwrap()
+                );
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn revealed_version_is_monotonic_and_every_snapshot_stable() {
+    let sys = system();
+    let client = sys.client(NodeId::new(0));
+    let blob = client.create();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Appenders grow the blob.
+    let mut handles = Vec::new();
+    for w in 0..3u64 {
+        let c = sys.client(NodeId::new(w));
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u8;
+            while !stop.load(Ordering::Relaxed) {
+                i = i.wrapping_add(1);
+                c.append(blob, &vec![i; BLOCK as usize]).unwrap();
+            }
+        }));
+    }
+    // An observer checks monotonicity and size consistency.
+    let c = sys.client(NodeId::new(9));
+    let observer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last = Version::ZERO;
+            let mut last_size = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let (v, size) = c.latest(blob).unwrap();
+                assert!(v >= last, "revealed version went backwards: {last} → {v}");
+                assert!(size >= last_size, "size shrank: {last_size} → {size}");
+                assert_eq!(size, v.raw() * BLOCK, "each append adds exactly one block");
+                // The revealed snapshot must be fully readable right now.
+                if size > 0 {
+                    let tail = c.read(blob, Some(v), size - BLOCK, BLOCK).unwrap();
+                    assert!(tail.iter().all(|&b| b == tail[0]), "torn tail at {v}");
+                }
+                last = v;
+                last_size = size;
+            }
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    observer.join().unwrap();
+
+    // Afterwards: every version in history reads back internally uniform
+    // per block (immutability held throughout).
+    let c = sys.client(NodeId::new(9));
+    let (latest, _) = c.latest(blob).unwrap();
+    for v in 1..=latest.raw() {
+        let v = Version::new(v);
+        let size = c.size(blob, v).unwrap();
+        let data = c.read(blob, Some(v), 0, size).unwrap();
+        for chunk in data.chunks(BLOCK as usize) {
+            assert!(chunk.iter().all(|&b| b == chunk[0]));
+        }
+    }
+}
+
+#[test]
+fn reads_proceed_while_a_writer_is_stalled() {
+    // A writer that took a version but never commits must not block
+    // readers of already-revealed snapshots (readers are "completely
+    // decoupled", §III-A.4) — only the *reveal* of later versions stalls.
+    let sys = system();
+    let client = sys.client(NodeId::new(0));
+    let blob = client.create();
+    client.write(blob, 0, &[7u8; 512]).unwrap();
+
+    // Stall: assign v2 and walk away.
+    let _stuck = sys.version_manager().assign(blob, WriteIntent::Append { size: 512 }).unwrap();
+    // A later writer commits v3.
+    let v3 = client.write(blob, 0, &[9u8; 512]).unwrap();
+    assert_eq!(v3, Version::new(3));
+
+    // Readers still fly at v1.
+    for _ in 0..50 {
+        let data = client.read(blob, None, 0, 512).unwrap();
+        assert!(data.iter().all(|&b| b == 7));
+    }
+    assert_eq!(client.latest(blob).unwrap().0, Version::new(1));
+    assert_eq!(
+        sys.version_manager().pending_versions(blob).unwrap(),
+        vec![Version::new(2), Version::new(3)]
+    );
+
+    // The repair path unblocks everything: v2 re-publishes v1's content,
+    // and v3 becomes visible immediately after.
+    client.repair_aborted(&_stuck).unwrap();
+    assert_eq!(client.latest(blob).unwrap().0, Version::new(3));
+    let data = client.read(blob, Some(Version::new(2)), 0, 512).unwrap();
+    assert!(data.iter().all(|&b| b == 7), "repaired version shows v1 content");
+    let data = client.read(blob, None, 0, 512).unwrap();
+    assert!(data.iter().all(|&b| b == 9));
+}
+
+#[test]
+fn mixed_workload_stress() {
+    // Appenders, overwriters, branchers and readers all at once; at the
+    // end the full history is consistent.
+    let sys = system();
+    let c0 = sys.client(NodeId::new(0));
+    let blob = c0.create();
+    c0.write(blob, 0, &vec![1u8; (4 * BLOCK) as usize]).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Two appenders.
+    for w in 0..2u64 {
+        let c = sys.client(NodeId::new(w));
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                c.append(blob, &vec![2; BLOCK as usize]).unwrap();
+            }
+        }));
+    }
+    // One overwriter of block 0.
+    {
+        let c = sys.client(NodeId::new(2));
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u8;
+            while !stop.load(Ordering::Relaxed) {
+                i = i.wrapping_add(1);
+                c.write(blob, 0, &vec![i; BLOCK as usize]).unwrap();
+            }
+        }));
+    }
+    // One brancher reading its fork.
+    {
+        let c = sys.client(NodeId::new(3));
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let (v, size) = c.latest(blob).unwrap();
+                if v.is_zero() {
+                    continue;
+                }
+                let fork = c.branch(blob, v).unwrap();
+                let (fv, fsize) = c.latest(fork).unwrap();
+                assert_eq!((fv, fsize), (v, size), "fork head equals branch point");
+                let a = c.read(blob, Some(v), 0, size.min(BLOCK)).unwrap();
+                let b = c.read(fork, Some(v), 0, size.min(BLOCK)).unwrap();
+                assert_eq!(a, b);
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Full-history scan: sizes are non-decreasing in version order.
+    let (latest, _) = c0.latest(blob).unwrap();
+    let mut prev = 0u64;
+    for v in 1..=latest.raw() {
+        let size = c0.size(blob, Version::new(v)).unwrap();
+        assert!(size >= prev, "size shrank at v{v}: {prev} → {size}");
+        prev = size;
+    }
+}

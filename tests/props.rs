@@ -1,0 +1,269 @@
+//! Property-based tests: random operation sequences checked against simple
+//! reference models.
+
+use blobseer_core::BlobSeer;
+use blobseer_types::{BlobSeerConfig, ByteRange, NodeId, Version};
+use bsfs::BsfsCluster;
+use dfs::api::FileSystem;
+use dfs::util::{read_fully, write_file};
+use proptest::prelude::*;
+
+const BLOCK: u64 = 64;
+
+/// A write/append/branch script interpreted both by the live engine and by
+/// a plain `Vec<u8>` model; every historical snapshot must match the model
+/// state at that point.
+#[derive(Clone, Debug)]
+enum Op {
+    Write { offset: u16, val: u8, len: u8 },
+    Append { val: u8, len: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..2048, any::<u8>(), 1u8..=255).prop_map(|(offset, val, len)| Op::Write {
+            offset,
+            val,
+            len
+        }),
+        (any::<u8>(), 1u8..=255).prop_map(|(val, len)| Op::Append { val, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every snapshot of a random single-writer history equals the model.
+    #[test]
+    fn blob_history_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let sys = BlobSeer::deploy(
+            BlobSeerConfig::small_for_tests().with_block_size(BLOCK),
+            4,
+        );
+        let client = sys.client(NodeId::new(0));
+        let blob = client.create();
+        let mut model: Vec<u8> = Vec::new();
+        let mut snapshots: Vec<Vec<u8>> = vec![Vec::new()];
+
+        for op in &ops {
+            match *op {
+                Op::Write { offset, val, len } => {
+                    let offset = offset as usize;
+                    let data = vec![val; len as usize];
+                    client.write(blob, offset as u64, &data).unwrap();
+                    if model.len() < offset + data.len() {
+                        model.resize(offset + data.len(), 0);
+                    }
+                    model[offset..offset + data.len()].copy_from_slice(&data);
+                }
+                Op::Append { val, len } => {
+                    let data = vec![val; len as usize];
+                    let (off, _) = client.append(blob, &data).unwrap();
+                    prop_assert_eq!(off as usize, model.len(), "append offset mismatch");
+                    model.extend_from_slice(&data);
+                }
+            }
+            snapshots.push(model.clone());
+        }
+
+        // The head matches…
+        let (latest, size) = client.latest(blob).unwrap();
+        prop_assert_eq!(latest.raw() as usize, ops.len());
+        prop_assert_eq!(size as usize, model.len());
+        let head = client.read(blob, None, 0, size).unwrap();
+        prop_assert_eq!(&head[..], &model[..]);
+        // …and every historical snapshot matches its model state.
+        for (v, expect) in snapshots.iter().enumerate().skip(1) {
+            let v = Version::new(v as u64);
+            let sz = client.size(blob, v).unwrap();
+            prop_assert_eq!(sz as usize, expect.len(), "size of {}", v);
+            let data = client.read(blob, Some(v), 0, sz).unwrap();
+            prop_assert_eq!(&data[..], &expect[..], "content of {}", v);
+        }
+        // Random sub-range reads agree too.
+        if !model.is_empty() {
+            let mid = model.len() / 2;
+            let data = client.read(blob, None, mid as u64, (model.len() - mid) as u64).unwrap();
+            prop_assert_eq!(&data[..], &model[mid..]);
+        }
+    }
+
+    /// Branching at any revealed version yields an independent lineage that
+    /// equals the model prefix and diverges cleanly.
+    #[test]
+    fn branch_isolating_history(
+        ops in proptest::collection::vec(op_strategy(), 2..12),
+        branch_sel in any::<prop::sample::Index>(),
+        fork_val in any::<u8>(),
+    ) {
+        let sys = BlobSeer::deploy(
+            BlobSeerConfig::small_for_tests().with_block_size(BLOCK),
+            4,
+        );
+        let client = sys.client(NodeId::new(0));
+        let blob = client.create();
+        let mut model: Vec<u8> = Vec::new();
+        let mut snapshots: Vec<Vec<u8>> = vec![Vec::new()];
+        for op in &ops {
+            match *op {
+                Op::Write { offset, val, len } => {
+                    let offset = offset as usize;
+                    let data = vec![val; len as usize];
+                    client.write(blob, offset as u64, &data).unwrap();
+                    if model.len() < offset + data.len() {
+                        model.resize(offset + data.len(), 0);
+                    }
+                    model[offset..offset + data.len()].copy_from_slice(&data);
+                }
+                Op::Append { val, len } => {
+                    let data = vec![val; len as usize];
+                    client.append(blob, &data).unwrap();
+                    model.extend_from_slice(&data);
+                }
+            }
+            snapshots.push(model.clone());
+        }
+        let at = 1 + branch_sel.index(ops.len());
+        let fork = client.branch(blob, Version::new(at as u64)).unwrap();
+        // Fork head equals the model at the branch point.
+        let expect = &snapshots[at];
+        let (fv, fsize) = client.latest(fork).unwrap();
+        prop_assert_eq!(fv.raw() as usize, at);
+        prop_assert_eq!(fsize as usize, expect.len());
+        if !expect.is_empty() {
+            let data = client.read(fork, None, 0, fsize).unwrap();
+            prop_assert_eq!(&data[..], &expect[..]);
+        }
+        // Writing to the fork does not disturb the parent.
+        client.append(fork, &[fork_val; 10]).unwrap();
+        let (pv, psize) = client.latest(blob).unwrap();
+        prop_assert_eq!(pv.raw() as usize, ops.len());
+        prop_assert_eq!(psize as usize, model.len());
+    }
+
+    /// GC never affects surviving snapshots: after collecting everything
+    /// below the head, the head still equals the model.
+    #[test]
+    fn gc_preserves_surviving_snapshots(ops in proptest::collection::vec(op_strategy(), 2..16)) {
+        let sys = BlobSeer::deploy(
+            BlobSeerConfig::small_for_tests().with_block_size(BLOCK),
+            4,
+        );
+        let client = sys.client(NodeId::new(0));
+        let blob = client.create();
+        let mut model: Vec<u8> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Write { offset, val, len } => {
+                    let offset = offset as usize;
+                    let data = vec![val; len as usize];
+                    client.write(blob, offset as u64, &data).unwrap();
+                    if model.len() < offset + data.len() {
+                        model.resize(offset + data.len(), 0);
+                    }
+                    model[offset..offset + data.len()].copy_from_slice(&data);
+                }
+                Op::Append { val, len } => {
+                    let data = vec![val; len as usize];
+                    client.append(blob, &data).unwrap();
+                    model.extend_from_slice(&data);
+                }
+            }
+        }
+        let (latest, size) = client.latest(blob).unwrap();
+        client.gc_before(blob, latest).unwrap();
+        // Old versions gone…
+        if latest.raw() > 1 {
+            prop_assert!(client.read(blob, Some(Version::new(1)), 0, 1).is_err());
+        }
+        // …head intact.
+        let head = client.read(blob, Some(latest), 0, size).unwrap();
+        prop_assert_eq!(&head[..], &model[..]);
+    }
+
+    /// The BSFS streaming layer (write-behind + prefetch) round-trips any
+    /// byte sequence written in arbitrary-sized chunks.
+    #[test]
+    fn bsfs_streaming_roundtrip(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..700), 0..12),
+        read_chunk in 1usize..600,
+    ) {
+        let sys = BlobSeer::deploy(
+            BlobSeerConfig::small_for_tests().with_block_size(256),
+            4,
+        );
+        let cluster = BsfsCluster::new(sys);
+        let fs = cluster.mount(NodeId::new(0));
+        let mut out = fs.create("/p", true).unwrap();
+        let mut expect = Vec::new();
+        for chunk in &chunks {
+            out.write(chunk).unwrap();
+            expect.extend_from_slice(chunk);
+        }
+        out.close().unwrap();
+        // Chunked reads reproduce the stream.
+        let mut input = fs.open("/p").unwrap();
+        let mut got = Vec::new();
+        let mut buf = vec![0u8; read_chunk];
+        loop {
+            let n = input.read(&mut buf).unwrap();
+            if n == 0 { break; }
+            got.extend_from_slice(&buf[..n]);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Namespace model check: a random sequence of creates/deletes of
+    /// files matches a HashSet model, on both backends.
+    #[test]
+    fn namespace_matches_set_model(script in proptest::collection::vec((0u8..24, any::<bool>()), 1..40)) {
+        let sys = BlobSeer::deploy(BlobSeerConfig::small_for_tests().with_block_size(256), 2);
+        let bsfs = BsfsCluster::new(sys);
+        let bfs = bsfs.mount(NodeId::new(0));
+        let hdfs = hdfs_sim::HdfsCluster::new(
+            blobseer_types::HdfsConfig::small_for_tests().with_chunk_size(256),
+            2,
+        );
+        let hfs = hdfs.mount(NodeId::new(0));
+        let mut model = std::collections::HashSet::new();
+        for (slot, create) in script {
+            let path = format!("/ns/f{slot}");
+            if create {
+                write_file(&bfs, &path, b"x").unwrap();
+                write_file(&hfs, &path, b"x").unwrap();
+                model.insert(path);
+            } else {
+                let expect = model.remove(&path);
+                prop_assert_eq!(bfs.delete(&path, false).is_ok(), expect);
+                prop_assert_eq!(hfs.delete(&path, false).is_ok(), expect);
+            }
+        }
+        for slot in 0..24u8 {
+            let path = format!("/ns/f{slot}");
+            let expect = model.contains(&path);
+            prop_assert_eq!(bfs.exists(&path).unwrap(), expect);
+            prop_assert_eq!(hfs.exists(&path).unwrap(), expect);
+            if expect {
+                prop_assert_eq!(read_fully(&bfs, &path).unwrap(), b"x".to_vec());
+            }
+        }
+    }
+
+    /// Block-span arithmetic: spans tile the range exactly, in order,
+    /// within block bounds.
+    #[test]
+    fn block_spans_tile_ranges(offset in 0u64..10_000, size in 0u64..10_000, bs in 1u64..512) {
+        let range = ByteRange::new(offset, size);
+        let spans: Vec<_> = range.block_spans(bs).collect();
+        let total: u64 = spans.iter().map(|s| s.len).sum();
+        prop_assert_eq!(total, size);
+        let mut cursor = offset;
+        for s in &spans {
+            prop_assert_eq!(s.block_index * bs + s.offset_in_block, cursor);
+            prop_assert!(s.offset_in_block + s.len <= bs);
+            prop_assert!(s.len >= 1);
+            cursor += s.len;
+        }
+        prop_assert_eq!(cursor, range.end());
+    }
+}

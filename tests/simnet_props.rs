@@ -1,0 +1,166 @@
+//! Property-based tests of the discrete-event substrate: whatever random
+//! flow pattern we throw at the network model, physics must hold.
+
+use blobseer_types::NodeId;
+use proptest::prelude::*;
+use simnet::{start_flow, Disk, FifoServer, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration, SimTime};
+
+#[derive(Clone, Debug)]
+struct FlowSpec {
+    src: u8,
+    dst: u8,
+    kib: u16,
+    start_ms: u16,
+}
+
+fn flow_strategy(nodes: u8) -> impl Strategy<Value = FlowSpec> {
+    (0..nodes, 0..nodes, 1u16..2048, 0u16..500).prop_map(|(src, dst, kib, start_ms)| FlowSpec {
+        src,
+        dst,
+        kib,
+        start_ms,
+    })
+}
+
+struct W {
+    net: FlowNet<usize>,
+    completions: Vec<(usize, SimTime)>,
+}
+
+impl NetWorld for W {
+    type Token = usize;
+    fn net_mut(&mut self) -> &mut FlowNet<usize> {
+        &mut self.net
+    }
+    fn on_flow_complete(&mut self, sched: &mut Scheduler<Self>, token: usize) {
+        self.completions.push((token, sched.now()));
+    }
+}
+
+const NODES: u8 = 6;
+const CAP: f64 = 1_000_000.0; // 1 MB/s NICs
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every flow completes exactly once, never before its physical lower
+    /// bound (its bytes at full NIC speed), and never slower than the
+    /// worst case of sharing its NICs with every other flow.
+    #[test]
+    fn flows_complete_within_physical_bounds(specs in proptest::collection::vec(flow_strategy(NODES), 1..20)) {
+        let specs: Vec<FlowSpec> = specs.into_iter().filter(|s| s.src != s.dst).collect();
+        prop_assume!(!specs.is_empty());
+        let world = W { net: FlowNet::new(NODES as usize, NicSpec::symmetric(CAP)), completions: vec![] };
+        let mut sim = Sim::new(world);
+        for (i, s) in specs.iter().enumerate() {
+            let (src, dst, bytes) = (s.src, s.dst, s.kib as u64 * 1024);
+            sim.schedule_in(SimDuration::from_millis(s.start_ms as u64), move |w: &mut W, sch| {
+                start_flow(w, sch, NodeId::new(src as u64), NodeId::new(dst as u64), bytes, i);
+            });
+        }
+        let end = sim.run_until_idle();
+        prop_assert_eq!(sim.world.completions.len(), specs.len(), "every flow completes once");
+        let mut seen = std::collections::HashSet::new();
+        let n = specs.len() as f64;
+        for &(token, at) in &sim.world.completions {
+            prop_assert!(seen.insert(token), "duplicate completion {}", token);
+            let s = &specs[token];
+            let started = s.start_ms as f64 / 1000.0;
+            let min_secs = s.kib as f64 * 1024.0 / CAP;
+            let dur = at.as_secs_f64() - started;
+            prop_assert!(dur + 1e-6 >= min_secs, "flow {} beat light speed: {} < {}", token, dur, min_secs);
+            // Worst case: the flow shares both endpoints with all others
+            // for its whole life.
+            prop_assert!(dur <= min_secs * n + 1.0, "flow {} too slow: {} vs {}", token, dur, min_secs * n);
+        }
+        // Total bytes conserved.
+        let expected: f64 = specs.iter().map(|s| s.kib as f64 * 1024.0).sum();
+        let moved = sim.world.net.bytes_transferred();
+        prop_assert!((moved - expected).abs() < 1.0, "bytes lost: {} vs {}", moved, expected);
+        // Simulation ends exactly at the last completion.
+        let last = sim.world.completions.iter().map(|&(_, t)| t).max().unwrap();
+        prop_assert_eq!(end, last);
+    }
+
+    /// The flow model conserves work: aggregate throughput at any recompute
+    /// point never exceeds the sum of NIC capacities, so the makespan is
+    /// bounded below by total bytes / aggregate capacity.
+    #[test]
+    fn makespan_respects_aggregate_capacity(specs in proptest::collection::vec(flow_strategy(NODES), 1..24)) {
+        let specs: Vec<FlowSpec> = specs.into_iter().filter(|s| s.src != s.dst).map(|mut s| { s.start_ms = 0; s }).collect();
+        prop_assume!(!specs.is_empty());
+        let world = W { net: FlowNet::new(NODES as usize, NicSpec::symmetric(CAP)), completions: vec![] };
+        let mut sim = Sim::new(world);
+        for (i, s) in specs.iter().enumerate() {
+            let (src, dst, bytes) = (s.src, s.dst, s.kib as u64 * 1024);
+            sim.schedule_in(SimDuration::ZERO, move |w: &mut W, sch| {
+                start_flow(w, sch, NodeId::new(src as u64), NodeId::new(dst as u64), bytes, i);
+            });
+        }
+        let end = sim.run_until_idle().as_secs_f64();
+        let total_bytes: f64 = specs.iter().map(|s| s.kib as f64 * 1024.0).sum();
+        // Egress is the binding aggregate limit.
+        let min_time = total_bytes / (NODES as f64 * CAP);
+        prop_assert!(end + 1e-9 >= min_time);
+    }
+
+    /// FIFO servers: completion times are ordered, spacing ≥ service time,
+    /// and total busy time equals requests × service.
+    #[test]
+    fn fifo_server_discipline(arrivals in proptest::collection::vec(0u32..10_000, 1..64)) {
+        let svc = SimDuration::from_micros(500);
+        let mut server = FifoServer::new(svc);
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut last_done = SimTime::ZERO;
+        for &a in &sorted {
+            let done = server.submit(SimTime::from_nanos(a as u64 * 1000));
+            prop_assert!(done > last_done, "FIFO order violated");
+            prop_assert!(done.as_nanos() >= a as u64 * 1000 + svc.as_nanos());
+            last_done = done;
+        }
+        prop_assert_eq!(server.served(), sorted.len() as u64);
+    }
+
+    /// Disks: completions are monotone, and a busy disk finishes exactly
+    /// total_bytes/rate after its first idle start.
+    #[test]
+    fn disk_work_conservation(jobs in proptest::collection::vec(1u32..100_000, 1..32)) {
+        let rate = 1_000_000.0;
+        let mut disk = Disk::new(rate);
+        let mut last = SimTime::ZERO;
+        for &bytes in &jobs {
+            let done = disk.submit(SimTime::ZERO, bytes as u64);
+            prop_assert!(done >= last);
+            last = done;
+        }
+        let total: f64 = jobs.iter().map(|&b| b as f64).sum();
+        let expect = total / rate;
+        // All submitted at t=0: the queue drains back-to-back.
+        prop_assert!((last.as_secs_f64() - expect).abs() < 1e-3 * jobs.len() as f64);
+    }
+}
+
+/// Determinism across runs is load-bearing for the figure reproduction:
+/// byte-identical completion schedules for identical inputs.
+#[test]
+fn identical_runs_produce_identical_schedules() {
+    let run = || {
+        let world = W { net: FlowNet::new(5, NicSpec::symmetric(CAP)), completions: vec![] };
+        let mut sim = Sim::new(world);
+        for i in 0..12usize {
+            let src = (i % 4) as u64;
+            let dst = 4u64;
+            sim.schedule_in(SimDuration::from_millis(i as u64 * 7), move |w: &mut W, s| {
+                start_flow(w, s, NodeId::new(src), NodeId::new(dst), 100_000 + i as u64 * 13, i);
+            });
+        }
+        sim.run_until_idle();
+        sim.world
+            .completions
+            .iter()
+            .map(|&(t, at)| (t, at.as_nanos()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
