@@ -22,7 +22,10 @@ fn ablate_policies(c: &mut Criterion) {
         ("round_robin", PlacementPolicy::RoundRobin),
         ("least_loaded", PlacementPolicy::LeastLoaded),
         ("random", PlacementPolicy::Random),
-        ("sticky_65", PlacementPolicy::StickyRandom { stickiness: 65 }),
+        (
+            "sticky_65",
+            PlacementPolicy::StickyRandom { stickiness: 65 },
+        ),
     ];
     println!("# ablation: placement policy → unbalance (256 blocks / 269 nodes)");
     for (name, policy) in policies {
@@ -45,11 +48,7 @@ fn ablate_policies(c: &mut Criterion) {
 fn ablate_stickiness(c: &mut Criterion) {
     println!("# ablation: HDFS stickiness → unbalance at 16 GB");
     for stickiness in [0u8, 20, 40, 55, 65, 80] {
-        let u = fig3b::mean_unbalance(
-            PlacementPolicy::StickyRandom { stickiness },
-            256,
-            269,
-        );
+        let u = fig3b::mean_unbalance(PlacementPolicy::StickyRandom { stickiness }, 256, 269);
         println!("stickiness {stickiness:>3}%: {u:8.1}");
     }
     let mut g = c.benchmark_group("ablations/stickiness");
@@ -73,7 +72,10 @@ fn ablate_stickiness(c: &mut Criterion) {
 fn ablate_meta_shards(c: &mut Criterion) {
     println!("# ablation: metadata providers → Fig. 5 aggregate at 250 appenders (MB/s)");
     for shards in [1usize, 5, 10, 20, 40] {
-        let cst = Constants { meta_shards: shards, ..Constants::default() };
+        let cst = Constants {
+            meta_shards: shards,
+            ..Constants::default()
+        };
         let t = fig5::aggregated_mbps(&cst, fig5::OpMode::Append, 250);
         println!("{shards:>3} shards: {t:10.0}");
     }
@@ -82,7 +84,10 @@ fn ablate_meta_shards(c: &mut Criterion) {
     g.bench_function("sweep", |b| {
         b.iter(|| {
             for shards in [1usize, 20] {
-                let cst = Constants { meta_shards: shards, ..Constants::default() };
+                let cst = Constants {
+                    meta_shards: shards,
+                    ..Constants::default()
+                };
                 black_box(fig5::aggregated_mbps(&cst, fig5::OpMode::Append, 250));
             }
         })
@@ -95,7 +100,10 @@ fn ablate_meta_shards(c: &mut Criterion) {
 fn ablate_vm_service(c: &mut Criterion) {
     println!("# ablation: VM assignment service time → Fig. 5 aggregate at 250 appenders (MB/s)");
     for ms in [1u64, 2, 4, 8, 16] {
-        let cst = Constants { vm_assign_svc: SimDuration::from_millis(ms), ..Constants::default() };
+        let cst = Constants {
+            vm_assign_svc: SimDuration::from_millis(ms),
+            ..Constants::default()
+        };
         let t = fig5::aggregated_mbps(&cst, fig5::OpMode::Append, 250);
         println!("{ms:>3} ms: {t:10.0}");
     }
@@ -104,7 +112,10 @@ fn ablate_vm_service(c: &mut Criterion) {
     g.bench_function("sweep", |b| {
         b.iter(|| {
             for ms in [1u64, 16] {
-                let cst = Constants { vm_assign_svc: SimDuration::from_millis(ms), ..Constants::default() };
+                let cst = Constants {
+                    vm_assign_svc: SimDuration::from_millis(ms),
+                    ..Constants::default()
+                };
                 black_box(fig5::aggregated_mbps(&cst, fig5::OpMode::Append, 250));
             }
         })
@@ -119,7 +130,10 @@ fn ablate_append_vs_write(c: &mut Criterion) {
     for n in [50usize, 150, 250] {
         let a = fig5::aggregated_mbps(&cst, fig5::OpMode::Append, n);
         let w = fig5::aggregated_mbps(&cst, fig5::OpMode::RandomWrite, n);
-        println!("{n:>3} clients: append {a:9.0}  write {w:9.0}  delta {:+5.1}%", (w - a) / a * 100.0);
+        println!(
+            "{n:>3} clients: append {a:9.0}  write {w:9.0}  delta {:+5.1}%",
+            (w - a) / a * 100.0
+        );
     }
     let mut g = c.benchmark_group("ablations/append_vs_write");
     g.sample_size(10);
@@ -142,17 +156,25 @@ fn ablate_live_policies(c: &mut Criterion) {
         ("round_robin", PlacementPolicy::RoundRobin),
         ("least_loaded", PlacementPolicy::LeastLoaded),
         ("random", PlacementPolicy::Random),
-        ("sticky_65", PlacementPolicy::StickyRandom { stickiness: 65 }),
+        (
+            "sticky_65",
+            PlacementPolicy::StickyRandom { stickiness: 65 },
+        ),
     ];
     for (name, policy) in policies {
         let sys = BlobSeer::deploy(
-            BlobSeerConfig::default().with_block_size(1024).with_placement(policy),
+            BlobSeerConfig::default()
+                .with_block_size(1024)
+                .with_placement(policy),
             16,
         );
         let client = sys.client(NodeId::new(99));
         let blob = client.create();
         client.write(blob, 0, &vec![1u8; 64 * 1024]).unwrap();
-        println!("{name:>14}: {:8.1}", manhattan_unbalance(&sys.layout_vector()));
+        println!(
+            "{name:>14}: {:8.1}",
+            manhattan_unbalance(&sys.layout_vector())
+        );
     }
     let mut g = c.benchmark_group("ablations/live_policy_layout");
     g.sample_size(10);

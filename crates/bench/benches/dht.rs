@@ -15,7 +15,11 @@ fn key(v: u64, start: u64) -> NodeKey {
 }
 
 fn leaf(id: u64) -> TreeNode {
-    TreeNode::Leaf(BlockDescriptor { block_id: BlockId::new(id), providers: vec![0], len: 64 })
+    TreeNode::Leaf(BlockDescriptor {
+        block_id: BlockId::new(id),
+        providers: vec![0],
+        len: 64,
+    })
 }
 
 fn bench_put_get(c: &mut Criterion) {
@@ -49,28 +53,32 @@ fn bench_concurrent_gets(c: &mut Criterion) {
     let mut g = c.benchmark_group("dht/concurrent_gets_8_threads");
     g.sample_size(10);
     for &shards in &[1usize, 20] {
-        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
-            let dht = Arc::new(MetaDht::new(shards, 1));
-            for v in 0..4096u64 {
-                dht.put(key(v, v % 1024), leaf(v));
-            }
-            b.iter(|| {
-                let threads: Vec<_> = (0..8)
-                    .map(|t| {
-                        let dht = Arc::clone(&dht);
-                        std::thread::spawn(move || {
-                            for i in 0..2000u64 {
-                                let v = (t * 911 + i) % 4096;
-                                black_box(dht.get(&key(v, v % 1024)).unwrap());
-                            }
-                        })
-                    })
-                    .collect();
-                for t in threads {
-                    t.join().unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let dht = Arc::new(MetaDht::new(shards, 1));
+                for v in 0..4096u64 {
+                    dht.put(key(v, v % 1024), leaf(v));
                 }
-            });
-        });
+                b.iter(|| {
+                    let threads: Vec<_> = (0..8)
+                        .map(|t| {
+                            let dht = Arc::clone(&dht);
+                            std::thread::spawn(move || {
+                                for i in 0..2000u64 {
+                                    let v = (t * 911 + i) % 4096;
+                                    black_box(dht.get(&key(v, v % 1024)).unwrap());
+                                }
+                            })
+                        })
+                        .collect();
+                    for t in threads {
+                        t.join().unwrap();
+                    }
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -91,5 +99,10 @@ fn bench_replicated_put(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_put_get, bench_concurrent_gets, bench_replicated_put);
+criterion_group!(
+    benches,
+    bench_put_get,
+    bench_concurrent_gets,
+    bench_replicated_put
+);
 criterion_main!(benches);

@@ -72,5 +72,12 @@ fn bench_fig6(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig3a, bench_fig3b, bench_fig4, bench_fig5, bench_fig6);
+criterion_group!(
+    benches,
+    bench_fig3a,
+    bench_fig3b,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6
+);
 criterion_main!(benches);

@@ -64,52 +64,60 @@ fn bench_concurrent_readers(c: &mut Criterion) {
     for &threads in &[1usize, 4, 8] {
         let data: Vec<u8> = (0..(threads as u64 * BLOCK)).map(|i| i as u8).collect();
         g.throughput(Throughput::Bytes(data.len() as u64));
-        g.bench_with_input(BenchmarkId::new("bsfs", threads), &threads, |b, &threads| {
-            let cl = bsfs();
-            write_file(&cl.mount(NodeId::new(100)), "/shared", &data).unwrap();
-            b.iter(|| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let fs = cl.mount(NodeId::new(t as u64));
-                        std::thread::spawn(move || {
-                            let mut input = fs.open("/shared").unwrap();
-                            input.seek(t as u64 * BLOCK).unwrap();
-                            let mut buf = vec![0u8; 4096];
-                            for _ in 0..(BLOCK / 4096) {
-                                input.read_exact(&mut buf).unwrap();
-                            }
-                            black_box(buf[0])
+        g.bench_with_input(
+            BenchmarkId::new("bsfs", threads),
+            &threads,
+            |b, &threads| {
+                let cl = bsfs();
+                write_file(&cl.mount(NodeId::new(100)), "/shared", &data).unwrap();
+                b.iter(|| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let fs = cl.mount(NodeId::new(t as u64));
+                            std::thread::spawn(move || {
+                                let mut input = fs.open("/shared").unwrap();
+                                input.seek(t as u64 * BLOCK).unwrap();
+                                let mut buf = vec![0u8; 4096];
+                                for _ in 0..(BLOCK / 4096) {
+                                    input.read_exact(&mut buf).unwrap();
+                                }
+                                black_box(buf[0])
+                            })
                         })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().unwrap();
-                }
-            });
-        });
-        g.bench_with_input(BenchmarkId::new("hdfs", threads), &threads, |b, &threads| {
-            let cl = hdfs();
-            write_file(&cl.mount(NodeId::new(100)), "/shared", &data).unwrap();
-            b.iter(|| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let fs = cl.mount(NodeId::new(t as u64));
-                        std::thread::spawn(move || {
-                            let mut input = fs.open("/shared").unwrap();
-                            input.seek(t as u64 * BLOCK).unwrap();
-                            let mut buf = vec![0u8; 4096];
-                            for _ in 0..(BLOCK / 4096) {
-                                input.read_exact(&mut buf).unwrap();
-                            }
-                            black_box(buf[0])
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("hdfs", threads),
+            &threads,
+            |b, &threads| {
+                let cl = hdfs();
+                write_file(&cl.mount(NodeId::new(100)), "/shared", &data).unwrap();
+                b.iter(|| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let fs = cl.mount(NodeId::new(t as u64));
+                            std::thread::spawn(move || {
+                                let mut input = fs.open("/shared").unwrap();
+                                input.seek(t as u64 * BLOCK).unwrap();
+                                let mut buf = vec![0u8; 4096];
+                                for _ in 0..(BLOCK / 4096) {
+                                    input.read_exact(&mut buf).unwrap();
+                                }
+                                black_box(buf[0])
+                            })
                         })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().unwrap();
-                }
-            });
-        });
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -121,31 +129,35 @@ fn bench_concurrent_appenders(c: &mut Criterion) {
     g.sample_size(10);
     for &threads in &[1usize, 4, 8] {
         g.throughput(Throughput::Bytes(threads as u64 * BLOCK));
-        g.bench_with_input(BenchmarkId::new("bsfs", threads), &threads, |b, &threads| {
-            let cl = bsfs();
-            let payload = Arc::new(vec![7u8; BLOCK as usize]);
-            let mut round = 0u64;
-            b.iter(|| {
-                round += 1;
-                let path = format!("/log{round}");
-                write_file(&cl.mount(NodeId::new(100)), &path, b"seed").unwrap();
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let fs = cl.mount(NodeId::new(t as u64));
-                        let payload = Arc::clone(&payload);
-                        let path = path.clone();
-                        std::thread::spawn(move || {
-                            let mut out = fs.append(&path).unwrap();
-                            out.write(&payload).unwrap();
-                            out.close().unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("bsfs", threads),
+            &threads,
+            |b, &threads| {
+                let cl = bsfs();
+                let payload = Arc::new(vec![7u8; BLOCK as usize]);
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    let path = format!("/log{round}");
+                    write_file(&cl.mount(NodeId::new(100)), &path, b"seed").unwrap();
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let fs = cl.mount(NodeId::new(t as u64));
+                            let payload = Arc::clone(&payload);
+                            let path = path.clone();
+                            std::thread::spawn(move || {
+                                let mut out = fs.append(&path).unwrap();
+                                out.write(&payload).unwrap();
+                                out.close().unwrap();
+                            })
                         })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().unwrap();
-                }
-            });
-        });
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -156,14 +168,18 @@ fn bench_gc(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("bsfs", |b| {
         let sys = BlobSeer::deploy(
-            BlobSeerConfig::default().with_block_size(4096).with_metadata_providers(4),
+            BlobSeerConfig::default()
+                .with_block_size(4096)
+                .with_metadata_providers(4),
             4,
         );
         let client = sys.client(NodeId::new(0));
         b.iter(|| {
             let blob = client.create();
             for i in 0..32u64 {
-                client.write(blob, (i % 4) * 4096, &[i as u8; 4096]).unwrap();
+                client
+                    .write(blob, (i % 4) * 4096, &[i as u8; 4096])
+                    .unwrap();
             }
             let report = client
                 .gc_before(blob, blobseer_types::Version::new(32))

@@ -11,7 +11,10 @@ fn policies() -> Vec<(&'static str, PlacementPolicy)> {
         ("round_robin", PlacementPolicy::RoundRobin),
         ("least_loaded", PlacementPolicy::LeastLoaded),
         ("random", PlacementPolicy::Random),
-        ("sticky_65", PlacementPolicy::StickyRandom { stickiness: 65 }),
+        (
+            "sticky_65",
+            PlacementPolicy::StickyRandom { stickiness: 65 },
+        ),
     ]
 }
 

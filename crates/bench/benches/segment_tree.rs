@@ -56,10 +56,21 @@ impl Fx {
         self.log.write().push(entry);
         let leaves: HashMap<u64, BlockDescriptor> = (start..end)
             .map(|b| {
-                (b, BlockDescriptor { block_id: BlockId::new(v * 100_000 + b), providers: vec![0], len: 64 })
+                (
+                    b,
+                    BlockDescriptor {
+                        block_id: BlockId::new(v * 100_000 + b),
+                        providers: vec![0],
+                        len: 64,
+                    },
+                )
             })
             .collect();
-        let store = TreeStore { dht: &self.dht, gc: &self.gc, stats: &self.stats };
+        let store = TreeStore {
+            dht: &self.dht,
+            gc: &self.gc,
+            stats: &self.stats,
+        };
         store.publish_write(self.blob, &entry, &self.chain(), &leaves);
     }
 }
@@ -68,13 +79,17 @@ impl Fx {
 fn bench_publish_full(c: &mut Criterion) {
     let mut g = c.benchmark_group("segment_tree/publish_full");
     for &blocks in &[64u64, 256, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
-            b.iter(|| {
-                let fx = Fx::new();
-                fx.write(1, 0, blocks, blocks);
-                black_box(fx.dht.node_count())
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(blocks),
+            &blocks,
+            |b, &blocks| {
+                b.iter(|| {
+                    let fx = Fx::new();
+                    fx.write(1, 0, blocks, blocks);
+                    black_box(fx.dht.node_count())
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -84,15 +99,19 @@ fn bench_publish_full(c: &mut Criterion) {
 fn bench_publish_single_block(c: &mut Criterion) {
     let mut g = c.benchmark_group("segment_tree/publish_one_block_update");
     for &blocks in &[64u64, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, &blocks| {
-            let fx = Fx::new();
-            fx.write(1, 0, blocks, blocks);
-            let mut v = 2u64;
-            b.iter(|| {
-                fx.write(v, v % blocks, v % blocks + 1, blocks);
-                v += 1;
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(blocks),
+            &blocks,
+            |b, &blocks| {
+                let fx = Fx::new();
+                fx.write(1, 0, blocks, blocks);
+                let mut v = 2u64;
+                b.iter(|| {
+                    fx.write(v, v % blocks, v % blocks + 1, blocks);
+                    v += 1;
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -102,7 +121,11 @@ fn bench_locate(c: &mut Criterion) {
     let fx = Fx::new();
     let blocks = 1024;
     fx.write(1, 0, blocks, blocks);
-    let store = TreeStore { dht: &fx.dht, gc: &fx.gc, stats: &fx.stats };
+    let store = TreeStore {
+        dht: &fx.dht,
+        gc: &fx.gc,
+        stats: &fx.stats,
+    };
     let mut g = c.benchmark_group("segment_tree/locate");
     g.bench_function("one_block", |b| {
         let mut i = 0u64;

@@ -18,7 +18,14 @@ fn bench_assign_commit(c: &mut Criterion) {
         let vm = vm();
         let blob = vm.create_blob();
         b.iter(|| {
-            let t = vm.assign(blob, WriteIntent::Append { size: 64 * 1024 * 1024 }).unwrap();
+            let t = vm
+                .assign(
+                    blob,
+                    WriteIntent::Append {
+                        size: 64 * 1024 * 1024,
+                    },
+                )
+                .unwrap();
             vm.commit(blob, t.version).unwrap();
             black_box(t.version)
         });
@@ -30,18 +37,22 @@ fn bench_assign_commit(c: &mut Criterion) {
 fn bench_assign_vs_history(c: &mut Criterion) {
     let mut g = c.benchmark_group("version_manager/assign_with_history");
     for &history in &[0u64, 1_000, 100_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(history), &history, |b, &history| {
-            let vm = vm();
-            let blob = vm.create_blob();
-            for _ in 0..history {
-                let t = vm.assign(blob, WriteIntent::Append { size: 1 }).unwrap();
-                vm.commit(blob, t.version).unwrap();
-            }
-            b.iter(|| {
-                let t = vm.assign(blob, WriteIntent::Append { size: 1 }).unwrap();
-                vm.commit(blob, t.version).unwrap();
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(history),
+            &history,
+            |b, &history| {
+                let vm = vm();
+                let blob = vm.create_blob();
+                for _ in 0..history {
+                    let t = vm.assign(blob, WriteIntent::Append { size: 1 }).unwrap();
+                    vm.commit(blob, t.version).unwrap();
+                }
+                b.iter(|| {
+                    let t = vm.assign(blob, WriteIntent::Append { size: 1 }).unwrap();
+                    vm.commit(blob, t.version).unwrap();
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -85,7 +96,10 @@ fn bench_snapshot_info(c: &mut Criterion) {
         let mut v = 1u64;
         b.iter(|| {
             v = v % 1000 + 1;
-            black_box(vm.snapshot_info(blob, blobseer_types::Version::new(v)).unwrap())
+            black_box(
+                vm.snapshot_info(blob, blobseer_types::Version::new(v))
+                    .unwrap(),
+            )
         });
     });
 }

@@ -21,15 +21,31 @@ fn main() {
     };
     bench::print_figure(&fig);
 
-    let counts = if quick { vec![1, 100, 250] } else { fig4::paper_counts() };
+    let counts = if quick {
+        vec![1, 100, 250]
+    } else {
+        fig4::paper_counts()
+    };
     bench::print_figure(&fig4::run(&c, &counts));
 
-    let counts = if quick { vec![1, 100, 250] } else { fig5::paper_counts() };
+    let counts = if quick {
+        vec![1, 100, 250]
+    } else {
+        fig5::paper_counts()
+    };
     bench::print_figure(&fig5::run(&c, &counts));
 
-    let mappers = if quick { vec![50, 5, 1] } else { fig6::rtw_paper_mappers() };
+    let mappers = if quick {
+        vec![50, 5, 1]
+    } else {
+        fig6::rtw_paper_mappers()
+    };
     bench::print_figure(&fig6::run_rtw(&c, &mappers));
 
-    let sizes = if quick { vec![6.4, 12.8] } else { fig6::grep_paper_sizes() };
+    let sizes = if quick {
+        vec![6.4, 12.8]
+    } else {
+        fig6::grep_paper_sizes()
+    };
     bench::print_figure(&fig6::run_grep(&c, &sizes));
 }

@@ -55,7 +55,8 @@ impl DataProvider {
                 );
             }
             None => {
-                self.bytes_stored.fetch_add(data.len() as u64, Ordering::Relaxed);
+                self.bytes_stored
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
                 map.insert(id, data);
             }
         }
@@ -103,7 +104,10 @@ impl DataProvider {
 
     /// `(puts, gets)` served since creation.
     pub fn op_counts(&self) -> (u64, u64) {
-        (self.puts.load(Ordering::Relaxed), self.gets.load(Ordering::Relaxed))
+        (
+            self.puts.load(Ordering::Relaxed),
+            self.gets.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -156,7 +160,10 @@ impl ProviderSet {
     /// Per-provider block counts — the "data layout vector" used by the
     /// paper's load-balancing metric (§V-D, Fig. 3(b)).
     pub fn layout_vector(&self) -> Vec<u64> {
-        self.providers.iter().map(|p| p.block_count() as u64).collect()
+        self.providers
+            .iter()
+            .map(|p| p.block_count() as u64)
+            .collect()
     }
 }
 

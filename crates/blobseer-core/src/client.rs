@@ -72,19 +72,27 @@ impl BlobSeer {
 
     /// Deploys with one data provider per given node.
     pub fn deploy_on(cfg: BlobSeerConfig, provider_nodes: Vec<NodeId>) -> Arc<Self> {
-        assert!(!provider_nodes.is_empty(), "need at least one data provider");
+        assert!(
+            !provider_nodes.is_empty(),
+            "need at least one data provider"
+        );
         assert!(
             cfg.block_size <= u32::MAX as u64,
             "block size must fit in 32 bits"
         );
         let stats = Arc::new(EngineStats::new());
-        let providers = Arc::new(ProviderSet::new(provider_nodes.len(), |i| provider_nodes[i]));
+        let providers = Arc::new(ProviderSet::new(provider_nodes.len(), |i| {
+            provider_nodes[i]
+        }));
         let pm = Arc::new(ProviderManager::new(
             provider_nodes.len(),
             cfg.placement,
             0x5EED_0001,
         ));
-        let dht = Arc::new(MetaDht::new(cfg.metadata_providers, cfg.metadata_replication));
+        let dht = Arc::new(MetaDht::new(
+            cfg.metadata_providers,
+            cfg.metadata_replication,
+        ));
         let vm = Arc::new(VersionManager::new(cfg.block_size, Arc::clone(&stats)));
         Arc::new(Self {
             cfg,
@@ -100,7 +108,10 @@ impl BlobSeer {
     /// A client bound to a cluster node (the node matters for diagnostics
     /// and for locality-aware schedulers reading block locations).
     pub fn client(self: &Arc<Self>, node: NodeId) -> BlobClient {
-        BlobClient { sys: Arc::clone(self), node }
+        BlobClient {
+            sys: Arc::clone(self),
+            node,
+        }
     }
 
     /// Deployment configuration.
@@ -134,7 +145,11 @@ impl BlobSeer {
     }
 
     fn tree(&self) -> TreeStore<'_> {
-        TreeStore { dht: &self.dht, gc: &self.gc, stats: &self.stats }
+        TreeStore {
+            dht: &self.dht,
+            gc: &self.gc,
+            stats: &self.stats,
+        }
     }
 }
 
@@ -199,7 +214,9 @@ impl BlobClient {
     /// version (revealed once all lower versions commit).
     pub fn write(&self, blob: BlobId, offset: u64, data: &[u8]) -> Result<Version> {
         if data.is_empty() {
-            return Err(Error::WriteAborted("zero-length writes are rejected".into()));
+            return Err(Error::WriteAborted(
+                "zero-length writes are rejected".into(),
+            ));
         }
         let bs = self.sys.cfg.block_size;
         // Read-modify-write alignment against the latest revealed snapshot
@@ -207,10 +224,13 @@ impl BlobClient {
         let (_, base_size) = self.sys.vm.latest(blob)?;
         let merged = self.merge_boundaries(blob, offset, data, base_size)?;
         let leaves = self.store_blocks(&merged.payload, merged.start / bs)?;
-        let ticket = self
-            .sys
-            .vm
-            .assign(blob, WriteIntent::Write { offset, size: data.len() as u64 })?;
+        let ticket = self.sys.vm.assign(
+            blob,
+            WriteIntent::Write {
+                offset,
+                size: data.len() as u64,
+            },
+        )?;
         self.publish_and_commit(&ticket, leaves)?;
         Ok(ticket.version)
     }
@@ -220,18 +240,28 @@ impl BlobClient {
     /// `(offset, version)`.
     pub fn append(&self, blob: BlobId, data: &[u8]) -> Result<(u64, Version)> {
         if data.is_empty() {
-            return Err(Error::WriteAborted("zero-length appends are rejected".into()));
+            return Err(Error::WriteAborted(
+                "zero-length appends are rejected".into(),
+            ));
         }
         let bs = self.sys.cfg.block_size;
         // Optimistic data phase: chunk as if the append lands block-aligned
         // (always true for BSFS's write-behind cache and for the paper's
         // workloads). Descriptors are keyed relative to block 0 for now.
         let optimistic = self.store_blocks(data, 0)?;
-        let ticket = self.sys.vm.assign(blob, WriteIntent::Append { size: data.len() as u64 })?;
+        let ticket = self.sys.vm.assign(
+            blob,
+            WriteIntent::Append {
+                size: data.len() as u64,
+            },
+        )?;
         let leaves = if ticket.offset.is_multiple_of(bs) {
             // Re-key descriptors at the real first block index.
             let first = ticket.offset / bs;
-            optimistic.into_iter().map(|(i, d)| (first + i, d)).collect()
+            optimistic
+                .into_iter()
+                .map(|(i, d)| (first + i, d))
+                .collect()
         } else {
             // Rare slow path: the file tail is unaligned. Discard the
             // optimistic blocks and redo the data phase with boundary
@@ -296,7 +326,13 @@ impl BlobClient {
     /// the range exceeds the snapshot and [`Error::VersionNotRevealed`]
     /// when an explicit version is not yet visible (§III-A.5: readers only
     /// access revealed snapshots).
-    pub fn read(&self, blob: BlobId, version: Option<Version>, offset: u64, size: u64) -> Result<Bytes> {
+    pub fn read(
+        &self,
+        blob: BlobId,
+        version: Option<Version>,
+        offset: u64,
+        size: u64,
+    ) -> Result<Bytes> {
         let info = self.resolve(blob, version)?;
         if offset + size > info.size {
             return Err(Error::OutOfBounds {
@@ -309,7 +345,10 @@ impl BlobClient {
         }
         let bs = self.sys.cfg.block_size;
         let query = BlockRange::of_bytes(offset, size, bs);
-        let located = self.sys.tree().locate(info.root_blob, info.version, info.cap, query)?;
+        let located = self
+            .sys
+            .tree()
+            .locate(info.root_blob, info.version, info.cap, query)?;
         let mut out = BytesMut::with_capacity(size as usize);
         let spans = ByteRange::new(offset, size).block_spans(bs);
         for (span, loc) in spans.zip(located.iter()) {
@@ -362,7 +401,10 @@ impl BlobClient {
         }
         let bs = self.sys.cfg.block_size;
         let query = BlockRange::of_bytes(offset, size, bs);
-        let located = self.sys.tree().locate(info.root_blob, info.version, info.cap, query)?;
+        let located = self
+            .sys
+            .tree()
+            .locate(info.root_blob, info.version, info.cap, query)?;
         let spans = ByteRange::new(offset, size).block_spans(bs);
         Ok(spans
             .zip(located)
@@ -492,7 +534,11 @@ impl BlobClient {
         let end = offset + data.len() as u64;
         let lead = offset % bs;
         let start = offset - lead;
-        let tail_end = if end.is_multiple_of(bs) { end } else { (end / bs + 1) * bs };
+        let tail_end = if end.is_multiple_of(bs) {
+            end
+        } else {
+            (end / bs + 1) * bs
+        };
         let suffix_end = base_size.min(tail_end).max(end);
         let mut payload = BytesMut::with_capacity((suffix_end - start) as usize);
         if lead > 0 {
@@ -511,12 +557,19 @@ impl BlobClient {
             }
             payload.resize((suffix_end - start) as usize, 0);
         }
-        Ok(MergedPayload { start, payload: payload.freeze() })
+        Ok(MergedPayload {
+            start,
+            payload: payload.freeze(),
+        })
     }
 
     /// Data phase: allocates providers, stores the payload's blocks, and
     /// returns `(block_index, descriptor)` pairs keyed from `first_block`.
-    fn store_blocks(&self, payload: &[u8], first_block: u64) -> Result<Vec<(u64, BlockDescriptor)>> {
+    fn store_blocks(
+        &self,
+        payload: &[u8],
+        first_block: u64,
+    ) -> Result<Vec<(u64, BlockDescriptor)>> {
         let bs = self.sys.cfg.block_size as usize;
         let n_blocks = payload.len().div_ceil(bs);
         let allocs = self.sys.pm.allocate(n_blocks, self.sys.cfg.replication)?;
@@ -568,10 +621,7 @@ mod tests {
     use blobseer_types::config::PlacementPolicy;
 
     fn small_system() -> Arc<BlobSeer> {
-        BlobSeer::deploy(
-            BlobSeerConfig::small_for_tests().with_block_size(64),
-            4,
-        )
+        BlobSeer::deploy(BlobSeerConfig::small_for_tests().with_block_size(64), 4)
     }
 
     fn client(sys: &Arc<BlobSeer>) -> BlobClient {
@@ -660,7 +710,10 @@ mod tests {
         c.write(blob, 0, &[1u8; 100]).unwrap();
         assert!(matches!(
             c.read(blob, None, 50, 51),
-            Err(Error::OutOfBounds { requested_end: 101, snapshot_size: 100 })
+            Err(Error::OutOfBounds {
+                requested_end: 101,
+                snapshot_size: 100
+            })
         ));
         assert_eq!(c.read(blob, None, 100, 0).unwrap().len(), 0, "EOF read");
         assert_eq!(c.read(blob, None, 0, 0).unwrap().len(), 0);
@@ -694,7 +747,13 @@ mod tests {
         let blob = c.create();
         c.write(blob, 0, &[1u8; 128]).unwrap();
         let v2 = c
-            .simulate_failed_write(blob, WriteIntent::Write { offset: 64, size: 64 })
+            .simulate_failed_write(
+                blob,
+                WriteIntent::Write {
+                    offset: 64,
+                    size: 64,
+                },
+            )
             .unwrap();
         // The repaired version reveals and reads as v1's content.
         assert_eq!(c.latest(blob).unwrap().0, v2);
@@ -717,10 +776,17 @@ mod tests {
         let v = c
             .simulate_failed_write(blob, WriteIntent::Append { size: 64 })
             .unwrap();
-        assert_eq!(c.size(blob, v).unwrap(), 128, "aborted append still extends");
+        assert_eq!(
+            c.size(blob, v).unwrap(),
+            128,
+            "aborted append still extends"
+        );
         let data = c.read(blob, Some(v), 0, 128).unwrap();
         assert!(data[..64].iter().all(|&b| b == 1));
-        assert!(data[64..].iter().all(|&b| b == 0), "aborted range reads as zeros");
+        assert!(
+            data[64..].iter().all(|&b| b == 0),
+            "aborted range reads as zeros"
+        );
     }
 
     #[test]
@@ -867,7 +933,10 @@ mod tests {
         let sys = small_system();
         let c = client(&sys);
         let blob = c.create();
-        assert!(c.history(blob).unwrap().is_empty(), "empty blob, empty history");
+        assert!(
+            c.history(blob).unwrap().is_empty(),
+            "empty blob, empty history"
+        );
         c.write(blob, 0, &[1u8; 64]).unwrap();
         c.append(blob, &[2u8; 64]).unwrap();
         c.write(blob, 0, &[3u8; 32]).unwrap();
@@ -921,7 +990,10 @@ mod tests {
         assert_eq!(all[4000], 42);
         // Storage only holds the single written block, not the holes.
         let stored: u64 = sys.providers().iter().map(|p| p.bytes_stored()).sum();
-        assert!(stored <= 64, "holes must not consume provider space: {stored}");
+        assert!(
+            stored <= 64,
+            "holes must not consume provider space: {stored}"
+        );
     }
 
     #[test]

@@ -172,7 +172,10 @@ mod tests {
         let dht = MetaDht::new(4, 1);
         dht.put(key(1, 0, 1), leaf(10));
         assert_eq!(dht.get(&key(1, 0, 1)).unwrap(), leaf(10));
-        assert!(matches!(dht.get(&key(2, 0, 1)), Err(Error::MissingMetadata(_))));
+        assert!(matches!(
+            dht.get(&key(2, 0, 1)),
+            Err(Error::MissingMetadata(_))
+        ));
     }
 
     #[test]
@@ -214,7 +217,13 @@ mod tests {
     #[test]
     fn delete_removes_all_replicas() {
         let dht = MetaDht::new(3, 2);
-        dht.put(key(1, 0, 2), TreeNode::Inner { left: None, right: None });
+        dht.put(
+            key(1, 0, 2),
+            TreeNode::Inner {
+                left: None,
+                right: None,
+            },
+        );
         assert!(dht.delete(&key(1, 0, 2)));
         assert!(!dht.delete(&key(1, 0, 2)));
         assert!(dht.get(&key(1, 0, 2)).is_err());
@@ -224,7 +233,10 @@ mod tests {
     #[test]
     fn idempotent_reput_accepted() {
         let dht = MetaDht::new(2, 1);
-        let n = TreeNode::LeafAlias(Some(NodeRef { blob: BlobId::new(1), version: Version::new(1) }));
+        let n = TreeNode::LeafAlias(Some(NodeRef {
+            blob: BlobId::new(1),
+            version: Version::new(1),
+        }));
         dht.put(key(2, 0, 1), n.clone());
         dht.put(key(2, 0, 1), n.clone());
         assert_eq!(dht.get(&key(2, 0, 1)).unwrap(), n);

@@ -133,7 +133,10 @@ impl GcTracker {
                     EngineStats::add(&stats.blocks_collected, 1);
                     let mut freed_bytes = 0;
                     for &p in &desc.providers {
-                        freed_bytes = providers.get(p as usize).delete(desc.block_id).max(freed_bytes);
+                        freed_bytes = providers
+                            .get(p as usize)
+                            .delete(desc.block_id)
+                            .max(freed_bytes);
                         pm.release(p as usize);
                     }
                     report.bytes_freed += freed_bytes;
@@ -176,24 +179,45 @@ mod tests {
     }
 
     fn nref(v: u64) -> Option<NodeRef> {
-        Some(NodeRef { blob: BlobId::new(1), version: Version::new(v) })
+        Some(NodeRef {
+            blob: BlobId::new(1),
+            version: Version::new(v),
+        })
     }
 
     /// Builds: v1 root(0,2) → leaves (0,1) and (1,1); v2 root(0,2) → new
     /// leaf (0,1) and shares v1's (1,1).
     fn build_two_versions(f: &Fixture) {
         for (v, start, block) in [(1u64, 0u64, 10u64), (1, 1, 11), (2, 0, 12)] {
-            let desc = BlockDescriptor { block_id: BlockId::new(block), providers: vec![0], len: 4 };
-            f.providers.get(0).put(BlockId::new(block), Bytes::from_static(b"data"));
+            let desc = BlockDescriptor {
+                block_id: BlockId::new(block),
+                providers: vec![0],
+                len: 4,
+            };
+            f.providers
+                .get(0)
+                .put(BlockId::new(block), Bytes::from_static(b"data"));
             f.dht.put(key(v, start, 1), TreeNode::Leaf(desc));
         }
-        f.dht.put(key(1, 0, 2), TreeNode::Inner { left: nref(1), right: nref(1) });
+        f.dht.put(
+            key(1, 0, 2),
+            TreeNode::Inner {
+                left: nref(1),
+                right: nref(1),
+            },
+        );
         f.gc.inc_node(key(1, 0, 1));
         f.gc.inc_node(key(1, 1, 1));
-        f.dht.put(key(2, 0, 2), TreeNode::Inner { left: nref(2), right: nref(1) });
+        f.dht.put(
+            key(2, 0, 2),
+            TreeNode::Inner {
+                left: nref(2),
+                right: nref(1),
+            },
+        );
         f.gc.inc_node(key(2, 0, 1));
         f.gc.inc_node(key(1, 1, 1)); // shared leaf now rc=2
-        // Root registrations.
+                                     // Root registrations.
         f.gc.inc_node(key(1, 0, 2));
         f.gc.inc_node(key(2, 0, 2));
     }
@@ -202,10 +226,9 @@ mod tests {
     fn collecting_old_version_keeps_shared_leaves() {
         let f = fixture();
         build_two_versions(&f);
-        let report = f
-            .gc
-            .release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
-            .unwrap();
+        let report =
+            f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
+                .unwrap();
         // v1's root and its private leaf (0,1) die; the shared leaf (1,1)
         // survives with rc 1.
         assert_eq!(report.nodes_deleted, 2);
@@ -226,10 +249,12 @@ mod tests {
         build_two_versions(&f);
         let mut total = GcReport::default();
         total.merge(
-            f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats).unwrap(),
+            f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
+                .unwrap(),
         );
         total.merge(
-            f.gc.release_root(key(2, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats).unwrap(),
+            f.gc.release_root(key(2, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
+                .unwrap(),
         );
         assert_eq!(total.nodes_deleted, 5, "2 roots + 3 leaves");
         assert_eq!(total.blocks_deleted, 3);
@@ -245,21 +270,29 @@ mod tests {
     fn alias_release_cascades_to_target() {
         let f = fixture();
         // Leaf of v1 (rc: alias + root of v1).
-        let desc = BlockDescriptor { block_id: BlockId::new(20), providers: vec![1], len: 4 };
-        f.providers.get(1).put(BlockId::new(20), Bytes::from_static(b"xyzw"));
+        let desc = BlockDescriptor {
+            block_id: BlockId::new(20),
+            providers: vec![1],
+            len: 4,
+        };
+        f.providers
+            .get(1)
+            .put(BlockId::new(20), Bytes::from_static(b"xyzw"));
         f.dht.put(key(1, 0, 1), TreeNode::Leaf(desc));
         f.gc.inc_node(key(1, 0, 1)); // referenced as v1 root below
-        // v2 repairs with an alias to v1's leaf.
+                                     // v2 repairs with an alias to v1's leaf.
         f.dht.put(key(2, 0, 1), TreeNode::LeafAlias(nref(1)));
         f.gc.inc_node(key(1, 0, 1)); // alias reference
         f.gc.inc_node(key(2, 0, 1)); // v2 root registration (leaf is root here)
 
         // Release v2: the alias dies, v1's leaf survives (still v1's root).
-        f.gc.release_root(key(2, 0, 1), &f.dht, &f.providers, &f.pm, &f.stats).unwrap();
+        f.gc.release_root(key(2, 0, 1), &f.dht, &f.providers, &f.pm, &f.stats)
+            .unwrap();
         assert!(f.dht.get(&key(1, 0, 1)).is_ok());
         assert!(f.providers.get(1).contains(BlockId::new(20)));
         // Release v1: everything goes.
-        f.gc.release_root(key(1, 0, 1), &f.dht, &f.providers, &f.pm, &f.stats).unwrap();
+        f.gc.release_root(key(1, 0, 1), &f.dht, &f.providers, &f.pm, &f.stats)
+            .unwrap();
         assert!(f.dht.get(&key(1, 0, 1)).is_err());
         assert!(!f.providers.get(1).contains(BlockId::new(20)));
     }

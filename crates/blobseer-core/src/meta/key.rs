@@ -24,8 +24,14 @@ impl Pos {
     /// Creates a position, validating alignment invariants.
     #[inline]
     pub fn new(start: u64, len: u64) -> Self {
-        debug_assert!(len.is_power_of_two(), "node length must be a power of two: {len}");
-        debug_assert!(start.is_multiple_of(len), "node start {start} must be aligned to its length {len}");
+        debug_assert!(
+            len.is_power_of_two(),
+            "node length must be a power of two: {len}"
+        );
+        debug_assert!(
+            start.is_multiple_of(len),
+            "node start {start} must be aligned to its length {len}"
+        );
         Self { start, len }
     }
 
@@ -156,7 +162,12 @@ impl NodeKey {
     /// on that).
     pub fn hash64(&self) -> u64 {
         let mut h = 0x9E37_79B9_7F4A_7C15u64;
-        for v in [self.blob.raw(), self.version.raw(), self.pos.start, self.pos.len] {
+        for v in [
+            self.blob.raw(),
+            self.version.raw(),
+            self.pos.start,
+            self.pos.len,
+        ] {
             h ^= mix64(v.wrapping_add(h));
         }
         mix64(h)
@@ -231,7 +242,11 @@ mod tests {
             let k = NodeKey::new(BlobId::new(1), Version::new(v), Pos::new(0, 1));
             buckets.insert(k.hash64() % 16);
         }
-        assert!(buckets.len() >= 12, "poor spread: {} buckets", buckets.len());
+        assert!(
+            buckets.len() >= 12,
+            "poor spread: {} buckets",
+            buckets.len()
+        );
     }
 
     #[test]

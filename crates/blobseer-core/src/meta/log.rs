@@ -53,7 +53,8 @@ impl LogEntry {
         if !pos.valid_in(self.cap_after) {
             return false;
         }
-        pos.intersects(&self.blocks) || (pos.start == 0 && self.cap_before > 0 && pos.len > self.cap_before)
+        pos.intersects(&self.blocks)
+            || (pos.start == 0 && self.cap_before > 0 && pos.len > self.cap_before)
     }
 }
 
@@ -85,7 +86,13 @@ pub struct LogSegment {
 impl LogSegment {
     /// A segment whose full entry vector is visible.
     pub fn full(blob: BlobId, entries: SharedLog, base: Version, hi: Version) -> Self {
-        Self { blob, entries, vec_base: base, lo: base, hi }
+        Self {
+            blob,
+            entries,
+            vec_base: base,
+            lo: base,
+            hi,
+        }
     }
 
     /// Finds the entry for exactly `version`, if it is visible in this
@@ -98,7 +105,10 @@ impl LogSegment {
         debug_assert!(version > self.vec_base);
         let idx = (version.raw() - self.vec_base.raw() - 1) as usize;
         let e = entries.get(idx).copied();
-        debug_assert!(e.map(|e| e.version == version).unwrap_or(true), "log must be dense");
+        debug_assert!(
+            e.map(|e| e.version == version).unwrap_or(true),
+            "log must be dense"
+        );
         e
     }
 }
@@ -147,7 +157,11 @@ impl LogChain {
             if seg.vec_base >= before {
                 continue; // every entry here has version > vec_base >= before
             }
-            let hi = if seg.hi < before { seg.hi } else { Version::new(before.raw() - 1) };
+            let hi = if seg.hi < before {
+                seg.hi
+            } else {
+                Version::new(before.raw() - 1)
+            };
             if hi <= seg.vec_base {
                 continue;
             }
@@ -158,7 +172,10 @@ impl LogChain {
             for e in entries[..upto].iter().rev() {
                 debug_assert!(e.version <= hi && e.version > seg.vec_base);
                 if e.materializes(pos) {
-                    return Some(Materializer { blob: seg.blob, version: e.version });
+                    return Some(Materializer {
+                        blob: seg.blob,
+                        version: e.version,
+                    });
                 }
             }
         }
@@ -178,7 +195,13 @@ impl LogChain {
 mod tests {
     use super::*;
 
-    fn entry(v: u64, blocks: (u64, u64), cap_before: u64, cap_after: u64, size_after: u64) -> LogEntry {
+    fn entry(
+        v: u64,
+        blocks: (u64, u64),
+        cap_before: u64,
+        cap_after: u64,
+        size_after: u64,
+    ) -> LogEntry {
         LogEntry {
             version: Version::new(v),
             blocks: BlockRange::new(blocks.0, blocks.1),
@@ -218,7 +241,10 @@ mod tests {
         assert!(e.materializes(Pos::new(4, 2)));
         assert!(e.materializes(Pos::new(4, 4)));
         assert!(e.materializes(Pos::new(0, 8)), "new root");
-        assert!(!e.materializes(Pos::new(0, 4)), "old root is shared, not rebuilt");
+        assert!(
+            !e.materializes(Pos::new(0, 4)),
+            "old root is shared, not rebuilt"
+        );
         assert!(!e.materializes(Pos::new(5, 1)));
     }
 
@@ -239,7 +265,10 @@ mod tests {
     fn first_write_has_no_spine() {
         let e = entry(1, (2, 3), 0, 4, 3 * 64);
         assert!(e.materializes(Pos::new(0, 4)), "root intersects");
-        assert!(!e.materializes(Pos::new(0, 2)), "hole, not spine (empty blob before)");
+        assert!(
+            !e.materializes(Pos::new(0, 2)),
+            "hole, not spine (empty blob before)"
+        );
         assert!(e.materializes(Pos::new(2, 2)));
     }
 
@@ -292,17 +321,29 @@ mod tests {
             ),
         ]);
         // Child's view of leaf 0 before its own v3: parent's v2.
-        let m = chain.materializer_before(Pos::new(0, 1), Version::new(3)).unwrap();
+        let m = chain
+            .materializer_before(Pos::new(0, 1), Version::new(3))
+            .unwrap();
         assert_eq!((m.blob, m.version), (BlobId::new(1), Version::new(2)));
         // Leaf 1: parent's v1 — the parent's v3 write is beyond the branch point.
-        let m = chain.materializer_before(Pos::new(1, 1), Version::new(4)).unwrap();
+        let m = chain
+            .materializer_before(Pos::new(1, 1), Version::new(4))
+            .unwrap();
         assert_eq!((m.blob, m.version), (BlobId::new(1), Version::new(1)));
         // Child's own v3 wins for leaf 0 at `before = 4`.
-        let m = chain.materializer_before(Pos::new(0, 1), Version::new(4)).unwrap();
+        let m = chain
+            .materializer_before(Pos::new(0, 1), Version::new(4))
+            .unwrap();
         assert_eq!((m.blob, m.version), (BlobId::new(2), Version::new(3)));
         // Exact-entry lookup respects segment clamping.
-        assert_eq!(chain.entry(Version::new(3)).unwrap().blocks, BlockRange::new(0, 1));
-        assert_eq!(chain.entry(Version::new(1)).unwrap().blocks, BlockRange::new(0, 2));
+        assert_eq!(
+            chain.entry(Version::new(3)).unwrap().blocks,
+            BlockRange::new(0, 1)
+        );
+        assert_eq!(
+            chain.entry(Version::new(1)).unwrap().blocks,
+            BlockRange::new(0, 2)
+        );
     }
 
     #[test]

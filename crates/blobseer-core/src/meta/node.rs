@@ -88,9 +88,18 @@ mod tests {
 
     #[test]
     fn child_ref_selects_halves() {
-        let l = NodeRef { blob: BlobId::new(1), version: Version::new(3) };
-        let r = NodeRef { blob: BlobId::new(1), version: Version::new(5) };
-        let n = TreeNode::Inner { left: Some(l), right: Some(r) };
+        let l = NodeRef {
+            blob: BlobId::new(1),
+            version: Version::new(3),
+        };
+        let r = NodeRef {
+            blob: BlobId::new(1),
+            version: Version::new(5),
+        };
+        let n = TreeNode::Inner {
+            left: Some(l),
+            right: Some(r),
+        };
         let pos = Pos::new(0, 4);
         assert_eq!(n.child_ref(pos, Pos::new(0, 2)), Some(l));
         assert_eq!(n.child_ref(pos, Pos::new(2, 2)), Some(r));
@@ -99,7 +108,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "is not a child of")]
     fn wrong_child_position_panics() {
-        let n = TreeNode::Inner { left: None, right: None };
+        let n = TreeNode::Inner {
+            left: None,
+            right: None,
+        };
         n.child_ref(Pos::new(0, 4), Pos::new(0, 1));
     }
 

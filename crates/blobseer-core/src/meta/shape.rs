@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn single_block_write_costs_depth_plus_one() {
         // Overwrite of one block in a big tree: path to root.
-        assert_eq!(nodes_created(&entry((5, 6), 256, 256)), tree_depth(256) as u64 + 1);
+        assert_eq!(
+            nodes_created(&entry((5, 6), 256, 256)),
+            tree_depth(256) as u64 + 1
+        );
     }
 
     #[test]

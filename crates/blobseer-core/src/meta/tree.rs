@@ -83,9 +83,18 @@ impl<'a> TreeStore<'a> {
         mode: LeafMode<'_>,
     ) -> NodeKey {
         let root = Pos::root(entry.cap_after);
-        debug_assert!(entry.materializes(root), "a write always materializes its root");
+        debug_assert!(
+            entry.materializes(root),
+            "a write always materializes its root"
+        );
         let r = self.build(blob, entry, chain, &mode, root);
-        debug_assert_eq!(r, Some(NodeRef { blob, version: entry.version }));
+        debug_assert_eq!(
+            r,
+            Some(NodeRef {
+                blob,
+                version: entry.version
+            })
+        );
         NodeKey::new(blob, entry.version, root)
     }
 
@@ -105,7 +114,10 @@ impl<'a> TreeStore<'a> {
             // writer), or a hole.
             return chain
                 .materializer_before(pos, entry.version)
-                .map(|m| NodeRef { blob: m.blob, version: m.version });
+                .map(|m| NodeRef {
+                    blob: m.blob,
+                    version: m.version,
+                });
         }
         let key = NodeKey::new(blob, entry.version, pos);
         let node = if pos.is_leaf() {
@@ -120,7 +132,10 @@ impl<'a> TreeStore<'a> {
                 LeafMode::Repair => {
                     let target = chain
                         .materializer_before(pos, entry.version)
-                        .map(|m| NodeRef { blob: m.blob, version: m.version });
+                        .map(|m| NodeRef {
+                            blob: m.blob,
+                            version: m.version,
+                        });
                     if let Some(t) = target {
                         self.gc.inc_node(NodeKey::new(t.blob, t.version, pos));
                     }
@@ -131,16 +146,21 @@ impl<'a> TreeStore<'a> {
             let left = self.build(blob, entry, chain, mode, pos.left());
             let right = self.build(blob, entry, chain, mode, pos.right());
             if let Some(l) = left {
-                self.gc.inc_node(NodeKey::new(l.blob, l.version, pos.left()));
+                self.gc
+                    .inc_node(NodeKey::new(l.blob, l.version, pos.left()));
             }
             if let Some(r) = right {
-                self.gc.inc_node(NodeKey::new(r.blob, r.version, pos.right()));
+                self.gc
+                    .inc_node(NodeKey::new(r.blob, r.version, pos.right()));
             }
             TreeNode::Inner { left, right }
         };
         self.dht.put(key, node);
         EngineStats::add(&self.stats.meta_nodes_written, 1);
-        Some(NodeRef { blob, version: entry.version })
+        Some(NodeRef {
+            blob,
+            version: entry.version,
+        })
     }
 
     /// Registers the root of a committed version (one GC reference).
@@ -180,19 +200,27 @@ impl<'a> TreeStore<'a> {
         EngineStats::add(&self.stats.meta_nodes_read, 1);
         match node {
             TreeNode::Leaf(desc) => {
-                out.push(LocatedBlock { index: key.pos.start, desc: Some(desc) });
+                out.push(LocatedBlock {
+                    index: key.pos.start,
+                    desc: Some(desc),
+                });
             }
             TreeNode::LeafAlias(Some(target)) => {
                 // Follow the alias chain at the same position.
-                self.descend(NodeKey::new(target.blob, target.version, key.pos), query, out)?;
+                self.descend(
+                    NodeKey::new(target.blob, target.version, key.pos),
+                    query,
+                    out,
+                )?;
             }
             TreeNode::LeafAlias(None) => {
-                out.push(LocatedBlock { index: key.pos.start, desc: None });
+                out.push(LocatedBlock {
+                    index: key.pos.start,
+                    desc: None,
+                });
             }
             TreeNode::Inner { left, right } => {
-                for (child_pos, child_ref) in
-                    [(key.pos.left(), left), (key.pos.right(), right)]
-                {
+                for (child_pos, child_ref) in [(key.pos.left(), left), (key.pos.right(), right)] {
                     if !child_pos.intersects(query) {
                         continue;
                     }
@@ -244,7 +272,11 @@ mod tests {
         }
 
         fn store(&self) -> TreeStore<'_> {
-            TreeStore { dht: &self.dht, gc: &self.gc, stats: &self.stats }
+            TreeStore {
+                dht: &self.dht,
+                gc: &self.gc,
+                stats: &self.stats,
+            }
         }
 
         fn chain(&self) -> LogChain {
@@ -261,7 +293,9 @@ mod tests {
         fn write(&self, v: u64, start: u64, end: u64) -> NodeKey {
             let (cap_before, size_before) = {
                 let log = self.log.read();
-                log.last().map(|e| (e.cap_after, e.size_after)).unwrap_or((0, 0))
+                log.last()
+                    .map(|e| (e.cap_after, e.size_after))
+                    .unwrap_or((0, 0))
             };
             let size_after = size_before.max(end * 64);
             let entry = LogEntry {
@@ -274,14 +308,18 @@ mod tests {
             self.log.write().push(entry);
             let leaves: HashMap<u64, BlockDescriptor> = (start..end)
                 .map(|b| {
-                    (b, BlockDescriptor {
-                        block_id: BlockId::new(b * 100 + v),
-                        providers: vec![(b % 3) as u32],
-                        len: 64,
-                    })
+                    (
+                        b,
+                        BlockDescriptor {
+                            block_id: BlockId::new(b * 100 + v),
+                            providers: vec![(b % 3) as u32],
+                            len: 64,
+                        },
+                    )
                 })
                 .collect();
-            self.store().publish_write(self.blob, &entry, &self.chain(), &leaves)
+            self.store()
+                .publish_write(self.blob, &entry, &self.chain(), &leaves)
         }
 
         fn blocks_of(&self, v: u64, cap: u64, q: (u64, u64)) -> Vec<Option<u64>> {
@@ -406,24 +444,28 @@ mod tests {
         };
         fx.log.write().push(e2);
         fx.log.write().push(e3);
-        let leaves =
-            |v: u64, s: u64, e: u64| -> HashMap<u64, BlockDescriptor> {
-                (s..e)
-                    .map(|b| {
-                        (b, BlockDescriptor {
+        let leaves = |v: u64, s: u64, e: u64| -> HashMap<u64, BlockDescriptor> {
+            (s..e)
+                .map(|b| {
+                    (
+                        b,
+                        BlockDescriptor {
                             block_id: BlockId::new(b * 100 + v),
                             providers: vec![0],
                             len: 64,
-                        })
-                    })
-                    .collect()
-            };
+                        },
+                    )
+                })
+                .collect()
+        };
         // v3 publishes first.
-        fx.store().publish_write(fx.blob, &e3, &fx.chain(), &leaves(3, 2, 4));
+        fx.store()
+            .publish_write(fx.blob, &e3, &fx.chain(), &leaves(3, 2, 4));
         // Reads of v3's left subtree would dangle here — which is exactly
         // why the version manager delays revealing v3 until v2 commits.
         // Now v2 publishes.
-        fx.store().publish_write(fx.blob, &e2, &fx.chain(), &leaves(2, 0, 2));
+        fx.store()
+            .publish_write(fx.blob, &e2, &fx.chain(), &leaves(2, 0, 2));
         // v3's snapshot correctly shows v2's blocks on the left.
         assert_eq!(
             fx.blocks_of(3, 4, (0, 4)),
@@ -493,6 +535,10 @@ mod tests {
         // v1's left leaf only by v1's root.
         let private = NodeKey::new(fx.blob, Version::new(1), Pos::new(0, 1));
         assert_eq!(fx.gc.node_count(&private), 1);
-        assert_eq!(fx.gc.node_count(&root1), 0, "roots counted at commit, not publish");
+        assert_eq!(
+            fx.gc.node_count(&root1),
+            0,
+            "roots counted at commit, not publish"
+        );
     }
 }

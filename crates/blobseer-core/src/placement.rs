@@ -51,15 +51,13 @@ impl Placer {
         assert!(n > 0, "no providers to place on");
         assert!(exclude.len() < n, "exclusion list leaves no candidate");
         match self.policy {
-            PlacementPolicy::RoundRobin => {
-                loop {
-                    let i = self.rr_next % n;
-                    self.rr_next = (self.rr_next + 1) % n;
-                    if !exclude.contains(&i) {
-                        return i;
-                    }
+            PlacementPolicy::RoundRobin => loop {
+                let i = self.rr_next % n;
+                self.rr_next = (self.rr_next + 1) % n;
+                if !exclude.contains(&i) {
+                    return i;
                 }
-            }
+            },
             PlacementPolicy::LeastLoaded => {
                 let mut best = usize::MAX;
                 let mut best_load = u64::MAX;
@@ -129,7 +127,12 @@ pub fn manhattan_unbalance(layout: &[u64]) -> f64 {
 mod tests {
     use super::*;
 
-    fn place_n(policy: PlacementPolicy, n_blocks: usize, n_providers: usize, seed: u64) -> Vec<u64> {
+    fn place_n(
+        policy: PlacementPolicy,
+        n_blocks: usize,
+        n_providers: usize,
+        seed: u64,
+    ) -> Vec<u64> {
         let mut placer = Placer::new(policy, seed);
         let mut loads = vec![0u64; n_providers];
         for _ in 0..n_blocks {
@@ -203,7 +206,10 @@ mod tests {
         // Not necessarily identical streams (different rng call patterns),
         // but statistically indistinguishable unbalance.
         let (su, ru) = (manhattan_unbalance(&s), manhattan_unbalance(&r));
-        assert!((su - ru).abs() < ru * 0.75 + 20.0, "sticky0={su} random={ru}");
+        assert!(
+            (su - ru).abs() < ru * 0.75 + 20.0,
+            "sticky0={su} random={ru}"
+        );
     }
 
     #[test]

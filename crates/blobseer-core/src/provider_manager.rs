@@ -72,7 +72,10 @@ impl ProviderManager {
                 loads[p] += 1;
             }
             let block_id = BlockId::new(self.next_block.fetch_add(1, Ordering::Relaxed));
-            out.push(BlockAllocation { block_id, providers });
+            out.push(BlockAllocation {
+                block_id,
+                providers,
+            });
         }
         Ok(out)
     }

@@ -201,13 +201,22 @@ impl VersionManager {
         let parent_collected = {
             let inner = parent_state.inner.lock();
             if at > inner.latest_assigned {
-                return Err(Error::NoSuchVersion { blob: parent.raw(), version: at.raw() });
+                return Err(Error::NoSuchVersion {
+                    blob: parent.raw(),
+                    version: at.raw(),
+                });
             }
             if at > inner.revealed {
-                return Err(Error::VersionNotRevealed { blob: parent.raw(), version: at.raw() });
+                return Err(Error::VersionNotRevealed {
+                    blob: parent.raw(),
+                    version: at.raw(),
+                });
             }
             if at <= inner.collected_up_to {
-                return Err(Error::NoSuchVersion { blob: parent.raw(), version: at.raw() });
+                return Err(Error::NoSuchVersion {
+                    blob: parent.raw(),
+                    version: at.raw(),
+                });
             }
             inner.collected_up_to
         };
@@ -254,7 +263,9 @@ impl VersionManager {
     /// publish its metadata.
     pub fn assign(&self, blob: BlobId, intent: WriteIntent) -> Result<WriteTicket> {
         if intent.size() == 0 {
-            return Err(Error::WriteAborted("zero-length writes are rejected".into()));
+            return Err(Error::WriteAborted(
+                "zero-length writes are rejected".into(),
+            ));
         }
         let state = self.state(blob)?;
         let mut inner = state.inner.lock();
@@ -276,7 +287,13 @@ impl VersionManager {
             .div_ceil(self.block_size)
             .next_power_of_two()
             .max(prev_cap);
-        let entry = LogEntry { version, blocks, cap_before: prev_cap, cap_after, size_after };
+        let entry = LogEntry {
+            version,
+            blocks,
+            cap_before: prev_cap,
+            cap_after,
+            size_after,
+        };
         state.log.write().push(entry);
         inner.latest_assigned = version;
         EngineStats::add(&self.stats.versions_assigned, 1);
@@ -296,7 +313,10 @@ impl VersionManager {
         let state = self.state(blob)?;
         let mut inner = state.inner.lock();
         if version > inner.latest_assigned {
-            return Err(Error::NoSuchVersion { blob: blob.raw(), version: version.raw() });
+            return Err(Error::NoSuchVersion {
+                blob: blob.raw(),
+                version: version.raw(),
+            });
         }
         if version <= inner.revealed || !inner.committed.insert(version) {
             return Err(Error::Internal(format!(
@@ -345,10 +365,16 @@ impl VersionManager {
             (inner.latest_assigned, inner.revealed, inner.collected_up_to)
         };
         if version > latest_assigned {
-            return Err(Error::NoSuchVersion { blob: blob.raw(), version: version.raw() });
+            return Err(Error::NoSuchVersion {
+                blob: blob.raw(),
+                version: version.raw(),
+            });
         }
         if version > state.base && version <= collected {
-            return Err(Error::NoSuchVersion { blob: blob.raw(), version: version.raw() });
+            return Err(Error::NoSuchVersion {
+                blob: blob.raw(),
+                version: version.raw(),
+            });
         }
         if version > state.base {
             let log = state.log.read();
@@ -376,7 +402,10 @@ impl VersionManager {
                 });
             }
         }
-        Err(Error::NoSuchVersion { blob: blob.raw(), version: version.raw() })
+        Err(Error::NoSuchVersion {
+            blob: blob.raw(),
+            version: version.raw(),
+        })
     }
 
     /// The write-log chain of a BLOB (own log plus ancestry).
@@ -393,11 +422,7 @@ impl VersionManager {
         }
         let deadline = std::time::Instant::now() + timeout;
         while inner.revealed < version {
-            if state
-                .reveal_cv
-                .wait_until(&mut inner, deadline)
-                .timed_out()
-            {
+            if state.reveal_cv.wait_until(&mut inner, deadline).timed_out() {
                 return Err(Error::Timeout(format!("reveal of {blob} {version}")));
             }
         }
@@ -525,7 +550,11 @@ mod tests {
         );
         assert_eq!(vm.pending_versions(b).unwrap().len(), 3);
         vm.commit(b, t1.version).unwrap();
-        assert_eq!(vm.latest(b).unwrap(), (Version::new(3), 30), "all three reveal at once");
+        assert_eq!(
+            vm.latest(b).unwrap(),
+            (Version::new(3), 30),
+            "all three reveal at once"
+        );
         assert!(vm.pending_versions(b).unwrap().is_empty());
     }
 
@@ -533,13 +562,29 @@ mod tests {
     fn write_at_offset_and_growth() {
         let vm = vm(64);
         let b = vm.create_blob();
-        let t = vm.assign(b, WriteIntent::Write { offset: 600, size: 100 }).unwrap();
+        let t = vm
+            .assign(
+                b,
+                WriteIntent::Write {
+                    offset: 600,
+                    size: 100,
+                },
+            )
+            .unwrap();
         assert_eq!(t.entry.size_after, 700);
         assert_eq!(t.entry.blocks, BlockRange::new(9, 11));
         assert_eq!(t.entry.cap_after, 16);
         vm.commit(b, t.version).unwrap();
         // Overwrite inside: size unchanged.
-        let t2 = vm.assign(b, WriteIntent::Write { offset: 0, size: 64 }).unwrap();
+        let t2 = vm
+            .assign(
+                b,
+                WriteIntent::Write {
+                    offset: 0,
+                    size: 64,
+                },
+            )
+            .unwrap();
         assert_eq!(t2.entry.size_after, 700);
         assert_eq!(t2.entry.cap_before, 16);
         assert_eq!(t2.entry.cap_after, 16);
@@ -558,7 +603,10 @@ mod tests {
     #[test]
     fn unknown_blob_and_version_errors() {
         let vm = vm(64);
-        assert!(matches!(vm.latest(BlobId::new(99)), Err(Error::NoSuchBlob(99))));
+        assert!(matches!(
+            vm.latest(BlobId::new(99)),
+            Err(Error::NoSuchBlob(99))
+        ));
         let b = vm.create_blob();
         assert!(matches!(
             vm.snapshot_info(b, Version::new(5)),
@@ -586,9 +634,7 @@ mod tests {
         let t = vm.assign(b, WriteIntent::Append { size: 1 }).unwrap();
         let v = t.version;
         let vm2 = Arc::clone(&vm);
-        let waiter = std::thread::spawn(move || {
-            vm2.wait_revealed(b, v, Duration::from_secs(5))
-        });
+        let waiter = std::thread::spawn(move || vm2.wait_revealed(b, v, Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(20));
         vm.commit(b, v).unwrap();
         waiter.join().unwrap().unwrap();
@@ -617,7 +663,10 @@ mod tests {
         // The fork sees version 2's geometry...
         assert_eq!(vm.latest(fork).unwrap(), (Version::new(2), 128));
         let info = vm.snapshot_info(fork, Version::new(2)).unwrap();
-        assert_eq!(info.root_blob, b, "inherited root belongs to the parent lineage");
+        assert_eq!(
+            info.root_blob, b,
+            "inherited root belongs to the parent lineage"
+        );
         // ...and continues independently with version 3 of its own.
         let t = vm.assign(fork, WriteIntent::Append { size: 64 }).unwrap();
         assert_eq!(t.version, Version::new(3));

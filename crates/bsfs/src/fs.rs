@@ -21,13 +21,19 @@ pub struct BsfsCluster {
 impl BsfsCluster {
     /// Wraps a BlobSeer deployment with a fresh namespace.
     pub fn new(sys: Arc<BlobSeer>) -> Arc<Self> {
-        Arc::new(Self { sys, ns: Arc::new(NamespaceManager::new()) })
+        Arc::new(Self {
+            sys,
+            ns: Arc::new(NamespaceManager::new()),
+        })
     }
 
     /// A FileSystem handle for a client running on `node` (tasktrackers
     /// mount one each; the node identity feeds locality decisions).
     pub fn mount(self: &Arc<Self>, node: NodeId) -> Bsfs {
-        Bsfs { cluster: Arc::clone(self), client: self.sys.client(node) }
+        Bsfs {
+            cluster: Arc::clone(self),
+            client: self.sys.client(node),
+        }
     }
 
     /// The underlying BlobSeer deployment.
@@ -153,7 +159,9 @@ impl FileSystem for Bsfs {
     }
 
     fn rename(&self, src: &str, dst: &str) -> Result<()> {
-        self.cluster.ns.rename(&DfsPath::parse(src)?, &DfsPath::parse(dst)?)
+        self.cluster
+            .ns
+            .rename(&DfsPath::parse(src)?, &DfsPath::parse(dst)?)
     }
 
     fn block_locations(&self, path: &str, offset: u64, len: u64) -> Result<Vec<FsBlockLocation>> {
@@ -303,10 +311,14 @@ mod tests {
         let cl = cluster();
         let fs = cl.mount(NodeId::new(0));
         write_file(&fs, "/big", &vec![1u8; 4096]).unwrap();
-        let stored_before: u64 = (0..4).map(|i| cl.system().providers().get(i).bytes_stored()).sum();
+        let stored_before: u64 = (0..4)
+            .map(|i| cl.system().providers().get(i).bytes_stored())
+            .sum();
         assert_eq!(stored_before, 4096);
         fs.delete("/big", false).unwrap();
-        let stored_after: u64 = (0..4).map(|i| cl.system().providers().get(i).bytes_stored()).sum();
+        let stored_after: u64 = (0..4)
+            .map(|i| cl.system().providers().get(i).bytes_stored())
+            .sum();
         assert_eq!(stored_after, 0, "deleting the file frees provider storage");
     }
 
@@ -316,7 +328,9 @@ mod tests {
         let fs = cl.mount(NodeId::new(0));
         write_file(&fs, "/f", &vec![1u8; 1024]).unwrap();
         write_file(&fs, "/f", &vec![2u8; 256]).unwrap();
-        let stored: u64 = (0..4).map(|i| cl.system().providers().get(i).bytes_stored()).sum();
+        let stored: u64 = (0..4)
+            .map(|i| cl.system().providers().get(i).bytes_stored())
+            .sum();
         assert_eq!(stored, 256, "old file's storage reclaimed on overwrite");
         assert_eq!(read_fully(&fs, "/f").unwrap(), vec![2u8; 256]);
     }

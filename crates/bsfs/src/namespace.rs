@@ -213,11 +213,15 @@ impl NamespaceManager {
             )));
         }
         let mut tree = self.tree.write();
-        let src_entry = tree.entry(src).ok_or_else(|| Error::NotFound(src.to_string()))?;
+        let src_entry = tree
+            .entry(src)
+            .ok_or_else(|| Error::NotFound(src.to_string()))?;
         if tree.entry(dst).is_some() {
             return Err(Error::AlreadyExists(dst.to_string()));
         }
-        let dst_parent = dst.parent().ok_or_else(|| Error::AlreadyExists("/".into()))?;
+        let dst_parent = dst
+            .parent()
+            .ok_or_else(|| Error::AlreadyExists("/".into()))?;
         match tree.entry(&dst_parent) {
             Some(NsEntry::Dir) => {}
             Some(NsEntry::File(_)) => return Err(Error::NotADirectory(dst_parent.to_string())),
@@ -309,7 +313,8 @@ mod tests {
     fn delete_files_and_trees() {
         let ns = NamespaceManager::new();
         ns.create_file(&p("/d/f1"), BlobId::new(1), false).unwrap();
-        ns.create_file(&p("/d/sub/f2"), BlobId::new(2), false).unwrap();
+        ns.create_file(&p("/d/sub/f2"), BlobId::new(2), false)
+            .unwrap();
         assert!(matches!(
             ns.delete(&p("/d"), false),
             Err(Error::DirectoryNotEmpty(_))
@@ -324,11 +329,15 @@ mod tests {
     #[test]
     fn rename_subtree() {
         let ns = NamespaceManager::new();
-        ns.create_file(&p("/src/a/f"), BlobId::new(1), false).unwrap();
+        ns.create_file(&p("/src/a/f"), BlobId::new(1), false)
+            .unwrap();
         ns.mkdirs(&p("/dst")).unwrap();
         ns.rename(&p("/src"), &p("/dst/moved")).unwrap();
         assert_eq!(ns.lookup(&p("/src")), None);
-        assert_eq!(ns.lookup_file(&p("/dst/moved/a/f")).unwrap(), BlobId::new(1));
+        assert_eq!(
+            ns.lookup_file(&p("/dst/moved/a/f")).unwrap(),
+            BlobId::new(1)
+        );
     }
 
     #[test]
@@ -345,7 +354,10 @@ mod tests {
         ));
         ns.create_file(&p("/f1"), BlobId::new(1), false).unwrap();
         ns.create_file(&p("/f2"), BlobId::new(2), false).unwrap();
-        assert!(matches!(ns.rename(&p("/f1"), &p("/f2")), Err(Error::AlreadyExists(_))));
+        assert!(matches!(
+            ns.rename(&p("/f1"), &p("/f2")),
+            Err(Error::AlreadyExists(_))
+        ));
         // Destination parent must exist.
         assert!(matches!(
             ns.rename(&p("/f1"), &p("/missing/f1")),
@@ -359,7 +371,12 @@ mod tests {
         ns.create_file(&p("/dir/b"), BlobId::new(1), false).unwrap();
         ns.create_file(&p("/dir/a"), BlobId::new(2), false).unwrap();
         ns.mkdirs(&p("/dir/z")).unwrap();
-        let names: Vec<String> = ns.list(&p("/dir")).unwrap().into_iter().map(|(n, _)| n).collect();
+        let names: Vec<String> = ns
+            .list(&p("/dir"))
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["a", "b", "z"]);
         assert!(ns.list(&p("/dir/a")).is_err());
         assert_eq!(ns.list(&p("/dir/z")).unwrap().len(), 0);
@@ -384,7 +401,8 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..50u64 {
                         let path = p(&format!("/t{t}/f{i}"));
-                        ns.create_file(&path, BlobId::new(t * 1000 + i), false).unwrap();
+                        ns.create_file(&path, BlobId::new(t * 1000 + i), false)
+                            .unwrap();
                     }
                 })
             })

@@ -67,7 +67,9 @@ impl BsfsInput {
     fn fill_cache(&mut self, block: u64) -> Result<()> {
         let start = block * self.block_size;
         let len = self.block_size.min(self.size - start);
-        let data = self.client.read(self.blob, Some(self.version), start, len)?;
+        let data = self
+            .client
+            .read(self.blob, Some(self.version), start, len)?;
         self.fetches += 1;
         self.cache = Some((block, data));
         Ok(())
@@ -94,7 +96,10 @@ impl DfsInput for BsfsInput {
 
     fn seek(&mut self, pos: u64) -> Result<()> {
         if pos > self.size {
-            return Err(Error::OutOfBounds { requested_end: pos, snapshot_size: self.size });
+            return Err(Error::OutOfBounds {
+                requested_end: pos,
+                snapshot_size: self.size,
+            });
         }
         self.pos = pos;
         Ok(())
@@ -188,7 +193,8 @@ impl DfsOutput for BsfsOutput {
         // Close-to-open visibility: wait until our last append is revealed,
         // so a reader opening after close() sees everything we wrote.
         if let Some(v) = self.last_version {
-            self.client.wait_revealed(self.blob, v, CLOSE_REVEAL_TIMEOUT)?;
+            self.client
+                .wait_revealed(self.blob, v, CLOSE_REVEAL_TIMEOUT)?;
         }
         Ok(())
     }
@@ -222,7 +228,11 @@ mod tests {
         for i in 0..100u8 {
             out.write(&[i; 10]).unwrap();
         }
-        assert_eq!(out.flush_count(), 3, "only full blocks flushed during writes");
+        assert_eq!(
+            out.flush_count(),
+            3,
+            "only full blocks flushed during writes"
+        );
         out.close().unwrap();
         assert_eq!(out.flush_count(), 4, "tail flushed at close");
         let (v, size) = c.latest(blob).unwrap();
@@ -282,7 +292,10 @@ mod tests {
         c.write(blob, 0, &[2u8; 256]).unwrap();
         let mut buf = [0u8; 256];
         input.read_exact(&mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == 1), "pinned snapshot sees the old data");
+        assert!(
+            buf.iter().all(|&b| b == 1),
+            "pinned snapshot sees the old data"
+        );
         // A fresh reader sees the new version.
         let mut input2 = BsfsInput::open(c, blob).unwrap();
         input2.read_exact(&mut buf).unwrap();

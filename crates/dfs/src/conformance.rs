@@ -65,7 +65,10 @@ pub fn create_semantics(fs: &dyn FileSystem) {
     ));
     // Overwrite truncates.
     write_file(fs, "/conf/new/implicit/parents/f", b"22").unwrap();
-    assert_eq!(read_fully(fs, "/conf/new/implicit/parents/f").unwrap(), b"22");
+    assert_eq!(
+        read_fully(fs, "/conf/new/implicit/parents/f").unwrap(),
+        b"22"
+    );
     // Creating over a directory fails even with overwrite.
     fs.mkdirs("/conf/new/dir").unwrap();
     assert!(fs.create("/conf/new/dir", true).is_err());
@@ -84,7 +87,10 @@ pub fn delete_semantics(fs: &dyn FileSystem) {
     assert!(!fs.exists("/conf/del/x/f1").unwrap());
     fs.delete("/conf/del", true).unwrap();
     assert!(!fs.exists("/conf/del").unwrap());
-    assert!(matches!(fs.delete("/conf/del", true), Err(Error::NotFound(_))));
+    assert!(matches!(
+        fs.delete("/conf/del", true),
+        Err(Error::NotFound(_))
+    ));
 }
 
 /// rename() moves files and whole subtrees.
@@ -155,7 +161,9 @@ pub fn block_locations(fs: &dyn FileSystem) {
     let bs = fs.block_size();
     let data = vec![7u8; (3 * bs + bs / 2) as usize];
     write_file(fs, "/conf/locs", &data).unwrap();
-    let locs = fs.block_locations("/conf/locs", 0, data.len() as u64).unwrap();
+    let locs = fs
+        .block_locations("/conf/locs", 0, data.len() as u64)
+        .unwrap();
     assert_eq!(locs.len(), 4);
     for (i, l) in locs.iter().enumerate() {
         assert_eq!(l.offset, i as u64 * bs);
@@ -187,5 +195,8 @@ pub fn status_and_list(fs: &dyn FileSystem) {
     assert_eq!(st.block_size, fs.block_size());
     // list of a file is an error; status of a missing path is NotFound.
     assert!(fs.list("/conf/ls/f1").is_err());
-    assert!(matches!(fs.status("/conf/ls/nope"), Err(Error::NotFound(_))));
+    assert!(matches!(
+        fs.status("/conf/ls/nope"),
+        Err(Error::NotFound(_))
+    ));
 }

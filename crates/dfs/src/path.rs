@@ -18,7 +18,9 @@ pub struct DfsPath {
 impl DfsPath {
     /// The filesystem root.
     pub fn root() -> Self {
-        Self { inner: "/".to_string() }
+        Self {
+            inner: "/".to_string(),
+        }
     }
 
     /// Parses and normalizes `raw`. Errors on relative paths, empty
@@ -32,7 +34,9 @@ impl DfsPath {
             match seg {
                 "" => continue, // leading slash, doubled slash, trailing slash
                 "." | ".." => {
-                    return Err(Error::InvalidPath(format!("{raw} (no relative components)")))
+                    return Err(Error::InvalidPath(format!(
+                        "{raw} (no relative components)"
+                    )))
                 }
                 s => segs.push(s),
             }
@@ -40,7 +44,9 @@ impl DfsPath {
         if segs.is_empty() {
             return Ok(Self::root());
         }
-        Ok(Self { inner: format!("/{}", segs.join("/")) })
+        Ok(Self {
+            inner: format!("/{}", segs.join("/")),
+        })
     }
 
     /// The normalized string form.
@@ -60,7 +66,9 @@ impl DfsPath {
         }
         match self.inner.rfind('/') {
             Some(0) => Some(DfsPath::root()),
-            Some(i) => Some(DfsPath { inner: self.inner[..i].to_string() }),
+            Some(i) => Some(DfsPath {
+                inner: self.inner[..i].to_string(),
+            }),
             None => unreachable!("absolute path always contains '/'"),
         }
     }
@@ -77,7 +85,9 @@ impl DfsPath {
     /// Appends a single child component.
     pub fn join(&self, child: &str) -> Result<DfsPath> {
         if child.is_empty() || child.contains('/') {
-            return Err(Error::InvalidPath(format!("invalid child component: {child:?}")));
+            return Err(Error::InvalidPath(format!(
+                "invalid child component: {child:?}"
+            )));
         }
         DfsPath::parse(&format!("{}/{}", self.inner, child))
     }
@@ -138,7 +148,10 @@ mod tests {
         let p = DfsPath::parse("/a/b/c").unwrap();
         assert_eq!(p.name(), "c");
         assert_eq!(p.parent().unwrap().as_str(), "/a/b");
-        assert_eq!(DfsPath::parse("/a").unwrap().parent().unwrap().as_str(), "/");
+        assert_eq!(
+            DfsPath::parse("/a").unwrap().parent().unwrap().as_str(),
+            "/"
+        );
         assert!(DfsPath::root().parent().is_none());
         assert_eq!(DfsPath::root().name(), "");
     }
@@ -166,7 +179,10 @@ mod tests {
         let abc = DfsPath::parse("/a/bc").unwrap();
         assert!(ab.starts_with(&a));
         assert!(ab.starts_with(&ab));
-        assert!(!abc.starts_with(&ab), "no false prefix match on /a/b vs /a/bc");
+        assert!(
+            !abc.starts_with(&ab),
+            "no false prefix match on /a/b vs /a/bc"
+        );
         assert!(!a.starts_with(&ab));
         assert!(ab.starts_with(&DfsPath::root()));
     }

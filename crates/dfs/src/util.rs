@@ -135,7 +135,10 @@ mod tests {
     }
 
     fn mem(data: &[u8]) -> MemInput {
-        MemInput { data: data.to_vec(), pos: 0 }
+        MemInput {
+            data: data.to_vec(),
+            pos: 0,
+        }
     }
 
     #[test]

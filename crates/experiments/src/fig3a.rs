@@ -72,11 +72,17 @@ impl World {
         // client (§V-D: "we chose to always deploy clients on nodes where
         // no datanode has previously been deployed").
         let net = FlowNet::new(providers + 1, NicSpec::symmetric(c.nic_bps));
-        let disks = (0..providers).map(|_| simnet::Disk::new(c.disk_write_bps)).collect();
+        let disks = (0..providers)
+            .map(|_| simnet::Disk::new(c.disk_write_bps))
+            .collect();
         let mut placer = Placer::new(policy_for(&c, backend), seed);
         let loads = vec![0u64; providers];
         let targets = (0..n_blocks).map(|_| placer.pick(&loads, &[])).collect();
-        let meta_shards = if backend == Backend::Bsfs { c.meta_shards } else { 0 };
+        let meta_shards = if backend == Backend::Bsfs {
+            c.meta_shards
+        } else {
+            0
+        };
         let services = Services::new(&c, backend, meta_shards);
         Self {
             net,
@@ -119,8 +125,18 @@ impl World {
         };
         sched.schedule_at(flow_at, |w: &mut World, s| {
             let provider = w.targets[w.next_block];
-            let tok = Tok { started: s.now(), provider };
-            start_flow(w, s, w.client_node, NodeId::new(provider as u64), w.c.block_bytes, tok);
+            let tok = Tok {
+                started: s.now(),
+                provider,
+            };
+            start_flow(
+                w,
+                s,
+                w.client_node,
+                NodeId::new(provider as u64),
+                w.c.block_bytes,
+                tok,
+            );
         });
     }
 
@@ -132,7 +148,9 @@ impl World {
             Backend::Hdfs => now,
             Backend::Bsfs => {
                 // Version assignment (serialized, O(1))...
-                let assigned = self.services.central_call(now, self.c.vm_assign_svc, self.c.latency);
+                let assigned =
+                    self.services
+                        .central_call(now, self.c.vm_assign_svc, self.c.latency);
                 // ...then the tree-node puts, counted by the real segment
                 // tree arithmetic, in parallel across the DHT...
                 let k = self.next_block as u64;
@@ -146,9 +164,11 @@ impl World {
                     cap_after,
                     size_after: (k + 1) * self.c.block_bytes,
                 };
-                let puts_done =
-                    self.services
-                        .meta_parallel(assigned, shape::nodes_created(&entry), self.c.latency);
+                let puts_done = self.services.meta_parallel(
+                    assigned,
+                    shape::nodes_created(&entry),
+                    self.c.latency,
+                );
                 // ...then the commit notification.
                 puts_done + self.c.rtt()
             }
@@ -180,7 +200,8 @@ pub fn run(c: &Constants, sizes_gb: &[f64]) -> Figure {
     for backend in [Backend::Hdfs, Backend::Bsfs] {
         let mut series = Series::new(backend.label());
         for &gb in sizes_gb {
-            let n_blocks = ((gb * 1024.0 * 1024.0 * 1024.0) / c.block_bytes as f64).round() as usize;
+            let n_blocks =
+                ((gb * 1024.0 * 1024.0 * 1024.0) / c.block_bytes as f64).round() as usize;
             let mean = (0..crate::fig3b::REPETITIONS)
                 .map(|rep| throughput_mbps(c, backend, n_blocks, 0xF163A + rep))
                 .sum::<f64>()
@@ -208,11 +229,17 @@ mod tests {
         let hdfs = &fig.series[0];
         let bsfs = &fig.series[1];
         for (&(x, h), &(_, b)) in hdfs.points.iter().zip(&bsfs.points) {
-            assert!(b > h * 1.3, "BSFS should lead clearly at {x} GB: bsfs={b:.1} hdfs={h:.1}");
+            assert!(
+                b > h * 1.3,
+                "BSFS should lead clearly at {x} GB: bsfs={b:.1} hdfs={h:.1}"
+            );
         }
         // BSFS sustains its throughput as the file grows (±10%).
         let (b1, b16) = (bsfs.y_at(1.0).unwrap(), bsfs.y_at(16.0).unwrap());
-        assert!((b16 - b1).abs() / b1 < 0.10, "BSFS flat: {b1:.1} → {b16:.1}");
+        assert!(
+            (b16 - b1).abs() / b1 < 0.10,
+            "BSFS flat: {b1:.1} → {b16:.1}"
+        );
         // HDFS declines with file size.
         let (h1, h16) = (hdfs.y_at(1.0).unwrap(), hdfs.y_at(16.0).unwrap());
         assert!(h16 < h1 * 0.93, "HDFS declines: {h1:.1} → {h16:.1}");

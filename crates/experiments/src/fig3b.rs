@@ -39,7 +39,9 @@ pub fn mean_unbalance(policy: PlacementPolicy, n_blocks: u64, n_providers: usize
 pub fn policy_for(c: &Constants, backend: Backend) -> PlacementPolicy {
     match backend {
         Backend::Bsfs => PlacementPolicy::RoundRobin,
-        Backend::Hdfs => PlacementPolicy::StickyRandom { stickiness: c.hdfs_stickiness },
+        Backend::Hdfs => PlacementPolicy::StickyRandom {
+            stickiness: c.hdfs_stickiness,
+        },
     }
 }
 
@@ -56,7 +58,10 @@ pub fn run(c: &Constants, sizes_gb: &[f64]) -> Figure {
         let mut series = Series::new(backend.label());
         for &gb in sizes_gb {
             let n_blocks = ((gb * 1024.0 * 1024.0 * 1024.0) / c.block_bytes as f64).round() as u64;
-            series.push(gb, mean_unbalance(policy_for(c, backend), n_blocks, providers));
+            series.push(
+                gb,
+                mean_unbalance(policy_for(c, backend), n_blocks, providers),
+            );
         }
         fig.series.push(series);
     }

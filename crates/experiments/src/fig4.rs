@@ -74,7 +74,9 @@ impl World {
         // count — BSFS has 247 — the last few readers land on the manager
         // machines).
         let net = FlowNet::new(providers.max(n_clients), NicSpec::symmetric(c.nic_bps));
-        let disks = (0..providers).map(|_| simnet::Disk::new(c.disk_read_bps)).collect();
+        let disks = (0..providers)
+            .map(|_| simnet::Disk::new(c.disk_read_bps))
+            .collect();
         // Boot-up layout of the N-block file.
         let mut placer = Placer::new(policy_for(&c, backend), seed);
         let loads = vec![0u64; providers];
@@ -84,7 +86,11 @@ impl World {
             Backend::Bsfs => (0..n_clients).map(|i| (i + 13) % providers).collect(),
             Backend::Hdfs => (0..n_clients).map(|_| placer.pick(&loads, &[])).collect(),
         };
-        let meta_shards = if backend == Backend::Bsfs { c.meta_shards } else { 0 };
+        let meta_shards = if backend == Backend::Bsfs {
+            c.meta_shards
+        } else {
+            0
+        };
         let services = Services::new(&c, backend, meta_shards);
         Self {
             net,
@@ -101,7 +107,9 @@ impl World {
         let now = sched.now();
         // Central query: BSFS asks the version manager for the latest
         // version (§III-C); HDFS asks the namenode for block locations.
-        let queried = self.services.central_call(now, self.c.nn_svc, self.c.latency);
+        let queried = self
+            .services
+            .central_call(now, self.c.nn_svc, self.c.latency);
         let fetch_at = match self.backend {
             Backend::Hdfs => queried,
             Backend::Bsfs => {
@@ -114,7 +122,11 @@ impl World {
         sched.schedule_at(fetch_at, move |w: &mut World, s| {
             let provider = w.layout[client];
             let reader_node = NodeId::new(client as u64);
-            let tok = Tok { client, provider, started: s.now() };
+            let tok = Tok {
+                client,
+                provider,
+                started: s.now(),
+            };
             if provider == client {
                 // Chunk happens to live on the reader's own node: no
                 // network flow, disk only.
@@ -128,7 +140,14 @@ impl World {
                     w.durations[client] = Some(s.now() - SimTime::ZERO);
                 });
             } else {
-                start_flow(w, s, NodeId::new(provider as u64), reader_node, w.c.block_bytes, tok);
+                start_flow(
+                    w,
+                    s,
+                    NodeId::new(provider as u64),
+                    reader_node,
+                    w.c.block_bytes,
+                    tok,
+                );
             }
         });
     }
@@ -195,7 +214,10 @@ mod tests {
         // deliver the same throughput even when the number of clients
         // increases").
         let (b1, b250) = (bsfs.y_at(1.0).unwrap(), bsfs.y_at(250.0).unwrap());
-        assert!(b250 > b1 * 0.85, "BSFS should stay near-flat: {b1:.1} → {b250:.1}");
+        assert!(
+            b250 > b1 * 0.85,
+            "BSFS should stay near-flat: {b1:.1} → {b250:.1}"
+        );
         // HDFS collapses under contention.
         let (h1, h250) = (hdfs.y_at(1.0).unwrap(), hdfs.y_at(250.0).unwrap());
         assert!(h250 < h1 * 0.75, "HDFS should decline: {h1:.1} → {h250:.1}");
@@ -211,8 +233,14 @@ mod tests {
         let c = Constants::default();
         let bsfs = avg_client_mbps(&c, Backend::Bsfs, 200, 3);
         let hdfs = avg_client_mbps(&c, Backend::Hdfs, 200, 3);
-        assert!((50.0..75.0).contains(&bsfs), "BSFS at 200 clients: {bsfs:.1}");
-        assert!((15.0..40.0).contains(&hdfs), "HDFS at 200 clients: {hdfs:.1}");
+        assert!(
+            (50.0..75.0).contains(&bsfs),
+            "BSFS at 200 clients: {bsfs:.1}"
+        );
+        assert!(
+            (15.0..40.0).contains(&hdfs),
+            "HDFS at 200 clients: {hdfs:.1}"
+        );
     }
 
     #[test]

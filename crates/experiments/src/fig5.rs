@@ -76,7 +76,9 @@ impl World {
     fn new(c: Constants, mode: OpMode, n_clients: usize) -> Self {
         let providers = Backend::Bsfs.microbench_storage_nodes();
         let net = FlowNet::new(providers.max(n_clients), NicSpec::symmetric(c.nic_bps));
-        let disks = (0..providers).map(|_| simnet::Disk::new(c.disk_write_bps)).collect();
+        let disks = (0..providers)
+            .map(|_| simnet::Disk::new(c.disk_write_bps))
+            .collect();
         let services = Services::new(&c, Backend::Bsfs, c.meta_shards);
         Self {
             net,
@@ -98,14 +100,25 @@ impl World {
             // Global round-robin allocation, offset so appender i and
             // provider i are unrelated.
             let provider = (client + 13) % w.n_providers;
-            let tok = Tok { client, provider, started: s.now() };
+            let tok = Tok {
+                client,
+                provider,
+                started: s.now(),
+            };
             if provider == client {
                 // Co-located: disk only.
                 let disk_done = w.disks[provider].submit(s.now(), w.c.block_bytes);
                 let ack = disk_done + w.c.provider_svc;
                 s.schedule_at(ack, move |w: &mut World, s| w.metadata_phase(s, client));
             } else {
-                start_flow(w, s, NodeId::new(client as u64), NodeId::new(provider as u64), w.c.block_bytes, tok);
+                start_flow(
+                    w,
+                    s,
+                    NodeId::new(client as u64),
+                    NodeId::new(provider as u64),
+                    w.c.block_bytes,
+                    tok,
+                );
             }
         });
     }
@@ -113,7 +126,9 @@ impl World {
     /// Version assignment (serialized) + tree-node puts + commit.
     fn metadata_phase(&mut self, sched: &mut Scheduler<Self>, client: usize) {
         let now = sched.now();
-        let assigned_at = self.services.central_call(now, self.c.vm_assign_svc, self.c.latency);
+        let assigned_at = self
+            .services
+            .central_call(now, self.c.vm_assign_svc, self.c.latency);
         // The version this appender gets is its arrival rank at the VM.
         self.versions_assigned += 1;
         let v = self.versions_assigned;
@@ -123,7 +138,11 @@ impl World {
                 LogEntry {
                     version: Version::new(v),
                     blocks: BlockRange::new(v - 1, v),
-                    cap_before: if v == 1 { 0 } else { (v - 1).next_power_of_two() },
+                    cap_before: if v == 1 {
+                        0
+                    } else {
+                        (v - 1).next_power_of_two()
+                    },
                     cap_after: v.next_power_of_two(),
                     size_after: v * self.c.block_bytes,
                 }
@@ -204,11 +223,17 @@ mod tests {
         let t1 = aggregated_mbps(&c, OpMode::Append, 1);
         let t100 = aggregated_mbps(&c, OpMode::Append, 100);
         let t250 = aggregated_mbps(&c, OpMode::Append, 250);
-        assert!((50.0..70.0).contains(&t1), "single appender ≈ single writer: {t1:.0}");
+        assert!(
+            (50.0..70.0).contains(&t1),
+            "single appender ≈ single writer: {t1:.0}"
+        );
         assert!(t100 > t1 * 60.0, "100 clients scale: {t100:.0}");
         assert!(t250 > t100 * 1.5, "still climbing at 250: {t250:.0}");
         // Paper reaches ≈ 9–10 GB/s at 250 clients.
-        assert!((7_000.0..14_000.0).contains(&t250), "aggregate at 250: {t250:.0}");
+        assert!(
+            (7_000.0..14_000.0).contains(&t250),
+            "aggregate at 250: {t250:.0}"
+        );
         // Sub-linear by then: the version manager's serialization bites.
         assert!(t250 < t1 * 250.0, "VM serialization must bend the curve");
     }
@@ -222,7 +247,10 @@ mod tests {
             let a = aggregated_mbps(&c, OpMode::Append, n);
             let w = aggregated_mbps(&c, OpMode::RandomWrite, n);
             let rel = (a - w).abs() / a;
-            assert!(rel < 0.15, "append {a:.0} vs write {w:.0} at {n} clients ({rel:.2})");
+            assert!(
+                rel < 0.15,
+                "append {a:.0} vs write {w:.0} at {n} clients ({rel:.2})"
+            );
         }
     }
 

@@ -70,7 +70,9 @@ impl NetWorld for RtwWorld {
     fn on_flow_complete(&mut self, sched: &mut Scheduler<Self>, tok: WTok) {
         let disk_done = self.disks[tok.provider].submit(tok.started, self.c.block_bytes);
         let ack = disk_done.max(sched.now()) + self.c.provider_svc;
-        sched.schedule_at(ack, move |w: &mut RtwWorld, s| w.bsfs_metadata(s, tok.mapper));
+        sched.schedule_at(ack, move |w: &mut RtwWorld, s| {
+            w.bsfs_metadata(s, tok.mapper)
+        });
     }
 }
 
@@ -80,7 +82,9 @@ impl RtwWorld {
         let services = Services::new(&c, backend, meta_shards);
         Self {
             net: FlowNet::new(RTW_NODES, NicSpec::symmetric(c.nic_bps)),
-            disks: (0..RTW_NODES).map(|_| simnet::Disk::new(c.disk_write_bps)).collect(),
+            disks: (0..RTW_NODES)
+                .map(|_| simnet::Disk::new(c.disk_write_bps))
+                .collect(),
             c,
             backend,
             services,
@@ -98,7 +102,9 @@ impl RtwWorld {
             return;
         }
         let gen = SimDuration::from_secs_f64(self.c.block_bytes as f64 / self.c.textgen_bps);
-        sched.schedule_at(sched.now() + gen, move |w: &mut RtwWorld, s| w.write_chunk(s, mapper));
+        sched.schedule_at(sched.now() + gen, move |w: &mut RtwWorld, s| {
+            w.write_chunk(s, mapper)
+        });
     }
 
     fn write_chunk(&mut self, sched: &mut Scheduler<Self>, mapper: usize) {
@@ -120,14 +126,20 @@ impl RtwWorld {
                     self.disks[mapper].submit(start, self.c.block_bytes)
                 };
                 self.progress[mapper] += 1;
-                sched.schedule_at(disk_done, move |w: &mut RtwWorld, s| w.next_chunk(s, mapper));
+                sched.schedule_at(disk_done, move |w: &mut RtwWorld, s| {
+                    w.next_chunk(s, mapper)
+                });
             }
             Backend::Bsfs => {
                 let at = now + self.c.bsfs_block_overhead + self.c.rtt();
                 sched.schedule_at(at, move |w: &mut RtwWorld, s| {
                     let provider = w.rr % RTW_NODES;
                     w.rr += 1;
-                    let tok = WTok { mapper, provider, started: s.now() };
+                    let tok = WTok {
+                        mapper,
+                        provider,
+                        started: s.now(),
+                    };
                     if provider == mapper {
                         let disk_done = w.disks[provider].submit(s.now(), w.c.block_bytes);
                         let ack = disk_done + w.c.provider_svc;
@@ -150,7 +162,9 @@ impl RtwWorld {
     /// BSFS metadata phase for the mapper's own output BLOB.
     fn bsfs_metadata(&mut self, sched: &mut Scheduler<Self>, mapper: usize) {
         let now = sched.now();
-        let assigned = self.services.central_call(now, self.c.vm_assign_svc, self.c.latency);
+        let assigned = self
+            .services
+            .central_call(now, self.c.vm_assign_svc, self.c.latency);
         let k = self.progress[mapper] as u64;
         let entry = LogEntry {
             version: Version::new(k + 1),
@@ -159,9 +173,9 @@ impl RtwWorld {
             cap_after: (k + 1).next_power_of_two(),
             size_after: (k + 1) * self.c.block_bytes,
         };
-        let puts = self
-            .services
-            .meta_parallel(assigned, shape::nodes_created(&entry), self.c.latency);
+        let puts =
+            self.services
+                .meta_parallel(assigned, shape::nodes_created(&entry), self.c.latency);
         self.progress[mapper] += 1;
         sched.schedule_at(puts + self.c.rtt(), move |w: &mut RtwWorld, s| {
             w.next_chunk(s, mapper)
@@ -172,12 +186,19 @@ impl RtwWorld {
 /// Simulates one RandomTextWriter job; returns completion time in seconds.
 pub fn rtw_job_secs(c: &Constants, backend: Backend, mappers: usize, total_bytes: u64) -> f64 {
     assert!((1..=RTW_NODES).contains(&mappers));
-    let chunks_per_mapper =
-        ((total_bytes / mappers as u64) as f64 / c.block_bytes as f64).round().max(1.0) as usize;
-    let mut sim = Sim::new(RtwWorld::new(c.clone(), backend, mappers, chunks_per_mapper));
+    let chunks_per_mapper = ((total_bytes / mappers as u64) as f64 / c.block_bytes as f64)
+        .round()
+        .max(1.0) as usize;
+    let mut sim = Sim::new(RtwWorld::new(
+        c.clone(),
+        backend,
+        mappers,
+        chunks_per_mapper,
+    ));
     for m in 0..mappers {
         // Heartbeat-staggered dispatch plus the per-task JVM spawn.
-        let stagger = SimDuration::from_millis((m as u64 * 137) % sim.world.c.heartbeat.as_millis());
+        let stagger =
+            SimDuration::from_millis((m as u64 * 137) % sim.world.c.heartbeat.as_millis());
         sim.schedule_in(stagger + c.task_overhead, move |w: &mut RtwWorld, s| {
             w.next_chunk(s, m)
         });
@@ -284,11 +305,17 @@ impl GrepWorld {
             Backend::Bsfs => (0..n_chunks).map(|i| (i + 13) % GREP_NODES).collect(),
             Backend::Hdfs => (0..n_chunks).map(|_| placer.pick(&loads, &[])).collect(),
         };
-        let meta_shards = if backend == Backend::Bsfs { c.meta_shards } else { 0 };
+        let meta_shards = if backend == Backend::Bsfs {
+            c.meta_shards
+        } else {
+            0
+        };
         let services = Services::new(&c, backend, meta_shards);
         Self {
             net: FlowNet::new(GREP_NODES, NicSpec::symmetric(c.nic_bps)),
-            disks: (0..GREP_NODES).map(|_| simnet::Disk::new(c.disk_read_bps)).collect(),
+            disks: (0..GREP_NODES)
+                .map(|_| simnet::Disk::new(c.disk_read_bps))
+                .collect(),
             c,
             backend,
             services,
@@ -312,9 +339,8 @@ impl GrepWorld {
         if self.free_slots[tracker] > 0 {
             let local = (0..self.state.len())
                 .find(|&t| self.state[t] == TaskState::Pending && self.task_host[t] == tracker);
-            let pick = local.or_else(|| {
-                (0..self.state.len()).find(|&t| self.state[t] == TaskState::Pending)
-            });
+            let pick = local
+                .or_else(|| (0..self.state.len()).find(|&t| self.state[t] == TaskState::Pending));
             if let Some(task) = pick {
                 self.state[task] = TaskState::Running;
                 self.assigned_to[task] = tracker;
@@ -333,7 +359,9 @@ impl GrepWorld {
         // JVM spawn + task init, then open: one central query (namenode /
         // version manager), plus the BSFS tree descent.
         let now = sched.now() + self.c.task_overhead;
-        let opened = self.services.central_call(now, self.c.nn_svc, self.c.latency);
+        let opened = self
+            .services
+            .central_call(now, self.c.nn_svc, self.c.latency);
         let ready = match self.backend {
             Backend::Hdfs => opened,
             Backend::Bsfs => {
@@ -353,8 +381,19 @@ impl GrepWorld {
                 });
             } else {
                 // Remote map: pull the chunk over the network.
-                let tok = GTok { task, host, started: s.now() };
-                start_flow(w, s, NodeId::new(host as u64), NodeId::new(tracker as u64), w.c.block_bytes, tok);
+                let tok = GTok {
+                    task,
+                    host,
+                    started: s.now(),
+                };
+                start_flow(
+                    w,
+                    s,
+                    NodeId::new(host as u64),
+                    NodeId::new(tracker as u64),
+                    w.c.block_bytes,
+                    tok,
+                );
             }
         });
     }
@@ -413,7 +452,8 @@ pub fn run_grep(c: &Constants, sizes_gb: &[f64]) -> Figure {
     for backend in [Backend::Hdfs, Backend::Bsfs] {
         let mut series = Series::new(backend.label());
         for &gb in sizes_gb {
-            let n_chunks = ((gb * 1024.0 * 1024.0 * 1024.0) / c.block_bytes as f64).round() as usize;
+            let n_chunks =
+                ((gb * 1024.0 * 1024.0 * 1024.0) / c.block_bytes as f64).round() as usize;
             let mean = (0..crate::fig3b::REPETITIONS)
                 .map(|rep| grep_job(c, backend, n_chunks, 0xF166B + rep).secs)
                 .sum::<f64>()
@@ -448,7 +488,10 @@ mod tests {
         // Paper: 7 % at 50 mappers → 11 % at 1 mapper.
         assert!(g50 > 0.02, "BSFS must win at 50 mappers: gain {g50:.3}");
         assert!(g1 > 0.06, "BSFS must win clearly at 1 mapper: gain {g1:.3}");
-        assert!(g1 > g50, "gain grows as mappers decrease: {g50:.3} → {g1:.3}");
+        assert!(
+            g1 > g50,
+            "gain grows as mappers decrease: {g50:.3} → {g1:.3}"
+        );
     }
 
     #[test]
@@ -476,7 +519,10 @@ mod tests {
         let gain_128 = (g128.0 - g128.1) / g128.0;
         // Paper: 35 % at 6.4 GB, 38 % at 12.8 GB.
         assert!(gain_64 > 0.15, "gain at 6.4 GB: {gain_64:.2} ({g64:?})");
-        assert!(gain_128 >= gain_64 - 0.03, "gap must not shrink: {gain_64:.2} → {gain_128:.2}");
+        assert!(
+            gain_128 >= gain_64 - 0.03,
+            "gap must not shrink: {gain_64:.2} → {gain_128:.2}"
+        );
     }
 
     #[test]
@@ -484,7 +530,15 @@ mod tests {
         let c = Constants::default();
         let b = grep_job(&c, Backend::Bsfs, 150, 2);
         let h = grep_job(&c, Backend::Hdfs, 150, 2);
-        assert!(b.locality > 0.9, "balanced layout → nearly all local: {:.2}", b.locality);
-        assert!(h.locality < b.locality, "skewed layout loses locality: {:.2}", h.locality);
+        assert!(
+            b.locality > 0.9,
+            "balanced layout → nearly all local: {:.2}",
+            b.locality
+        );
+        assert!(
+            h.locality < b.locality,
+            "skewed layout loses locality: {:.2}",
+            h.locality
+        );
     }
 }

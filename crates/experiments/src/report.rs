@@ -14,7 +14,10 @@ pub struct Series {
 impl Series {
     /// An empty series.
     pub fn new(label: &str) -> Self {
-        Self { label: label.to_string(), points: Vec::new() }
+        Self {
+            label: label.to_string(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -67,7 +70,11 @@ impl Figure {
         let _ = writeln!(out, "# {} — {}", self.id, self.title);
         let _ = write!(out, "{:>16}", self.x_label);
         for s in &self.series {
-            let _ = write!(out, " {:>16}", format!("{} ({})", s.label, short_unit(&self.y_label)));
+            let _ = write!(
+                out,
+                " {:>16}",
+                format!("{} ({})", s.label, short_unit(&self.y_label))
+            );
         }
         let _ = writeln!(out);
         let xs: Vec<f64> = self

@@ -61,14 +61,21 @@ impl Services {
         };
         Self {
             central: FifoServer::new(central_svc),
-            meta: (0..meta_shards).map(|_| FifoServer::new(c.meta_svc)).collect(),
+            meta: (0..meta_shards)
+                .map(|_| FifoServer::new(c.meta_svc))
+                .collect(),
             meta_rr: 0,
         }
     }
 
     /// One small RPC to the central service: request latency, queued
     /// service of `svc`, response latency. Returns the completion instant.
-    pub fn central_call(&mut self, now: SimTime, svc: SimDuration, latency: SimDuration) -> SimTime {
+    pub fn central_call(
+        &mut self,
+        now: SimTime,
+        svc: SimDuration,
+        latency: SimDuration,
+    ) -> SimTime {
         self.central.submit_with(now + latency, svc) + latency
     }
 
@@ -91,7 +98,12 @@ impl Services {
 
     /// Fetches `n_nodes` tree nodes *sequentially* (a root-to-leaf descent
     /// must follow child references one hop at a time).
-    pub fn meta_sequential(&mut self, start: SimTime, n_nodes: u64, latency: SimDuration) -> SimTime {
+    pub fn meta_sequential(
+        &mut self,
+        start: SimTime,
+        n_nodes: u64,
+        latency: SimDuration,
+    ) -> SimTime {
         let mut t = start;
         for _ in 0..n_nodes {
             let shard = self.meta_rr % self.meta.len();
@@ -135,7 +147,10 @@ mod tests {
         let mut s2 = Services::new(&c, Backend::Bsfs, 20);
         let par = s1.meta_parallel(SimTime::ZERO, 9, lat);
         let seq = s2.meta_sequential(SimTime::ZERO, 9, lat);
-        assert!(par < seq, "parallel puts {par} must beat sequential descent {seq}");
+        assert!(
+            par < seq,
+            "parallel puts {par} must beat sequential descent {seq}"
+        );
         // Sequential: 9 hops of (2×latency + service).
         assert_eq!(seq.as_nanos(), 9 * (200_000 + 150_000));
     }

@@ -48,24 +48,30 @@ impl DataNode {
         if chunks.contains_key(&id) {
             return Err(Error::Internal(format!("chunk {id:?} already exists")));
         }
-        self.bytes_stored.fetch_add(data.len() as u64, Ordering::Relaxed);
-        chunks.insert(id, Chunk { data, sealed: false });
+        self.bytes_stored
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        chunks.insert(
+            id,
+            Chunk {
+                data,
+                sealed: false,
+            },
+        );
         Ok(())
     }
 
     /// Appends bytes to an unsealed chunk (fills a partial tail chunk).
     pub fn extend(&self, id: ChunkId, data: &[u8]) -> Result<()> {
         let mut chunks = self.chunks.write();
-        let chunk = chunks
-            .get_mut(&id)
-            .ok_or(Error::MissingBlock(id.0))?;
+        let chunk = chunks.get_mut(&id).ok_or(Error::MissingBlock(id.0))?;
         if chunk.sealed {
             return Err(Error::Internal(format!(
                 "chunk {id:?} is sealed — completed HDFS data is immutable"
             )));
         }
         chunk.data.extend_from_slice(data);
-        self.bytes_stored.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_stored
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 

@@ -38,7 +38,11 @@ impl HdfsCluster {
     /// datanode, writes go local-first (§V-D).
     pub fn mount(self: &Arc<Self>, node: NodeId) -> Hdfs {
         let local_dn = self.datanodes.iter().position(|d| d.node() == node);
-        Hdfs { cluster: Arc::clone(self), node, local_dn }
+        Hdfs {
+            cluster: Arc::clone(self),
+            node,
+            local_dn,
+        }
     }
 
     /// The namenode (for op-count and layout inspection).
@@ -173,7 +177,10 @@ impl FileSystem for Hdfs {
     }
 
     fn delete(&self, path: &str, recursive: bool) -> Result<()> {
-        let chunks = self.cluster.namenode.delete(&DfsPath::parse(path)?, recursive)?;
+        let chunks = self
+            .cluster
+            .namenode
+            .delete(&DfsPath::parse(path)?, recursive)?;
         self.cluster.reclaim(&chunks);
         Ok(())
     }
@@ -265,7 +272,10 @@ impl DfsInput for HdfsInput {
 
     fn seek(&mut self, pos: u64) -> Result<()> {
         if pos > self.snap.len {
-            return Err(Error::OutOfBounds { requested_end: pos, snapshot_size: self.snap.len });
+            return Err(Error::OutOfBounds {
+                requested_end: pos,
+                snapshot_size: self.snap.len,
+            });
         }
         self.pos = pos;
         Ok(())
@@ -333,10 +343,11 @@ impl HdfsOutput {
         let data = std::mem::take(&mut self.buf);
         if self.tail_room_used > 0 {
             // Appending into the existing partial tail chunk.
-            let (id, dns) = self
-                .cluster
-                .namenode
-                .extend_last_chunk(&self.path, self.lease, data.len() as u32)?;
+            let (id, dns) = self.cluster.namenode.extend_last_chunk(
+                &self.path,
+                self.lease,
+                data.len() as u32,
+            )?;
             for &dn in &dns {
                 self.cluster.datanodes[dn].extend(id, &data)?;
             }
@@ -345,10 +356,12 @@ impl HdfsOutput {
                 self.tail_room_used = 0;
             }
         } else {
-            let (id, dns) =
-                self.cluster
-                    .namenode
-                    .add_chunk(&self.path, self.lease, data.len() as u32, self.local_dn)?;
+            let (id, dns) = self.cluster.namenode.add_chunk(
+                &self.path,
+                self.lease,
+                data.len() as u32,
+                self.local_dn,
+            )?;
             let mut first = true;
             for &dn in &dns {
                 // The write pipeline: the client sends once; datanodes
@@ -491,7 +504,10 @@ mod tests {
         let cl = cluster();
         let fs = cl.mount(NodeId::new(0));
         let out1 = fs.create("/locked", false).unwrap();
-        assert!(matches!(fs.create("/locked", true), Err(Error::LeaseConflict(_))));
+        assert!(matches!(
+            fs.create("/locked", true),
+            Err(Error::LeaseConflict(_))
+        ));
         drop(out1); // close releases the lease
         let mut out2 = fs.create("/locked", true).unwrap();
         out2.write(b"x").unwrap();
@@ -547,7 +563,10 @@ mod tests {
         let before = cl.namenode().op_count();
         write_file(&fs, "/f", &vec![0u8; 600]).unwrap();
         let after_write = cl.namenode().op_count();
-        assert!(after_write > before, "create/add_chunk/complete all hit the namenode");
+        assert!(
+            after_write > before,
+            "create/add_chunk/complete all hit the namenode"
+        );
         // Reads hit it once (open), then stream from datanodes.
         let mut input = fs.open("/f").unwrap();
         let after_open = cl.namenode().op_count();
@@ -555,6 +574,10 @@ mod tests {
         for _ in 0..8 {
             input.read_exact(&mut buf).unwrap();
         }
-        assert_eq!(cl.namenode().op_count(), after_open, "reads bypass the namenode");
+        assert_eq!(
+            cl.namenode().op_count(),
+            after_open,
+            "reads bypass the namenode"
+        );
     }
 }

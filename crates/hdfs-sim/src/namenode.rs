@@ -88,7 +88,9 @@ impl NameNode {
             "replication exceeds datanode count"
         );
         let mut inner = Inner::default();
-        inner.entries.insert(DfsPath::root(), INode::Dir(BTreeSet::new()));
+        inner
+            .entries
+            .insert(DfsPath::root(), INode::Dir(BTreeSet::new()));
         inner.loads = vec![0; n_datanodes];
         Self {
             cfg,
@@ -135,7 +137,9 @@ impl NameNode {
             let child = cur.join(comp).expect("validated");
             match inner.entries.get(&child) {
                 None => {
-                    inner.entries.insert(child.clone(), INode::Dir(BTreeSet::new()));
+                    inner
+                        .entries
+                        .insert(child.clone(), INode::Dir(BTreeSet::new()));
                     inner
                         .dir_children(&cur)
                         .expect("parent exists")
@@ -255,7 +259,9 @@ impl NameNode {
         if inner.entries.contains_key(dst) {
             return Err(Error::AlreadyExists(dst.to_string()));
         }
-        let dst_parent = dst.parent().ok_or_else(|| Error::AlreadyExists("/".into()))?;
+        let dst_parent = dst
+            .parent()
+            .ok_or_else(|| Error::AlreadyExists("/".into()))?;
         match inner.entries.get(&dst_parent) {
             Some(INode::Dir(_)) => {}
             Some(INode::File(_)) => return Err(Error::NotADirectory(dst_parent.to_string())),
@@ -293,7 +299,9 @@ impl NameNode {
         let policy = if self.cfg.placement_stickiness == 0 {
             PlacementPolicy::Random
         } else {
-            PlacementPolicy::StickyRandom { stickiness: self.cfg.placement_stickiness }
+            PlacementPolicy::StickyRandom {
+                stickiness: self.cfg.placement_stickiness,
+            }
         };
         let _ = client_datanode;
         LeaseState {
@@ -343,7 +351,11 @@ impl NameNode {
         let lease_id = lease.id;
         inner.entries.insert(
             path.clone(),
-            INode::File(Box::new(FileMeta { chunks: Vec::new(), len: 0, lease: Some(lease) })),
+            INode::File(Box::new(FileMeta {
+                chunks: Vec::new(),
+                len: 0,
+                lease: Some(lease),
+            })),
         );
         inner
             .dir_children(&parent)
@@ -354,7 +366,11 @@ impl NameNode {
 
     /// Acquires an append lease. Hadoop 0.20 refuses (§V-F); later versions
     /// are modeled by `HdfsConfig::append_supported`.
-    pub fn append(&self, path: &DfsPath, client_datanode: Option<usize>) -> Result<(LeaseId, FileSnapshot)> {
+    pub fn append(
+        &self,
+        path: &DfsPath,
+        client_datanode: Option<usize>,
+    ) -> Result<(LeaseId, FileSnapshot)> {
         self.bump();
         if !self.cfg.append_supported {
             return Err(Error::Unsupported("append (HDFS 0.20, §V-F)"));
@@ -369,7 +385,10 @@ impl NameNode {
                 }
                 let lease = self.new_lease(client_datanode);
                 let id = lease.id;
-                let snap = FileSnapshot { chunks: f.chunks.clone(), len: f.len };
+                let snap = FileSnapshot {
+                    chunks: f.chunks.clone(),
+                    len: f.len,
+                };
                 f.lease = Some(lease);
                 Ok((id, snap))
             }
@@ -387,12 +406,10 @@ impl NameNode {
         match entries.get_mut(path) {
             None => Err(Error::NotFound(path.to_string())),
             Some(INode::Dir(_)) => Err(Error::NotADirectory(path.to_string())),
-            Some(INode::File(meta)) => {
-                match &meta.lease {
-                    Some(l) if l.id == lease => Ok(f(meta, loads)),
-                    _ => Err(Error::LeaseConflict(format!("{path}: stale lease"))),
-                }
-            }
+            Some(INode::File(meta)) => match &meta.lease {
+                Some(l) if l.id == lease => Ok(f(meta, loads)),
+                _ => Err(Error::LeaseConflict(format!("{path}: stale lease"))),
+            },
         }
     }
 
@@ -425,7 +442,11 @@ impl NameNode {
             for &dn in &targets {
                 loads[dn] += 1;
             }
-            meta.chunks.push(ChunkMeta { id, len, datanodes: targets.clone() });
+            meta.chunks.push(ChunkMeta {
+                id,
+                len,
+                datanodes: targets.clone(),
+            });
             meta.len += len as u64;
             (id, targets)
         })
@@ -468,7 +489,10 @@ impl NameNode {
         match inner.entries.get(path) {
             None => Err(Error::NotFound(path.to_string())),
             Some(INode::Dir(_)) => Err(Error::NotADirectory(path.to_string())),
-            Some(INode::File(ref f)) => Ok(FileSnapshot { chunks: f.chunks.clone(), len: f.len }),
+            Some(INode::File(ref f)) => Ok(FileSnapshot {
+                chunks: f.chunks.clone(),
+                len: f.len,
+            }),
         }
     }
 }
@@ -584,7 +608,10 @@ mod tests {
     fn delete_of_leased_file_refused() {
         let nn = nn();
         let (_lease, _) = nn.create(&p("/f"), false, None).unwrap();
-        assert!(matches!(nn.delete(&p("/f"), false), Err(Error::LeaseConflict(_))));
+        assert!(matches!(
+            nn.delete(&p("/f"), false),
+            Err(Error::LeaseConflict(_))
+        ));
     }
 
     #[test]

@@ -16,12 +16,19 @@ pub struct DistributedGrep {
 impl DistributedGrep {
     /// New grep for a pattern.
     pub fn new(pattern: &str) -> Self {
-        Self { pattern: pattern.as_bytes().to_vec() }
+        Self {
+            pattern: pattern.as_bytes().to_vec(),
+        }
     }
 
     /// A job spec scanning `input` with one reducer summing the counts.
     pub fn job(input: &str, output_dir: &str) -> JobSpec {
-        JobSpec::new("distributed-grep", InputSpec::Files(vec![input.to_string()]), output_dir, 1)
+        JobSpec::new(
+            "distributed-grep",
+            InputSpec::Files(vec![input.to_string()]),
+            output_dir,
+            1,
+        )
     }
 
     /// Substring search (memmem); no regex dependency needed for the
@@ -30,7 +37,8 @@ impl DistributedGrep {
         if self.pattern.is_empty() {
             return true;
         }
-        line.windows(self.pattern.len()).any(|w| w == &self.pattern[..])
+        line.windows(self.pattern.len())
+            .any(|w| w == &self.pattern[..])
     }
 }
 
@@ -46,7 +54,12 @@ impl Reducer for DistributedGrep {
     fn reduce(&self, key: &[u8], values: &[Vec<u8>], out: &mut Emit<'_>) {
         let total: u64 = values
             .iter()
-            .map(|v| std::str::from_utf8(v).unwrap_or("0").parse::<u64>().unwrap_or(0))
+            .map(|v| {
+                std::str::from_utf8(v)
+                    .unwrap_or("0")
+                    .parse::<u64>()
+                    .unwrap_or(0)
+            })
             .sum();
         out(key, total.to_string().as_bytes());
     }

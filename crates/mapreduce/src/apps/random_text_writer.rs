@@ -50,7 +50,10 @@ mod tests {
 
     #[test]
     fn produces_requested_volume() {
-        let app = RandomTextWriter { bytes_per_mapper: 10_000, seed: 1 };
+        let app = RandomTextWriter {
+            bytes_per_mapper: 10_000,
+            seed: 1,
+        };
         let mut total = 0usize;
         let mut records = 0usize;
         app.map(0, b"", &mut |k, v| {
@@ -65,7 +68,10 @@ mod tests {
 
     #[test]
     fn mappers_generate_distinct_streams() {
-        let app = RandomTextWriter { bytes_per_mapper: 500, seed: 1 };
+        let app = RandomTextWriter {
+            bytes_per_mapper: 500,
+            seed: 1,
+        };
         let mut a = Vec::new();
         let mut b = Vec::new();
         app.map(0, b"", &mut |k, _| a.extend_from_slice(k));

@@ -10,7 +10,12 @@ pub struct WordCount;
 impl WordCount {
     /// A job spec with `reducers` reduce tasks.
     pub fn job(input: &str, output_dir: &str, reducers: usize) -> JobSpec {
-        JobSpec::new("wordcount", InputSpec::Files(vec![input.to_string()]), output_dir, reducers)
+        JobSpec::new(
+            "wordcount",
+            InputSpec::Files(vec![input.to_string()]),
+            output_dir,
+            reducers,
+        )
     }
 }
 
@@ -28,7 +33,12 @@ impl Reducer for WordCount {
     fn reduce(&self, key: &[u8], values: &[Vec<u8>], out: &mut Emit<'_>) {
         let total: u64 = values
             .iter()
-            .map(|v| std::str::from_utf8(v).unwrap_or("0").parse::<u64>().unwrap_or(0))
+            .map(|v| {
+                std::str::from_utf8(v)
+                    .unwrap_or("0")
+                    .parse::<u64>()
+                    .unwrap_or(0)
+            })
             .sum();
         out(key, total.to_string().as_bytes());
     }
@@ -46,7 +56,10 @@ mod tests {
             assert_eq!(v, b"1");
             words.push(k.to_vec());
         });
-        assert_eq!(words, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            words,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
     }
 
     #[test]

@@ -90,8 +90,16 @@ impl JobTracker {
     }
 
     /// Runs a full map/reduce job.
-    pub fn run_job(&self, job: &JobSpec, mapper: &dyn Mapper, reducer: &dyn Reducer) -> Result<JobReport> {
-        assert!(job.reducers > 0, "map/reduce jobs need at least one reducer");
+    pub fn run_job(
+        &self,
+        job: &JobSpec,
+        mapper: &dyn Mapper,
+        reducer: &dyn Reducer,
+    ) -> Result<JobReport> {
+        assert!(
+            job.reducers > 0,
+            "map/reduce jobs need at least one reducer"
+        );
         self.run_with(job, mapper, Some(reducer), None)
     }
 
@@ -107,11 +115,19 @@ impl JobTracker {
         reducer: &dyn Reducer,
         combiner: &dyn Reducer,
     ) -> Result<JobReport> {
-        assert!(job.reducers > 0, "map/reduce jobs need at least one reducer");
+        assert!(
+            job.reducers > 0,
+            "map/reduce jobs need at least one reducer"
+        );
         self.run_with(job, mapper, Some(reducer), Some(combiner))
     }
 
-    fn run(&self, job: &JobSpec, mapper: &dyn Mapper, reducer: Option<&dyn Reducer>) -> Result<JobReport> {
+    fn run(
+        &self,
+        job: &JobSpec,
+        mapper: &dyn Mapper,
+        reducer: Option<&dyn Reducer>,
+    ) -> Result<JobReport> {
         self.run_with(job, mapper, reducer, None)
     }
 
@@ -133,8 +149,18 @@ impl JobTracker {
             mapper,
             combiner,
             tracker_nodes: self.trackers.iter().map(|t| t.node).collect(),
-            tasks: Mutex::new(splits.into_iter().map(|split| MapTask { split, taken: false }).collect()),
-            shuffle: (0..job.reducers.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            tasks: Mutex::new(
+                splits
+                    .into_iter()
+                    .map(|split| MapTask {
+                        split,
+                        taken: false,
+                    })
+                    .collect(),
+            ),
+            shuffle: (0..job.reducers.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             local_maps: AtomicUsize::new(0),
             remote_maps: AtomicUsize::new(0),
             input_records: AtomicU64::new(0),
@@ -144,15 +170,14 @@ impl JobTracker {
         };
 
         // --- map phase: every slot of every tracker pulls tasks ---------
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tracker in &self.trackers {
                 for slot in 0..tracker.slots {
                     let phase = &phase;
-                    s.spawn(move |_| map_worker(tracker, slot, phase, reducer.is_some()));
+                    s.spawn(move || map_worker(tracker, slot, phase, reducer.is_some()));
                 }
             }
-        })
-        .expect("map worker panicked");
+        });
         if let Some(e) = phase.errors.lock().pop() {
             return Err(e);
         }
@@ -163,7 +188,7 @@ impl JobTracker {
         if reducer.is_some() {
             let reduce_errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
             let next_reduce = AtomicUsize::new(0);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for tracker in &self.trackers {
                     for _ in 0..tracker.slots {
                         let phase = &phase;
@@ -171,19 +196,20 @@ impl JobTracker {
                         let errs = &reduce_errors;
                         let out_recs = &output_records;
                         let reducer = reducer.expect("checked");
-                        s.spawn(move |_| loop {
+                        s.spawn(move || loop {
                             let r = next.fetch_add(1, Ordering::Relaxed);
                             if r >= phase.job.reducers {
                                 return;
                             }
-                            if let Err(e) = run_reduce(tracker, phase.job, reducer, phase, r, out_recs) {
+                            if let Err(e) =
+                                run_reduce(tracker, phase.job, reducer, phase, r, out_recs)
+                            {
                                 errs.lock().push(e);
                             }
                         });
                     }
                 }
-            })
-            .expect("reduce worker panicked");
+            });
             if let Some(e) = reduce_errors.lock().pop() {
                 return Err(e);
             }
@@ -194,7 +220,10 @@ impl JobTracker {
             for m in 0..map_tasks {
                 output_files.push(part_path(&job.output_dir, "part-m", m));
             }
-            output_records.store(phase.output_records.load(Ordering::Relaxed), Ordering::Relaxed);
+            output_records.store(
+                phase.output_records.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
         }
 
         Ok(JobReport {
@@ -281,7 +310,12 @@ fn map_worker(tracker: &TaskTracker, slot: usize, phase: &MapPhase<'_>, has_redu
             // 2. A task that is local to no tracker (nothing is lost).
             let unclaimed = local.or_else(|| {
                 tasks.iter().position(|t| {
-                    !t.taken && !t.split.hosts.iter().any(|h| phase.tracker_nodes.contains(h))
+                    !t.taken
+                        && !t
+                            .split
+                            .hosts
+                            .iter()
+                            .any(|h| phase.tracker_nodes.contains(h))
                 })
             });
             // 3. Steal another node's local task, after the delay budget.
@@ -328,7 +362,12 @@ fn map_worker(tracker: &TaskTracker, slot: usize, phase: &MapPhase<'_>, has_redu
 
 /// Executes one map task: read records of the split, run the mapper,
 /// partition output into the shuffle (or write part-m for map-only jobs).
-fn run_map(tracker: &TaskTracker, phase: &MapPhase<'_>, split: &InputSplit, has_reduce: bool) -> Result<()> {
+fn run_map(
+    tracker: &TaskTracker,
+    phase: &MapPhase<'_>,
+    split: &InputSplit,
+    has_reduce: bool,
+) -> Result<()> {
     let reducers = phase.job.reducers.max(1);
     // Local per-reducer buffers; merged into the shuffle at task end.
     let mut local_out: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); reducers];
@@ -378,7 +417,9 @@ fn run_map(tracker: &TaskTracker, phase: &MapPhase<'_>, split: &InputSplit, has_
             }
         }
     }
-    phase.output_records.fetch_add(map_output, Ordering::Relaxed);
+    phase
+        .output_records
+        .fetch_add(map_output, Ordering::Relaxed);
 
     if has_reduce {
         for (r, bucket) in local_out.into_iter().enumerate() {
@@ -497,6 +538,9 @@ mod tests {
         for i in 0..1000u32 {
             counts[partition(format!("key-{i}").as_bytes(), 4)] += 1;
         }
-        assert!(counts.iter().all(|&c| c > 150), "skewed partitioner: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 150),
+            "skewed partitioner: {counts:?}"
+        );
     }
 }

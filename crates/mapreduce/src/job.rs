@@ -113,12 +113,7 @@ mod tests {
 
     #[test]
     fn job_spec_builds() {
-        let job = JobSpec::new(
-            "grep",
-            InputSpec::Files(vec!["/in/a".into()]),
-            "/out",
-            2,
-        );
+        let job = JobSpec::new("grep", InputSpec::Files(vec!["/in/a".into()]), "/out", 2);
         assert_eq!(job.name, "grep");
         assert_eq!(job.reducers, 2);
         match &job.input {

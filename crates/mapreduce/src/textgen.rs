@@ -11,16 +11,56 @@ use rand::{Rng, SeedableRng};
 /// The predefined word list (a stable subset of Hadoop's
 /// `RandomTextWriter` word list).
 pub const WORDS: &[&str] = &[
-    "diurnalness", "officiously", "sanctity", "deaconship", "bedizen",
-    "repealer", "diatomaceous", "snuffiness", "bookmaking", "unglue",
-    "phytonic", "uncombable", "stereotypical", "horned", "pseudoxanthine",
-    "nonrepetition", "glaucomatous", "unfulminated", "scorer", "pomiferous",
-    "hookworm", "disfavour", "scapuloradial", "warriorwise", "sarcologist",
-    "extraorganismal", "undermentioned", "magnetooptics", "cuneiform",
-    "unconcessible", "rotular", "pentagamist", "interruptedness", "botchedly",
-    "pneumonalgia", "clannishness", "jirble", "liquidity", "unchatteled",
-    "designative", "unexplicit", "arval", "swangy", "besagne", "rebilling",
-    "bicorporeal", "uninductive", "hypotheses", "prospectiveness", "seelful",
+    "diurnalness",
+    "officiously",
+    "sanctity",
+    "deaconship",
+    "bedizen",
+    "repealer",
+    "diatomaceous",
+    "snuffiness",
+    "bookmaking",
+    "unglue",
+    "phytonic",
+    "uncombable",
+    "stereotypical",
+    "horned",
+    "pseudoxanthine",
+    "nonrepetition",
+    "glaucomatous",
+    "unfulminated",
+    "scorer",
+    "pomiferous",
+    "hookworm",
+    "disfavour",
+    "scapuloradial",
+    "warriorwise",
+    "sarcologist",
+    "extraorganismal",
+    "undermentioned",
+    "magnetooptics",
+    "cuneiform",
+    "unconcessible",
+    "rotular",
+    "pentagamist",
+    "interruptedness",
+    "botchedly",
+    "pneumonalgia",
+    "clannishness",
+    "jirble",
+    "liquidity",
+    "unchatteled",
+    "designative",
+    "unexplicit",
+    "arval",
+    "swangy",
+    "besagne",
+    "rebilling",
+    "bicorporeal",
+    "uninductive",
+    "hypotheses",
+    "prospectiveness",
+    "seelful",
 ];
 
 /// A deterministic sentence generator.
@@ -32,7 +72,9 @@ impl TextGen {
     /// A generator with a fixed seed (mapper id in the apps — every mapper
     /// produces a distinct, reproducible stream).
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Appends one random sentence (5–14 words, space-separated, no

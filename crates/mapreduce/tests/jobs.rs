@@ -23,7 +23,12 @@ fn bsfs_trackers() -> (std::sync::Arc<BsfsCluster>, JobTracker) {
     );
     let cluster = BsfsCluster::new(sys);
     let trackers = (0..NODES)
-        .map(|i| TaskTracker::new(NodeId::new(i as u64), Box::new(cluster.mount(NodeId::new(i as u64)))))
+        .map(|i| {
+            TaskTracker::new(
+                NodeId::new(i as u64),
+                Box::new(cluster.mount(NodeId::new(i as u64))),
+            )
+        })
         .collect();
     (cluster, JobTracker::new(trackers))
 }
@@ -32,7 +37,12 @@ fn bsfs_trackers() -> (std::sync::Arc<BsfsCluster>, JobTracker) {
 fn hdfs_trackers() -> (std::sync::Arc<HdfsCluster>, JobTracker) {
     let cluster = HdfsCluster::new(HdfsConfig::small_for_tests().with_chunk_size(BLOCK), NODES);
     let trackers = (0..NODES)
-        .map(|i| TaskTracker::new(NodeId::new(i as u64), Box::new(cluster.mount(NodeId::new(i as u64)))))
+        .map(|i| {
+            TaskTracker::new(
+                NodeId::new(i as u64),
+                Box::new(cluster.mount(NodeId::new(i as u64))),
+            )
+        })
         .collect();
     (cluster, JobTracker::new(trackers))
 }
@@ -107,7 +117,10 @@ fn random_text_writer_writes_separate_files() {
     let (cluster, jt) = bsfs_trackers();
     let fs = cluster.mount(NodeId::new(0));
     let mappers = 8;
-    let app = RandomTextWriter { bytes_per_mapper: 3 * BLOCK, seed: 7 };
+    let app = RandomTextWriter {
+        bytes_per_mapper: 3 * BLOCK,
+        seed: 7,
+    };
     let job = RandomTextWriter::job(mappers, "/out/rtw");
     let report = jt.run_map_only(&job, &app).unwrap();
     assert_eq!(report.map_tasks, mappers);
@@ -141,7 +154,11 @@ fn wordcount_totals_match_input() {
         .sum();
     write_file(&fs, "/in/wc.txt", &data).unwrap();
     let report = jt
-        .run_job(&WordCount::job("/in/wc.txt", "/out/wc", 3), &WordCount, &WordCount)
+        .run_job(
+            &WordCount::job("/in/wc.txt", "/out/wc", 3),
+            &WordCount,
+            &WordCount,
+        )
         .unwrap();
     assert_eq!(report.reduce_tasks, 3);
     // Sum counts across all reducer outputs.
@@ -157,7 +174,10 @@ fn wordcount_totals_match_input() {
         }
     }
     assert_eq!(sum, total_words);
-    assert_eq!(distinct, 50, "all 50 dictionary words appear in 16 KB of text");
+    assert_eq!(
+        distinct, 50,
+        "all 50 dictionary words appear in 16 KB of text"
+    );
     assert_eq!(report.map_output_records, total_words);
 }
 
@@ -169,7 +189,11 @@ fn combiner_preserves_results_and_shrinks_shuffle() {
     write_file(&fs, "/in/c.txt", &data).unwrap();
 
     let plain = jt
-        .run_job(&WordCount::job("/in/c.txt", "/out/plain", 3), &WordCount, &WordCount)
+        .run_job(
+            &WordCount::job("/in/c.txt", "/out/plain", 3),
+            &WordCount,
+            &WordCount,
+        )
         .unwrap();
     let combined = jt
         .run_job_with_combiner(
@@ -252,10 +276,17 @@ fn hdfs_local_writer_concentrates_blocks_and_locality() {
     );
     let app = DistributedGrep::new("a");
     let report = jt
-        .run_job(&DistributedGrep::job("/in/skewed.txt", "/out/skew"), &app, &app)
+        .run_job(
+            &DistributedGrep::job("/in/skewed.txt", "/out/skew"),
+            &app,
+            &app,
+        )
         .unwrap();
     assert_eq!(report.local_maps + report.remote_maps, report.map_tasks);
-    assert_eq!(grep_count(&writer_fs, "/out/skew"), reference_grep(&data, "a"));
+    assert_eq!(
+        grep_count(&writer_fs, "/out/skew"),
+        reference_grep(&data, "a")
+    );
 }
 
 #[test]
@@ -285,8 +316,12 @@ fn chained_jobs_output_feeds_input() {
     // RandomTextWriter produces text, grep consumes it.
     let (cluster, jt) = bsfs_trackers();
     let fs = cluster.mount(NodeId::new(0));
-    let app = RandomTextWriter { bytes_per_mapper: 2 * BLOCK, seed: 11 };
-    jt.run_map_only(&RandomTextWriter::job(4, "/stage1"), &app).unwrap();
+    let app = RandomTextWriter {
+        bytes_per_mapper: 2 * BLOCK,
+        seed: 11,
+    };
+    jt.run_map_only(&RandomTextWriter::job(4, "/stage1"), &app)
+        .unwrap();
     // Grep over all four outputs.
     let inputs: Vec<String> = (0..4).map(|i| format!("/stage1/part-m-{i:05}")).collect();
     let job = mapreduce::JobSpec::new(

@@ -40,7 +40,11 @@ impl Disk {
     /// completion instant. Work starts when the previous job finishes
     /// (work-conserving FIFO).
     pub fn submit(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         let dur = SimDuration::from_secs_f64(bytes as f64 / self.rate_bps);
         self.busy_until = start + dur;
         self.bytes_total += bytes as f64;

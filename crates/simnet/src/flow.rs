@@ -17,7 +17,7 @@
 //! recomputed and a single "next completion" wake-up is scheduled; stale
 //! wake-ups are discarded through an epoch counter.
 
-use crate::kernel::Scheduler;
+use crate::kernel::{EventId, Scheduler};
 use crate::time::{SimDuration, SimTime};
 use blobseer_types::NodeId;
 
@@ -73,6 +73,9 @@ pub struct FlowNet<T> {
     flows_started: u64,
     flows_completed: u64,
     bytes_transferred: f64,
+    /// The armed completion wake-up, canceled and replaced on every state
+    /// change so no stale event ever advances the kernel clock.
+    pending_pump: Option<EventId>,
 }
 
 /// A flow is considered complete when fewer than this many bytes remain;
@@ -99,6 +102,7 @@ impl<T> FlowNet<T> {
             flows_started: 0,
             flows_completed: 0,
             bytes_transferred: 0.0,
+            pending_pump: None,
         }
     }
 
@@ -143,7 +147,14 @@ impl<T> FlowNet<T> {
     /// # Panics
     /// Panics if either node id is out of range or if `now` precedes the last
     /// state change (causality).
-    pub fn start(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64, token: T) -> FlowId {
+    pub fn start(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        token: T,
+    ) -> FlowId {
         let (s, d) = (src.raw() as usize, dst.raw() as usize);
         assert!(s < self.nics.len(), "unknown src node {src}");
         assert!(d < self.nics.len(), "unknown dst node {dst}");
@@ -304,8 +315,7 @@ impl<T> FlowNet<T> {
                     let f = self.slots[i].as_ref().expect("active");
                     (f.src, f.dst)
                 };
-                let crosses =
-                    src == best_res || n + dst == best_res || best_res == 2 * n;
+                let crosses = src == best_res || n + dst == best_res || best_res == 2 * n;
                 if !crosses {
                     continue;
                 }
@@ -357,9 +367,14 @@ pub fn start_flow<W: NetWorld>(
     id
 }
 
-/// Schedules the next pump at the earliest completion time, tagged with the
-/// current epoch so stale wake-ups are ignored.
+/// Schedules the next pump at the earliest completion time, canceling the
+/// previously armed wake-up (its completion estimate is stale once rates
+/// changed). The epoch tag stays as a second line of defense for callers
+/// that mutate the net without going through [`start_flow`].
 fn arm_pump<W: NetWorld>(world: &mut W, sched: &mut Scheduler<W>) {
+    if let Some(old) = world.net_mut().pending_pump.take() {
+        sched.cancel(old);
+    }
     let net = world.net_mut();
     let epoch = net.epoch();
     let Some(mut at) = net.next_completion() else {
@@ -368,12 +383,14 @@ fn arm_pump<W: NetWorld>(world: &mut W, sched: &mut Scheduler<W>) {
     if at < sched.now() {
         at = sched.now();
     }
-    sched.schedule_at(at, move |w: &mut W, s| {
+    let id = sched.schedule_at(at, move |w: &mut W, s| {
+        w.net_mut().pending_pump = None;
         if w.net_mut().epoch() != epoch {
             return; // state changed since this wake-up was armed
         }
         pump(w, s);
     });
+    world.net_mut().pending_pump = Some(id);
 }
 
 /// Advances flows to now, dispatches completions, re-arms the wake-up.
@@ -404,9 +421,18 @@ mod tests {
     #[test]
     fn single_flow_gets_full_bandwidth() {
         let mut net: FlowNet<u32> = FlowNet::new(2, NicSpec::symmetric(100.0 * MB));
-        net.start(SimTime::ZERO, NodeId::new(0), NodeId::new(1), (100.0 * MB) as u64, 7);
+        net.start(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            (100.0 * MB) as u64,
+            7,
+        );
         let done = net.next_completion().expect("one active flow");
-        assert!(close(done.as_secs_f64(), 1.0, 1e-6), "100 MB at 100 MB/s ≈ 1 s, got {done}");
+        assert!(
+            close(done.as_secs_f64(), 1.0, 1e-6),
+            "100 MB at 100 MB/s ≈ 1 s, got {done}"
+        );
     }
 
     #[test]
@@ -414,8 +440,20 @@ mod tests {
         // Two sources send to the same destination: its ingress is the
         // bottleneck, each flow gets half.
         let mut net: FlowNet<u32> = FlowNet::new(3, NicSpec::symmetric(100.0 * MB));
-        let a = net.start(SimTime::ZERO, NodeId::new(0), NodeId::new(2), (50.0 * MB) as u64, 0);
-        let b = net.start(SimTime::ZERO, NodeId::new(1), NodeId::new(2), (50.0 * MB) as u64, 1);
+        let a = net.start(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(2),
+            (50.0 * MB) as u64,
+            0,
+        );
+        let b = net.start(
+            SimTime::ZERO,
+            NodeId::new(1),
+            NodeId::new(2),
+            (50.0 * MB) as u64,
+            1,
+        );
         assert!(close(net.flow_rate(a), 50.0 * MB, 1e-9));
         assert!(close(net.flow_rate(b), 50.0 * MB, 1e-9));
     }
@@ -430,7 +468,11 @@ mod tests {
         let f01 = net.start(SimTime::ZERO, NodeId::new(0), NodeId::new(1), 1000, 0);
         let f02 = net.start(SimTime::ZERO, NodeId::new(0), NodeId::new(2), 1000, 1);
         let f32_ = net.start(SimTime::ZERO, NodeId::new(3), NodeId::new(2), 1000, 2);
-        assert!(close(net.flow_rate(f01), 50.0, 1e-9), "{}", net.flow_rate(f01));
+        assert!(
+            close(net.flow_rate(f01), 50.0, 1e-9),
+            "{}",
+            net.flow_rate(f01)
+        );
         assert!(close(net.flow_rate(f02), 50.0, 1e-9));
         assert!(close(net.flow_rate(f32_), 50.0, 1e-9));
     }
@@ -543,7 +585,10 @@ mod tests {
         assert_eq!(sim.world.completions.len(), 2);
         assert_eq!(sim.world.completions[0].0, 0);
         assert_eq!(sim.world.completions[1].0, 99);
-        assert!(close(end.as_secs_f64(), 2.0, 1e-6), "two sequential 1 s transfers: {end}");
+        assert!(
+            close(end.as_secs_f64(), 2.0, 1e-6),
+            "two sequential 1 s transfers: {end}"
+        );
     }
 
     #[test]

@@ -9,10 +9,14 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Boxed event handler.
 type Handler<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+/// Handle to a scheduled event, usable with [`Scheduler::cancel`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct EventId(u64);
 
 struct Scheduled<W> {
     at: SimTime,
@@ -45,6 +49,11 @@ impl<W> Ord for Scheduled<W> {
 pub struct Scheduler<W> {
     now: SimTime,
     queue: BinaryHeap<Scheduled<W>>,
+    /// Seqs of every event still in `queue` and not canceled. Keeping this
+    /// alongside the tombstone set makes [`cancel`](Self::cancel) a safe
+    /// no-op for already-fired ids and keeps `events_pending` exact.
+    pending: HashSet<u64>,
+    canceled: HashSet<u64>,
     seq: u64,
     processed: u64,
 }
@@ -54,6 +63,8 @@ impl<W> Scheduler<W> {
         Self {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
+            pending: HashSet::new(),
+            canceled: HashSet::new(),
             seq: 0,
             processed: 0,
         }
@@ -71,18 +82,18 @@ impl<W> Scheduler<W> {
         self.processed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (canceled ones excluded).
     #[inline]
     pub fn events_pending(&self) -> usize {
-        self.queue.len()
+        self.pending.len()
     }
 
     /// Schedules `handler` to run `delay` from now.
-    pub fn schedule_in<F>(&mut self, delay: SimDuration, handler: F)
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, handler: F) -> EventId
     where
         F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
     {
-        self.schedule_at(self.now + delay, handler);
+        self.schedule_at(self.now + delay, handler)
     }
 
     /// Schedules `handler` at the absolute instant `at`.
@@ -90,7 +101,7 @@ impl<W> Scheduler<W> {
     /// # Panics
     /// Panics if `at` is in the simulated past — time travel would break
     /// causality and determinism.
-    pub fn schedule_at<F>(&mut self, at: SimTime, handler: F)
+    pub fn schedule_at<F>(&mut self, at: SimTime, handler: F) -> EventId
     where
         F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
     {
@@ -106,6 +117,36 @@ impl<W> Scheduler<W> {
             seq,
             handler: Box::new(handler),
         });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a pending event. A canceled event neither runs nor advances
+    /// the clock — as if it was never scheduled — which keeps
+    /// `run_until_idle`'s final time equal to the last *effectful* event
+    /// (the flow pump re-arms its wake-up on every rate change and cancels
+    /// the superseded one through this).
+    ///
+    /// Canceling an event that already fired or was already canceled is a
+    /// no-op; returns whether the event was actually pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let was_pending = self.pending.remove(&id.0);
+        if was_pending {
+            self.canceled.insert(id.0);
+        }
+        was_pending
+    }
+
+    /// Drops canceled events sitting at the front of the queue so `peek`
+    /// only ever observes live events.
+    fn skip_canceled(&mut self) {
+        while let Some(ev) = self.queue.peek() {
+            if self.canceled.remove(&ev.seq) {
+                self.queue.pop();
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -162,9 +203,11 @@ impl<W> Sim<W> {
 
     /// Runs a single event if one is pending. Returns `true` if an event ran.
     pub fn step(&mut self) -> bool {
+        self.sched.skip_canceled();
         let Some(ev) = self.sched.queue.pop() else {
             return false;
         };
+        self.sched.pending.remove(&ev.seq);
         debug_assert!(ev.at >= self.sched.now);
         self.sched.now = ev.at;
         self.sched.processed += 1;
@@ -182,6 +225,7 @@ impl<W> Sim<W> {
     /// `horizon` (even if idle earlier). Later events stay queued.
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
         loop {
+            self.sched.skip_canceled();
             match self.sched.queue.peek() {
                 Some(ev) if ev.at <= horizon => {
                     self.step();
@@ -249,8 +293,12 @@ mod tests {
     #[test]
     fn run_until_respects_horizon() {
         let mut sim = Sim::new(W::default());
-        sim.schedule_in(SimDuration::from_millis(10), |w: &mut W, _| w.log.push((0, "in")));
-        sim.schedule_in(SimDuration::from_millis(100), |w: &mut W, _| w.log.push((0, "out")));
+        sim.schedule_in(SimDuration::from_millis(10), |w: &mut W, _| {
+            w.log.push((0, "in"))
+        });
+        sim.schedule_in(SimDuration::from_millis(100), |w: &mut W, _| {
+            w.log.push((0, "out"))
+        });
         sim.run_until(SimTime::from_nanos(50_000_000));
         assert_eq!(sim.world.log.len(), 1);
         assert_eq!(sim.now().as_millis(), 50, "clock advances to the horizon");
@@ -266,6 +314,28 @@ mod tests {
             s.schedule_at(SimTime::ZERO, |_, _| {});
         });
         sim.run_until_idle();
+    }
+
+    #[test]
+    fn canceled_events_neither_run_nor_advance_the_clock() {
+        let mut sim = Sim::new(W::default());
+        let id = sim
+            .scheduler()
+            .schedule_in(SimDuration::from_millis(50), |w: &mut W, _| {
+                w.log.push((0, "canceled"))
+            });
+        sim.schedule_in(SimDuration::from_millis(10), |w: &mut W, _| {
+            w.log.push((0, "live"))
+        });
+        assert_eq!(sim.scheduler().events_pending(), 2);
+        assert!(sim.scheduler().cancel(id));
+        assert_eq!(sim.scheduler().events_pending(), 1);
+        let end = sim.run_until_idle();
+        assert_eq!(sim.world.log, vec![(0, "live")]);
+        assert_eq!(end.as_millis(), 10, "clock stops at the last live event");
+        // Cancel after the fact (fired or already-canceled id): safe no-op.
+        assert!(!sim.scheduler().cancel(id));
+        assert_eq!(sim.scheduler().events_pending(), 0);
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl FifoServer {
     /// Enqueues one request at `now` with an explicit service time; returns
     /// the completion instant.
     pub fn submit_with(&mut self, now: SimTime, service: SimDuration) -> SimTime {
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         self.total_queue_delay += start - now;
         self.busy_until = start + service;
         self.served += 1;

@@ -211,12 +211,23 @@ mod tests {
     fn ordering_and_display() {
         assert!(SimTime::from_nanos(5) < SimTime::from_nanos(6));
         assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000000s");
-        assert_eq!(format!("{:?}", SimTime::from_nanos(1_500_000)), "t=0.001500s");
+        assert_eq!(
+            format!("{:?}", SimTime::from_nanos(1_500_000)),
+            "t=0.001500s"
+        );
     }
 
     #[test]
     fn saturating_mul() {
-        assert_eq!(SimDuration::from_secs(2).saturating_mul(3), SimDuration::from_secs(6));
-        assert_eq!(SimDuration::from_nanos(u64::MAX).saturating_mul(2).as_nanos(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_secs(2).saturating_mul(3),
+            SimDuration::from_secs(6)
+        );
+        assert_eq!(
+            SimDuration::from_nanos(u64::MAX)
+                .saturating_mul(2)
+                .as_nanos(),
+            u64::MAX
+        );
     }
 }

@@ -200,7 +200,9 @@ mod tests {
         assert_eq!(c.placement, PlacementPolicy::LeastLoaded);
         assert_eq!(c.metadata_providers, 2);
 
-        let h = HdfsConfig::small_for_tests().with_chunk_size(512).with_append(true);
+        let h = HdfsConfig::small_for_tests()
+            .with_chunk_size(512)
+            .with_append(true);
         assert_eq!(h.chunk_size, 512);
         assert!(h.append_supported);
     }

@@ -23,7 +23,10 @@ pub enum Error {
     /// §III-A.5).
     VersionNotRevealed { blob: u64, version: u64 },
     /// A read touched a range beyond the size of the requested snapshot.
-    OutOfBounds { requested_end: u64, snapshot_size: u64 },
+    OutOfBounds {
+        requested_end: u64,
+        snapshot_size: u64,
+    },
     /// A metadata tree node expected to exist was not found in the DHT.
     MissingMetadata(String),
     /// A data block expected to exist was not found on its provider.
@@ -107,10 +110,16 @@ mod tests {
         let cases: Vec<(Error, &str)> = vec![
             (Error::NoSuchBlob(3), "no such blob: blob#3"),
             (
-                Error::NoSuchVersion { blob: 1, version: 9 },
+                Error::NoSuchVersion {
+                    blob: 1,
+                    version: 9,
+                },
                 "blob#1 has no version v9",
             ),
-            (Error::Unsupported("append"), "operation not supported by this file system: append"),
+            (
+                Error::Unsupported("append"),
+                "operation not supported by this file system: append",
+            ),
             (Error::StreamClosed, "stream already closed"),
         ];
         for (e, msg) in cases {

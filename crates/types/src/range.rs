@@ -124,7 +124,10 @@ impl BlockSpan {
     /// Absolute byte range this span covers within the BLOB.
     #[inline]
     pub fn absolute(&self, block_size: u64) -> ByteRange {
-        ByteRange::new(self.block_index * block_size + self.offset_in_block, self.len)
+        ByteRange::new(
+            self.block_index * block_size + self.offset_in_block,
+            self.len,
+        )
     }
 
     /// True if the span covers its entire block.
@@ -243,9 +246,30 @@ mod tests {
         let r = ByteRange::new(100, 100); // [100, 200) over 64-byte blocks
         let spans: Vec<_> = r.block_spans(64).collect();
         assert_eq!(spans.len(), 3);
-        assert_eq!(spans[0], BlockSpan { block_index: 1, offset_in_block: 36, len: 28 });
-        assert_eq!(spans[1], BlockSpan { block_index: 2, offset_in_block: 0, len: 64 });
-        assert_eq!(spans[2], BlockSpan { block_index: 3, offset_in_block: 0, len: 8 });
+        assert_eq!(
+            spans[0],
+            BlockSpan {
+                block_index: 1,
+                offset_in_block: 36,
+                len: 28
+            }
+        );
+        assert_eq!(
+            spans[1],
+            BlockSpan {
+                block_index: 2,
+                offset_in_block: 0,
+                len: 64
+            }
+        );
+        assert_eq!(
+            spans[2],
+            BlockSpan {
+                block_index: 3,
+                offset_in_block: 0,
+                len: 8
+            }
+        );
         assert!(!spans[0].is_full_block(64));
         assert!(spans[1].is_full_block(64));
         assert_eq!(spans[0].absolute(64), ByteRange::new(100, 28));
@@ -256,7 +280,14 @@ mod tests {
         let r = ByteRange::new(70, 10);
         let spans: Vec<_> = r.block_spans(64).collect();
         assert_eq!(spans.len(), 1);
-        assert_eq!(spans[0], BlockSpan { block_index: 1, offset_in_block: 6, len: 10 });
+        assert_eq!(
+            spans[0],
+            BlockSpan {
+                block_index: 1,
+                offset_in_block: 6,
+                len: 10
+            }
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ const RECORDS_PER_WRITER: usize = 25;
 
 fn main() {
     let system = BlobSeer::deploy(
-        BlobSeerConfig::default().with_block_size(256).with_metadata_providers(4),
+        BlobSeerConfig::default()
+            .with_block_size(256)
+            .with_metadata_providers(4),
         8,
     );
     let cluster = BsfsCluster::new(system);
@@ -33,7 +35,8 @@ fn main() {
             scope.spawn(move || {
                 for i in 0..RECORDS_PER_WRITER {
                     let mut out = fs.append("/events.log").unwrap();
-                    out.write(format!("writer-{w} event-{i:03}\n").as_bytes()).unwrap();
+                    out.write(format!("writer-{w} event-{i:03}\n").as_bytes())
+                        .unwrap();
                     out.close().unwrap();
                 }
             });
@@ -42,7 +45,10 @@ fn main() {
 
     let log = read_fully(&fs0, "/events.log").unwrap();
     let lines: Vec<&str> = std::str::from_utf8(&log).unwrap().lines().collect();
-    println!("shared log holds {} records from {WRITERS} concurrent writers", lines.len());
+    println!(
+        "shared log holds {} records from {WRITERS} concurrent writers",
+        lines.len()
+    );
     assert_eq!(lines.len(), WRITERS * RECORDS_PER_WRITER);
 
     // Every record exactly once…
@@ -53,7 +59,10 @@ fn main() {
     // …and per-writer order is preserved (each writer's appends were
     // serialized by the version manager in submission order).
     for w in 0..WRITERS {
-        let mine: Vec<&&str> = lines.iter().filter(|l| l.starts_with(&format!("writer-{w} "))).collect();
+        let mine: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.starts_with(&format!("writer-{w} ")))
+            .collect();
         let mut sorted = mine.clone();
         sorted.sort();
         assert_eq!(mine, sorted, "writer {w}'s records out of order");

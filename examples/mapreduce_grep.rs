@@ -20,7 +20,10 @@ const BLOCK: u64 = 16 * 1024;
 
 fn run_pipeline(name: &str, trackers: JobTracker, fs: &dyn FileSystem) {
     // Stage 1: RandomTextWriter — map-only, one output file per mapper.
-    let rtw = RandomTextWriter { bytes_per_mapper: 4 * BLOCK, seed: 2026 };
+    let rtw = RandomTextWriter {
+        bytes_per_mapper: 4 * BLOCK,
+        seed: 2026,
+    };
     let report = trackers
         .run_map_only(&RandomTextWriter::job(4, "/gen"), &rtw)
         .unwrap();
@@ -33,12 +36,7 @@ fn run_pipeline(name: &str, trackers: JobTracker, fs: &dyn FileSystem) {
 
     // Stage 2: distributed grep over all generated files.
     let inputs: Vec<String> = (0..4).map(|i| format!("/gen/part-m-{i:05}")).collect();
-    let job = mapreduce::JobSpec::new(
-        "grep",
-        mapreduce::InputSpec::Files(inputs),
-        "/grepped",
-        1,
-    );
+    let job = mapreduce::JobSpec::new("grep", mapreduce::InputSpec::Files(inputs), "/grepped", 1);
     let grep = DistributedGrep::new("hookworm");
     let report = trackers.run_job(&job, &grep, &grep).unwrap();
     let out = read_fully(fs, "/grepped/part-r-00000").unwrap();
@@ -54,13 +52,20 @@ fn run_pipeline(name: &str, trackers: JobTracker, fs: &dyn FileSystem) {
 fn main() {
     // --- BSFS ---------------------------------------------------------
     let system = BlobSeer::deploy(
-        BlobSeerConfig::default().with_block_size(BLOCK).with_metadata_providers(4),
+        BlobSeerConfig::default()
+            .with_block_size(BLOCK)
+            .with_metadata_providers(4),
         NODES,
     );
     let cluster = BsfsCluster::new(system);
     let trackers = JobTracker::new(
         (0..NODES)
-            .map(|i| TaskTracker::new(NodeId::new(i as u64), Box::new(cluster.mount(NodeId::new(i as u64)))))
+            .map(|i| {
+                TaskTracker::new(
+                    NodeId::new(i as u64),
+                    Box::new(cluster.mount(NodeId::new(i as u64))),
+                )
+            })
             .collect(),
     );
     let fs = cluster.mount(NodeId::new(0));
@@ -70,7 +75,12 @@ fn main() {
     let hdfs = HdfsCluster::new(HdfsConfig::default().with_chunk_size(BLOCK), NODES);
     let trackers = JobTracker::new(
         (0..NODES)
-            .map(|i| TaskTracker::new(NodeId::new(i as u64), Box::new(hdfs.mount(NodeId::new(i as u64)))))
+            .map(|i| {
+                TaskTracker::new(
+                    NodeId::new(i as u64),
+                    Box::new(hdfs.mount(NodeId::new(i as u64))),
+                )
+            })
             .collect(),
     );
     let fs = hdfs.mount(NodeId::new(0));

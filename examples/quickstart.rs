@@ -42,7 +42,10 @@ fn main() {
     let mut out = fs2.append("/data/hello.bin").unwrap();
     out.write(b"...and some appended bytes").unwrap();
     out.close().unwrap();
-    println!("appended; file is now {} bytes", fs.status("/data/hello.bin").unwrap().len);
+    println!(
+        "appended; file is now {} bytes",
+        fs.status("/data/hello.bin").unwrap().len
+    );
 
     // 5. The locality API the Hadoop scheduler uses (§IV-C): where does
     //    each block live?

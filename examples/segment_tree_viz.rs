@@ -31,9 +31,11 @@ fn render_tree(sys: &BlobSeer, blob: BlobId, version: Version, cap: u64) {
             let pos = Pos::new(start, len);
             // Find the owning version by probing from `version` downward —
             // exactly what a woven child reference encodes.
-            let owner = (1..=version.raw())
-                .rev()
-                .find(|&v| sys.dht().get(&NodeKey::new(blob, Version::new(v), pos)).is_ok());
+            let owner = (1..=version.raw()).rev().find(|&v| {
+                sys.dht()
+                    .get(&NodeKey::new(blob, Version::new(v), pos))
+                    .is_ok()
+            });
             let cell = match owner {
                 Some(v) if v == version.raw() => format!("[({start},{len}) NEW v{v}]"),
                 Some(v) => format!("[({start},{len}) →v{v}]"),
@@ -52,18 +54,24 @@ fn render_tree(sys: &BlobSeer, blob: BlobId, version: Version, cap: u64) {
 
 fn main() {
     let sys = BlobSeer::deploy(
-        BlobSeerConfig::default().with_block_size(BLOCK).with_metadata_providers(4),
+        BlobSeerConfig::default()
+            .with_block_size(BLOCK)
+            .with_metadata_providers(4),
         4,
     );
     let client = sys.client(NodeId::new(0));
     let blob = client.create();
 
     println!("Fig. 1(a): append of four blocks to an empty BLOB\n");
-    client.append(blob, &vec![1u8; (4 * BLOCK) as usize]).unwrap();
+    client
+        .append(blob, &vec![1u8; (4 * BLOCK) as usize])
+        .unwrap();
     render_tree(&sys, blob, Version::new(1), 4);
 
     println!("\nFig. 1(b): overwrite of the first two blocks\n");
-    client.write(blob, 0, &vec![2u8; (2 * BLOCK) as usize]).unwrap();
+    client
+        .write(blob, 0, &vec![2u8; (2 * BLOCK) as usize])
+        .unwrap();
     render_tree(&sys, blob, Version::new(2), 4);
     println!("  → the right subtree (2,2) is shared with v1, not rebuilt");
 

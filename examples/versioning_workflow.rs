@@ -11,7 +11,9 @@ use blobseer_types::{BlobSeerConfig, NodeId, Version};
 
 fn main() {
     let system = BlobSeer::deploy(
-        BlobSeerConfig::default().with_block_size(1024).with_metadata_providers(4),
+        BlobSeerConfig::default()
+            .with_block_size(1024)
+            .with_metadata_providers(4),
         6,
     );
     let client = system.client(NodeId::new(0));
@@ -28,7 +30,11 @@ fn main() {
     // is just reading an old version.
     for v in 1..=3u64 {
         let data = client.read(blob, Some(Version::new(v)), 0, 8).unwrap();
-        println!("  v{v} starts with {:?} (size {})", &data[..], client.size(blob, Version::new(v)).unwrap());
+        println!(
+            "  v{v} starts with {:?} (size {})",
+            &data[..],
+            client.size(blob, Version::new(v)).unwrap()
+        );
     }
 
     // Branch at v2: "branching a dataset into two independent datasets
@@ -39,7 +45,11 @@ fn main() {
     client.write(blob, 0, &[b'M'; 512]).unwrap();
     let main_head = client.read(blob, None, 0, 4).unwrap();
     let fork_head = client.read(fork, None, 0, 4).unwrap();
-    println!("  main head now {:?}, fork head now {:?}", &main_head[..], &fork_head[..]);
+    println!(
+        "  main head now {:?}, fork head now {:?}",
+        &main_head[..],
+        &fork_head[..]
+    );
     // Shared history is still intact from both lineages.
     assert_eq!(
         client.read(blob, Some(Version::new(1)), 0, 4096).unwrap(),
@@ -50,7 +60,9 @@ fn main() {
     // Garbage-collect old versions of the main lineage: only blocks not
     // shared with surviving snapshots (or the fork) are reclaimed.
     let before = system.stats().snapshot();
-    let report = client.gc_before(blob, client.latest(blob).unwrap().0).unwrap();
+    let report = client
+        .gc_before(blob, client.latest(blob).unwrap().0)
+        .unwrap();
     println!(
         "\nGC: deleted {} tree nodes and {} blocks ({} bytes) — shared data survived",
         report.nodes_deleted, report.blocks_deleted, report.bytes_freed

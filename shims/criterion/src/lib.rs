@@ -1,0 +1,283 @@
+//! Minimal, API-compatible stand-in for the `criterion` crate, vendored
+//! because the build environment has no crates.io access.
+//!
+//! It implements the measurement surface this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`throughput`/`bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`] and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with a simple wall-clock harness: adaptive iteration counts targeted at
+//! ~`MEASURE_MS` of runtime per benchmark, reporting mean time per
+//! iteration (and MiB/s when a byte throughput is declared). There is no
+//! statistical analysis, HTML report, or baseline comparison.
+//!
+//! Under `cargo test` / `cargo bench -- --test` (cargo passes `--test` to
+//! harness-less bench targets) each benchmark body runs exactly once, so
+//! bench targets double as smoke tests.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 2;
+const MEASURE_MS: u64 = 120;
+const MAX_ITERS: u64 = 10_000;
+
+/// Identifies a benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the routine.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_secs: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.mean_secs = 0.0;
+            self.iters = 1;
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        // Estimate a single-iteration cost, then size the batch to land
+        // near MEASURE_MS of total measurement time.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(MEASURE_MS);
+        let iters = ((target.as_secs_f64() / once.as_secs_f64()).ceil() as u64).clamp(1, MAX_ITERS);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean_secs = total.as_secs_f64() / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:9.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:9.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:9.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:9.2} s ")
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        test_mode,
+        mean_secs: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{full_id:<56} ok (test mode)");
+        return;
+    }
+    let mut line = format!(
+        "{:<56} time: {}  ({} iters)",
+        full_id,
+        format_secs(b.mean_secs),
+        b.iters
+    );
+    if let (Some(Throughput::Bytes(n)), true) = (throughput, b.mean_secs > 0.0) {
+        let mibs = n as f64 / b.mean_secs / (1024.0 * 1024.0);
+        line.push_str(&format!("  thrpt: {mibs:10.1} MiB/s"));
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes harness-less bench targets with `--test` from
+        // `cargo test` and with `--bench` from `cargo bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.test_mode, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's harness sizes iteration
+    /// counts adaptively instead of sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.criterion.test_mode, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.criterion.test_mode, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_mean() {
+        let mut b = Bencher {
+            test_mode: false,
+            mean_secs: 0.0,
+            iters: 0,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(b.iters >= 1);
+        assert!(b.mean_secs >= 0.0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Bytes(1024));
+        g.bench_function("f", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("with", 3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

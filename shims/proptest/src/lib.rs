@@ -1,0 +1,427 @@
+//! Minimal, API-compatible stand-in for the `proptest` crate, vendored
+//! because the build environment has no crates.io access.
+//!
+//! Supported surface (what this workspace's property tests use):
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header
+//! * [`Strategy`] for integer ranges, tuples, [`any`], `prop_map`,
+//!   [`prop_oneof!`] and [`collection::vec`]
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`]
+//! * [`sample::Index`]
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports
+//! its generated inputs (via `Debug`) and the deterministic per-case seed,
+//! which is reproducible because generation is seeded from the test name
+//! and case number only.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+pub mod test_runner {
+    /// Subset of proptest's run configuration: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// A generator of random values of an associated type.
+///
+/// The real crate builds value *trees* to support shrinking; this shim
+/// generates plain values.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            source: self,
+            func: f,
+        }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (backs [`prop_oneof!`]).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy returned by [`any`] for primitive types.
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_range(0u8..2) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod sample {
+    use super::{Arbitrary, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// A value that picks an index into a runtime-sized collection
+    /// (proptest's `prop::sample::Index`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this sample onto `0..size`. Panics when `size == 0`,
+        /// matching the real crate.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    /// Strategy behind `any::<Index>()`.
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+        fn generate(&self, rng: &mut StdRng) -> Index {
+            Index(rng.gen_range(0u64..=u64::MAX))
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = IndexStrategy;
+        fn arbitrary() -> Self::Strategy {
+            IndexStrategy
+        }
+    }
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty length range for collection::vec");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Derives the deterministic per-case RNG for `(test name, case index)`.
+/// FNV-1a over the name, mixed with the case number.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    use rand::SeedableRng as _;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Prints the failing case's inputs when the test body unwinds. The guard
+/// is forgotten on success, so it only fires on the panic path.
+pub struct FailureReporter {
+    pub test: &'static str,
+    pub case: u32,
+    pub inputs: String,
+}
+
+impl Drop for FailureReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: `{}` failed at case {} with inputs:\n{}",
+                self.test, self.case, self.inputs
+            );
+        }
+    }
+}
+
+/// The proptest harness macro. Expands each `fn name(arg in strategy, ..)`
+/// into a `#[test]` that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __reporter = $crate::FailureReporter {
+                        test: stringify!($name),
+                        case: __case,
+                        inputs: format!(
+                            concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                            $(&$arg,)+
+                        ),
+                    };
+                    $body
+                    std::mem::forget(__reporter);
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assertion macros: plain asserts (no shrink-and-replay machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Only valid inside a [`proptest!`] body: it `continue`s the case loop,
+/// dropping the case's [`FailureReporter`] on the non-panicking path where
+/// it stays silent.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::case_rng("unit", 0);
+        let s = (1u8..=4, 10usize..20);
+        for _ in 0..100 {
+            let (a, b) = Strategy::generate(&s, &mut rng);
+            assert!((1..=4).contains(&a));
+            assert!((10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![(0u16..1).prop_map(|_| 0u16), (0u16..1).prop_map(|_| 1u16)];
+        let mut rng = crate::case_rng("arms", 0);
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            seen[Strategy::generate(&s, &mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let s = crate::collection::vec(any::<u8>(), 2..5);
+        let mut rng = crate::case_rng("lens", 1);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        let a: Vec<u8> = {
+            let mut r = crate::case_rng("t", 3);
+            (0..8)
+                .map(|_| Strategy::generate(&(0u8..=255), &mut r))
+                .collect()
+        };
+        let b: Vec<u8> = {
+            let mut r = crate::case_rng("t", 3);
+            (0..8)
+                .map(|_| Strategy::generate(&(0u8..=255), &mut r))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn harness_macro_runs_cases(x in 0u32..100, ys in crate::collection::vec(any::<bool>(), 0..4)) {
+            prop_assume!(x != 55);
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len() < 4, true);
+        }
+    }
+}

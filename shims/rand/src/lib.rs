@@ -1,0 +1,159 @@
+//! Minimal, API-compatible stand-in for the `rand` crate, vendored because
+//! the build environment has no crates.io access.
+//!
+//! Only the surface the workspace uses is provided: `StdRng::seed_from_u64`
+//! plus `Rng::gen_range` over integer ranges. The generator is
+//! xoshiro256** seeded through splitmix64 — deterministic for a given
+//! seed, which the placement experiments require for reproducible layouts.
+//! It is **not** the real `StdRng` stream (ChaCha12), so absolute sampled
+//! sequences differ from upstream rand; nothing in this workspace encodes
+//! the upstream stream.
+
+pub mod rngs {
+    /// Deterministic xoshiro256** generator standing in for rand's StdRng.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_seed_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the canonical way to seed xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding constructor trait (only the `seed_from_u64` form is used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        rngs::StdRng::from_seed_u64(state)
+    }
+}
+
+/// A range that `Rng::gen_range` can sample uniformly.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+// Wrapping arithmetic throughout: for signed types the `as u128` casts
+// sign-extend, so a plain subtraction would overflow on negative starts.
+// Modulo 2^128 the span and the final `start + v` come out right in
+// two's complement for every integer type up to 64 bits.
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                let v = (rng.next_u64() as u128) % span;
+                (start as u128).wrapping_add(v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The slice of rand's `Rng` extension trait the workspace uses.
+pub trait Rng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Uniform `bool` (used by a few experiment scripts).
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u8..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(1u8..=255);
+            assert!(w >= 1);
+            let x = rng.gen_range(0usize..5);
+            assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_with_negative_starts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = w; // full-domain sample must not overflow
+            let x = rng.gen_range(-3i64..=-1);
+            assert!((-3..=-1).contains(&x));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -22,10 +22,7 @@ const BLOCK: u64 = 4096;
 /// protocol logic" guarantee of DESIGN.md §3.1.
 #[test]
 fn shape_math_matches_live_engine_node_counts() {
-    let sys = BlobSeer::deploy(
-        BlobSeerConfig::small_for_tests().with_block_size(BLOCK),
-        8,
-    );
+    let sys = BlobSeer::deploy(BlobSeerConfig::small_for_tests().with_block_size(BLOCK), 8);
     let client = sys.client(NodeId::new(0));
     let blob = client.create();
 
@@ -41,7 +38,9 @@ fn shape_math_matches_live_engine_node_counts() {
     let mut size = 0u64;
     for (i, &(offset, len)) in script.iter().enumerate() {
         let before = sys.stats().snapshot().meta_nodes_written;
-        client.write(blob, offset, &vec![i as u8 + 1; len as usize]).unwrap();
+        client
+            .write(blob, offset, &vec![i as u8 + 1; len as usize])
+            .unwrap();
         let actual = sys.stats().snapshot().meta_nodes_written - before;
 
         size = size.max(offset + len);
@@ -68,13 +67,18 @@ fn shape_math_matches_live_read_visits() {
     let sys = BlobSeer::deploy(BlobSeerConfig::small_for_tests().with_block_size(BLOCK), 8);
     let client = sys.client(NodeId::new(0));
     let blob = client.create();
-    client.write(blob, 0, &vec![1u8; (16 * BLOCK) as usize]).unwrap();
+    client
+        .write(blob, 0, &vec![1u8; (16 * BLOCK) as usize])
+        .unwrap();
     for (offset, len) in [(0u64, BLOCK), (5 * BLOCK, 3 * BLOCK), (0, 16 * BLOCK)] {
         let before = sys.stats().snapshot().meta_nodes_read;
         client.read(blob, None, offset, len).unwrap();
         let actual = sys.stats().snapshot().meta_nodes_read - before;
         let expected = shape::nodes_visited(16, BlockRange::of_bytes(offset, len, BLOCK));
-        assert_eq!(actual, expected, "read visit mismatch for [{offset}, +{len})");
+        assert_eq!(
+            actual, expected,
+            "read visit mismatch for [{offset}, +{len})"
+        );
     }
 }
 
@@ -94,7 +98,10 @@ fn backends_agree_byte_for_byte() {
         write_file(fs, "/a/b/data", &payload).unwrap();
         fs.rename("/a/b/data", "/a/data").unwrap();
     }
-    assert_eq!(read_fully(&b, "/a/data").unwrap(), read_fully(&h, "/a/data").unwrap());
+    assert_eq!(
+        read_fully(&b, "/a/data").unwrap(),
+        read_fully(&h, "/a/data").unwrap()
+    );
     assert_eq!(
         b.status("/a/data").unwrap().len,
         h.status("/a/data").unwrap().len
@@ -114,7 +121,10 @@ fn backends_agree_byte_for_byte() {
 #[test]
 fn wordcount_parity_and_metadata_centralization() {
     let nodes = 4usize;
-    let bsfs_sys = BlobSeer::deploy(BlobSeerConfig::small_for_tests().with_block_size(BLOCK), nodes);
+    let bsfs_sys = BlobSeer::deploy(
+        BlobSeerConfig::small_for_tests().with_block_size(BLOCK),
+        nodes,
+    );
     let bsfs = BsfsCluster::new(bsfs_sys);
     let hdfs = HdfsCluster::new(HdfsConfig::small_for_tests().with_chunk_size(BLOCK), nodes);
 
@@ -126,13 +136,21 @@ fn wordcount_parity_and_metadata_centralization() {
         let jt = JobTracker::new(
             (0..nodes)
                 .map(|i| {
-                    TaskTracker::new(NodeId::new(i as u64), Box::new(bsfs.mount(NodeId::new(i as u64))))
+                    TaskTracker::new(
+                        NodeId::new(i as u64),
+                        Box::new(bsfs.mount(NodeId::new(i as u64))),
+                    )
                 })
                 .collect(),
         );
         let fs = bsfs.mount(NodeId::new(0));
         write_file(&fs, "/in.txt", &data).unwrap();
-        jt.run_job(&WordCount::job("/in.txt", "/out", 2), &WordCount, &WordCount).unwrap();
+        jt.run_job(
+            &WordCount::job("/in.txt", "/out", 2),
+            &WordCount,
+            &WordCount,
+        )
+        .unwrap();
         let mut all = Vec::new();
         for r in 0..2 {
             all.extend(read_fully(&fs, &format!("/out/part-r-{r:05}")).unwrap());
@@ -144,13 +162,21 @@ fn wordcount_parity_and_metadata_centralization() {
         let jt = JobTracker::new(
             (0..nodes)
                 .map(|i| {
-                    TaskTracker::new(NodeId::new(i as u64), Box::new(hdfs.mount(NodeId::new(i as u64))))
+                    TaskTracker::new(
+                        NodeId::new(i as u64),
+                        Box::new(hdfs.mount(NodeId::new(i as u64))),
+                    )
                 })
                 .collect(),
         );
         let fs = hdfs.mount(NodeId::new(0));
         write_file(&fs, "/in.txt", &data).unwrap();
-        jt.run_job(&WordCount::job("/in.txt", "/out", 2), &WordCount, &WordCount).unwrap();
+        jt.run_job(
+            &WordCount::job("/in.txt", "/out", 2),
+            &WordCount,
+            &WordCount,
+        )
+        .unwrap();
         let mut all = Vec::new();
         for r in 0..2 {
             all.extend(read_fully(&fs, &format!("/out/part-r-{r:05}")).unwrap());

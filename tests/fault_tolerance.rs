@@ -29,7 +29,11 @@ fn replicated_metadata_survives_shard_crash() {
     // keep working (we do not re-replicate, so one crash is the budget).
     sys.dht().crash_shard(2);
     let data = client.read(blob, None, 0, payload.len() as u64).unwrap();
-    assert_eq!(&data[..], &payload[..], "read failed after crashing a shard");
+    assert_eq!(
+        &data[..],
+        &payload[..],
+        "read failed after crashing a shard"
+    );
 }
 
 #[test]
@@ -43,7 +47,9 @@ fn unreplicated_metadata_crash_is_detected_not_silent() {
     let sys = BlobSeer::deploy(cfg, 4);
     let client = sys.client(NodeId::new(0));
     let blob = client.create();
-    client.write(blob, 0, &vec![1u8; (8 * BLOCK) as usize]).unwrap();
+    client
+        .write(blob, 0, &vec![1u8; (8 * BLOCK) as usize])
+        .unwrap();
     // Crash every shard: all tree nodes gone.
     for shard in 0..4 {
         sys.dht().crash_shard(shard);
@@ -64,7 +70,13 @@ fn failed_writers_repair_and_history_stays_consistent() {
     for i in 0..10u64 {
         if i % 3 == 0 {
             client
-                .simulate_failed_write(blob, WriteIntent::Write { offset: 0, size: 512 })
+                .simulate_failed_write(
+                    blob,
+                    WriteIntent::Write {
+                        offset: 0,
+                        size: 512,
+                    },
+                )
                 .unwrap();
         } else {
             client.write(blob, 0, &[(i + 2) as u8; 512]).unwrap();
@@ -108,7 +120,9 @@ fn reveal_stall_from_crashed_writer_times_out_cleanly() {
     assert!(matches!(err, Error::Timeout(_)));
     // Operator-style recovery: repair the stuck version.
     client.repair_aborted(&stuck).unwrap();
-    client.wait_revealed(blob, v3, Duration::from_millis(50)).unwrap();
+    client
+        .wait_revealed(blob, v3, Duration::from_millis(50))
+        .unwrap();
     assert_eq!(client.latest(blob).unwrap().0, v3);
 }
 
@@ -125,7 +139,9 @@ fn block_replication_keeps_reads_alive_after_data_loss() {
     // Wipe every block from provider 0 (disk loss). Readers pick replicas
     // deterministically by block index, so force all candidate replicas:
     // reads must succeed via the surviving copies when the primary is gone.
-    let locs = client.locations(blob, None, 0, payload.len() as u64).unwrap();
+    let locs = client
+        .locations(blob, None, 0, payload.len() as u64)
+        .unwrap();
     for loc in &locs {
         assert_eq!(loc.nodes.len(), 2);
     }

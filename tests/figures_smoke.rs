@@ -76,7 +76,10 @@ fn full_run_is_deterministic() {
 #[test]
 fn paper_grids_are_the_published_ones() {
     assert_eq!(fig3a::paper_sizes().len(), 9);
-    assert_eq!(fig3b::paper_sizes(), (1..=16).map(|g| g as f64).collect::<Vec<_>>());
+    assert_eq!(
+        fig3b::paper_sizes(),
+        (1..=16).map(|g| g as f64).collect::<Vec<_>>()
+    );
     assert_eq!(fig4::paper_counts().first(), Some(&1));
     assert_eq!(fig4::paper_counts().last(), Some(&250));
     assert_eq!(fig5::paper_counts().last(), Some(&250));

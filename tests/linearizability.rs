@@ -22,7 +22,9 @@ const BLOCK: u64 = 512;
 
 fn system() -> Arc<BlobSeer> {
     BlobSeer::deploy(
-        BlobSeerConfig::small_for_tests().with_block_size(BLOCK).with_metadata_providers(4),
+        BlobSeerConfig::small_for_tests()
+            .with_block_size(BLOCK)
+            .with_metadata_providers(4),
         8,
     )
 }
@@ -145,7 +147,10 @@ fn reads_proceed_while_a_writer_is_stalled() {
     client.write(blob, 0, &[7u8; 512]).unwrap();
 
     // Stall: assign v2 and walk away.
-    let _stuck = sys.version_manager().assign(blob, WriteIntent::Append { size: 512 }).unwrap();
+    let _stuck = sys
+        .version_manager()
+        .assign(blob, WriteIntent::Append { size: 512 })
+        .unwrap();
     // A later writer commits v3.
     let v3 = client.write(blob, 0, &[9u8; 512]).unwrap();
     assert_eq!(v3, Version::new(3));
@@ -166,7 +171,10 @@ fn reads_proceed_while_a_writer_is_stalled() {
     client.repair_aborted(&_stuck).unwrap();
     assert_eq!(client.latest(blob).unwrap().0, Version::new(3));
     let data = client.read(blob, Some(Version::new(2)), 0, 512).unwrap();
-    assert!(data.iter().all(|&b| b == 7), "repaired version shows v1 content");
+    assert!(
+        data.iter().all(|&b| b == 7),
+        "repaired version shows v1 content"
+    );
     let data = client.read(blob, None, 0, 512).unwrap();
     assert!(data.iter().all(|&b| b == 9));
 }

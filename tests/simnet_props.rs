@@ -3,7 +3,9 @@
 
 use blobseer_types::NodeId;
 use proptest::prelude::*;
-use simnet::{start_flow, Disk, FifoServer, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration, SimTime};
+use simnet::{
+    start_flow, Disk, FifoServer, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration, SimTime,
+};
 
 #[derive(Clone, Debug)]
 struct FlowSpec {
@@ -146,14 +148,27 @@ proptest! {
 #[test]
 fn identical_runs_produce_identical_schedules() {
     let run = || {
-        let world = W { net: FlowNet::new(5, NicSpec::symmetric(CAP)), completions: vec![] };
+        let world = W {
+            net: FlowNet::new(5, NicSpec::symmetric(CAP)),
+            completions: vec![],
+        };
         let mut sim = Sim::new(world);
         for i in 0..12usize {
             let src = (i % 4) as u64;
             let dst = 4u64;
-            sim.schedule_in(SimDuration::from_millis(i as u64 * 7), move |w: &mut W, s| {
-                start_flow(w, s, NodeId::new(src), NodeId::new(dst), 100_000 + i as u64 * 13, i);
-            });
+            sim.schedule_in(
+                SimDuration::from_millis(i as u64 * 7),
+                move |w: &mut W, s| {
+                    start_flow(
+                        w,
+                        s,
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        100_000 + i as u64 * 13,
+                        i,
+                    );
+                },
+            );
         }
         sim.run_until_idle();
         sim.world
