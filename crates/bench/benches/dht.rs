@@ -30,13 +30,13 @@ fn bench_put_get(c: &mut Criterion) {
             let mut v = 0u64;
             b.iter(|| {
                 v += 1;
-                dht.put(key(v, v % 1024), leaf(v));
+                dht.put(key(v, v % 1024), leaf(v)).unwrap();
             });
         });
         g.bench_with_input(BenchmarkId::new("get", shards), &shards, |b, &shards| {
             let dht = MetaDht::new(shards, 1);
             for v in 0..4096u64 {
-                dht.put(key(v, v % 1024), leaf(v));
+                dht.put(key(v, v % 1024), leaf(v)).unwrap();
             }
             let mut v = 0u64;
             b.iter(|| {
@@ -59,7 +59,7 @@ fn bench_concurrent_gets(c: &mut Criterion) {
             |b, &shards| {
                 let dht = Arc::new(MetaDht::new(shards, 1));
                 for v in 0..4096u64 {
-                    dht.put(key(v, v % 1024), leaf(v));
+                    dht.put(key(v, v % 1024), leaf(v)).unwrap();
                 }
                 b.iter(|| {
                     let threads: Vec<_> = (0..8)
@@ -92,7 +92,7 @@ fn bench_replicated_put(c: &mut Criterion) {
             let mut v = 0u64;
             b.iter(|| {
                 v += 1;
-                dht.put(key(v, v % 1024), leaf(v));
+                dht.put(key(v, v % 1024), leaf(v)).unwrap();
             });
         });
     }

@@ -71,7 +71,9 @@ impl Fx {
             gc: &self.gc,
             stats: &self.stats,
         };
-        store.publish_write(self.blob, &entry, &self.chain(), &leaves);
+        store
+            .publish_write(self.blob, &entry, &self.chain(), &leaves)
+            .unwrap();
     }
 }
 

@@ -3,32 +3,42 @@
 //!
 //! A [`DataProvider`] is an in-memory block store. Blocks are immutable once
 //! stored — the cornerstone of BlobSeer's concurrency control ("no existing
-//! data or metadata is ever modified", §III-A.4) — so the store is a simple
-//! concurrent map from [`BlockId`] to [`Bytes`]. [`Bytes`] payloads make
-//! reads zero-copy: readers receive a reference-counted view.
+//! data or metadata is ever modified", §III-A.4) — so the store is a
+//! concurrent map from [`BlockId`] to [`Bytes`], lock-striped
+//! ([`ShardedMap`]) so concurrent writers hitting the same provider do not
+//! serialize on one global lock. [`Bytes`] payloads make reads zero-copy:
+//! readers receive a reference-counted view.
 
+use crate::sharded::{ShardedMap, DEFAULT_SHARDS};
 use blobseer_types::{BlockId, Error, NodeId, Result};
 use bytes::Bytes;
-use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One data provider process, bound to a cluster node.
 #[derive(Debug)]
 pub struct DataProvider {
     node: NodeId,
-    blocks: RwLock<HashMap<BlockId, Bytes>>,
+    blocks: ShardedMap<BlockId, Bytes>,
     bytes_stored: AtomicU64,
     puts: AtomicU64,
     gets: AtomicU64,
 }
 
 impl DataProvider {
-    /// Creates an empty provider hosted on `node`.
+    /// Creates an empty provider hosted on `node`, striped over the default
+    /// shard count.
     pub fn new(node: NodeId) -> Self {
+        Self::with_shards(node, DEFAULT_SHARDS)
+    }
+
+    /// Creates a provider with an explicit lock-stripe count. `1` reproduces
+    /// the seed's single global `RwLock<HashMap>` — the contention baseline
+    /// of `bench/benches/store_contention.rs` and the equivalence oracle of
+    /// `tests/ports_equivalence.rs`.
+    pub fn with_shards(node: NodeId, n_shards: usize) -> Self {
         Self {
             node,
-            blocks: RwLock::new(HashMap::new()),
+            blocks: ShardedMap::new(n_shards),
             bytes_stored: AtomicU64::new(0),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
@@ -46,7 +56,7 @@ impl DataProvider {
     /// idempotent re-puts (same content, e.g. a retried replica write) are
     /// accepted.
     pub fn put(&self, id: BlockId, data: Bytes) {
-        let mut map = self.blocks.write();
+        let mut map = self.blocks.shard_for(&id).write();
         match map.get(&id) {
             Some(existing) => {
                 debug_assert_eq!(
@@ -67,22 +77,19 @@ impl DataProvider {
     pub fn get(&self, id: BlockId) -> Result<Bytes> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         self.blocks
-            .read()
-            .get(&id)
-            .cloned()
+            .get_cloned(&id)
             .ok_or(Error::MissingBlock(id.raw()))
     }
 
     /// True if the provider holds the block.
     pub fn contains(&self, id: BlockId) -> bool {
-        self.blocks.read().contains_key(&id)
+        self.blocks.contains_key(&id)
     }
 
     /// Deletes a block (garbage collection). Returns the number of bytes
     /// freed (0 if absent).
     pub fn delete(&self, id: BlockId) -> u64 {
-        let mut map = self.blocks.write();
-        match map.remove(&id) {
+        match self.blocks.remove(&id) {
             Some(data) => {
                 let n = data.len() as u64;
                 self.bytes_stored.fetch_sub(n, Ordering::Relaxed);
@@ -94,7 +101,7 @@ impl DataProvider {
 
     /// Number of blocks currently stored.
     pub fn block_count(&self) -> usize {
-        self.blocks.read().len()
+        self.blocks.len()
     }
 
     /// Total payload bytes currently stored.
@@ -123,9 +130,17 @@ pub struct ProviderSet {
 impl ProviderSet {
     /// Creates `n` providers hosted on nodes produced by `node_of`.
     pub fn new(n: usize, node_of: impl Fn(usize) -> NodeId) -> Self {
+        Self::with_shards(n, node_of, DEFAULT_SHARDS)
+    }
+
+    /// Creates `n` providers with an explicit per-provider lock-stripe
+    /// count (`1` = the seed's global-lock layout).
+    pub fn with_shards(n: usize, node_of: impl Fn(usize) -> NodeId, n_shards: usize) -> Self {
         assert!(n > 0, "need at least one data provider");
         Self {
-            providers: (0..n).map(|i| DataProvider::new(node_of(i))).collect(),
+            providers: (0..n)
+                .map(|i| DataProvider::with_shards(node_of(i), n_shards))
+                .collect(),
         }
     }
 

@@ -1,0 +1,79 @@
+//! The append path: optimistic block-aligned data phase, version-manager
+//! offset fixing, and the rare unaligned-tail slow path (§III-D).
+
+use crate::version_manager::WriteIntent;
+use blobseer_types::{BlobId, Error, Result, Version};
+
+use super::BlobClient;
+
+impl BlobClient {
+    /// Appends `data` at the end of the BLOB. The offset is fixed by the
+    /// version manager *after* the data phase (§III-D); returns
+    /// `(offset, version)`.
+    pub fn append(&self, blob: BlobId, data: &[u8]) -> Result<(u64, Version)> {
+        if data.is_empty() {
+            return Err(Error::WriteAborted(
+                "zero-length appends are rejected".into(),
+            ));
+        }
+        let bs = self.sys.cfg.block_size;
+        // Optimistic data phase: chunk as if the append lands block-aligned
+        // (always true for BSFS's write-behind cache and for the paper's
+        // workloads). Descriptors are keyed relative to block 0 for now.
+        let optimistic = self.store_blocks(data, 0)?;
+        let ticket = self.sys.vm.assign(
+            blob,
+            WriteIntent::Append {
+                size: data.len() as u64,
+            },
+        )?;
+        let leaves = if ticket.offset.is_multiple_of(bs) {
+            // Re-key descriptors at the real first block index.
+            let first = ticket.offset / bs;
+            optimistic
+                .into_iter()
+                .map(|(i, d)| (first + i, d))
+                .collect()
+        } else {
+            // Rare slow path: the file tail is unaligned. Discard the
+            // optimistic blocks and redo the data phase with boundary
+            // merging at the now-known offset.
+            for (_, d) in &optimistic {
+                for &p in &d.providers {
+                    self.sys.providers.delete(p as usize, d.block_id);
+                    self.sys.pm.release(p as usize);
+                }
+            }
+            // An unaligned append rewrites the preceding snapshot's tail
+            // block, so its content must be *exact*: wait until the
+            // preceding version is revealed (block-aligned appends — the
+            // paper's workloads — never take this path and keep full
+            // parallelism). On timeout (crashed predecessor), repair our
+            // assigned version so the reveal pipeline is not stalled. The
+            // patience comes from `BlobSeerConfig::unaligned_append_timeout`
+            // so tests and simulation runs can shrink it.
+            if let Err(e) = self.wait_revealed(
+                blob,
+                ticket.version.prev(),
+                self.sys.cfg.unaligned_append_timeout,
+            ) {
+                self.repair_aborted(&ticket)?;
+                return Err(e);
+            }
+            // A failure in the redone data phase would also strand the
+            // assigned version: self-repair before surfacing it.
+            let redo = self
+                .merge_boundaries(blob, ticket.offset, data, ticket.prev_size)
+                .and_then(|merged| self.store_blocks(&merged.payload, merged.start / bs));
+            match redo {
+                Ok(leaves) => leaves.into_iter().collect(),
+                Err(e) => {
+                    let _ = self.repair_aborted(&ticket);
+                    return Err(e);
+                }
+            }
+        };
+        self.publish_and_commit(&ticket, leaves)?;
+        Ok((ticket.offset, ticket.version))
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! 1. **Data phase, fully parallel:** the client splits the payload into
 //!    blocks, asks the provider manager for targets, and stores the blocks.
-//!    No synchronization with other writers.
+//!    No synchronization with other writers ([`write`]/[`append`] modules).
 //! 2. **Version assignment:** the only serialized step — the version
 //!    manager assigns the snapshot number (and fixes append offsets).
 //! 3. **Metadata phase, again parallel:** the client builds its tree nodes,
@@ -31,127 +31,45 @@
 //!   predecessor's reveal before merging the tail block, so no appended
 //!   byte is ever lost. Block-aligned appends — all of Hadoop's traffic,
 //!   thanks to BSFS's write-behind cache, and all the paper's workloads —
-//!   skip the wait and retain the protocol's full parallelism.
+//!   skip the wait and retain the protocol's full parallelism. The wait's
+//!   patience is `BlobSeerConfig::unaligned_append_timeout`.
+//!
+//! # How to add a backend
+//!
+//! The client is written entirely against the port traits of
+//! [`crate::ports`] — it never names a concrete service implementation. To
+//! run the unchanged protocol on a new backend:
+//!
+//! 1. Implement [`crate::ports::BlockStore`] (and/or
+//!    [`crate::ports::MetaStore`], [`crate::ports::VersionService`]) for
+//!    your transport. Decorators that wrap an existing adapter work too —
+//!    see [`crate::faults`] for fault injection and `experiments::simport`
+//!    for the simnet-backed cost model driving the figure reproductions.
+//! 2. Assemble an [`EnginePorts`] value (start from
+//!    [`EnginePorts::in_memory`] and replace the fields you customize).
+//! 3. Call [`BlobSeer::deploy_ports`]. Every [`BlobClient`] obtained from
+//!    the deployment now routes its data, metadata and version traffic
+//!    through your adapters.
+//!
+//! The traits are object-safe by design (`Arc<dyn …>` wiring), so backends
+//! can be chosen at runtime — the door to RPC and async adapters in later
+//! PRs.
+//!
+//! [`write`]: self::write
+//! [`append`]: self::append
 
-use crate::block_store::ProviderSet;
-use crate::dht::MetaDht;
-use crate::gc::{GcReport, GcTracker};
-use crate::meta::key::BlockRange;
-use crate::meta::node::BlockDescriptor;
-use crate::meta::tree::TreeStore;
-use crate::provider_manager::ProviderManager;
-use crate::stats::EngineStats;
-use crate::version_manager::{SnapshotInfo, VersionManager, WriteIntent, WriteTicket};
-use blobseer_types::{BlobId, BlobSeerConfig, ByteRange, Error, NodeId, Result, Version};
-use bytes::{Bytes, BytesMut};
-use std::collections::HashMap;
+mod append;
+mod deploy;
+mod read;
+mod write;
+
+pub use deploy::{BlobSeer, EnginePorts};
+
+use crate::gc::GcReport;
+use crate::version_manager::SnapshotInfo;
+use blobseer_types::{BlobId, ByteRange, Error, NodeId, Result, Version};
 use std::sync::Arc;
 use std::time::Duration;
-
-/// How long an unaligned append waits for the preceding snapshot before
-/// giving up and repairing its assigned version.
-const UNALIGNED_APPEND_TIMEOUT: Duration = Duration::from_secs(30);
-
-/// A BlobSeer deployment: all service processes of Fig. 2 wired together.
-pub struct BlobSeer {
-    cfg: BlobSeerConfig,
-    providers: Arc<ProviderSet>,
-    pm: Arc<ProviderManager>,
-    dht: Arc<MetaDht>,
-    vm: Arc<VersionManager>,
-    gc: Arc<GcTracker>,
-    stats: Arc<EngineStats>,
-}
-
-impl BlobSeer {
-    /// Deploys the system with `n_data_providers` data providers hosted on
-    /// nodes `0..n`.
-    pub fn deploy(cfg: BlobSeerConfig, n_data_providers: usize) -> Arc<Self> {
-        Self::deploy_on(cfg, (0..n_data_providers as u64).map(NodeId::new).collect())
-    }
-
-    /// Deploys with one data provider per given node.
-    pub fn deploy_on(cfg: BlobSeerConfig, provider_nodes: Vec<NodeId>) -> Arc<Self> {
-        assert!(
-            !provider_nodes.is_empty(),
-            "need at least one data provider"
-        );
-        assert!(
-            cfg.block_size <= u32::MAX as u64,
-            "block size must fit in 32 bits"
-        );
-        let stats = Arc::new(EngineStats::new());
-        let providers = Arc::new(ProviderSet::new(provider_nodes.len(), |i| {
-            provider_nodes[i]
-        }));
-        let pm = Arc::new(ProviderManager::new(
-            provider_nodes.len(),
-            cfg.placement,
-            0x5EED_0001,
-        ));
-        let dht = Arc::new(MetaDht::new(
-            cfg.metadata_providers,
-            cfg.metadata_replication,
-        ));
-        let vm = Arc::new(VersionManager::new(cfg.block_size, Arc::clone(&stats)));
-        Arc::new(Self {
-            cfg,
-            providers,
-            pm,
-            dht,
-            vm,
-            gc: Arc::new(GcTracker::new()),
-            stats,
-        })
-    }
-
-    /// A client bound to a cluster node (the node matters for diagnostics
-    /// and for locality-aware schedulers reading block locations).
-    pub fn client(self: &Arc<Self>, node: NodeId) -> BlobClient {
-        BlobClient {
-            sys: Arc::clone(self),
-            node,
-        }
-    }
-
-    /// Deployment configuration.
-    pub fn config(&self) -> &BlobSeerConfig {
-        &self.cfg
-    }
-
-    /// Engine counters.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
-    }
-
-    /// The data providers (for inspection in tests and experiments).
-    pub fn providers(&self) -> &ProviderSet {
-        &self.providers
-    }
-
-    /// The metadata DHT (for inspection).
-    pub fn dht(&self) -> &MetaDht {
-        &self.dht
-    }
-
-    /// The version manager (for inspection and direct protocol access).
-    pub fn version_manager(&self) -> &VersionManager {
-        &self.vm
-    }
-
-    /// Per-provider block counts — the layout vector of Fig. 3(b).
-    pub fn layout_vector(&self) -> Vec<u64> {
-        self.providers.layout_vector()
-    }
-
-    fn tree(&self) -> TreeStore<'_> {
-        TreeStore {
-            dht: &self.dht,
-            gc: &self.gc,
-            stats: &self.stats,
-        }
-    }
-}
 
 /// A located extent of a BLOB: which nodes hold the block covering it.
 /// The paper's locality primitive (§IV-C): "given a specified BLOB id,
@@ -171,8 +89,8 @@ pub struct BlockLocation {
 /// call from many threads.
 #[derive(Clone)]
 pub struct BlobClient {
-    sys: Arc<BlobSeer>,
-    node: NodeId,
+    pub(crate) sys: Arc<BlobSeer>,
+    pub(crate) node: NodeId,
 }
 
 impl BlobClient {
@@ -206,222 +124,6 @@ impl BlobClient {
     /// available", §III-A.5).
     pub fn wait_revealed(&self, blob: BlobId, version: Version, timeout: Duration) -> Result<()> {
         self.sys.vm.wait_revealed(blob, version, timeout)
-    }
-
-    // --- writes -----------------------------------------------------------
-
-    /// Writes `data` at `offset`, producing a new snapshot. Returns its
-    /// version (revealed once all lower versions commit).
-    pub fn write(&self, blob: BlobId, offset: u64, data: &[u8]) -> Result<Version> {
-        if data.is_empty() {
-            return Err(Error::WriteAborted(
-                "zero-length writes are rejected".into(),
-            ));
-        }
-        let bs = self.sys.cfg.block_size;
-        // Read-modify-write alignment against the latest revealed snapshot
-        // (see module docs on block-granularity semantics).
-        let (_, base_size) = self.sys.vm.latest(blob)?;
-        let merged = self.merge_boundaries(blob, offset, data, base_size)?;
-        let leaves = self.store_blocks(&merged.payload, merged.start / bs)?;
-        let ticket = self.sys.vm.assign(
-            blob,
-            WriteIntent::Write {
-                offset,
-                size: data.len() as u64,
-            },
-        )?;
-        self.publish_and_commit(&ticket, leaves)?;
-        Ok(ticket.version)
-    }
-
-    /// Appends `data` at the end of the BLOB. The offset is fixed by the
-    /// version manager *after* the data phase (§III-D); returns
-    /// `(offset, version)`.
-    pub fn append(&self, blob: BlobId, data: &[u8]) -> Result<(u64, Version)> {
-        if data.is_empty() {
-            return Err(Error::WriteAborted(
-                "zero-length appends are rejected".into(),
-            ));
-        }
-        let bs = self.sys.cfg.block_size;
-        // Optimistic data phase: chunk as if the append lands block-aligned
-        // (always true for BSFS's write-behind cache and for the paper's
-        // workloads). Descriptors are keyed relative to block 0 for now.
-        let optimistic = self.store_blocks(data, 0)?;
-        let ticket = self.sys.vm.assign(
-            blob,
-            WriteIntent::Append {
-                size: data.len() as u64,
-            },
-        )?;
-        let leaves = if ticket.offset.is_multiple_of(bs) {
-            // Re-key descriptors at the real first block index.
-            let first = ticket.offset / bs;
-            optimistic
-                .into_iter()
-                .map(|(i, d)| (first + i, d))
-                .collect()
-        } else {
-            // Rare slow path: the file tail is unaligned. Discard the
-            // optimistic blocks and redo the data phase with boundary
-            // merging at the now-known offset.
-            for (_, d) in &optimistic {
-                for &p in &d.providers {
-                    self.sys.providers.get(p as usize).delete(d.block_id);
-                    self.sys.pm.release(p as usize);
-                }
-            }
-            // An unaligned append rewrites the preceding snapshot's tail
-            // block, so its content must be *exact*: wait until the
-            // preceding version is revealed (block-aligned appends — the
-            // paper's workloads — never take this path and keep full
-            // parallelism). On timeout (crashed predecessor), repair our
-            // assigned version so the reveal pipeline is not stalled.
-            if let Err(e) =
-                self.wait_revealed(blob, ticket.version.prev(), UNALIGNED_APPEND_TIMEOUT)
-            {
-                self.repair_aborted(&ticket)?;
-                return Err(e);
-            }
-            let merged = self.merge_boundaries(blob, ticket.offset, data, ticket.prev_size)?;
-            self.store_blocks(&merged.payload, merged.start / bs)?
-                .into_iter()
-                .collect()
-        };
-        self.publish_and_commit(&ticket, leaves)?;
-        Ok((ticket.offset, ticket.version))
-    }
-
-    /// Simulates a writer crashing right after version assignment, then
-    /// repairs the hole so the reveal pipeline does not stall: the assigned
-    /// version republishes the previous snapshot's content over the
-    /// intended range (zeros where it extended the BLOB). Returns the
-    /// repaired version.
-    ///
-    /// This is the fault-injection hook behind the fault-tolerance tests;
-    /// the paper leaves writer failure to "minimal mechanisms" (§VI-B).
-    pub fn simulate_failed_write(&self, blob: BlobId, intent: WriteIntent) -> Result<Version> {
-        let ticket = self.sys.vm.assign(blob, intent)?;
-        // The writer dies here: no data, no metadata. Repair:
-        self.repair_aborted(&ticket)?;
-        Ok(ticket.version)
-    }
-
-    /// Repairs an assigned-but-failed write (publishes alias metadata and
-    /// commits). Public so integration tests can drive the two halves
-    /// separately.
-    pub fn repair_aborted(&self, ticket: &WriteTicket) -> Result<()> {
-        let tree = self.sys.tree();
-        let root = tree.publish_repair(ticket.blob, &ticket.entry, &ticket.chain);
-        tree.register_root(root);
-        EngineStats::add(&self.sys.stats.writes_aborted, 1);
-        self.sys.vm.commit(ticket.blob, ticket.version)
-    }
-
-    // --- reads ------------------------------------------------------------
-
-    /// Reads `size` bytes at `offset` from the given snapshot
-    /// (`None` = latest revealed). Fails with [`Error::OutOfBounds`] when
-    /// the range exceeds the snapshot and [`Error::VersionNotRevealed`]
-    /// when an explicit version is not yet visible (§III-A.5: readers only
-    /// access revealed snapshots).
-    pub fn read(
-        &self,
-        blob: BlobId,
-        version: Option<Version>,
-        offset: u64,
-        size: u64,
-    ) -> Result<Bytes> {
-        let info = self.resolve(blob, version)?;
-        if offset + size > info.size {
-            return Err(Error::OutOfBounds {
-                requested_end: offset + size,
-                snapshot_size: info.size,
-            });
-        }
-        if size == 0 {
-            return Ok(Bytes::new());
-        }
-        let bs = self.sys.cfg.block_size;
-        let query = BlockRange::of_bytes(offset, size, bs);
-        let located = self
-            .sys
-            .tree()
-            .locate(info.root_blob, info.version, info.cap, query)?;
-        let mut out = BytesMut::with_capacity(size as usize);
-        let spans = ByteRange::new(offset, size).block_spans(bs);
-        for (span, loc) in spans.zip(located.iter()) {
-            debug_assert_eq!(span.block_index, loc.index);
-            match &loc.desc {
-                None => out.resize(out.len() + span.len as usize, 0),
-                Some(desc) => {
-                    // Spread replica load deterministically by block index.
-                    let replica = (loc.index as usize) % desc.providers.len();
-                    let pidx = desc.providers[replica] as usize;
-                    let block = self.sys.providers.get(pidx).get(desc.block_id)?;
-                    let lo = span.offset_in_block as usize;
-                    let hi = (span.offset_in_block + span.len) as usize;
-                    let avail = block.len();
-                    if lo < avail {
-                        out.extend_from_slice(&block[lo..hi.min(avail)]);
-                    }
-                    // Stored tail blocks may be shorter than the span when a
-                    // later write extended the BLOB past them: zero-fill.
-                    if hi > avail.max(lo) {
-                        out.resize(out.len() + (hi - avail.max(lo)), 0);
-                    }
-                }
-            }
-        }
-        debug_assert_eq!(out.len() as u64, size);
-        EngineStats::add(&self.sys.stats.bytes_read, size);
-        Ok(out.freeze())
-    }
-
-    /// The data-location primitive backing Hadoop's affinity scheduling
-    /// (§IV-C). Returns one entry per block overlapping the range, with the
-    /// nodes hosting its replicas.
-    pub fn locations(
-        &self,
-        blob: BlobId,
-        version: Option<Version>,
-        offset: u64,
-        size: u64,
-    ) -> Result<Vec<BlockLocation>> {
-        let info = self.resolve(blob, version)?;
-        if offset + size > info.size {
-            return Err(Error::OutOfBounds {
-                requested_end: offset + size,
-                snapshot_size: info.size,
-            });
-        }
-        if size == 0 {
-            return Ok(Vec::new());
-        }
-        let bs = self.sys.cfg.block_size;
-        let query = BlockRange::of_bytes(offset, size, bs);
-        let located = self
-            .sys
-            .tree()
-            .locate(info.root_blob, info.version, info.cap, query)?;
-        let spans = ByteRange::new(offset, size).block_spans(bs);
-        Ok(spans
-            .zip(located)
-            .map(|(span, loc)| BlockLocation {
-                range: span.absolute(bs),
-                block_index: loc.index,
-                nodes: loc
-                    .desc
-                    .map(|d| {
-                        d.providers
-                            .iter()
-                            .map(|&p| self.sys.providers.get(p as usize).node())
-                            .collect()
-                    })
-                    .unwrap_or_default(),
-            })
-            .collect())
     }
 
     // --- versioning extensions ---------------------------------------------
@@ -465,8 +167,8 @@ impl BlobClient {
         for root in roots {
             report.merge(self.sys.gc.release_root(
                 root,
-                &self.sys.dht,
-                &self.sys.providers,
+                &*self.sys.dht,
+                &*self.sys.providers,
                 &self.sys.pm,
                 &self.sys.stats,
             )?);
@@ -483,142 +185,22 @@ impl BlobClient {
         for root in roots {
             report.merge(self.sys.gc.release_root(
                 root,
-                &self.sys.dht,
-                &self.sys.providers,
+                &*self.sys.dht,
+                &*self.sys.providers,
                 &self.sys.pm,
                 &self.sys.stats,
             )?);
         }
         Ok(report)
     }
-
-    // --- internals ----------------------------------------------------------
-
-    fn resolve(&self, blob: BlobId, version: Option<Version>) -> Result<SnapshotInfo> {
-        match version {
-            None => {
-                let (v, _) = self.sys.vm.latest(blob)?;
-                self.sys.vm.snapshot_info(blob, v)
-            }
-            Some(v) => {
-                let info = self.sys.vm.snapshot_info(blob, v)?;
-                if !info.revealed {
-                    return Err(Error::VersionNotRevealed {
-                        blob: blob.raw(),
-                        version: v.raw(),
-                    });
-                }
-                Ok(info)
-            }
-        }
-    }
-
-    /// Extends `data` to block boundaries by merging with the base snapshot
-    /// content (or zeros where the base is shorter).
-    ///
-    /// `base_size` is the size of the *preceding* snapshot (which may still
-    /// be in flight for unaligned appends); boundary content is read from
-    /// the latest **revealed** snapshot — the only one readers may access
-    /// (§III-A.5) — and the gap up to `base_size` is zero-filled. This is
-    /// the block-granularity conflict window documented in the module docs.
-    fn merge_boundaries(
-        &self,
-        blob: BlobId,
-        offset: u64,
-        data: &[u8],
-        base_size: u64,
-    ) -> Result<MergedPayload> {
-        let bs = self.sys.cfg.block_size;
-        let (_, revealed_size) = self.sys.vm.latest(blob)?;
-        let readable = revealed_size.min(base_size);
-        let end = offset + data.len() as u64;
-        let lead = offset % bs;
-        let start = offset - lead;
-        let tail_end = if end.is_multiple_of(bs) {
-            end
-        } else {
-            (end / bs + 1) * bs
-        };
-        let suffix_end = base_size.min(tail_end).max(end);
-        let mut payload = BytesMut::with_capacity((suffix_end - start) as usize);
-        if lead > 0 {
-            let avail = readable.min(offset).saturating_sub(start);
-            if avail > 0 {
-                payload.extend_from_slice(&self.read(blob, None, start, avail)?);
-            }
-            // Zero gap between readable content and the write offset.
-            payload.resize((offset - start) as usize, 0);
-        }
-        payload.extend_from_slice(data);
-        if suffix_end > end {
-            let suffix_avail = readable.min(suffix_end).saturating_sub(end);
-            if suffix_avail > 0 {
-                payload.extend_from_slice(&self.read(blob, None, end, suffix_avail)?);
-            }
-            payload.resize((suffix_end - start) as usize, 0);
-        }
-        Ok(MergedPayload {
-            start,
-            payload: payload.freeze(),
-        })
-    }
-
-    /// Data phase: allocates providers, stores the payload's blocks, and
-    /// returns `(block_index, descriptor)` pairs keyed from `first_block`.
-    fn store_blocks(
-        &self,
-        payload: &[u8],
-        first_block: u64,
-    ) -> Result<Vec<(u64, BlockDescriptor)>> {
-        let bs = self.sys.cfg.block_size as usize;
-        let n_blocks = payload.len().div_ceil(bs);
-        let allocs = self.sys.pm.allocate(n_blocks, self.sys.cfg.replication)?;
-        let mut out = Vec::with_capacity(n_blocks);
-        let payload = Bytes::copy_from_slice(payload);
-        for (i, alloc) in allocs.into_iter().enumerate() {
-            let lo = i * bs;
-            let hi = ((i + 1) * bs).min(payload.len());
-            let chunk = payload.slice(lo..hi);
-            for &p in &alloc.providers {
-                self.sys.providers.get(p).put(alloc.block_id, chunk.clone());
-                EngineStats::add(&self.sys.stats.blocks_written, 1);
-                EngineStats::add(&self.sys.stats.bytes_written, (hi - lo) as u64);
-            }
-            out.push((
-                first_block + i as u64,
-                BlockDescriptor {
-                    block_id: alloc.block_id,
-                    providers: alloc.providers.iter().map(|&p| p as u32).collect(),
-                    len: (hi - lo) as u32,
-                },
-            ));
-        }
-        Ok(out)
-    }
-
-    /// Metadata phase + commit.
-    fn publish_and_commit(
-        &self,
-        ticket: &WriteTicket,
-        leaves: Vec<(u64, BlockDescriptor)>,
-    ) -> Result<()> {
-        let leaves: HashMap<u64, BlockDescriptor> = leaves.into_iter().collect();
-        let tree = self.sys.tree();
-        let root = tree.publish_write(ticket.blob, &ticket.entry, &ticket.chain, &leaves);
-        tree.register_root(root);
-        self.sys.vm.commit(ticket.blob, ticket.version)
-    }
-}
-
-struct MergedPayload {
-    start: u64,
-    payload: Bytes,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::version_manager::WriteIntent;
     use blobseer_types::config::PlacementPolicy;
+    use blobseer_types::BlobSeerConfig;
 
     fn small_system() -> Arc<BlobSeer> {
         BlobSeer::deploy(BlobSeerConfig::small_for_tests().with_block_size(64), 4)
@@ -717,6 +299,16 @@ mod tests {
         ));
         assert_eq!(c.read(blob, None, 100, 0).unwrap().len(), 0, "EOF read");
         assert_eq!(c.read(blob, None, 0, 0).unwrap().len(), 0);
+        // Huge offsets must fail cleanly instead of wrapping past the
+        // bounds check (release) or panicking on overflow (debug).
+        assert!(matches!(
+            c.read(blob, None, u64::MAX, 2),
+            Err(Error::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            c.locations(blob, None, u64::MAX - 1, 3),
+            Err(Error::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -826,7 +418,7 @@ mod tests {
         let locs = c.locations(blob, None, 0, 64).unwrap();
         assert_eq!(locs[0].nodes.len(), 2);
         assert_eq!(
-            sys.providers().get(0).block_count() + sys.providers().get(1).block_count(),
+            sys.providers().block_count(0) + sys.providers().block_count(1),
             2
         );
     }
@@ -989,7 +581,7 @@ mod tests {
         assert!(all[..4000].iter().all(|&b| b == 0));
         assert_eq!(all[4000], 42);
         // Storage only holds the single written block, not the holes.
-        let stored: u64 = sys.providers().iter().map(|p| p.bytes_stored()).sum();
+        let stored: u64 = sys.providers().total_bytes_stored();
         assert!(
             stored <= 64,
             "holes must not consume provider space: {stored}"

@@ -1,0 +1,138 @@
+//! The read path: snapshot resolution, segment-tree descent and block
+//! fetches (§III-C), plus the data-location primitive behind Hadoop's
+//! affinity scheduling (§IV-C).
+
+use crate::meta::key::BlockRange;
+use crate::stats::EngineStats;
+use crate::version_manager::SnapshotInfo;
+use blobseer_types::{BlobId, ByteRange, Error, Result, Version};
+use bytes::{Bytes, BytesMut};
+
+use super::{BlobClient, BlockLocation};
+
+impl BlobClient {
+    /// Reads `size` bytes at `offset` from the given snapshot
+    /// (`None` = latest revealed). Fails with [`Error::OutOfBounds`] when
+    /// the range exceeds the snapshot and [`Error::VersionNotRevealed`]
+    /// when an explicit version is not yet visible (§III-A.5: readers only
+    /// access revealed snapshots).
+    pub fn read(
+        &self,
+        blob: BlobId,
+        version: Option<Version>,
+        offset: u64,
+        size: u64,
+    ) -> Result<Bytes> {
+        let info = self.resolve(blob, version)?;
+        self.check_bounds(offset, size, info.size)?;
+        if size == 0 {
+            return Ok(Bytes::new());
+        }
+        let bs = self.sys.cfg.block_size;
+        let query = BlockRange::of_bytes(offset, size, bs);
+        let located = self
+            .sys
+            .tree()
+            .locate(info.root_blob, info.version, info.cap, query)?;
+        let mut out = BytesMut::with_capacity(size as usize);
+        let spans = ByteRange::new(offset, size).block_spans(bs);
+        for (span, loc) in spans.zip(located.iter()) {
+            debug_assert_eq!(span.block_index, loc.index);
+            match &loc.desc {
+                None => out.resize(out.len() + span.len as usize, 0),
+                Some(desc) => {
+                    // Spread replica load deterministically by block index.
+                    let replica = (loc.index as usize) % desc.providers.len();
+                    let pidx = desc.providers[replica] as usize;
+                    let block = self.sys.providers.get(pidx, desc.block_id)?;
+                    let lo = span.offset_in_block as usize;
+                    let hi = (span.offset_in_block + span.len) as usize;
+                    let avail = block.len();
+                    if lo < avail {
+                        out.extend_from_slice(&block[lo..hi.min(avail)]);
+                    }
+                    // Stored tail blocks may be shorter than the span when a
+                    // later write extended the BLOB past them: zero-fill.
+                    if hi > avail.max(lo) {
+                        out.resize(out.len() + (hi - avail.max(lo)), 0);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len() as u64, size);
+        EngineStats::add(&self.sys.stats.bytes_read, size);
+        Ok(out.freeze())
+    }
+
+    /// The data-location primitive backing Hadoop's affinity scheduling
+    /// (§IV-C). Returns one entry per block overlapping the range, with the
+    /// nodes hosting its replicas.
+    pub fn locations(
+        &self,
+        blob: BlobId,
+        version: Option<Version>,
+        offset: u64,
+        size: u64,
+    ) -> Result<Vec<BlockLocation>> {
+        let info = self.resolve(blob, version)?;
+        self.check_bounds(offset, size, info.size)?;
+        if size == 0 {
+            return Ok(Vec::new());
+        }
+        let bs = self.sys.cfg.block_size;
+        let query = BlockRange::of_bytes(offset, size, bs);
+        let located = self
+            .sys
+            .tree()
+            .locate(info.root_blob, info.version, info.cap, query)?;
+        let spans = ByteRange::new(offset, size).block_spans(bs);
+        Ok(spans
+            .zip(located)
+            .map(|(span, loc)| BlockLocation {
+                range: span.absolute(bs),
+                block_index: loc.index,
+                nodes: loc
+                    .desc
+                    .map(|d| {
+                        d.providers
+                            .iter()
+                            .map(|&p| self.sys.providers.node(p as usize))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            })
+            .collect())
+    }
+
+    /// Overflow-safe range check: `offset + size` saturates instead of
+    /// wrapping, so a huge offset fails with [`Error::OutOfBounds`] rather
+    /// than slipping past the guard (release) or panicking (debug).
+    fn check_bounds(&self, offset: u64, size: u64, snapshot_size: u64) -> Result<()> {
+        match offset.checked_add(size) {
+            Some(end) if end <= snapshot_size => Ok(()),
+            _ => Err(Error::OutOfBounds {
+                requested_end: offset.saturating_add(size),
+                snapshot_size,
+            }),
+        }
+    }
+
+    pub(crate) fn resolve(&self, blob: BlobId, version: Option<Version>) -> Result<SnapshotInfo> {
+        match version {
+            None => {
+                let (v, _) = self.sys.vm.latest(blob)?;
+                self.sys.vm.snapshot_info(blob, v)
+            }
+            Some(v) => {
+                let info = self.sys.vm.snapshot_info(blob, v)?;
+                if !info.revealed {
+                    return Err(Error::VersionNotRevealed {
+                        blob: blob.raw(),
+                        version: v.raw(),
+                    });
+                }
+                Ok(info)
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The write path: data phase, version assignment, metadata publish, commit
+//! (§III-D), plus the writer-failure repair hook (§VI-B).
+
+use crate::meta::node::BlockDescriptor;
+use crate::stats::EngineStats;
+use crate::version_manager::{WriteIntent, WriteTicket};
+use blobseer_types::{BlobId, Error, Result, Version};
+use bytes::{Bytes, BytesMut};
+use std::collections::HashMap;
+
+use super::BlobClient;
+
+/// A payload extended to block boundaries, ready for the data phase.
+pub(crate) struct MergedPayload {
+    pub(crate) start: u64,
+    pub(crate) payload: Bytes,
+}
+
+impl BlobClient {
+    /// Writes `data` at `offset`, producing a new snapshot. Returns its
+    /// version (revealed once all lower versions commit).
+    pub fn write(&self, blob: BlobId, offset: u64, data: &[u8]) -> Result<Version> {
+        if data.is_empty() {
+            return Err(Error::WriteAborted(
+                "zero-length writes are rejected".into(),
+            ));
+        }
+        let bs = self.sys.cfg.block_size;
+        // Read-modify-write alignment against the latest revealed snapshot
+        // (see module docs on block-granularity semantics).
+        let (_, base_size) = self.sys.vm.latest(blob)?;
+        let merged = self.merge_boundaries(blob, offset, data, base_size)?;
+        let leaves = self.store_blocks(&merged.payload, merged.start / bs)?;
+        let ticket = self.sys.vm.assign(
+            blob,
+            WriteIntent::Write {
+                offset,
+                size: data.len() as u64,
+            },
+        )?;
+        self.publish_and_commit(&ticket, leaves)?;
+        Ok(ticket.version)
+    }
+
+    /// Simulates a writer crashing right after version assignment, then
+    /// repairs the hole so the reveal pipeline does not stall: the assigned
+    /// version republishes the previous snapshot's content over the
+    /// intended range (zeros where it extended the BLOB). Returns the
+    /// repaired version.
+    ///
+    /// This is the fault-injection hook behind the fault-tolerance tests;
+    /// the paper leaves writer failure to "minimal mechanisms" (§VI-B).
+    pub fn simulate_failed_write(&self, blob: BlobId, intent: WriteIntent) -> Result<Version> {
+        let ticket = self.sys.vm.assign(blob, intent)?;
+        // The writer dies here: no data, no metadata. Repair:
+        self.repair_aborted(&ticket)?;
+        Ok(ticket.version)
+    }
+
+    /// Repairs an assigned-but-failed write (publishes alias metadata and
+    /// commits). Public so integration tests can drive the two halves
+    /// separately.
+    pub fn repair_aborted(&self, ticket: &WriteTicket) -> Result<()> {
+        let tree = self.sys.tree();
+        let root = tree.publish_repair(ticket.blob, &ticket.entry, &ticket.chain)?;
+        tree.register_root(root);
+        EngineStats::add(&self.sys.stats.writes_aborted, 1);
+        self.sys.vm.commit(ticket.blob, ticket.version)
+    }
+
+    /// Extends `data` to block boundaries by merging with the base snapshot
+    /// content (or zeros where the base is shorter).
+    ///
+    /// `base_size` is the size of the *preceding* snapshot (which may still
+    /// be in flight for unaligned appends); boundary content is read from
+    /// the latest **revealed** snapshot — the only one readers may access
+    /// (§III-A.5) — and the gap up to `base_size` is zero-filled. This is
+    /// the block-granularity conflict window documented in the module docs.
+    pub(crate) fn merge_boundaries(
+        &self,
+        blob: BlobId,
+        offset: u64,
+        data: &[u8],
+        base_size: u64,
+    ) -> Result<MergedPayload> {
+        let bs = self.sys.cfg.block_size;
+        let (_, revealed_size) = self.sys.vm.latest(blob)?;
+        let readable = revealed_size.min(base_size);
+        let end = offset + data.len() as u64;
+        let lead = offset % bs;
+        let start = offset - lead;
+        let tail_end = if end.is_multiple_of(bs) {
+            end
+        } else {
+            (end / bs + 1) * bs
+        };
+        let suffix_end = base_size.min(tail_end).max(end);
+        let mut payload = BytesMut::with_capacity((suffix_end - start) as usize);
+        if lead > 0 {
+            let avail = readable.min(offset).saturating_sub(start);
+            if avail > 0 {
+                payload.extend_from_slice(&self.read(blob, None, start, avail)?);
+            }
+            // Zero gap between readable content and the write offset.
+            payload.resize((offset - start) as usize, 0);
+        }
+        payload.extend_from_slice(data);
+        if suffix_end > end {
+            let suffix_avail = readable.min(suffix_end).saturating_sub(end);
+            if suffix_avail > 0 {
+                payload.extend_from_slice(&self.read(blob, None, end, suffix_avail)?);
+            }
+            payload.resize((suffix_end - start) as usize, 0);
+        }
+        Ok(MergedPayload {
+            start,
+            payload: payload.freeze(),
+        })
+    }
+
+    /// Data phase: allocates providers, stores the payload's blocks, and
+    /// returns `(block_index, descriptor)` pairs keyed from `first_block`.
+    ///
+    /// A failed block put aborts the whole write ("if writing of a block
+    /// fails, then the whole write fails", §III-D); blocks stored before
+    /// the failure become unreferenced, the same caveat as a crashed
+    /// writer (§VI-B) — the version manager was never involved, so the
+    /// snapshot history is untouched.
+    pub(crate) fn store_blocks(
+        &self,
+        payload: &[u8],
+        first_block: u64,
+    ) -> Result<Vec<(u64, BlockDescriptor)>> {
+        let bs = self.sys.cfg.block_size as usize;
+        let n_blocks = payload.len().div_ceil(bs);
+        let allocs = self.sys.pm.allocate(n_blocks, self.sys.cfg.replication)?;
+        let mut out = Vec::with_capacity(n_blocks);
+        let payload = Bytes::copy_from_slice(payload);
+        for (i, alloc) in allocs.into_iter().enumerate() {
+            let lo = i * bs;
+            let hi = ((i + 1) * bs).min(payload.len());
+            let chunk = payload.slice(lo..hi);
+            for &p in &alloc.providers {
+                self.sys.providers.put(p, alloc.block_id, chunk.clone())?;
+                EngineStats::add(&self.sys.stats.blocks_written, 1);
+                EngineStats::add(&self.sys.stats.bytes_written, (hi - lo) as u64);
+            }
+            out.push((
+                first_block + i as u64,
+                BlockDescriptor {
+                    block_id: alloc.block_id,
+                    providers: alloc.providers.iter().map(|&p| p as u32).collect(),
+                    len: (hi - lo) as u32,
+                },
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Metadata phase + commit.
+    ///
+    /// If the publish fails (backend refusing puts, a metadata conflict),
+    /// the already-assigned version would otherwise stall the reveal
+    /// pipeline forever — so the writer self-repairs ([`Self::
+    /// repair_aborted`]) before surfacing the error, exactly like the
+    /// unaligned-append timeout path. The repair is best-effort: it can
+    /// itself fail (the backend may still be refusing puts, or a partially
+    /// published tree conflicts with the alias nodes), in which case the
+    /// version stays pending — the crashed-writer caveat of §VI-B,
+    /// observable via `pending_versions` and repairable once the backend
+    /// heals.
+    pub(crate) fn publish_and_commit(
+        &self,
+        ticket: &WriteTicket,
+        leaves: Vec<(u64, BlockDescriptor)>,
+    ) -> Result<()> {
+        let leaves: HashMap<u64, BlockDescriptor> = leaves.into_iter().collect();
+        let tree = self.sys.tree();
+        let root = match tree.publish_write(ticket.blob, &ticket.entry, &ticket.chain, &leaves) {
+            Ok(root) => root,
+            Err(e) => {
+                let _ = self.repair_aborted(ticket);
+                return Err(e);
+            }
+        };
+        tree.register_root(root);
+        self.sys.vm.commit(ticket.blob, ticket.version)
+    }
+}

@@ -9,46 +9,71 @@
 
 use crate::meta::key::NodeKey;
 use crate::meta::node::TreeNode;
+use crate::sharded::{ShardedMap, DEFAULT_SHARDS};
 use blobseer_types::{Error, Result};
-use parking_lot::RwLock;
-use std::collections::HashMap;
 
-/// One metadata provider: a shard of the DHT.
-#[derive(Debug, Default)]
+/// One metadata provider: a shard of the DHT. Internally lock-striped so
+/// concurrent writers publishing different tree nodes to the same provider
+/// do not serialize on one lock.
+#[derive(Debug)]
 pub struct MetaProvider {
-    map: RwLock<HashMap<NodeKey, TreeNode>>,
+    map: ShardedMap<NodeKey, TreeNode>,
     puts: std::sync::atomic::AtomicU64,
     gets: std::sync::atomic::AtomicU64,
 }
 
+impl Default for MetaProvider {
+    fn default() -> Self {
+        Self::with_stripes(DEFAULT_SHARDS)
+    }
+}
+
 impl MetaProvider {
-    fn put(&self, key: NodeKey, node: TreeNode) {
+    fn with_stripes(n_stripes: usize) -> Self {
+        Self {
+            map: ShardedMap::new(n_stripes),
+            puts: std::sync::atomic::AtomicU64::new(0),
+            gets: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Stores a node. Metadata, like data, is immutable: a re-put must carry
+    /// identical content (replica retries, abort-repair idempotence). A
+    /// conflicting re-put returns [`Error::MetadataConflict`] in **every**
+    /// build profile and leaves the stored copy untouched — silently keeping
+    /// either version would let two diverged writers both believe they
+    /// published (the seed only `debug_assert`ed here, so release builds
+    /// silently kept the old node).
+    fn put(&self, key: NodeKey, node: TreeNode) -> Result<()> {
         self.puts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let mut map = self.map.write();
-        // Metadata, like data, is immutable: re-puts must carry identical
-        // content (replica retries, abort repair idempotence).
+        let mut map = self.map.shard_for(&key).write();
         if let Some(existing) = map.get(&key) {
-            debug_assert_eq!(
-                existing, &node,
-                "metadata node {key:?} rewritten with different content"
-            );
-            return;
+            if existing != &node {
+                return Err(Error::MetadataConflict(format!("{key:?}")));
+            }
+            return Ok(());
         }
         map.insert(key, node);
+        Ok(())
     }
 
     fn get(&self, key: &NodeKey) -> Option<TreeNode> {
         self.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.map.read().get(key).cloned()
+        self.map.get_cloned(key)
+    }
+
+    /// Lookup without touching the op counters (internal validation reads).
+    fn peek(&self, key: &NodeKey) -> Option<TreeNode> {
+        self.map.get_cloned(key)
     }
 
     fn delete(&self, key: &NodeKey) -> bool {
-        self.map.write().remove(key).is_some()
+        self.map.remove(key).is_some()
     }
 
     /// Number of nodes stored on this provider.
     pub fn node_count(&self) -> usize {
-        self.map.read().len()
+        self.map.len()
     }
 
     /// `(puts, gets)` served.
@@ -70,13 +95,21 @@ pub struct MetaDht {
 impl MetaDht {
     /// A DHT over `n` metadata providers with `replication` copies per node.
     pub fn new(n: usize, replication: usize) -> Self {
+        Self::with_stripes(n, replication, DEFAULT_SHARDS)
+    }
+
+    /// Same, with an explicit per-provider lock-stripe count (`1` = the
+    /// seed's global-lock layout; see `tests/ports_equivalence.rs`).
+    pub fn with_stripes(n: usize, replication: usize, n_stripes: usize) -> Self {
         assert!(n > 0, "need at least one metadata provider");
         assert!(
             (1..=n).contains(&replication),
             "metadata replication {replication} must be in 1..={n}"
         );
         Self {
-            shards: (0..n).map(|_| MetaProvider::default()).collect(),
+            shards: (0..n)
+                .map(|_| MetaProvider::with_stripes(n_stripes))
+                .collect(),
             replication,
         }
     }
@@ -93,12 +126,38 @@ impl MetaDht {
     }
 
     /// Stores a node on its `replication` home shards.
-    pub fn put(&self, key: NodeKey, node: TreeNode) {
+    ///
+    /// The put is validated against **every** replica that already holds
+    /// the key *before* anything is inserted: a conflicting re-put
+    /// ([`Error::MetadataConflict`]) must not install the forged node on a
+    /// replica that happens to lack the key (e.g. a crashed-and-restarted
+    /// shard) while a surviving replica still serves the original — that
+    /// would diverge the replicas and let `get` answer with either copy.
+    /// A matching re-put, by contrast, re-populates missing replicas
+    /// (per-replica idempotent, which is also the natural re-replication
+    /// path after a shard crash). Each replica's own put re-validates
+    /// under its stripe lock, so concurrent racing re-puts still cannot
+    /// overwrite committed content.
+    pub fn put(&self, key: NodeKey, node: TreeNode) -> Result<()> {
         let primary = self.shard_of(&key);
+        // The divergence scenario needs a second replica; with replication
+        // 1 the per-replica validation below already covers everything, so
+        // skip the pre-pass on the hot single-replica publish path.
+        if self.replication > 1 {
+            for i in 0..self.replication {
+                let shard = (primary + i) % self.shards.len();
+                if let Some(existing) = self.shards[shard].peek(&key) {
+                    if existing != node {
+                        return Err(Error::MetadataConflict(format!("{key:?}")));
+                    }
+                }
+            }
+        }
         for i in 0..self.replication {
             let shard = (primary + i) % self.shards.len();
-            self.shards[shard].put(key, node.clone());
+            self.shards[shard].put(key, node.clone())?;
         }
+        Ok(())
     }
 
     /// Fetches a node, trying replicas in order.
@@ -116,7 +175,7 @@ impl MetaDht {
     /// Simulates the crash of one shard by dropping its contents; used by
     /// fault-tolerance tests to show replicated metadata survives.
     pub fn crash_shard(&self, shard: usize) {
-        self.shards[shard].map.write().clear();
+        self.shards[shard].map.clear();
     }
 
     /// Deletes a node from all its replicas. Returns true if any replica
@@ -170,7 +229,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let dht = MetaDht::new(4, 1);
-        dht.put(key(1, 0, 1), leaf(10));
+        dht.put(key(1, 0, 1), leaf(10)).unwrap();
         assert_eq!(dht.get(&key(1, 0, 1)).unwrap(), leaf(10));
         assert!(matches!(
             dht.get(&key(2, 0, 1)),
@@ -182,7 +241,7 @@ mod tests {
     fn keys_spread_over_shards() {
         let dht = MetaDht::new(8, 1);
         for v in 0..256 {
-            dht.put(key(v, 0, 1), leaf(v));
+            dht.put(key(v, 0, 1), leaf(v)).unwrap();
         }
         let stats = dht.shard_stats();
         let nonempty = stats.iter().filter(|(n, _, _)| *n > 0).count();
@@ -195,7 +254,7 @@ mod tests {
     fn replication_survives_one_shard_crash() {
         let dht = MetaDht::new(4, 2);
         for v in 0..64 {
-            dht.put(key(v, 0, 1), leaf(v));
+            dht.put(key(v, 0, 1), leaf(v)).unwrap();
         }
         dht.crash_shard(0);
         for v in 0..64 {
@@ -207,7 +266,7 @@ mod tests {
     fn unreplicated_dht_loses_data_on_crash() {
         let dht = MetaDht::new(4, 1);
         for v in 0..64 {
-            dht.put(key(v, 0, 1), leaf(v));
+            dht.put(key(v, 0, 1), leaf(v)).unwrap();
         }
         dht.crash_shard(1);
         let lost = (0..64).filter(|&v| dht.get(&key(v, 0, 1)).is_err()).count();
@@ -223,7 +282,8 @@ mod tests {
                 left: None,
                 right: None,
             },
-        );
+        )
+        .unwrap();
         assert!(dht.delete(&key(1, 0, 2)));
         assert!(!dht.delete(&key(1, 0, 2)));
         assert!(dht.get(&key(1, 0, 2)).is_err());
@@ -237,8 +297,8 @@ mod tests {
             blob: BlobId::new(1),
             version: Version::new(1),
         }));
-        dht.put(key(2, 0, 1), n.clone());
-        dht.put(key(2, 0, 1), n.clone());
+        dht.put(key(2, 0, 1), n.clone()).unwrap();
+        dht.put(key(2, 0, 1), n.clone()).unwrap();
         assert_eq!(dht.get(&key(2, 0, 1)).unwrap(), n);
     }
 
@@ -246,5 +306,69 @@ mod tests {
     #[should_panic(expected = "must be in")]
     fn invalid_replication_rejected() {
         let _ = MetaDht::new(2, 3);
+    }
+
+    #[test]
+    fn conflicting_reput_is_rejected_in_all_profiles() {
+        // The seed's duplicate-content check was a `debug_assert_eq!`, so a
+        // release build silently kept the old node. Now the conflict is a
+        // hard error everywhere and the stored copy survives.
+        let dht = MetaDht::new(4, 1);
+        dht.put(key(1, 0, 1), leaf(10)).unwrap();
+        let err = dht.put(key(1, 0, 1), leaf(11)).unwrap_err();
+        assert!(matches!(err, Error::MetadataConflict(_)), "{err}");
+        assert_eq!(dht.get(&key(1, 0, 1)).unwrap(), leaf(10), "original kept");
+    }
+
+    #[test]
+    fn conflict_propagates_through_replication_path() {
+        // With replication 2 the conflict is detected on every replica and
+        // surfaces once; matching replicas stay intact.
+        let dht = MetaDht::new(4, 2);
+        dht.put(key(3, 0, 1), leaf(30)).unwrap();
+        let err = dht.put(key(3, 0, 1), leaf(31)).unwrap_err();
+        assert!(matches!(err, Error::MetadataConflict(_)), "{err}");
+        // Both replicas still serve the original, even after one "crashes".
+        dht.crash_shard(dht.shard_of(&key(3, 0, 1)));
+        assert_eq!(dht.get(&key(3, 0, 1)).unwrap(), leaf(30));
+    }
+
+    #[test]
+    fn conflict_cannot_diverge_replicas_after_shard_crash() {
+        // A conflicting re-put arriving while one replica is freshly
+        // crashed (empty) must not install the forged node there: the
+        // surviving replica's copy wins the validation for the whole put.
+        let dht = MetaDht::new(4, 2);
+        let k = key(5, 0, 1);
+        dht.put(k, leaf(50)).unwrap();
+        dht.crash_shard(dht.shard_of(&k)); // primary loses its copy
+        let err = dht.put(k, leaf(51)).unwrap_err();
+        assert!(matches!(err, Error::MetadataConflict(_)), "{err}");
+        // Every surviving path still serves the original — the primary was
+        // not repopulated with the forged node.
+        assert_eq!(dht.get(&k).unwrap(), leaf(50));
+        // A *matching* re-put, however, re-replicates onto the crashed
+        // shard: after it, even crashing the surviving replica loses
+        // nothing.
+        dht.put(k, leaf(50)).unwrap();
+        dht.crash_shard((dht.shard_of(&k) + 1) % 4);
+        assert_eq!(dht.get(&k).unwrap(), leaf(50));
+    }
+
+    #[test]
+    fn single_stripe_dht_matches_sharded_semantics() {
+        let global = MetaDht::with_stripes(4, 1, 1);
+        let striped = MetaDht::with_stripes(4, 1, 32);
+        for v in 0..64 {
+            global.put(key(v, 0, 1), leaf(v)).unwrap();
+            striped.put(key(v, 0, 1), leaf(v)).unwrap();
+        }
+        for v in 0..64 {
+            assert_eq!(
+                global.get(&key(v, 0, 1)).unwrap(),
+                striped.get(&key(v, 0, 1)).unwrap()
+            );
+        }
+        assert_eq!(global.node_count(), striped.node_count());
     }
 }

@@ -17,15 +17,13 @@
 //! (blocks are owned by exactly one leaf — abort repair shares leaves via
 //! aliases, never by duplicating descriptors).
 
-use crate::block_store::ProviderSet;
-use crate::dht::MetaDht;
 use crate::meta::key::NodeKey;
 use crate::meta::node::TreeNode;
+use crate::ports::{BlockStore, MetaStore};
 use crate::provider_manager::ProviderManager;
+use crate::sharded::{ShardedMap, DEFAULT_SHARDS};
 use crate::stats::EngineStats;
 use blobseer_types::Result;
-use parking_lot::Mutex;
-use std::collections::HashMap;
 
 /// Outcome of a collection pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,10 +45,20 @@ impl GcReport {
     }
 }
 
-/// Reference counts for tree nodes.
-#[derive(Debug, Default)]
+/// Reference counts for tree nodes. The map is the hot companion of the
+/// tree store — every publish touches it for each child reference — so it
+/// is lock-striped like the data/metadata maps.
+#[derive(Debug)]
 pub struct GcTracker {
-    node_rc: Mutex<HashMap<NodeKey, u64>>,
+    node_rc: ShardedMap<NodeKey, u64>,
+}
+
+impl Default for GcTracker {
+    fn default() -> Self {
+        Self {
+            node_rc: ShardedMap::new(DEFAULT_SHARDS),
+        }
+    }
 }
 
 impl GcTracker {
@@ -62,26 +70,27 @@ impl GcTracker {
     /// Adds one reference to a node (child reference, root registration or
     /// branch registration). The node need not exist in the DHT yet.
     pub fn inc_node(&self, key: NodeKey) {
-        *self.node_rc.lock().entry(key).or_insert(0) += 1;
+        *self.node_rc.shard_for(&key).write().entry(key).or_insert(0) += 1;
     }
 
     /// Current count (0 if never referenced) — for tests and diagnostics.
     pub fn node_count(&self, key: &NodeKey) -> u64 {
-        self.node_rc.lock().get(key).copied().unwrap_or(0)
+        self.node_rc.get_cloned(key).unwrap_or(0)
     }
 
     /// Number of tracked (non-zero) entries.
     pub fn tracked_nodes(&self) -> usize {
-        self.node_rc.lock().len()
+        self.node_rc.len()
     }
 
     /// Releases one reference on `root` and cascades deletion of every node
-    /// and block that becomes unreachable.
+    /// and block that becomes unreachable. Works against any backend
+    /// through the [`MetaStore`]/[`BlockStore`] ports.
     pub fn release_root(
         &self,
         root: NodeKey,
-        dht: &MetaDht,
-        providers: &ProviderSet,
+        dht: &dyn MetaStore,
+        providers: &dyn BlockStore,
         pm: &ProviderManager,
         stats: &EngineStats,
     ) -> Result<GcReport> {
@@ -89,7 +98,7 @@ impl GcTracker {
         let mut stack = vec![root];
         while let Some(key) = stack.pop() {
             let freed = {
-                let mut rc = self.node_rc.lock();
+                let mut rc = self.node_rc.shard_for(&key).write();
                 match rc.get_mut(&key) {
                     Some(c) if *c > 1 => {
                         *c -= 1;
@@ -133,10 +142,7 @@ impl GcTracker {
                     EngineStats::add(&stats.blocks_collected, 1);
                     let mut freed_bytes = 0;
                     for &p in &desc.providers {
-                        freed_bytes = providers
-                            .get(p as usize)
-                            .delete(desc.block_id)
-                            .max(freed_bytes);
+                        freed_bytes = providers.delete(p as usize, desc.block_id).max(freed_bytes);
                         pm.release(p as usize);
                     }
                     report.bytes_freed += freed_bytes;
@@ -150,6 +156,8 @@ impl GcTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block_store::ProviderSet;
+    use crate::dht::MetaDht;
     use crate::meta::key::Pos;
     use crate::meta::node::{BlockDescriptor, NodeRef};
     use blobseer_types::config::PlacementPolicy;
@@ -197,24 +205,28 @@ mod tests {
             f.providers
                 .get(0)
                 .put(BlockId::new(block), Bytes::from_static(b"data"));
-            f.dht.put(key(v, start, 1), TreeNode::Leaf(desc));
+            f.dht.put(key(v, start, 1), TreeNode::Leaf(desc)).unwrap();
         }
-        f.dht.put(
-            key(1, 0, 2),
-            TreeNode::Inner {
-                left: nref(1),
-                right: nref(1),
-            },
-        );
+        f.dht
+            .put(
+                key(1, 0, 2),
+                TreeNode::Inner {
+                    left: nref(1),
+                    right: nref(1),
+                },
+            )
+            .unwrap();
         f.gc.inc_node(key(1, 0, 1));
         f.gc.inc_node(key(1, 1, 1));
-        f.dht.put(
-            key(2, 0, 2),
-            TreeNode::Inner {
-                left: nref(2),
-                right: nref(1),
-            },
-        );
+        f.dht
+            .put(
+                key(2, 0, 2),
+                TreeNode::Inner {
+                    left: nref(2),
+                    right: nref(1),
+                },
+            )
+            .unwrap();
         f.gc.inc_node(key(2, 0, 1));
         f.gc.inc_node(key(1, 1, 1)); // shared leaf now rc=2
                                      // Root registrations.
@@ -278,10 +290,12 @@ mod tests {
         f.providers
             .get(1)
             .put(BlockId::new(20), Bytes::from_static(b"xyzw"));
-        f.dht.put(key(1, 0, 1), TreeNode::Leaf(desc));
+        f.dht.put(key(1, 0, 1), TreeNode::Leaf(desc)).unwrap();
         f.gc.inc_node(key(1, 0, 1)); // referenced as v1 root below
                                      // v2 repairs with an alias to v1's leaf.
-        f.dht.put(key(2, 0, 1), TreeNode::LeafAlias(nref(1)));
+        f.dht
+            .put(key(2, 0, 1), TreeNode::LeafAlias(nref(1)))
+            .unwrap();
         f.gc.inc_node(key(1, 0, 1)); // alias reference
         f.gc.inc_node(key(2, 0, 1)); // v2 root registration (leaf is root here)
 

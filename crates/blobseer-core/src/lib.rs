@@ -45,15 +45,21 @@
 pub mod block_store;
 pub mod client;
 pub mod dht;
+pub mod faults;
 pub mod gc;
 pub mod meta;
 pub mod placement;
+pub mod ports;
 pub mod provider_manager;
+pub mod sharded;
 pub mod stats;
 pub mod version_manager;
 
-pub use client::{BlobClient, BlobSeer, BlockLocation};
+pub use client::{BlobClient, BlobSeer, BlockLocation, EnginePorts};
+pub use faults::{FaultPlan, FaultyBlockStore, FaultyMetaStore, PutFault};
 pub use gc::GcReport;
 pub use placement::{manhattan_unbalance, Placer};
+pub use ports::{BlockStore, MetaStore, VersionService};
+pub use sharded::ShardedMap;
 pub use stats::{EngineStats, StatsSnapshot};
 pub use version_manager::{SnapshotInfo, VersionManager, WriteIntent, WriteTicket};

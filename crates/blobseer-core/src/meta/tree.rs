@@ -16,8 +16,8 @@
 use super::key::{BlockRange, NodeKey, Pos};
 use super::log::{LogChain, LogEntry};
 use super::node::{BlockDescriptor, NodeRef, TreeNode};
-use crate::dht::MetaDht;
 use crate::gc::GcTracker;
+use crate::ports::MetaStore;
 use crate::stats::EngineStats;
 use blobseer_types::{BlobId, Error, Result, Version};
 use std::collections::HashMap;
@@ -41,10 +41,11 @@ enum LeafMode<'a> {
     Repair,
 }
 
-/// Metadata operations bound to one deployment's DHT/GC/stats.
+/// Metadata operations bound to one deployment's metadata backend (any
+/// [`MetaStore`] adapter), GC tracker and stats.
 #[derive(Clone, Copy)]
 pub struct TreeStore<'a> {
-    pub dht: &'a MetaDht,
+    pub dht: &'a dyn MetaStore,
     pub gc: &'a GcTracker,
     pub stats: &'a EngineStats,
 }
@@ -52,13 +53,18 @@ pub struct TreeStore<'a> {
 impl<'a> TreeStore<'a> {
     /// Publishes the metadata of a normal write. `leaves` maps each block
     /// index in `entry.blocks` to its descriptor. Returns the new root key.
+    ///
+    /// Fails when the backend rejects a node put (a conflicting re-put —
+    /// [`Error::MetadataConflict`] — or an injected fault); nodes already
+    /// published stay in place, exactly like a writer that crashed halfway
+    /// through its metadata phase (§VI-B).
     pub fn publish_write(
         &self,
         blob: BlobId,
         entry: &LogEntry,
         chain: &LogChain,
         leaves: &HashMap<u64, BlockDescriptor>,
-    ) -> NodeKey {
+    ) -> Result<NodeKey> {
         debug_assert!(
             entry.blocks.iter().all(|b| leaves.contains_key(&b)),
             "every written block needs a descriptor"
@@ -71,7 +77,12 @@ impl<'a> TreeStore<'a> {
     /// previous version's content. Readers of this version observe the
     /// previous snapshot's bytes over the aborted range (zeros where the
     /// range extended the BLOB). Returns the new root key.
-    pub fn publish_repair(&self, blob: BlobId, entry: &LogEntry, chain: &LogChain) -> NodeKey {
+    pub fn publish_repair(
+        &self,
+        blob: BlobId,
+        entry: &LogEntry,
+        chain: &LogChain,
+    ) -> Result<NodeKey> {
         self.publish(blob, entry, chain, LeafMode::Repair)
     }
 
@@ -81,13 +92,13 @@ impl<'a> TreeStore<'a> {
         entry: &LogEntry,
         chain: &LogChain,
         mode: LeafMode<'_>,
-    ) -> NodeKey {
+    ) -> Result<NodeKey> {
         let root = Pos::root(entry.cap_after);
         debug_assert!(
             entry.materializes(root),
             "a write always materializes its root"
         );
-        let r = self.build(blob, entry, chain, &mode, root);
+        let r = self.build(blob, entry, chain, &mode, root)?;
         debug_assert_eq!(
             r,
             Some(NodeRef {
@@ -95,7 +106,7 @@ impl<'a> TreeStore<'a> {
                 version: entry.version
             })
         );
-        NodeKey::new(blob, entry.version, root)
+        Ok(NodeKey::new(blob, entry.version, root))
     }
 
     /// Recursively materializes `pos` if the write covers it, else returns a
@@ -107,17 +118,17 @@ impl<'a> TreeStore<'a> {
         chain: &LogChain,
         mode: &LeafMode<'_>,
         pos: Pos,
-    ) -> Option<NodeRef> {
+    ) -> Result<Option<NodeRef>> {
         if !entry.materializes(pos) {
             // Weave: reference the latest lower version materializing this
             // position (possibly still being written by a concurrent
             // writer), or a hole.
-            return chain
+            return Ok(chain
                 .materializer_before(pos, entry.version)
                 .map(|m| NodeRef {
                     blob: m.blob,
                     version: m.version,
-                });
+                }));
         }
         let key = NodeKey::new(blob, entry.version, pos);
         let node = if pos.is_leaf() {
@@ -143,8 +154,8 @@ impl<'a> TreeStore<'a> {
                 }
             }
         } else {
-            let left = self.build(blob, entry, chain, mode, pos.left());
-            let right = self.build(blob, entry, chain, mode, pos.right());
+            let left = self.build(blob, entry, chain, mode, pos.left())?;
+            let right = self.build(blob, entry, chain, mode, pos.right())?;
             if let Some(l) = left {
                 self.gc
                     .inc_node(NodeKey::new(l.blob, l.version, pos.left()));
@@ -155,12 +166,12 @@ impl<'a> TreeStore<'a> {
             }
             TreeNode::Inner { left, right }
         };
-        self.dht.put(key, node);
+        self.dht.put(key, node)?;
         EngineStats::add(&self.stats.meta_nodes_written, 1);
-        Some(NodeRef {
+        Ok(Some(NodeRef {
             blob,
             version: entry.version,
-        })
+        }))
     }
 
     /// Registers the root of a committed version (one GC reference).
@@ -247,6 +258,7 @@ impl<'a> TreeStore<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dht::MetaDht;
     use crate::meta::log::LogSegment;
     use blobseer_types::BlockId;
     use parking_lot::RwLock;
@@ -320,6 +332,7 @@ mod tests {
                 .collect();
             self.store()
                 .publish_write(self.blob, &entry, &self.chain(), &leaves)
+                .unwrap()
         }
 
         fn blocks_of(&self, v: u64, cap: u64, q: (u64, u64)) -> Vec<Option<u64>> {
@@ -460,12 +473,14 @@ mod tests {
         };
         // v3 publishes first.
         fx.store()
-            .publish_write(fx.blob, &e3, &fx.chain(), &leaves(3, 2, 4));
+            .publish_write(fx.blob, &e3, &fx.chain(), &leaves(3, 2, 4))
+            .unwrap();
         // Reads of v3's left subtree would dangle here — which is exactly
         // why the version manager delays revealing v3 until v2 commits.
         // Now v2 publishes.
         fx.store()
-            .publish_write(fx.blob, &e2, &fx.chain(), &leaves(2, 0, 2));
+            .publish_write(fx.blob, &e2, &fx.chain(), &leaves(2, 0, 2))
+            .unwrap();
         // v3's snapshot correctly shows v2's blocks on the left.
         assert_eq!(
             fx.blocks_of(3, 4, (0, 4)),
@@ -491,7 +506,9 @@ mod tests {
             size_after: 4 * 64,
         };
         fx.log.write().push(e2);
-        fx.store().publish_repair(fx.blob, &e2, &fx.chain());
+        fx.store()
+            .publish_repair(fx.blob, &e2, &fx.chain())
+            .unwrap();
         // v2 reads exactly like v1.
         assert_eq!(
             fx.blocks_of(2, 4, (0, 4)),
@@ -517,7 +534,9 @@ mod tests {
             size_after: 4 * 64,
         };
         fx.log.write().push(e2);
-        fx.store().publish_repair(fx.blob, &e2, &fx.chain());
+        fx.store()
+            .publish_repair(fx.blob, &e2, &fx.chain())
+            .unwrap();
         assert_eq!(
             fx.blocks_of(2, 4, (0, 4)),
             vec![Some(1), Some(101), None, None]

@@ -1,0 +1,320 @@
+//! Service **port traits**: the seams between the client protocol and the
+//! concrete service processes of Fig. 2.
+//!
+//! The paper's throughput claims rest on its service decomposition — version
+//! manager, provider manager, data providers, metadata DHT — and on the
+//! client protocol never caring *where* those services run. This module
+//! makes that decomposition explicit in the type system: the client
+//! ([`crate::client`]) is written against three object-safe traits and a
+//! deployment wires in adapters:
+//!
+//! * [`BlockStore`] — the data providers of a deployment, addressed by dense
+//!   provider index (the provider manager allocates by index).
+//! * [`MetaStore`] — the metadata DHT storing segment-tree nodes.
+//! * [`VersionService`] — the version manager: the serialization point of
+//!   the protocol (§III-A.4) plus snapshot/branch/GC bookkeeping.
+//!
+//! Three adapter families ship in-tree:
+//!
+//! 1. the **in-memory** structs ([`crate::block_store::ProviderSet`],
+//!    [`crate::dht::MetaDht`], [`crate::version_manager::VersionManager`]),
+//!    now lock-striped (see [`crate::sharded`]);
+//! 2. the **simnet-backed** adapters (`experiments::simport`) that charge a
+//!    discrete-event cost model per call so the figure drivers exercise the
+//!    real client code path;
+//! 3. the **fault-injecting** decorators ([`crate::faults`]) that drop,
+//!    delay or duplicate puts for crash-consistency tests.
+//!
+//! Everything here is object-safe on purpose (`Arc<dyn …>` wiring): later
+//! PRs can add RPC-backed or async-bridged adapters without touching any
+//! protocol code.
+
+use crate::meta::key::NodeKey;
+use crate::meta::log::LogChain;
+use crate::meta::node::TreeNode;
+use crate::version_manager::{SnapshotInfo, WriteIntent, WriteTicket};
+use blobseer_types::{BlobId, BlockId, NodeId, Result, Version};
+use bytes::Bytes;
+use std::time::Duration;
+
+/// The data providers of a deployment, addressed by dense provider index
+/// `0..len()` — the index space the provider manager allocates in.
+///
+/// Blocks are immutable once stored; `put` with an id the provider already
+/// holds must be idempotent for identical content.
+pub trait BlockStore: Send + Sync {
+    /// Number of providers in the deployment.
+    fn len(&self) -> usize;
+
+    /// The cluster node hosting provider `i` (locality scheduling, §IV-C).
+    fn node(&self, provider: usize) -> NodeId;
+
+    /// Finds the dense index of the provider hosted on `node`, if any.
+    fn index_of_node(&self, node: NodeId) -> Option<usize>;
+
+    /// Stores a block on provider `i`.
+    fn put(&self, provider: usize, id: BlockId, data: Bytes) -> Result<()>;
+
+    /// Fetches a block from provider `i` (zero-copy clone).
+    fn get(&self, provider: usize, id: BlockId) -> Result<Bytes>;
+
+    /// True if provider `i` holds the block.
+    fn contains(&self, provider: usize, id: BlockId) -> bool;
+
+    /// Deletes a block from provider `i`; returns the bytes freed (0 if
+    /// absent).
+    fn delete(&self, provider: usize, id: BlockId) -> u64;
+
+    /// Number of blocks currently stored on provider `i`.
+    fn block_count(&self, provider: usize) -> usize;
+
+    /// Payload bytes currently stored on provider `i`.
+    fn bytes_stored(&self, provider: usize) -> u64;
+
+    /// `(puts, gets)` served by provider `i` since deployment.
+    fn op_counts(&self, provider: usize) -> (u64, u64);
+
+    /// True when the adapter exposes no providers. Deployments reject such
+    /// adapters up front (`BlobSeer::deploy_ports`).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-provider block counts — the "data layout vector" of Fig. 3(b).
+    fn layout_vector(&self) -> Vec<u64> {
+        (0..self.len())
+            .map(|i| self.block_count(i) as u64)
+            .collect()
+    }
+
+    /// Total blocks stored across providers.
+    fn total_block_count(&self) -> usize {
+        (0..self.len()).map(|i| self.block_count(i)).sum()
+    }
+
+    /// Total payload bytes stored across providers.
+    fn total_bytes_stored(&self) -> u64 {
+        (0..self.len()).map(|i| self.bytes_stored(i)).sum()
+    }
+}
+
+/// The metadata DHT: segment-tree nodes keyed by `(blob, version, pos)`.
+///
+/// Nodes are immutable; a conflicting re-put must fail with
+/// [`blobseer_types::Error::MetadataConflict`] in every build profile.
+pub trait MetaStore: Send + Sync {
+    /// Stores a node (on all its replicas).
+    fn put(&self, key: NodeKey, node: TreeNode) -> Result<()>;
+
+    /// Fetches a node, trying replicas in order.
+    fn get(&self, key: &NodeKey) -> Result<TreeNode>;
+
+    /// Deletes a node from all replicas; true if any replica existed.
+    fn delete(&self, key: &NodeKey) -> bool;
+
+    /// Number of metadata providers (DHT buckets).
+    fn shard_count(&self) -> usize;
+
+    /// Total nodes stored (replicas counted).
+    fn node_count(&self) -> usize;
+
+    /// Per-shard `(nodes, puts, gets)` — the metadata load distribution.
+    fn shard_stats(&self) -> Vec<(usize, u64, u64)>;
+
+    /// Drops one shard's contents (fault-tolerance testing hook).
+    fn crash_shard(&self, shard: usize);
+}
+
+/// The version manager: assigns versions (the protocol's only serialization
+/// point, §III-A.4), tracks commit/reveal order, and owns the write logs
+/// that snapshot geometry and branching resolve through.
+pub trait VersionService: Send + Sync {
+    /// The configured block size (bytes).
+    fn block_size(&self) -> u64;
+
+    /// Creates a new, empty BLOB.
+    fn create_blob(&self) -> BlobId;
+
+    /// Forks `parent` at revealed version `at` (O(1), shares history).
+    fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId>;
+
+    /// Assigns the next version for a write/append.
+    fn assign(&self, blob: BlobId, intent: WriteIntent) -> Result<WriteTicket>;
+
+    /// Marks `version`'s metadata as written; reveals in version order.
+    fn commit(&self, blob: BlobId, version: Version) -> Result<()>;
+
+    /// The latest revealed snapshot: `(version, size)`.
+    fn latest(&self, blob: BlobId) -> Result<(Version, u64)>;
+
+    /// Geometry and visibility of one snapshot.
+    fn snapshot_info(&self, blob: BlobId, version: Version) -> Result<SnapshotInfo>;
+
+    /// The write-log chain (own log plus ancestry).
+    fn chain(&self, blob: BlobId) -> Result<LogChain>;
+
+    /// Blocks until `version` is revealed or `timeout` elapses.
+    fn wait_revealed(&self, blob: BlobId, version: Version, timeout: Duration) -> Result<()>;
+
+    /// Versions assigned but not yet revealed (diagnostics).
+    fn pending_versions(&self, blob: BlobId) -> Result<Vec<Version>>;
+
+    /// Unregisters a BLOB; returns the root keys of its own revealed
+    /// versions for storage release.
+    fn delete_blob(&self, blob: BlobId) -> Result<Vec<NodeKey>>;
+
+    /// Marks own versions strictly below `keep_from` as collected; returns
+    /// the root keys to release.
+    fn collect_before(&self, blob: BlobId, keep_from: Version) -> Result<Vec<NodeKey>>;
+}
+
+// --- in-memory adapter impls ------------------------------------------------
+
+impl BlockStore for crate::block_store::ProviderSet {
+    fn len(&self) -> usize {
+        crate::block_store::ProviderSet::len(self)
+    }
+    fn node(&self, provider: usize) -> NodeId {
+        self.get(provider).node()
+    }
+    fn index_of_node(&self, node: NodeId) -> Option<usize> {
+        crate::block_store::ProviderSet::index_of_node(self, node)
+    }
+    fn put(&self, provider: usize, id: BlockId, data: Bytes) -> Result<()> {
+        self.get(provider).put(id, data);
+        Ok(())
+    }
+    fn get(&self, provider: usize, id: BlockId) -> Result<Bytes> {
+        self.get(provider).get(id)
+    }
+    fn contains(&self, provider: usize, id: BlockId) -> bool {
+        self.get(provider).contains(id)
+    }
+    fn delete(&self, provider: usize, id: BlockId) -> u64 {
+        self.get(provider).delete(id)
+    }
+    fn block_count(&self, provider: usize) -> usize {
+        self.get(provider).block_count()
+    }
+    fn bytes_stored(&self, provider: usize) -> u64 {
+        self.get(provider).bytes_stored()
+    }
+    fn op_counts(&self, provider: usize) -> (u64, u64) {
+        self.get(provider).op_counts()
+    }
+    fn layout_vector(&self) -> Vec<u64> {
+        crate::block_store::ProviderSet::layout_vector(self)
+    }
+}
+
+impl MetaStore for crate::dht::MetaDht {
+    fn put(&self, key: NodeKey, node: TreeNode) -> Result<()> {
+        crate::dht::MetaDht::put(self, key, node)
+    }
+    fn get(&self, key: &NodeKey) -> Result<TreeNode> {
+        crate::dht::MetaDht::get(self, key)
+    }
+    fn delete(&self, key: &NodeKey) -> bool {
+        crate::dht::MetaDht::delete(self, key)
+    }
+    fn shard_count(&self) -> usize {
+        crate::dht::MetaDht::shard_count(self)
+    }
+    fn node_count(&self) -> usize {
+        crate::dht::MetaDht::node_count(self)
+    }
+    fn shard_stats(&self) -> Vec<(usize, u64, u64)> {
+        crate::dht::MetaDht::shard_stats(self)
+    }
+    fn crash_shard(&self, shard: usize) {
+        crate::dht::MetaDht::crash_shard(self, shard)
+    }
+}
+
+impl VersionService for crate::version_manager::VersionManager {
+    fn block_size(&self) -> u64 {
+        crate::version_manager::VersionManager::block_size(self)
+    }
+    fn create_blob(&self) -> BlobId {
+        crate::version_manager::VersionManager::create_blob(self)
+    }
+    fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId> {
+        crate::version_manager::VersionManager::branch(self, parent, at)
+    }
+    fn assign(&self, blob: BlobId, intent: WriteIntent) -> Result<WriteTicket> {
+        crate::version_manager::VersionManager::assign(self, blob, intent)
+    }
+    fn commit(&self, blob: BlobId, version: Version) -> Result<()> {
+        crate::version_manager::VersionManager::commit(self, blob, version)
+    }
+    fn latest(&self, blob: BlobId) -> Result<(Version, u64)> {
+        crate::version_manager::VersionManager::latest(self, blob)
+    }
+    fn snapshot_info(&self, blob: BlobId, version: Version) -> Result<SnapshotInfo> {
+        crate::version_manager::VersionManager::snapshot_info(self, blob, version)
+    }
+    fn chain(&self, blob: BlobId) -> Result<LogChain> {
+        crate::version_manager::VersionManager::chain(self, blob)
+    }
+    fn wait_revealed(&self, blob: BlobId, version: Version, timeout: Duration) -> Result<()> {
+        crate::version_manager::VersionManager::wait_revealed(self, blob, version, timeout)
+    }
+    fn pending_versions(&self, blob: BlobId) -> Result<Vec<Version>> {
+        crate::version_manager::VersionManager::pending_versions(self, blob)
+    }
+    fn delete_blob(&self, blob: BlobId) -> Result<Vec<NodeKey>> {
+        crate::version_manager::VersionManager::delete_blob(self, blob)
+    }
+    fn collect_before(&self, blob: BlobId, keep_from: Version) -> Result<Vec<NodeKey>> {
+        crate::version_manager::VersionManager::collect_before(self, blob, keep_from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_store::ProviderSet;
+    use crate::dht::MetaDht;
+    use crate::meta::key::Pos;
+    use crate::meta::node::BlockDescriptor;
+    use crate::stats::EngineStats;
+    use crate::version_manager::VersionManager;
+    use std::sync::Arc;
+
+    #[test]
+    fn traits_are_object_safe_and_delegate() {
+        let store: Arc<dyn BlockStore> = Arc::new(ProviderSet::new(2, |i| NodeId::new(i as u64)));
+        store
+            .put(0, BlockId::new(1), Bytes::from_static(b"abc"))
+            .unwrap();
+        assert_eq!(store.get(0, BlockId::new(1)).unwrap().len(), 3);
+        assert_eq!(store.layout_vector(), vec![1, 0]);
+        assert_eq!(store.total_bytes_stored(), 3);
+        assert_eq!(store.total_block_count(), 1);
+        assert!(!store.is_empty());
+        assert_eq!(store.node(1), NodeId::new(1));
+        assert_eq!(store.index_of_node(NodeId::new(1)), Some(1));
+
+        let meta: Arc<dyn MetaStore> = Arc::new(MetaDht::new(4, 1));
+        let key = NodeKey::new(BlobId::new(1), Version::new(1), Pos::new(0, 1));
+        meta.put(
+            key,
+            TreeNode::Leaf(BlockDescriptor {
+                block_id: BlockId::new(9),
+                providers: vec![0],
+                len: 3,
+            }),
+        )
+        .unwrap();
+        assert!(meta.get(&key).is_ok());
+        assert_eq!(meta.shard_count(), 4);
+        assert_eq!(meta.node_count(), 1);
+
+        let vm: Arc<dyn VersionService> =
+            Arc::new(VersionManager::new(64, Arc::new(EngineStats::new())));
+        let blob = vm.create_blob();
+        let t = vm.assign(blob, WriteIntent::Append { size: 64 }).unwrap();
+        vm.commit(blob, t.version).unwrap();
+        assert_eq!(vm.latest(blob).unwrap(), (Version::new(1), 64));
+    }
+}

@@ -1,0 +1,197 @@
+//! Lock-striped concurrent maps for the engine's hot paths.
+//!
+//! The seed implementation guarded every service map — data blocks, DHT
+//! shards, GC refcounts — with one global `RwLock<HashMap>`. Under the
+//! paper's headline workload (§V: N concurrent writers hammering the same
+//! deployment) every writer serialized on those locks, which is exactly the
+//! kind of incidental serialization the protocol works so hard to avoid
+//! ("the assignment of versions is the only step … where concurrent
+//! requests are serialized", §III-A.4).
+//!
+//! [`ShardedMap`] stripes one logical map over `N` independently locked
+//! shards selected by key hash, so writers touching different keys proceed
+//! in parallel. `N = 1` degenerates to the seed's single global lock — the
+//! baseline the `store_contention` bench and the ports-equivalence property
+//! tests compare against.
+
+use parking_lot::RwLock;
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+
+/// Default stripe count for the in-memory adapters. Chosen comfortably above
+/// the thread counts the tests and benches drive (16) while keeping the
+/// per-map footprint trivial.
+pub const DEFAULT_SHARDS: usize = 32;
+
+/// A hash map striped over independently locked shards.
+///
+/// The map exposes whole-shard lock access ([`shard_for`](Self::shard_for))
+/// so callers can run compound check-then-act sequences (e.g. the immutable
+/// re-put validation) atomically within one shard, plus clone-out
+/// convenience accessors for the common single-key operations.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Box<[RwLock<HashMap<K, V>>]>,
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// A map striped over `n_shards` locks (1 = one global lock).
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        Self {
+            shards: (0..n_shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `key`. Lock it (`read`/`write`) to run a compound
+    /// operation atomically with respect to every key in the stripe.
+    #[inline]
+    pub fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let i = (self.hasher.hash_one(key) as usize) % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Clone-out lookup.
+    pub fn get_cloned(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shard_for(key).read().get(key).cloned()
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard_for(key).read().contains_key(key)
+    }
+
+    /// Inserts, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard_for(&key).write().insert(key, value)
+    }
+
+    /// Removes, returning the value if it was present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard_for(key).write().remove(key)
+    }
+
+    /// Total entries across all shards. O(shards); each shard is read-locked
+    /// in turn, so the count is a consistent-per-shard snapshot, not a
+    /// point-in-time snapshot of the whole map.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Drops every entry (used by the shard-crash fault hooks).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.write().clear();
+        }
+    }
+
+    /// Runs `f` over every entry, shard by shard (read-locked per shard).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in self.shards.iter() {
+            for (k, v) in s.read().iter() {
+                f(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_map_semantics() {
+        let m: ShardedMap<u64, String> = ShardedMap::new(4);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a".into()), None);
+        assert_eq!(m.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(m.get_cloned(&1), Some("b".into()));
+        assert!(m.contains_key(&1));
+        assert!(!m.contains_key(&2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&1), Some("b".into()));
+        assert_eq!(m.remove(&1), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn single_shard_behaves_identically() {
+        let global: ShardedMap<u64, u64> = ShardedMap::new(1);
+        let sharded: ShardedMap<u64, u64> = ShardedMap::new(16);
+        for k in 0..500u64 {
+            global.insert(k, k * 3);
+            sharded.insert(k, k * 3);
+        }
+        for k in 0..600u64 {
+            assert_eq!(global.get_cloned(&k), sharded.get_cloned(&k));
+        }
+        assert_eq!(global.len(), sharded.len());
+    }
+
+    #[test]
+    fn compound_shard_ops_are_atomic_per_stripe() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(8);
+        // Check-then-insert under one shard write lock.
+        let mut shard = m.shard_for(&7).write();
+        assert!(!shard.contains_key(&7));
+        shard.insert(7, 1);
+        drop(shard);
+        assert_eq!(m.get_cloned(&7), Some(1));
+    }
+
+    #[test]
+    fn concurrent_writers_land_all_entries() {
+        let m: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new(DEFAULT_SHARDS));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        m.insert(t * 1000 + i, i);
+                        assert_eq!(m.get_cloned(&(t * 1000 + i)), Some(i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.len(), 1600);
+        let mut sum = 0u64;
+        m.for_each(|_, v| sum += v);
+        assert_eq!(sum, 8 * (0..200).sum::<u64>());
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(4);
+        for k in 0..64 {
+            m.insert(k, k);
+        }
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn zero_shards_rejected() {
+        let _: ShardedMap<u64, u64> = ShardedMap::new(0);
+    }
+}

@@ -312,12 +312,12 @@ mod tests {
         let fs = cl.mount(NodeId::new(0));
         write_file(&fs, "/big", &vec![1u8; 4096]).unwrap();
         let stored_before: u64 = (0..4)
-            .map(|i| cl.system().providers().get(i).bytes_stored())
+            .map(|i| cl.system().providers().bytes_stored(i))
             .sum();
         assert_eq!(stored_before, 4096);
         fs.delete("/big", false).unwrap();
         let stored_after: u64 = (0..4)
-            .map(|i| cl.system().providers().get(i).bytes_stored())
+            .map(|i| cl.system().providers().bytes_stored(i))
             .sum();
         assert_eq!(stored_after, 0, "deleting the file frees provider storage");
     }
@@ -329,7 +329,7 @@ mod tests {
         write_file(&fs, "/f", &vec![1u8; 1024]).unwrap();
         write_file(&fs, "/f", &vec![2u8; 256]).unwrap();
         let stored: u64 = (0..4)
-            .map(|i| cl.system().providers().get(i).bytes_stored())
+            .map(|i| cl.system().providers().bytes_stored(i))
             .sum();
         assert_eq!(stored, 256, "old file's storage reclaimed on overwrite");
         assert_eq!(read_fully(&fs, "/f").unwrap(), vec![2u8; 256]);

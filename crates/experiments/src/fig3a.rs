@@ -1,34 +1,66 @@
 //! Fig. 3(a): throughput of a single remote writer as the file grows from
 //! 1 to 16 GB (§V-D).
 //!
-//! The model executes the two write protocols block by block on the
-//! discrete-event simulator:
-//!
-//! * **BSFS** — per 64 MB append: client-side cache flush cost → provider
-//!   manager RPC → bulk flow to the round-robin provider (streamed to its
-//!   disk) → version-manager assignment (queued, O(1)) → parallel tree-node
-//!   puts to the metadata DHT (node count from the *real* segment-tree
-//!   arithmetic in `blobseer_core::meta::shape`) → commit. Every provider
-//!   sees at most a couple of blocks, so disks never queue: the curve is
-//!   flat.
-//! * **HDFS** — per 64 MB chunk: pipeline overhead → namenode allocation,
-//!   whose cost *grows with the file's chunk count* (0.20's OP_ADD rewrote
-//!   the file's entire block list into the synchronously-fsynced edit log
-//!   on every allocation) → bulk flow to the sticky-random datanode →
-//!   finalize. The O(chunks) namenode term bends the curve downward as the
-//!   file grows — the decline the paper attributes to HDFS's weaker
-//!   write path.
+//! * **BSFS** — runs the **real client protocol** end-to-end through the
+//!   simnet-backed port adapters ([`crate::simport`]): every
+//!   `BlobClient::append` performs the genuine data phase (provider-manager
+//!   allocation + block put), version assignment, segment-tree publish and
+//!   commit, while the adapters charge the §V cost model — cache-flush
+//!   overhead and PM RPC, a 64 MB flow absorbed by the provider's disk,
+//!   serialized version-manager service, parallel tree-node puts to the
+//!   metadata DHT, commit round-trip. Every provider sees at most a couple
+//!   of blocks, so disks never queue: the curve is flat.
+//! * **HDFS** — per 64 MB chunk on the discrete-event world: pipeline
+//!   overhead → namenode allocation, whose cost *grows with the file's
+//!   chunk count* (0.20's OP_ADD rewrote the file's entire block list into
+//!   the synchronously-fsynced edit log on every allocation) → bulk flow to
+//!   the sticky-random datanode → finalize. The O(chunks) namenode term
+//!   bends the curve downward as the file grows — the decline the paper
+//!   attributes to HDFS's weaker write path.
 
 use crate::constants::Constants;
 use crate::fig3b::policy_for;
 use crate::report::{Figure, Series};
+use crate::simport;
 use crate::topology::{Backend, Services};
-use blobseer_core::meta::key::BlockRange;
-use blobseer_core::meta::log::LogEntry;
-use blobseer_core::meta::shape;
 use blobseer_core::placement::Placer;
-use blobseer_types::{NodeId, Version};
+use blobseer_types::NodeId;
 use simnet::{start_flow, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration, SimTime};
+
+/// Real engine block size behind each modeled 64 MB block of the BSFS leg:
+/// big enough to hold real content, small enough that a modeled 16 GB file
+/// costs only 256 KB of actual memory.
+const BSFS_REAL_BLOCK: u64 = 1024;
+
+/// The BSFS leg: the real client driving the simnet-backed deployment.
+fn bsfs_throughput_via_ports(c: &Constants, n_blocks: usize, seed: u64) -> f64 {
+    let providers = Backend::Bsfs.microbench_storage_nodes();
+    let dep = simport::deploy(
+        c,
+        providers,
+        policy_for(c, Backend::Bsfs),
+        seed,
+        BSFS_REAL_BLOCK,
+    );
+    let client = dep.client();
+    let blob = client.create();
+    let payload = vec![0u8; BSFS_REAL_BLOCK as usize];
+    for _ in 0..n_blocks {
+        // Block-aligned appends: the paper's workload, and the fast path
+        // that never waits on a predecessor's reveal.
+        client.append(blob, &payload).unwrap();
+    }
+    assert_eq!(
+        dep.sys.providers().total_block_count(),
+        n_blocks,
+        "every modeled block must be really stored"
+    );
+    let end = dep.fabric.lock().now();
+    let bytes = n_blocks as f64 * c.block_bytes as f64;
+    bytes / (1024.0 * 1024.0) / end.as_secs_f64()
+}
+
+// --- the HDFS discrete-event world ------------------------------------------
 
 #[derive(Clone, Copy)]
 struct Tok {
@@ -40,14 +72,11 @@ struct World {
     net: FlowNet<Tok>,
     disks: Vec<simnet::Disk>,
     c: Constants,
-    backend: Backend,
     services: Services,
     targets: Vec<usize>,
     n_blocks: usize,
     next_block: usize,
     client_node: NodeId,
-    /// Running tree capacity in blocks (BSFS metadata arithmetic).
-    cap: u64,
     finished: Option<SimTime>,
 }
 
@@ -57,7 +86,7 @@ impl NetWorld for World {
         &mut self.net
     }
     fn on_flow_complete(&mut self, sched: &mut Scheduler<Self>, tok: Tok) {
-        // Stream hit the provider: its disk has been absorbing it since the
+        // Stream hit the datanode: its disk has been absorbing it since the
         // flow started; the ack returns when both network and disk are done.
         let disk_done = self.disks[tok.provider].submit(tok.started, self.c.block_bytes);
         let ack = disk_done.max(sched.now()) + self.c.provider_svc;
@@ -66,41 +95,34 @@ impl NetWorld for World {
 }
 
 impl World {
-    fn new(c: Constants, backend: Backend, n_blocks: usize, seed: u64) -> Self {
-        let providers = backend.microbench_storage_nodes();
-        // Nodes: 0..P providers, node P = the (dedicated, non-colocated)
+    fn new(c: Constants, n_blocks: usize, seed: u64) -> Self {
+        let providers = Backend::Hdfs.microbench_storage_nodes();
+        // Nodes: 0..P datanodes, node P = the (dedicated, non-colocated)
         // client (§V-D: "we chose to always deploy clients on nodes where
         // no datanode has previously been deployed").
         let net = FlowNet::new(providers + 1, NicSpec::symmetric(c.nic_bps));
         let disks = (0..providers)
             .map(|_| simnet::Disk::new(c.disk_write_bps))
             .collect();
-        let mut placer = Placer::new(policy_for(&c, backend), seed);
+        let mut placer = Placer::new(policy_for(&c, Backend::Hdfs), seed);
         let loads = vec![0u64; providers];
         let targets = (0..n_blocks).map(|_| placer.pick(&loads, &[])).collect();
-        let meta_shards = if backend == Backend::Bsfs {
-            c.meta_shards
-        } else {
-            0
-        };
-        let services = Services::new(&c, backend, meta_shards);
+        let services = Services::new(&c, Backend::Hdfs, 0);
         Self {
             net,
             disks,
             c,
-            backend,
             services,
             targets,
             n_blocks,
             next_block: 0,
             client_node: NodeId::new(providers as u64),
-            cap: 0,
             finished: None,
         }
     }
 
-    /// Starts the next block's cycle: client overhead + allocation RPC,
-    /// then the bulk transfer.
+    /// Starts the next chunk's cycle: pipeline overhead + namenode
+    /// allocation, then the bulk transfer.
     fn start_block(&mut self, sched: &mut Scheduler<Self>) {
         if self.next_block == self.n_blocks {
             self.finished = Some(sched.now());
@@ -108,21 +130,13 @@ impl World {
         }
         let now = sched.now();
         let k = self.next_block as u64;
-        let flow_at = match self.backend {
-            Backend::Bsfs => {
-                // Cache flush cost, then the provider-manager RPC.
-                now + self.c.bsfs_block_overhead + self.c.rtt()
-            }
-            Backend::Hdfs => {
-                // Pipeline overhead, then the namenode block allocation:
-                // base + edit-log fsync + O(chunk-count) block-list rewrite.
-                let svc = self.c.nn_svc
-                    + self.c.nn_editlog_fsync
-                    + SimDuration::from_nanos(self.c.nn_blocklist_per_chunk.as_nanos() * k);
-                let t = now + self.c.hdfs_chunk_overhead;
-                self.services.central_call(t, svc, self.c.latency)
-            }
-        };
+        // Pipeline overhead, then the namenode block allocation:
+        // base + edit-log fsync + O(chunk-count) block-list rewrite.
+        let svc = self.c.nn_svc
+            + self.c.nn_editlog_fsync
+            + SimDuration::from_nanos(self.c.nn_blocklist_per_chunk.as_nanos() * k);
+        let t = now + self.c.hdfs_chunk_overhead;
+        let flow_at = self.services.central_call(t, svc, self.c.latency);
         sched.schedule_at(flow_at, |w: &mut World, s| {
             let provider = w.targets[w.next_block];
             let tok = Tok {
@@ -140,52 +154,30 @@ impl World {
         });
     }
 
-    /// Data phase done; run the metadata phase (BSFS) or finish the chunk
-    /// (HDFS, whose namenode was charged up front).
+    /// Data phase done; the chunk is finished (the namenode was charged up
+    /// front).
     fn after_data(&mut self, sched: &mut Scheduler<Self>) {
-        let now = sched.now();
-        let done_at = match self.backend {
-            Backend::Hdfs => now,
-            Backend::Bsfs => {
-                // Version assignment (serialized, O(1))...
-                let assigned =
-                    self.services
-                        .central_call(now, self.c.vm_assign_svc, self.c.latency);
-                // ...then the tree-node puts, counted by the real segment
-                // tree arithmetic, in parallel across the DHT...
-                let k = self.next_block as u64;
-                let cap_before = self.cap;
-                let cap_after = (k + 1).next_power_of_two();
-                self.cap = cap_after;
-                let entry = LogEntry {
-                    version: Version::new(k + 1),
-                    blocks: BlockRange::new(k, k + 1),
-                    cap_before,
-                    cap_after,
-                    size_after: (k + 1) * self.c.block_bytes,
-                };
-                let puts_done = self.services.meta_parallel(
-                    assigned,
-                    shape::nodes_created(&entry),
-                    self.c.latency,
-                );
-                // ...then the commit notification.
-                puts_done + self.c.rtt()
-            }
-        };
         self.next_block += 1;
-        sched.schedule_at(done_at, |w: &mut World, s| w.start_block(s));
+        let now = sched.now();
+        sched.schedule_at(now, |w: &mut World, s| w.start_block(s));
     }
 }
 
-/// Simulates one single-writer run; returns throughput in MB/s.
-pub fn throughput_mbps(c: &Constants, backend: Backend, n_blocks: usize, seed: u64) -> f64 {
-    let mut sim = Sim::new(World::new(c.clone(), backend, n_blocks, seed));
+fn hdfs_throughput_des(c: &Constants, n_blocks: usize, seed: u64) -> f64 {
+    let mut sim = Sim::new(World::new(c.clone(), n_blocks, seed));
     sim.schedule_in(SimDuration::ZERO, |w: &mut World, s| w.start_block(s));
     let end = sim.run_until_idle();
     assert!(sim.world.finished.is_some(), "writer did not finish");
     let bytes = n_blocks as f64 * c.block_bytes as f64;
     bytes / (1024.0 * 1024.0) / end.as_secs_f64()
+}
+
+/// Simulates one single-writer run; returns throughput in MB/s.
+pub fn throughput_mbps(c: &Constants, backend: Backend, n_blocks: usize, seed: u64) -> f64 {
+    match backend {
+        Backend::Bsfs => bsfs_throughput_via_ports(c, n_blocks, seed),
+        Backend::Hdfs => hdfs_throughput_des(c, n_blocks, seed),
+    }
 }
 
 /// Reproduces Fig. 3(a): write throughput vs file size (GB), averaged over
@@ -221,6 +213,7 @@ pub fn paper_sizes() -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blobseer_types::config::PlacementPolicy;
 
     #[test]
     fn bsfs_is_faster_and_flat() {
@@ -261,5 +254,26 @@ mod tests {
         let a = throughput_mbps(&c, Backend::Hdfs, 32, 9);
         let b = throughput_mbps(&c, Backend::Hdfs, 32, 9);
         assert_eq!(a, b);
+        let a = throughput_mbps(&c, Backend::Bsfs, 32, 9);
+        let b = throughput_mbps(&c, Backend::Bsfs, 32, 9);
+        assert_eq!(a, b, "ports-backed BSFS leg is deterministic too");
+    }
+
+    #[test]
+    fn bsfs_leg_exercises_the_real_metadata_path() {
+        // The figure run must leave behind genuine engine state: segment
+        // trees in the DHT and a readable BLOB history — proof the trait
+        // calls went through the real client, not bespoke glue.
+        let c = Constants::default();
+        let dep = simport::deploy(&c, 16, PlacementPolicy::RoundRobin, 3, 256);
+        let client = dep.client();
+        let blob = client.create();
+        for _ in 0..8 {
+            client.append(blob, &vec![9u8; 256]).unwrap();
+        }
+        assert_eq!(client.history(blob).unwrap().len(), 8);
+        assert!(dep.sys.dht().node_count() > 8, "tree nodes were published");
+        let data = client.read(blob, None, 0, 8 * 256).unwrap();
+        assert!(data.iter().all(|&b| b == 9));
     }
 }

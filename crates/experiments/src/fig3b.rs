@@ -2,29 +2,41 @@
 //! the Manhattan distance between the data-layout vector and a perfectly
 //! balanced layout (§V-D).
 //!
-//! This experiment is policy-level: it runs the *same placement code* the
-//! live engines use (`blobseer_core::placement`) at the paper's scale —
-//! 1→16 GB files striped in 64 MB blocks over 247 providers (BSFS) or
-//! 269 datanodes (HDFS) — and averages 5 repetitions like the paper.
+//! The figure is produced by the **real engine**: each run deploys the
+//! client over the simnet-backed port adapters ([`crate::simport`]) with
+//! the backend's placement policy, appends the file block by block through
+//! `BlobClient::append` — so the layout comes from the live provider
+//! manager's allocation stream, not a detached policy loop — and measures
+//! the resulting provider layout vector, at the paper's scale: 1→16 GB
+//! files striped in 64 MB blocks over 247 providers (BSFS) or 269
+//! datanodes (HDFS, whose sticky-random session policy runs on the same
+//! placement code). Averages 5 repetitions like the paper.
 
 use crate::constants::Constants;
 use crate::report::{Figure, Series};
+use crate::simport;
 use crate::topology::Backend;
-use blobseer_core::placement::{manhattan_unbalance, Placer};
+use blobseer_core::placement::manhattan_unbalance;
 use blobseer_types::config::PlacementPolicy;
 
 /// Repetitions per point ("these steps are repeated 5 times", §V-C).
 pub const REPETITIONS: u64 = 5;
 
-/// Unbalance of one placement run.
+/// Real engine block size behind each modeled 64 MB block: the unbalance
+/// metric only depends on the placement stream, so the payloads stay tiny.
+const REAL_BLOCK: u64 = 64;
+
+/// Unbalance of one placement run, measured off the real deployment's
+/// layout vector after writing the file through the client.
 pub fn unbalance_of(policy: PlacementPolicy, n_blocks: u64, n_providers: usize, seed: u64) -> f64 {
-    let mut placer = Placer::new(policy, seed);
-    let mut loads = vec![0u64; n_providers];
+    let dep = simport::deploy(&Constants::default(), n_providers, policy, seed, REAL_BLOCK);
+    let client = dep.client();
+    let blob = client.create();
+    let payload = vec![0u8; REAL_BLOCK as usize];
     for _ in 0..n_blocks {
-        let i = placer.pick(&loads, &[]);
-        loads[i] += 1;
+        client.append(blob, &payload).unwrap();
     }
-    manhattan_unbalance(&loads)
+    manhattan_unbalance(&dep.sys.layout_vector())
 }
 
 /// Mean unbalance over the standard repetitions.

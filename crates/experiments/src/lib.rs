@@ -11,10 +11,15 @@
 //! | [`fig5`]  | Fig. 5    | 1→250 concurrent appenders, shared BLOB |
 //! | [`fig6`]  | Fig. 6(a)/(b) | RandomTextWriter & distributed grep |
 //!
-//! The models re-use the live engine's *protocol logic* — placement
-//! policies and segment-tree node arithmetic come from `blobseer_core` —
-//! while data movement becomes flows in `simnet`. Calibrated constants
-//! live in [`constants`] and are discussed in EXPERIMENTS.md.
+//! The single-writer figures (3a/3b) run the **real client protocol** over
+//! the simnet-backed port adapters of [`simport`]: the same
+//! `BlockStore`/`MetaStore`/`VersionService` calls as an in-memory
+//! deployment, with each call charged against the §V cost model. The
+//! concurrent-client figures keep discrete-event worlds that re-use the
+//! live engine's protocol arithmetic — placement policies and segment-tree
+//! node counts come from `blobseer_core` — while data movement becomes
+//! flows in `simnet`. Calibrated constants live in [`constants`] and are
+//! discussed in EXPERIMENTS.md.
 
 pub mod constants;
 pub mod fig3a;
@@ -23,6 +28,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod report;
+pub mod simport;
 pub mod topology;
 
 pub use constants::Constants;

@@ -1,0 +1,443 @@
+//! Simnet-backed adapters for the service ports: the figure drivers run the
+//! **real** client protocol (`blobseer_core::client`) while every trait call
+//! is charged against the discrete-event cost model of §V.
+//!
+//! The seed's microbenchmark worlds re-implemented the write protocol as
+//! bespoke event-handler glue; any drift between that glue and the live
+//! engine silently invalidated the figures. Here the same
+//! [`BlockStore`]/[`MetaStore`]/[`VersionService`] calls the in-memory
+//! deployment makes are routed through decorators that:
+//!
+//! * really store the data/metadata (wrapping the lock-striped in-memory
+//!   adapters, at a small *real* block size), and
+//! * advance a simulated clock in a shared [`SimFabric`] — simnet flows for
+//!   the bulk transfers, [`Disk`] FIFOs for provider disks, [`FifoServer`]s
+//!   for the version manager and the metadata providers — **as if** every
+//!   block were the paper's 64 MB.
+//!
+//! The cost arithmetic matches the seed's BSFS world step by step (client
+//! overhead + provider-manager RPC, flow + disk absorption + provider
+//! service, serialized version assignment, parallel tree-node puts issued
+//! at the metadata-phase start, commit round-trip), so the reproduced
+//! figures keep their calibrated absolute levels while the protocol
+//! decisions (placement, segment-tree shape, version bookkeeping) now come
+//! from the genuine client code path.
+//!
+//! The fabric models one synchronous client driving the deployment — the
+//! single-writer scenarios of Fig. 3. Concurrent-client figures (4–6) keep
+//! their event-kernel worlds, where flow bandwidth sharing needs true
+//! event interleaving.
+
+use crate::constants::Constants;
+use blobseer_core::block_store::ProviderSet;
+use blobseer_core::dht::MetaDht;
+use blobseer_core::meta::key::NodeKey;
+use blobseer_core::meta::log::LogChain;
+use blobseer_core::meta::node::TreeNode;
+use blobseer_core::ports::{BlockStore, MetaStore, VersionService};
+use blobseer_core::provider_manager::ProviderManager;
+use blobseer_core::{
+    BlobSeer, EnginePorts, EngineStats, SnapshotInfo, VersionManager, WriteIntent, WriteTicket,
+};
+use blobseer_types::config::PlacementPolicy;
+use blobseer_types::{BlobId, BlobSeerConfig, BlockId, NodeId, Result, Version};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simnet::{Disk, FifoServer, FlowNet, NicSpec, SimTime};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The shared discrete-event state all simnet-backed adapters charge into.
+pub struct SimFabric {
+    c: Constants,
+    clock: SimTime,
+    net: FlowNet<()>,
+    write_disks: Vec<Disk>,
+    read_disks: Vec<Disk>,
+    /// The version manager's RPC queue — the protocol's serialization point.
+    central: FifoServer,
+    /// The metadata providers' RPC queues.
+    meta: Vec<FifoServer>,
+    meta_rr: usize,
+    /// Instant the current metadata phase began: tree-node puts are issued
+    /// in parallel from here (§III-D's parallel metadata phase), even
+    /// though the synchronous client publishes them one call at a time.
+    meta_phase_start: SimTime,
+    /// Bytes each block is *modeled* as (the paper's 64 MB), independent of
+    /// the small real payloads the driver moves.
+    modeled_block_bytes: u64,
+    client_node: NodeId,
+}
+
+impl SimFabric {
+    fn new(c: Constants, n_providers: usize) -> Self {
+        let net = FlowNet::new(n_providers + 1, NicSpec::symmetric(c.nic_bps));
+        Self {
+            clock: SimTime::ZERO,
+            net,
+            write_disks: (0..n_providers)
+                .map(|_| Disk::new(c.disk_write_bps))
+                .collect(),
+            read_disks: (0..n_providers)
+                .map(|_| Disk::new(c.disk_read_bps))
+                .collect(),
+            central: FifoServer::new(c.vm_assign_svc),
+            meta: (0..c.meta_shards.max(1))
+                .map(|_| FifoServer::new(c.meta_svc))
+                .collect(),
+            meta_rr: 0,
+            meta_phase_start: SimTime::ZERO,
+            modeled_block_bytes: c.block_bytes,
+            client_node: NodeId::new(n_providers as u64),
+            c,
+        }
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The node the modeled client runs on (the non-colocated node past the
+    /// providers, §V-D).
+    pub fn client_node(&self) -> NodeId {
+        self.client_node
+    }
+
+    /// Bytes every block put/get is charged as.
+    pub fn modeled_block_bytes(&self) -> u64 {
+        self.modeled_block_bytes
+    }
+
+    /// Data phase of one block (§III-D step 1): client-side overhead, the
+    /// provider-manager RPC, then the bulk flow to the provider — whose
+    /// disk absorbs the stream from the flow's start — and the provider's
+    /// per-block service.
+    fn charge_block_put(&mut self, provider: usize) {
+        let t0 = self.clock + self.c.bsfs_block_overhead + self.c.rtt();
+        self.net.start(
+            t0,
+            self.client_node,
+            NodeId::new(provider as u64),
+            self.modeled_block_bytes,
+            (),
+        );
+        let (net_done, _) = self
+            .net
+            .run_to_next_completion()
+            .expect("the just-started flow is active");
+        let disk_done = self.write_disks[provider].submit(t0, self.modeled_block_bytes);
+        self.clock = net_done.max(disk_done) + self.c.provider_svc;
+    }
+
+    /// A block fetch: request round-trip, disk read queued behind earlier
+    /// reads on that provider, bulk flow back to the client.
+    fn charge_block_get(&mut self, provider: usize) {
+        let t0 = self.clock + self.c.bsfs_read_overhead + self.c.rtt();
+        let disk_done = self.read_disks[provider].submit(t0, self.modeled_block_bytes);
+        self.net.start(
+            disk_done,
+            NodeId::new(provider as u64),
+            self.client_node,
+            self.modeled_block_bytes,
+            (),
+        );
+        let (net_done, _) = self
+            .net
+            .run_to_next_completion()
+            .expect("the just-started flow is active");
+        self.clock = net_done;
+    }
+
+    /// Version assignment (§III-A.4, the only serialized step): a queued
+    /// RPC to the version manager. Also opens the metadata phase.
+    fn charge_assign(&mut self) {
+        self.clock = self
+            .central
+            .submit_with(self.clock + self.c.latency, self.c.vm_assign_svc)
+            + self.c.latency;
+        self.meta_phase_start = self.clock;
+    }
+
+    /// One tree-node put, issued (with all its siblings) at the metadata
+    /// phase's start and spread round-robin over the metadata providers —
+    /// the parallel metadata phase of §III-D.
+    fn charge_meta_put(&mut self) {
+        let shard = self.meta_rr % self.meta.len();
+        self.meta_rr += 1;
+        let done = self.meta[shard].submit(self.meta_phase_start + self.c.latency) + self.c.latency;
+        if done > self.clock {
+            self.clock = done;
+        }
+    }
+
+    /// One tree-node get during a root-to-leaf descent: hops are
+    /// sequential (each child reference is only known after its parent
+    /// arrives).
+    fn charge_meta_get(&mut self) {
+        let shard = self.meta_rr % self.meta.len();
+        self.meta_rr += 1;
+        self.clock = self.meta[shard].submit(self.clock + self.c.latency) + self.c.latency;
+    }
+
+    /// Commit notification to the version manager.
+    fn charge_commit(&mut self) {
+        self.clock += self.c.rtt();
+    }
+}
+
+/// [`BlockStore`] adapter: stores real (small) blocks in the wrapped
+/// in-memory providers while charging each put/get as a modeled 64 MB
+/// transfer.
+pub struct SimBlockStore {
+    inner: ProviderSet,
+    fabric: Arc<Mutex<SimFabric>>,
+}
+
+impl BlockStore for SimBlockStore {
+    fn len(&self) -> usize {
+        BlockStore::len(&self.inner)
+    }
+    fn node(&self, provider: usize) -> NodeId {
+        BlockStore::node(&self.inner, provider)
+    }
+    fn index_of_node(&self, node: NodeId) -> Option<usize> {
+        BlockStore::index_of_node(&self.inner, node)
+    }
+    fn put(&self, provider: usize, id: BlockId, data: Bytes) -> Result<()> {
+        self.fabric.lock().charge_block_put(provider);
+        BlockStore::put(&self.inner, provider, id, data)
+    }
+    fn get(&self, provider: usize, id: BlockId) -> Result<Bytes> {
+        self.fabric.lock().charge_block_get(provider);
+        BlockStore::get(&self.inner, provider, id)
+    }
+    fn contains(&self, provider: usize, id: BlockId) -> bool {
+        BlockStore::contains(&self.inner, provider, id)
+    }
+    fn delete(&self, provider: usize, id: BlockId) -> u64 {
+        BlockStore::delete(&self.inner, provider, id)
+    }
+    fn block_count(&self, provider: usize) -> usize {
+        BlockStore::block_count(&self.inner, provider)
+    }
+    fn bytes_stored(&self, provider: usize) -> u64 {
+        BlockStore::bytes_stored(&self.inner, provider)
+    }
+    fn op_counts(&self, provider: usize) -> (u64, u64) {
+        BlockStore::op_counts(&self.inner, provider)
+    }
+}
+
+/// [`MetaStore`] adapter: real tree nodes into the wrapped DHT, with puts
+/// charged as the parallel metadata phase and gets as sequential descent
+/// hops.
+pub struct SimMetaStore {
+    inner: MetaDht,
+    fabric: Arc<Mutex<SimFabric>>,
+}
+
+impl MetaStore for SimMetaStore {
+    fn put(&self, key: NodeKey, node: TreeNode) -> Result<()> {
+        self.fabric.lock().charge_meta_put();
+        MetaStore::put(&self.inner, key, node)
+    }
+    fn get(&self, key: &NodeKey) -> Result<TreeNode> {
+        self.fabric.lock().charge_meta_get();
+        MetaStore::get(&self.inner, key)
+    }
+    fn delete(&self, key: &NodeKey) -> bool {
+        MetaStore::delete(&self.inner, key)
+    }
+    fn shard_count(&self) -> usize {
+        MetaStore::shard_count(&self.inner)
+    }
+    fn node_count(&self) -> usize {
+        MetaStore::node_count(&self.inner)
+    }
+    fn shard_stats(&self) -> Vec<(usize, u64, u64)> {
+        MetaStore::shard_stats(&self.inner)
+    }
+    fn crash_shard(&self, shard: usize) {
+        MetaStore::crash_shard(&self.inner, shard)
+    }
+}
+
+/// [`VersionService`] adapter: the real version manager, with assignment
+/// charged through the central FIFO queue and commits as a round-trip.
+pub struct SimVersionService {
+    inner: VersionManager,
+    fabric: Arc<Mutex<SimFabric>>,
+}
+
+impl VersionService for SimVersionService {
+    fn block_size(&self) -> u64 {
+        self.inner.block_size()
+    }
+    fn create_blob(&self) -> BlobId {
+        self.inner.create_blob()
+    }
+    fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId> {
+        self.inner.branch(parent, at)
+    }
+    fn assign(&self, blob: BlobId, intent: WriteIntent) -> Result<WriteTicket> {
+        let ticket = self.inner.assign(blob, intent)?;
+        self.fabric.lock().charge_assign();
+        Ok(ticket)
+    }
+    fn commit(&self, blob: BlobId, version: Version) -> Result<()> {
+        self.inner.commit(blob, version)?;
+        self.fabric.lock().charge_commit();
+        Ok(())
+    }
+    fn latest(&self, blob: BlobId) -> Result<(Version, u64)> {
+        self.inner.latest(blob)
+    }
+    fn snapshot_info(&self, blob: BlobId, version: Version) -> Result<SnapshotInfo> {
+        self.inner.snapshot_info(blob, version)
+    }
+    fn chain(&self, blob: BlobId) -> Result<LogChain> {
+        self.inner.chain(blob)
+    }
+    fn wait_revealed(&self, blob: BlobId, version: Version, timeout: Duration) -> Result<()> {
+        self.inner.wait_revealed(blob, version, timeout)
+    }
+    fn pending_versions(&self, blob: BlobId) -> Result<Vec<Version>> {
+        self.inner.pending_versions(blob)
+    }
+    fn delete_blob(&self, blob: BlobId) -> Result<Vec<NodeKey>> {
+        self.inner.delete_blob(blob)
+    }
+    fn collect_before(&self, blob: BlobId, keep_from: Version) -> Result<Vec<NodeKey>> {
+        self.inner.collect_before(blob, keep_from)
+    }
+}
+
+/// A full simnet-backed deployment: the real engine wired to the charging
+/// adapters, plus a handle on the fabric for reading the simulated clock.
+pub struct SimDeployment {
+    /// The deployment; obtain clients with `sys.client(..)`.
+    pub sys: Arc<BlobSeer>,
+    /// The shared cost-model state.
+    pub fabric: Arc<Mutex<SimFabric>>,
+    /// The real (small) block size the engine runs at.
+    pub real_block_size: u64,
+}
+
+impl SimDeployment {
+    /// A client on the modeled client node.
+    pub fn client(&self) -> blobseer_core::BlobClient {
+        let node = self.fabric.lock().client_node();
+        self.sys.client(node)
+    }
+}
+
+/// Deploys the real engine over the simnet-backed adapters.
+///
+/// `real_block_size` is the engine's actual block size — keep it small
+/// (kilobytes) so GB-scale modeled files stay cheap to materialize; every
+/// block is *charged* as `c.block_bytes` (64 MB) regardless. `seed` feeds
+/// the provider manager's placement stream exactly like the seed's
+/// policy-level runs did.
+pub fn deploy(
+    c: &Constants,
+    n_providers: usize,
+    policy: PlacementPolicy,
+    seed: u64,
+    real_block_size: u64,
+) -> SimDeployment {
+    let fabric = Arc::new(Mutex::new(SimFabric::new(c.clone(), n_providers)));
+    let cfg = BlobSeerConfig {
+        block_size: real_block_size,
+        replication: 1,
+        placement: policy,
+        metadata_providers: c.meta_shards.max(1),
+        metadata_replication: 1,
+        ..BlobSeerConfig::small_for_tests()
+    };
+    let stats = Arc::new(EngineStats::new());
+    let ports = EnginePorts {
+        providers: Arc::new(SimBlockStore {
+            inner: ProviderSet::new(n_providers, |i| NodeId::new(i as u64)),
+            fabric: Arc::clone(&fabric),
+        }),
+        dht: Arc::new(SimMetaStore {
+            inner: MetaDht::new(cfg.metadata_providers, cfg.metadata_replication),
+            fabric: Arc::clone(&fabric),
+        }),
+        vm: Arc::new(SimVersionService {
+            inner: VersionManager::new(real_block_size, Arc::clone(&stats)),
+            fabric: Arc::clone(&fabric),
+        }),
+        pm: Arc::new(ProviderManager::new(n_providers, policy, seed)),
+        stats,
+    };
+    SimDeployment {
+        sys: BlobSeer::deploy_ports(cfg, ports),
+        fabric,
+        real_block_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimDuration;
+
+    #[test]
+    fn appends_store_real_data_and_advance_the_clock() {
+        let c = Constants::default();
+        let dep = deploy(&c, 8, PlacementPolicy::RoundRobin, 1, 1024);
+        let client = dep.client();
+        let blob = client.create();
+        let payload = vec![7u8; 1024];
+        for _ in 0..4 {
+            client.append(blob, &payload).unwrap();
+        }
+        // Real engine state: 4 blocks, readable content, proper versions.
+        assert_eq!(client.latest(blob).unwrap(), (Version::new(4), 4096));
+        let data = client.read(blob, None, 0, 4096).unwrap();
+        assert!(data.iter().all(|&b| b == 7));
+        assert_eq!(dep.sys.providers().total_block_count(), 4);
+        // Simulated time: at least 4 modeled 64 MB transfers at NIC rate.
+        let end = dep.fabric.lock().now();
+        let floor = 4.0 * c.block_bytes as f64 / c.nic_bps;
+        assert!(
+            end.as_secs_f64() > floor,
+            "clock {end} must exceed the pure-transfer floor {floor:.2}s"
+        );
+    }
+
+    #[test]
+    fn reads_charge_the_read_path() {
+        let c = Constants::default();
+        let dep = deploy(&c, 4, PlacementPolicy::RoundRobin, 2, 512);
+        let client = dep.client();
+        let blob = client.create();
+        client.append(blob, &vec![1u8; 512]).unwrap();
+        let after_write = dep.fabric.lock().now();
+        client.read(blob, None, 0, 512).unwrap();
+        let after_read = dep.fabric.lock().now();
+        assert!(
+            (after_read - after_write) > SimDuration::from_millis(500),
+            "a modeled 64 MB read costs real simulated time"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = Constants::default();
+        let run = |seed| {
+            let dep = deploy(&c, 16, PlacementPolicy::Random, seed, 256);
+            let client = dep.client();
+            let blob = client.create();
+            for _ in 0..8 {
+                client.append(blob, &vec![0u8; 256]).unwrap();
+            }
+            let t = dep.fabric.lock().now();
+            (dep.sys.layout_vector(), t)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).0, run(10).0, "different placement stream");
+    }
+}

@@ -246,6 +246,20 @@ impl<T> FlowNet<T> {
         best.map(|secs| self.last_advance + SimDuration::from_secs_f64(secs))
     }
 
+    /// Runs the network forward to the next flow completion *without* the
+    /// event kernel: advances the clock to the earliest completion instant
+    /// and removes the finished flows. Returns `(instant, tokens)`, or
+    /// `None` when no flow is active.
+    ///
+    /// Sequential simulations — e.g. the ports-backed figure drivers that
+    /// charge one transfer at a time from a synchronous client call — use
+    /// this instead of arming kernel wake-ups.
+    pub fn run_to_next_completion(&mut self) -> Option<(SimTime, Vec<T>)> {
+        let at = self.next_completion()?;
+        self.advance(at);
+        Some((at, self.take_completed()))
+    }
+
     /// Current rate of a flow in bytes/s (0 if completed/unknown).
     pub fn flow_rate(&self, id: FlowId) -> f64 {
         self.slots
@@ -543,6 +557,21 @@ mod tests {
         assert!(net.flow_rate(b) > 0.0);
         let (started, completed) = net.flow_stats();
         assert_eq!((started, completed), (2, 1));
+    }
+
+    #[test]
+    fn run_to_next_completion_drains_sequentially() {
+        let mut net: FlowNet<u32> = FlowNet::new(2, NicSpec::symmetric(100.0));
+        assert!(net.run_to_next_completion().is_none(), "idle net");
+        net.start(SimTime::ZERO, NodeId::new(0), NodeId::new(1), 100, 5);
+        let (at, done) = net.run_to_next_completion().unwrap();
+        assert!(close(at.as_secs_f64(), 1.0, 1e-6));
+        assert_eq!(done, vec![5]);
+        // A follow-up flow started at the returned instant chains cleanly.
+        net.start(at, NodeId::new(0), NodeId::new(1), 200, 6);
+        let (at2, done2) = net.run_to_next_completion().unwrap();
+        assert!(close((at2 - at).as_secs_f64(), 2.0, 1e-6));
+        assert_eq!(done2, vec![6]);
     }
 
     // --- kernel integration -------------------------------------------------

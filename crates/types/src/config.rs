@@ -5,6 +5,13 @@
 //! placement for BlobSeer. Tests and benches shrink the block size so that
 //! realistic multi-block files fit in memory.
 
+use std::time::Duration;
+
+/// Default patience of the unaligned-append slow path: how long a writer
+/// waits for the preceding snapshot's reveal before repairing its own
+/// version (see `blobseer_core::client` module docs).
+pub const DEFAULT_UNALIGNED_APPEND_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Placement policy used by the provider manager (§III-B: "a load balancing
 /// strategy that aims at evenly distributing the blocks across data
 /// providers").
@@ -48,6 +55,11 @@ pub struct BlobSeerConfig {
     /// How many versions back from the latest must be preserved by the
     /// garbage collector. `None` disables automatic pruning.
     pub gc_keep_versions: Option<u64>,
+    /// How long an unaligned append waits for the preceding snapshot's
+    /// reveal before giving up and repairing its assigned version. Tests
+    /// and simulation runs shrink this so a crashed predecessor does not
+    /// stall them for the full production patience.
+    pub unaligned_append_timeout: Duration,
 }
 
 impl Default for BlobSeerConfig {
@@ -59,6 +71,7 @@ impl Default for BlobSeerConfig {
             metadata_providers: 20,
             metadata_replication: 1,
             gc_keep_versions: None,
+            unaligned_append_timeout: DEFAULT_UNALIGNED_APPEND_TIMEOUT,
         }
     }
 }
@@ -74,6 +87,7 @@ impl BlobSeerConfig {
             metadata_providers: 4,
             metadata_replication: 1,
             gc_keep_versions: None,
+            unaligned_append_timeout: DEFAULT_UNALIGNED_APPEND_TIMEOUT,
         }
     }
 
@@ -105,6 +119,13 @@ impl BlobSeerConfig {
     pub fn with_metadata_providers(mut self, n: usize) -> Self {
         assert!(n >= 1, "need at least one metadata provider");
         self.metadata_providers = n;
+        self
+    }
+
+    /// Builder-style override of the unaligned-append patience.
+    #[must_use]
+    pub fn with_unaligned_append_timeout(mut self, timeout: Duration) -> Self {
+        self.unaligned_append_timeout = timeout;
         self
     }
 }
@@ -182,6 +203,7 @@ mod tests {
         assert_eq!(c.replication, 1);
         assert_eq!(c.placement, PlacementPolicy::RoundRobin);
         assert_eq!(c.metadata_providers, 20);
+        assert_eq!(c.unaligned_append_timeout, Duration::from_secs(30));
 
         let h = HdfsConfig::default();
         assert_eq!(h.chunk_size, 64 * 1024 * 1024);
@@ -194,7 +216,9 @@ mod tests {
             .with_block_size(1024)
             .with_replication(3)
             .with_placement(PlacementPolicy::LeastLoaded)
-            .with_metadata_providers(2);
+            .with_metadata_providers(2)
+            .with_unaligned_append_timeout(Duration::from_millis(50));
+        assert_eq!(c.unaligned_append_timeout, Duration::from_millis(50));
         assert_eq!(c.block_size, 1024);
         assert_eq!(c.replication, 3);
         assert_eq!(c.placement, PlacementPolicy::LeastLoaded);

@@ -29,6 +29,12 @@ pub enum Error {
     },
     /// A metadata tree node expected to exist was not found in the DHT.
     MissingMetadata(String),
+    /// A metadata tree node was re-put with content that differs from the
+    /// stored copy. Metadata is immutable (§III-A.4): a conflicting re-put
+    /// means two writers disagree about the same `(blob, version, position)`
+    /// — an engine bug or a byzantine client — and must never be silently
+    /// resolved by keeping either copy. Raised in every build profile.
+    MetadataConflict(String),
     /// A data block expected to exist was not found on its provider.
     MissingBlock(u64),
     /// No data provider could be allocated (e.g. all providers are full or
@@ -76,6 +82,10 @@ impl fmt::Display for Error {
                 "read past end of snapshot: requested up to byte {requested_end} but snapshot holds {snapshot_size}"
             ),
             Error::MissingMetadata(k) => write!(f, "metadata node missing from DHT: {k}"),
+            Error::MetadataConflict(k) => write!(
+                f,
+                "metadata node re-put with conflicting content (metadata is immutable): {k}"
+            ),
             Error::MissingBlock(b) => write!(f, "data block blk#{b} missing from its provider"),
             Error::NoProviderAvailable(why) => write!(f, "no data provider available: {why}"),
             Error::NotFound(p) => write!(f, "path not found: {p}"),

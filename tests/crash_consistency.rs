@@ -1,0 +1,269 @@
+//! Crash-consistency tests: the engine's behavior when puts are dropped,
+//! delayed, duplicated or refused by the storage fabric — driven through
+//! the fault-injecting port decorators (`blobseer_core::faults`).
+//!
+//! The paper handles writer failure with "minimal mechanisms" (§VI-B):
+//! lost data shows up as missing blocks/metadata on read, never as silent
+//! corruption, and the immutable versioned history keeps every *other*
+//! snapshot readable. These tests pin that contract down.
+
+use blobseer_core::faults::{FaultPlan, FaultyBlockStore, FaultyMetaStore, PutFault};
+use blobseer_core::meta::node::{BlockDescriptor, TreeNode};
+use blobseer_core::{BlobSeer, EnginePorts, WriteIntent};
+use blobseer_types::{BlobSeerConfig, BlockId, Error, NodeId, Version};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BLOCK: u64 = 64;
+
+struct Rig {
+    sys: Arc<BlobSeer>,
+    data_plan: Arc<FaultPlan>,
+    meta_plan: Arc<FaultPlan>,
+    data_store: Arc<FaultyBlockStore>,
+    meta_store: Arc<FaultyMetaStore>,
+}
+
+/// A deployment whose block store and metadata store are wrapped in
+/// independently scriptable fault decorators.
+fn rig() -> Rig {
+    let cfg = BlobSeerConfig::small_for_tests().with_block_size(BLOCK);
+    let base = EnginePorts::in_memory(&cfg, (0..4).map(NodeId::new).collect(), 0x0BAD_5EED);
+    let data_plan = FaultPlan::new();
+    let meta_plan = FaultPlan::new();
+    let data_store = Arc::new(FaultyBlockStore::new(
+        Arc::clone(&base.providers),
+        Arc::clone(&data_plan),
+    ));
+    let meta_store = Arc::new(FaultyMetaStore::new(
+        Arc::clone(&base.dht),
+        Arc::clone(&meta_plan),
+    ));
+    let ports = EnginePorts {
+        providers: Arc::clone(&data_store) as Arc<dyn blobseer_core::BlockStore>,
+        dht: Arc::clone(&meta_store) as Arc<dyn blobseer_core::MetaStore>,
+        ..base
+    };
+    Rig {
+        sys: BlobSeer::deploy_ports(cfg, ports),
+        data_plan,
+        meta_plan,
+        data_store,
+        meta_store,
+    }
+}
+
+#[test]
+fn dropped_data_put_is_detected_on_read_and_healed_by_rewrite() {
+    let r = rig();
+    let c = r.sys.client(NodeId::new(0));
+    let blob = c.create();
+    c.write(blob, 0, &[1u8; 64]).unwrap();
+
+    // The fabric silently loses the block after acking the put: the write
+    // commits, but reading it surfaces MissingBlock — loss is loud, never
+    // silent corruption.
+    r.data_plan.set(PutFault::Drop);
+    let v2 = c.write(blob, 0, &[2u8; 64]).unwrap();
+    assert_eq!(r.data_plan.counters().0, 1, "one put dropped");
+    assert!(matches!(
+        c.read(blob, Some(v2), 0, 64),
+        Err(Error::MissingBlock(_))
+    ));
+    // History before the loss stays fully readable.
+    let v1 = c.read(blob, Some(Version::new(1)), 0, 64).unwrap();
+    assert!(v1.iter().all(|&b| b == 1));
+
+    // A healthy rewrite of the range heals the latest view.
+    r.data_plan.set(PutFault::None);
+    let v3 = c.write(blob, 0, &[3u8; 64]).unwrap();
+    let data = c.read(blob, Some(v3), 0, 64).unwrap();
+    assert!(data.iter().all(|&b| b == 3));
+}
+
+#[test]
+fn refused_data_put_aborts_before_version_assignment() {
+    let r = rig();
+    let c = r.sys.client(NodeId::new(0));
+    let blob = c.create();
+    c.write(blob, 0, &[1u8; 64]).unwrap();
+
+    // The provider refuses the put: the data phase fails before the client
+    // ever reaches the version manager, so the snapshot history is
+    // untouched — no pending version, no stall.
+    r.data_plan.set(PutFault::Fail);
+    let err = c.write(blob, 0, &[9u8; 64]).unwrap_err();
+    assert!(matches!(err, Error::WriteAborted(_)), "{err}");
+    assert_eq!(c.latest(blob).unwrap().0, Version::new(1));
+    assert!(r
+        .sys
+        .version_manager()
+        .pending_versions(blob)
+        .unwrap()
+        .is_empty());
+
+    // The very next healthy write takes version 2 as if nothing happened.
+    r.data_plan.set(PutFault::None);
+    assert_eq!(c.write(blob, 0, &[2u8; 64]).unwrap(), Version::new(2));
+}
+
+#[test]
+fn delayed_metadata_becomes_visible_after_late_arrival() {
+    let r = rig();
+    let c = r.sys.client(NodeId::new(0));
+    let blob = c.create();
+    c.write(blob, 0, &[1u8; 128]).unwrap();
+
+    // The DHT buffers the writer's tree nodes (in-flight messages): the
+    // version commits but its metadata is unreadable until the messages
+    // land.
+    r.meta_plan.set(PutFault::Delay);
+    let v2 = c.write(blob, 64, &[2u8; 64]).unwrap();
+    assert!(r.meta_plan.counters().2 > 0, "tree-node puts were delayed");
+    assert!(matches!(
+        c.read(blob, Some(v2), 0, 128),
+        Err(Error::MissingMetadata(_))
+    ));
+
+    // Late arrival: the buffered puts apply cleanly (immutable nodes are
+    // order-insensitive) and the snapshot becomes readable.
+    r.meta_plan.set(PutFault::None);
+    r.meta_store.flush_delayed().unwrap();
+    let data = c.read(blob, Some(v2), 0, 128).unwrap();
+    assert!(data[..64].iter().all(|&b| b == 1));
+    assert!(data[64..].iter().all(|&b| b == 2));
+}
+
+#[test]
+fn duplicated_puts_are_observationally_invisible() {
+    let clean = rig();
+    let dup = rig();
+    for r in [&clean, &dup] {
+        if std::ptr::eq(r, &dup) {
+            r.data_plan.set(PutFault::Duplicate);
+            r.meta_plan.set(PutFault::Duplicate);
+        }
+        let c = r.sys.client(NodeId::new(0));
+        let blob = c.create();
+        c.write(blob, 0, &[1u8; 256]).unwrap();
+        c.append(blob, &[2u8; 64]).unwrap();
+    }
+    // Retried-but-delivered RPCs change nothing observable: same stored
+    // bytes (no double counting), same node population, same reads.
+    assert!(dup.data_plan.counters().3 > 0, "data puts were duplicated");
+    assert!(dup.meta_plan.counters().3 > 0, "meta puts were duplicated");
+    assert_eq!(
+        clean.sys.providers().total_bytes_stored(),
+        dup.sys.providers().total_bytes_stored()
+    );
+    assert_eq!(
+        clean.sys.providers().total_block_count(),
+        dup.sys.providers().total_block_count()
+    );
+    assert_eq!(clean.sys.dht().node_count(), dup.sys.dht().node_count());
+    let c = dup.sys.client(NodeId::new(0));
+    let data = c
+        .read(blobseer_types::BlobId::new(1), None, 0, 320)
+        .unwrap();
+    assert!(data[..256].iter().all(|&b| b == 1));
+    assert!(data[256..].iter().all(|&b| b == 2));
+    // Sanity: the decorator really exercised the idempotent re-put path.
+    let _ = &dup.data_store;
+}
+
+#[test]
+fn transient_metadata_refusal_self_repairs_the_pipeline() {
+    // The version was already assigned when the metadata phase failed: the
+    // writer must repair its own version on the way out, or every later
+    // write would commit without ever revealing.
+    let r = rig();
+    let c = r.sys.client(NodeId::new(0));
+    let blob = c.create();
+    c.write(blob, 0, &[1u8; 64]).unwrap();
+
+    r.meta_plan.set(PutFault::FailOnce);
+    let err = c.write(blob, 0, &[2u8; 64]).unwrap_err();
+    assert!(matches!(err, Error::WriteAborted(_)), "{err}");
+    assert_eq!(r.meta_plan.counters().1, 1, "exactly one refused put");
+
+    // The failed write's version (v2) was repaired: nothing pending, the
+    // repaired snapshot reads as v1's content, and the next write reveals
+    // normally as v3.
+    assert!(r
+        .sys
+        .version_manager()
+        .pending_versions(blob)
+        .unwrap()
+        .is_empty());
+    assert_eq!(c.latest(blob).unwrap().0, Version::new(2));
+    let repaired = c.read(blob, Some(Version::new(2)), 0, 64).unwrap();
+    assert!(repaired.iter().all(|&b| b == 1), "repair aliases v1");
+    let v3 = c.write(blob, 0, &[3u8; 64]).unwrap();
+    assert_eq!(v3, Version::new(3));
+    assert_eq!(c.latest(blob).unwrap().0, v3);
+}
+
+#[test]
+fn conflicting_metadata_reput_is_refused_end_to_end() {
+    let r = rig();
+    let c = r.sys.client(NodeId::new(0));
+    let blob = c.create();
+    let v1 = c.write(blob, 0, &[1u8; 64]).unwrap();
+
+    // A byzantine/diverged writer re-puts the committed root with different
+    // content: the DHT refuses in every build profile (the seed silently
+    // kept the old node in release builds), and readers keep seeing the
+    // original.
+    let root = r
+        .sys
+        .version_manager()
+        .snapshot_info(blob, v1)
+        .unwrap()
+        .root_key();
+    let forged = TreeNode::Leaf(BlockDescriptor {
+        block_id: BlockId::new(0xDEAD),
+        providers: vec![0],
+        len: 64,
+    });
+    let err = r.sys.dht().put(root, forged).unwrap_err();
+    assert!(matches!(err, Error::MetadataConflict(_)), "{err}");
+    let data = c.read(blob, Some(v1), 0, 64).unwrap();
+    assert!(data.iter().all(|&b| b == 1));
+}
+
+#[test]
+fn unaligned_append_timeout_is_configurable_and_repairs() {
+    // Satellite check: the unaligned-append patience comes from the config
+    // (the seed hard-coded 30 s), so a crashed predecessor only stalls an
+    // unaligned appender for the configured window before self-repair.
+    let cfg = BlobSeerConfig::small_for_tests()
+        .with_block_size(BLOCK)
+        .with_unaligned_append_timeout(Duration::from_millis(50));
+    let sys = BlobSeer::deploy(cfg, 4);
+    let c = sys.client(NodeId::new(0));
+    let blob = c.create();
+    c.append(blob, &[1u8; 10]).unwrap(); // v1: unaligned tail at 10 bytes
+
+    // v2 is assigned and abandoned (crashed writer).
+    let _stuck = sys
+        .version_manager()
+        .assign(blob, WriteIntent::Append { size: 10 })
+        .unwrap();
+
+    // v3 is an unaligned append: it must wait for v2's reveal, give up
+    // after ~50 ms, repair itself, and surface the timeout.
+    let t0 = Instant::now();
+    let err = c.append(blob, &[3u8; 10]).unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(matches!(err, Error::Timeout(_)), "{err}");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "configured 50 ms patience must beat the 30 s default: {elapsed:?}"
+    );
+    // v3 repaired itself: once v2 is also repaired, the pipeline reveals
+    // v3 with v1's content preserved.
+    c.repair_aborted(&_stuck).unwrap();
+    assert_eq!(c.latest(blob).unwrap().0, Version::new(3));
+    let data = c.read(blob, None, 0, 10).unwrap();
+    assert!(data.iter().all(|&b| b == 1), "prefix preserved by repairs");
+}

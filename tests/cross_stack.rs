@@ -244,10 +244,10 @@ fn delete_reclaims_replicated_storage() {
     let cluster = BsfsCluster::new(Arc::clone(&sys));
     let fs = cluster.mount(NodeId::new(0));
     write_file(&fs, "/r", &vec![5u8; (3 * BLOCK) as usize]).unwrap();
-    let stored: u64 = sys.providers().iter().map(|p| p.bytes_stored()).sum();
+    let stored: u64 = sys.providers().total_bytes_stored();
     assert_eq!(stored, 2 * 3 * BLOCK, "two replicas of three blocks");
     fs.delete("/r", false).unwrap();
-    let stored: u64 = sys.providers().iter().map(|p| p.bytes_stored()).sum();
+    let stored: u64 = sys.providers().total_bytes_stored();
     assert_eq!(stored, 0);
     assert_eq!(sys.dht().node_count(), 0, "metadata fully reclaimed too");
 }

@@ -1,0 +1,193 @@
+//! Observational equivalence of the lock-striped adapters and the seed's
+//! single-global-lock layout.
+//!
+//! The sharded maps behind `DataProvider`/`MetaProvider`/`GcTracker` must
+//! be a pure performance change: for every interleaved put/get/delete
+//! workload, a deployment striped over many locks must be observationally
+//! identical to one striped over a single lock (which *is* the seed's
+//! `RwLock<HashMap>` layout). Property tests drive both with the same
+//! random scripts; a threaded test checks the concurrent path agrees on
+//! final state.
+
+use blobseer_core::block_store::{DataProvider, ProviderSet};
+use blobseer_core::dht::MetaDht;
+use blobseer_core::meta::key::{NodeKey, Pos};
+use blobseer_core::meta::node::{BlockDescriptor, TreeNode};
+use blobseer_core::ports::BlockStore;
+use blobseer_types::{BlobId, BlockId, Error, NodeId, Version};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One step of a block-store workload. Several logical writers' scripts are
+/// interleaved by construction: the generator draws (writer, op) pairs and
+/// the keys are namespaced per writer, exactly the access pattern of
+/// concurrent clients that never violate block immutability.
+#[derive(Clone, Debug)]
+enum BlockOp {
+    Put { writer: u8, key: u8 },
+    Get { writer: u8, key: u8 },
+    Delete { writer: u8, key: u8 },
+}
+
+fn block_ops() -> impl Strategy<Value = Vec<BlockOp>> {
+    let op = prop_oneof![
+        (0u8..4, any::<u8>()).prop_map(|(writer, key)| BlockOp::Put { writer, key }),
+        (0u8..4, any::<u8>()).prop_map(|(writer, key)| BlockOp::Get { writer, key }),
+        (0u8..4, any::<u8>()).prop_map(|(writer, key)| BlockOp::Delete { writer, key }),
+    ];
+    proptest::collection::vec(op, 1..200)
+}
+
+/// Deterministic content per block id, so re-puts are always idempotent.
+fn content(writer: u8, key: u8) -> Bytes {
+    Bytes::from(vec![writer ^ key; 1 + (key % 7) as usize])
+}
+
+fn block_id(writer: u8, key: u8) -> BlockId {
+    BlockId::new(1 + writer as u64 * 1000 + key as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sharded data provider behaves exactly like the global-lock one
+    /// under interleaved put/get/delete scripts.
+    #[test]
+    fn sharded_data_provider_matches_global_lock(ops in block_ops()) {
+        let global = DataProvider::with_shards(NodeId::new(0), 1);
+        let sharded = DataProvider::with_shards(NodeId::new(0), 32);
+        for op in &ops {
+            match *op {
+                BlockOp::Put { writer, key } => {
+                    let id = block_id(writer, key);
+                    global.put(id, content(writer, key));
+                    sharded.put(id, content(writer, key));
+                }
+                BlockOp::Get { writer, key } => {
+                    let id = block_id(writer, key);
+                    prop_assert_eq!(global.get(id), sharded.get(id));
+                }
+                BlockOp::Delete { writer, key } => {
+                    let id = block_id(writer, key);
+                    prop_assert_eq!(global.delete(id), sharded.delete(id));
+                }
+            }
+            prop_assert_eq!(global.block_count(), sharded.block_count());
+            prop_assert_eq!(global.bytes_stored(), sharded.bytes_stored());
+        }
+        // Full final sweep over the whole key space.
+        for writer in 0..4u8 {
+            for key in 0..=255u8 {
+                let id = block_id(writer, key);
+                prop_assert_eq!(global.contains(id), sharded.contains(id));
+                prop_assert_eq!(global.get(id).ok(), sharded.get(id).ok());
+            }
+        }
+    }
+
+    /// Same for the metadata DHT, including conflict outcomes.
+    #[test]
+    fn sharded_meta_dht_matches_global_lock(ops in block_ops()) {
+        let global = MetaDht::with_stripes(4, 2, 1);
+        let sharded = MetaDht::with_stripes(4, 2, 32);
+        let key_of = |writer: u8, key: u8| {
+            NodeKey::new(
+                BlobId::new(1 + writer as u64),
+                Version::new(1 + (key % 13) as u64),
+                Pos::new(key as u64, 1),
+            )
+        };
+        let node_of = |writer: u8, key: u8| {
+            TreeNode::Leaf(BlockDescriptor {
+                block_id: block_id(writer, key),
+                providers: vec![writer as u32],
+                len: 64,
+            })
+        };
+        for op in &ops {
+            match *op {
+                BlockOp::Put { writer, key } => {
+                    let a = global.put(key_of(writer, key), node_of(writer, key));
+                    let b = sharded.put(key_of(writer, key), node_of(writer, key));
+                    prop_assert_eq!(a, b);
+                }
+                BlockOp::Get { writer, key } => {
+                    prop_assert_eq!(
+                        global.get(&key_of(writer, key)),
+                        sharded.get(&key_of(writer, key))
+                    );
+                }
+                BlockOp::Delete { writer, key } => {
+                    prop_assert_eq!(
+                        global.delete(&key_of(writer, key)),
+                        sharded.delete(&key_of(writer, key))
+                    );
+                }
+            }
+            prop_assert_eq!(global.node_count(), sharded.node_count());
+        }
+    }
+}
+
+#[test]
+fn conflicting_reputs_fail_identically_on_both_layouts() {
+    for stripes in [1usize, 32] {
+        let dht = MetaDht::with_stripes(4, 1, stripes);
+        let key = NodeKey::new(BlobId::new(1), Version::new(1), Pos::new(0, 1));
+        let leaf = |b: u64| {
+            TreeNode::Leaf(BlockDescriptor {
+                block_id: BlockId::new(b),
+                providers: vec![0],
+                len: 8,
+            })
+        };
+        dht.put(key, leaf(1)).unwrap();
+        let err = dht.put(key, leaf(2)).unwrap_err();
+        assert!(
+            matches!(err, Error::MetadataConflict(_)),
+            "stripes={stripes}: {err}"
+        );
+        assert_eq!(dht.get(&key).unwrap(), leaf(1), "stripes={stripes}");
+    }
+}
+
+#[test]
+fn threaded_workload_converges_to_identical_state() {
+    // 8 threads hammer both layouts with the same per-thread scripts
+    // (disjoint key spaces, so the interleaving cannot change outcomes);
+    // both must converge to the same observable state.
+    let run = |shards: usize| {
+        let set = Arc::new(ProviderSet::with_shards(
+            2,
+            |i| NodeId::new(i as u64),
+            shards,
+        ));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                std::thread::spawn(move || {
+                    for i in 0..300u64 {
+                        let id = BlockId::new(1 + t * 10_000 + i);
+                        let data = Bytes::from(vec![(t ^ i) as u8; 8]);
+                        let p = (i % 2) as usize;
+                        BlockStore::put(&*set, p, id, data).unwrap();
+                        assert_eq!(BlockStore::get(&*set, p, id).unwrap().len(), 8);
+                        if i % 3 == 0 {
+                            BlockStore::delete(&*set, p, id);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        (
+            set.layout_vector(),
+            BlockStore::total_bytes_stored(&*set),
+            BlockStore::total_block_count(&*set),
+        )
+    };
+    assert_eq!(run(1), run(32));
+}
