@@ -2,6 +2,11 @@
 //! throughput for 1→250 clients (§V-F). BSFS only: "we could not perform
 //! the same experiment for HDFS, since it does not implement the append
 //! operation".
+//!
+//! Pass `--writes` for the §V-F closing ablation: the same harness running
+//! block-aligned `write`s at random offsets next to the append curve —
+//! "the same experiment performed with writes instead of appends leads to
+//! very similar results".
 
 use experiments::{fig5, Constants};
 
@@ -12,5 +17,10 @@ fn main() {
     } else {
         fig5::paper_counts()
     };
-    bench::print_figure(&fig5::run(&c, &counts));
+    let fig = if std::env::args().any(|a| a == "--writes") {
+        fig5::run_writes(&c, &counts)
+    } else {
+        fig5::run(&c, &counts)
+    };
+    bench::print_figure(&fig);
 }

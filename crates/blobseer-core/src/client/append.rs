@@ -1,8 +1,10 @@
 //! The append path: optimistic block-aligned data phase, version-manager
 //! offset fixing, and the rare unaligned-tail slow path (§III-D).
 
+use crate::ports::{ProtocolOp, ProtocolPhase};
 use crate::version_manager::WriteIntent;
 use blobseer_types::{BlobId, Error, Result, Version};
+use bytes::Bytes;
 
 use super::BlobClient;
 
@@ -17,16 +19,19 @@ impl BlobClient {
             ));
         }
         let bs = self.sys.cfg.block_size;
+        self.observe(ProtocolOp::Append, ProtocolPhase::Start);
         // Optimistic data phase: chunk as if the append lands block-aligned
         // (always true for BSFS's write-behind cache and for the paper's
         // workloads). Descriptors are keyed relative to block 0 for now.
-        let optimistic = self.store_blocks(data, 0)?;
+        let optimistic = self.store_blocks(Bytes::copy_from_slice(data), 0)?;
+        self.observe(ProtocolOp::Append, ProtocolPhase::DataDone);
         let ticket = self.sys.vm.assign(
             blob,
             WriteIntent::Append {
                 size: data.len() as u64,
             },
         )?;
+        self.observe(ProtocolOp::Append, ProtocolPhase::VersionAssigned);
         let leaves = if ticket.offset.is_multiple_of(bs) {
             // Re-key descriptors at the real first block index.
             let first = ticket.offset / bs;
@@ -62,9 +67,20 @@ impl BlobClient {
             }
             // A failure in the redone data phase would also strand the
             // assigned version: self-repair before surfacing it.
+            // The predecessor just revealed, so the pinned merge snapshot
+            // is exactly the preceding version and its size.
             let redo = self
-                .merge_boundaries(blob, ticket.offset, data, ticket.prev_size)
-                .and_then(|merged| self.store_blocks(&merged.payload, merged.start / bs));
+                .merge_boundaries(
+                    blob,
+                    ticket.offset,
+                    data,
+                    ticket.prev_size,
+                    (ticket.version.prev(), ticket.prev_size),
+                )
+                .and_then(|merged| {
+                    let first_block = merged.start / bs;
+                    self.store_blocks(merged.payload, first_block)
+                });
             match redo {
                 Ok(leaves) => leaves.into_iter().collect(),
                 Err(e) => {
@@ -73,7 +89,7 @@ impl BlobClient {
                 }
             }
         };
-        self.publish_and_commit(&ticket, leaves)?;
+        self.publish_and_commit(ProtocolOp::Append, &ticket, leaves)?;
         Ok((ticket.offset, ticket.version))
     }
 }

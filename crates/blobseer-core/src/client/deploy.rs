@@ -3,7 +3,7 @@
 
 use crate::gc::GcTracker;
 use crate::meta::tree::TreeStore;
-use crate::ports::{BlockStore, MetaStore, VersionService};
+use crate::ports::{BlockStore, MetaStore, NoopObserver, ProtocolObserver, VersionService};
 use crate::provider_manager::ProviderManager;
 use crate::stats::EngineStats;
 use crate::version_manager::VersionManager;
@@ -30,6 +30,9 @@ pub struct EnginePorts {
     /// Engine counters, shared with any decorators that want to account
     /// their own work.
     pub stats: Arc<EngineStats>,
+    /// Passive observer of protocol phase boundaries
+    /// ([`crate::ports::ProtocolObserver`]); [`NoopObserver`] by default.
+    pub observer: Arc<dyn ProtocolObserver>,
 }
 
 impl EnginePorts {
@@ -58,6 +61,7 @@ impl EnginePorts {
                 pm_seed,
             )),
             stats,
+            observer: Arc::new(NoopObserver),
         }
     }
 }
@@ -72,6 +76,7 @@ pub struct BlobSeer {
     pub(crate) vm: Arc<dyn VersionService>,
     pub(crate) gc: Arc<GcTracker>,
     pub(crate) stats: Arc<EngineStats>,
+    pub(crate) observer: Arc<dyn ProtocolObserver>,
 }
 
 /// Default provider-manager seed of the in-memory deployments (experiments
@@ -113,6 +118,7 @@ impl BlobSeer {
             vm: ports.vm,
             gc: Arc::new(GcTracker::new()),
             stats: ports.stats,
+            observer: ports.observer,
         })
     }
 
@@ -191,6 +197,7 @@ mod tests {
                 7,
             )),
             stats,
+            observer: Arc::new(NoopObserver),
         };
         let sys = BlobSeer::deploy_ports(cfg, ports);
         let c = sys.client(NodeId::new(0));

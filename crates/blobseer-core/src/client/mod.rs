@@ -43,7 +43,7 @@
 //! 1. Implement [`crate::ports::BlockStore`] (and/or
 //!    [`crate::ports::MetaStore`], [`crate::ports::VersionService`]) for
 //!    your transport. Decorators that wrap an existing adapter work too —
-//!    see [`crate::faults`] for fault injection and `experiments::simport`
+//!    see [`crate::faults`] for fault injection and `experiments::concurrent`
 //!    for the simnet-backed cost model driving the figure reproductions.
 //! 2. Assemble an [`EnginePorts`] value (start from
 //!    [`EnginePorts::in_memory`] and replace the fields you customize).
@@ -55,8 +55,8 @@
 //! can be chosen at runtime — the door to RPC and async adapters in later
 //! PRs.
 //!
-//! [`write`]: self::write
-//! [`append`]: self::append
+//! [`write`]: BlobClient::write
+//! [`append`]: BlobClient::append
 
 mod append;
 mod deploy;
@@ -309,6 +309,23 @@ mod tests {
             c.locations(blob, None, u64::MAX - 1, 3),
             Err(Error::OutOfBounds { .. })
         ));
+        // The write path gets the same hardening: a range overflowing u64
+        // is rejected up front, before any geometry math can wrap.
+        assert!(matches!(
+            c.write(blob, u64::MAX - 10, &[0u8; 100]),
+            Err(Error::WriteAborted(_))
+        ));
+        // A range that fits u64 but whose *block-rounded* end does not
+        // must fail the same way (the tail_end rounding would wrap).
+        assert!(matches!(
+            c.write(blob, u64::MAX - 50, &[9u8; 10]),
+            Err(Error::WriteAborted(_))
+        ));
+        assert_eq!(
+            c.latest(blob).unwrap().1,
+            100,
+            "rejected writes left no trace"
+        );
     }
 
     #[test]

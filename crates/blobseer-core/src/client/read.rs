@@ -3,6 +3,7 @@
 //! affinity scheduling (§IV-C).
 
 use crate::meta::key::BlockRange;
+use crate::ports::{ProtocolOp, ProtocolPhase};
 use crate::stats::EngineStats;
 use crate::version_manager::SnapshotInfo;
 use blobseer_types::{BlobId, ByteRange, Error, Result, Version};
@@ -23,6 +24,7 @@ impl BlobClient {
         offset: u64,
         size: u64,
     ) -> Result<Bytes> {
+        self.observe(ProtocolOp::Read, ProtocolPhase::Start);
         let info = self.resolve(blob, version)?;
         self.check_bounds(offset, size, info.size)?;
         if size == 0 {
@@ -34,6 +36,7 @@ impl BlobClient {
             .sys
             .tree()
             .locate(info.root_blob, info.version, info.cap, query)?;
+        self.observe(ProtocolOp::Read, ProtocolPhase::Located);
         let mut out = BytesMut::with_capacity(size as usize);
         let spans = ByteRange::new(offset, size).block_spans(bs);
         for (span, loc) in spans.zip(located.iter()) {
@@ -61,6 +64,7 @@ impl BlobClient {
         }
         debug_assert_eq!(out.len() as u64, size);
         EngineStats::add(&self.sys.stats.bytes_read, size);
+        self.observe(ProtocolOp::Read, ProtocolPhase::Done);
         Ok(out.freeze())
     }
 

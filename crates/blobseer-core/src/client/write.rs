@@ -2,6 +2,7 @@
 //! (§III-D), plus the writer-failure repair hook (§VI-B).
 
 use crate::meta::node::BlockDescriptor;
+use crate::ports::{ProtocolOp, ProtocolPhase};
 use crate::stats::EngineStats;
 use crate::version_manager::{WriteIntent, WriteTicket};
 use blobseer_types::{BlobId, Error, Result, Version};
@@ -26,11 +27,32 @@ impl BlobClient {
             ));
         }
         let bs = self.sys.cfg.block_size;
+        // Overflow-safe, mirroring the read path's check_bounds: a huge
+        // offset must fail cleanly instead of wrapping (release) or
+        // panicking on add/mul-overflow (debug) inside the geometry math.
+        // The *block-rounded* end must fit too — the write's last block
+        // would otherwise extend past the addressable range.
+        // merge_boundaries re-checks defensively (it has other callers),
+        // but rejecting here keeps the failure ahead of the Start
+        // observation and the version-manager lookup: no trace left.
+        let rounded_end = offset
+            .checked_add(data.len() as u64)
+            .and_then(|end| end.checked_next_multiple_of(bs));
+        if rounded_end.is_none() {
+            return Err(Error::WriteAborted(format!(
+                "write range overflows: offset {offset} + {} bytes",
+                data.len()
+            )));
+        }
+        self.observe(ProtocolOp::Write, ProtocolPhase::Start);
         // Read-modify-write alignment against the latest revealed snapshot
-        // (see module docs on block-granularity semantics).
-        let (_, base_size) = self.sys.vm.latest(blob)?;
-        let merged = self.merge_boundaries(blob, offset, data, base_size)?;
-        let leaves = self.store_blocks(&merged.payload, merged.start / bs)?;
+        // (see module docs on block-granularity semantics). One lookup
+        // pins the snapshot used for geometry and both boundary reads.
+        let (revealed, base_size) = self.sys.vm.latest(blob)?;
+        let merged = self.merge_boundaries(blob, offset, data, base_size, (revealed, base_size))?;
+        let first_block = merged.start / bs;
+        let leaves = self.store_blocks(merged.payload, first_block)?;
+        self.observe(ProtocolOp::Write, ProtocolPhase::DataDone);
         let ticket = self.sys.vm.assign(
             blob,
             WriteIntent::Write {
@@ -38,7 +60,8 @@ impl BlobClient {
                 size: data.len() as u64,
             },
         )?;
-        self.publish_and_commit(&ticket, leaves)?;
+        self.observe(ProtocolOp::Write, ProtocolPhase::VersionAssigned);
+        self.publish_and_commit(ProtocolOp::Write, &ticket, leaves)?;
         Ok(ticket.version)
     }
 
@@ -73,33 +96,35 @@ impl BlobClient {
     ///
     /// `base_size` is the size of the *preceding* snapshot (which may still
     /// be in flight for unaligned appends); boundary content is read from
-    /// the latest **revealed** snapshot — the only one readers may access
-    /// (§III-A.5) — and the gap up to `base_size` is zero-filled. This is
-    /// the block-granularity conflict window documented in the module docs.
+    /// one **pinned revealed** snapshot — the only kind readers may access
+    /// (§III-A.5) — passed by the caller as `revealed = (version, size)`
+    /// from the lookup it already performed. Pinning matters: reading
+    /// "latest" twice could straddle a concurrent reveal and merge a
+    /// boundary block from two different snapshots — a state no snapshot
+    /// ever held. The gap up to `base_size` is zero-filled; this is the
+    /// block-granularity conflict window documented in the module docs.
     pub(crate) fn merge_boundaries(
         &self,
         blob: BlobId,
         offset: u64,
         data: &[u8],
         base_size: u64,
+        revealed: (Version, u64),
     ) -> Result<MergedPayload> {
         let bs = self.sys.cfg.block_size;
-        let (_, revealed_size) = self.sys.vm.latest(blob)?;
+        let (pin, revealed_size) = revealed;
         let readable = revealed_size.min(base_size);
-        let end = offset + data.len() as u64;
+        let overflow = || Error::WriteAborted("write range overflows at block rounding".into());
+        let end = offset.checked_add(data.len() as u64).ok_or_else(overflow)?;
         let lead = offset % bs;
         let start = offset - lead;
-        let tail_end = if end.is_multiple_of(bs) {
-            end
-        } else {
-            (end / bs + 1) * bs
-        };
+        let tail_end = end.checked_next_multiple_of(bs).ok_or_else(overflow)?;
         let suffix_end = base_size.min(tail_end).max(end);
         let mut payload = BytesMut::with_capacity((suffix_end - start) as usize);
         if lead > 0 {
             let avail = readable.min(offset).saturating_sub(start);
             if avail > 0 {
-                payload.extend_from_slice(&self.read(blob, None, start, avail)?);
+                payload.extend_from_slice(&self.read(blob, Some(pin), start, avail)?);
             }
             // Zero gap between readable content and the write offset.
             payload.resize((offset - start) as usize, 0);
@@ -108,7 +133,7 @@ impl BlobClient {
         if suffix_end > end {
             let suffix_avail = readable.min(suffix_end).saturating_sub(end);
             if suffix_avail > 0 {
-                payload.extend_from_slice(&self.read(blob, None, end, suffix_avail)?);
+                payload.extend_from_slice(&self.read(blob, Some(pin), end, suffix_avail)?);
             }
             payload.resize((suffix_end - start) as usize, 0);
         }
@@ -128,14 +153,13 @@ impl BlobClient {
     /// snapshot history is untouched.
     pub(crate) fn store_blocks(
         &self,
-        payload: &[u8],
+        payload: Bytes,
         first_block: u64,
     ) -> Result<Vec<(u64, BlockDescriptor)>> {
         let bs = self.sys.cfg.block_size as usize;
         let n_blocks = payload.len().div_ceil(bs);
         let allocs = self.sys.pm.allocate(n_blocks, self.sys.cfg.replication)?;
         let mut out = Vec::with_capacity(n_blocks);
-        let payload = Bytes::copy_from_slice(payload);
         for (i, alloc) in allocs.into_iter().enumerate() {
             let lo = i * bs;
             let hi = ((i + 1) * bs).min(payload.len());
@@ -171,6 +195,7 @@ impl BlobClient {
     /// heals.
     pub(crate) fn publish_and_commit(
         &self,
+        op: ProtocolOp,
         ticket: &WriteTicket,
         leaves: Vec<(u64, BlockDescriptor)>,
     ) -> Result<()> {
@@ -184,6 +209,15 @@ impl BlobClient {
             }
         };
         tree.register_root(root);
-        self.sys.vm.commit(ticket.blob, ticket.version)
+        self.observe(op, ProtocolPhase::MetadataPublished);
+        self.sys.vm.commit(ticket.blob, ticket.version)?;
+        self.observe(op, ProtocolPhase::Committed);
+        Ok(())
+    }
+
+    /// Reports a protocol phase boundary to the deployment's observer.
+    #[inline]
+    pub(crate) fn observe(&self, op: ProtocolOp, phase: ProtocolPhase) {
+        self.sys.observer.phase(self.node, op, phase);
     }
 }

@@ -10,7 +10,7 @@
 //! * **fail** — the put returns [`Error::WriteAborted`] (provider refused or
 //!   unreachable: the client observes the failure immediately);
 //! * **delay** — the put is buffered and only applied on
-//!   [`FaultPlan::flush_delayed`] (reordering / late arrival; never flushing
+//!   [`FaultyBlockStore::flush_delayed`] (reordering / late arrival; never flushing
 //!   models a crash with dirty buffers);
 //! * **duplicate** — the put is applied twice (a retried RPC whose first
 //!   attempt did land: exercises idempotence).
@@ -40,7 +40,7 @@ pub enum PutFault {
     /// pass-through (a transient refusal: the window a writer's
     /// self-repair must survive).
     FailOnce,
-    /// Buffer until [`FaultPlan::flush_delayed`].
+    /// Buffer until [`FaultyBlockStore::flush_delayed`].
     Delay,
     /// Apply twice (simulated retry of a delivered request).
     Duplicate,

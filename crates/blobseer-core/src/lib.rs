@@ -59,7 +59,10 @@ pub use client::{BlobClient, BlobSeer, BlockLocation, EnginePorts};
 pub use faults::{FaultPlan, FaultyBlockStore, FaultyMetaStore, PutFault};
 pub use gc::GcReport;
 pub use placement::{manhattan_unbalance, Placer};
-pub use ports::{BlockStore, MetaStore, VersionService};
+pub use ports::{
+    BlockStore, MetaStore, NoopObserver, ProtocolObserver, ProtocolOp, ProtocolPhase,
+    VersionService,
+};
 pub use sharded::ShardedMap;
 pub use stats::{EngineStats, StatsSnapshot};
 pub use version_manager::{SnapshotInfo, VersionManager, WriteIntent, WriteTicket};

@@ -19,15 +19,26 @@
 //! 1. the **in-memory** structs ([`crate::block_store::ProviderSet`],
 //!    [`crate::dht::MetaDht`], [`crate::version_manager::VersionManager`]),
 //!    now lock-striped (see [`crate::sharded`]);
-//! 2. the **simnet-backed** adapters (`experiments::simport`) that charge a
+//! 2. the **simnet-backed** adapters (`experiments::concurrent`) that charge a
 //!    discrete-event cost model per call so the figure drivers exercise the
 //!    real client code path;
 //! 3. the **fault-injecting** decorators ([`crate::faults`]) that drop,
 //!    delay or duplicate puts for crash-consistency tests.
 //!
+//! A fourth, *passive* port rides along: [`ProtocolObserver`] receives a
+//! callback at every protocol phase boundary (data phase, version
+//! assignment, metadata publish, commit; snapshot resolve, tree descent,
+//! block fetches). Deployments default to [`NoopObserver`]; the
+//! concurrent-client harness (`experiments::concurrent`) installs one that
+//! reads the simulated clock at each boundary, which is how the figures
+//! report where time goes — e.g. the version-manager queueing that bends
+//! Fig. 5 — without the client code knowing it is being simulated.
+//!
 //! Everything here is object-safe on purpose (`Arc<dyn …>` wiring): later
 //! PRs can add RPC-backed or async-bridged adapters without touching any
 //! protocol code.
+
+#![warn(missing_docs)]
 
 use crate::meta::key::NodeKey;
 use crate::meta::log::LogChain;
@@ -42,6 +53,25 @@ use std::time::Duration;
 ///
 /// Blocks are immutable once stored; `put` with an id the provider already
 /// holds must be idempotent for identical content.
+///
+/// # Example
+///
+/// Any adapter is used through `Arc<dyn BlockStore>`; the in-memory
+/// [`crate::block_store::ProviderSet`] is the reference implementation:
+///
+/// ```
+/// use blobseer_core::ports::BlockStore;
+/// use blobseer_core::block_store::ProviderSet;
+/// use blobseer_types::{BlockId, NodeId};
+/// use bytes::Bytes;
+/// use std::sync::Arc;
+///
+/// let store: Arc<dyn BlockStore> = Arc::new(ProviderSet::new(4, |i| NodeId::new(i as u64)));
+/// store.put(2, BlockId::new(7), Bytes::from_static(b"block")).unwrap();
+/// assert_eq!(&store.get(2, BlockId::new(7)).unwrap()[..], b"block");
+/// assert_eq!(store.layout_vector(), vec![0, 0, 1, 0]);
+/// assert_eq!(store.index_of_node(NodeId::new(2)), Some(2));
+/// ```
 pub trait BlockStore: Send + Sync {
     /// Number of providers in the deployment.
     fn len(&self) -> usize;
@@ -102,6 +132,30 @@ pub trait BlockStore: Send + Sync {
 ///
 /// Nodes are immutable; a conflicting re-put must fail with
 /// [`blobseer_types::Error::MetadataConflict`] in every build profile.
+///
+/// # Example
+///
+/// ```
+/// use blobseer_core::ports::MetaStore;
+/// use blobseer_core::dht::MetaDht;
+/// use blobseer_core::meta::key::{NodeKey, Pos};
+/// use blobseer_core::meta::node::{BlockDescriptor, TreeNode};
+/// use blobseer_types::{BlobId, BlockId, Version};
+/// use std::sync::Arc;
+///
+/// let dht: Arc<dyn MetaStore> = Arc::new(MetaDht::new(8, 1));
+/// let key = NodeKey::new(BlobId::new(1), Version::new(1), Pos::new(0, 1));
+/// let leaf = TreeNode::Leaf(BlockDescriptor {
+///     block_id: BlockId::new(42),
+///     providers: vec![0],
+///     len: 64,
+/// });
+/// dht.put(key, leaf.clone()).unwrap();
+/// assert_eq!(dht.get(&key).unwrap(), leaf);
+/// // Tree nodes are immutable: re-putting different content must fail.
+/// let conflicting = TreeNode::LeafAlias(None);
+/// assert!(dht.put(key, conflicting).is_err());
+/// ```
 pub trait MetaStore: Send + Sync {
     /// Stores a node (on all its replicas).
     fn put(&self, key: NodeKey, node: TreeNode) -> Result<()>;
@@ -128,6 +182,27 @@ pub trait MetaStore: Send + Sync {
 /// The version manager: assigns versions (the protocol's only serialization
 /// point, §III-A.4), tracks commit/reveal order, and owns the write logs
 /// that snapshot geometry and branching resolve through.
+///
+/// # Example
+///
+/// A snapshot becomes visible only after commit; assignment alone leaves it
+/// pending:
+///
+/// ```
+/// use blobseer_core::ports::VersionService;
+/// use blobseer_core::{EngineStats, VersionManager, WriteIntent};
+/// use blobseer_types::Version;
+/// use std::sync::Arc;
+///
+/// let vm: Arc<dyn VersionService> =
+///     Arc::new(VersionManager::new(64, Arc::new(EngineStats::new())));
+/// let blob = vm.create_blob();
+/// let ticket = vm.assign(blob, WriteIntent::Append { size: 128 }).unwrap();
+/// assert_eq!(ticket.version, Version::new(1));
+/// assert_eq!(vm.pending_versions(blob).unwrap(), vec![Version::new(1)]);
+/// vm.commit(blob, ticket.version).unwrap();
+/// assert_eq!(vm.latest(blob).unwrap(), (Version::new(1), 128));
+/// ```
 pub trait VersionService: Send + Sync {
     /// The configured block size (bytes).
     fn block_size(&self) -> u64;
@@ -166,6 +241,59 @@ pub trait VersionService: Send + Sync {
     /// Marks own versions strictly below `keep_from` as collected; returns
     /// the root keys to release.
     fn collect_before(&self, blob: BlobId, keep_from: Version) -> Result<Vec<NodeKey>>;
+}
+
+/// Which client operation a [`ProtocolObserver`] callback belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolOp {
+    /// `BlobClient::write` — write at an explicit offset.
+    Write,
+    /// `BlobClient::append` — write at the end, offset fixed at assignment.
+    Append,
+    /// `BlobClient::read` — snapshot resolve, descent, block fetches.
+    Read,
+}
+
+/// A protocol phase boundary, in the §III-D / §III-C vocabulary.
+///
+/// Writes and appends pass through `Start → DataDone → VersionAssigned →
+/// MetadataPublished → Committed`; reads through `Start → Located → Done`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolPhase {
+    /// The operation entered the client.
+    Start,
+    /// Data phase finished: every block is stored on its providers.
+    DataDone,
+    /// The version manager assigned the snapshot version (the only
+    /// serialized step, §III-A.4).
+    VersionAssigned,
+    /// All tree nodes of this version are published to the metadata DHT.
+    MetadataPublished,
+    /// The version manager acknowledged the commit.
+    Committed,
+    /// Read only: the segment-tree descent located every queried block.
+    Located,
+    /// Read only: all block fetches finished and the bytes are assembled.
+    Done,
+}
+
+/// Passive port notified at every protocol phase boundary.
+///
+/// The client calls this synchronously on its own thread, so an observer
+/// can attribute the callback to the calling client (the simulated-time
+/// harness keys a thread-local client context off it) and can read
+/// whatever clock it trusts. Implementations must be cheap and must not
+/// call back into the engine.
+pub trait ProtocolObserver: Send + Sync {
+    /// `node`'s client crossed `phase` of `op`.
+    fn phase(&self, node: NodeId, op: ProtocolOp, phase: ProtocolPhase);
+}
+
+/// The default observer: ignores everything.
+pub struct NoopObserver;
+
+impl ProtocolObserver for NoopObserver {
+    fn phase(&self, _node: NodeId, _op: ProtocolOp, _phase: ProtocolPhase) {}
 }
 
 // --- in-memory adapter impls ------------------------------------------------

@@ -339,7 +339,7 @@ impl VersionManager {
     }
 
     /// The latest revealed snapshot: `(version, size)`. The paper's "special
-    /// call [that] allows the client to find out the latest version"
+    /// call \[that\] allows the client to find out the latest version"
     /// (§III-A.1).
     pub fn latest(&self, blob: BlobId) -> Result<(Version, u64)> {
         let state = self.state(blob)?;

@@ -2,7 +2,7 @@
 //! baseline.
 //!
 //! Hadoop accesses its storage "through a clean, specific Java API …
-//! [exposing] the basic operations of a file system: read, write, append"
+//! \[exposing\] the basic operations of a file system: read, write, append"
 //! (§IV). The paper's whole methodology rests on swapping implementations
 //! behind that API; this crate is the Rust equivalent. The Map/Reduce
 //! engine is written exclusively against [`FileSystem`], so benchmarks and

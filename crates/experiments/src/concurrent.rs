@@ -1,0 +1,933 @@
+//! The multi-client concurrent harness: N simulated clients drive the
+//! **real** `BlobClient` protocol inside one simnet world.
+//!
+//! Every figure reproduction deploys through this module — the
+//! single-writer figures (3a/3b) with one client thread, the paper's
+//! headline *heavy-concurrency* figures with up to 250: 250 readers of
+//! one file (Fig. 4) and 250 appenders to one BLOB (Fig. 5, the workload
+//! HDFS cannot run). Under concurrency the serialization point must
+//! *emerge* from the protocol: the version manager's FIFO queue bends the
+//! Fig. 5 curve because every appender really funnels through
+//! `VersionService::assign`, not because a model hand-computes a queueing
+//! delay.
+//!
+//! The harness combines two pieces:
+//!
+//! * [`simnet::SimGate`] — each simulated client is a real OS thread
+//!   running unmodified `client/{write,append,read}.rs` code; the gate
+//!   serializes the threads onto the simulated clock and turns blocking
+//!   waits (disk, RPC queue, max-min-shared flows) into simulated time.
+//! * charging adapters ([`ConcBlockStore`], [`ConcMetaStore`],
+//!   [`ConcVersionService`]) — decorate the in-memory stores and
+//!   attribute every call to the calling client (a thread-local set by
+//!   [`ConcurrentDeployment::run_clients`]) so each client pays its own
+//!   costs on its own node: block puts/gets become disk + flow time from
+//!   *that client's* node, version assignment queues in the shared
+//!   central [`FifoServer`], tree puts are issued in parallel from the
+//!   client's metadata-phase start (§III-D), tree gets are sequential
+//!   descent hops.
+//!
+//! Costs are charged only while [`ConcurrentDeployment::set_charging`] is
+//! on: figure drivers boot their input files for free, then flip charging
+//! on and release the measured clients.
+//!
+//! A [`PhaseRecorder`] rides on the [`blobseer_core::ProtocolObserver`]
+//! port and timestamps every protocol phase boundary against the simulated
+//! clock — how the drivers report *where* time goes (e.g. the growing
+//! version-assignment wait that is Fig. 5's knee) without instrumenting
+//! the client.
+//!
+//! [`BaselineWorld`] provides the same primitives without an engine for
+//! the HDFS comparison legs: HDFS has no `BlobClient`, so its curves are
+//! cost models by necessity — but they are composed from gate primitives,
+//! not bespoke event-handler worlds.
+
+use crate::constants::Constants;
+use blobseer_core::block_store::ProviderSet;
+use blobseer_core::dht::MetaDht;
+use blobseer_core::meta::key::NodeKey;
+use blobseer_core::meta::log::LogChain;
+use blobseer_core::meta::node::TreeNode;
+use blobseer_core::ports::{BlockStore, MetaStore, VersionService};
+use blobseer_core::provider_manager::ProviderManager;
+use blobseer_core::{
+    BlobClient, BlobSeer, EnginePorts, EngineStats, ProtocolObserver, ProtocolOp, ProtocolPhase,
+    SnapshotInfo, VersionManager, WriteIntent, WriteTicket,
+};
+use blobseer_types::config::PlacementPolicy;
+use blobseer_types::{BlobId, BlobSeerConfig, BlockId, NodeId, Result, Version};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simnet::{Disk, FifoServer, FlowNet, NicSpec, SimDuration, SimGate, SimTask, SimTime};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+thread_local! {
+    /// The node of the simulated client running on this thread (set by the
+    /// harness for the duration of the client's body).
+    static CLIENT_NODE: Cell<Option<NodeId>> = const { Cell::new(None) };
+    /// Instant the current thread's metadata phase opened (its last
+    /// version assignment completed): tree-node puts are charged as issued
+    /// in parallel from here (§III-D's parallel metadata phase).
+    static META_PHASE_START: Cell<SimTime> = const { Cell::new(SimTime::ZERO) };
+    /// Previous phase boundary seen by the [`PhaseRecorder`] on this
+    /// thread.
+    static LAST_PHASE: Cell<Option<(ProtocolOp, ProtocolPhase, SimTime)>> =
+        const { Cell::new(None) };
+    /// The top-level operation currently open on this thread, if any. An
+    /// unaligned `write` performs nested boundary `read`s whose phase
+    /// events must not pollute the recorder's top-level aggregates.
+    static OPEN_OP: Cell<Option<ProtocolOp>> = const { Cell::new(None) };
+}
+
+/// The node of the simulated client on the calling thread.
+fn client_node() -> NodeId {
+    CLIENT_NODE
+        .get()
+        .expect("charged port call outside a simulated client thread")
+}
+
+/// The shared streaming-transfer composition: a disk (already submitted,
+/// draining until `disk_done`) feeds a bulk flow from `src` to `dst`
+/// started now — unless the endpoints are co-located, in which case there
+/// is no network leg — and `overhead` tops the transfer off. Blocks the
+/// calling simulated thread until everything finished.
+///
+/// Both the real-protocol fabric and the HDFS baseline charge through
+/// this one function, so the disk/flow/overhead composition rule cannot
+/// drift between the system under test and its comparison model.
+fn stream_and_wait(
+    gate: &SimGate,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    disk_done: SimTime,
+    overhead: SimDuration,
+) {
+    let end = if src == dst {
+        disk_done
+    } else {
+        disk_done.max(gate.transfer(src, dst, bytes))
+    };
+    gate.sleep_until(end + overhead);
+}
+
+/// One small queued RPC: request latency, FIFO-queued service, response
+/// latency. Returns the completion instant (the caller sleeps until it —
+/// kept separate so callers can submit under their own state lock).
+fn rpc_done(
+    server: &mut FifoServer,
+    now: SimTime,
+    latency: SimDuration,
+    svc: SimDuration,
+) -> SimTime {
+    server.submit_with(now + latency, svc) + latency
+}
+
+/// Shared cost-model state of a concurrent deployment: the gate plus the
+/// queueing servers every adapter charges into.
+pub struct ConcFabric {
+    gate: SimGate,
+    c: Constants,
+    aux: Mutex<Aux>,
+}
+
+struct Aux {
+    charging: bool,
+    write_disks: Vec<Disk>,
+    read_disks: Vec<Disk>,
+    /// The version manager's RPC queue — the protocol's serialization
+    /// point (§III-A.4).
+    central: FifoServer,
+    /// The metadata providers' RPC queues.
+    meta: Vec<FifoServer>,
+    meta_rr: usize,
+}
+
+impl ConcFabric {
+    fn new(c: Constants, n_providers: usize, n_nodes: usize) -> Self {
+        let nodes = n_nodes.max(n_providers).max(1);
+        Self {
+            gate: SimGate::new(FlowNet::new(nodes, NicSpec::symmetric(c.nic_bps))),
+            aux: Mutex::new(Aux {
+                charging: false,
+                write_disks: (0..n_providers)
+                    .map(|_| Disk::new(c.disk_write_bps))
+                    .collect(),
+                read_disks: (0..n_providers)
+                    .map(|_| Disk::new(c.disk_read_bps))
+                    .collect(),
+                central: FifoServer::new(c.vm_assign_svc),
+                meta: (0..c.meta_shards.max(1))
+                    .map(|_| FifoServer::new(c.meta_svc))
+                    .collect(),
+                meta_rr: 0,
+            }),
+            c,
+        }
+    }
+
+    /// The virtual-time gate (for sleeps from figure-driver task bodies).
+    pub fn gate(&self) -> &SimGate {
+        &self.gate
+    }
+
+    /// True when the calling port call must be charged: charging is on
+    /// *and* the caller is a simulated client thread. Calls from outside
+    /// (boot writers, post-run verification reads) stay free — only
+    /// simulated clients pay simulated time.
+    fn should_charge(&self) -> bool {
+        CLIENT_NODE.get().is_some() && self.aux.lock().charging
+    }
+
+    /// Data phase of one block (§III-D step 1): client-side cache-flush
+    /// overhead and provider-manager RPC, then the bulk flow to the
+    /// provider — whose disk absorbs the stream from the flow's start —
+    /// and the provider's per-block service. Co-located clients skip the
+    /// network.
+    fn charge_block_put(&self, provider: usize) {
+        let node = client_node();
+        let pnode = NodeId::new(provider as u64);
+        let t0 = self.gate.now() + self.c.bsfs_block_overhead + self.c.rtt();
+        self.gate.sleep_until(t0);
+        let disk_done = self.aux.lock().write_disks[provider].submit(t0, self.c.block_bytes);
+        stream_and_wait(
+            &self.gate,
+            node,
+            pnode,
+            self.c.block_bytes,
+            disk_done,
+            self.c.provider_svc,
+        );
+    }
+
+    /// A block fetch (§III-C): the provider's disk serves queued reads in
+    /// order while the flow streams back to the client; the client-side
+    /// read loop overhead tops it off. Co-located readers skip the
+    /// network — the locality the grep scheduler exploits (§IV-C).
+    fn charge_block_get(&self, provider: usize) {
+        let node = client_node();
+        let pnode = NodeId::new(provider as u64);
+        let t0 = self.gate.now();
+        let disk_done = self.aux.lock().read_disks[provider].submit(t0, self.c.block_bytes);
+        stream_and_wait(
+            &self.gate,
+            pnode,
+            node,
+            self.c.block_bytes,
+            disk_done,
+            self.c.bsfs_read_overhead,
+        );
+    }
+
+    /// Version assignment: a queued RPC to the version manager — the only
+    /// serialized step, and under N concurrent writers the queueing here
+    /// is the knee of Fig. 5. Opens the caller's metadata phase.
+    fn charge_assign(&self) {
+        let done = rpc_done(
+            &mut self.aux.lock().central,
+            self.gate.now(),
+            self.c.latency,
+            self.c.vm_assign_svc,
+        );
+        self.gate.sleep_until(done);
+        META_PHASE_START.set(done);
+    }
+
+    /// A read-side version-manager lookup (`latest`): same queue, cheaper
+    /// service.
+    fn charge_lookup(&self) {
+        let done = rpc_done(
+            &mut self.aux.lock().central,
+            self.gate.now(),
+            self.c.latency,
+            self.c.vm_lookup_svc,
+        );
+        self.gate.sleep_until(done);
+    }
+
+    /// One tree-node put, charged as issued (with all its siblings) at the
+    /// caller's metadata-phase start and spread round-robin over the
+    /// metadata providers — §III-D's parallel metadata phase.
+    fn charge_meta_put(&self) {
+        let start = META_PHASE_START.get().max(SimTime::ZERO);
+        let done = {
+            let mut aux = self.aux.lock();
+            let shard = aux.meta_rr % aux.meta.len();
+            aux.meta_rr += 1;
+            aux.meta[shard].submit(start + self.c.latency)
+        } + self.c.latency;
+        self.gate.sleep_until(done);
+    }
+
+    /// One tree-node get during a root-to-leaf descent: hops are
+    /// sequential (a child reference is only known once its parent
+    /// arrived).
+    fn charge_meta_get(&self) {
+        let done = {
+            let mut aux = self.aux.lock();
+            let shard = aux.meta_rr % aux.meta.len();
+            aux.meta_rr += 1;
+            aux.meta[shard].submit(self.gate.now() + self.c.latency)
+        } + self.c.latency;
+        self.gate.sleep_until(done);
+    }
+
+    /// Commit notification to the version manager.
+    fn charge_commit(&self) {
+        self.gate.sleep(self.c.rtt());
+    }
+}
+
+/// [`BlockStore`] adapter: stores real (small) blocks in the wrapped
+/// in-memory providers while charging each put/get as a modeled 64 MB
+/// transfer from/to the calling client's node.
+pub struct ConcBlockStore {
+    inner: ProviderSet,
+    fabric: Arc<ConcFabric>,
+}
+
+impl BlockStore for ConcBlockStore {
+    fn len(&self) -> usize {
+        BlockStore::len(&self.inner)
+    }
+    fn node(&self, provider: usize) -> NodeId {
+        BlockStore::node(&self.inner, provider)
+    }
+    fn index_of_node(&self, node: NodeId) -> Option<usize> {
+        BlockStore::index_of_node(&self.inner, node)
+    }
+    fn put(&self, provider: usize, id: BlockId, data: Bytes) -> Result<()> {
+        if self.fabric.should_charge() {
+            self.fabric.charge_block_put(provider);
+        }
+        BlockStore::put(&self.inner, provider, id, data)
+    }
+    fn get(&self, provider: usize, id: BlockId) -> Result<Bytes> {
+        if self.fabric.should_charge() {
+            self.fabric.charge_block_get(provider);
+        }
+        BlockStore::get(&self.inner, provider, id)
+    }
+    fn contains(&self, provider: usize, id: BlockId) -> bool {
+        BlockStore::contains(&self.inner, provider, id)
+    }
+    fn delete(&self, provider: usize, id: BlockId) -> u64 {
+        BlockStore::delete(&self.inner, provider, id)
+    }
+    fn block_count(&self, provider: usize) -> usize {
+        BlockStore::block_count(&self.inner, provider)
+    }
+    fn bytes_stored(&self, provider: usize) -> u64 {
+        BlockStore::bytes_stored(&self.inner, provider)
+    }
+    fn op_counts(&self, provider: usize) -> (u64, u64) {
+        BlockStore::op_counts(&self.inner, provider)
+    }
+}
+
+/// [`MetaStore`] adapter: real tree nodes into the wrapped DHT, with puts
+/// charged as the parallel metadata phase and gets as sequential descent
+/// hops.
+pub struct ConcMetaStore {
+    inner: MetaDht,
+    fabric: Arc<ConcFabric>,
+}
+
+impl MetaStore for ConcMetaStore {
+    fn put(&self, key: NodeKey, node: TreeNode) -> Result<()> {
+        if self.fabric.should_charge() {
+            self.fabric.charge_meta_put();
+        }
+        MetaStore::put(&self.inner, key, node)
+    }
+    fn get(&self, key: &NodeKey) -> Result<TreeNode> {
+        if self.fabric.should_charge() {
+            self.fabric.charge_meta_get();
+        }
+        MetaStore::get(&self.inner, key)
+    }
+    fn delete(&self, key: &NodeKey) -> bool {
+        MetaStore::delete(&self.inner, key)
+    }
+    fn shard_count(&self) -> usize {
+        MetaStore::shard_count(&self.inner)
+    }
+    fn node_count(&self) -> usize {
+        MetaStore::node_count(&self.inner)
+    }
+    fn shard_stats(&self) -> Vec<(usize, u64, u64)> {
+        MetaStore::shard_stats(&self.inner)
+    }
+    fn crash_shard(&self, shard: usize) {
+        MetaStore::crash_shard(&self.inner, shard)
+    }
+}
+
+/// [`VersionService`] adapter: the real version manager, with assignments
+/// charged through the central FIFO queue (the serialization point whose
+/// contention Fig. 5 measures), lookups through the same queue, and
+/// commits as a round-trip.
+pub struct ConcVersionService {
+    inner: VersionManager,
+    fabric: Arc<ConcFabric>,
+}
+
+impl VersionService for ConcVersionService {
+    fn block_size(&self) -> u64 {
+        self.inner.block_size()
+    }
+    fn create_blob(&self) -> BlobId {
+        self.inner.create_blob()
+    }
+    fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId> {
+        self.inner.branch(parent, at)
+    }
+    fn assign(&self, blob: BlobId, intent: WriteIntent) -> Result<WriteTicket> {
+        let ticket = self.inner.assign(blob, intent)?;
+        if self.fabric.should_charge() {
+            self.fabric.charge_assign();
+        }
+        Ok(ticket)
+    }
+    fn commit(&self, blob: BlobId, version: Version) -> Result<()> {
+        self.inner.commit(blob, version)?;
+        if self.fabric.should_charge() {
+            self.fabric.charge_commit();
+        }
+        Ok(())
+    }
+    fn latest(&self, blob: BlobId) -> Result<(Version, u64)> {
+        let r = self.inner.latest(blob)?;
+        if self.fabric.should_charge() {
+            self.fabric.charge_lookup();
+        }
+        Ok(r)
+    }
+    fn snapshot_info(&self, blob: BlobId, version: Version) -> Result<SnapshotInfo> {
+        self.inner.snapshot_info(blob, version)
+    }
+    fn chain(&self, blob: BlobId) -> Result<LogChain> {
+        self.inner.chain(blob)
+    }
+    fn wait_revealed(&self, blob: BlobId, version: Version, timeout: Duration) -> Result<()> {
+        self.inner.wait_revealed(blob, version, timeout)
+    }
+    fn pending_versions(&self, blob: BlobId) -> Result<Vec<Version>> {
+        self.inner.pending_versions(blob)
+    }
+    fn delete_blob(&self, blob: BlobId) -> Result<Vec<NodeKey>> {
+        self.inner.delete_blob(blob)
+    }
+    fn collect_before(&self, blob: BlobId, keep_from: Version) -> Result<Vec<NodeKey>> {
+        self.inner.collect_before(blob, keep_from)
+    }
+}
+
+// --- phase observability -----------------------------------------------------
+
+/// Accumulated simulated time between consecutive protocol phase
+/// boundaries, keyed by the phase that *ended* the span.
+#[derive(Default)]
+pub struct PhaseBreakdown {
+    spans: HashMap<(ProtocolOp, ProtocolPhase), (SimDuration, u64)>,
+}
+
+impl PhaseBreakdown {
+    /// Mean simulated time spent reaching `phase` of `op` from the
+    /// preceding boundary (e.g. `(Append, VersionAssigned)` = data-done →
+    /// assignment-granted: the version manager's queueing plus service).
+    pub fn mean(&self, op: ProtocolOp, phase: ProtocolPhase) -> SimDuration {
+        match self.spans.get(&(op, phase)) {
+            Some(&(total, n)) if n > 0 => SimDuration::from_nanos(total.as_nanos() / n),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Number of spans recorded ending at `phase` of `op`.
+    pub fn count(&self, op: ProtocolOp, phase: ProtocolPhase) -> u64 {
+        self.spans.get(&(op, phase)).map(|&(_, n)| n).unwrap_or(0)
+    }
+}
+
+/// [`ProtocolObserver`] adapter: timestamps every phase boundary against
+/// the simulated clock, per thread, while charging is on.
+pub struct PhaseRecorder {
+    fabric: Arc<ConcFabric>,
+    agg: Mutex<PhaseBreakdown>,
+}
+
+impl PhaseRecorder {
+    /// A snapshot of the breakdown accumulated so far.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        PhaseBreakdown {
+            spans: self.agg.lock().spans.clone(),
+        }
+    }
+}
+
+impl ProtocolObserver for PhaseRecorder {
+    fn phase(&self, _node: NodeId, op: ProtocolOp, phase: ProtocolPhase) {
+        if !self.fabric.should_charge() {
+            return;
+        }
+        // Only the top-level operation on this thread is recorded. The
+        // single genuine nesting in the protocol is a write/append's
+        // boundary-merge reads (`merge_boundaries` → `self.read`), so a
+        // Read starting while a Write/Append is open is nested and
+        // ignored wholesale. Any other op change at a Start means the
+        // previous op errored out mid-protocol (no terminal phase ever
+        // arrived): restart cleanly on the new op. Known limitation: a
+        // top-level Read right after an *errored* Write/Append on the
+        // same thread is indistinguishable from a nested read and goes
+        // unrecorded — an undercount, never wrong data.
+        match OPEN_OP.get() {
+            Some(open) if op == ProtocolOp::Read && open != ProtocolOp::Read => return,
+            Some(open) if open != op && phase != ProtocolPhase::Start => return,
+            None if phase != ProtocolPhase::Start => return,
+            _ => {}
+        }
+        let now = self.fabric.gate.now();
+        if phase == ProtocolPhase::Start {
+            // Opens the span — or restarts it after an errored attempt.
+            OPEN_OP.set(Some(op));
+            LAST_PHASE.set(Some((op, phase, now)));
+            return;
+        }
+        let prev = LAST_PHASE.replace(Some((op, phase, now)));
+        if let Some((prev_op, _, prev_at)) = prev {
+            if prev_op == op {
+                let mut agg = self.agg.lock();
+                let slot = agg.spans.entry((op, phase)).or_default();
+                slot.0 += now - prev_at;
+                slot.1 += 1;
+            }
+        }
+        let closes = matches!(
+            (op, phase),
+            (ProtocolOp::Read, ProtocolPhase::Done)
+                | (
+                    ProtocolOp::Write | ProtocolOp::Append,
+                    ProtocolPhase::Committed
+                )
+        );
+        if closes {
+            OPEN_OP.set(None);
+        }
+    }
+}
+
+// --- deployment ---------------------------------------------------------------
+
+/// A full concurrent deployment: the real engine wired to the charging
+/// adapters, a gate to interleave client threads, and a phase recorder.
+pub struct ConcurrentDeployment {
+    /// The deployment; obtain clients with `sys.client(..)` (uncharged
+    /// boot work) or through [`Self::run_clients`] (charged, simulated).
+    pub sys: Arc<BlobSeer>,
+    /// The shared cost-model state.
+    pub fabric: Arc<ConcFabric>,
+    /// Per-phase simulated-time breakdown (populated while charging).
+    pub phases: Arc<PhaseRecorder>,
+}
+
+/// Deploys the real engine over the concurrent charging adapters.
+///
+/// * `n_providers` data providers are hosted on nodes `0..n_providers`.
+/// * `n_nodes` sizes the simulated network (clients may run on any node
+///   below it, including provider nodes — that is what makes co-located
+///   reads local).
+/// * `real_block_size` is the engine's actual block size; every block is
+///   *charged* as the paper's 64 MB regardless, so keep it small.
+pub fn deploy(
+    c: &Constants,
+    n_providers: usize,
+    n_nodes: usize,
+    policy: PlacementPolicy,
+    seed: u64,
+    real_block_size: u64,
+) -> ConcurrentDeployment {
+    let fabric = Arc::new(ConcFabric::new(c.clone(), n_providers, n_nodes));
+    let phases = Arc::new(PhaseRecorder {
+        fabric: Arc::clone(&fabric),
+        agg: Mutex::new(PhaseBreakdown::default()),
+    });
+    let cfg = BlobSeerConfig {
+        block_size: real_block_size,
+        replication: 1,
+        placement: policy,
+        metadata_providers: c.meta_shards.max(1),
+        metadata_replication: 1,
+        // The unaligned-append slow path waits on a *real* condvar for the
+        // predecessor's reveal — but under the gate the committing peer is
+        // parked and can never run while this thread holds the turn, so
+        // the wait can only ever time out. Fail fast instead of stalling
+        // the whole simulation for the 30 s default. (All figure workloads
+        // are block-aligned and never take this path.)
+        unaligned_append_timeout: Duration::from_millis(50),
+        ..BlobSeerConfig::small_for_tests()
+    };
+    let stats = Arc::new(EngineStats::new());
+    let ports = EnginePorts {
+        providers: Arc::new(ConcBlockStore {
+            inner: ProviderSet::new(n_providers, |i| NodeId::new(i as u64)),
+            fabric: Arc::clone(&fabric),
+        }),
+        dht: Arc::new(ConcMetaStore {
+            inner: MetaDht::new(cfg.metadata_providers, cfg.metadata_replication),
+            fabric: Arc::clone(&fabric),
+        }),
+        vm: Arc::new(ConcVersionService {
+            inner: VersionManager::new(real_block_size, Arc::clone(&stats)),
+            fabric: Arc::clone(&fabric),
+        }),
+        pm: Arc::new(ProviderManager::new(n_providers, policy, seed)),
+        stats,
+        observer: Arc::clone(&phases) as Arc<dyn ProtocolObserver>,
+    };
+    ConcurrentDeployment {
+        sys: BlobSeer::deploy_ports(cfg, ports),
+        fabric,
+        phases,
+    }
+}
+
+/// Per-client throughput rates in MB/s from recorded per-client durations
+/// of one modeled transfer of `modeled_bytes` each — the paper's
+/// measurement rule ("individual throughput is collected and is then
+/// averaged", §V-C) in one place for every figure (Fig. 4 averages these
+/// rates, Fig. 5 sums them).
+///
+/// # Panics
+/// Panics if any client never recorded a duration (it did not finish).
+pub fn client_mbps(modeled_bytes: u64, durations: &[Option<SimDuration>]) -> Vec<f64> {
+    let mb = modeled_bytes as f64 / (1024.0 * 1024.0);
+    durations
+        .iter()
+        .map(|d| mb / d.expect("simulated client finished").as_secs_f64())
+        .collect()
+}
+
+/// One simulated client for [`ConcurrentDeployment::run_clients`]: the
+/// node it runs on and its body.
+pub type ClientTask<'env> = (NodeId, Box<dyn FnOnce(BlobClient) + Send + 'env>);
+
+impl ConcurrentDeployment {
+    /// Turns cost charging on/off. Boot phases (writing the input file a
+    /// figure measures reads of) run uncharged; measurements run charged.
+    pub fn set_charging(&self, on: bool) {
+        self.fabric.aux.lock().charging = on;
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.fabric.gate.now()
+    }
+
+    /// Runs one simulated client per entry, all admitted at the current
+    /// simulated instant, interleaved deterministically on the gate. Each
+    /// body receives a [`BlobClient`] bound to its node and may use
+    /// [`ConcFabric::gate`] for explicit sleeps (compute time, staggers).
+    pub fn run_clients<'env>(&'env self, clients: Vec<ClientTask<'env>>) {
+        let tasks: Vec<SimTask<'env>> = clients
+            .into_iter()
+            .map(|(node, body)| {
+                let sys = &self.sys;
+                Box::new(move || {
+                    CLIENT_NODE.set(Some(node));
+                    LAST_PHASE.set(None);
+                    OPEN_OP.set(None);
+                    META_PHASE_START.set(SimTime::ZERO);
+                    body(sys.client(node));
+                    CLIENT_NODE.set(None);
+                }) as SimTask<'env>
+            })
+            .collect();
+        self.fabric.gate.run(tasks);
+    }
+}
+
+// --- the modeled baseline ----------------------------------------------------
+
+/// Gate-backed primitives for the HDFS comparison legs: HDFS is not the
+/// system under test and has no `BlobClient`, so its curves remain cost
+/// models — but composed from the same simulated-time primitives as the
+/// real-protocol runs (shared namenode queue, FIFO disks, max-min flows),
+/// not from bespoke event-handler worlds.
+pub struct BaselineWorld {
+    /// The virtual-time gate the model tasks run on.
+    pub gate: SimGate,
+    c: Constants,
+    aux: Mutex<BaselineAux>,
+}
+
+struct BaselineAux {
+    write_disks: Vec<Disk>,
+    read_disks: Vec<Disk>,
+    central: FifoServer,
+}
+
+impl BaselineWorld {
+    /// A world of `n_nodes` nodes, each with a disk, sharing one central
+    /// service (the namenode).
+    pub fn new(c: &Constants, n_nodes: usize) -> Self {
+        Self {
+            gate: SimGate::new(FlowNet::new(n_nodes.max(1), NicSpec::symmetric(c.nic_bps))),
+            aux: Mutex::new(BaselineAux {
+                write_disks: (0..n_nodes).map(|_| Disk::new(c.disk_write_bps)).collect(),
+                read_disks: (0..n_nodes).map(|_| Disk::new(c.disk_read_bps)).collect(),
+                central: FifoServer::new(c.nn_svc),
+            }),
+            c: c.clone(),
+        }
+    }
+
+    /// The model constants this world charges with.
+    pub fn constants(&self) -> &Constants {
+        &self.c
+    }
+
+    /// One small RPC to the central service: request latency, queued
+    /// service of `svc`, response latency; blocks until the response.
+    pub fn central_call(&self, svc: SimDuration) {
+        let done = rpc_done(
+            &mut self.aux.lock().central,
+            self.gate.now(),
+            self.c.latency,
+            svc,
+        );
+        self.gate.sleep_until(done);
+    }
+
+    /// Fetches one modeled 64 MB block stored on node `host` to the task's
+    /// node `me`: the host's disk serves queued reads while the flow (if
+    /// remote) streams, then `overhead` tops it off — the same
+    /// `stream_and_wait` composition the real-protocol fabric charges.
+    pub fn fetch_block(&self, host: usize, me: NodeId, overhead: SimDuration) {
+        let disk_done =
+            self.aux.lock().read_disks[host].submit(self.gate.now(), self.c.block_bytes);
+        stream_and_wait(
+            &self.gate,
+            NodeId::new(host as u64),
+            me,
+            self.c.block_bytes,
+            disk_done,
+            overhead,
+        );
+    }
+
+    /// Writes one modeled 64 MB block to the local disk of `node`; blocks
+    /// until the disk drained it.
+    pub fn write_block_local(&self, node: usize) {
+        let done = self.aux.lock().write_disks[node].submit(self.gate.now(), self.c.block_bytes);
+        self.gate.sleep_until(done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(n_providers: usize, n_clients: usize, block: u64) -> ConcurrentDeployment {
+        deploy(
+            &Constants::default(),
+            n_providers,
+            n_providers.max(n_clients),
+            PlacementPolicy::RoundRobin,
+            1,
+            block,
+        )
+    }
+
+    #[test]
+    fn sixteen_concurrent_appenders_get_distinct_consecutive_versions() {
+        let dep = small(8, 16, 256);
+        let boot = dep.sys.client(NodeId::new(0));
+        let blob = boot.create();
+        dep.set_charging(true);
+        let results = Mutex::new(Vec::new());
+        let clients: Vec<ClientTask<'_>> = (0..16u64)
+            .map(|i| {
+                let results = &results;
+                (
+                    NodeId::new(i % 8),
+                    Box::new(move |cl: BlobClient| {
+                        let (offset, version) = cl.append(blob, &[i as u8; 256]).unwrap();
+                        results.lock().push((i, offset, version.raw()));
+                    }) as Box<dyn FnOnce(BlobClient) + Send>,
+                )
+            })
+            .collect();
+        dep.run_clients(clients);
+        let mut results = results.into_inner();
+        results.sort_by_key(|&(_, _, v)| v);
+        // 16 distinct, consecutive versions with offsets matching rank.
+        let versions: Vec<u64> = results.iter().map(|&(_, _, v)| v).collect();
+        assert_eq!(versions, (1..=16).collect::<Vec<_>>());
+        let offsets: Vec<u64> = results.iter().map(|&(_, o, _)| o).collect();
+        assert_eq!(offsets, (0..16).map(|k| k * 256).collect::<Vec<_>>());
+        // The final BLOB is fully readable, every append exactly once.
+        let (v, size) = boot.latest(blob).unwrap();
+        assert_eq!((v.raw(), size), (16, 16 * 256));
+        let data = boot.read(blob, None, 0, size).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for chunk in data.chunks(256) {
+            assert!(chunk.iter().all(|&b| b == chunk[0]), "torn append");
+            assert!(seen.insert(chunk[0]), "duplicate append");
+        }
+        assert_eq!(seen.len(), 16);
+        // And simulated time passed: at least one serialized VM queue.
+        assert!(dep.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn concurrent_readers_see_one_consistent_snapshot() {
+        let dep = small(8, 16, 128);
+        let boot = dep.sys.client(NodeId::new(0));
+        let blob = boot.create();
+        for i in 0..16u8 {
+            boot.append(blob, &[i; 128]).unwrap();
+        }
+        dep.set_charging(true);
+        let reads = Mutex::new(Vec::new());
+        let clients: Vec<ClientTask<'_>> = (0..16u64)
+            .map(|i| {
+                let reads = &reads;
+                (
+                    NodeId::new(i % 8),
+                    Box::new(move |cl: BlobClient| {
+                        // Every reader sees the same revealed snapshot…
+                        let (v, size) = cl.latest(blob).unwrap();
+                        // …and its chunk holds exactly the booted bytes.
+                        let data = cl.read(blob, Some(v), i * 128, 128).unwrap();
+                        reads.lock().push((i, v.raw(), size, data[0]));
+                    }) as Box<dyn FnOnce(BlobClient) + Send>,
+                )
+            })
+            .collect();
+        dep.run_clients(clients);
+        let reads = reads.into_inner();
+        assert_eq!(reads.len(), 16);
+        for &(i, v, size, byte) in &reads {
+            assert_eq!(v, 16, "reader {i} sees the latest snapshot");
+            assert_eq!(size, 16 * 128);
+            assert_eq!(byte as u64, i, "reader {i} got its own chunk");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let dep = small(8, 12, 64);
+            let boot = dep.sys.client(NodeId::new(0));
+            let blob = boot.create();
+            dep.set_charging(true);
+            let ends = Mutex::new(Vec::new());
+            let clients: Vec<ClientTask<'_>> = (0..12u64)
+                .map(|i| {
+                    let (ends, fabric) = (&ends, &dep.fabric);
+                    (
+                        NodeId::new(i % 8),
+                        Box::new(move |cl: BlobClient| {
+                            cl.append(blob, &[1u8; 64]).unwrap();
+                            ends.lock().push((i, fabric.gate().now().as_nanos()));
+                        }) as Box<dyn FnOnce(BlobClient) + Send>,
+                    )
+                })
+                .collect();
+            dep.run_clients(clients);
+            (
+                ends.into_inner(),
+                dep.now().as_nanos(),
+                dep.sys.layout_vector(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn charging_gates_the_cost_model() {
+        let dep = small(4, 4, 64);
+        let boot = dep.sys.client(NodeId::new(0));
+        let blob = boot.create();
+        // Uncharged boot: engine state advances, the clock does not.
+        for _ in 0..4 {
+            boot.append(blob, &[9u8; 64]).unwrap();
+        }
+        assert_eq!(dep.now(), SimTime::ZERO);
+        assert_eq!(dep.sys.providers().total_block_count(), 4);
+        // Charged run: one append must cost at least a 64 MB disk write.
+        dep.set_charging(true);
+        let clients: Vec<ClientTask<'_>> = vec![(
+            NodeId::new(1),
+            Box::new(move |cl: BlobClient| {
+                cl.append(blob, &[7u8; 64]).unwrap();
+            }),
+        )];
+        dep.run_clients(clients);
+        let floor = Constants::default().block_bytes as f64 / Constants::default().disk_write_bps;
+        assert!(
+            dep.now().as_secs_f64() > floor,
+            "clock {} must exceed the disk floor {floor:.2}s",
+            dep.now()
+        );
+    }
+
+    #[test]
+    fn phase_recorder_ignores_nested_boundary_reads() {
+        // An unaligned write performs nested boundary reads through the
+        // public read path; the recorder must attribute the whole span to
+        // the Write and record no top-level Read.
+        let dep = small(4, 1, 64);
+        let boot = dep.sys.client(NodeId::new(0));
+        let blob = boot.create();
+        boot.append(blob, &[1u8; 128]).unwrap();
+        dep.set_charging(true);
+        let clients: Vec<ClientTask<'_>> = vec![(
+            NodeId::new(1),
+            Box::new(move |cl: BlobClient| {
+                cl.write(blob, 10, &[9u8; 50]).unwrap(); // unaligned
+            }),
+        )];
+        dep.run_clients(clients);
+        let b = dep.phases.breakdown();
+        assert_eq!(b.count(ProtocolOp::Write, ProtocolPhase::Committed), 1);
+        assert_eq!(
+            b.count(ProtocolOp::Read, ProtocolPhase::Done),
+            0,
+            "nested merge reads must not pollute the Read aggregates"
+        );
+    }
+
+    #[test]
+    fn phase_recorder_attributes_the_serialized_step() {
+        let dep = small(8, 8, 64);
+        let boot = dep.sys.client(NodeId::new(0));
+        let blob = boot.create();
+        dep.set_charging(true);
+        let clients: Vec<ClientTask<'_>> = (0..8u64)
+            .map(|i| {
+                (
+                    NodeId::new(i),
+                    Box::new(move |cl: BlobClient| {
+                        cl.append(blob, &[i as u8; 64]).unwrap();
+                    }) as Box<dyn FnOnce(BlobClient) + Send>,
+                )
+            })
+            .collect();
+        dep.run_clients(clients);
+        let b = dep.phases.breakdown();
+        assert_eq!(b.count(ProtocolOp::Append, ProtocolPhase::Committed), 8);
+        // 8 simultaneous assign requests: the mean wait must exceed the
+        // bare service time — the queueing is real.
+        let c = Constants::default();
+        let mean_assign = b.mean(ProtocolOp::Append, ProtocolPhase::VersionAssigned);
+        assert!(
+            mean_assign > c.vm_assign_svc,
+            "assignment wait {mean_assign} must show queueing over {:?}",
+            c.vm_assign_svc
+        );
+    }
+}

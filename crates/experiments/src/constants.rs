@@ -46,6 +46,11 @@ pub struct Constants {
     /// Version-manager service time per assignment: append a log entry,
     /// update the in-flight table (§III-A.4: the only serialized step).
     pub vm_assign_svc: SimDuration,
+    /// Version-manager service time per read-side lookup ("the special
+    /// call that allows the client to find out the latest version",
+    /// §III-A.1). Calibrated to the namenode's base RPC cost — both are a
+    /// small table lookup behind one RPC queue.
+    pub vm_lookup_svc: SimDuration,
     /// Metadata-provider service time per tree-node put/get.
     pub meta_svc: SimDuration,
     /// Provider request-handling cost per block.
@@ -110,6 +115,7 @@ impl Default for Constants {
             bsfs_block_overhead: SimDuration::from_millis(60),
             bsfs_read_overhead: SimDuration::from_millis(250),
             vm_assign_svc: SimDuration::from_millis(4),
+            vm_lookup_svc: SimDuration::from_millis(1),
             meta_svc: SimDuration::from_micros(150),
             provider_svc: SimDuration::from_millis(10),
             meta_shards: 20,

@@ -2,14 +2,15 @@
 //! 1 to 16 GB (§V-D).
 //!
 //! * **BSFS** — runs the **real client protocol** end-to-end through the
-//!   simnet-backed port adapters ([`crate::simport`]): every
-//!   `BlobClient::append` performs the genuine data phase (provider-manager
-//!   allocation + block put), version assignment, segment-tree publish and
-//!   commit, while the adapters charge the §V cost model — cache-flush
-//!   overhead and PM RPC, a 64 MB flow absorbed by the provider's disk,
-//!   serialized version-manager service, parallel tree-node puts to the
-//!   metadata DHT, commit round-trip. Every provider sees at most a couple
-//!   of blocks, so disks never queue: the curve is flat.
+//!   concurrent harness ([`crate::concurrent`], here with one client on a
+//!   non-colocated node, §V-D): every `BlobClient::append` performs the
+//!   genuine data phase (provider-manager allocation + block put), version
+//!   assignment, segment-tree publish and commit, while the adapters
+//!   charge the §V cost model — cache-flush overhead and PM RPC, a 64 MB
+//!   flow absorbed by the provider's disk, serialized version-manager
+//!   service, parallel tree-node puts to the metadata DHT, commit
+//!   round-trip. Every provider sees at most a couple of blocks, so disks
+//!   never queue: the curve is flat.
 //! * **HDFS** — per 64 MB chunk on the discrete-event world: pipeline
 //!   overhead → namenode allocation, whose cost *grows with the file's
 //!   chunk count* (0.20's OP_ADD rewrote the file's entire block list into
@@ -18,12 +19,13 @@
 //!   bends the curve downward as the file grows — the decline the paper
 //!   attributes to HDFS's weaker write path.
 
+use crate::concurrent::{self, ClientTask};
 use crate::constants::Constants;
 use crate::fig3b::policy_for;
 use crate::report::{Figure, Series};
-use crate::simport;
 use crate::topology::{Backend, Services};
 use blobseer_core::placement::Placer;
+use blobseer_core::BlobClient;
 use blobseer_types::NodeId;
 use simnet::{start_flow, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration, SimTime};
 
@@ -32,32 +34,42 @@ use simnet::{start_flow, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration
 /// costs only 256 KB of actual memory.
 const BSFS_REAL_BLOCK: u64 = 1024;
 
-/// The BSFS leg: the real client driving the simnet-backed deployment.
+/// The BSFS leg: the real client driving the harness-backed deployment
+/// (one writer on the dedicated non-colocated node past the providers,
+/// §V-D: "we chose to always deploy clients on nodes where no datanode
+/// has previously been deployed").
 fn bsfs_throughput_via_ports(c: &Constants, n_blocks: usize, seed: u64) -> f64 {
     let providers = Backend::Bsfs.microbench_storage_nodes();
-    let dep = simport::deploy(
+    let dep = concurrent::deploy(
         c,
         providers,
+        providers + 1,
         policy_for(c, Backend::Bsfs),
         seed,
         BSFS_REAL_BLOCK,
     );
-    let client = dep.client();
-    let blob = client.create();
-    let payload = vec![0u8; BSFS_REAL_BLOCK as usize];
-    for _ in 0..n_blocks {
-        // Block-aligned appends: the paper's workload, and the fast path
-        // that never waits on a predecessor's reveal.
-        client.append(blob, &payload).unwrap();
-    }
+    let writer_node = blobseer_types::NodeId::new(providers as u64);
+    let blob = dep.sys.client(writer_node).create();
+    dep.set_charging(true);
+    let clients: Vec<ClientTask<'_>> = vec![(
+        writer_node,
+        Box::new(move |cl: BlobClient| {
+            let payload = vec![0u8; BSFS_REAL_BLOCK as usize];
+            for _ in 0..n_blocks {
+                // Block-aligned appends: the paper's workload, and the
+                // fast path that never waits on a predecessor's reveal.
+                cl.append(blob, &payload).unwrap();
+            }
+        }),
+    )];
+    dep.run_clients(clients);
     assert_eq!(
         dep.sys.providers().total_block_count(),
         n_blocks,
         "every modeled block must be really stored"
     );
-    let end = dep.fabric.lock().now();
     let bytes = n_blocks as f64 * c.block_bytes as f64;
-    bytes / (1024.0 * 1024.0) / end.as_secs_f64()
+    bytes / (1024.0 * 1024.0) / dep.now().as_secs_f64()
 }
 
 // --- the HDFS discrete-event world ------------------------------------------
@@ -265,8 +277,8 @@ mod tests {
         // trees in the DHT and a readable BLOB history — proof the trait
         // calls went through the real client, not bespoke glue.
         let c = Constants::default();
-        let dep = simport::deploy(&c, 16, PlacementPolicy::RoundRobin, 3, 256);
-        let client = dep.client();
+        let dep = concurrent::deploy(&c, 16, 17, PlacementPolicy::RoundRobin, 3, 256);
+        let client = dep.sys.client(blobseer_types::NodeId::new(16));
         let blob = client.create();
         for _ in 0..8 {
             client.append(blob, &vec![9u8; 256]).unwrap();

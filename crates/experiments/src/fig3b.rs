@@ -3,7 +3,8 @@
 //! balanced layout (§V-D).
 //!
 //! The figure is produced by the **real engine**: each run deploys the
-//! client over the simnet-backed port adapters ([`crate::simport`]) with
+//! client over the harness adapters ([`crate::concurrent`], cost charging
+//! left off — only the layout matters here) with
 //! the backend's placement policy, appends the file block by block through
 //! `BlobClient::append` — so the layout comes from the live provider
 //! manager's allocation stream, not a detached policy loop — and measures
@@ -12,9 +13,9 @@
 //! datanodes (HDFS, whose sticky-random session policy runs on the same
 //! placement code). Averages 5 repetitions like the paper.
 
+use crate::concurrent;
 use crate::constants::Constants;
 use crate::report::{Figure, Series};
-use crate::simport;
 use crate::topology::Backend;
 use blobseer_core::placement::manhattan_unbalance;
 use blobseer_types::config::PlacementPolicy;
@@ -29,8 +30,15 @@ const REAL_BLOCK: u64 = 64;
 /// Unbalance of one placement run, measured off the real deployment's
 /// layout vector after writing the file through the client.
 pub fn unbalance_of(policy: PlacementPolicy, n_blocks: u64, n_providers: usize, seed: u64) -> f64 {
-    let dep = simport::deploy(&Constants::default(), n_providers, policy, seed, REAL_BLOCK);
-    let client = dep.client();
+    let dep = concurrent::deploy(
+        &Constants::default(),
+        n_providers,
+        n_providers,
+        policy,
+        seed,
+        REAL_BLOCK,
+    );
+    let client = dep.sys.client(blobseer_types::NodeId::new(0));
     let blob = client.create();
     let payload = vec![0u8; REAL_BLOCK as usize];
     for _ in 0..n_blocks {

@@ -3,192 +3,133 @@
 //! all ("we could not perform the same experiment for HDFS, since it does
 //! not implement the append operation").
 //!
-//! The model runs the full two-phase append protocol per client:
+//! Every appender is a real `BlobClient::append` on its own simulated
+//! thread ([`crate::concurrent`]), so the full two-phase protocol runs:
 //!
-//! 1. **Data phase, fully parallel**: each appender streams its block to a
-//!    round-robin provider (disjoint providers at the paper's scale —
-//!    that is what makes the aggregate scale linearly).
-//! 2. **Version assignment**: all appenders funnel through the version
-//!    manager's FIFO queue — the protocol's only serialization point; its
-//!    service time is the knee that bends the curve at high client counts.
+//! 1. **Data phase, fully parallel**: each appender's optimistic block put
+//!    streams to the provider the live provider manager allocates
+//!    (round-robin — disjoint providers at the paper's scale, which is
+//!    what makes the aggregate scale linearly).
+//! 2. **Version assignment**: all appenders funnel through the *real*
+//!    version manager; the FIFO queue in front of it — the protocol's only
+//!    serialization point (§III-A.4) — is where the knee of the curve
+//!    comes from, observable per run via the phase breakdown.
 //! 3. **Metadata phase, parallel**: each appender publishes the tree nodes
-//!    its version materializes (real counts from
-//!    `blobseer_core::meta::shape`, including the shared-spine savings)
-//!    across the 20 metadata providers.
+//!    its version materializes (real `TreeStore::publish_write` puts,
+//!    including the shared-spine savings) across the 20 metadata
+//!    providers, then commits; the version manager reveals snapshots in
+//!    order.
 //!
-//! The same world can run the appends as *writes at random block-aligned
-//! offsets* — the paper notes "the same experiment performed with writes
-//! instead of appends leads to very similar results" (§V-F); the
-//! `ablations` bench exercises that claim.
+//! The §V-F ablation — "the same experiment performed with writes instead
+//! of appends leads to very similar results" — runs the same harness with
+//! `BlobClient::write` at random block-aligned offsets of a pre-written
+//! BLOB ([`OpMode::RandomWrite`]), reachable from the CLI as
+//! `fig5 --writes`.
 
+use crate::concurrent::{self, ClientTask};
 use crate::constants::Constants;
 use crate::report::{Figure, Series};
-use crate::topology::{Backend, Services};
-use blobseer_core::meta::key::BlockRange;
-use blobseer_core::meta::log::LogEntry;
-use blobseer_core::meta::shape;
-use blobseer_types::{NodeId, Version};
-use simnet::{start_flow, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration, SimTime};
+use crate::topology::Backend;
+use blobseer_core::BlobClient;
+use blobseer_types::config::PlacementPolicy;
+use blobseer_types::NodeId;
+use parking_lot::Mutex;
+use simnet::SimDuration;
+
+/// Real engine bytes behind each modeled 64 MB block.
+const REAL_BLOCK: u64 = 256;
 
 /// Append vs random-offset write mode (§V-F's closing remark).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OpMode {
     /// True appends: offsets assigned by the version manager.
     Append,
-    /// Block-aligned writes at random offsets within the existing BLOB.
+    /// Block-aligned writes at random offsets within a pre-written BLOB.
     RandomWrite,
 }
 
-#[derive(Clone, Copy)]
-struct Tok {
-    client: usize,
-    provider: usize,
-    started: SimTime,
+/// Outcome of one concurrent-writer run.
+pub struct RunOutcome {
+    /// Aggregated throughput in MB/s (sum of per-client rates, §V-C).
+    pub mbps: f64,
+    /// Mean simulated wait from data-phase end to version grant — the
+    /// serialized step's queueing plus service, straight from the real
+    /// protocol's phase boundaries.
+    pub mean_assign_wait: SimDuration,
 }
 
-struct World {
-    net: FlowNet<Tok>,
-    disks: Vec<simnet::Disk>,
-    c: Constants,
-    services: Services,
-    mode: OpMode,
-    n_providers: usize,
-    n_clients: usize,
-    /// Versions assigned so far (assignment order = arrival order at the
-    /// version manager).
-    versions_assigned: u64,
-    durations: Vec<Option<SimDuration>>,
-}
-
-impl NetWorld for World {
-    type Token = Tok;
-    fn net_mut(&mut self) -> &mut FlowNet<Tok> {
-        &mut self.net
-    }
-    fn on_flow_complete(&mut self, sched: &mut Scheduler<Self>, tok: Tok) {
-        let disk_done = self.disks[tok.provider].submit(tok.started, self.c.block_bytes);
-        let ack = disk_done.max(sched.now()) + self.c.provider_svc;
-        sched.schedule_at(ack, move |w: &mut World, s| w.metadata_phase(s, tok.client));
-    }
-}
-
-impl World {
-    fn new(c: Constants, mode: OpMode, n_clients: usize) -> Self {
-        let providers = Backend::Bsfs.microbench_storage_nodes();
-        let net = FlowNet::new(providers.max(n_clients), NicSpec::symmetric(c.nic_bps));
-        let disks = (0..providers)
-            .map(|_| simnet::Disk::new(c.disk_write_bps))
-            .collect();
-        let services = Services::new(&c, Backend::Bsfs, c.meta_shards);
-        Self {
-            net,
-            disks,
-            c,
-            services,
-            mode,
-            n_providers: providers,
-            n_clients,
-            versions_assigned: 0,
-            durations: vec![None; n_clients],
+/// Simulates N concurrent appenders (or random writers) through the real
+/// client protocol.
+pub fn simulate(c: &Constants, mode: OpMode, n_clients: usize) -> RunOutcome {
+    let providers = Backend::Bsfs.microbench_storage_nodes();
+    let n_nodes = providers.max(n_clients);
+    let dep = concurrent::deploy(
+        c,
+        providers,
+        n_nodes,
+        PlacementPolicy::RoundRobin,
+        0xF165,
+        REAL_BLOCK,
+    );
+    let boot = dep.sys.client(NodeId::new(0));
+    let blob = boot.create();
+    if mode == OpMode::RandomWrite {
+        // Pre-write the N-block BLOB the writers will overwrite, uncharged:
+        // capacity is then fixed and every metadata path is full depth.
+        let payload = vec![0u8; REAL_BLOCK as usize];
+        for _ in 0..n_clients {
+            boot.append(blob, &payload).unwrap();
         }
     }
-
-    /// Data phase: cache-flush overhead, provider-manager RPC, bulk flow.
-    fn start_client(&mut self, sched: &mut Scheduler<Self>, client: usize) {
-        let at = sched.now() + self.c.bsfs_block_overhead + self.c.rtt();
-        sched.schedule_at(at, move |w: &mut World, s| {
-            // Global round-robin allocation, offset so appender i and
-            // provider i are unrelated.
-            let provider = (client + 13) % w.n_providers;
-            let tok = Tok {
-                client,
-                provider,
-                started: s.now(),
-            };
-            if provider == client {
-                // Co-located: disk only.
-                let disk_done = w.disks[provider].submit(s.now(), w.c.block_bytes);
-                let ack = disk_done + w.c.provider_svc;
-                s.schedule_at(ack, move |w: &mut World, s| w.metadata_phase(s, client));
-            } else {
-                start_flow(
-                    w,
-                    s,
-                    NodeId::new(client as u64),
-                    NodeId::new(provider as u64),
-                    w.c.block_bytes,
-                    tok,
-                );
-            }
-        });
-    }
-
-    /// Version assignment (serialized) + tree-node puts + commit.
-    fn metadata_phase(&mut self, sched: &mut Scheduler<Self>, client: usize) {
-        let now = sched.now();
-        let assigned_at = self
-            .services
-            .central_call(now, self.c.vm_assign_svc, self.c.latency);
-        // The version this appender gets is its arrival rank at the VM.
-        self.versions_assigned += 1;
-        let v = self.versions_assigned;
-        let entry = match self.mode {
-            OpMode::Append => {
-                // The BLOB grows block by block; capacity doubles as needed.
-                LogEntry {
-                    version: Version::new(v),
-                    blocks: BlockRange::new(v - 1, v),
-                    cap_before: if v == 1 {
-                        0
-                    } else {
-                        (v - 1).next_power_of_two()
-                    },
-                    cap_after: v.next_power_of_two(),
-                    size_after: v * self.c.block_bytes,
-                }
-            }
-            OpMode::RandomWrite => {
-                // Overwrite a pseudo-random block of a pre-existing
-                // N-block BLOB: capacity is fixed, paths are full depth.
-                let cap = (self.n_clients as u64).next_power_of_two().max(1);
-                let b = (v * 2_654_435_761) % self.n_clients.max(1) as u64;
-                LogEntry {
-                    version: Version::new(v),
-                    blocks: BlockRange::new(b, b + 1),
-                    cap_before: cap,
-                    cap_after: cap,
-                    size_after: self.n_clients as u64 * self.c.block_bytes,
-                }
-            }
-        };
-        let puts_done =
-            self.services
-                .meta_parallel(assigned_at, shape::nodes_created(&entry), self.c.latency);
-        let done = puts_done + self.c.rtt();
-        sched.schedule_at(done, move |w: &mut World, s| {
-            w.durations[client] = Some(s.now() - SimTime::ZERO);
-        });
+    dep.set_charging(true);
+    let durations: Mutex<Vec<Option<SimDuration>>> = Mutex::new(vec![None; n_clients]);
+    let clients: Vec<ClientTask<'_>> = (0..n_clients)
+        .map(|i| {
+            let (durations, fabric) = (&durations, &dep.fabric);
+            (
+                // Writers run on storage machines, offset so appender i and
+                // the provider manager's i-th allocation are unrelated.
+                NodeId::new(((i + 13) % n_nodes) as u64),
+                Box::new(move |cl: BlobClient| {
+                    let t0 = fabric.gate().now();
+                    let payload = vec![i as u8; REAL_BLOCK as usize];
+                    match mode {
+                        OpMode::Append => {
+                            cl.append(blob, &payload).unwrap();
+                        }
+                        OpMode::RandomWrite => {
+                            // A pseudo-random block of the pre-written BLOB.
+                            let b = (i as u64).wrapping_mul(2_654_435_761) % n_clients as u64;
+                            cl.write(blob, b * REAL_BLOCK, &payload).unwrap();
+                        }
+                    }
+                    durations.lock()[i] = Some(fabric.gate().now() - t0);
+                }) as Box<dyn FnOnce(BlobClient) + Send>,
+            )
+        })
+        .collect();
+    dep.run_clients(clients);
+    let mbps = concurrent::client_mbps(c.block_bytes, &durations.into_inner())
+        .iter()
+        .sum();
+    let op = match mode {
+        OpMode::Append => blobseer_core::ProtocolOp::Append,
+        OpMode::RandomWrite => blobseer_core::ProtocolOp::Write,
+    };
+    RunOutcome {
+        mbps,
+        mean_assign_wait: dep
+            .phases
+            .breakdown()
+            .mean(op, blobseer_core::ProtocolPhase::VersionAssigned),
     }
 }
 
-/// Simulates N concurrent appenders (or random writers); returns the
-/// aggregated throughput in MB/s, following the paper's measurement
+/// Aggregated throughput in MB/s, following the paper's measurement
 /// methodology ("individual throughput is collected and is then averaged",
 /// §V-C): the sum of per-client rates.
 pub fn aggregated_mbps(c: &Constants, mode: OpMode, n_clients: usize) -> f64 {
-    let mut sim = Sim::new(World::new(c.clone(), mode, n_clients));
-    for client in 0..n_clients {
-        sim.schedule_in(SimDuration::ZERO, move |w: &mut World, s| {
-            w.start_client(s, client)
-        });
-    }
-    sim.run_until_idle();
-    let block_mb = c.block_bytes as f64 / (1024.0 * 1024.0);
-    sim.world
-        .durations
-        .iter()
-        .map(|d| block_mb / d.expect("append finished").as_secs_f64())
-        .sum()
+    simulate(c, mode, n_clients).mbps
 }
 
 /// Reproduces Fig. 5: aggregated append throughput vs client count (BSFS
@@ -205,6 +146,30 @@ pub fn run(c: &Constants, client_counts: &[usize]) -> Figure {
         series.push(n as f64, aggregated_mbps(c, OpMode::Append, n));
     }
     fig.series.push(series);
+    fig
+}
+
+/// The §V-F writes-vs-appends ablation as a figure: both modes on the same
+/// grid (`fig5 --writes` on the CLI). The curves should nearly coincide —
+/// "the same experiment performed with writes instead of appends leads to
+/// very similar results".
+pub fn run_writes(c: &Constants, client_counts: &[usize]) -> Figure {
+    let mut fig = Figure::new(
+        "Fig. 5 (writes ablation)",
+        "Appends vs block-aligned writes at random offsets (§V-F)",
+        "number of clients",
+        "aggregated throughput (MB/s)",
+    );
+    for (label, mode) in [
+        ("BSFS appends", OpMode::Append),
+        ("BSFS random writes", OpMode::RandomWrite),
+    ] {
+        let mut series = Series::new(label);
+        for &n in client_counts {
+            series.push(n as f64, aggregated_mbps(c, mode, n));
+        }
+        fig.series.push(series);
+    }
     fig
 }
 
@@ -239,6 +204,29 @@ mod tests {
     }
 
     #[test]
+    fn the_knee_comes_from_the_real_version_manager() {
+        // The curve bends because the assignment wait grows with N at the
+        // real version manager's queue — measured off the live protocol's
+        // phase boundaries, not a modeled parameter.
+        let c = Constants::default();
+        let small = simulate(&c, OpMode::Append, 10);
+        let large = simulate(&c, OpMode::Append, 250);
+        assert!(
+            large.mean_assign_wait > small.mean_assign_wait.saturating_mul(10),
+            "assignment wait must grow with concurrency: {} → {}",
+            small.mean_assign_wait,
+            large.mean_assign_wait
+        );
+        // And the wait at 250 clients is the right order of magnitude for
+        // a 4 ms-service FIFO: hundreds of milliseconds on average.
+        assert!(
+            large.mean_assign_wait > SimDuration::from_millis(100),
+            "250 queued assignments: {}",
+            large.mean_assign_wait
+        );
+    }
+
+    #[test]
     fn random_writes_behave_like_appends() {
         // §V-F: "The same experiment performed with writes instead of
         // appends, leads to very similar results."
@@ -252,6 +240,46 @@ mod tests {
                 "append {a:.0} vs write {w:.0} at {n} clients ({rel:.2})"
             );
         }
+    }
+
+    #[test]
+    fn every_append_really_lands_in_the_blob() {
+        // Beyond throughput: the concurrent run must leave a correct BLOB
+        // behind — N consecutive versions, N distinct block contents.
+        let c = Constants::default();
+        let providers = Backend::Bsfs.microbench_storage_nodes();
+        let dep = concurrent::deploy(
+            &c,
+            providers,
+            providers,
+            PlacementPolicy::RoundRobin,
+            7,
+            REAL_BLOCK,
+        );
+        let boot = dep.sys.client(NodeId::new(0));
+        let blob = boot.create();
+        dep.set_charging(true);
+        let clients: Vec<ClientTask<'_>> = (0..32u64)
+            .map(|i| {
+                (
+                    NodeId::new(i),
+                    Box::new(move |cl: BlobClient| {
+                        cl.append(blob, &[i as u8; REAL_BLOCK as usize]).unwrap();
+                    }) as Box<dyn FnOnce(BlobClient) + Send>,
+                )
+            })
+            .collect();
+        dep.run_clients(clients);
+        let (v, size) = boot.latest(blob).unwrap();
+        assert_eq!(v.raw(), 32);
+        assert_eq!(size, 32 * REAL_BLOCK);
+        let data = boot.read(blob, None, 0, size).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for chunk in data.chunks(REAL_BLOCK as usize) {
+            assert!(chunk.iter().all(|&b| b == chunk[0]), "torn append");
+            assert!(seen.insert(chunk[0]), "duplicate append");
+        }
+        assert_eq!(seen.len(), 32);
     }
 
     #[test]

@@ -1,212 +1,138 @@
 //! Fig. 6: Map/Reduce application benchmarks (§V-G).
 //!
 //! * **Fig. 6(a) — RandomTextWriter**: M mappers (co-deployed with storage
-//!   on 50 nodes) each generate `6.4 GB / M` of random text and write it to
-//!   their own output file. Writes are the measured path: HDFS writes
-//!   locally (its co-located policy) but pays the 0.20 chunk pipeline and
-//!   the namenode's synchronously-fsynced, O(block-list) edit log — which
-//!   *all mappers share*; BSFS streams blocks to round-robin remote
-//!   providers, overlapping disks across the cluster, and its version
-//!   manager does O(1) work per append.
+//!   on 50 nodes) each generate `6.4 GB / M` of random text and write it
+//!   to their own output file. The **BSFS leg is the real protocol**: each
+//!   mapper is a simulated client thread ([`crate::concurrent`]) whose
+//!   64 MB cache flushes are genuine `BlobClient::append` calls — provider
+//!   allocation, version assignment and segment-tree publish all run live,
+//!   with the shared version manager's O(1) work per append emerging from
+//!   the code. HDFS writes locally (its co-located policy) but pays the
+//!   0.20 chunk pipeline and the namenode's synchronously-fsynced,
+//!   O(block-list) edit log — which *all mappers share*; that leg stays a
+//!   cost model over [`crate::concurrent::BaselineWorld`] (HDFS has no
+//!   `BlobClient`).
 //! * **Fig. 6(b) — distributed grep**: a shared input file of 6.4→12.8 GB
 //!   (100→200 chunks) is scanned by one mapper per chunk on 150
-//!   co-deployed nodes. The jobtracker assigns tasks on 3-second
-//!   heartbeats, preferring data-local tasks. BSFS's balanced layout makes
-//!   nearly every map local; HDFS's sticky layout concentrates chunks on
-//!   hot datanodes whose disks and NICs become stragglers served remotely.
+//!   co-deployed nodes. Tasktracker slots are simulated threads sharing
+//!   one scheduling loop (at most one new task per tracker per 3-second
+//!   heartbeat, data-local tasks preferred — 0.20's greedy scheduler); the
+//!   BSFS leg's chunk locations come from the real
+//!   `BlobClient::locations` and its chunk reads are real
+//!   `BlobClient::read` calls, so locality and fetch costs emerge from the
+//!   live layout; HDFS's sticky layout concentrates chunks on hot
+//!   datanodes whose disks and NICs become stragglers served remotely.
 //!
 //! Completion time = storage/compute makespan + fixed job overhead (setup
 //! and cleanup tasks) + (grep only) the small reduce phase.
 
+use crate::concurrent::{self, BaselineWorld, ClientTask};
 use crate::constants::Constants;
 use crate::fig3b::policy_for;
 use crate::report::{Figure, Series};
-use crate::topology::{Backend, Services};
-use blobseer_core::meta::key::BlockRange;
-use blobseer_core::meta::log::LogEntry;
-use blobseer_core::meta::shape;
+use crate::topology::Backend;
 use blobseer_core::placement::Placer;
-use blobseer_types::{NodeId, Version};
-use simnet::{start_flow, FlowNet, NetWorld, NicSpec, Scheduler, Sim, SimDuration, SimTime};
+use blobseer_core::BlobClient;
+use blobseer_types::config::PlacementPolicy;
+use blobseer_types::NodeId;
+use parking_lot::Mutex;
+use simnet::{SimDuration, SimGate, SimTask, SimTime};
 
 /// Nodes in the RandomTextWriter deployment (§V-G: 50 machines).
 pub const RTW_NODES: usize = 50;
 /// Nodes in the grep deployment (§V-G: 150 machines).
 pub const GREP_NODES: usize = 150;
 /// Map slots per tasktracker (Hadoop default).
-const SLOTS: u8 = 2;
+const SLOTS: usize = 2;
+/// Metadata providers in the RTW deployment (§V-G: 10).
+const RTW_META_SHARDS: usize = 10;
+/// Real engine bytes behind each modeled 64 MB chunk.
+const REAL_CHUNK: u64 = 256;
+
+/// Heartbeat-staggered dispatch offset of mapper `m`.
+fn stagger(m: usize, heartbeat: SimDuration) -> SimDuration {
+    SimDuration::from_millis((m as u64 * 137) % heartbeat.as_millis())
+}
 
 // ---------------------------------------------------------------------------
 // Fig. 6(a): RandomTextWriter
 // ---------------------------------------------------------------------------
 
-#[derive(Clone, Copy)]
-struct WTok {
-    mapper: usize,
-    provider: usize,
-    started: SimTime,
-}
-
-struct RtwWorld {
-    net: FlowNet<WTok>,
-    disks: Vec<simnet::Disk>,
-    c: Constants,
-    backend: Backend,
-    services: Services,
-    chunks_per_mapper: usize,
-    /// Chunks written so far, per mapper.
-    progress: Vec<usize>,
-    /// Global round-robin provider cursor (BSFS placement).
-    rr: usize,
-    /// Versions assigned so far per output BLOB == chunk index (BSFS).
-    done_at: Vec<Option<SimTime>>,
-}
-
-impl NetWorld for RtwWorld {
-    type Token = WTok;
-    fn net_mut(&mut self) -> &mut FlowNet<WTok> {
-        &mut self.net
-    }
-    fn on_flow_complete(&mut self, sched: &mut Scheduler<Self>, tok: WTok) {
-        let disk_done = self.disks[tok.provider].submit(tok.started, self.c.block_bytes);
-        let ack = disk_done.max(sched.now()) + self.c.provider_svc;
-        sched.schedule_at(ack, move |w: &mut RtwWorld, s| {
-            w.bsfs_metadata(s, tok.mapper)
-        });
-    }
-}
-
-impl RtwWorld {
-    fn new(c: Constants, backend: Backend, mappers: usize, chunks_per_mapper: usize) -> Self {
-        let meta_shards = if backend == Backend::Bsfs { 10 } else { 0 }; // §V-G: 10 for RTW
-        let services = Services::new(&c, backend, meta_shards);
-        Self {
-            net: FlowNet::new(RTW_NODES, NicSpec::symmetric(c.nic_bps)),
-            disks: (0..RTW_NODES)
-                .map(|_| simnet::Disk::new(c.disk_write_bps))
-                .collect(),
-            c,
-            backend,
-            services,
-            chunks_per_mapper,
-            progress: vec![0; mappers],
-            rr: 13,
-            done_at: vec![None; mappers],
-        }
-    }
-
-    /// Generate the next chunk's text, then write it.
-    fn next_chunk(&mut self, sched: &mut Scheduler<Self>, mapper: usize) {
-        if self.progress[mapper] == self.chunks_per_mapper {
-            self.done_at[mapper] = Some(sched.now());
-            return;
-        }
-        let gen = SimDuration::from_secs_f64(self.c.block_bytes as f64 / self.c.textgen_bps);
-        sched.schedule_at(sched.now() + gen, move |w: &mut RtwWorld, s| {
-            w.write_chunk(s, mapper)
-        });
-    }
-
-    fn write_chunk(&mut self, sched: &mut Scheduler<Self>, mapper: usize) {
-        let now = sched.now();
-        let chunk_idx = self.progress[mapper] as u64;
-        match self.backend {
-            Backend::Hdfs => {
-                // Local-first placement: the mapper's own datanode. The
-                // namenode allocation — shared by every mapper — fsyncs an
-                // edit-log record containing the file's whole block list.
-                let svc = self.c.nn_svc
-                    + self.c.nn_editlog_fsync
-                    + SimDuration::from_nanos(self.c.nn_blocklist_per_chunk.as_nanos() * chunk_idx);
-                let allocated = self.services.central_call(now, svc, self.c.latency);
-                let start = allocated + self.c.hdfs_chunk_overhead_local;
-                let disk_done = {
-                    // Delay the disk submission to the (simulated) start
-                    // instant by computing from `start`.
-                    self.disks[mapper].submit(start, self.c.block_bytes)
-                };
-                self.progress[mapper] += 1;
-                sched.schedule_at(disk_done, move |w: &mut RtwWorld, s| {
-                    w.next_chunk(s, mapper)
-                });
-            }
-            Backend::Bsfs => {
-                let at = now + self.c.bsfs_block_overhead + self.c.rtt();
-                sched.schedule_at(at, move |w: &mut RtwWorld, s| {
-                    let provider = w.rr % RTW_NODES;
-                    w.rr += 1;
-                    let tok = WTok {
-                        mapper,
-                        provider,
-                        started: s.now(),
-                    };
-                    if provider == mapper {
-                        let disk_done = w.disks[provider].submit(s.now(), w.c.block_bytes);
-                        let ack = disk_done + w.c.provider_svc;
-                        s.schedule_at(ack, move |w: &mut RtwWorld, s| w.bsfs_metadata(s, mapper));
-                    } else {
-                        start_flow(
-                            w,
-                            s,
-                            NodeId::new(mapper as u64),
-                            NodeId::new(provider as u64),
-                            w.c.block_bytes,
-                            tok,
-                        );
-                    }
-                });
-            }
-        }
-    }
-
-    /// BSFS metadata phase for the mapper's own output BLOB.
-    fn bsfs_metadata(&mut self, sched: &mut Scheduler<Self>, mapper: usize) {
-        let now = sched.now();
-        let assigned = self
-            .services
-            .central_call(now, self.c.vm_assign_svc, self.c.latency);
-        let k = self.progress[mapper] as u64;
-        let entry = LogEntry {
-            version: Version::new(k + 1),
-            blocks: BlockRange::new(k, k + 1),
-            cap_before: if k == 0 { 0 } else { k.next_power_of_two() },
-            cap_after: (k + 1).next_power_of_two(),
-            size_after: (k + 1) * self.c.block_bytes,
-        };
-        let puts =
-            self.services
-                .meta_parallel(assigned, shape::nodes_created(&entry), self.c.latency);
-        self.progress[mapper] += 1;
-        sched.schedule_at(puts + self.c.rtt(), move |w: &mut RtwWorld, s| {
-            w.next_chunk(s, mapper)
-        });
-    }
-}
-
 /// Simulates one RandomTextWriter job; returns completion time in seconds.
 pub fn rtw_job_secs(c: &Constants, backend: Backend, mappers: usize, total_bytes: u64) -> f64 {
     assert!((1..=RTW_NODES).contains(&mappers));
-    let chunks_per_mapper = ((total_bytes / mappers as u64) as f64 / c.block_bytes as f64)
+    let chunks = ((total_bytes / mappers as u64) as f64 / c.block_bytes as f64)
         .round()
         .max(1.0) as usize;
-    let mut sim = Sim::new(RtwWorld::new(
-        c.clone(),
-        backend,
-        mappers,
-        chunks_per_mapper,
-    ));
-    for m in 0..mappers {
-        // Heartbeat-staggered dispatch plus the per-task JVM spawn.
-        let stagger =
-            SimDuration::from_millis((m as u64 * 137) % sim.world.c.heartbeat.as_millis());
-        sim.schedule_in(stagger + c.task_overhead, move |w: &mut RtwWorld, s| {
-            w.next_chunk(s, m)
-        });
+    let gen = SimDuration::from_secs_f64(c.block_bytes as f64 / c.textgen_bps);
+    let done: Mutex<Vec<Option<SimTime>>> = Mutex::new(vec![None; mappers]);
+    match backend {
+        Backend::Bsfs => {
+            // §V-G deploys 10 metadata providers for this benchmark.
+            let mut cb = c.clone();
+            cb.meta_shards = RTW_META_SHARDS;
+            let dep = concurrent::deploy(
+                &cb,
+                RTW_NODES,
+                RTW_NODES,
+                PlacementPolicy::RoundRobin,
+                0xF166A,
+                REAL_CHUNK,
+            );
+            dep.set_charging(true);
+            let clients: Vec<ClientTask<'_>> = (0..mappers)
+                .map(|m| {
+                    let (done, fabric) = (&done, &dep.fabric);
+                    (
+                        NodeId::new(m as u64),
+                        Box::new(move |cl: BlobClient| {
+                            let gate = fabric.gate();
+                            gate.sleep(stagger(m, cb.heartbeat) + cb.task_overhead);
+                            let blob = cl.create();
+                            let payload = vec![m as u8; REAL_CHUNK as usize];
+                            for _ in 0..chunks {
+                                // Generate the chunk's text, then flush the
+                                // 64 MB write-behind cache: a real append.
+                                gate.sleep(gen);
+                                cl.append(blob, &payload).unwrap();
+                            }
+                            done.lock()[m] = Some(gate.now());
+                        }) as Box<dyn FnOnce(BlobClient) + Send>,
+                    )
+                })
+                .collect();
+            dep.run_clients(clients);
+        }
+        Backend::Hdfs => {
+            let w = BaselineWorld::new(c, RTW_NODES);
+            let tasks: Vec<SimTask<'_>> = (0..mappers)
+                .map(|m| {
+                    let (w, done) = (&w, &done);
+                    Box::new(move || {
+                        let c = w.constants();
+                        w.gate.sleep(stagger(m, c.heartbeat) + c.task_overhead);
+                        for k in 0..chunks as u64 {
+                            w.gate.sleep(gen);
+                            // Local-first placement: the mapper's own
+                            // datanode. The namenode allocation — shared by
+                            // every mapper — fsyncs an edit-log record
+                            // containing the file's whole block list.
+                            let svc = c.nn_svc
+                                + c.nn_editlog_fsync
+                                + SimDuration::from_nanos(c.nn_blocklist_per_chunk.as_nanos() * k);
+                            w.central_call(svc);
+                            w.gate.sleep(c.hdfs_chunk_overhead_local);
+                            w.write_block_local(m);
+                        }
+                        done.lock()[m] = Some(w.gate.now());
+                    }) as SimTask<'_>
+                })
+                .collect();
+            w.gate.run(tasks);
+        }
     }
-    sim.run_until_idle();
-    let makespan = sim
-        .world
-        .done_at
+    let makespan = done
+        .into_inner()
         .iter()
         .map(|d| d.expect("mapper finished"))
         .max()
@@ -249,162 +175,114 @@ pub fn rtw_paper_mappers() -> Vec<usize> {
 // Fig. 6(b): distributed grep
 // ---------------------------------------------------------------------------
 
-#[derive(Clone, Copy)]
-struct GTok {
-    task: usize,
-    host: usize,
-    started: SimTime,
+/// Shared job state of one grep run: the task board every tasktracker
+/// slot claims from.
+struct GrepJob {
+    state: Mutex<GrepState>,
 }
 
-#[derive(Clone, Copy, PartialEq, Debug)]
-enum TaskState {
-    Pending,
-    Running,
-    Done,
-}
-
-struct GrepWorld {
-    net: FlowNet<GTok>,
-    disks: Vec<simnet::Disk>,
-    c: Constants,
-    backend: Backend,
-    services: Services,
-    /// Input-chunk host per task.
+struct GrepState {
+    /// Input-chunk host (storage-node index) per task.
     task_host: Vec<usize>,
-    state: Vec<TaskState>,
-    free_slots: Vec<u8>,
-    /// Which tracker runs each task (for slot release).
-    assigned_to: Vec<usize>,
+    /// Tasks not yet assigned to a tracker.
+    pending: Vec<bool>,
+    unassigned: usize,
+    /// Nominal beat instant of each tracker's last assignment: 0.20 hands
+    /// out at most one new task per tracker per heartbeat.
+    last_claim: Vec<Option<SimTime>>,
     remaining: usize,
     local_maps: usize,
     maps_done_at: Option<SimTime>,
 }
 
-impl NetWorld for GrepWorld {
-    type Token = GTok;
-    fn net_mut(&mut self) -> &mut FlowNet<GTok> {
-        &mut self.net
-    }
-    fn on_flow_complete(&mut self, sched: &mut Scheduler<Self>, tok: GTok) {
-        let disk_done = self.disks[tok.host].submit(tok.started, self.c.block_bytes);
-        let data_at = disk_done.max(sched.now());
-        let scan = SimDuration::from_secs_f64(self.c.block_bytes as f64 / self.c.grep_scan_bps);
-        sched.schedule_at(data_at + scan, move |w: &mut GrepWorld, s| {
-            w.finish_task(s, tok.task)
-        });
+/// Scrambled heartbeat phase of a tracker: real tasktrackers do not beat
+/// in node-id order, and ordered phases would let idle trackers steal
+/// every local task just before its owner's first heartbeat.
+fn grep_phase(tracker: usize, c: &Constants) -> SimDuration {
+    SimDuration::from_millis(
+        ((tracker as u64 * 7919) % GREP_NODES as u64) * c.heartbeat.as_millis() / GREP_NODES as u64,
+    )
+}
+
+/// One tasktracker slot: wakes at its tracker's heartbeats, claims at most
+/// one pending task per tracker per beat (data-local preferred, greedy —
+/// no delay scheduling), runs it via `io`, repeats until no task is left.
+fn grep_slot_loop(
+    gate: &SimGate,
+    c: &Constants,
+    job: &GrepJob,
+    tracker: usize,
+    mut io: impl FnMut(usize),
+) {
+    let origin = SimTime::ZERO + grep_phase(tracker, c);
+    let hb = c.heartbeat;
+    let mut next_beat = origin;
+    loop {
+        gate.sleep_until(next_beat);
+        let claimed = {
+            let mut st = job.state.lock();
+            if st.unassigned == 0 {
+                break;
+            }
+            if st.last_claim[tracker] == Some(next_beat) {
+                None // the sibling slot already took this beat's task
+            } else {
+                let local =
+                    (0..st.pending.len()).find(|&t| st.pending[t] && st.task_host[t] == tracker);
+                let pick = local.or_else(|| (0..st.pending.len()).find(|&t| st.pending[t]));
+                if let Some(task) = pick {
+                    st.pending[task] = false;
+                    st.unassigned -= 1;
+                    st.last_claim[tracker] = Some(next_beat);
+                    if local.is_some() {
+                        st.local_maps += 1;
+                    }
+                    Some(task)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(task) = claimed {
+            // JVM spawn + task init, then the task's open/fetch/scan.
+            gate.sleep(c.task_overhead);
+            io(task);
+            let mut st = job.state.lock();
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                st.maps_done_at = Some(gate.now());
+            }
+        }
+        // Next nominal beat strictly after now.
+        let elapsed = (gate.now() - origin).as_nanos();
+        let k = elapsed / hb.as_nanos() + 1;
+        next_beat = origin + SimDuration::from_nanos(k * hb.as_nanos());
     }
 }
 
-impl GrepWorld {
-    fn new(c: Constants, backend: Backend, n_chunks: usize, seed: u64) -> Self {
-        // Input layout: the boot file was written from a non-colocated
-        // client (§V-G), so HDFS spreads sticky-randomly, BSFS round-robin.
-        let mut placer = Placer::new(policy_for(&c, backend), seed);
-        let loads = vec![0u64; GREP_NODES];
-        let task_host: Vec<usize> = match backend {
-            Backend::Bsfs => (0..n_chunks).map(|i| (i + 13) % GREP_NODES).collect(),
-            Backend::Hdfs => (0..n_chunks).map(|_| placer.pick(&loads, &[])).collect(),
-        };
-        let meta_shards = if backend == Backend::Bsfs {
-            c.meta_shards
-        } else {
-            0
-        };
-        let services = Services::new(&c, backend, meta_shards);
+impl GrepJob {
+    fn new(task_host: Vec<usize>) -> Self {
+        let n = task_host.len();
         Self {
-            net: FlowNet::new(GREP_NODES, NicSpec::symmetric(c.nic_bps)),
-            disks: (0..GREP_NODES)
-                .map(|_| simnet::Disk::new(c.disk_read_bps))
-                .collect(),
-            c,
-            backend,
-            services,
-            state: vec![TaskState::Pending; n_chunks],
-            assigned_to: vec![0; n_chunks],
-            task_host,
-            free_slots: vec![SLOTS; GREP_NODES],
-            remaining: n_chunks,
-            local_maps: 0,
-            maps_done_at: None,
+            state: Mutex::new(GrepState {
+                task_host,
+                pending: vec![true; n],
+                unassigned: n,
+                last_claim: vec![None; GREP_NODES],
+                remaining: n,
+                local_maps: 0,
+                maps_done_at: None,
+            }),
         }
     }
 
-    /// One tasktracker heartbeat: 0.20 assigns at most *one* new task per
-    /// tracker per heartbeat, preferring node-local tasks (greedy, no
-    /// delay scheduling).
-    fn heartbeat(&mut self, sched: &mut Scheduler<Self>, tracker: usize) {
-        if self.remaining == 0 {
-            return;
-        }
-        if self.free_slots[tracker] > 0 {
-            let local = (0..self.state.len())
-                .find(|&t| self.state[t] == TaskState::Pending && self.task_host[t] == tracker);
-            let pick = local
-                .or_else(|| (0..self.state.len()).find(|&t| self.state[t] == TaskState::Pending));
-            if let Some(task) = pick {
-                self.state[task] = TaskState::Running;
-                self.assigned_to[task] = tracker;
-                self.free_slots[tracker] -= 1;
-                if local.is_some() {
-                    self.local_maps += 1;
-                }
-                self.launch_task(sched, task, tracker);
-            }
-        }
-        let next = sched.now() + self.c.heartbeat;
-        sched.schedule_at(next, move |w: &mut GrepWorld, s| w.heartbeat(s, tracker));
-    }
-
-    fn launch_task(&mut self, sched: &mut Scheduler<Self>, task: usize, tracker: usize) {
-        // JVM spawn + task init, then open: one central query (namenode /
-        // version manager), plus the BSFS tree descent.
-        let now = sched.now() + self.c.task_overhead;
-        let opened = self
-            .services
-            .central_call(now, self.c.nn_svc, self.c.latency);
-        let ready = match self.backend {
-            Backend::Hdfs => opened,
-            Backend::Bsfs => {
-                let cap = (self.task_host.len() as u64).next_power_of_two();
-                let hops = shape::tree_depth(cap) as u64 + 1;
-                self.services.meta_sequential(opened, hops, self.c.latency)
-            }
-        };
-        let host = self.task_host[task];
-        sched.schedule_at(ready, move |w: &mut GrepWorld, s| {
-            let scan = SimDuration::from_secs_f64(w.c.block_bytes as f64 / w.c.grep_scan_bps);
-            if host == tracker {
-                // Local map: read from the node's own disk.
-                let disk_done = w.disks[host].submit(s.now(), w.c.block_bytes);
-                s.schedule_at(disk_done + scan, move |w: &mut GrepWorld, s| {
-                    w.finish_task(s, task)
-                });
-            } else {
-                // Remote map: pull the chunk over the network.
-                let tok = GTok {
-                    task,
-                    host,
-                    started: s.now(),
-                };
-                start_flow(
-                    w,
-                    s,
-                    NodeId::new(host as u64),
-                    NodeId::new(tracker as u64),
-                    w.c.block_bytes,
-                    tok,
-                );
-            }
-        });
-    }
-
-    fn finish_task(&mut self, sched: &mut Scheduler<Self>, task: usize) {
-        debug_assert_eq!(self.state[task], TaskState::Running);
-        self.state[task] = TaskState::Done;
-        self.free_slots[self.assigned_to[task]] += 1;
-        self.remaining -= 1;
-        if self.remaining == 0 {
-            self.maps_done_at = Some(sched.now());
+    fn outcome(self, c: &Constants, n_chunks: usize) -> GrepOutcome {
+        let st = self.state.into_inner();
+        let maps_done = st.maps_done_at.expect("all maps finished");
+        let total = maps_done + c.reduce_phase + c.job_overhead;
+        GrepOutcome {
+            secs: total.as_secs_f64(),
+            locality: st.local_maps as f64 / n_chunks as f64,
         }
     }
 }
@@ -420,24 +298,87 @@ pub struct GrepOutcome {
 
 /// Simulates one distributed-grep job over `n_chunks` input chunks.
 pub fn grep_job(c: &Constants, backend: Backend, n_chunks: usize, seed: u64) -> GrepOutcome {
-    let mut sim = Sim::new(GrepWorld::new(c.clone(), backend, n_chunks, seed));
-    for tracker in 0..GREP_NODES {
-        // Staggered heartbeats, as in a real cluster.
-        // Scrambled phases: real tasktrackers do not heartbeat in node-id
-        // order, and ordered phases would let idle trackers steal every
-        // local task 20 ms before its owner's first heartbeat.
-        let phase = SimDuration::from_millis(
-            ((tracker as u64 * 7919) % GREP_NODES as u64) * sim.world.c.heartbeat.as_millis()
-                / GREP_NODES as u64,
-        );
-        sim.schedule_in(phase, move |w: &mut GrepWorld, s| w.heartbeat(s, tracker));
-    }
-    sim.run_until_idle();
-    let maps_done = sim.world.maps_done_at.expect("all maps finished");
-    let total = maps_done + c.reduce_phase + c.job_overhead;
-    GrepOutcome {
-        secs: total.as_secs_f64(),
-        locality: sim.world.local_maps as f64 / n_chunks as f64,
+    let scan = SimDuration::from_secs_f64(c.block_bytes as f64 / c.grep_scan_bps);
+    match backend {
+        Backend::Bsfs => {
+            let dep = concurrent::deploy(
+                c,
+                GREP_NODES,
+                GREP_NODES,
+                policy_for(c, Backend::Bsfs),
+                seed,
+                REAL_CHUNK,
+            );
+            // Boot the shared input file (uncharged); its layout — and
+            // therefore task locality — comes from the live engine.
+            let boot = dep.sys.client(NodeId::new(0));
+            let blob = boot.create();
+            let payload = vec![3u8; REAL_CHUNK as usize];
+            for _ in 0..n_chunks {
+                boot.append(blob, &payload).unwrap();
+            }
+            let task_host: Vec<usize> = boot
+                .locations(blob, None, 0, n_chunks as u64 * REAL_CHUNK)
+                .unwrap()
+                .iter()
+                .map(|l| l.nodes[0].raw() as usize)
+                .collect();
+            let job = GrepJob::new(task_host);
+            dep.set_charging(true);
+            let mut clients: Vec<ClientTask<'_>> = Vec::with_capacity(GREP_NODES * SLOTS);
+            for tracker in 0..GREP_NODES {
+                for _slot in 0..SLOTS {
+                    let (job, fabric) = (&job, &dep.fabric);
+                    clients.push((
+                        NodeId::new(tracker as u64),
+                        Box::new(move |cl: BlobClient| {
+                            grep_slot_loop(fabric.gate(), c, job, tracker, |task| {
+                                // Open + descent + fetch: the real read
+                                // path (local when the chunk lives on this
+                                // tracker's node), then the regex scan.
+                                cl.read(blob, None, task as u64 * REAL_CHUNK, REAL_CHUNK)
+                                    .unwrap();
+                                fabric.gate().sleep(scan);
+                            });
+                        }) as Box<dyn FnOnce(BlobClient) + Send>,
+                    ));
+                }
+            }
+            dep.run_clients(clients);
+            job.outcome(c, n_chunks)
+        }
+        Backend::Hdfs => {
+            // Input layout: the boot file was written from a non-colocated
+            // client (§V-G), so HDFS spreads it sticky-randomly.
+            let mut placer = Placer::new(policy_for(c, Backend::Hdfs), seed);
+            let loads = vec![0u64; GREP_NODES];
+            let task_host: Vec<usize> = (0..n_chunks).map(|_| placer.pick(&loads, &[])).collect();
+            let job = GrepJob::new(task_host.clone());
+            let w = BaselineWorld::new(c, GREP_NODES);
+            let mut tasks: Vec<SimTask<'_>> = Vec::with_capacity(GREP_NODES * SLOTS);
+            for tracker in 0..GREP_NODES {
+                for _slot in 0..SLOTS {
+                    let (w, job, task_host) = (&w, &job, &task_host);
+                    tasks.push(Box::new(move || {
+                        grep_slot_loop(&w.gate, c, job, tracker, |task| {
+                            // Namenode locations query, then the chunk
+                            // fetch (remote over the network when the
+                            // sticky layout put it elsewhere), then the
+                            // scan.
+                            w.central_call(c.nn_svc);
+                            w.fetch_block(
+                                task_host[task],
+                                NodeId::new(tracker as u64),
+                                SimDuration::ZERO,
+                            );
+                            w.gate.sleep(scan);
+                        });
+                    }) as SimTask<'_>);
+                }
+            }
+            w.gate.run(tasks);
+            job.outcome(c, n_chunks)
+        }
     }
 }
 

@@ -11,16 +11,20 @@
 //! | [`fig5`]  | Fig. 5    | 1→250 concurrent appenders, shared BLOB |
 //! | [`fig6`]  | Fig. 6(a)/(b) | RandomTextWriter & distributed grep |
 //!
-//! The single-writer figures (3a/3b) run the **real client protocol** over
-//! the simnet-backed port adapters of [`simport`]: the same
-//! `BlockStore`/`MetaStore`/`VersionService` calls as an in-memory
-//! deployment, with each call charged against the §V cost model. The
-//! concurrent-client figures keep discrete-event worlds that re-use the
-//! live engine's protocol arithmetic — placement policies and segment-tree
-//! node counts come from `blobseer_core` — while data movement becomes
-//! flows in `simnet`. Calibrated constants live in [`constants`] and are
-//! discussed in EXPERIMENTS.md.
+//! Every BSFS curve now runs the **real client protocol** through one
+//! harness, [`concurrent`]: the single-writer figures (3a/3b) deploy it
+//! with a single client thread, the concurrent-client figures (4, 5, 6)
+//! with up to 250 — so the version-manager FIFO, tree-descent hops and
+//! disk/flow contention *emerge* from the live code under the §V cost
+//! model instead of being hand-computed per figure, and the cost
+//! arithmetic cannot drift between figures.
+//!
+//! HDFS comparison legs remain cost models (HDFS is the baseline, not the
+//! system under test) composed from the same simulated-time primitives.
+//! Calibrated constants live in [`constants`]; `docs/REPRODUCING.md` maps
+//! every figure to its driver, expected band, and real-vs-modeled layers.
 
+pub mod concurrent;
 pub mod constants;
 pub mod fig3a;
 pub mod fig3b;
@@ -28,7 +32,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod report;
-pub mod simport;
 pub mod topology;
 
 pub use constants::Constants;

@@ -1,4 +1,4 @@
-//! WordCount: the canonical Map/Reduce example (Dean & Ghemawat [1]),
+//! WordCount: the canonical Map/Reduce example (Dean & Ghemawat \[1\]),
 //! included as a third runnable application exercising a heavier shuffle
 //! than grep.
 

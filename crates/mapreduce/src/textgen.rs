@@ -1,7 +1,7 @@
 //! Random text generation, shared by the RandomTextWriter application and
 //! the benchmark workload generators.
 //!
-//! Mirrors Hadoop's RandomTextWriter: "each [mapper] generates a huge
+//! Mirrors Hadoop's RandomTextWriter: "each \[mapper\] generates a huge
 //! sequence of random sentences formed from a list of predefined words"
 //! (§V-G).
 

@@ -251,9 +251,9 @@ impl<T> FlowNet<T> {
     /// and removes the finished flows. Returns `(instant, tokens)`, or
     /// `None` when no flow is active.
     ///
-    /// Sequential simulations — e.g. the ports-backed figure drivers that
-    /// charge one transfer at a time from a synchronous client call — use
-    /// this instead of arming kernel wake-ups.
+    /// For strictly sequential simulations that charge one transfer at a
+    /// time from synchronous code; concurrent worlds use the kernel pump
+    /// ([`start_flow`]) or the [`crate::gate::SimGate`] instead.
     pub fn run_to_next_completion(&mut self) -> Option<(SimTime, Vec<T>)> {
         let at = self.next_completion()?;
         self.advance(at);

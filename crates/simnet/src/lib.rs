@@ -18,6 +18,12 @@
 //!   used for the centralized entities: HDFS's namenode and BlobSeer's
 //!   version manager ("the only step … where concurrent requests are
 //!   serialized", §III-A.4).
+//! * [`gate`] — virtual-time coordination for many *real* blocked client
+//!   threads: synchronous code (the genuine client protocol) runs one
+//!   thread per simulated client, interleaved deterministically on the
+//!   simulated clock, with flow completions as dynamic wake-ups. This is
+//!   what lets the concurrent-client figures (4–6) drive the real
+//!   `BlobClient` instead of bespoke event-handler re-implementations.
 //!
 //! # Example
 //!
@@ -39,12 +45,14 @@
 
 pub mod disk;
 pub mod flow;
+pub mod gate;
 pub mod kernel;
 pub mod server;
 pub mod time;
 
 pub use disk::Disk;
 pub use flow::{start_flow, FlowId, FlowNet, NetWorld, NicSpec};
+pub use gate::{SimGate, SimTask};
 pub use kernel::{Scheduler, Sim};
 pub use server::FifoServer;
 pub use time::{SimDuration, SimTime};

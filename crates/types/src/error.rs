@@ -17,14 +17,26 @@ pub enum Error {
     /// The requested BLOB id is unknown to the version manager.
     NoSuchBlob(u64),
     /// The requested version has not been assigned for this BLOB.
-    NoSuchVersion { blob: u64, version: u64 },
+    NoSuchVersion {
+        /// Raw id of the BLOB queried.
+        blob: u64,
+        /// Raw version number that does not exist.
+        version: u64,
+    },
     /// The requested version exists but has not yet been revealed to readers
     /// (its own or a lower version's metadata is still being written,
     /// §III-A.5).
-    VersionNotRevealed { blob: u64, version: u64 },
+    VersionNotRevealed {
+        /// Raw id of the BLOB queried.
+        blob: u64,
+        /// Raw version number still pending reveal.
+        version: u64,
+    },
     /// A read touched a range beyond the size of the requested snapshot.
     OutOfBounds {
+        /// One past the last byte the caller asked for.
         requested_end: u64,
+        /// Size of the snapshot actually addressed.
         snapshot_size: u64,
     },
     /// A metadata tree node expected to exist was not found in the DHT.

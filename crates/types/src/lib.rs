@@ -8,6 +8,8 @@
 //!
 //! [`blobseer-core`]: https://hal.inria.fr/inria-00456801
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod error;
 pub mod ids;

@@ -49,6 +49,18 @@ fn fig5_renders_single_series() {
 }
 
 #[test]
+fn fig5_writes_ablation_renders_both_modes() {
+    // The `fig5 --writes` figure: appends and random block-aligned writes
+    // side by side, nearly coincident (§V-F's closing remark).
+    let c = Constants::default();
+    let fig = fig5::run_writes(&c, &[100]);
+    assert_eq!(fig.series.len(), 2);
+    let a = fig.series[0].y_at(100.0).unwrap();
+    let w = fig.series[1].y_at(100.0).unwrap();
+    assert!((a - w).abs() / a < 0.15, "appends {a:.0} vs writes {w:.0}");
+}
+
+#[test]
 fn fig6_renders_both_apps() {
     let c = Constants::default();
     let rtw = fig6::run_rtw(&c, &[50, 1]);
