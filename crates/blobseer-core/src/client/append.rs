@@ -25,12 +25,21 @@ impl BlobClient {
         // workloads). Descriptors are keyed relative to block 0 for now.
         let optimistic = self.store_blocks(Bytes::copy_from_slice(data), 0)?;
         self.observe(ProtocolOp::Append, ProtocolPhase::DataDone);
-        let ticket = self.sys.vm.assign(
+        let ticket = match self.sys.vm.assign(
             blob,
             WriteIntent::Append {
                 size: data.len() as u64,
             },
-        )?;
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                // No version exists (e.g. the BLOB was deleted between the
+                // data phase and assignment): the optimistic blocks can
+                // never be referenced — undo the data phase.
+                self.release_stored(&optimistic);
+                return Err(e);
+            }
+        };
         self.observe(ProtocolOp::Append, ProtocolPhase::VersionAssigned);
         let leaves = if ticket.offset.is_multiple_of(bs) {
             // Re-key descriptors at the real first block index.
@@ -41,14 +50,10 @@ impl BlobClient {
                 .collect()
         } else {
             // Rare slow path: the file tail is unaligned. Discard the
-            // optimistic blocks and redo the data phase with boundary
-            // merging at the now-known offset.
-            for (_, d) in &optimistic {
-                for &p in &d.providers {
-                    self.sys.providers.delete(p as usize, d.block_id);
-                    self.sys.pm.release(p as usize);
-                }
-            }
+            // optimistic blocks (deleting them and releasing their load
+            // accounting) and redo the data phase with boundary merging at
+            // the now-known offset.
+            self.release_stored(&optimistic);
             // An unaligned append rewrites the preceding snapshot's tail
             // block, so its content must be *exact*: wait until the
             // preceding version is revealed (block-aligned appends — the

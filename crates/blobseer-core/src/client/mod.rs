@@ -52,8 +52,22 @@
 //!    through your adapters.
 //!
 //! The traits are object-safe by design (`Arc<dyn …>` wiring), so backends
-//! can be chosen at runtime — the door to RPC and async adapters in later
-//! PRs.
+//! can be chosen at runtime.
+//!
+//! **Worked example: the TCP backend.** The `blobseer-rpc` crate follows
+//! exactly this recipe to take the protocol over real sockets:
+//! `RpcBlockStore`/`RpcMetaStore`/`RpcVersionService` implement the three
+//! traits over pooled TCP connections (one frame per port call; service
+//! errors round-trip the wire as their own [`blobseer_types::Error`]
+//! variants), and `blobseer_rpc::LoopbackCluster::deploy` is nothing more
+//! than step 2 + 3: it fills an [`EnginePorts`] with the RPC adapters and
+//! hands it to [`BlobSeer::deploy_ports`]. Two practical notes for remote
+//! backends it illustrates: fetch fixed deployment *shape* (provider
+//! count, hosting nodes, block size) once at connect time so the
+//! non-`Result` trait methods stay cheap and infallible, and never
+//! multiplex two in-flight requests on one connection, because port calls
+//! like [`crate::ports::VersionService::wait_revealed`] block
+//! server-side.
 //!
 //! [`write`]: BlobClient::write
 //! [`append`]: BlobClient::append

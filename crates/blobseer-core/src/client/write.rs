@@ -53,13 +53,22 @@ impl BlobClient {
         let first_block = merged.start / bs;
         let leaves = self.store_blocks(merged.payload, first_block)?;
         self.observe(ProtocolOp::Write, ProtocolPhase::DataDone);
-        let ticket = self.sys.vm.assign(
+        let ticket = match self.sys.vm.assign(
             blob,
             WriteIntent::Write {
                 offset,
                 size: data.len() as u64,
             },
-        )?;
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                // No version exists, so the stored blocks can never be
+                // referenced: undo the data phase or the orphans would skew
+                // the provider manager's load accounting forever.
+                self.release_stored(&leaves);
+                return Err(e);
+            }
+        };
         self.observe(ProtocolOp::Write, ProtocolPhase::VersionAssigned);
         self.publish_and_commit(ProtocolOp::Write, &ticket, leaves)?;
         Ok(ticket.version)
@@ -147,10 +156,12 @@ impl BlobClient {
     /// returns `(block_index, descriptor)` pairs keyed from `first_block`.
     ///
     /// A failed block put aborts the whole write ("if writing of a block
-    /// fails, then the whole write fails", §III-D); blocks stored before
-    /// the failure become unreferenced, the same caveat as a crashed
-    /// writer (§VI-B) — the version manager was never involved, so the
-    /// snapshot history is untouched.
+    /// fails, then the whole write fails", §III-D). The data phase then
+    /// undoes itself: `allocate` charged provider-manager load for *every*
+    /// block of this call up front, so the blocks that did land are
+    /// deleted and every allocation is released — otherwise a refused put
+    /// would skew placement accounting forever. The version manager was
+    /// never involved, so the snapshot history is untouched.
     pub(crate) fn store_blocks(
         &self,
         payload: Bytes,
@@ -160,12 +171,23 @@ impl BlobClient {
         let n_blocks = payload.len().div_ceil(bs);
         let allocs = self.sys.pm.allocate(n_blocks, self.sys.cfg.replication)?;
         let mut out = Vec::with_capacity(n_blocks);
-        for (i, alloc) in allocs.into_iter().enumerate() {
+        for (i, alloc) in allocs.iter().enumerate() {
             let lo = i * bs;
             let hi = ((i + 1) * bs).min(payload.len());
             let chunk = payload.slice(lo..hi);
             for &p in &alloc.providers {
-                self.sys.providers.put(p, alloc.block_id, chunk.clone())?;
+                if let Err(e) = self.sys.providers.put(p, alloc.block_id, chunk.clone()) {
+                    // Undo the whole allocation set: deleting a block that
+                    // never landed is a no-op, and each replica's load was
+                    // charged exactly once at allocate time.
+                    for a in &allocs {
+                        for &q in &a.providers {
+                            self.sys.providers.delete(q, a.block_id);
+                            self.sys.pm.release(q);
+                        }
+                    }
+                    return Err(e);
+                }
                 EngineStats::add(&self.sys.stats.blocks_written, 1);
                 EngineStats::add(&self.sys.stats.bytes_written, (hi - lo) as u64);
             }
@@ -179,6 +201,21 @@ impl BlobClient {
             ));
         }
         Ok(out)
+    }
+
+    /// Undoes the data phase of a write whose later phases failed: deletes
+    /// the stored blocks and releases their provider-manager load (one unit
+    /// per replica). Blocks orphaned by a failed version assignment,
+    /// metadata publish or commit are unreachable from every revealed
+    /// snapshot — repair republishes *aliases* to the previous version,
+    /// never these descriptors — so they are pure leaks until released.
+    pub(crate) fn release_stored(&self, leaves: &[(u64, BlockDescriptor)]) {
+        for (_, d) in leaves {
+            for &p in &d.providers {
+                self.sys.providers.delete(p as usize, d.block_id);
+                self.sys.pm.release(p as usize);
+            }
+        }
     }
 
     /// Metadata phase + commit.
@@ -199,18 +236,34 @@ impl BlobClient {
         ticket: &WriteTicket,
         leaves: Vec<(u64, BlockDescriptor)>,
     ) -> Result<()> {
-        let leaves: HashMap<u64, BlockDescriptor> = leaves.into_iter().collect();
+        let leaf_map: HashMap<u64, BlockDescriptor> = leaves.iter().cloned().collect();
         let tree = self.sys.tree();
-        let root = match tree.publish_write(ticket.blob, &ticket.entry, &ticket.chain, &leaves) {
+        let root = match tree.publish_write(ticket.blob, &ticket.entry, &ticket.chain, &leaf_map) {
             Ok(root) => root,
             Err(e) => {
                 let _ = self.repair_aborted(ticket);
+                // Whether or not the repair landed, no revealed snapshot
+                // can ever reference this write's blocks (repair aliases
+                // the *previous* version's leaves): undo the data phase.
+                self.release_stored(&leaves);
                 return Err(e);
             }
         };
         tree.register_root(root);
         self.observe(op, ProtocolPhase::MetadataPublished);
-        self.sys.vm.commit(ticket.blob, ticket.version)?;
+        if let Err(e) = self.sys.vm.commit(ticket.blob, ticket.version) {
+            // Release only when the BLOB is gone (deleted mid-write): the
+            // version then provably never revealed and never will, so the
+            // stored blocks are orphans. Other commit failures are
+            // conservative no-ops — by this point the metadata *is*
+            // published and root-registered, and e.g. an Internal
+            // "double commit" would mean the version is live, where
+            // deleting its blocks would corrupt readable data.
+            if matches!(e, Error::NoSuchBlob(_)) {
+                self.release_stored(&leaves);
+            }
+            return Err(e);
+        }
         self.observe(op, ProtocolPhase::Committed);
         Ok(())
     }

@@ -34,6 +34,13 @@ pub struct GcReport {
     pub blocks_deleted: u64,
     /// Payload bytes freed (primary copies; replicas add on top).
     pub bytes_freed: u64,
+    /// Releases of nodes the tracker never counted a reference for. Each
+    /// one is a refcount bug — a double release, or a publish that skipped
+    /// its `inc_node` — and the node's subtree leaks (the release stops
+    /// there instead of cascading). The seed `debug_assert!`ed here, so
+    /// release builds hid these as silent permanent leaks; now they are
+    /// counted and surfaced through `EngineStats::gc_untracked_releases`.
+    pub untracked_releases: u64,
 }
 
 impl GcReport {
@@ -42,6 +49,7 @@ impl GcReport {
         self.nodes_deleted += other.nodes_deleted;
         self.blocks_deleted += other.blocks_deleted;
         self.bytes_freed += other.bytes_freed;
+        self.untracked_releases += other.untracked_releases;
     }
 }
 
@@ -109,7 +117,12 @@ impl GcTracker {
                         true
                     }
                     None => {
-                        debug_assert!(false, "releasing untracked node {key:?}");
+                        // A refcount bug: nothing to release. Count it so
+                        // the leak is observable in every build profile
+                        // instead of a debug-only assert that release
+                        // builds silently no-op'ed.
+                        report.untracked_releases += 1;
+                        EngineStats::add(&stats.gc_untracked_releases, 1);
                         false
                     }
                 }
@@ -276,6 +289,37 @@ mod tests {
         assert_eq!(f.gc.tracked_nodes(), 0);
         assert_eq!(f.stats.snapshot().meta_nodes_collected, 5);
         assert_eq!(f.stats.snapshot().blocks_collected, 3);
+    }
+
+    #[test]
+    fn untracked_release_is_counted_not_silent() {
+        let f = fixture();
+        build_two_versions(&f);
+        // Releasing a root the tracker never heard of must not panic, must
+        // not touch healthy state, and must be visible in the report and
+        // the engine counters (the seed's debug_assert no-op'ed in release
+        // builds, hiding the refcount bug as a permanent leak).
+        let bogus = key(9, 0, 2);
+        let report =
+            f.gc.release_root(bogus, &f.dht, &f.providers, &f.pm, &f.stats)
+                .unwrap();
+        assert_eq!(report.untracked_releases, 1);
+        assert_eq!(report.nodes_deleted, 0);
+        assert_eq!(f.stats.snapshot().gc_untracked_releases, 1);
+        assert_eq!(f.dht.node_count(), 5, "healthy metadata untouched");
+        // A double release of a real root: the first pass frees it, the
+        // second is untracked and counted.
+        f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
+            .unwrap();
+        let report =
+            f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
+                .unwrap();
+        assert_eq!(report.untracked_releases, 1);
+        assert_eq!(f.stats.snapshot().gc_untracked_releases, 2);
+        // Reports merge the new counter too.
+        let mut total = GcReport::default();
+        total.merge(report);
+        assert_eq!(total.untracked_releases, 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! * [`VersionService`] — the version manager: the serialization point of
 //!   the protocol (§III-A.4) plus snapshot/branch/GC bookkeeping.
 //!
-//! Three adapter families ship in-tree:
+//! Four adapter families ship in-tree:
 //!
 //! 1. the **in-memory** structs ([`crate::block_store::ProviderSet`],
 //!    [`crate::dht::MetaDht`], [`crate::version_manager::VersionManager`]),
@@ -23,7 +23,11 @@
 //!    discrete-event cost model per call so the figure drivers exercise the
 //!    real client code path;
 //! 3. the **fault-injecting** decorators ([`crate::faults`]) that drop,
-//!    delay or duplicate puts for crash-consistency tests.
+//!    delay or duplicate puts for crash-consistency tests;
+//! 4. the **TCP RPC** adapters (`blobseer-rpc`) that take every trait call
+//!    over real sockets to separate server processes — the paper's
+//!    "communicate through remote procedure calls" (§III-B) — with every
+//!    [`blobseer_types::Error`] variant surviving the wire round-trip.
 //!
 //! A fourth, *passive* port rides along: [`ProtocolObserver`] receives a
 //! callback at every protocol phase boundary (data phase, version

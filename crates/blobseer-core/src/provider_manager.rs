@@ -38,12 +38,32 @@ pub struct ProviderManager {
 impl ProviderManager {
     /// Creates a manager over `n_providers` providers with the given policy.
     pub fn new(n_providers: usize, policy: PlacementPolicy, seed: u64) -> Self {
+        Self::with_block_base(n_providers, policy, seed, 1)
+    }
+
+    /// Like [`Self::new`], but drawing block ids from `first_block` upward.
+    ///
+    /// Block ids must be unique across every manager whose blocks land on
+    /// the same providers. In-process deployments have exactly one manager,
+    /// so `new` starting at 1 suffices; an RPC deployment runs one manager
+    /// per *client process* against shared remote providers, and gives each
+    /// manager a disjoint id range (`blobseer_rpc::LoopbackCluster::deploy`
+    /// spaces them 2^40 apart). Colliding ids would make the providers'
+    /// immutable-put check reject — or in release builds silently drop —
+    /// one client's blocks.
+    pub fn with_block_base(
+        n_providers: usize,
+        policy: PlacementPolicy,
+        seed: u64,
+        first_block: u64,
+    ) -> Self {
         assert!(n_providers > 0, "need at least one data provider");
+        assert!(first_block >= 1, "block ids start at 1");
         Self {
             n_providers,
             placer: Mutex::new(Placer::new(policy, seed)),
             loads: Mutex::new(vec![0; n_providers]),
-            next_block: AtomicU64::new(1),
+            next_block: AtomicU64::new(first_block),
         }
     }
 

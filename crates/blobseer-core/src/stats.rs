@@ -28,6 +28,10 @@ pub struct EngineStats {
     pub meta_nodes_collected: AtomicU64,
     /// Data blocks deleted by the garbage collector.
     pub blocks_collected: AtomicU64,
+    /// GC releases of nodes the tracker never counted a reference for —
+    /// refcount bugs that would otherwise surface only as permanent leaks
+    /// (see `GcReport::untracked_releases`). Always 0 in a healthy engine.
+    pub gc_untracked_releases: AtomicU64,
 }
 
 impl EngineStats {
@@ -54,6 +58,7 @@ impl EngineStats {
             writes_aborted: g(&self.writes_aborted),
             meta_nodes_collected: g(&self.meta_nodes_collected),
             blocks_collected: g(&self.blocks_collected),
+            gc_untracked_releases: g(&self.gc_untracked_releases),
         }
     }
 }
@@ -70,6 +75,7 @@ pub struct StatsSnapshot {
     pub writes_aborted: u64,
     pub meta_nodes_collected: u64,
     pub blocks_collected: u64,
+    pub gc_untracked_releases: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,516 @@
+//! Client-side adapters: the three port traits implemented over pooled
+//! TCP connections.
+//!
+//! Each adapter holds a small connection pool per endpoint. A call checks
+//! a connection out, writes one request frame, reads one response frame,
+//! and returns the connection — so concurrent calls from many client
+//! threads each ride their own connection and a blocking call
+//! (`wait_revealed`) never head-of-line-blocks another request.
+//!
+//! Service failures arrive as their real [`Error`] variants (decoded from
+//! the response envelope); only genuine connectivity problems — refused
+//! connections, resets, malformed frames — surface as
+//! [`Error::Transport`].
+//!
+//! Port methods that return plain values rather than `Result` (they are
+//! diagnostics: counts, sizes, op counters) cannot propagate a transport
+//! failure; they degrade to a zero/empty answer. The fixed deployment
+//! *shape* — provider count, hosting nodes, DHT shard count, block size —
+//! is fetched once at connect time and served from cache, so the hot
+//! paths that consult it stay local.
+
+use crate::server::{block_tag, meta_tag, version_tag};
+use crate::wire::{self, decode_response};
+use blobseer_core::meta::key::NodeKey;
+use blobseer_core::meta::log::LogChain;
+use blobseer_core::meta::node::TreeNode;
+use blobseer_core::ports::{BlockStore, MetaStore, VersionService};
+use blobseer_core::version_manager::{SnapshotInfo, WriteIntent, WriteTicket};
+use blobseer_types::wire::{WireReader, WireWriter};
+use blobseer_types::{BlobId, BlockId, Error, NodeId, Result, Version};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Idle connections kept per endpoint; checkouts beyond this open fresh
+/// connections that are simply dropped on return.
+const POOL_KEEP: usize = 8;
+
+/// A small pool of connections to one endpoint.
+pub(crate) struct Pool {
+    addr: SocketAddr,
+    idle: Mutex<Vec<TcpStream>>,
+}
+
+impl Pool {
+    /// Creates a pool and eagerly opens (and parks) one connection, so an
+    /// unreachable endpoint fails at adapter construction, not mid-write.
+    pub(crate) fn connect(addr: SocketAddr) -> Result<Self> {
+        let pool = Self {
+            addr,
+            idle: Mutex::new(Vec::new()),
+        };
+        let probe = pool.checkout()?;
+        pool.check_in(probe);
+        Ok(pool)
+    }
+
+    fn checkout(&self) -> Result<TcpStream> {
+        if let Some(conn) = self.idle.lock().pop() {
+            return Ok(conn);
+        }
+        let conn = TcpStream::connect(self.addr)
+            .map_err(|e| wire::transport(&format!("connect to {}", self.addr), e))?;
+        let _ = conn.set_nodelay(true);
+        Ok(conn)
+    }
+
+    fn check_in(&self, conn: TcpStream) {
+        let mut idle = self.idle.lock();
+        if idle.len() < POOL_KEEP {
+            idle.push(conn);
+        }
+    }
+
+    /// One request/response exchange. The connection is returned to the
+    /// pool only after a complete, healthy round trip; any failure drops
+    /// it (a half-written frame poisons a connection for reuse).
+    pub(crate) fn call(&self, request: &WireWriter) -> Result<Vec<u8>> {
+        let mut conn = self.checkout()?;
+        let exchange = wire::write_frame(&mut conn, request.as_slice())
+            .and_then(|()| wire::read_frame(&mut conn));
+        match exchange {
+            Ok(Some(body)) => {
+                self.check_in(conn);
+                Ok(body)
+            }
+            Ok(None) => Err(Error::Transport(format!(
+                "{} closed the connection mid-call",
+                self.addr
+            ))),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A successful response body with the payload's start offset — kept
+/// whole (no re-copy) so readers borrow it and block payloads can be
+/// wrapped zero-copy.
+struct RpcPayload {
+    body: Vec<u8>,
+    start: usize,
+}
+
+impl RpcPayload {
+    fn reader(&self) -> WireReader<'_> {
+        WireReader::new(&self.body[self.start..])
+    }
+}
+
+/// A `Result`-returning RPC round trip: encodes, exchanges, unwraps the
+/// response envelope.
+fn call(pool: &Pool, request: WireWriter) -> Result<RpcPayload> {
+    let body = pool.call(&request)?;
+    let reader = decode_response(&body)?;
+    let start = body.len() - reader.remaining();
+    Ok(RpcPayload { body, start })
+}
+
+// --- block store ------------------------------------------------------------
+
+/// One remote block-service endpoint.
+struct BlockEndpoint {
+    pool: Pool,
+}
+
+/// [`BlockStore`] over one or more remote block services.
+///
+/// The dense provider index space the provider manager allocates in is
+/// the concatenation of the endpoints' provider lists, in the order the
+/// endpoints were given — so a deployment can host each data provider in
+/// its own server process and the unchanged client protocol still
+/// addresses them `0..len()`.
+pub struct RpcBlockStore {
+    endpoints: Vec<BlockEndpoint>,
+    /// Dense provider index → (endpoint index, provider index within it).
+    route: Vec<(usize, u64)>,
+    /// Dense provider index → hosting node.
+    nodes: Vec<NodeId>,
+}
+
+impl RpcBlockStore {
+    /// Connects to the given block services and builds the dense index
+    /// space over them. Fails if any endpoint is unreachable or empty.
+    pub fn connect(addrs: &[SocketAddr]) -> Result<Self> {
+        if addrs.is_empty() {
+            return Err(Error::Transport(
+                "RpcBlockStore needs at least one endpoint".into(),
+            ));
+        }
+        let mut endpoints = Vec::with_capacity(addrs.len());
+        let mut route = Vec::new();
+        let mut nodes = Vec::new();
+        for (ei, &addr) in addrs.iter().enumerate() {
+            let pool = Pool::connect(addr)?;
+            let mut req = WireWriter::new();
+            req.put_u8(block_tag::DESCRIBE);
+            let payload = call(&pool, req)?;
+            let mut r = payload.reader();
+            let n = r.get_u64()?;
+            for local in 0..n {
+                nodes.push(NodeId::new(r.get_u64()?));
+                route.push((ei, local));
+            }
+            r.finish()?;
+            endpoints.push(BlockEndpoint { pool });
+        }
+        Ok(Self {
+            endpoints,
+            route,
+            nodes,
+        })
+    }
+
+    /// Request targeting one dense provider index, with the endpoint-local
+    /// index substituted.
+    fn provider_request(&self, tag: u8, provider: usize) -> Option<(&Pool, WireWriter)> {
+        let &(ei, local) = self.route.get(provider)?;
+        let mut req = WireWriter::new();
+        req.put_u8(tag);
+        req.put_u64(local);
+        Some((&self.endpoints[ei].pool, req))
+    }
+}
+
+impl BlockStore for RpcBlockStore {
+    fn len(&self) -> usize {
+        self.route.len()
+    }
+
+    fn node(&self, provider: usize) -> NodeId {
+        self.nodes[provider]
+    }
+
+    fn index_of_node(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node)
+    }
+
+    fn put(&self, provider: usize, id: BlockId, data: Bytes) -> Result<()> {
+        let (pool, mut req) = self
+            .provider_request(block_tag::PUT, provider)
+            .ok_or_else(|| Error::Internal(format!("provider index {provider} out of range")))?;
+        req.put_u64(id.raw());
+        req.put_slice(&data);
+        call(pool, req)?;
+        Ok(())
+    }
+
+    fn get(&self, provider: usize, id: BlockId) -> Result<Bytes> {
+        let (pool, mut req) = self
+            .provider_request(block_tag::GET, provider)
+            .ok_or_else(|| Error::Internal(format!("provider index {provider} out of range")))?;
+        req.put_u64(id.raw());
+        let payload = call(pool, req)?;
+        // Zero-copy hand-off: wrap the whole response buffer in `Bytes`
+        // and slice out the block payload, instead of memcpy-ing it —
+        // this is the hot read path.
+        let mut r = payload.reader();
+        let len = r.get_u64()? as usize;
+        if r.remaining() != len {
+            return Err(Error::Transport(format!(
+                "block payload length {len} disagrees with frame ({} bytes left)",
+                r.remaining()
+            )));
+        }
+        let data_start = payload.body.len() - len;
+        Ok(Bytes::from(payload.body).slice(data_start..))
+    }
+
+    /// Transport failures degrade to `false` (the port reports presence,
+    /// not reachability).
+    fn contains(&self, provider: usize, id: BlockId) -> bool {
+        let Some((pool, mut req)) = self.provider_request(block_tag::CONTAINS, provider) else {
+            return false;
+        };
+        req.put_u64(id.raw());
+        call(pool, req)
+            .and_then(|payload| payload.reader().get_bool())
+            .unwrap_or(false)
+    }
+
+    /// Transport failures degrade to `0` bytes freed.
+    fn delete(&self, provider: usize, id: BlockId) -> u64 {
+        let Some((pool, mut req)) = self.provider_request(block_tag::DELETE, provider) else {
+            return 0;
+        };
+        req.put_u64(id.raw());
+        call(pool, req)
+            .and_then(|payload| payload.reader().get_u64())
+            .unwrap_or(0)
+    }
+
+    /// Transport failures degrade to `0`.
+    fn block_count(&self, provider: usize) -> usize {
+        let Some((pool, req)) = self.provider_request(block_tag::BLOCK_COUNT, provider) else {
+            return 0;
+        };
+        call(pool, req)
+            .and_then(|payload| payload.reader().get_u64())
+            .unwrap_or(0) as usize
+    }
+
+    /// Transport failures degrade to `0`.
+    fn bytes_stored(&self, provider: usize) -> u64 {
+        let Some((pool, req)) = self.provider_request(block_tag::BYTES_STORED, provider) else {
+            return 0;
+        };
+        call(pool, req)
+            .and_then(|payload| payload.reader().get_u64())
+            .unwrap_or(0)
+    }
+
+    /// Transport failures degrade to `(0, 0)`.
+    fn op_counts(&self, provider: usize) -> (u64, u64) {
+        let Some((pool, req)) = self.provider_request(block_tag::OP_COUNTS, provider) else {
+            return (0, 0);
+        };
+        call(pool, req)
+            .and_then(|payload| {
+                let mut r = payload.reader();
+                Ok((r.get_u64()?, r.get_u64()?))
+            })
+            .unwrap_or((0, 0))
+    }
+}
+
+// --- meta store -------------------------------------------------------------
+
+/// [`MetaStore`] over a remote metadata DHT service.
+pub struct RpcMetaStore {
+    pool: Pool,
+    shard_count: usize,
+}
+
+impl RpcMetaStore {
+    /// Connects and caches the fixed shard count.
+    pub fn connect(addr: SocketAddr) -> Result<Self> {
+        let pool = Pool::connect(addr)?;
+        let mut req = WireWriter::new();
+        req.put_u8(meta_tag::SHARD_COUNT);
+        let payload = call(&pool, req)?;
+        let shard_count = payload.reader().get_u64()? as usize;
+        Ok(Self { pool, shard_count })
+    }
+}
+
+impl MetaStore for RpcMetaStore {
+    fn put(&self, key: NodeKey, node: TreeNode) -> Result<()> {
+        let mut req = WireWriter::new();
+        req.put_u8(meta_tag::PUT);
+        wire::put_node_key(&mut req, &key);
+        wire::put_tree_node(&mut req, &node);
+        call(&self.pool, req)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &NodeKey) -> Result<TreeNode> {
+        let mut req = WireWriter::new();
+        req.put_u8(meta_tag::GET);
+        wire::put_node_key(&mut req, key);
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let node = wire::get_tree_node(&mut r)?;
+        r.finish()?;
+        Ok(node)
+    }
+
+    /// Transport failures degrade to `false` (nothing deleted).
+    fn delete(&self, key: &NodeKey) -> bool {
+        let mut req = WireWriter::new();
+        req.put_u8(meta_tag::DELETE);
+        wire::put_node_key(&mut req, key);
+        call(&self.pool, req)
+            .and_then(|payload| payload.reader().get_bool())
+            .unwrap_or(false)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Transport failures degrade to `0`.
+    fn node_count(&self) -> usize {
+        let mut req = WireWriter::new();
+        req.put_u8(meta_tag::NODE_COUNT);
+        call(&self.pool, req)
+            .and_then(|payload| payload.reader().get_u64())
+            .unwrap_or(0) as usize
+    }
+
+    /// Transport failures degrade to an empty vector.
+    fn shard_stats(&self) -> Vec<(usize, u64, u64)> {
+        let mut req = WireWriter::new();
+        req.put_u8(meta_tag::SHARD_STATS);
+        call(&self.pool, req)
+            .and_then(|payload| {
+                let mut r = payload.reader();
+                let n = r.get_u64()? as usize;
+                let mut out = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    out.push((r.get_u64()? as usize, r.get_u64()?, r.get_u64()?));
+                }
+                r.finish()?;
+                Ok(out)
+            })
+            .unwrap_or_default()
+    }
+
+    /// Best-effort over the wire (a crash-injection hook; transport
+    /// failures are ignored).
+    fn crash_shard(&self, shard: usize) {
+        let mut req = WireWriter::new();
+        req.put_u8(meta_tag::CRASH_SHARD);
+        req.put_u64(shard as u64);
+        let _ = call(&self.pool, req);
+    }
+}
+
+// --- version service --------------------------------------------------------
+
+/// [`VersionService`] over a remote version manager.
+pub struct RpcVersionService {
+    pool: Pool,
+    block_size: u64,
+}
+
+impl RpcVersionService {
+    /// Connects and caches the fixed block size.
+    pub fn connect(addr: SocketAddr) -> Result<Self> {
+        let pool = Pool::connect(addr)?;
+        let mut req = WireWriter::new();
+        req.put_u8(version_tag::BLOCK_SIZE);
+        let payload = call(&pool, req)?;
+        let block_size = payload.reader().get_u64()?;
+        Ok(Self { pool, block_size })
+    }
+
+    fn blob_request(tag: u8, blob: BlobId) -> WireWriter {
+        let mut req = WireWriter::new();
+        req.put_u8(tag);
+        req.put_u64(blob.raw());
+        req
+    }
+}
+
+impl VersionService for RpcVersionService {
+    fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// # Panics
+    /// Panics if the version manager is unreachable — the port has no
+    /// error channel here, and inventing a blob id locally would corrupt
+    /// the deployment.
+    fn create_blob(&self) -> BlobId {
+        let mut req = WireWriter::new();
+        req.put_u8(version_tag::CREATE_BLOB);
+        let payload = call(&self.pool, req).expect("version manager unreachable in create_blob");
+        BlobId::new(
+            payload
+                .reader()
+                .get_u64()
+                .expect("malformed create_blob response"),
+        )
+    }
+
+    fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId> {
+        let mut req = Self::blob_request(version_tag::BRANCH, parent);
+        req.put_u64(at.raw());
+        let payload = call(&self.pool, req)?;
+        Ok(BlobId::new(payload.reader().get_u64()?))
+    }
+
+    fn assign(&self, blob: BlobId, intent: WriteIntent) -> Result<WriteTicket> {
+        let mut req = Self::blob_request(version_tag::ASSIGN, blob);
+        wire::put_write_intent(&mut req, intent);
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let ticket = wire::get_write_ticket(&mut r)?;
+        r.finish()?;
+        Ok(ticket)
+    }
+
+    fn commit(&self, blob: BlobId, version: Version) -> Result<()> {
+        let mut req = Self::blob_request(version_tag::COMMIT, blob);
+        req.put_u64(version.raw());
+        call(&self.pool, req)?;
+        Ok(())
+    }
+
+    fn latest(&self, blob: BlobId) -> Result<(Version, u64)> {
+        let req = Self::blob_request(version_tag::LATEST, blob);
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let out = (Version::new(r.get_u64()?), r.get_u64()?);
+        r.finish()?;
+        Ok(out)
+    }
+
+    fn snapshot_info(&self, blob: BlobId, version: Version) -> Result<SnapshotInfo> {
+        let mut req = Self::blob_request(version_tag::SNAPSHOT_INFO, blob);
+        req.put_u64(version.raw());
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let info = wire::get_snapshot_info(&mut r)?;
+        r.finish()?;
+        Ok(info)
+    }
+
+    fn chain(&self, blob: BlobId) -> Result<LogChain> {
+        let req = Self::blob_request(version_tag::CHAIN, blob);
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let chain = wire::get_log_chain(&mut r)?;
+        r.finish()?;
+        Ok(chain)
+    }
+
+    fn wait_revealed(&self, blob: BlobId, version: Version, timeout: Duration) -> Result<()> {
+        let mut req = Self::blob_request(version_tag::WAIT_REVEALED, blob);
+        req.put_u64(version.raw());
+        wire::put_duration(&mut req, timeout);
+        // The server enforces the timeout and answers with Ok or
+        // Error::Timeout; this call simply blocks on the response.
+        call(&self.pool, req)?;
+        Ok(())
+    }
+
+    fn pending_versions(&self, blob: BlobId) -> Result<Vec<Version>> {
+        let req = Self::blob_request(version_tag::PENDING_VERSIONS, blob);
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let versions = wire::get_versions(&mut r)?;
+        r.finish()?;
+        Ok(versions)
+    }
+
+    fn delete_blob(&self, blob: BlobId) -> Result<Vec<NodeKey>> {
+        let req = Self::blob_request(version_tag::DELETE_BLOB, blob);
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let roots = wire::get_node_keys(&mut r)?;
+        r.finish()?;
+        Ok(roots)
+    }
+
+    fn collect_before(&self, blob: BlobId, keep_from: Version) -> Result<Vec<NodeKey>> {
+        let mut req = Self::blob_request(version_tag::COLLECT_BEFORE, blob);
+        req.put_u64(keep_from.raw());
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let roots = wire::get_node_keys(&mut r)?;
+        r.finish()?;
+        Ok(roots)
+    }
+}

@@ -1,0 +1,174 @@
+//! [`LoopbackCluster`]: an N-process-shaped BlobSeer deployment over real
+//! loopback sockets.
+//!
+//! Boots the paper's service decomposition as separate server thread
+//! groups — one listener per data provider, one for the metadata DHT, one
+//! for the version manager — and wires client deployments to them through
+//! the RPC adapters. Every `BlobClient` obtained from such a deployment
+//! drives the *unchanged* protocol of `blobseer_core::client` end to end
+//! over TCP: data phase, version assignment, metadata publish, commit,
+//! reads, GC.
+//!
+//! Two pieces of a full deployment intentionally stay client-side, as
+//! they do in the in-memory adapters:
+//!
+//! * the **provider manager** (placement + load accounting) — a separate
+//!   service in the paper, but not yet behind a port trait; each client
+//!   deployment runs its own; and
+//! * the **GC refcount tracker**, which `BlobSeer` owns per deployment.
+//!   GC *effects* (DHT deletes, block deletes) do cross the wire.
+
+use crate::client::{RpcBlockStore, RpcMetaStore, RpcVersionService};
+use crate::server::{RpcServer, RpcService};
+use blobseer_core::block_store::ProviderSet;
+use blobseer_core::dht::MetaDht;
+use blobseer_core::provider_manager::ProviderManager;
+use blobseer_core::version_manager::VersionManager;
+use blobseer_core::{BlobSeer, EnginePorts, EngineStats, NoopObserver};
+use blobseer_types::{BlobSeerConfig, Error, NodeId, Result};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A booted loopback cluster: the server processes of Fig. 2, each behind
+/// its own TCP listener. Dropping the cluster shuts every server down and
+/// joins its threads; client deployments outliving the cluster observe
+/// [`Error::Transport`] on their next call.
+pub struct LoopbackCluster {
+    cfg: BlobSeerConfig,
+    pm_seed: u64,
+    servers: Vec<RpcServer>,
+    block_addrs: Vec<SocketAddr>,
+    meta_addr: SocketAddr,
+    vm_addr: SocketAddr,
+    server_stats: Arc<EngineStats>,
+    /// Client deployments wired so far — each gets a disjoint block-id
+    /// range (see [`Self::deploy`]).
+    deployments: AtomicU64,
+}
+
+/// Block-id range width reserved per client deployment: ~10^12 blocks
+/// each, with room for 2^24 deployments.
+const BLOCK_ID_RANGE: u64 = 1 << 40;
+
+impl LoopbackCluster {
+    /// Boots `n_providers` single-provider block servers (provider `i`
+    /// hosted on node `i`), one metadata-DHT server and one
+    /// version-manager server, all on loopback ephemeral ports.
+    pub fn boot(cfg: BlobSeerConfig, n_providers: usize) -> Result<Self> {
+        Self::boot_seeded(cfg, n_providers, 0x5EED_0001)
+    }
+
+    /// [`Self::boot`] with an explicit provider-manager seed for the
+    /// client deployments.
+    pub fn boot_seeded(cfg: BlobSeerConfig, n_providers: usize, pm_seed: u64) -> Result<Self> {
+        assert!(n_providers > 0, "need at least one data provider");
+        let spawn = |svc: RpcService| {
+            RpcServer::spawn(svc)
+                .map_err(|e| Error::Transport(format!("spawn loopback server: {e}")))
+        };
+        let mut servers = Vec::with_capacity(n_providers + 2);
+        let mut block_addrs = Vec::with_capacity(n_providers);
+        for i in 0..n_providers {
+            let node = NodeId::new(i as u64);
+            let set = ProviderSet::new(1, |_| node);
+            let server = spawn(RpcService::Block(Arc::new(set)))?;
+            block_addrs.push(server.addr());
+            servers.push(server);
+        }
+        let dht = MetaDht::new(cfg.metadata_providers, cfg.metadata_replication);
+        let meta_server = spawn(RpcService::Meta(Arc::new(dht)))?;
+        let meta_addr = meta_server.addr();
+        servers.push(meta_server);
+        let server_stats = Arc::new(EngineStats::new());
+        let vm = VersionManager::new(cfg.block_size, Arc::clone(&server_stats));
+        let vm_server = spawn(RpcService::Version(Arc::new(vm)))?;
+        let vm_addr = vm_server.addr();
+        servers.push(vm_server);
+        Ok(Self {
+            cfg,
+            pm_seed,
+            servers,
+            block_addrs,
+            meta_addr,
+            vm_addr,
+            server_stats,
+            deployments: AtomicU64::new(0),
+        })
+    }
+
+    /// Wires a fresh client deployment to the cluster: RPC adapters for
+    /// all three ports behind the unchanged [`BlobSeer::deploy_ports`].
+    /// Call it once per simulated client process.
+    ///
+    /// Each deployment runs its own (client-side) provider manager against
+    /// the *shared* remote providers, so each receives a disjoint block-id
+    /// range — colliding ids from two deployments would trip the
+    /// providers' immutable-put check. Blob ids come from the shared
+    /// version-manager server, so blobs written through one deployment are
+    /// readable through any other.
+    pub fn deploy(&self) -> Result<Arc<BlobSeer>> {
+        let idx = self.deployments.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::new(EngineStats::new());
+        let ports = EnginePorts {
+            providers: Arc::new(RpcBlockStore::connect(&self.block_addrs)?),
+            dht: Arc::new(RpcMetaStore::connect(self.meta_addr)?),
+            vm: Arc::new(RpcVersionService::connect(self.vm_addr)?),
+            pm: Arc::new(ProviderManager::with_block_base(
+                self.block_addrs.len(),
+                self.cfg.placement,
+                self.pm_seed,
+                1 + idx * BLOCK_ID_RANGE,
+            )),
+            stats,
+            observer: Arc::new(NoopObserver),
+        };
+        Ok(BlobSeer::deploy_ports(self.cfg.clone(), ports))
+    }
+
+    /// The deployment configuration the cluster was booted with.
+    pub fn config(&self) -> &BlobSeerConfig {
+        &self.cfg
+    }
+
+    /// Number of server processes (listeners): one per provider, plus the
+    /// DHT, plus the version manager.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Addresses of the per-provider block services.
+    pub fn block_addrs(&self) -> &[SocketAddr] {
+        &self.block_addrs
+    }
+
+    /// Address of the metadata-DHT service.
+    pub fn meta_addr(&self) -> SocketAddr {
+        self.meta_addr
+    }
+
+    /// Address of the version-manager service.
+    pub fn vm_addr(&self) -> SocketAddr {
+        self.vm_addr
+    }
+
+    /// Server-side engine counters (the hosted version manager's, e.g.
+    /// `versions_assigned`). Client-side counters live on each
+    /// deployment's own [`BlobSeer::stats`].
+    pub fn server_stats(&self) -> &Arc<EngineStats> {
+        &self.server_stats
+    }
+
+    /// Shuts every server down and joins its threads. Also runs on drop.
+    pub fn shutdown(&mut self) {
+        for server in &mut self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for LoopbackCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,463 @@
+//! The threaded RPC server: hosts one service port behind a
+//! `std::net::TcpListener`.
+//!
+//! One [`RpcServer`] serves exactly one port — a [`BlockStore`], a
+//! [`MetaStore`] or a [`VersionService`] — on its own listener, which is
+//! what lets a deployment place data providers, the metadata DHT and the
+//! version manager on separate "nodes" (separate listeners, separate
+//! thread groups), mirroring the paper's process decomposition (§III-B).
+//!
+//! Concurrency model: thread-per-connection. The accept loop runs on its
+//! own thread; each accepted connection gets a handler thread that reads
+//! frames, dispatches to the hosted port, and writes responses until the
+//! peer disconnects. Blocking calls (`wait_revealed`) block only their
+//! connection's handler — which is exactly why the client pool never
+//! multiplexes two in-flight requests onto one connection.
+//!
+//! Shutdown is graceful and deterministic: [`RpcServer::shutdown`] stops
+//! the accept loop (waking it with a loopback connection), closes every
+//! open connection (unblocking handler reads), and joins all threads.
+
+use crate::wire::{self, encode_response};
+use blobseer_core::ports::{BlockStore, MetaStore, VersionService};
+use blobseer_types::wire::{WireReader, WireWriter};
+use blobseer_types::{BlobId, BlockId, Error, Result, Version};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The service a listener hosts.
+#[derive(Clone)]
+pub enum RpcService {
+    /// A data-provider set (any [`BlockStore`] adapter).
+    Block(Arc<dyn BlockStore>),
+    /// A metadata DHT (any [`MetaStore`] adapter).
+    Meta(Arc<dyn MetaStore>),
+    /// A version manager (any [`VersionService`] adapter).
+    Version(Arc<dyn VersionService>),
+}
+
+impl RpcService {
+    fn name(&self) -> &'static str {
+        match self {
+            RpcService::Block(_) => "block",
+            RpcService::Meta(_) => "meta",
+            RpcService::Version(_) => "version",
+        }
+    }
+}
+
+/// A running RPC server: one listener, one hosted service.
+pub struct RpcServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+/// State shared between the accept loop, the handlers and `shutdown()`.
+///
+/// Both registries are bounded by the number of *live* connections, not
+/// by the total ever accepted: a handler removes its own stream clone
+/// when its peer disconnects, and the accept loop reaps finished handler
+/// threads on every accept — a long-running server does not accumulate
+/// fds or join handles from churned connections.
+struct Shared {
+    /// Clones of the currently open streams (keyed by connection id), so
+    /// shutdown can unblock handler reads by closing the sockets under
+    /// them.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RpcServer {
+    /// Binds a loopback listener on an ephemeral port and starts serving
+    /// `service` on it.
+    pub fn spawn(service: RpcService) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            conns: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            let name = format!("rpc-{}-{}", service.name(), addr.port());
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || accept_loop(listener, service, shutdown, shared))?
+        };
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            shared,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every open connection, and joins all
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop: it is blocked in accept(); a throwaway
+        // connection makes it re-check the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Unblock handler reads by closing the sockets under them, then
+        // join the handlers.
+        for (_, conn) in self.shared.conns.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let handlers: Vec<_> = self.shared.handlers.lock().drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: RpcService,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+) {
+    let mut next_conn_id = 0u64;
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up connection, or a late client
+        }
+        // Reap handler threads whose connections already ended (dropping
+        // a finished JoinHandle just releases it).
+        shared.handlers.lock().retain(|h| !h.is_finished());
+        let _ = stream.set_nodelay(true);
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(conn_id, clone);
+        }
+        let service = service.clone();
+        let handler_shared = Arc::clone(&shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("rpc-conn".into())
+            .spawn(move || {
+                connection_loop(stream, service);
+                // Deregister on the way out so the fd closes with the
+                // peer, not at server shutdown.
+                handler_shared.conns.lock().remove(&conn_id);
+            })
+        {
+            shared.handlers.lock().push(handle);
+        }
+    }
+}
+
+/// Serves one connection: frames in, responses out, until EOF or a
+/// transport error. Service errors are *answers* (encoded in the response
+/// envelope), never reasons to drop the connection.
+fn connection_loop(mut stream: TcpStream, service: RpcService) {
+    loop {
+        let body = match wire::read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(_) => return, // peer gone or socket closed
+        };
+        let response = dispatch(&service, &body);
+        if wire::write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(service: &RpcService, body: &[u8]) -> Vec<u8> {
+    let result = match service {
+        RpcService::Block(store) => handle_block(&**store, body),
+        RpcService::Meta(store) => handle_meta(&**store, body),
+        RpcService::Version(vm) => handle_version(&**vm, body),
+    };
+    encode_response(result)
+}
+
+/// Validates a provider index against the hosted store — a malformed
+/// request must answer with an error, not panic the handler.
+fn check_provider(store: &dyn BlockStore, provider: u64) -> Result<usize> {
+    let p = provider as usize;
+    if p >= store.len() {
+        return Err(Error::Internal(format!(
+            "provider index {p} out of range (store has {})",
+            store.len()
+        )));
+    }
+    Ok(p)
+}
+
+/// Method tags of the block service (mirrored by `client::RpcBlockStore`).
+pub(crate) mod block_tag {
+    pub const DESCRIBE: u8 = 0;
+    pub const PUT: u8 = 1;
+    pub const GET: u8 = 2;
+    pub const CONTAINS: u8 = 3;
+    pub const DELETE: u8 = 4;
+    pub const BLOCK_COUNT: u8 = 5;
+    pub const BYTES_STORED: u8 = 6;
+    pub const OP_COUNTS: u8 = 7;
+}
+
+fn handle_block(store: &dyn BlockStore, body: &[u8]) -> Result<WireWriter> {
+    let mut r = WireReader::new(body);
+    let tag = r.get_u8()?;
+    let mut w = WireWriter::new();
+    match tag {
+        block_tag::DESCRIBE => {
+            r.finish()?;
+            w.put_u64(store.len() as u64);
+            for i in 0..store.len() {
+                w.put_u64(store.node(i).raw());
+            }
+        }
+        block_tag::PUT => {
+            let p = r.get_u64()?;
+            let id = BlockId::new(r.get_u64()?);
+            let data = Bytes::copy_from_slice(r.get_slice()?);
+            r.finish()?;
+            store.put(check_provider(store, p)?, id, data)?;
+        }
+        block_tag::GET => {
+            let p = r.get_u64()?;
+            let id = BlockId::new(r.get_u64()?);
+            r.finish()?;
+            let data = store.get(check_provider(store, p)?, id)?;
+            w.put_slice(&data);
+        }
+        block_tag::CONTAINS => {
+            let p = r.get_u64()?;
+            let id = BlockId::new(r.get_u64()?);
+            r.finish()?;
+            w.put_bool(store.contains(check_provider(store, p)?, id));
+        }
+        block_tag::DELETE => {
+            let p = r.get_u64()?;
+            let id = BlockId::new(r.get_u64()?);
+            r.finish()?;
+            w.put_u64(store.delete(check_provider(store, p)?, id));
+        }
+        block_tag::BLOCK_COUNT => {
+            let p = r.get_u64()?;
+            r.finish()?;
+            w.put_u64(store.block_count(check_provider(store, p)?) as u64);
+        }
+        block_tag::BYTES_STORED => {
+            let p = r.get_u64()?;
+            r.finish()?;
+            w.put_u64(store.bytes_stored(check_provider(store, p)?));
+        }
+        block_tag::OP_COUNTS => {
+            let p = r.get_u64()?;
+            r.finish()?;
+            let (puts, gets) = store.op_counts(check_provider(store, p)?);
+            w.put_u64(puts);
+            w.put_u64(gets);
+        }
+        t => return Err(Error::Transport(format!("unknown block method tag {t}"))),
+    }
+    Ok(w)
+}
+
+/// Method tags of the meta service (mirrored by `client::RpcMetaStore`).
+pub(crate) mod meta_tag {
+    pub const PUT: u8 = 0;
+    pub const GET: u8 = 1;
+    pub const DELETE: u8 = 2;
+    pub const SHARD_COUNT: u8 = 3;
+    pub const NODE_COUNT: u8 = 4;
+    pub const SHARD_STATS: u8 = 5;
+    pub const CRASH_SHARD: u8 = 6;
+}
+
+fn handle_meta(store: &dyn MetaStore, body: &[u8]) -> Result<WireWriter> {
+    let mut r = WireReader::new(body);
+    let tag = r.get_u8()?;
+    let mut w = WireWriter::new();
+    match tag {
+        meta_tag::PUT => {
+            let key = wire::get_node_key(&mut r)?;
+            let node = wire::get_tree_node(&mut r)?;
+            r.finish()?;
+            store.put(key, node)?;
+        }
+        meta_tag::GET => {
+            let key = wire::get_node_key(&mut r)?;
+            r.finish()?;
+            let node = store.get(&key)?;
+            wire::put_tree_node(&mut w, &node);
+        }
+        meta_tag::DELETE => {
+            let key = wire::get_node_key(&mut r)?;
+            r.finish()?;
+            w.put_bool(store.delete(&key));
+        }
+        meta_tag::SHARD_COUNT => {
+            r.finish()?;
+            w.put_u64(store.shard_count() as u64);
+        }
+        meta_tag::NODE_COUNT => {
+            r.finish()?;
+            w.put_u64(store.node_count() as u64);
+        }
+        meta_tag::SHARD_STATS => {
+            r.finish()?;
+            let stats = store.shard_stats();
+            w.put_u64(stats.len() as u64);
+            for (nodes, puts, gets) in stats {
+                w.put_u64(nodes as u64);
+                w.put_u64(puts);
+                w.put_u64(gets);
+            }
+        }
+        meta_tag::CRASH_SHARD => {
+            let shard = r.get_u64()? as usize;
+            r.finish()?;
+            if shard >= store.shard_count() {
+                return Err(Error::Internal(format!(
+                    "shard index {shard} out of range (dht has {})",
+                    store.shard_count()
+                )));
+            }
+            store.crash_shard(shard);
+        }
+        t => return Err(Error::Transport(format!("unknown meta method tag {t}"))),
+    }
+    Ok(w)
+}
+
+/// Method tags of the version service (mirrored by
+/// `client::RpcVersionService`).
+pub(crate) mod version_tag {
+    pub const BLOCK_SIZE: u8 = 0;
+    pub const CREATE_BLOB: u8 = 1;
+    pub const BRANCH: u8 = 2;
+    pub const ASSIGN: u8 = 3;
+    pub const COMMIT: u8 = 4;
+    pub const LATEST: u8 = 5;
+    pub const SNAPSHOT_INFO: u8 = 6;
+    pub const CHAIN: u8 = 7;
+    pub const WAIT_REVEALED: u8 = 8;
+    pub const PENDING_VERSIONS: u8 = 9;
+    pub const DELETE_BLOB: u8 = 10;
+    pub const COLLECT_BEFORE: u8 = 11;
+}
+
+fn handle_version(vm: &dyn VersionService, body: &[u8]) -> Result<WireWriter> {
+    let mut r = WireReader::new(body);
+    let tag = r.get_u8()?;
+    let mut w = WireWriter::new();
+    match tag {
+        version_tag::BLOCK_SIZE => {
+            r.finish()?;
+            w.put_u64(vm.block_size());
+        }
+        version_tag::CREATE_BLOB => {
+            r.finish()?;
+            w.put_u64(vm.create_blob().raw());
+        }
+        version_tag::BRANCH => {
+            let parent = BlobId::new(r.get_u64()?);
+            let at = Version::new(r.get_u64()?);
+            r.finish()?;
+            w.put_u64(vm.branch(parent, at)?.raw());
+        }
+        version_tag::ASSIGN => {
+            let blob = BlobId::new(r.get_u64()?);
+            let intent = wire::get_write_intent(&mut r)?;
+            r.finish()?;
+            let ticket = vm.assign(blob, intent)?;
+            wire::put_write_ticket(&mut w, &ticket);
+        }
+        version_tag::COMMIT => {
+            let blob = BlobId::new(r.get_u64()?);
+            let version = Version::new(r.get_u64()?);
+            r.finish()?;
+            vm.commit(blob, version)?;
+        }
+        version_tag::LATEST => {
+            let blob = BlobId::new(r.get_u64()?);
+            r.finish()?;
+            let (v, size) = vm.latest(blob)?;
+            w.put_u64(v.raw());
+            w.put_u64(size);
+        }
+        version_tag::SNAPSHOT_INFO => {
+            let blob = BlobId::new(r.get_u64()?);
+            let version = Version::new(r.get_u64()?);
+            r.finish()?;
+            let info = vm.snapshot_info(blob, version)?;
+            wire::put_snapshot_info(&mut w, &info);
+        }
+        version_tag::CHAIN => {
+            let blob = BlobId::new(r.get_u64()?);
+            r.finish()?;
+            let chain = vm.chain(blob)?;
+            wire::put_log_chain(&mut w, &chain);
+        }
+        version_tag::WAIT_REVEALED => {
+            let blob = BlobId::new(r.get_u64()?);
+            let version = Version::new(r.get_u64()?);
+            let timeout = wire::get_duration(&mut r)?;
+            r.finish()?;
+            // Blocks this connection's handler thread — by design; the
+            // client pool gives every concurrent request its own
+            // connection.
+            vm.wait_revealed(blob, version, timeout)?;
+        }
+        version_tag::PENDING_VERSIONS => {
+            let blob = BlobId::new(r.get_u64()?);
+            r.finish()?;
+            let versions = vm.pending_versions(blob)?;
+            wire::put_versions(&mut w, &versions);
+        }
+        version_tag::DELETE_BLOB => {
+            let blob = BlobId::new(r.get_u64()?);
+            r.finish()?;
+            let roots = vm.delete_blob(blob)?;
+            wire::put_node_keys(&mut w, &roots);
+        }
+        version_tag::COLLECT_BEFORE => {
+            let blob = BlobId::new(r.get_u64()?);
+            let keep_from = Version::new(r.get_u64()?);
+            r.finish()?;
+            let roots = vm.collect_before(blob, keep_from)?;
+            wire::put_node_keys(&mut w, &roots);
+        }
+        t => return Err(Error::Transport(format!("unknown version method tag {t}"))),
+    }
+    Ok(w)
+}

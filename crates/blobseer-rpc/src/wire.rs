@@ -1,0 +1,660 @@
+//! Wire codec for the port-trait domain types and the framing layer.
+//!
+//! Messages are length-prefixed binary frames: a LEB128 varint length
+//! followed by that many body bytes. Bodies are built from the primitives
+//! in [`blobseer_types::wire`] (varints, length-prefixed byte strings);
+//! this module adds codecs for every composite type that crosses a port
+//! boundary — tree nodes, node keys, write tickets (including the full
+//! log chain), snapshot infos, block allocations — plus request framing
+//! for the three services.
+//!
+//! Every decode validates its input and fails with
+//! [`blobseer_types::Error::Transport`]; a malformed frame can never
+//! panic a server or client thread.
+
+use blobseer_core::meta::key::{BlockRange, NodeKey, Pos};
+use blobseer_core::meta::log::{LogChain, LogEntry, LogSegment};
+use blobseer_core::meta::node::{BlockDescriptor, NodeRef, TreeNode};
+use blobseer_core::provider_manager::BlockAllocation;
+use blobseer_core::version_manager::{SnapshotInfo, WriteIntent, WriteTicket};
+use blobseer_types::wire::{WireReader, WireWriter};
+use blobseer_types::{BlobId, BlockId, Error, Result, Version};
+use parking_lot::RwLock;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on an accepted frame body (64 MB block + headroom). A
+/// corrupt length prefix must not make a peer attempt a huge allocation.
+pub const MAX_FRAME_LEN: u64 = 80 * 1024 * 1024;
+
+/// Maps an I/O failure into [`Error::Transport`] with context.
+pub(crate) fn transport(context: &str, e: std::io::Error) -> Error {
+    Error::Transport(format!("{context}: {e}"))
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> Result<()> {
+    let mut prefix = WireWriter::new();
+    prefix.put_u64(body.len() as u64);
+    stream
+        .write_all(prefix.as_slice())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| transport("write frame", e))
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
+/// frame boundary (the peer closed the connection between requests).
+pub fn read_frame(stream: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    // Read the varint length byte by byte (it is 1–10 bytes).
+    let mut len = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) if shift == 0 => return Ok(None), // clean EOF
+            Ok(0) => return Err(Error::Transport("eof inside frame length".into())),
+            Ok(_) => {}
+            Err(e) => return Err(transport("read frame length", e)),
+        }
+        if shift == 63 && byte[0] > 1 {
+            return Err(Error::Transport("frame length overflows u64".into()));
+        }
+        len |= ((byte[0] & 0x7F) as u64) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Transport(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| transport("read frame body", e))?;
+    Ok(Some(body))
+}
+
+// --- composite-type codecs --------------------------------------------------
+
+/// Encodes a node position.
+pub fn put_pos(w: &mut WireWriter, pos: Pos) {
+    w.put_u64(pos.start);
+    w.put_u64(pos.len);
+}
+
+/// Decodes a node position, validating the power-of-two/alignment
+/// invariants `Pos::new` only debug-asserts.
+pub fn get_pos(r: &mut WireReader<'_>) -> Result<Pos> {
+    let start = r.get_u64()?;
+    let len = r.get_u64()?;
+    if !len.is_power_of_two() || !start.is_multiple_of(len) {
+        return Err(Error::Transport(format!(
+            "wire: invalid tree position ({start},{len})"
+        )));
+    }
+    Ok(Pos::new(start, len))
+}
+
+/// Encodes a DHT node key.
+pub fn put_node_key(w: &mut WireWriter, key: &NodeKey) {
+    w.put_u64(key.blob.raw());
+    w.put_u64(key.version.raw());
+    put_pos(w, key.pos);
+}
+
+/// Decodes a DHT node key.
+pub fn get_node_key(r: &mut WireReader<'_>) -> Result<NodeKey> {
+    Ok(NodeKey::new(
+        BlobId::new(r.get_u64()?),
+        Version::new(r.get_u64()?),
+        get_pos(r)?,
+    ))
+}
+
+/// Encodes a block range.
+pub fn put_block_range(w: &mut WireWriter, range: BlockRange) {
+    w.put_u64(range.start);
+    w.put_u64(range.end);
+}
+
+/// Decodes a block range (rejecting inverted ranges).
+pub fn get_block_range(r: &mut WireReader<'_>) -> Result<BlockRange> {
+    let start = r.get_u64()?;
+    let end = r.get_u64()?;
+    if end < start {
+        return Err(Error::Transport(format!(
+            "wire: inverted block range [{start}, {end})"
+        )));
+    }
+    Ok(BlockRange::new(start, end))
+}
+
+/// Encodes a write-log entry.
+pub fn put_log_entry(w: &mut WireWriter, e: &LogEntry) {
+    w.put_u64(e.version.raw());
+    put_block_range(w, e.blocks);
+    w.put_u64(e.cap_before);
+    w.put_u64(e.cap_after);
+    w.put_u64(e.size_after);
+}
+
+/// Decodes a write-log entry.
+pub fn get_log_entry(r: &mut WireReader<'_>) -> Result<LogEntry> {
+    Ok(LogEntry {
+        version: Version::new(r.get_u64()?),
+        blocks: get_block_range(r)?,
+        cap_before: r.get_u64()?,
+        cap_after: r.get_u64()?,
+        size_after: r.get_u64()?,
+    })
+}
+
+fn put_opt_node_ref(w: &mut WireWriter, r: &Option<NodeRef>) {
+    match r {
+        None => w.put_bool(false),
+        Some(nr) => {
+            w.put_bool(true);
+            w.put_u64(nr.blob.raw());
+            w.put_u64(nr.version.raw());
+        }
+    }
+}
+
+fn get_opt_node_ref(r: &mut WireReader<'_>) -> Result<Option<NodeRef>> {
+    if !r.get_bool()? {
+        return Ok(None);
+    }
+    Ok(Some(NodeRef {
+        blob: BlobId::new(r.get_u64()?),
+        version: Version::new(r.get_u64()?),
+    }))
+}
+
+/// Encodes a block descriptor.
+pub fn put_block_descriptor(w: &mut WireWriter, d: &BlockDescriptor) {
+    w.put_u64(d.block_id.raw());
+    w.put_u64(d.providers.len() as u64);
+    for &p in &d.providers {
+        w.put_u32(p);
+    }
+    w.put_u32(d.len);
+}
+
+/// Decodes a block descriptor.
+pub fn get_block_descriptor(r: &mut WireReader<'_>) -> Result<BlockDescriptor> {
+    let block_id = BlockId::new(r.get_u64()?);
+    let n = r.get_u64()? as usize;
+    let mut providers = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        providers.push(r.get_u32()?);
+    }
+    Ok(BlockDescriptor {
+        block_id,
+        providers,
+        len: r.get_u32()?,
+    })
+}
+
+/// Encodes a metadata tree node.
+pub fn put_tree_node(w: &mut WireWriter, node: &TreeNode) {
+    match node {
+        TreeNode::Inner { left, right } => {
+            w.put_u8(0);
+            put_opt_node_ref(w, left);
+            put_opt_node_ref(w, right);
+        }
+        TreeNode::Leaf(d) => {
+            w.put_u8(1);
+            put_block_descriptor(w, d);
+        }
+        TreeNode::LeafAlias(target) => {
+            w.put_u8(2);
+            put_opt_node_ref(w, target);
+        }
+    }
+}
+
+/// Decodes a metadata tree node.
+pub fn get_tree_node(r: &mut WireReader<'_>) -> Result<TreeNode> {
+    Ok(match r.get_u8()? {
+        0 => TreeNode::Inner {
+            left: get_opt_node_ref(r)?,
+            right: get_opt_node_ref(r)?,
+        },
+        1 => TreeNode::Leaf(get_block_descriptor(r)?),
+        2 => TreeNode::LeafAlias(get_opt_node_ref(r)?),
+        t => return Err(Error::Transport(format!("wire: unknown tree-node tag {t}"))),
+    })
+}
+
+/// Encodes a snapshot info.
+pub fn put_snapshot_info(w: &mut WireWriter, info: &SnapshotInfo) {
+    w.put_u64(info.version.raw());
+    w.put_u64(info.size);
+    w.put_u64(info.cap);
+    w.put_u64(info.root_blob.raw());
+    w.put_bool(info.revealed);
+}
+
+/// Decodes a snapshot info.
+pub fn get_snapshot_info(r: &mut WireReader<'_>) -> Result<SnapshotInfo> {
+    Ok(SnapshotInfo {
+        version: Version::new(r.get_u64()?),
+        size: r.get_u64()?,
+        cap: r.get_u64()?,
+        root_blob: BlobId::new(r.get_u64()?),
+        revealed: r.get_bool()?,
+    })
+}
+
+/// Encodes a write intent.
+pub fn put_write_intent(w: &mut WireWriter, intent: WriteIntent) {
+    match intent {
+        WriteIntent::Write { offset, size } => {
+            w.put_u8(0);
+            w.put_u64(offset);
+            w.put_u64(size);
+        }
+        WriteIntent::Append { size } => {
+            w.put_u8(1);
+            w.put_u64(size);
+        }
+    }
+}
+
+/// Decodes a write intent.
+pub fn get_write_intent(r: &mut WireReader<'_>) -> Result<WriteIntent> {
+    Ok(match r.get_u8()? {
+        0 => WriteIntent::Write {
+            offset: r.get_u64()?,
+            size: r.get_u64()?,
+        },
+        1 => WriteIntent::Append { size: r.get_u64()? },
+        t => {
+            return Err(Error::Transport(format!(
+                "wire: unknown write-intent tag {t}"
+            )))
+        }
+    })
+}
+
+/// Encodes a log chain as a point-in-time snapshot of its segments.
+///
+/// In-process deployments share the version manager's *live* log vectors
+/// through `Arc`; over the wire the client receives a copy. That copy is
+/// semantically sufficient for everything a ticket's chain is used for:
+/// metadata weaving only consults entries with versions *below* the
+/// ticket's, and the version manager appends those under the same per-BLOB
+/// mutex that assigned the ticket — they are all present at encode time.
+pub fn put_log_chain(w: &mut WireWriter, chain: &LogChain) {
+    let segments = chain.segments();
+    w.put_u64(segments.len() as u64);
+    for seg in segments {
+        w.put_u64(seg.blob.raw());
+        w.put_u64(seg.vec_base.raw());
+        w.put_u64(seg.lo.raw());
+        w.put_u64(seg.hi.raw());
+        let entries = seg.entries.read();
+        w.put_u64(entries.len() as u64);
+        for e in entries.iter() {
+            put_log_entry(w, e);
+        }
+    }
+}
+
+/// Decodes a log chain (the segments own fresh entry vectors).
+pub fn get_log_chain(r: &mut WireReader<'_>) -> Result<LogChain> {
+    let n = r.get_u64()? as usize;
+    if n == 0 {
+        return Err(Error::Transport("wire: empty log chain".into()));
+    }
+    let mut segments = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let blob = BlobId::new(r.get_u64()?);
+        let vec_base = Version::new(r.get_u64()?);
+        let lo = Version::new(r.get_u64()?);
+        let hi = Version::new(r.get_u64()?);
+        let n_entries = r.get_u64()? as usize;
+        let mut entries = Vec::with_capacity(n_entries.min(4096));
+        for _ in 0..n_entries {
+            entries.push(get_log_entry(r)?);
+        }
+        segments.push(LogSegment {
+            blob,
+            entries: Arc::new(RwLock::new(entries)),
+            vec_base,
+            lo,
+            hi,
+        });
+    }
+    Ok(LogChain::new(segments))
+}
+
+/// Encodes a write ticket (offset, entry and the full log chain).
+pub fn put_write_ticket(w: &mut WireWriter, t: &WriteTicket) {
+    w.put_u64(t.blob.raw());
+    w.put_u64(t.version.raw());
+    w.put_u64(t.offset);
+    w.put_u64(t.prev_size);
+    put_log_entry(w, &t.entry);
+    put_log_chain(w, &t.chain);
+}
+
+/// Decodes a write ticket.
+pub fn get_write_ticket(r: &mut WireReader<'_>) -> Result<WriteTicket> {
+    Ok(WriteTicket {
+        blob: BlobId::new(r.get_u64()?),
+        version: Version::new(r.get_u64()?),
+        offset: r.get_u64()?,
+        prev_size: r.get_u64()?,
+        entry: get_log_entry(r)?,
+        chain: get_log_chain(r)?,
+    })
+}
+
+/// Encodes a block allocation.
+pub fn put_block_allocation(w: &mut WireWriter, a: &BlockAllocation) {
+    w.put_u64(a.block_id.raw());
+    w.put_u64(a.providers.len() as u64);
+    for &p in &a.providers {
+        w.put_u64(p as u64);
+    }
+}
+
+/// Decodes a block allocation.
+pub fn get_block_allocation(r: &mut WireReader<'_>) -> Result<BlockAllocation> {
+    let block_id = BlockId::new(r.get_u64()?);
+    let n = r.get_u64()? as usize;
+    let mut providers = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        providers.push(r.get_u64()? as usize);
+    }
+    Ok(BlockAllocation {
+        block_id,
+        providers,
+    })
+}
+
+/// Encodes a duration as whole nanoseconds (saturating at ~585 years).
+pub fn put_duration(w: &mut WireWriter, d: Duration) {
+    w.put_u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+}
+
+/// Decodes a duration.
+pub fn get_duration(r: &mut WireReader<'_>) -> Result<Duration> {
+    Ok(Duration::from_nanos(r.get_u64()?))
+}
+
+/// Encodes a list of versions.
+pub fn put_versions(w: &mut WireWriter, versions: &[Version]) {
+    w.put_u64(versions.len() as u64);
+    for v in versions {
+        w.put_u64(v.raw());
+    }
+}
+
+/// Decodes a list of versions.
+pub fn get_versions(r: &mut WireReader<'_>) -> Result<Vec<Version>> {
+    let n = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(Version::new(r.get_u64()?));
+    }
+    Ok(out)
+}
+
+/// Encodes a list of node keys.
+pub fn put_node_keys(w: &mut WireWriter, keys: &[NodeKey]) {
+    w.put_u64(keys.len() as u64);
+    for k in keys {
+        put_node_key(w, k);
+    }
+}
+
+/// Decodes a list of node keys.
+pub fn get_node_keys(r: &mut WireReader<'_>) -> Result<Vec<NodeKey>> {
+    let n = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        out.push(get_node_key(r)?);
+    }
+    Ok(out)
+}
+
+// --- response envelope ------------------------------------------------------
+
+/// Wraps a handler outcome into a response body: status byte `0` followed
+/// by the payload, or status byte `1` followed by the encoded [`Error`].
+pub fn encode_response(result: Result<WireWriter>) -> Vec<u8> {
+    let mut out = WireWriter::new();
+    match result {
+        Ok(payload) => {
+            out.put_u8(0);
+            let mut v = out.into_vec();
+            v.extend_from_slice(payload.as_slice());
+            v
+        }
+        Err(e) => {
+            out.put_u8(1);
+            out.put_error(&e);
+            out.into_vec()
+        }
+    }
+}
+
+/// Splits a response body into its payload, surfacing an encoded service
+/// [`Error`] as itself — failures cross the wire as their real variants,
+/// never degraded into transport errors.
+pub fn decode_response(body: &[u8]) -> Result<WireReader<'_>> {
+    let mut r = WireReader::new(body);
+    match r.get_u8()? {
+        0 => Ok(r),
+        1 => {
+            let e = r.get_error()?;
+            r.finish()?;
+            Err(e)
+        }
+        s => Err(Error::Transport(format!(
+            "wire: unknown response status {s}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, &[]).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), Vec::<u8>::new());
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut prefix = WireWriter::new();
+        prefix.put_u64(MAX_FRAME_LEN + 1);
+        let buf = prefix.into_vec();
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, Error::Transport(_)), "{err}");
+    }
+
+    #[test]
+    fn tree_nodes_roundtrip() {
+        let nodes = [
+            TreeNode::Inner {
+                left: Some(NodeRef {
+                    blob: BlobId::new(1),
+                    version: Version::new(2),
+                }),
+                right: None,
+            },
+            TreeNode::Leaf(BlockDescriptor {
+                block_id: BlockId::new(u64::MAX),
+                providers: vec![0, 7, 300],
+                len: u32::MAX,
+            }),
+            TreeNode::LeafAlias(None),
+            TreeNode::LeafAlias(Some(NodeRef {
+                blob: BlobId::new(9),
+                version: Version::new(1),
+            })),
+        ];
+        for node in &nodes {
+            let mut w = WireWriter::new();
+            put_tree_node(&mut w, node);
+            let mut r = WireReader::new(w.as_slice());
+            assert_eq!(&get_tree_node(&mut r).unwrap(), node);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_pos_is_a_transport_error() {
+        // len 3 is not a power of two; start 2 is not aligned to len 4.
+        for (start, len) in [(0u64, 3u64), (2, 4), (0, 0)] {
+            let mut w = WireWriter::new();
+            w.put_u64(start);
+            w.put_u64(len);
+            let mut r = WireReader::new(w.as_slice());
+            assert!(matches!(get_pos(&mut r), Err(Error::Transport(_))));
+        }
+    }
+
+    #[test]
+    fn tickets_with_chains_roundtrip() {
+        let entry = LogEntry {
+            version: Version::new(3),
+            blocks: BlockRange::new(2, 5),
+            cap_before: 4,
+            cap_after: 8,
+            size_after: 320,
+        };
+        let chain = LogChain::new(vec![
+            LogSegment {
+                blob: BlobId::new(2),
+                entries: Arc::new(RwLock::new(vec![entry])),
+                vec_base: Version::new(2),
+                lo: Version::new(2),
+                hi: Version::new(u64::MAX),
+            },
+            LogSegment {
+                blob: BlobId::new(1),
+                entries: Arc::new(RwLock::new(vec![
+                    LogEntry {
+                        version: Version::new(1),
+                        blocks: BlockRange::new(0, 2),
+                        cap_before: 0,
+                        cap_after: 2,
+                        size_after: 128,
+                    },
+                    LogEntry {
+                        version: Version::new(2),
+                        blocks: BlockRange::new(0, 1),
+                        cap_before: 2,
+                        cap_after: 2,
+                        size_after: 128,
+                    },
+                ])),
+                vec_base: Version::ZERO,
+                lo: Version::ZERO,
+                hi: Version::new(2),
+            },
+        ]);
+        let ticket = WriteTicket {
+            blob: BlobId::new(2),
+            version: Version::new(3),
+            offset: 128,
+            prev_size: 128,
+            entry,
+            chain,
+        };
+        let mut w = WireWriter::new();
+        put_write_ticket(&mut w, &ticket);
+        let mut r = WireReader::new(w.as_slice());
+        let back = get_write_ticket(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.blob, ticket.blob);
+        assert_eq!(back.version, ticket.version);
+        assert_eq!(back.offset, ticket.offset);
+        assert_eq!(back.prev_size, ticket.prev_size);
+        assert_eq!(back.entry, ticket.entry);
+        // The chain copy answers weaving queries identically.
+        assert_eq!(back.chain.segments().len(), 2);
+        for pos in [
+            Pos::new(0, 1),
+            Pos::new(1, 1),
+            Pos::new(0, 2),
+            Pos::new(4, 1),
+        ] {
+            assert_eq!(
+                back.chain.materializer_before(pos, Version::new(3)),
+                ticket.chain.materializer_before(pos, Version::new(3)),
+                "weave divergence at {pos:?}"
+            );
+        }
+        assert_eq!(
+            back.chain.snapshot_geometry(Version::new(2)),
+            ticket.chain.snapshot_geometry(Version::new(2))
+        );
+    }
+
+    #[test]
+    fn allocations_snapshots_intents_durations_roundtrip() {
+        let a = BlockAllocation {
+            block_id: BlockId::new(77),
+            providers: vec![0, 3, 9],
+        };
+        let info = SnapshotInfo {
+            version: Version::new(4),
+            size: 1000,
+            cap: 16,
+            root_blob: BlobId::new(2),
+            revealed: true,
+        };
+        let mut w = WireWriter::new();
+        put_block_allocation(&mut w, &a);
+        put_snapshot_info(&mut w, &info);
+        put_write_intent(&mut w, WriteIntent::Write { offset: 5, size: 9 });
+        put_write_intent(&mut w, WriteIntent::Append { size: 64 });
+        put_duration(&mut w, Duration::from_millis(1500));
+        let mut r = WireReader::new(w.as_slice());
+        assert_eq!(get_block_allocation(&mut r).unwrap(), a);
+        assert_eq!(get_snapshot_info(&mut r).unwrap(), info);
+        assert_eq!(
+            get_write_intent(&mut r).unwrap(),
+            WriteIntent::Write { offset: 5, size: 9 }
+        );
+        assert_eq!(
+            get_write_intent(&mut r).unwrap(),
+            WriteIntent::Append { size: 64 }
+        );
+        assert_eq!(get_duration(&mut r).unwrap(), Duration::from_millis(1500));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn response_envelope_carries_payloads_and_errors() {
+        let mut payload = WireWriter::new();
+        payload.put_u64(42);
+        let body = encode_response(Ok(payload));
+        let mut r = decode_response(&body).unwrap();
+        assert_eq!(r.get_u64().unwrap(), 42);
+
+        for e in blobseer_types::wire::error_fixture() {
+            let body = encode_response(Err(e.clone()));
+            let got = decode_response(&body).unwrap_err();
+            assert_eq!(got, e, "error variant must survive the envelope");
+        }
+    }
+}

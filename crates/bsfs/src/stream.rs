@@ -15,8 +15,13 @@ use bytes::{Bytes, BytesMut};
 use dfs::api::{DfsInput, DfsOutput};
 use std::time::Duration;
 
-/// How long `close()` waits for the final append's snapshot to be revealed.
-const CLOSE_REVEAL_TIMEOUT: Duration = Duration::from_secs(30);
+/// Upper bound on the reveal wait performed by `Drop` (an abandoned
+/// stream). `close()` waits the full configured
+/// `BlobSeerConfig::close_reveal_timeout`; `Drop` is best-effort and must
+/// never stall a harness for the production patience — in particular, a
+/// simulated-time SimGate turn can never satisfy a real condvar wait, so
+/// an unbounded drop-wait would hang the whole simulation.
+const DROP_REVEAL_BOUND: Duration = Duration::from_millis(100);
 
 /// A buffered, seekable reader over one file snapshot.
 pub struct BsfsInput {
@@ -123,6 +128,9 @@ pub struct BsfsOutput {
     written: u64,
     last_version: Option<Version>,
     closed: bool,
+    /// Patience of `close()`'s reveal wait, from
+    /// `BlobSeerConfig::close_reveal_timeout`.
+    close_patience: Duration,
     /// Appends issued to BlobSeer (write-behind effectiveness metric).
     flushes: u64,
 }
@@ -130,7 +138,9 @@ pub struct BsfsOutput {
 impl BsfsOutput {
     /// Opens a write-behind stream appending to `blob`.
     pub fn new(client: BlobClient, blob: BlobId) -> Self {
-        let block_size = client.system().config().block_size as usize;
+        let cfg = client.system().config();
+        let block_size = cfg.block_size as usize;
+        let close_patience = cfg.close_reveal_timeout;
         Self {
             client,
             blob,
@@ -139,6 +149,7 @@ impl BsfsOutput {
             written: 0,
             last_version: None,
             closed: false,
+            close_patience,
             flushes: 0,
         }
     }
@@ -156,6 +167,23 @@ impl BsfsOutput {
         let (_, v) = self.client.append(self.blob, &chunk)?;
         self.flushes += 1;
         self.last_version = Some(v);
+        Ok(())
+    }
+
+    /// Flushes the tail and waits up to `patience` for the final append's
+    /// reveal. Shared by `close()` (full configured patience) and `Drop`
+    /// (bounded best-effort).
+    fn close_with_patience(&mut self, patience: Duration) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.flush_buf()?;
+        self.closed = true;
+        // Close-to-open visibility: wait until our last append is revealed,
+        // so a reader opening after close() sees everything we wrote.
+        if let Some(v) = self.last_version {
+            self.client.wait_revealed(self.blob, v, patience)?;
+        }
         Ok(())
     }
 }
@@ -185,25 +213,17 @@ impl DfsOutput for BsfsOutput {
     }
 
     fn close(&mut self) -> Result<()> {
-        if self.closed {
-            return Ok(());
-        }
-        self.flush_buf()?;
-        self.closed = true;
-        // Close-to-open visibility: wait until our last append is revealed,
-        // so a reader opening after close() sees everything we wrote.
-        if let Some(v) = self.last_version {
-            self.client
-                .wait_revealed(self.blob, v, CLOSE_REVEAL_TIMEOUT)?;
-        }
-        Ok(())
+        self.close_with_patience(self.close_patience)
     }
 }
 
 impl Drop for BsfsOutput {
     fn drop(&mut self) {
-        // Best-effort flush on drop; errors surface only via explicit close.
-        let _ = self.close();
+        // Best-effort flush on drop; errors surface only via explicit
+        // close. The reveal wait is bounded regardless of configuration —
+        // an abandoned stream must never stall its thread for the full
+        // close patience.
+        let _ = self.close_with_patience(self.close_patience.min(DROP_REVEAL_BOUND));
     }
 }
 
@@ -316,6 +336,58 @@ mod tests {
         let mut out = BsfsOutput::new(c, blob);
         out.close().unwrap();
         assert!(matches!(out.write(b"x"), Err(Error::StreamClosed)));
+    }
+
+    #[test]
+    fn close_reveal_patience_is_configurable_and_drop_is_bounded() {
+        use blobseer_core::WriteIntent;
+        use std::time::Instant;
+        // A stuck predecessor version means the stream's final append can
+        // never reveal. close() must give up after the *configured*
+        // patience (the seed hard-coded 30 s), and Drop after its own
+        // bound, instead of stalling the caller.
+        let cfg = BlobSeerConfig::small_for_tests()
+            .with_block_size(256)
+            .with_close_reveal_timeout(Duration::from_millis(50));
+        let sys = BlobSeer::deploy(cfg, 4);
+        let c = sys.client(NodeId::new(0));
+        let blob = c.create();
+        let _stuck = sys
+            .version_manager()
+            .assign(blob, WriteIntent::Append { size: 256 })
+            .unwrap();
+
+        let mut out = BsfsOutput::new(c.clone(), blob);
+        out.write(&[1u8; 256]).unwrap(); // full block: flushed as v2
+        let t0 = Instant::now();
+        let err = out.close().unwrap_err();
+        assert!(matches!(err, Error::Timeout(_)), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "configured 50 ms patience must beat the 30 s default"
+        );
+
+        // Drop of an abandoned stream: bounded even with a long configured
+        // patience.
+        let cfg = BlobSeerConfig::small_for_tests().with_block_size(256);
+        let sys = BlobSeer::deploy(cfg, 4);
+        let c = sys.client(NodeId::new(0));
+        let blob = c.create();
+        let _stuck = sys
+            .version_manager()
+            .assign(blob, WriteIntent::Append { size: 256 })
+            .unwrap();
+        let t0 = Instant::now();
+        {
+            let mut out = BsfsOutput::new(c, blob);
+            out.write(&[2u8; 256]).unwrap();
+            // No close: Drop flushes and waits at most its bound.
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "drop must not wait the full close patience: {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -560,13 +560,15 @@ pub fn deploy(
         placement: policy,
         metadata_providers: c.meta_shards.max(1),
         metadata_replication: 1,
-        // The unaligned-append slow path waits on a *real* condvar for the
-        // predecessor's reveal — but under the gate the committing peer is
-        // parked and can never run while this thread holds the turn, so
-        // the wait can only ever time out. Fail fast instead of stalling
-        // the whole simulation for the 30 s default. (All figure workloads
-        // are block-aligned and never take this path.)
+        // The unaligned-append slow path and a closing BSFS stream both
+        // wait on a *real* condvar for a reveal — but under the gate the
+        // committing peer is parked and can never run while this thread
+        // holds the turn, so such a wait can only ever time out. Fail fast
+        // instead of stalling the whole simulation for the 30 s defaults.
+        // (All figure workloads are block-aligned and reveal before close,
+        // so neither path is taken.)
         unaligned_append_timeout: Duration::from_millis(50),
+        close_reveal_timeout: Duration::from_millis(50),
         ..BlobSeerConfig::small_for_tests()
     };
     let stats = Arc::new(EngineStats::new());

@@ -12,6 +12,12 @@ use std::time::Duration;
 /// version (see `blobseer_core::client` module docs).
 pub const DEFAULT_UNALIGNED_APPEND_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Default patience of `BsfsOutput::close()`: how long a closing stream
+/// waits for its final append's snapshot to be revealed (close-to-open
+/// visibility). Tests and simulated-time deployments shrink it — a 30 s
+/// real condvar wait can never be satisfied inside a SimGate turn.
+pub const DEFAULT_CLOSE_REVEAL_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Placement policy used by the provider manager (§III-B: "a load balancing
 /// strategy that aims at evenly distributing the blocks across data
 /// providers").
@@ -60,6 +66,12 @@ pub struct BlobSeerConfig {
     /// and simulation runs shrink this so a crashed predecessor does not
     /// stall them for the full production patience.
     pub unaligned_append_timeout: Duration,
+    /// How long a closing BSFS output stream waits for its final append's
+    /// reveal (close-to-open visibility). Like the unaligned-append
+    /// patience, tests and simulated-time deployments shrink this: `Drop`
+    /// additionally bounds it so an abandoned stream can never stall a
+    /// harness for the full production patience.
+    pub close_reveal_timeout: Duration,
 }
 
 impl Default for BlobSeerConfig {
@@ -72,13 +84,16 @@ impl Default for BlobSeerConfig {
             metadata_replication: 1,
             gc_keep_versions: None,
             unaligned_append_timeout: DEFAULT_UNALIGNED_APPEND_TIMEOUT,
+            close_reveal_timeout: DEFAULT_CLOSE_REVEAL_TIMEOUT,
         }
     }
 }
 
 impl BlobSeerConfig {
     /// A configuration with small blocks, convenient for tests that want
-    /// many-block files without gigabytes of RAM.
+    /// many-block files without gigabytes of RAM. Reveal patiences shrink
+    /// too: in-process reveals are immediate, so a stuck predecessor should
+    /// fail a test in seconds, not stall it for the production 30 s.
     pub fn small_for_tests() -> Self {
         Self {
             block_size: 4 * 1024,
@@ -88,6 +103,7 @@ impl BlobSeerConfig {
             metadata_replication: 1,
             gc_keep_versions: None,
             unaligned_append_timeout: DEFAULT_UNALIGNED_APPEND_TIMEOUT,
+            close_reveal_timeout: Duration::from_secs(2),
         }
     }
 
@@ -126,6 +142,13 @@ impl BlobSeerConfig {
     #[must_use]
     pub fn with_unaligned_append_timeout(mut self, timeout: Duration) -> Self {
         self.unaligned_append_timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the close-reveal patience.
+    #[must_use]
+    pub fn with_close_reveal_timeout(mut self, timeout: Duration) -> Self {
+        self.close_reveal_timeout = timeout;
         self
     }
 }
@@ -204,6 +227,7 @@ mod tests {
         assert_eq!(c.placement, PlacementPolicy::RoundRobin);
         assert_eq!(c.metadata_providers, 20);
         assert_eq!(c.unaligned_append_timeout, Duration::from_secs(30));
+        assert_eq!(c.close_reveal_timeout, Duration::from_secs(30));
 
         let h = HdfsConfig::default();
         assert_eq!(h.chunk_size, 64 * 1024 * 1024);
@@ -217,8 +241,10 @@ mod tests {
             .with_replication(3)
             .with_placement(PlacementPolicy::LeastLoaded)
             .with_metadata_providers(2)
-            .with_unaligned_append_timeout(Duration::from_millis(50));
+            .with_unaligned_append_timeout(Duration::from_millis(50))
+            .with_close_reveal_timeout(Duration::from_millis(80));
         assert_eq!(c.unaligned_append_timeout, Duration::from_millis(50));
+        assert_eq!(c.close_reveal_timeout, Duration::from_millis(80));
         assert_eq!(c.block_size, 1024);
         assert_eq!(c.replication, 3);
         assert_eq!(c.placement, PlacementPolicy::LeastLoaded);

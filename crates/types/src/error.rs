@@ -75,6 +75,12 @@ pub enum Error {
     StreamClosed,
     /// Timeout while waiting for a snapshot to be revealed.
     Timeout(String),
+    /// An RPC transport failure: connection refused/reset mid-call, or a
+    /// malformed wire frame. Distinct from every service-level error so a
+    /// caller can tell "the provider said no" (retriable at the protocol
+    /// level, e.g. [`Error::WriteAborted`]) apart from "the provider is
+    /// unreachable" (retriable at the transport level).
+    Transport(String),
     /// Catch-all for internal invariant violations (a bug if ever seen).
     Internal(String),
 }
@@ -110,6 +116,7 @@ impl fmt::Display for Error {
             Error::WriteAborted(why) => write!(f, "write aborted: {why}"),
             Error::StreamClosed => write!(f, "stream already closed"),
             Error::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            Error::Transport(why) => write!(f, "rpc transport failure: {why}"),
             Error::Internal(why) => write!(f, "internal invariant violated: {why}"),
         }
     }
@@ -143,6 +150,10 @@ mod tests {
                 "operation not supported by this file system: append",
             ),
             (Error::StreamClosed, "stream already closed"),
+            (
+                Error::Transport("connection refused".into()),
+                "rpc transport failure: connection refused",
+            ),
         ];
         for (e, msg) in cases {
             assert_eq!(e.to_string(), msg);

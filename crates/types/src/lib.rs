@@ -14,6 +14,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod range;
+pub mod wire;
 
 pub use config::{BlobSeerConfig, HdfsConfig};
 pub use error::{Error, Result};

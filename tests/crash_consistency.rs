@@ -232,6 +232,89 @@ fn conflicting_metadata_reput_is_refused_end_to_end() {
 }
 
 #[test]
+fn refused_data_put_releases_allocation_accounting() {
+    // Regression: `allocate` charges provider-manager load for every block
+    // up front; the seed's data phase leaked the whole allocation set when
+    // a put was refused, skewing placement forever. The failed data phase
+    // must undo itself — loads back to baseline, no stored orphans.
+    let r = rig();
+    let c = r.sys.client(NodeId::new(0));
+    let blob = c.create();
+    c.write(blob, 0, &[1u8; 192]).unwrap(); // 3 blocks, healthy baseline
+    let baseline_loads = r.sys.provider_manager().load_vector();
+    let baseline_blocks = r.sys.providers().total_block_count();
+
+    r.data_plan.set(PutFault::Fail);
+    let err = c.write(blob, 0, &[9u8; 256]).unwrap_err();
+    assert!(matches!(err, Error::WriteAborted(_)), "{err}");
+    assert_eq!(
+        r.sys.provider_manager().load_vector(),
+        baseline_loads,
+        "refused data phase must release its allocations"
+    );
+    assert_eq!(r.sys.providers().total_block_count(), baseline_blocks);
+
+    // Same for a mid-payload refusal: the first put lands, the second is
+    // refused, and the landed block is deleted with its load released.
+    r.data_plan.set(PutFault::None);
+    c.append(blob, &[2u8; 64]).unwrap(); // re-align the tail (192 + 64)
+    let baseline_loads = r.sys.provider_manager().load_vector();
+    let baseline_blocks = r.sys.providers().total_block_count();
+    r.data_plan.set(PutFault::FailOnce);
+    // First put of this 4-block append fails; nothing may leak.
+    let err = c.append(blob, &[9u8; 256]).unwrap_err();
+    assert!(matches!(err, Error::WriteAborted(_)), "{err}");
+    r.data_plan.set(PutFault::None);
+    assert_eq!(r.sys.provider_manager().load_vector(), baseline_loads);
+    assert_eq!(r.sys.providers().total_block_count(), baseline_blocks);
+}
+
+#[test]
+fn failed_metadata_publish_releases_orphaned_blocks() {
+    // Regression: a write whose data phase stored its blocks but whose
+    // metadata publish failed left the blocks (and their load accounting)
+    // behind forever — repair republishes *aliases* to the previous
+    // version, never these descriptors, so they were pure leaks.
+    let r = rig();
+    let c = r.sys.client(NodeId::new(0));
+    let blob = c.create();
+    c.write(blob, 0, &[1u8; 128]).unwrap();
+    let baseline_loads = r.sys.provider_manager().load_vector();
+    let baseline_blocks = r.sys.providers().total_block_count();
+    let baseline_bytes = r.sys.providers().total_bytes_stored();
+
+    // Transient refusal: the publish fails, the writer self-repairs (the
+    // repair's meta puts succeed), and the stored blocks are released.
+    r.meta_plan.set(PutFault::FailOnce);
+    let err = c.write(blob, 0, &[2u8; 128]).unwrap_err();
+    assert!(matches!(err, Error::WriteAborted(_)), "{err}");
+    assert_eq!(c.latest(blob).unwrap().0, Version::new(2), "repaired");
+    assert_eq!(
+        r.sys.provider_manager().load_vector(),
+        baseline_loads,
+        "orphaned blocks must release their load accounting"
+    );
+    assert_eq!(r.sys.providers().total_block_count(), baseline_blocks);
+    assert_eq!(r.sys.providers().total_bytes_stored(), baseline_bytes);
+
+    // The repaired history still reads as v1's content and stays healthy
+    // for later writes.
+    let data = c.read(blob, None, 0, 128).unwrap();
+    assert!(data.iter().all(|&b| b == 1));
+    let v3 = c.write(blob, 0, &[3u8; 64]).unwrap();
+    assert_eq!(v3, Version::new(3));
+
+    // Appends leak-check too: same fault, same invariant.
+    let baseline_loads = r.sys.provider_manager().load_vector();
+    let baseline_blocks = r.sys.providers().total_block_count();
+    r.meta_plan.set(PutFault::FailOnce);
+    let err = c.append(blob, &[4u8; 64]).unwrap_err();
+    assert!(matches!(err, Error::WriteAborted(_)), "{err}");
+    assert_eq!(r.sys.provider_manager().load_vector(), baseline_loads);
+    assert_eq!(r.sys.providers().total_block_count(), baseline_blocks);
+}
+
+#[test]
 fn unaligned_append_timeout_is_configurable_and_repairs() {
     // Satellite check: the unaligned-append patience comes from the config
     // (the seed hard-coded 30 s), so a crashed predecessor only stalls an

@@ -1,23 +1,32 @@
-//! Observational equivalence of the lock-striped adapters and the seed's
-//! single-global-lock layout.
+//! Observational equivalence across backend families.
 //!
-//! The sharded maps behind `DataProvider`/`MetaProvider`/`GcTracker` must
-//! be a pure performance change: for every interleaved put/get/delete
-//! workload, a deployment striped over many locks must be observationally
-//! identical to one striped over a single lock (which *is* the seed's
-//! `RwLock<HashMap>` layout). Property tests drive both with the same
-//! random scripts; a threaded test checks the concurrent path agrees on
-//! final state.
+//! Two properties, same method — drive different adapter stacks with
+//! identical scripts and demand identical observables:
+//!
+//! 1. **Sharded ≡ global-lock** (PR 2): the lock-striped maps behind
+//!    `DataProvider`/`MetaProvider` must be a pure performance change
+//!    relative to the seed's single `RwLock<HashMap>` layout.
+//! 2. **In-memory ≡ RPC-loopback** (this PR): a full client deployment
+//!    wired over TCP sockets (`blobseer_rpc::LoopbackCluster`) must be
+//!    observationally identical to the in-memory one for every op script
+//!    — sizes, versions, bytes read, **and error variants**, which must
+//!    cross the wire as themselves.
+//!
+//! Plus wire-codec round-trip properties: random domain values encode and
+//! decode to themselves, and every `Error` variant survives the trip.
 
 use blobseer_core::block_store::{DataProvider, ProviderSet};
 use blobseer_core::dht::MetaDht;
 use blobseer_core::meta::key::{NodeKey, Pos};
-use blobseer_core::meta::node::{BlockDescriptor, TreeNode};
+use blobseer_core::meta::node::{BlockDescriptor, NodeRef, TreeNode};
 use blobseer_core::ports::BlockStore;
-use blobseer_types::{BlobId, BlockId, Error, NodeId, Version};
+use blobseer_core::{BlobSeer, WriteIntent};
+use blobseer_rpc::LoopbackCluster;
+use blobseer_types::wire::{error_fixture, WireReader, WireWriter};
+use blobseer_types::{BlobId, BlobSeerConfig, BlockId, Error, NodeId, Version};
 use bytes::Bytes;
 use proptest::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One step of a block-store workload. Several logical writers' scripts are
 /// interleaved by construction: the generator draws (writer, op) pairs and
@@ -149,6 +158,255 @@ fn conflicting_reputs_fail_identically_on_both_layouts() {
             "stripes={stripes}: {err}"
         );
         assert_eq!(dht.get(&key).unwrap(), leaf(1), "stripes={stripes}");
+    }
+}
+
+// --- in-memory ≡ RPC-loopback ----------------------------------------------
+
+const RPC_BLOCK: u64 = 64;
+
+/// One step of a client-protocol script, replayed against both backends.
+/// Offsets/lengths are drawn small enough to exercise aligned and
+/// unaligned paths, holes, multi-block spans and out-of-bounds probes.
+#[derive(Clone, Debug)]
+enum ClientOp {
+    Append { len: u16 },
+    Write { offset: u16, len: u16 },
+    Read { offset: u16, len: u16 },
+    ReadVersion { version: u8, offset: u16, len: u16 },
+    Latest,
+    History,
+}
+
+fn client_ops() -> impl Strategy<Value = Vec<ClientOp>> {
+    // Keep lengths non-zero except via the explicit zero-write probe below:
+    // a zero-length read is legal, a zero-length write is WriteAborted.
+    let op = prop_oneof![
+        (1u16..200).prop_map(|len| ClientOp::Append { len }),
+        (0u16..600, 1u16..200).prop_map(|(offset, len)| ClientOp::Write { offset, len }),
+        (0u16..800, 0u16..300).prop_map(|(offset, len)| ClientOp::Read { offset, len }),
+        (0u8..8, 0u16..400, 0u16..200).prop_map(|(version, offset, len)| ClientOp::ReadVersion {
+            version,
+            offset,
+            len
+        }),
+        (0u16..1).prop_map(|_| ClientOp::Latest),
+        (0u16..1).prop_map(|_| ClientOp::History),
+    ];
+    proptest::collection::vec(op, 1..25)
+}
+
+/// The two deployments under comparison, built once and shared by every
+/// proptest case (each case runs on a fresh BLOB). The cluster must stay
+/// alive as long as the RPC deployment, so both live in the same cell.
+struct RpcRig {
+    in_memory: Arc<BlobSeer>,
+    over_rpc: Arc<BlobSeer>,
+    _cluster: LoopbackCluster,
+}
+
+fn rpc_rig() -> &'static RpcRig {
+    static RIG: OnceLock<RpcRig> = OnceLock::new();
+    RIG.get_or_init(|| {
+        let cfg = BlobSeerConfig::small_for_tests()
+            .with_block_size(RPC_BLOCK)
+            .with_unaligned_append_timeout(std::time::Duration::from_millis(200));
+        let cluster = LoopbackCluster::boot(cfg.clone(), 4).unwrap();
+        RpcRig {
+            in_memory: BlobSeer::deploy(cfg, 4),
+            over_rpc: cluster.deploy().unwrap(),
+            _cluster: cluster,
+        }
+    })
+}
+
+/// Deterministic payload for op `i` of a case.
+fn fill(i: usize, len: u16) -> Vec<u8> {
+    vec![(i as u8).wrapping_mul(31).wrapping_add(7); len as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The same op script against the in-memory backend and the TCP
+    /// loopback cluster yields identical observables: values on success
+    /// and the exact `Error` variant on failure. Both deployments create
+    /// blobs from the same id sequence, so even the ids agree.
+    #[test]
+    fn in_memory_and_rpc_loopback_agree(ops in client_ops()) {
+        let rig = rpc_rig();
+        let mem = rig.in_memory.client(NodeId::new(0));
+        let rpc = rig.over_rpc.client(NodeId::new(0));
+        let mem_blob = mem.create();
+        let rpc_blob = rpc.create();
+        prop_assert_eq!(mem_blob, rpc_blob, "blob id sequences must align");
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                ClientOp::Append { len } => {
+                    let data = fill(i, len);
+                    prop_assert_eq!(
+                        mem.append(mem_blob, &data),
+                        rpc.append(rpc_blob, &data),
+                        "append diverged at step {}", i
+                    );
+                }
+                ClientOp::Write { offset, len } => {
+                    let data = fill(i, len);
+                    prop_assert_eq!(
+                        mem.write(mem_blob, offset as u64, &data),
+                        rpc.write(rpc_blob, offset as u64, &data),
+                        "write diverged at step {}", i
+                    );
+                }
+                ClientOp::Read { offset, len } => {
+                    prop_assert_eq!(
+                        mem.read(mem_blob, None, offset as u64, len as u64),
+                        rpc.read(rpc_blob, None, offset as u64, len as u64),
+                        "read diverged at step {}", i
+                    );
+                }
+                ClientOp::ReadVersion { version, offset, len } => {
+                    let v = Some(Version::new(version as u64));
+                    prop_assert_eq!(
+                        mem.read(mem_blob, v, offset as u64, len as u64),
+                        rpc.read(rpc_blob, v, offset as u64, len as u64),
+                        "versioned read diverged at step {}", i
+                    );
+                }
+                ClientOp::Latest => {
+                    prop_assert_eq!(mem.latest(mem_blob), rpc.latest(rpc_blob));
+                }
+                ClientOp::History => {
+                    prop_assert_eq!(mem.history(mem_blob), rpc.history(rpc_blob));
+                }
+            }
+        }
+        // Error probes at the end of every case: the exact variants must
+        // cross the wire. (OutOfBounds, NoSuchBlob, NoSuchVersion,
+        // WriteAborted, VersionNotRevealed.)
+        let (_, size) = mem.latest(mem_blob).unwrap();
+        prop_assert_eq!(
+            mem.read(mem_blob, None, size, 1),
+            rpc.read(rpc_blob, None, size, 1)
+        );
+        prop_assert_eq!(
+            mem.latest(BlobId::new(u64::MAX)),
+            rpc.latest(BlobId::new(u64::MAX))
+        );
+        prop_assert_eq!(
+            mem.read(mem_blob, Some(Version::new(10_000)), 0, 1),
+            rpc.read(rpc_blob, Some(Version::new(10_000)), 0, 1)
+        );
+        prop_assert_eq!(
+            mem.write(mem_blob, 0, &[]),
+            rpc.write(rpc_blob, 0, &[])
+        );
+        // A block-aligned stuck version: reads of it answer
+        // VersionNotRevealed identically on both sides. (Block-aligned so
+        // it never sends a later unaligned append into the slow path —
+        // there are no later ops on these blobs.)
+        let stuck_mem = rig.in_memory.version_manager()
+            .assign(mem_blob, WriteIntent::Append { size: RPC_BLOCK }).unwrap();
+        let stuck_rpc = rig.over_rpc.version_manager()
+            .assign(rpc_blob, WriteIntent::Append { size: RPC_BLOCK }).unwrap();
+        prop_assert_eq!(stuck_mem.version, stuck_rpc.version);
+        prop_assert_eq!(stuck_mem.offset, stuck_rpc.offset);
+        prop_assert_eq!(
+            mem.read(mem_blob, Some(stuck_mem.version), 0, 1),
+            rpc.read(rpc_blob, Some(stuck_rpc.version), 0, 1)
+        );
+        prop_assert_eq!(
+            rig.in_memory.version_manager().pending_versions(mem_blob).unwrap(),
+            rig.over_rpc.version_manager().pending_versions(rpc_blob).unwrap()
+        );
+        // Repair both so the shared deployments stay healthy for later
+        // cases (fresh blobs, but keep the VM free of stuck versions).
+        mem.repair_aborted(&stuck_mem).unwrap();
+        rpc.repair_aborted(&stuck_rpc).unwrap();
+    }
+
+    /// Wire-codec round trips on random domain values: tree nodes, node
+    /// keys, log entries, snapshot infos. Encode → decode is the identity.
+    #[test]
+    fn wire_codec_roundtrips_random_values(
+        seeds in proptest::collection::vec((any::<u64>(), any::<u64>(), 0u8..3), 1..40)
+    ) {
+        use blobseer_rpc::wire;
+        for &(a, b, kind) in &seeds {
+            // A valid position derived from the seed: power-of-two length,
+            // aligned start.
+            let len = 1u64 << (a % 20);
+            let start = (b % 1000) * len;
+            let pos = Pos::new(start, len);
+            let key = NodeKey::new(BlobId::new(a), Version::new(b), pos);
+            let mut w = WireWriter::new();
+            wire::put_node_key(&mut w, &key);
+            let mut r = WireReader::new(w.as_slice());
+            prop_assert_eq!(wire::get_node_key(&mut r).unwrap(), key);
+            r.finish().unwrap();
+
+            let node = match kind {
+                0 => TreeNode::Inner {
+                    left: (a % 2 == 0).then_some(NodeRef {
+                        blob: BlobId::new(a),
+                        version: Version::new(b),
+                    }),
+                    right: (b % 2 == 0).then_some(NodeRef {
+                        blob: BlobId::new(b),
+                        version: Version::new(a),
+                    }),
+                },
+                1 => TreeNode::Leaf(BlockDescriptor {
+                    block_id: BlockId::new(a),
+                    providers: vec![(a % 7) as u32, (b % 11) as u32],
+                    len: (b % (u32::MAX as u64)) as u32,
+                }),
+                _ => TreeNode::LeafAlias((a % 3 == 0).then_some(NodeRef {
+                    blob: BlobId::new(b),
+                    version: Version::new(a),
+                })),
+            };
+            let mut w = WireWriter::new();
+            wire::put_tree_node(&mut w, &node);
+            let mut r = WireReader::new(w.as_slice());
+            prop_assert_eq!(wire::get_tree_node(&mut r).unwrap(), node);
+            r.finish().unwrap();
+
+            let info = blobseer_core::SnapshotInfo {
+                version: Version::new(a),
+                size: b,
+                cap: len,
+                root_blob: BlobId::new(b),
+                revealed: a % 2 == 0,
+            };
+            let mut w = WireWriter::new();
+            wire::put_snapshot_info(&mut w, &info);
+            let mut r = WireReader::new(w.as_slice());
+            prop_assert_eq!(wire::get_snapshot_info(&mut r).unwrap(), info);
+            r.finish().unwrap();
+        }
+    }
+}
+
+/// Every `Error` variant — the full port failure vocabulary — survives a
+/// wire round trip bit-exactly, both bare and through the RPC response
+/// envelope. This is the "failures propagate across the wire instead of
+/// degrading to transport errors" guarantee, asserted exhaustively.
+#[test]
+fn every_error_variant_survives_the_wire() {
+    for e in error_fixture() {
+        let mut w = WireWriter::new();
+        w.put_error(&e);
+        let mut r = WireReader::new(w.as_slice());
+        assert_eq!(r.get_error().unwrap(), e, "bare codec");
+        r.finish().unwrap();
+
+        let body = blobseer_rpc::wire::encode_response(Err(e.clone()));
+        assert_eq!(
+            blobseer_rpc::wire::decode_response(&body).unwrap_err(),
+            e,
+            "response envelope"
+        );
     }
 }
 
