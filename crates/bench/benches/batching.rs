@@ -1,0 +1,116 @@
+//! Per-op vs vectored port traffic over the RPC loopback cluster.
+//!
+//! The vectored port API exists so the data phase, tree publish and
+//! descent pay one wire frame per batch instead of one per item. This
+//! bench measures that directly at the port boundary: storing and
+//! fetching a 64-block write's worth of blocks through the
+//! `RpcBlockStore` adapter, once as 64 single-op round trips and once as
+//! one `put_many`/`get_many` per provider — real sockets, real frames,
+//! laptop-scale 4 KB blocks (the round trips under comparison are
+//! size-independent; the paper's 64 MB blocks only add stream time on
+//! both sides).
+
+use blobseer_rpc::LoopbackCluster;
+use blobseer_types::{BlobSeerConfig, BlockId};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const PROVIDERS: usize = 4;
+const BLOCKS: u64 = 64;
+const BLOCK_BYTES: usize = 4096;
+
+/// The provider each block of the "write" lands on (round-robin, like the
+/// provider manager's default placement).
+fn provider_of(block: u64) -> usize {
+    (block % PROVIDERS as u64) as usize
+}
+
+fn bench_rpc_batching(c: &mut Criterion) {
+    let cluster = LoopbackCluster::boot(
+        BlobSeerConfig::small_for_tests().with_block_size(BLOCK_BYTES as u64),
+        PROVIDERS,
+    )
+    .unwrap();
+    let sys = cluster.deploy().unwrap();
+    let store = sys.providers();
+    let payload = Bytes::from(vec![0xB1u8; BLOCK_BYTES]);
+
+    // --- write side: 64 blocks to 4 providers ------------------------------
+    let mut g = c.benchmark_group("rpc_batching/store_64_blocks");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(BLOCKS * BLOCK_BYTES as u64));
+    let mut round = 0u64;
+    g.bench_function("per_op", |b| {
+        b.iter(|| {
+            round += 1;
+            let base = round * 1_000_000;
+            for k in 0..BLOCKS {
+                store
+                    .put(provider_of(k), BlockId::new(base + k), payload.clone())
+                    .unwrap();
+            }
+            // Keep the servers from growing without bound across samples.
+            for p in 0..PROVIDERS {
+                let ids: Vec<BlockId> = (0..BLOCKS)
+                    .filter(|&k| provider_of(k) == p)
+                    .map(|k| BlockId::new(base + k))
+                    .collect();
+                let _ = store.delete_many(p, &ids);
+            }
+        });
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            round += 1;
+            let base = round * 1_000_000;
+            for p in 0..PROVIDERS {
+                let items: Vec<(BlockId, Bytes)> = (0..BLOCKS)
+                    .filter(|&k| provider_of(k) == p)
+                    .map(|k| (BlockId::new(base + k), payload.clone()))
+                    .collect();
+                for result in store.put_many(p, &items) {
+                    result.unwrap();
+                }
+                let ids: Vec<BlockId> = items.iter().map(|&(id, _)| id).collect();
+                let _ = store.delete_many(p, &ids);
+            }
+        });
+    });
+    g.finish();
+
+    // --- read side: fetch the same 64 blocks back --------------------------
+    let base = u64::MAX / 2;
+    for k in 0..BLOCKS {
+        store
+            .put(provider_of(k), BlockId::new(base + k), payload.clone())
+            .unwrap();
+    }
+    let mut g = c.benchmark_group("rpc_batching/fetch_64_blocks");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(BLOCKS * BLOCK_BYTES as u64));
+    g.bench_function("per_op", |b| {
+        b.iter(|| {
+            for k in 0..BLOCKS {
+                black_box(store.get(provider_of(k), BlockId::new(base + k)).unwrap());
+            }
+        });
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            for p in 0..PROVIDERS {
+                let ids: Vec<BlockId> = (0..BLOCKS)
+                    .filter(|&k| provider_of(k) == p)
+                    .map(|k| BlockId::new(base + k))
+                    .collect();
+                for result in store.get_many(p, &ids) {
+                    black_box(result.unwrap());
+                }
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rpc_batching);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! serialize on one global lock. [`Bytes`] payloads make reads zero-copy:
 //! readers receive a reference-counted view.
 
-use crate::sharded::{ShardedMap, DEFAULT_SHARDS};
+use crate::sharded::{stripe_runs, ShardedMap, DEFAULT_SHARDS};
 use blobseer_types::{BlockId, Error, NodeId, Result};
 use bytes::Bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,6 +71,69 @@ impl DataProvider {
             }
         }
         self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stores a batch of blocks, taking each lock stripe once per batch
+    /// instead of once per block. Observationally equivalent to calling
+    /// [`Self::put`] per item in order (within a stripe, items land in
+    /// batch order, so intra-batch re-puts behave identically).
+    pub fn put_many(&self, items: &[(BlockId, Bytes)]) {
+        for (shard, range) in stripe_runs(&self.blocks, items.iter().map(|(id, _)| id)) {
+            let mut map = self.blocks.shard_at(shard).write();
+            for &i in &range {
+                let (id, data) = &items[i];
+                match map.get(id) {
+                    Some(existing) => {
+                        debug_assert_eq!(
+                            existing, data,
+                            "block {id} rewritten with different content — blocks are immutable"
+                        );
+                    }
+                    None => {
+                        self.bytes_stored
+                            .fetch_add(data.len() as u64, Ordering::Relaxed);
+                        map.insert(*id, data.clone());
+                    }
+                }
+            }
+        }
+        self.puts.fetch_add(items.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Fetches a batch of blocks, one read-lock acquisition per stripe.
+    /// Per-item results in input order.
+    pub fn get_many(&self, ids: &[BlockId]) -> Vec<Result<Bytes>> {
+        self.gets.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        let mut out: Vec<Result<Bytes>> = ids
+            .iter()
+            .map(|&id| Err(Error::MissingBlock(id.raw())))
+            .collect();
+        for (shard, range) in stripe_runs(&self.blocks, ids.iter()) {
+            let map = self.blocks.shard_at(shard).read();
+            for i in range {
+                if let Some(data) = map.get(&ids[i]) {
+                    out[i] = Ok(data.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deletes a batch of blocks, one write-lock acquisition per stripe.
+    /// Returns the bytes freed per block, in input order (0 if absent).
+    pub fn delete_many(&self, ids: &[BlockId]) -> Vec<u64> {
+        let mut out = vec![0u64; ids.len()];
+        for (shard, range) in stripe_runs(&self.blocks, ids.iter()) {
+            let mut map = self.blocks.shard_at(shard).write();
+            for i in range {
+                if let Some(data) = map.remove(&ids[i]) {
+                    let n = data.len() as u64;
+                    self.bytes_stored.fetch_sub(n, Ordering::Relaxed);
+                    out[i] = n;
+                }
+            }
+        }
+        out
     }
 
     /// Fetches a block (zero-copy clone of the payload).

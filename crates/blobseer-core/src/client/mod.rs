@@ -54,10 +54,29 @@
 //! The traits are object-safe by design (`Arc<dyn …>` wiring), so backends
 //! can be chosen at runtime.
 //!
+//! **The vectored methods and the migration path.** The client's hot paths
+//! call the *vectored* store methods — `put_many`/`get_many`/`delete_many`
+//! on [`crate::ports::BlockStore`] (one batch per data provider) and
+//! [`crate::ports::MetaStore`] (one batch per tree level) — with per-item
+//! `Result`s, so a write's data phase, a publish, a descent and a GC
+//! cascade each cost O(levels + providers) backend calls rather than
+//! O(blocks + nodes). A new adapter does **not** have to implement them:
+//! every vectored method defaults to looping over its single-item
+//! sibling, so step 1 above is still "implement `put`/`get`/`delete`" and
+//! the protocol works immediately, just without amortization. Once the
+//! backend has a cheaper bulk path (a multi-put wire frame, a pipelined
+//! transaction, one lock per batch), override the vectored methods —
+//! keeping two invariants: results come back *per item, in input order*
+//! (a subset may fail while the rest land; decorators rely on this), and
+//! batched semantics must equal the same single ops run in sequence
+//! (`tests/ports_equivalence.rs` has ready-made properties to hold a new
+//! adapter to exactly that).
+//!
 //! **Worked example: the TCP backend.** The `blobseer-rpc` crate follows
 //! exactly this recipe to take the protocol over real sockets:
 //! `RpcBlockStore`/`RpcMetaStore`/`RpcVersionService` implement the three
-//! traits over pooled TCP connections (one frame per port call; service
+//! traits over pooled TCP connections (one frame per port call — one per
+//! *batch* for the vectored methods, with per-item status codes; service
 //! errors round-trip the wire as their own [`blobseer_types::Error`]
 //! variants), and `blobseer_rpc::LoopbackCluster::deploy` is nothing more
 //! than step 2 + 3: it fills an [`EnginePorts`] with the RPC adapters and
@@ -78,6 +97,7 @@ mod read;
 mod write;
 
 pub use deploy::{BlobSeer, EnginePorts};
+pub(crate) use write::push_grouped;
 
 use crate::gc::GcReport;
 use crate::version_manager::SnapshotInfo;
@@ -443,15 +463,46 @@ mod tests {
         let c = client(&sys);
         let blob = c.create();
         c.write(blob, 0, &[9u8; 64]).unwrap();
-        // Both providers hold the block; dropping it from one must not
-        // break reads via the other replica... the client picks replica by
-        // block index, so verify both copies exist first.
+        // Both providers hold the block.
         let locs = c.locations(blob, None, 0, 64).unwrap();
         assert_eq!(locs[0].nodes.len(), 2);
         assert_eq!(
             sys.providers().block_count(0) + sys.providers().block_count(1),
             2
         );
+        // Drop the block from the deterministically chosen replica (block
+        // index 0 → replica 0): the read must fall back to the surviving
+        // replica instead of surfacing the first refused get.
+        let block_id = {
+            let tree = sys.tree();
+            let info = sys
+                .version_manager()
+                .snapshot_info(blob, Version::new(1))
+                .unwrap();
+            let located = tree
+                .locate(
+                    info.root_blob,
+                    info.version,
+                    info.cap,
+                    crate::meta::key::BlockRange::new(0, 1),
+                )
+                .unwrap();
+            located[0].desc.as_ref().unwrap().block_id
+        };
+        let chosen = locs[0].nodes[0].raw() as usize;
+        assert!(sys.providers().delete(chosen, block_id).unwrap() > 0);
+        let data = c.read(blob, None, 0, 64).unwrap();
+        assert!(
+            data.iter().all(|&b| b == 9),
+            "failover replica serves the read"
+        );
+        // Losing every replica finally surfaces the error.
+        let other = locs[0].nodes[1].raw() as usize;
+        assert!(sys.providers().delete(other, block_id).unwrap() > 0);
+        assert!(matches!(
+            c.read(blob, None, 0, 64),
+            Err(Error::MissingBlock(_))
+        ));
     }
 
     #[test]

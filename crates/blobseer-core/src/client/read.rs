@@ -6,7 +6,7 @@ use crate::meta::key::BlockRange;
 use crate::ports::{ProtocolOp, ProtocolPhase};
 use crate::stats::EngineStats;
 use crate::version_manager::SnapshotInfo;
-use blobseer_types::{BlobId, ByteRange, Error, Result, Version};
+use blobseer_types::{BlobId, BlockId, ByteRange, Error, Result, Version};
 use bytes::{Bytes, BytesMut};
 
 use super::{BlobClient, BlockLocation};
@@ -37,17 +37,39 @@ impl BlobClient {
             .tree()
             .locate(info.root_blob, info.version, info.cap, query)?;
         self.observe(ProtocolOp::Read, ProtocolPhase::Located);
+        // Fetch phase, vectored: group the needed blocks by the replica
+        // provider chosen for each (deterministically by block index, to
+        // spread load) and issue one `get_many` per provider. A failed
+        // fetch falls back to the block's remaining replicas before the
+        // read surfaces an error.
+        let mut fetched: Vec<Option<Bytes>> = vec![None; located.len()];
+        let mut batches: Vec<(usize, Vec<(usize, BlockId)>)> = Vec::new();
+        for (i, loc) in located.iter().enumerate() {
+            if let Some(desc) = &loc.desc {
+                let replica = (loc.index as usize) % desc.providers.len();
+                let pidx = desc.providers[replica] as usize;
+                super::write::push_grouped(&mut batches, pidx, (i, desc.block_id));
+            }
+        }
+        for (provider, items) in &batches {
+            let ids: Vec<BlockId> = items.iter().map(|&(_, id)| id).collect();
+            for (&(i, _), result) in items
+                .iter()
+                .zip(self.sys.providers.get_many(*provider, &ids))
+            {
+                fetched[i] = Some(match result {
+                    Ok(block) => block,
+                    Err(e) => self.fetch_fallback_replica(&located[i], *provider, e)?,
+                });
+            }
+        }
         let mut out = BytesMut::with_capacity(size as usize);
         let spans = ByteRange::new(offset, size).block_spans(bs);
-        for (span, loc) in spans.zip(located.iter()) {
+        for ((span, loc), block) in spans.zip(located.iter()).zip(fetched) {
             debug_assert_eq!(span.block_index, loc.index);
-            match &loc.desc {
+            match block {
                 None => out.resize(out.len() + span.len as usize, 0),
-                Some(desc) => {
-                    // Spread replica load deterministically by block index.
-                    let replica = (loc.index as usize) % desc.providers.len();
-                    let pidx = desc.providers[replica] as usize;
-                    let block = self.sys.providers.get(pidx, desc.block_id)?;
+                Some(block) => {
                     let lo = span.offset_in_block as usize;
                     let hi = (span.offset_in_block + span.len) as usize;
                     let avail = block.len();
@@ -66,6 +88,37 @@ impl BlobClient {
         EngineStats::add(&self.sys.stats.bytes_read, size);
         self.observe(ProtocolOp::Read, ProtocolPhase::Done);
         Ok(out.freeze())
+    }
+
+    /// Replica failover for one block fetch: the deterministically chosen
+    /// replica on `failed_provider` refused or lost the block, so try the
+    /// descriptor's remaining replicas in order before surfacing an error
+    /// (the replication the paper relies on for fault tolerance, §VI-B —
+    /// `desc.providers` lists healthy replicas the read would otherwise
+    /// ignore). Returns the block, or the *last* replica's error once all
+    /// are exhausted.
+    fn fetch_fallback_replica(
+        &self,
+        loc: &crate::meta::tree::LocatedBlock,
+        failed_provider: usize,
+        first_err: blobseer_types::Error,
+    ) -> Result<Bytes> {
+        let desc = loc
+            .desc
+            .as_ref()
+            .expect("fallback only runs for fetched descriptors");
+        let mut last_err = first_err;
+        for &p in &desc.providers {
+            let p = p as usize;
+            if p == failed_provider {
+                continue;
+            }
+            match self.sys.providers.get(p, desc.block_id) {
+                Ok(block) => return Ok(block),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
     }
 
     /// The data-location primitive backing Hadoop's affinity scheduling

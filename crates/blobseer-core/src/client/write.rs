@@ -5,7 +5,7 @@ use crate::meta::node::BlockDescriptor;
 use crate::ports::{ProtocolOp, ProtocolPhase};
 use crate::stats::EngineStats;
 use crate::version_manager::{WriteIntent, WriteTicket};
-use blobseer_types::{BlobId, Error, Result, Version};
+use blobseer_types::{BlobId, BlockId, Error, Result, Version};
 use bytes::{Bytes, BytesMut};
 use std::collections::HashMap;
 
@@ -15,6 +15,17 @@ use super::BlobClient;
 pub(crate) struct MergedPayload {
     pub(crate) start: u64,
     pub(crate) payload: Bytes,
+}
+
+/// Appends `item` to the group keyed by `key`, creating the group on first
+/// sight. Groups keep first-appearance order and items keep insertion
+/// order, so batch contents are deterministic — the shared grouping step
+/// behind every per-provider vectored call on the client paths.
+pub(crate) fn push_grouped<T>(groups: &mut Vec<(usize, Vec<T>)>, key: usize, item: T) {
+    match groups.iter_mut().find(|(k, _)| *k == key) {
+        Some((_, items)) => items.push(item),
+        None => groups.push((key, vec![item])),
+    }
 }
 
 impl BlobClient {
@@ -155,6 +166,12 @@ impl BlobClient {
     /// Data phase: allocates providers, stores the payload's blocks, and
     /// returns `(block_index, descriptor)` pairs keyed from `first_block`.
     ///
+    /// The puts are **vectored**: every block (and replica) destined for
+    /// one provider ships in a single [`crate::ports::BlockStore::
+    /// put_many`] call, so a remote backend pays one round trip per
+    /// provider touched instead of one per block — the §III-D "store all
+    /// blocks in parallel" structure expressed at the port boundary.
+    ///
     /// A failed block put aborts the whole write ("if writing of a block
     /// fails, then the whole write fails", §III-D). The data phase then
     /// undoes itself: `allocate` charged provider-manager load for *every*
@@ -171,25 +188,13 @@ impl BlobClient {
         let n_blocks = payload.len().div_ceil(bs);
         let allocs = self.sys.pm.allocate(n_blocks, self.sys.cfg.replication)?;
         let mut out = Vec::with_capacity(n_blocks);
+        let mut batches: Vec<(usize, Vec<(BlockId, Bytes)>)> = Vec::new();
         for (i, alloc) in allocs.iter().enumerate() {
             let lo = i * bs;
             let hi = ((i + 1) * bs).min(payload.len());
             let chunk = payload.slice(lo..hi);
             for &p in &alloc.providers {
-                if let Err(e) = self.sys.providers.put(p, alloc.block_id, chunk.clone()) {
-                    // Undo the whole allocation set: deleting a block that
-                    // never landed is a no-op, and each replica's load was
-                    // charged exactly once at allocate time.
-                    for a in &allocs {
-                        for &q in &a.providers {
-                            self.sys.providers.delete(q, a.block_id);
-                            self.sys.pm.release(q);
-                        }
-                    }
-                    return Err(e);
-                }
-                EngineStats::add(&self.sys.stats.blocks_written, 1);
-                EngineStats::add(&self.sys.stats.bytes_written, (hi - lo) as u64);
+                push_grouped(&mut batches, p, (alloc.block_id, chunk.clone()));
             }
             out.push((
                 first_block + i as u64,
@@ -200,21 +205,49 @@ impl BlobClient {
                 },
             ));
         }
+        for (provider, items) in &batches {
+            let results = self.sys.providers.put_many(*provider, items);
+            for ((_, data), result) in items.iter().zip(results) {
+                if let Err(e) = result {
+                    // Undo the whole allocation set: deleting a block that
+                    // never landed is a no-op, and each replica's load was
+                    // charged exactly once at allocate time.
+                    let mut undo: Vec<(usize, Vec<BlockId>)> = Vec::new();
+                    for a in &allocs {
+                        for &q in &a.providers {
+                            push_grouped(&mut undo, q, a.block_id);
+                            self.sys.pm.release(q);
+                        }
+                    }
+                    for (q, ids) in &undo {
+                        let _ = self.sys.providers.delete_many(*q, ids);
+                    }
+                    return Err(e);
+                }
+                EngineStats::add(&self.sys.stats.blocks_written, 1);
+                EngineStats::add(&self.sys.stats.bytes_written, data.len() as u64);
+            }
+        }
         Ok(out)
     }
 
     /// Undoes the data phase of a write whose later phases failed: deletes
-    /// the stored blocks and releases their provider-manager load (one unit
-    /// per replica). Blocks orphaned by a failed version assignment,
-    /// metadata publish or commit are unreachable from every revealed
-    /// snapshot — repair republishes *aliases* to the previous version,
-    /// never these descriptors — so they are pure leaks until released.
+    /// the stored blocks (one vectored call per provider) and releases
+    /// their provider-manager load (one unit per replica). Blocks orphaned
+    /// by a failed version assignment, metadata publish or commit are
+    /// unreachable from every revealed snapshot — repair republishes
+    /// *aliases* to the previous version, never these descriptors — so
+    /// they are pure leaks until released.
     pub(crate) fn release_stored(&self, leaves: &[(u64, BlockDescriptor)]) {
+        let mut batches: Vec<(usize, Vec<BlockId>)> = Vec::new();
         for (_, d) in leaves {
             for &p in &d.providers {
-                self.sys.providers.delete(p as usize, d.block_id);
+                push_grouped(&mut batches, p as usize, d.block_id);
                 self.sys.pm.release(p as usize);
             }
+        }
+        for (p, ids) in &batches {
+            let _ = self.sys.providers.delete_many(*p, ids);
         }
     }
 

@@ -9,7 +9,7 @@
 
 use crate::meta::key::NodeKey;
 use crate::meta::node::TreeNode;
-use crate::sharded::{ShardedMap, DEFAULT_SHARDS};
+use crate::sharded::{stripe_runs, ShardedMap, DEFAULT_SHARDS};
 use blobseer_types::{Error, Result};
 
 /// One metadata provider: a shard of the DHT. Internally lock-striped so
@@ -57,9 +57,60 @@ impl MetaProvider {
         Ok(())
     }
 
+    /// Batched [`Self::put`]: each lock stripe is taken once per batch;
+    /// items land in batch order within a stripe, so the per-item results
+    /// match the equivalent sequence of single puts exactly.
+    fn put_many(&self, items: &[(NodeKey, TreeNode)]) -> Vec<Result<()>> {
+        self.puts
+            .fetch_add(items.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let mut out: Vec<Result<()>> = (0..items.len()).map(|_| Ok(())).collect();
+        for (stripe, range) in stripe_runs(&self.map, items.iter().map(|(k, _)| k)) {
+            let mut map = self.map.shard_at(stripe).write();
+            for i in range {
+                let (key, node) = &items[i];
+                match map.get(key) {
+                    Some(existing) if existing != node => {
+                        out[i] = Err(Error::MetadataConflict(format!("{key:?}")));
+                    }
+                    Some(_) => {}
+                    None => {
+                        map.insert(*key, node.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn get(&self, key: &NodeKey) -> Option<TreeNode> {
         self.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.map.get_cloned(key)
+    }
+
+    /// Batched [`Self::get`], one read-lock acquisition per stripe.
+    fn get_many(&self, keys: &[NodeKey]) -> Vec<Option<TreeNode>> {
+        self.gets
+            .fetch_add(keys.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let mut out: Vec<Option<TreeNode>> = vec![None; keys.len()];
+        for (stripe, range) in stripe_runs(&self.map, keys.iter()) {
+            let map = self.map.shard_at(stripe).read();
+            for i in range {
+                out[i] = map.get(&keys[i]).cloned();
+            }
+        }
+        out
+    }
+
+    /// Batched [`Self::delete`], one write-lock acquisition per stripe.
+    fn delete_many(&self, keys: &[NodeKey]) -> Vec<bool> {
+        let mut out = vec![false; keys.len()];
+        for (stripe, range) in stripe_runs(&self.map, keys.iter()) {
+            let mut map = self.map.shard_at(stripe).write();
+            for i in range {
+                out[i] = map.remove(&keys[i]).is_some();
+            }
+        }
+        out
     }
 
     /// Lookup without touching the op counters (internal validation reads).
@@ -158,6 +209,79 @@ impl MetaDht {
             self.shards[shard].put(key, node.clone())?;
         }
         Ok(())
+    }
+
+    /// Batched [`Self::put`] with per-item results, in input order.
+    ///
+    /// On the hot single-replica publish path the batch is grouped by home
+    /// shard and each shard processes its group under one stripe lock per
+    /// stripe touched. With `replication > 1` the batch falls back to
+    /// sequential per-item puts: the cross-replica divergence validation
+    /// must observe every earlier item's install before the next item's
+    /// pre-pass, which a grouped apply cannot guarantee.
+    pub fn put_many(&self, items: &[(NodeKey, TreeNode)]) -> Vec<Result<()>> {
+        if self.replication > 1 {
+            return items
+                .iter()
+                .map(|(key, node)| self.put(*key, node.clone()))
+                .collect();
+        }
+        let mut out: Vec<Result<()>> = (0..items.len()).map(|_| Ok(())).collect();
+        for (shard, range) in self.shard_groups(items.iter().map(|(k, _)| k)) {
+            let group: Vec<(NodeKey, TreeNode)> = range.iter().map(|&i| items[i].clone()).collect();
+            for (slot, result) in range.into_iter().zip(self.shards[shard].put_many(&group)) {
+                out[slot] = result;
+            }
+        }
+        out
+    }
+
+    /// Batched [`Self::get`] with per-item results, in input order. Single
+    /// replica: grouped by home shard, one lock acquisition per stripe.
+    pub fn get_many(&self, keys: &[NodeKey]) -> Vec<Result<TreeNode>> {
+        if self.replication > 1 {
+            return keys.iter().map(|key| self.get(key)).collect();
+        }
+        let mut out: Vec<Result<TreeNode>> = keys
+            .iter()
+            .map(|key| Err(Error::MissingMetadata(format!("{key:?}"))))
+            .collect();
+        for (shard, range) in self.shard_groups(keys.iter()) {
+            let group: Vec<NodeKey> = range.iter().map(|&i| keys[i]).collect();
+            for (slot, found) in range.into_iter().zip(self.shards[shard].get_many(&group)) {
+                if let Some(node) = found {
+                    out[slot] = Ok(node);
+                }
+            }
+        }
+        out
+    }
+
+    /// Batched [`Self::delete`]: true per item if any replica existed.
+    pub fn delete_many(&self, keys: &[NodeKey]) -> Vec<bool> {
+        if self.replication > 1 {
+            return keys.iter().map(|key| self.delete(key)).collect();
+        }
+        let mut out = vec![false; keys.len()];
+        for (shard, range) in self.shard_groups(keys.iter()) {
+            let group: Vec<NodeKey> = range.iter().map(|&i| keys[i]).collect();
+            for (slot, existed) in range
+                .into_iter()
+                .zip(self.shards[shard].delete_many(&group))
+            {
+                out[slot] = existed;
+            }
+        }
+        out
+    }
+
+    /// Groups batch item indices by primary shard, preserving input order
+    /// within each group (groups in first-appearance order).
+    fn shard_groups<'a>(
+        &self,
+        keys: impl Iterator<Item = &'a NodeKey>,
+    ) -> Vec<(usize, Vec<usize>)> {
+        crate::sharded::group_indices_by(keys, |key| self.shard_of(key))
     }
 
     /// Fetches a node, trying replicas in order.

@@ -17,6 +17,13 @@
 //!
 //! Reads, deletes and statistics always pass through, so tests can inspect
 //! the damage with the normal APIs.
+//!
+//! The decorators deliberately keep the *default* vectored implementations
+//! of `put_many`/`get_many`/`delete_many` (looping over the single-item
+//! methods): each item of a batch passes through the fault plan
+//! individually, so a `FailOnce` plan fails exactly the first item of a
+//! batch and lets the rest land — the partial-failure behavior the
+//! vectored API's per-item `Result`s exist for.
 
 use crate::meta::key::NodeKey;
 use crate::meta::node::TreeNode;
@@ -184,7 +191,7 @@ impl BlockStore for FaultyBlockStore {
     fn contains(&self, provider: usize, id: BlockId) -> bool {
         self.inner.contains(provider, id)
     }
-    fn delete(&self, provider: usize, id: BlockId) -> u64 {
+    fn delete(&self, provider: usize, id: BlockId) -> Result<u64> {
         self.inner.delete(provider, id)
     }
     fn block_count(&self, provider: usize) -> usize {

@@ -17,13 +17,15 @@
 //! (blocks are owned by exactly one leaf — abort repair shares leaves via
 //! aliases, never by duplicating descriptors).
 
+use crate::client::push_grouped;
 use crate::meta::key::NodeKey;
 use crate::meta::node::TreeNode;
 use crate::ports::{BlockStore, MetaStore};
 use crate::provider_manager::ProviderManager;
 use crate::sharded::{ShardedMap, DEFAULT_SHARDS};
 use crate::stats::EngineStats;
-use blobseer_types::Result;
+use blobseer_types::{BlockId, Result};
+use std::collections::HashMap;
 
 /// Outcome of a collection pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -94,6 +96,14 @@ impl GcTracker {
     /// Releases one reference on `root` and cascades deletion of every node
     /// and block that becomes unreachable. Works against any backend
     /// through the [`MetaStore`]/[`BlockStore`] ports.
+    ///
+    /// The cascade is level-synchronous and vectored: refcounts are
+    /// decremented locally, then every node freed in one wave is fetched
+    /// with a single [`MetaStore::get_many`], deleted with a single
+    /// [`MetaStore::delete_many`], and the dead leaves' blocks are deleted
+    /// with one [`BlockStore::delete_many`] per provider — so collecting a
+    /// whole version costs O(tree levels + providers touched) round trips
+    /// on a remote backend instead of O(nodes + blocks).
     pub fn release_root(
         &self,
         root: NodeKey,
@@ -103,18 +113,17 @@ impl GcTracker {
         stats: &EngineStats,
     ) -> Result<GcReport> {
         let mut report = GcReport::default();
-        let mut stack = vec![root];
-        while let Some(key) = stack.pop() {
-            let freed = {
+        let mut frontier = vec![root];
+        while !frontier.is_empty() {
+            // Refcount wave: pure local bookkeeping, no backend calls.
+            let mut freed: Vec<NodeKey> = Vec::new();
+            for key in std::mem::take(&mut frontier) {
                 let mut rc = self.node_rc.shard_for(&key).write();
                 match rc.get_mut(&key) {
-                    Some(c) if *c > 1 => {
-                        *c -= 1;
-                        false
-                    }
+                    Some(c) if *c > 1 => *c -= 1,
                     Some(_) => {
                         rc.remove(&key);
-                        true
+                        freed.push(key);
                     }
                     None => {
                         // A refcount bug: nothing to release. Count it so
@@ -123,43 +132,72 @@ impl GcTracker {
                         // builds silently no-op'ed.
                         report.untracked_releases += 1;
                         EngineStats::add(&stats.gc_untracked_releases, 1);
-                        false
                     }
                 }
-            };
-            if !freed {
+            }
+            if freed.is_empty() {
                 continue;
             }
-            // The node is unreachable: fetch it to discover children, then
-            // delete it and release what it referenced.
-            let node = dht.get(&key)?;
-            dht.delete(&key);
-            report.nodes_deleted += 1;
-            EngineStats::add(&stats.meta_nodes_collected, 1);
-            match node {
-                TreeNode::Inner { left, right } => {
-                    if let Some(r) = left {
-                        stack.push(NodeKey::new(r.blob, r.version, key.pos.left()));
-                    }
-                    if let Some(r) = right {
-                        stack.push(NodeKey::new(r.blob, r.version, key.pos.right()));
-                    }
-                }
-                TreeNode::LeafAlias(target) => {
-                    if let Some(r) = target {
-                        stack.push(NodeKey::new(r.blob, r.version, key.pos));
+            // The freed nodes are unreachable: fetch the wave to discover
+            // children, then delete it and release what it referenced. A
+            // failed fetch aborts the cascade after this wave (matching
+            // the old node-at-a-time fail-fast), without deleting the
+            // nodes it could not inspect.
+            let mut fetched: Vec<(NodeKey, TreeNode)> = Vec::with_capacity(freed.len());
+            let mut first_err = None;
+            for (key, result) in freed.iter().zip(dht.get_many(&freed)) {
+                match result {
+                    Ok(node) => fetched.push((*key, node)),
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
                     }
                 }
-                TreeNode::Leaf(desc) => {
-                    report.blocks_deleted += 1;
-                    EngineStats::add(&stats.blocks_collected, 1);
-                    let mut freed_bytes = 0;
-                    for &p in &desc.providers {
-                        freed_bytes = providers.delete(p as usize, desc.block_id).max(freed_bytes);
-                        pm.release(p as usize);
+            }
+            let dead: Vec<NodeKey> = fetched.iter().map(|(k, _)| *k).collect();
+            let _ = dht.delete_many(&dead);
+            report.nodes_deleted += dead.len() as u64;
+            EngineStats::add(&stats.meta_nodes_collected, dead.len() as u64);
+            let mut block_dels: Vec<(usize, Vec<BlockId>)> = Vec::new();
+            let mut freed_of: HashMap<BlockId, u64> = HashMap::new();
+            for (key, node) in fetched {
+                match node {
+                    TreeNode::Inner { left, right } => {
+                        if let Some(r) = left {
+                            frontier.push(NodeKey::new(r.blob, r.version, key.pos.left()));
+                        }
+                        if let Some(r) = right {
+                            frontier.push(NodeKey::new(r.blob, r.version, key.pos.right()));
+                        }
                     }
-                    report.bytes_freed += freed_bytes;
+                    TreeNode::LeafAlias(target) => {
+                        if let Some(r) = target {
+                            frontier.push(NodeKey::new(r.blob, r.version, key.pos));
+                        }
+                    }
+                    TreeNode::Leaf(desc) => {
+                        report.blocks_deleted += 1;
+                        EngineStats::add(&stats.blocks_collected, 1);
+                        freed_of.insert(desc.block_id, 0);
+                        for &p in &desc.providers {
+                            push_grouped(&mut block_dels, p as usize, desc.block_id);
+                            pm.release(p as usize);
+                        }
+                    }
                 }
+            }
+            for (provider, ids) in &block_dels {
+                for (&id, result) in ids.iter().zip(providers.delete_many(*provider, ids)) {
+                    // Bytes are counted once per block (primary copies):
+                    // take the max over replicas, treating an unreachable
+                    // replica as 0 freed.
+                    let n = result.unwrap_or(0);
+                    freed_of.entry(id).and_modify(|m| *m = (*m).max(n));
+                }
+            }
+            report.bytes_freed += freed_of.values().sum::<u64>();
+            if let Some(e) = first_err {
+                return Err(e);
             }
         }
         Ok(report)

@@ -41,6 +41,16 @@ enum LeafMode<'a> {
     Repair,
 }
 
+/// Per-publish state threaded through the [`TreeStore::build`] recursion:
+/// what is being published, and the per-depth node batches it produces.
+struct BuildCx<'a, 'b> {
+    blob: BlobId,
+    entry: &'a LogEntry,
+    chain: &'a LogChain,
+    mode: &'a LeafMode<'b>,
+    levels: Vec<Vec<(NodeKey, TreeNode)>>,
+}
+
 /// Metadata operations bound to one deployment's metadata backend (any
 /// [`MetaStore`] adapter), GC tracker and stats.
 #[derive(Clone, Copy)]
@@ -98,7 +108,18 @@ impl<'a> TreeStore<'a> {
             entry.materializes(root),
             "a write always materializes its root"
         );
-        let r = self.build(blob, entry, chain, &mode, root)?;
+        // Build every materialized node locally first — weaving is pure
+        // write-log computation (§III-D: "the client is able to predict
+        // the values corresponding to the metadata that is being
+        // written") — grouped by tree depth.
+        let mut cx = BuildCx {
+            blob,
+            entry,
+            chain,
+            mode: &mode,
+            levels: Vec::new(),
+        };
+        let r = self.build(&mut cx, root, 0);
         debug_assert_eq!(
             r,
             Some(NodeRef {
@@ -106,33 +127,71 @@ impl<'a> TreeStore<'a> {
                 version: entry.version
             })
         );
+        let levels = cx.levels;
+        // Publish one vectored put per level, deepest first: children land
+        // before the parents that reference them, exactly like the old
+        // node-at-a-time post-order publish, but a remote backend now pays
+        // one round trip per level instead of one per node. A failed item
+        // leaves already-published nodes in place (the crashed-writer
+        // shape of §VI-B).
+        let is_repair = matches!(mode, LeafMode::Repair);
+        for level in levels.iter().rev() {
+            let mut first_err = None;
+            let mut conflicts: Vec<usize> = Vec::new();
+            for (i, result) in self.dht.put_many(level).into_iter().enumerate() {
+                match result {
+                    Ok(()) => EngineStats::add(&self.stats.meta_nodes_written, 1),
+                    Err(Error::MetadataConflict(_)) if is_repair => conflicts.push(i),
+                    Err(e) if first_err.is_none() => first_err = Some(e),
+                    Err(_) => {}
+                }
+            }
+            // A repair owns its version's keys — no other writer ever
+            // publishes under this (blob, version). A conflicting node at
+            // one of them is a remnant of the aborted attempt (a batched
+            // publish fails per item, so sibling nodes of the failed one
+            // may have landed): force-replace it with the alias metadata,
+            // or a transiently refused put would strand the version
+            // forever behind its own half-published tree.
+            if !conflicts.is_empty() {
+                let keys: Vec<NodeKey> = conflicts.iter().map(|&i| level[i].0).collect();
+                let _ = self.dht.delete_many(&keys);
+                let retry: Vec<(NodeKey, TreeNode)> =
+                    conflicts.iter().map(|&i| level[i].clone()).collect();
+                for result in self.dht.put_many(&retry) {
+                    match result {
+                        Ok(()) => EngineStats::add(&self.stats.meta_nodes_written, 1),
+                        Err(e) if first_err.is_none() => first_err = Some(e),
+                        Err(_) => {}
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
         Ok(NodeKey::new(blob, entry.version, root))
     }
 
-    /// Recursively materializes `pos` if the write covers it, else returns a
-    /// woven reference to the latest earlier materializer.
-    fn build(
-        &self,
-        blob: BlobId,
-        entry: &LogEntry,
-        chain: &LogChain,
-        mode: &LeafMode<'_>,
-        pos: Pos,
-    ) -> Result<Option<NodeRef>> {
-        if !entry.materializes(pos) {
+    /// Recursively materializes `pos` if the write covers it — appending
+    /// the node to its depth's batch in `cx.levels` — else returns a woven
+    /// reference to the latest earlier materializer.
+    fn build(&self, cx: &mut BuildCx<'_, '_>, pos: Pos, depth: usize) -> Option<NodeRef> {
+        if !cx.entry.materializes(pos) {
             // Weave: reference the latest lower version materializing this
             // position (possibly still being written by a concurrent
             // writer), or a hole.
-            return Ok(chain
-                .materializer_before(pos, entry.version)
+            return cx
+                .chain
+                .materializer_before(pos, cx.entry.version)
                 .map(|m| NodeRef {
                     blob: m.blob,
                     version: m.version,
-                }));
+                });
         }
-        let key = NodeKey::new(blob, entry.version, pos);
+        let key = NodeKey::new(cx.blob, cx.entry.version, pos);
         let node = if pos.is_leaf() {
-            match mode {
+            match cx.mode {
                 LeafMode::Blocks(leaves) => {
                     let desc = leaves
                         .get(&pos.start)
@@ -141,8 +200,9 @@ impl<'a> TreeStore<'a> {
                     TreeNode::Leaf(desc)
                 }
                 LeafMode::Repair => {
-                    let target = chain
-                        .materializer_before(pos, entry.version)
+                    let target = cx
+                        .chain
+                        .materializer_before(pos, cx.entry.version)
                         .map(|m| NodeRef {
                             blob: m.blob,
                             version: m.version,
@@ -154,8 +214,8 @@ impl<'a> TreeStore<'a> {
                 }
             }
         } else {
-            let left = self.build(blob, entry, chain, mode, pos.left())?;
-            let right = self.build(blob, entry, chain, mode, pos.right())?;
+            let left = self.build(cx, pos.left(), depth + 1);
+            let right = self.build(cx, pos.right(), depth + 1);
             if let Some(l) = left {
                 self.gc
                     .inc_node(NodeKey::new(l.blob, l.version, pos.left()));
@@ -166,12 +226,14 @@ impl<'a> TreeStore<'a> {
             }
             TreeNode::Inner { left, right }
         };
-        self.dht.put(key, node)?;
-        EngineStats::add(&self.stats.meta_nodes_written, 1);
-        Ok(Some(NodeRef {
-            blob,
-            version: entry.version,
-        }))
+        if cx.levels.len() <= depth {
+            cx.levels.resize_with(depth + 1, Vec::new);
+        }
+        cx.levels[depth].push((key, node));
+        Some(NodeRef {
+            blob: cx.blob,
+            version: cx.entry.version,
+        })
     }
 
     /// Registers the root of a committed version (one GC reference).
@@ -184,6 +246,14 @@ impl<'a> TreeStore<'a> {
     ///
     /// Returns one entry per block in `query`, in increasing index order;
     /// holes yield `desc: None`.
+    ///
+    /// The descent is level-synchronous: every node of one tree level that
+    /// intersects the query is fetched with a single
+    /// [`MetaStore::get_many`] — hops between levels stay sequential (a
+    /// child reference is only known once its parent arrived, §III-C), but
+    /// a remote backend pays one round trip per level instead of one per
+    /// node. Alias chains extend the frontier at the same position, so a
+    /// chain of `k` aliases adds `k` extra rounds for those entries only.
     pub fn locate(
         &self,
         root_blob: BlobId,
@@ -191,67 +261,73 @@ impl<'a> TreeStore<'a> {
         cap: u64,
         query: BlockRange,
     ) -> Result<Vec<LocatedBlock>> {
-        let mut out = Vec::with_capacity(query.len() as usize);
         if query.is_empty() {
-            return Ok(out);
+            return Ok(Vec::new());
         }
         if cap == 0 {
             return Err(Error::Internal(format!(
                 "locate on empty tree for {root_blob} {version}"
             )));
         }
-        let root = Pos::root(cap);
-        self.descend(NodeKey::new(root_blob, version, root), &query, &mut out)?;
-        debug_assert_eq!(out.len() as u64, query.len());
-        Ok(out)
-    }
-
-    fn descend(&self, key: NodeKey, query: &BlockRange, out: &mut Vec<LocatedBlock>) -> Result<()> {
-        let node = self.dht.get(&key)?;
-        EngineStats::add(&self.stats.meta_nodes_read, 1);
-        match node {
-            TreeNode::Leaf(desc) => {
-                out.push(LocatedBlock {
-                    index: key.pos.start,
-                    desc: Some(desc),
-                });
-            }
-            TreeNode::LeafAlias(Some(target)) => {
-                // Follow the alias chain at the same position.
-                self.descend(
-                    NodeKey::new(target.blob, target.version, key.pos),
-                    query,
-                    out,
-                )?;
-            }
-            TreeNode::LeafAlias(None) => {
-                out.push(LocatedBlock {
-                    index: key.pos.start,
-                    desc: None,
-                });
-            }
-            TreeNode::Inner { left, right } => {
-                for (child_pos, child_ref) in [(key.pos.left(), left), (key.pos.right(), right)] {
-                    if !child_pos.intersects(query) {
-                        continue;
+        let mut slots: Vec<Option<LocatedBlock>> = vec![None; query.len() as usize];
+        let slot_of = |index: u64| (index - query.start) as usize;
+        let mut frontier = vec![NodeKey::new(root_blob, version, Pos::root(cap))];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for (key, fetched) in frontier.iter().zip(self.dht.get_many(&frontier)) {
+                let node = fetched?;
+                EngineStats::add(&self.stats.meta_nodes_read, 1);
+                match node {
+                    TreeNode::Leaf(desc) => {
+                        slots[slot_of(key.pos.start)] = Some(LocatedBlock {
+                            index: key.pos.start,
+                            desc: Some(desc),
+                        });
                     }
-                    match child_ref {
-                        Some(r) => {
-                            self.descend(NodeKey::new(r.blob, r.version, child_pos), query, out)?
-                        }
-                        None => {
-                            // A hole subtree: every queried block in it is a hole.
-                            let lo = child_pos.start.max(query.start);
-                            let hi = child_pos.end().min(query.end);
-                            for index in lo..hi {
-                                out.push(LocatedBlock { index, desc: None });
+                    TreeNode::LeafAlias(Some(target)) => {
+                        // Follow the alias chain at the same position.
+                        next.push(NodeKey::new(target.blob, target.version, key.pos));
+                    }
+                    TreeNode::LeafAlias(None) => {
+                        slots[slot_of(key.pos.start)] = Some(LocatedBlock {
+                            index: key.pos.start,
+                            desc: None,
+                        });
+                    }
+                    TreeNode::Inner { left, right } => {
+                        for (child_pos, child_ref) in
+                            [(key.pos.left(), left), (key.pos.right(), right)]
+                        {
+                            if !child_pos.intersects(&query) {
+                                continue;
+                            }
+                            match child_ref {
+                                Some(r) => {
+                                    next.push(NodeKey::new(r.blob, r.version, child_pos));
+                                }
+                                None => {
+                                    // A hole subtree: every queried block
+                                    // in it is a hole.
+                                    let lo = child_pos.start.max(query.start);
+                                    let hi = child_pos.end().min(query.end);
+                                    for index in lo..hi {
+                                        slots[slot_of(index)] =
+                                            Some(LocatedBlock { index, desc: None });
+                                    }
+                                }
                             }
                         }
                     }
                 }
             }
+            frontier = next;
         }
-        Ok(())
+        let out: Vec<LocatedBlock> = slots
+            .into_iter()
+            .map(|s| s.expect("descent covered every queried block"))
+            .collect();
+        debug_assert_eq!(out.len() as u64, query.len());
+        Ok(out)
     }
 }
 

@@ -38,6 +38,20 @@
 //! report where time goes — e.g. the version-manager queueing that bends
 //! Fig. 5 — without the client code knowing it is being simulated.
 //!
+//! The store traits are **vectored**: alongside the single-item methods,
+//! [`BlockStore`] and [`MetaStore`] expose `put_many`/`get_many`/
+//! `delete_many` with per-item `Result`s — batches grouped by data
+//! provider for blocks, whole tree levels for metadata. The protocol's
+//! hot paths issue batches (the §III-D data phase puts one batch per
+//! provider, metadata publish pushes one batch per tree level, the §III-C
+//! descent fetches one batch per level, GC releases whole cascade waves),
+//! so a remote backend pays O(levels + providers) round trips per
+//! operation instead of O(blocks + nodes). Every vectored method has a
+//! default implementation looping over its single-item sibling, so
+//! third-party adapters keep working unchanged — native adapters override
+//! them (the lock-striped stores take each stripe's lock once per batch;
+//! `blobseer-rpc` ships one wire frame per batch).
+//!
 //! Everything here is object-safe on purpose (`Arc<dyn …>` wiring): later
 //! PRs can add RPC-backed or async-bridged adapters without touching any
 //! protocol code.
@@ -96,8 +110,36 @@ pub trait BlockStore: Send + Sync {
     fn contains(&self, provider: usize, id: BlockId) -> bool;
 
     /// Deletes a block from provider `i`; returns the bytes freed (0 if
-    /// absent).
-    fn delete(&self, provider: usize, id: BlockId) -> u64;
+    /// absent). `Err` means the outcome is *unknown* (e.g. transport loss
+    /// on a remote backend), which callers must not conflate with "absent".
+    fn delete(&self, provider: usize, id: BlockId) -> Result<u64>;
+
+    /// Stores a batch of blocks on provider `i` — the vectored data phase
+    /// (§III-D stores a write's blocks "in parallel"; batching lets remote
+    /// backends ship one frame per provider instead of one per block).
+    ///
+    /// Returns one `Result` per item, in input order: a backend (or fault
+    /// decorator) may fail a subset while the rest land. The default
+    /// implementation loops over [`Self::put`], so existing third-party
+    /// adapters keep working unchanged.
+    fn put_many(&self, provider: usize, items: &[(BlockId, Bytes)]) -> Vec<Result<()>> {
+        items
+            .iter()
+            .map(|(id, data)| self.put(provider, *id, data.clone()))
+            .collect()
+    }
+
+    /// Fetches a batch of blocks from provider `i`, with per-item results
+    /// in input order. Default: loops over [`Self::get`].
+    fn get_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<Bytes>> {
+        ids.iter().map(|&id| self.get(provider, id)).collect()
+    }
+
+    /// Deletes a batch of blocks from provider `i`, returning the bytes
+    /// freed per item in input order. Default: loops over [`Self::delete`].
+    fn delete_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<u64>> {
+        ids.iter().map(|&id| self.delete(provider, id)).collect()
+    }
 
     /// Number of blocks currently stored on provider `i`.
     fn block_count(&self, provider: usize) -> usize;
@@ -169,6 +211,33 @@ pub trait MetaStore: Send + Sync {
 
     /// Deletes a node from all replicas; true if any replica existed.
     fn delete(&self, key: &NodeKey) -> bool;
+
+    /// Stores a batch of nodes with per-item results in input order — how
+    /// a writer publishes a whole tree level in one call (§III-D publishes
+    /// a version's nodes in parallel). A backend may fail a subset (e.g. a
+    /// per-item [`blobseer_types::Error::MetadataConflict`]) while the
+    /// rest land. Default: loops over [`Self::put`], so third-party
+    /// adapters keep working unchanged.
+    fn put_many(&self, items: &[(NodeKey, TreeNode)]) -> Vec<Result<()>> {
+        items
+            .iter()
+            .map(|(key, node)| self.put(*key, node.clone()))
+            .collect()
+    }
+
+    /// Fetches a batch of nodes with per-item results in input order — one
+    /// call per level of a read's tree descent (§III-C fetches the sibling
+    /// nodes of a level concurrently). Default: loops over [`Self::get`].
+    fn get_many(&self, keys: &[NodeKey]) -> Vec<Result<TreeNode>> {
+        keys.iter().map(|key| self.get(key)).collect()
+    }
+
+    /// Deletes a batch of nodes; per item, `Ok(true)` if any replica
+    /// existed, `Err` when the outcome is unknown (remote backends).
+    /// Default: loops over [`Self::delete`].
+    fn delete_many(&self, keys: &[NodeKey]) -> Vec<Result<bool>> {
+        keys.iter().map(|key| Ok(self.delete(key))).collect()
+    }
 
     /// Number of metadata providers (DHT buckets).
     fn shard_count(&self) -> usize;
@@ -322,8 +391,22 @@ impl BlockStore for crate::block_store::ProviderSet {
     fn contains(&self, provider: usize, id: BlockId) -> bool {
         self.get(provider).contains(id)
     }
-    fn delete(&self, provider: usize, id: BlockId) -> u64 {
-        self.get(provider).delete(id)
+    fn delete(&self, provider: usize, id: BlockId) -> Result<u64> {
+        Ok(self.get(provider).delete(id))
+    }
+    fn put_many(&self, provider: usize, items: &[(BlockId, Bytes)]) -> Vec<Result<()>> {
+        self.get(provider).put_many(items);
+        items.iter().map(|_| Ok(())).collect()
+    }
+    fn get_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<Bytes>> {
+        self.get(provider).get_many(ids)
+    }
+    fn delete_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<u64>> {
+        self.get(provider)
+            .delete_many(ids)
+            .into_iter()
+            .map(Ok)
+            .collect()
     }
     fn block_count(&self, provider: usize) -> usize {
         self.get(provider).block_count()
@@ -348,6 +431,18 @@ impl MetaStore for crate::dht::MetaDht {
     }
     fn delete(&self, key: &NodeKey) -> bool {
         crate::dht::MetaDht::delete(self, key)
+    }
+    fn put_many(&self, items: &[(NodeKey, TreeNode)]) -> Vec<Result<()>> {
+        crate::dht::MetaDht::put_many(self, items)
+    }
+    fn get_many(&self, keys: &[NodeKey]) -> Vec<Result<TreeNode>> {
+        crate::dht::MetaDht::get_many(self, keys)
+    }
+    fn delete_many(&self, keys: &[NodeKey]) -> Vec<Result<bool>> {
+        crate::dht::MetaDht::delete_many(self, keys)
+            .into_iter()
+            .map(Ok)
+            .collect()
     }
     fn shard_count(&self) -> usize {
         crate::dht::MetaDht::shard_count(self)

@@ -55,8 +55,21 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
     /// operation atomically with respect to every key in the stripe.
     #[inline]
     pub fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, V>> {
-        let i = (self.hasher.hash_one(key) as usize) % self.shards.len();
-        &self.shards[i]
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// The index of the stripe holding `key` — lets batched callers group
+    /// keys so each stripe's lock is taken once per batch instead of once
+    /// per key.
+    #[inline]
+    pub fn shard_index(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) % self.shards.len()
+    }
+
+    /// The stripe at `index` (see [`Self::shard_index`]).
+    #[inline]
+    pub fn shard_at(&self, index: usize) -> &RwLock<HashMap<K, V>> {
+        &self.shards[index]
     }
 
     /// Clone-out lookup.
@@ -109,6 +122,36 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
             }
         }
     }
+}
+
+/// Groups batch item indices by `index_of(key)`, preserving batch order
+/// within each group. Returns `(index, item_indices)` groups in
+/// first-appearance order — the shared grouping step behind every batched
+/// store operation (stripe locks taken once per batch, DHT shards
+/// addressed once per batch).
+pub fn group_indices_by<K>(
+    keys: impl Iterator<Item = K>,
+    mut index_of: impl FnMut(&K) -> usize,
+) -> Vec<(usize, Vec<usize>)> {
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut slot_of: HashMap<usize, usize> = HashMap::new();
+    for (i, key) in keys.enumerate() {
+        let index = index_of(&key);
+        let slot = *slot_of.entry(index).or_insert_with(|| {
+            groups.push((index, Vec::new()));
+            groups.len() - 1
+        });
+        groups[slot].1.push(i);
+    }
+    groups
+}
+
+/// [`group_indices_by`] keyed on the stripe holding each key of `map`.
+pub fn stripe_runs<'a, K: Hash + Eq + 'a, V>(
+    map: &ShardedMap<K, V>,
+    keys: impl Iterator<Item = &'a K>,
+) -> Vec<(usize, Vec<usize>)> {
+    group_indices_by(keys, |key| map.shard_index(key))
 }
 
 #[cfg(test)]

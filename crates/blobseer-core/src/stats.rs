@@ -32,6 +32,15 @@ pub struct EngineStats {
     /// refcount bugs that would otherwise surface only as permanent leaks
     /// (see `GcReport::untracked_releases`). Always 0 in a healthy engine.
     pub gc_untracked_releases: AtomicU64,
+    /// Network round trips issued by remote port adapters (one per request
+    /// frame). With the vectored port API a 64-block write costs
+    /// O(tree levels + providers touched) round trips, not
+    /// O(blocks + nodes) — asserted in `tests/rpc_cluster.rs`.
+    pub port_round_trips: AtomicU64,
+    /// Items carried by vectored port calls (`put_many`/`get_many`/
+    /// `delete_many`) on remote adapters; `batched_items /
+    /// port_round_trips` approximates the achieved batch size.
+    pub batched_items: AtomicU64,
 }
 
 impl EngineStats {
@@ -59,6 +68,8 @@ impl EngineStats {
             meta_nodes_collected: g(&self.meta_nodes_collected),
             blocks_collected: g(&self.blocks_collected),
             gc_untracked_releases: g(&self.gc_untracked_releases),
+            port_round_trips: g(&self.port_round_trips),
+            batched_items: g(&self.batched_items),
         }
     }
 }
@@ -76,6 +87,8 @@ pub struct StatsSnapshot {
     pub meta_nodes_collected: u64,
     pub blocks_collected: u64,
     pub gc_untracked_releases: u64,
+    pub port_round_trips: u64,
+    pub batched_items: u64,
 }
 
 #[cfg(test)]

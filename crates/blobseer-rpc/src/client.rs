@@ -20,36 +20,50 @@
 //! paths that consult it stay local.
 
 use crate::server::{block_tag, meta_tag, version_tag};
-use crate::wire::{self, decode_response};
+use crate::wire::{self, batch_status, decode_response};
 use blobseer_core::meta::key::NodeKey;
 use blobseer_core::meta::log::LogChain;
 use blobseer_core::meta::node::TreeNode;
 use blobseer_core::ports::{BlockStore, MetaStore, VersionService};
 use blobseer_core::version_manager::{SnapshotInfo, WriteIntent, WriteTicket};
+use blobseer_core::EngineStats;
 use blobseer_types::wire::{WireReader, WireWriter};
 use blobseer_types::{BlobId, BlockId, Error, NodeId, Result, Version};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Idle connections kept per endpoint; checkouts beyond this open fresh
 /// connections that are simply dropped on return.
 const POOL_KEEP: usize = 8;
 
+/// Max items per vectored *metadata* frame. Tree nodes and node keys are
+/// tens of bytes, so this bounds both request and response frames to a
+/// few MB — far under [`wire::MAX_FRAME_LEN`] — while still collapsing
+/// any realistic tree level into one round trip.
+const META_BATCH_MAX: usize = 65_536;
+
 /// A small pool of connections to one endpoint.
 pub(crate) struct Pool {
     addr: SocketAddr,
     idle: Mutex<Vec<TcpStream>>,
+    /// Deployment counters: every request frame bumps
+    /// `port_round_trips` — the client-side round-trip meter the batching
+    /// tests assert on.
+    stats: Arc<EngineStats>,
 }
 
 impl Pool {
     /// Creates a pool and eagerly opens (and parks) one connection, so an
     /// unreachable endpoint fails at adapter construction, not mid-write.
-    pub(crate) fn connect(addr: SocketAddr) -> Result<Self> {
+    pub(crate) fn connect(addr: SocketAddr, stats: Arc<EngineStats>) -> Result<Self> {
         let pool = Self {
             addr,
             idle: Mutex::new(Vec::new()),
+            stats,
         };
         let probe = pool.checkout()?;
         pool.check_in(probe);
@@ -77,6 +91,7 @@ impl Pool {
     /// pool only after a complete, healthy round trip; any failure drops
     /// it (a half-written frame poisons a connection for reuse).
     pub(crate) fn call(&self, request: &WireWriter) -> Result<Vec<u8>> {
+        self.stats.port_round_trips.fetch_add(1, Ordering::Relaxed);
         let mut conn = self.checkout()?;
         let exchange = wire::write_frame(&mut conn, request.as_slice())
             .and_then(|()| wire::read_frame(&mut conn));
@@ -117,6 +132,77 @@ fn call(pool: &Pool, request: WireWriter) -> Result<RpcPayload> {
     Ok(RpcPayload { body, start })
 }
 
+/// Decodes a vectored response: the echoed item count, then one status per
+/// item — `OK` followed by a payload read by `read_payload`, or `ERR`
+/// followed by the item's encoded [`Error`]. A count mismatch or an
+/// unexpected status byte is a framing bug and fails the whole batch.
+fn decode_batch_items<T>(
+    r: &mut WireReader<'_>,
+    expect: usize,
+    mut read_payload: impl FnMut(&mut WireReader<'_>) -> Result<T>,
+) -> Result<Vec<Result<T>>> {
+    let n = r.get_u64()? as usize;
+    if n != expect {
+        return Err(Error::Transport(format!(
+            "batched response answers {n} items, expected {expect}"
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match r.get_u8()? {
+            batch_status::OK => Ok(read_payload(r)?),
+            batch_status::ERR => Err(r.get_error()?),
+            s => {
+                return Err(Error::Transport(format!(
+                    "unexpected batch status byte {s}"
+                )))
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Decodes one round of a batched block fetch. Returns the answered items
+/// as `(slot, Ok((offset, len)) | Err)` — payload *extents* into `body`,
+/// so the caller can wrap the body in [`Bytes`] once and slice zero-copy —
+/// plus the deferred items to re-request.
+#[allow(clippy::type_complexity)]
+fn decode_get_many(
+    body: &[u8],
+    pending: &[(usize, BlockId)],
+) -> Result<(Vec<(usize, Result<(usize, usize)>)>, Vec<(usize, BlockId)>)> {
+    let mut r = decode_response(body)?;
+    let n = r.get_u64()? as usize;
+    if n != pending.len() {
+        return Err(Error::Transport(format!(
+            "batched response answers {n} items, expected {}",
+            pending.len()
+        )));
+    }
+    let mut results = Vec::new();
+    let mut deferred = Vec::new();
+    for &(slot, id) in pending {
+        match r.get_u8()? {
+            batch_status::OK => {
+                let s = r.get_slice()?;
+                // `s` borrows from `body`, so its offset within the frame
+                // is plain pointer arithmetic on the same allocation.
+                let off = s.as_ptr() as usize - body.as_ptr() as usize;
+                results.push((slot, Ok((off, s.len()))));
+            }
+            batch_status::ERR => results.push((slot, Err(r.get_error()?))),
+            batch_status::DEFERRED => deferred.push((slot, id)),
+            s => {
+                return Err(Error::Transport(format!(
+                    "unexpected batch status byte {s}"
+                )))
+            }
+        }
+    }
+    r.finish()?;
+    Ok((results, deferred))
+}
+
 // --- block store ------------------------------------------------------------
 
 /// One remote block-service endpoint.
@@ -137,12 +223,16 @@ pub struct RpcBlockStore {
     route: Vec<(usize, u64)>,
     /// Dense provider index → hosting node.
     nodes: Vec<NodeId>,
+    stats: Arc<EngineStats>,
 }
 
 impl RpcBlockStore {
     /// Connects to the given block services and builds the dense index
     /// space over them. Fails if any endpoint is unreachable or empty.
-    pub fn connect(addrs: &[SocketAddr]) -> Result<Self> {
+    /// `stats` receives the adapter's round-trip/batch accounting
+    /// (`port_round_trips`, `batched_items`) — pass the deployment's
+    /// [`EngineStats`].
+    pub fn connect(addrs: &[SocketAddr], stats: Arc<EngineStats>) -> Result<Self> {
         if addrs.is_empty() {
             return Err(Error::Transport(
                 "RpcBlockStore needs at least one endpoint".into(),
@@ -152,7 +242,7 @@ impl RpcBlockStore {
         let mut route = Vec::new();
         let mut nodes = Vec::new();
         for (ei, &addr) in addrs.iter().enumerate() {
-            let pool = Pool::connect(addr)?;
+            let pool = Pool::connect(addr, Arc::clone(&stats))?;
             let mut req = WireWriter::new();
             req.put_u8(block_tag::DESCRIBE);
             let payload = call(&pool, req)?;
@@ -169,6 +259,7 @@ impl RpcBlockStore {
             endpoints,
             route,
             nodes,
+            stats,
         })
     }
 
@@ -239,15 +330,151 @@ impl BlockStore for RpcBlockStore {
             .unwrap_or(false)
     }
 
-    /// Transport failures degrade to `0` bytes freed.
-    fn delete(&self, provider: usize, id: BlockId) -> u64 {
-        let Some((pool, mut req)) = self.provider_request(block_tag::DELETE, provider) else {
-            return 0;
-        };
+    /// Transport loss is an `Err`, distinguishable from `Ok(0)` ("absent")
+    /// — the remote outcome of a lost delete is genuinely unknown.
+    fn delete(&self, provider: usize, id: BlockId) -> Result<u64> {
+        let (pool, mut req) = self
+            .provider_request(block_tag::DELETE, provider)
+            .ok_or_else(|| Error::Internal(format!("provider index {provider} out of range")))?;
         req.put_u64(id.raw());
-        call(pool, req)
-            .and_then(|payload| payload.reader().get_u64())
-            .unwrap_or(0)
+        call(pool, req)?.reader().get_u64()
+    }
+
+    fn put_many(&self, provider: usize, items: &[(BlockId, Bytes)]) -> Vec<Result<()>> {
+        let Some(&(ei, local)) = self.route.get(provider) else {
+            let e = Error::Internal(format!("provider index {provider} out of range"));
+            return items.iter().map(|_| Err(e.clone())).collect();
+        };
+        self.stats
+            .batched_items
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        let pool = &self.endpoints[ei].pool;
+        let mut out: Vec<Result<()>> = Vec::with_capacity(items.len());
+        let mut start = 0;
+        while start < items.len() {
+            // Greedy chunking: as many blocks per frame as fit the batch
+            // byte budget (always at least one, mirroring the single-put
+            // frame-size envelope).
+            let mut end = start + 1;
+            let mut bytes = items[start].1.len();
+            while end < items.len() && bytes + items[end].1.len() <= wire::BATCH_BYTE_BUDGET {
+                bytes += items[end].1.len();
+                end += 1;
+            }
+            let chunk = &items[start..end];
+            let mut req = WireWriter::new();
+            req.put_u8(block_tag::PUT_MANY);
+            req.put_u64(local);
+            req.put_u64(chunk.len() as u64);
+            for (id, data) in chunk {
+                req.put_u64(id.raw());
+                req.put_slice(data);
+            }
+            match call(pool, req).and_then(|payload| {
+                let mut r = payload.reader();
+                decode_batch_items(&mut r, chunk.len(), |_| Ok(()))
+            }) {
+                Ok(results) => out.extend(results),
+                // The whole chunk's outcome is unknown: every item fails
+                // with the transport error (one refused frame must not be
+                // mistaken for per-item success).
+                Err(e) => out.extend(chunk.iter().map(|_| Err(e.clone()))),
+            }
+            start = end;
+        }
+        out
+    }
+
+    fn get_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<Bytes>> {
+        let Some(&(ei, local)) = self.route.get(provider) else {
+            let e = Error::Internal(format!("provider index {provider} out of range"));
+            return ids.iter().map(|_| Err(e.clone())).collect();
+        };
+        self.stats
+            .batched_items
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
+        let pool = &self.endpoints[ei].pool;
+        let mut out: Vec<Result<Bytes>> = ids
+            .iter()
+            .map(|_| Err(Error::Transport(String::new())))
+            .collect();
+        // The server answers as many payloads as fit the batch budget and
+        // defers the tail; loop until nothing is deferred. The server
+        // always includes the first requested item, so each round makes
+        // progress.
+        let mut pending: Vec<(usize, BlockId)> = ids.iter().copied().enumerate().collect();
+        while !pending.is_empty() {
+            let mut req = WireWriter::new();
+            req.put_u8(block_tag::GET_MANY);
+            req.put_u64(local);
+            req.put_u64(pending.len() as u64);
+            for &(_, id) in &pending {
+                req.put_u64(id.raw());
+            }
+            let body = match pool.call(&req) {
+                Ok(body) => body,
+                Err(e) => {
+                    for &(slot, _) in &pending {
+                        out[slot] = Err(e.clone());
+                    }
+                    return out;
+                }
+            };
+            // First pass borrows the body to decode statuses and payload
+            // extents; the body is then wrapped in `Bytes` ONCE so every
+            // block of the batch is a zero-copy slice of it.
+            let decoded = decode_get_many(&body, &pending);
+            match decoded {
+                Ok((results, deferred)) => {
+                    let shared = Bytes::from(body);
+                    for (slot, result) in results {
+                        out[slot] = result.map(|(off, len)| shared.slice(off..off + len));
+                    }
+                    if deferred.len() >= pending.len() {
+                        // No progress: a server must answer at least one
+                        // item per round. Treat as a framing bug.
+                        let e = Error::Transport("batched get made no progress".into());
+                        for (slot, _) in deferred {
+                            out[slot] = Err(e.clone());
+                        }
+                        return out;
+                    }
+                    pending = deferred;
+                }
+                Err(e) => {
+                    for &(slot, _) in &pending {
+                        out[slot] = Err(e.clone());
+                    }
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    fn delete_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<u64>> {
+        let Some(&(ei, local)) = self.route.get(provider) else {
+            let e = Error::Internal(format!("provider index {provider} out of range"));
+            return ids.iter().map(|_| Err(e.clone())).collect();
+        };
+        self.stats
+            .batched_items
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
+        let pool = &self.endpoints[ei].pool;
+        let mut req = WireWriter::new();
+        req.put_u8(block_tag::DELETE_MANY);
+        req.put_u64(local);
+        req.put_u64(ids.len() as u64);
+        for id in ids {
+            req.put_u64(id.raw());
+        }
+        match call(pool, req).and_then(|payload| {
+            let mut r = payload.reader();
+            decode_batch_items(&mut r, ids.len(), |r| r.get_u64())
+        }) {
+            Ok(results) => results,
+            Err(e) => ids.iter().map(|_| Err(e.clone())).collect(),
+        }
     }
 
     /// Transport failures degrade to `0`.
@@ -290,17 +517,55 @@ impl BlockStore for RpcBlockStore {
 pub struct RpcMetaStore {
     pool: Pool,
     shard_count: usize,
+    stats: Arc<EngineStats>,
 }
 
 impl RpcMetaStore {
-    /// Connects and caches the fixed shard count.
-    pub fn connect(addr: SocketAddr) -> Result<Self> {
-        let pool = Pool::connect(addr)?;
+    /// Connects and caches the fixed shard count. `stats` receives the
+    /// adapter's round-trip/batch accounting.
+    pub fn connect(addr: SocketAddr, stats: Arc<EngineStats>) -> Result<Self> {
+        let pool = Pool::connect(addr, Arc::clone(&stats))?;
         let mut req = WireWriter::new();
         req.put_u8(meta_tag::SHARD_COUNT);
         let payload = call(&pool, req)?;
         let shard_count = payload.reader().get_u64()? as usize;
-        Ok(Self { pool, shard_count })
+        Ok(Self {
+            pool,
+            shard_count,
+            stats,
+        })
+    }
+
+    /// Runs one metadata batch frame per `META_BATCH_MAX`-item chunk:
+    /// encodes the chunk with `encode`, decodes per-item payloads with
+    /// `decode`. A transport failure fails that chunk's items only.
+    fn meta_batched<I, T>(
+        &self,
+        tag: u8,
+        items: &[I],
+        mut encode: impl FnMut(&mut WireWriter, &I),
+        mut decode: impl FnMut(&mut WireReader<'_>) -> Result<T>,
+    ) -> Vec<Result<T>> {
+        self.stats
+            .batched_items
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in items.chunks(META_BATCH_MAX) {
+            let mut req = WireWriter::new();
+            req.put_u8(tag);
+            req.put_u64(chunk.len() as u64);
+            for item in chunk {
+                encode(&mut req, item);
+            }
+            match call(&self.pool, req).and_then(|payload| {
+                let mut r = payload.reader();
+                decode_batch_items(&mut r, chunk.len(), &mut decode)
+            }) {
+                Ok(results) => out.extend(results),
+                Err(e) => out.extend(chunk.iter().map(|_| Err(e.clone()))),
+            }
+        }
+        out
     }
 }
 
@@ -333,6 +598,41 @@ impl MetaStore for RpcMetaStore {
         call(&self.pool, req)
             .and_then(|payload| payload.reader().get_bool())
             .unwrap_or(false)
+    }
+
+    /// One frame per batch: how a writer publishes a whole tree level in a
+    /// single round trip. Per-item failures (e.g. a metadata conflict on
+    /// one node) come back as that item's own error.
+    fn put_many(&self, items: &[(NodeKey, TreeNode)]) -> Vec<Result<()>> {
+        self.meta_batched(
+            meta_tag::PUT_MANY,
+            items,
+            |w, (key, node)| {
+                wire::put_node_key(w, key);
+                wire::put_tree_node(w, node);
+            },
+            |_| Ok(()),
+        )
+    }
+
+    /// One frame per batch: a read descent fetches each tree level in a
+    /// single round trip.
+    fn get_many(&self, keys: &[NodeKey]) -> Vec<Result<TreeNode>> {
+        self.meta_batched(
+            meta_tag::GET_MANY,
+            keys,
+            wire::put_node_key,
+            wire::get_tree_node,
+        )
+    }
+
+    /// One frame per batch: GC releases a whole cascade wave per round
+    /// trip. Per item, transport loss is an `Err` — unlike the single
+    /// [`Self::delete`], the batched form can report "outcome unknown".
+    fn delete_many(&self, keys: &[NodeKey]) -> Vec<Result<bool>> {
+        self.meta_batched(meta_tag::DELETE_MANY, keys, wire::put_node_key, |r| {
+            r.get_bool()
+        })
     }
 
     fn shard_count(&self) -> usize {
@@ -385,9 +685,10 @@ pub struct RpcVersionService {
 }
 
 impl RpcVersionService {
-    /// Connects and caches the fixed block size.
-    pub fn connect(addr: SocketAddr) -> Result<Self> {
-        let pool = Pool::connect(addr)?;
+    /// Connects and caches the fixed block size. `stats` receives the
+    /// adapter's round-trip accounting.
+    pub fn connect(addr: SocketAddr, stats: Arc<EngineStats>) -> Result<Self> {
+        let pool = Pool::connect(addr, stats)?;
         let mut req = WireWriter::new();
         req.put_u8(version_tag::BLOCK_SIZE);
         let payload = call(&pool, req)?;

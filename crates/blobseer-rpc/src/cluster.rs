@@ -109,11 +109,19 @@ impl LoopbackCluster {
     /// readable through any other.
     pub fn deploy(&self) -> Result<Arc<BlobSeer>> {
         let idx = self.deployments.fetch_add(1, Ordering::Relaxed);
+        // The adapters account their round trips (`port_round_trips`) and
+        // vectored items (`batched_items`) on this deployment's stats.
         let stats = Arc::new(EngineStats::new());
         let ports = EnginePorts {
-            providers: Arc::new(RpcBlockStore::connect(&self.block_addrs)?),
-            dht: Arc::new(RpcMetaStore::connect(self.meta_addr)?),
-            vm: Arc::new(RpcVersionService::connect(self.vm_addr)?),
+            providers: Arc::new(RpcBlockStore::connect(
+                &self.block_addrs,
+                Arc::clone(&stats),
+            )?),
+            dht: Arc::new(RpcMetaStore::connect(self.meta_addr, Arc::clone(&stats))?),
+            vm: Arc::new(RpcVersionService::connect(
+                self.vm_addr,
+                Arc::clone(&stats),
+            )?),
             pm: Arc::new(ProviderManager::with_block_base(
                 self.block_addrs.len(),
                 self.cfg.placement,
@@ -135,6 +143,13 @@ impl LoopbackCluster {
     /// DHT, plus the version manager.
     pub fn server_count(&self) -> usize {
         self.servers.len()
+    }
+
+    /// Total request frames served across every server of the cluster —
+    /// the server-side view of the round trips the client adapters count
+    /// in their deployment's `port_round_trips`.
+    pub fn frames_served(&self) -> u64 {
+        self.servers.iter().map(|s| s.frames_served()).sum()
     }
 
     /// Addresses of the per-provider block services.

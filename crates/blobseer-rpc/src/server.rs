@@ -27,7 +27,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -73,6 +73,9 @@ struct Shared {
     /// them.
     conns: Mutex<HashMap<u64, TcpStream>>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Request frames served (one per dispatched request, batched or not)
+    /// — the server-side round-trip counter the batching tests read.
+    frames: AtomicU64,
 }
 
 impl RpcServer {
@@ -85,6 +88,7 @@ impl RpcServer {
         let shared = Arc::new(Shared {
             conns: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
+            frames: AtomicU64::new(0),
         });
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
@@ -105,6 +109,14 @@ impl RpcServer {
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Request frames served so far (every dispatched request counts one,
+    /// whether it carried a single operation or a whole batch). With the
+    /// vectored port API this grows with O(levels + providers) per client
+    /// operation, not O(blocks + tree nodes).
+    pub fn frames_served(&self) -> u64 {
+        self.shared.frames.load(Ordering::Relaxed)
     }
 
     /// Stops accepting, closes every open connection, and joins all
@@ -171,7 +183,7 @@ fn accept_loop(
         if let Ok(handle) = std::thread::Builder::new()
             .name("rpc-conn".into())
             .spawn(move || {
-                connection_loop(stream, service);
+                connection_loop(stream, service, &handler_shared.frames);
                 // Deregister on the way out so the fd closes with the
                 // peer, not at server shutdown.
                 handler_shared.conns.lock().remove(&conn_id);
@@ -185,12 +197,13 @@ fn accept_loop(
 /// Serves one connection: frames in, responses out, until EOF or a
 /// transport error. Service errors are *answers* (encoded in the response
 /// envelope), never reasons to drop the connection.
-fn connection_loop(mut stream: TcpStream, service: RpcService) {
+fn connection_loop(mut stream: TcpStream, service: RpcService, frames: &AtomicU64) {
     loop {
         let body = match wire::read_frame(&mut stream) {
             Ok(Some(body)) => body,
             Ok(None) | Err(_) => return, // peer gone or socket closed
         };
+        frames.fetch_add(1, Ordering::Relaxed);
         let response = dispatch(&service, &body);
         if wire::write_frame(&mut stream, &response).is_err() {
             return;
@@ -230,6 +243,9 @@ pub(crate) mod block_tag {
     pub const BLOCK_COUNT: u8 = 5;
     pub const BYTES_STORED: u8 = 6;
     pub const OP_COUNTS: u8 = 7;
+    pub const PUT_MANY: u8 = 8;
+    pub const GET_MANY: u8 = 9;
+    pub const DELETE_MANY: u8 = 10;
 }
 
 fn handle_block(store: &dyn BlockStore, body: &[u8]) -> Result<WireWriter> {
@@ -268,7 +284,72 @@ fn handle_block(store: &dyn BlockStore, body: &[u8]) -> Result<WireWriter> {
             let p = r.get_u64()?;
             let id = BlockId::new(r.get_u64()?);
             r.finish()?;
-            w.put_u64(store.delete(check_provider(store, p)?, id));
+            w.put_u64(store.delete(check_provider(store, p)?, id)?);
+        }
+        block_tag::PUT_MANY => {
+            let p = r.get_u64()?;
+            let n = r.get_u64()? as usize;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let id = BlockId::new(r.get_u64()?);
+                let data = Bytes::copy_from_slice(r.get_slice()?);
+                items.push((id, data));
+            }
+            r.finish()?;
+            let results = store.put_many(check_provider(store, p)?, &items);
+            w.put_u64(results.len() as u64);
+            for result in &results {
+                wire::put_item_status(&mut w, result);
+            }
+        }
+        block_tag::GET_MANY => {
+            let p = r.get_u64()?;
+            let n = r.get_u64()? as usize;
+            let mut ids = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                ids.push(BlockId::new(r.get_u64()?));
+            }
+            r.finish()?;
+            let results = store.get_many(check_provider(store, p)?, &ids);
+            w.put_u64(results.len() as u64);
+            // Encode items while they fit the batch budget — counting the
+            // payload *about to be appended*, or a batch of large blocks
+            // could overshoot the budget by one block and assemble a frame
+            // past MAX_FRAME_LEN that the client must reject. The tail is
+            // marked DEFERRED for the client to re-request. The first item
+            // always encodes (whatever its size, matching the single-get
+            // frame envelope), so a client loop over deferrals is
+            // guaranteed progress.
+            let mut included_any = false;
+            for result in &results {
+                let projected = w.as_slice().len() + result.as_ref().map_or(0, |d| d.len());
+                if included_any && projected > wire::BATCH_BYTE_BUDGET {
+                    w.put_u8(wire::batch_status::DEFERRED);
+                    continue;
+                }
+                wire::put_item_status(&mut w, result);
+                if let Ok(data) = result {
+                    w.put_slice(data);
+                }
+                included_any = true;
+            }
+        }
+        block_tag::DELETE_MANY => {
+            let p = r.get_u64()?;
+            let n = r.get_u64()? as usize;
+            let mut ids = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                ids.push(BlockId::new(r.get_u64()?));
+            }
+            r.finish()?;
+            let results = store.delete_many(check_provider(store, p)?, &ids);
+            w.put_u64(results.len() as u64);
+            for result in &results {
+                wire::put_item_status(&mut w, result);
+                if let Ok(freed) = result {
+                    w.put_u64(*freed);
+                }
+            }
         }
         block_tag::BLOCK_COUNT => {
             let p = r.get_u64()?;
@@ -301,6 +382,9 @@ pub(crate) mod meta_tag {
     pub const NODE_COUNT: u8 = 4;
     pub const SHARD_STATS: u8 = 5;
     pub const CRASH_SHARD: u8 = 6;
+    pub const PUT_MANY: u8 = 7;
+    pub const GET_MANY: u8 = 8;
+    pub const DELETE_MANY: u8 = 9;
 }
 
 fn handle_meta(store: &dyn MetaStore, body: &[u8]) -> Result<WireWriter> {
@@ -324,6 +408,53 @@ fn handle_meta(store: &dyn MetaStore, body: &[u8]) -> Result<WireWriter> {
             let key = wire::get_node_key(&mut r)?;
             r.finish()?;
             w.put_bool(store.delete(&key));
+        }
+        meta_tag::PUT_MANY => {
+            let n = r.get_u64()? as usize;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let key = wire::get_node_key(&mut r)?;
+                let node = wire::get_tree_node(&mut r)?;
+                items.push((key, node));
+            }
+            r.finish()?;
+            let results = store.put_many(&items);
+            w.put_u64(results.len() as u64);
+            for result in &results {
+                wire::put_item_status(&mut w, result);
+            }
+        }
+        meta_tag::GET_MANY => {
+            let n = r.get_u64()? as usize;
+            let mut keys = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                keys.push(wire::get_node_key(&mut r)?);
+            }
+            r.finish()?;
+            let results = store.get_many(&keys);
+            w.put_u64(results.len() as u64);
+            for result in &results {
+                wire::put_item_status(&mut w, result);
+                if let Ok(node) = result {
+                    wire::put_tree_node(&mut w, node);
+                }
+            }
+        }
+        meta_tag::DELETE_MANY => {
+            let n = r.get_u64()? as usize;
+            let mut keys = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                keys.push(wire::get_node_key(&mut r)?);
+            }
+            r.finish()?;
+            let results = store.delete_many(&keys);
+            w.put_u64(results.len() as u64);
+            for result in &results {
+                wire::put_item_status(&mut w, result);
+                if let Ok(existed) = result {
+                    w.put_bool(*existed);
+                }
+            }
         }
         meta_tag::SHARD_COUNT => {
             r.finish()?;

@@ -28,6 +28,38 @@ use std::time::Duration;
 /// corrupt length prefix must not make a peer attempt a huge allocation.
 pub const MAX_FRAME_LEN: u64 = 80 * 1024 * 1024;
 
+/// Soft payload budget for one vectored (`*_many`) frame, comfortably
+/// under [`MAX_FRAME_LEN`]. Clients chunk batched *puts* so each request
+/// frame stays within it; servers answering batched *gets* stop encoding
+/// payloads at it and mark the tail [`batch_status::DEFERRED`] for the
+/// client to re-request — either way a batch of 64 MB blocks can never
+/// assemble an over-cap frame.
+pub const BATCH_BYTE_BUDGET: usize = 64 * 1024 * 1024;
+
+/// Per-item status bytes of the vectored (`*_many`) response frames.
+pub mod batch_status {
+    /// The item succeeded; its payload (if any) follows.
+    pub const OK: u8 = 0;
+    /// The item failed; its encoded [`blobseer_types::Error`] follows.
+    pub const ERR: u8 = 1;
+    /// The item was *not processed*: including its payload would have
+    /// pushed the response frame past [`super::BATCH_BYTE_BUDGET`]. The
+    /// client re-requests deferred items in a follow-up frame.
+    pub const DEFERRED: u8 = 2;
+}
+
+/// Encodes one per-item outcome (status byte, then the error payload for
+/// failures; the caller writes any success payload itself).
+pub fn put_item_status<T>(w: &mut WireWriter, result: &Result<T>) {
+    match result {
+        Ok(_) => w.put_u8(batch_status::OK),
+        Err(e) => {
+            w.put_u8(batch_status::ERR);
+            w.put_error(e);
+        }
+    }
+}
+
 /// Maps an I/O failure into [`Error::Transport`] with context.
 pub(crate) fn transport(context: &str, e: std::io::Error) -> Error {
     Error::Transport(format!("{context}: {e}"))

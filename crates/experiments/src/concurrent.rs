@@ -182,44 +182,58 @@ impl ConcFabric {
         CLIENT_NODE.get().is_some() && self.aux.lock().charging
     }
 
-    /// Data phase of one block (§III-D step 1): client-side cache-flush
-    /// overhead and provider-manager RPC, then the bulk flow to the
-    /// provider — whose disk absorbs the stream from the flow's start —
-    /// and the provider's per-block service. Co-located clients skip the
-    /// network.
-    fn charge_block_put(&self, provider: usize) {
+    /// Data phase of a batch of `n` blocks bound for one provider
+    /// (§III-D step 1): client-side cache-flush overhead and *one*
+    /// request round trip for the whole batch — the amortization the
+    /// vectored port API buys — then the blocks stream back-to-back, each
+    /// paying its own disk, flow and per-block provider service.
+    /// Co-located clients skip the network. (`n = 1` charges exactly what
+    /// the old per-block put charged, so single-block figure legs are
+    /// unchanged.)
+    fn charge_block_put(&self, provider: usize, n: usize) {
+        if n == 0 {
+            return;
+        }
         let node = client_node();
         let pnode = NodeId::new(provider as u64);
         let t0 = self.gate.now() + self.c.bsfs_block_overhead + self.c.rtt();
         self.gate.sleep_until(t0);
-        let disk_done = self.aux.lock().write_disks[provider].submit(t0, self.c.block_bytes);
-        stream_and_wait(
-            &self.gate,
-            node,
-            pnode,
-            self.c.block_bytes,
-            disk_done,
-            self.c.provider_svc,
-        );
+        for _ in 0..n {
+            let disk_done =
+                self.aux.lock().write_disks[provider].submit(self.gate.now(), self.c.block_bytes);
+            stream_and_wait(
+                &self.gate,
+                node,
+                pnode,
+                self.c.block_bytes,
+                disk_done,
+                self.c.provider_svc,
+            );
+        }
     }
 
-    /// A block fetch (§III-C): the provider's disk serves queued reads in
-    /// order while the flow streams back to the client; the client-side
-    /// read loop overhead tops it off. Co-located readers skip the
+    /// A batch of `n` block fetches from one provider (§III-C): the
+    /// provider's disk serves queued reads in order while each flow
+    /// streams back to the client; the client-side read loop overhead tops
+    /// every block off. The blocks of one batch stream back-to-back —
+    /// identical to the old per-block charging, which never paid a
+    /// per-request hop on the read side. Co-located readers skip the
     /// network — the locality the grep scheduler exploits (§IV-C).
-    fn charge_block_get(&self, provider: usize) {
+    fn charge_block_get(&self, provider: usize, n: usize) {
         let node = client_node();
         let pnode = NodeId::new(provider as u64);
-        let t0 = self.gate.now();
-        let disk_done = self.aux.lock().read_disks[provider].submit(t0, self.c.block_bytes);
-        stream_and_wait(
-            &self.gate,
-            pnode,
-            node,
-            self.c.block_bytes,
-            disk_done,
-            self.c.bsfs_read_overhead,
-        );
+        for _ in 0..n {
+            let t0 = self.gate.now();
+            let disk_done = self.aux.lock().read_disks[provider].submit(t0, self.c.block_bytes);
+            stream_and_wait(
+                &self.gate,
+                pnode,
+                node,
+                self.c.block_bytes,
+                disk_done,
+                self.c.bsfs_read_overhead,
+            );
+        }
     }
 
     /// Version assignment: a queued RPC to the version manager — the only
@@ -248,31 +262,47 @@ impl ConcFabric {
         self.gate.sleep_until(done);
     }
 
-    /// One tree-node put, charged as issued (with all its siblings) at the
+    /// A batch of `n` tree-node puts, all charged as issued at the
     /// caller's metadata-phase start and spread round-robin over the
-    /// metadata providers — §III-D's parallel metadata phase.
-    fn charge_meta_put(&self) {
+    /// metadata providers — §III-D's parallel metadata phase. Because
+    /// every put of a version is issued from the same instant regardless
+    /// of grouping, charging a level-sized batch costs exactly what the
+    /// old per-node charging did: the caller ends at the latest
+    /// completion.
+    fn charge_meta_put(&self, n: usize) {
         let start = META_PHASE_START.get().max(SimTime::ZERO);
-        let done = {
+        let mut latest = start;
+        {
             let mut aux = self.aux.lock();
-            let shard = aux.meta_rr % aux.meta.len();
-            aux.meta_rr += 1;
-            aux.meta[shard].submit(start + self.c.latency)
-        } + self.c.latency;
-        self.gate.sleep_until(done);
+            for _ in 0..n {
+                let shard = aux.meta_rr % aux.meta.len();
+                aux.meta_rr += 1;
+                let done = aux.meta[shard].submit(start + self.c.latency) + self.c.latency;
+                latest = latest.max(done);
+            }
+        }
+        self.gate.sleep_until(latest);
     }
 
-    /// One tree-node get during a root-to-leaf descent: hops are
-    /// sequential (a child reference is only known once its parent
-    /// arrived).
-    fn charge_meta_get(&self) {
-        let done = {
+    /// A batch of `n` tree-node gets — one level of a root-to-leaf
+    /// descent. Hops between levels stay sequential (a child reference is
+    /// only known once its parent arrived), but the siblings of one level
+    /// are fetched concurrently: one request hop, per-item queued service,
+    /// the caller resumes at the latest completion. This is where the
+    /// vectored API flattens metadata latency under fan-out.
+    fn charge_meta_get(&self, n: usize) {
+        let now = self.gate.now();
+        let mut latest = now;
+        {
             let mut aux = self.aux.lock();
-            let shard = aux.meta_rr % aux.meta.len();
-            aux.meta_rr += 1;
-            aux.meta[shard].submit(self.gate.now() + self.c.latency)
-        } + self.c.latency;
-        self.gate.sleep_until(done);
+            for _ in 0..n {
+                let shard = aux.meta_rr % aux.meta.len();
+                aux.meta_rr += 1;
+                let done = aux.meta[shard].submit(now + self.c.latency) + self.c.latency;
+                latest = latest.max(done);
+            }
+        }
+        self.gate.sleep_until(latest);
     }
 
     /// Commit notification to the version manager.
@@ -301,20 +331,35 @@ impl BlockStore for ConcBlockStore {
     }
     fn put(&self, provider: usize, id: BlockId, data: Bytes) -> Result<()> {
         if self.fabric.should_charge() {
-            self.fabric.charge_block_put(provider);
+            self.fabric.charge_block_put(provider, 1);
         }
         BlockStore::put(&self.inner, provider, id, data)
     }
     fn get(&self, provider: usize, id: BlockId) -> Result<Bytes> {
         if self.fabric.should_charge() {
-            self.fabric.charge_block_get(provider);
+            self.fabric.charge_block_get(provider, 1);
         }
         BlockStore::get(&self.inner, provider, id)
+    }
+    fn put_many(&self, provider: usize, items: &[(BlockId, Bytes)]) -> Vec<Result<()>> {
+        if self.fabric.should_charge() {
+            self.fabric.charge_block_put(provider, items.len());
+        }
+        BlockStore::put_many(&self.inner, provider, items)
+    }
+    fn get_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<Bytes>> {
+        if self.fabric.should_charge() {
+            self.fabric.charge_block_get(provider, ids.len());
+        }
+        BlockStore::get_many(&self.inner, provider, ids)
+    }
+    fn delete_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<u64>> {
+        BlockStore::delete_many(&self.inner, provider, ids)
     }
     fn contains(&self, provider: usize, id: BlockId) -> bool {
         BlockStore::contains(&self.inner, provider, id)
     }
-    fn delete(&self, provider: usize, id: BlockId) -> u64 {
+    fn delete(&self, provider: usize, id: BlockId) -> Result<u64> {
         BlockStore::delete(&self.inner, provider, id)
     }
     fn block_count(&self, provider: usize) -> usize {
@@ -339,15 +384,30 @@ pub struct ConcMetaStore {
 impl MetaStore for ConcMetaStore {
     fn put(&self, key: NodeKey, node: TreeNode) -> Result<()> {
         if self.fabric.should_charge() {
-            self.fabric.charge_meta_put();
+            self.fabric.charge_meta_put(1);
         }
         MetaStore::put(&self.inner, key, node)
     }
     fn get(&self, key: &NodeKey) -> Result<TreeNode> {
         if self.fabric.should_charge() {
-            self.fabric.charge_meta_get();
+            self.fabric.charge_meta_get(1);
         }
         MetaStore::get(&self.inner, key)
+    }
+    fn put_many(&self, items: &[(NodeKey, TreeNode)]) -> Vec<Result<()>> {
+        if self.fabric.should_charge() {
+            self.fabric.charge_meta_put(items.len());
+        }
+        MetaStore::put_many(&self.inner, items)
+    }
+    fn get_many(&self, keys: &[NodeKey]) -> Vec<Result<TreeNode>> {
+        if self.fabric.should_charge() {
+            self.fabric.charge_meta_get(keys.len());
+        }
+        MetaStore::get_many(&self.inner, keys)
+    }
+    fn delete_many(&self, keys: &[NodeKey]) -> Vec<Result<bool>> {
+        MetaStore::delete_many(&self.inner, keys)
     }
     fn delete(&self, key: &NodeKey) -> bool {
         MetaStore::delete(&self.inner, key)

@@ -1,22 +1,29 @@
 //! Observational equivalence across backend families.
 //!
-//! Two properties, same method — drive different adapter stacks with
+//! Three properties, same method — drive different adapter stacks with
 //! identical scripts and demand identical observables:
 //!
 //! 1. **Sharded ≡ global-lock** (PR 2): the lock-striped maps behind
 //!    `DataProvider`/`MetaProvider` must be a pure performance change
 //!    relative to the seed's single `RwLock<HashMap>` layout.
-//! 2. **In-memory ≡ RPC-loopback** (this PR): a full client deployment
+//! 2. **In-memory ≡ RPC-loopback** (PR 4): a full client deployment
 //!    wired over TCP sockets (`blobseer_rpc::LoopbackCluster`) must be
 //!    observationally identical to the in-memory one for every op script
 //!    — sizes, versions, bytes read, **and error variants**, which must
 //!    cross the wire as themselves.
+//! 3. **Batched ≡ single-op sequence** (this PR): the vectored port
+//!    methods (`put_many`/`get_many`/`delete_many`) must answer exactly
+//!    like the equivalent sequence of single ops, per item and in input
+//!    order, on every adapter family — in-memory sharded, fault-decorated
+//!    (including partial batch failures via `FailOnce`) and the RPC
+//!    loopback adapters (including per-item conflicts inside one frame).
 //!
 //! Plus wire-codec round-trip properties: random domain values encode and
 //! decode to themselves, and every `Error` variant survives the trip.
 
 use blobseer_core::block_store::{DataProvider, ProviderSet};
 use blobseer_core::dht::MetaDht;
+use blobseer_core::faults::{FaultPlan, PutFault};
 use blobseer_core::meta::key::{NodeKey, Pos};
 use blobseer_core::meta::node::{BlockDescriptor, NodeRef, TreeNode};
 use blobseer_core::ports::BlockStore;
@@ -137,6 +144,240 @@ proptest! {
             prop_assert_eq!(global.node_count(), sharded.node_count());
         }
     }
+}
+
+// --- batched ≡ single-op sequence -------------------------------------------
+
+/// One step of a *vectored* workload: each op carries a whole batch, and
+/// `FailNext` arms a transient `FailOnce` fault so partial batch failures
+/// are exercised (the decorators apply faults per item, so exactly the
+/// first item of the next batch is refused).
+#[derive(Clone, Debug)]
+enum VecOp {
+    PutMany { provider: u8, keys: Vec<u8> },
+    GetMany { provider: u8, keys: Vec<u8> },
+    DeleteMany { provider: u8, keys: Vec<u8> },
+    FailNext,
+}
+
+fn vec_ops() -> impl Strategy<Value = Vec<VecOp>> {
+    fn keys() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(any::<u8>(), 0..24)
+    }
+    let op = prop_oneof![
+        (0u8..2, keys()).prop_map(|(provider, keys)| VecOp::PutMany { provider, keys }),
+        (0u8..2, keys()).prop_map(|(provider, keys)| VecOp::GetMany { provider, keys }),
+        (0u8..2, keys()).prop_map(|(provider, keys)| VecOp::DeleteMany { provider, keys }),
+        (0u8..1).prop_map(|_| VecOp::FailNext),
+    ];
+    proptest::collection::vec(op, 1..40)
+}
+
+/// Replays `script` against two identically built stores — one driven
+/// through the vectored methods, one through the equivalent single-op
+/// sequences — and demands identical per-item results and state.
+fn assert_block_batches_match_singles(
+    script: &[VecOp],
+    batched: &dyn BlockStore,
+    sequential: &dyn BlockStore,
+    plans: Option<(&FaultPlan, &FaultPlan)>,
+) {
+    for op in script {
+        match op {
+            VecOp::FailNext => {
+                if let Some((a, b)) = plans {
+                    a.set(PutFault::FailOnce);
+                    b.set(PutFault::FailOnce);
+                }
+            }
+            VecOp::PutMany { provider, keys } => {
+                let p = *provider as usize;
+                let items: Vec<(BlockId, Bytes)> = keys
+                    .iter()
+                    .map(|&k| (block_id(*provider, k), content(*provider, k)))
+                    .collect();
+                let a = batched.put_many(p, &items);
+                let b: Vec<_> = items
+                    .iter()
+                    .map(|(id, data)| sequential.put(p, *id, data.clone()))
+                    .collect();
+                assert_eq!(a, b, "put_many diverged");
+            }
+            VecOp::GetMany { provider, keys } => {
+                let p = *provider as usize;
+                let ids: Vec<BlockId> = keys.iter().map(|&k| block_id(*provider, k)).collect();
+                let a = batched.get_many(p, &ids);
+                let b: Vec<_> = ids.iter().map(|&id| sequential.get(p, id)).collect();
+                assert_eq!(a, b, "get_many diverged");
+            }
+            VecOp::DeleteMany { provider, keys } => {
+                let p = *provider as usize;
+                let ids: Vec<BlockId> = keys.iter().map(|&k| block_id(*provider, k)).collect();
+                let a = batched.delete_many(p, &ids);
+                let b: Vec<_> = ids.iter().map(|&id| sequential.delete(p, id)).collect();
+                assert_eq!(a, b, "delete_many diverged");
+            }
+        }
+        assert_eq!(batched.total_block_count(), sequential.total_block_count());
+        assert_eq!(
+            batched.total_bytes_stored(),
+            sequential.total_bytes_stored()
+        );
+        assert_eq!(batched.layout_vector(), sequential.layout_vector());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Vectored ops on the lock-striped in-memory stores are
+    /// observationally identical to the equivalent single-op sequences.
+    #[test]
+    fn in_memory_batches_equal_single_op_sequence(script in vec_ops()) {
+        let batched = ProviderSet::with_shards(2, |i| NodeId::new(i as u64), 32);
+        let sequential = ProviderSet::with_shards(2, |i| NodeId::new(i as u64), 32);
+        assert_block_batches_match_singles(&script, &batched, &sequential, None);
+    }
+
+    /// Same through the fault decorators, including partial batch
+    /// failures: `FailOnce` refuses exactly the first item of the next
+    /// batch on both sides, and the per-item `Result`s line up.
+    #[test]
+    fn fault_decorated_batches_equal_single_op_sequence(script in vec_ops()) {
+        use blobseer_core::faults::FaultyBlockStore;
+        let plan_a = FaultPlan::new();
+        let plan_b = FaultPlan::new();
+        let batched = FaultyBlockStore::new(
+            Arc::new(ProviderSet::with_shards(2, |i| NodeId::new(i as u64), 32)),
+            Arc::clone(&plan_a),
+        );
+        let sequential = FaultyBlockStore::new(
+            Arc::new(ProviderSet::with_shards(2, |i| NodeId::new(i as u64), 32)),
+            Arc::clone(&plan_b),
+        );
+        assert_block_batches_match_singles(&script, &batched, &sequential, Some((&plan_a, &plan_b)));
+        prop_assert_eq!(plan_a.counters(), plan_b.counters(), "identical fault traffic");
+    }
+
+    /// Vectored metadata ops ≡ single-op sequences on the DHT, including
+    /// per-item `MetadataConflict`s inside one batch (a `conflicting`
+    /// re-put of an already-stored key must fail exactly that item).
+    #[test]
+    fn meta_batches_equal_single_op_sequence(
+        script in proptest::collection::vec(
+            (0u8..3, proptest::collection::vec((any::<u8>(), any::<bool>()), 0..24)),
+            1..30,
+        )
+    ) {
+        let batched = MetaDht::with_stripes(4, 1, 32);
+        let sequential = MetaDht::with_stripes(4, 1, 32);
+        let key_of = |k: u8| NodeKey::new(
+            BlobId::new(1),
+            Version::new(1 + (k % 5) as u64),
+            Pos::new(k as u64, 1),
+        );
+        // `salted` flips the node content, so re-putting the same key with
+        // the other salt is a conflict — on both sides, at the same index.
+        let node_of = |k: u8, salted: bool| {
+            TreeNode::Leaf(BlockDescriptor {
+                block_id: BlockId::new(k as u64 * 2 + salted as u64),
+                providers: vec![0],
+                len: 64,
+            })
+        };
+        for (kind, items) in &script {
+            match kind {
+                0 => {
+                    let batch: Vec<(NodeKey, TreeNode)> = items
+                        .iter()
+                        .map(|&(k, salted)| (key_of(k), node_of(k, salted)))
+                        .collect();
+                    let a = batched.put_many(&batch);
+                    let b: Vec<_> = batch
+                        .iter()
+                        .map(|(key, node)| sequential.put(*key, node.clone()))
+                        .collect();
+                    prop_assert_eq!(a, b, "meta put_many diverged");
+                }
+                1 => {
+                    let keys: Vec<NodeKey> = items.iter().map(|&(k, _)| key_of(k)).collect();
+                    let a = batched.get_many(&keys);
+                    let b: Vec<_> = keys.iter().map(|key| sequential.get(key)).collect();
+                    prop_assert_eq!(a, b, "meta get_many diverged");
+                }
+                _ => {
+                    let keys: Vec<NodeKey> = items.iter().map(|&(k, _)| key_of(k)).collect();
+                    let a = batched.delete_many(&keys);
+                    let b: Vec<_> = keys.iter().map(|key| sequential.delete(key)).collect();
+                    prop_assert_eq!(a, b, "meta delete_many diverged");
+                }
+            }
+            prop_assert_eq!(batched.node_count(), sequential.node_count());
+        }
+    }
+}
+
+/// The RPC adapters' vectored frames answer exactly like the in-memory
+/// adapters, per item — successes, per-item errors (missing blocks,
+/// metadata conflicts inside one batch) and out-of-range providers.
+#[test]
+fn rpc_batches_equal_in_memory_per_item() {
+    let rig = rpc_rig();
+    let rpc = rig.over_rpc.providers();
+    let mem = rig.in_memory.providers();
+    // Ids far above the provider-manager ranges, so raw port traffic never
+    // collides with the client-protocol proptest cases sharing the rig.
+    let id = |k: u64| BlockId::new(u64::MAX - 1000 + k);
+    let items: Vec<(BlockId, Bytes)> = (0..16)
+        .map(|k| (id(k), Bytes::from(vec![k as u8; 3 + (k as usize % 5)])))
+        .collect();
+    assert_eq!(rpc.put_many(1, &items), mem.put_many(1, &items));
+    // Mixed present/missing fetch: per-item results line up exactly.
+    let probe: Vec<BlockId> = (0..24).map(id).collect();
+    assert_eq!(rpc.get_many(1, &probe), mem.get_many(1, &probe));
+    // An out-of-range provider fails every item of the batch on the
+    // remote adapter (the in-memory stores treat it as a programmer error
+    // and panic, same as their single-op methods always have).
+    for a in rpc.get_many(99, &probe) {
+        assert!(matches!(a, Err(Error::Internal(_))), "{a:?}");
+    }
+    // Batched deletes: freed bytes per item, then absent.
+    assert_eq!(rpc.delete_many(1, &probe), mem.delete_many(1, &probe));
+    assert_eq!(rpc.delete_many(1, &probe), mem.delete_many(1, &probe));
+
+    // Metadata: a batch whose middle item conflicts fails exactly that
+    // item on both backends, and the surviving items land.
+    let rpc_dht = rig.over_rpc.dht();
+    let mem_dht = rig.in_memory.dht();
+    let key_of = |k: u64| {
+        NodeKey::new(
+            BlobId::new(u64::MAX - 50),
+            Version::new(1 + k),
+            Pos::new(0, 1),
+        )
+    };
+    let leaf = |b: u64| {
+        TreeNode::Leaf(BlockDescriptor {
+            block_id: BlockId::new(b),
+            providers: vec![0],
+            len: 8,
+        })
+    };
+    let seed: Vec<(NodeKey, TreeNode)> = (0..4).map(|k| (key_of(k), leaf(k))).collect();
+    assert_eq!(rpc_dht.put_many(&seed), mem_dht.put_many(&seed));
+    let mixed: Vec<(NodeKey, TreeNode)> = vec![
+        (key_of(10), leaf(10)), // fresh: lands
+        (key_of(2), leaf(99)),  // conflicting re-put: fails
+        (key_of(3), leaf(3)),   // idempotent re-put: lands
+    ];
+    let a = rpc_dht.put_many(&mixed);
+    let b = mem_dht.put_many(&mixed);
+    assert_eq!(a, b);
+    assert!(a[0].is_ok() && a[2].is_ok());
+    assert!(matches!(&a[1], Err(Error::MetadataConflict(_))));
+    let keys: Vec<NodeKey> = (0..12).map(key_of).collect();
+    assert_eq!(rpc_dht.get_many(&keys), mem_dht.get_many(&keys));
+    assert_eq!(rpc_dht.delete_many(&keys), mem_dht.delete_many(&keys));
 }
 
 #[test]
@@ -432,7 +673,7 @@ fn threaded_workload_converges_to_identical_state() {
                         BlockStore::put(&*set, p, id, data).unwrap();
                         assert_eq!(BlockStore::get(&*set, p, id).unwrap().len(), 8);
                         if i % 3 == 0 {
-                            BlockStore::delete(&*set, p, id);
+                            let _ = BlockStore::delete(&*set, p, id);
                         }
                     }
                 })

@@ -118,6 +118,92 @@ fn full_protocol_roundtrip_over_sockets() {
 }
 
 #[test]
+fn vectored_ports_cost_frames_proportional_to_levels_not_blocks() {
+    // The acceptance scenario of the vectored port API: a 64-block write
+    // and a full-blob read over the loopback cluster complete in
+    // O(tree levels + providers touched) wire frames — not O(blocks +
+    // nodes) — asserted via the deployment's round-trip counters, with
+    // results byte-identical to the in-memory backend.
+    let cfg = BlobSeerConfig::small_for_tests().with_block_size(64);
+    let cluster = LoopbackCluster::boot(cfg.clone(), 4).unwrap();
+    let sys = cluster.deploy().unwrap();
+    let c = sys.client(NodeId::new(0));
+    let blob = c.create();
+    let data: Vec<u8> = (0..64 * 64u32).map(|i| (i % 251) as u8).collect(); // 64 blocks
+
+    let served_before = cluster.frames_served();
+    let before = sys.stats().snapshot();
+    c.write(blob, 0, &data).unwrap();
+    let after_write = sys.stats().snapshot();
+
+    // Write = 1 latest + 4 data put_many (one per provider, round-robin
+    // touches all 4) + 1 assign + 7 metadata put_many (a cap-64 tree has
+    // levels of 64/32/16/8/4/2/1 nodes) + 1 commit = 14 frames. The same
+    // write unbatched would pay 64 block puts + 127 node puts alone.
+    let write_frames = after_write.port_round_trips - before.port_round_trips;
+    assert_eq!(write_frames, 14, "write frames: O(levels + providers)");
+    // All 64 blocks and all 127 tree nodes crossed inside those frames.
+    assert_eq!(after_write.batched_items - before.batched_items, 64 + 127);
+
+    let full = c.read(blob, None, 0, data.len() as u64).unwrap();
+    assert_eq!(&full[..], &data[..], "byte-identical to what was written");
+    let after_read = sys.stats().snapshot();
+
+    // Read = 2 snapshot resolution (latest + snapshot_info) + 7 descent
+    // get_many (one per level) + 4 block get_many (one per provider) = 13.
+    let read_frames = after_read.port_round_trips - after_write.port_round_trips;
+    assert_eq!(read_frames, 13, "read frames: O(levels + providers)");
+    assert_eq!(
+        after_read.batched_items - after_write.batched_items,
+        64 + 127
+    );
+
+    // The servers saw exactly the frames the client adapters counted.
+    assert_eq!(
+        cluster.frames_served() - served_before,
+        after_read.port_round_trips - before.port_round_trips
+    );
+
+    // And the bytes agree with the in-memory backend end to end.
+    let mem = BlobSeer::deploy(cfg, 4);
+    let mc = mem.client(NodeId::new(0));
+    let mem_blob = mc.create();
+    mc.write(mem_blob, 0, &data).unwrap();
+    assert_eq!(
+        mc.read(mem_blob, None, 0, data.len() as u64).unwrap(),
+        full,
+        "vectored RPC backend is byte-identical to in-memory"
+    );
+}
+
+#[test]
+fn batched_get_defers_instead_of_overshooting_the_frame_cap() {
+    // Two blocks whose payloads together exceed the 64 MB batch budget
+    // (and would exceed the 80 MB frame cap): the server must answer the
+    // batch across two frames via DEFERRED items — budget accounting has
+    // to include the payload *about to be encoded*, or the response
+    // overshoots by one block and the client rejects the frame.
+    let cluster = cluster_with_block(BLOCK, 1);
+    let sys = cluster.deploy().unwrap();
+    let store = sys.providers();
+    let big = 45 * 1024 * 1024;
+    let a = bytes::Bytes::from(vec![0xAAu8; big]);
+    let b = bytes::Bytes::from(vec![0xBBu8; big]);
+    let id = |k: u64| blobseer_types::BlockId::new(k);
+    store.put(0, id(1), a.clone()).unwrap();
+    store.put(0, id(2), b.clone()).unwrap();
+    let before = sys.stats().snapshot().port_round_trips;
+    let got = store.get_many(0, &[id(1), id(2)]);
+    assert_eq!(got[0].as_ref().unwrap(), &a);
+    assert_eq!(got[1].as_ref().unwrap(), &b);
+    assert_eq!(
+        sys.stats().snapshot().port_round_trips - before,
+        2,
+        "the second block must arrive in a deferred follow-up frame"
+    );
+}
+
+#[test]
 fn service_errors_cross_the_wire_as_themselves() {
     let cluster = cluster_with_block(BLOCK, 2);
     let sys = cluster.deploy().unwrap();
