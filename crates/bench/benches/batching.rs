@@ -10,11 +10,21 @@
 //! size-independent; the paper's 64 MB blocks only add stream time on
 //! both sides).
 
-use blobseer_rpc::LoopbackCluster;
+//! Two follow-on groups measure this PR's transport work at the same
+//! boundary: `rpc_mux` drives 1000 simulated client requests through a
+//! fixed per-endpoint connection budget (the multiplexed frames are what
+//! keep a 1-connection budget from serialising into 1000 blocking round
+//! trips), and `rpc_cache` compares a hot-snapshot re-read served by the
+//! client-side LRU tier against the same fetch over the wire.
+
+use blobseer_core::ports::BlockStore;
+use blobseer_core::EngineStats;
+use blobseer_rpc::{LoopbackCluster, RpcBlockStore};
 use blobseer_types::{BlobSeerConfig, BlockId};
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::sync::Arc;
 
 const PROVIDERS: usize = 4;
 const BLOCKS: u64 = 64;
@@ -109,6 +119,82 @@ fn bench_rpc_batching(c: &mut Criterion) {
             }
         });
     });
+    g.finish();
+
+    // --- mux pipelining: 1000 simulated client requests, fixed sockets -----
+    // 8 worker threads replay 125 single-block fetches each — 1000
+    // logically independent client requests — through one shared adapter.
+    // The budget sweep shows what multiplexing buys: even a single
+    // connection carries all 1000 requests concurrently instead of
+    // falling back to serialized checkout round trips.
+    let mut g = c.benchmark_group("rpc_mux/pipelined_1000_requests");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(1000 * BLOCK_BYTES as u64));
+    for budget in [1usize, 4] {
+        let stats = Arc::new(EngineStats::new());
+        let shared =
+            Arc::new(RpcBlockStore::connect_with(cluster.block_addrs(), stats, budget).unwrap());
+        g.bench_function(format!("budget_{budget}"), |b| {
+            b.iter(|| {
+                let threads: Vec<_> = (0..8u64)
+                    .map(|t| {
+                        let store = Arc::clone(&shared);
+                        std::thread::spawn(move || {
+                            for i in 0..125u64 {
+                                let k = (t * 125 + i) % BLOCKS;
+                                black_box(
+                                    store.get(provider_of(k), BlockId::new(base + k)).unwrap(),
+                                );
+                            }
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().unwrap();
+                }
+            });
+        });
+    }
+    g.finish();
+
+    // --- cache tier: a hot snapshot re-read vs the wire --------------------
+    // Same 64-block fetch as `rpc_batching/fetch_64_blocks`, but through a
+    // deployment with the read cache enabled. The puts write-allocate, so
+    // every fetch here is a cache hit — the delta against the `wire`
+    // baseline is the round-trip cost the cache removes for fig-4-style
+    // many-readers-one-snapshot workloads.
+    let cached_cluster = LoopbackCluster::boot(
+        BlobSeerConfig::small_for_tests()
+            .with_block_size(BLOCK_BYTES as u64)
+            .with_read_cache_bytes(64 << 20),
+        PROVIDERS,
+    )
+    .unwrap();
+    let cached_sys = cached_cluster.deploy().unwrap();
+    let cached_store = cached_sys.providers();
+    for k in 0..BLOCKS {
+        cached_store
+            .put(provider_of(k), BlockId::new(base + k), payload.clone())
+            .unwrap();
+    }
+    let mut g = c.benchmark_group("rpc_cache/fetch_64_blocks");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(BLOCKS * BLOCK_BYTES as u64));
+    for (name, st) in [("wire", store), ("warm_cache", cached_store)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for p in 0..PROVIDERS {
+                    let ids: Vec<BlockId> = (0..BLOCKS)
+                        .filter(|&k| provider_of(k) == p)
+                        .map(|k| BlockId::new(base + k))
+                        .collect();
+                    for result in st.get_many(p, &ids) {
+                        black_box(result.unwrap());
+                    }
+                }
+            });
+        });
+    }
     g.finish();
 }
 

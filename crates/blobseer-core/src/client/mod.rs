@@ -75,18 +75,20 @@
 //! **Worked example: the TCP backend.** The `blobseer-rpc` crate follows
 //! exactly this recipe to take the protocol over real sockets:
 //! `RpcBlockStore`/`RpcMetaStore`/`RpcVersionService` implement the three
-//! traits over pooled TCP connections (one frame per port call — one per
-//! *batch* for the vectored methods, with per-item status codes; service
-//! errors round-trip the wire as their own [`blobseer_types::Error`]
-//! variants), and `blobseer_rpc::LoopbackCluster::deploy` is nothing more
-//! than step 2 + 3: it fills an [`EnginePorts`] with the RPC adapters and
-//! hands it to [`BlobSeer::deploy_ports`]. Two practical notes for remote
-//! backends it illustrates: fetch fixed deployment *shape* (provider
-//! count, hosting nodes, block size) once at connect time so the
-//! non-`Result` trait methods stay cheap and infallible, and never
-//! multiplex two in-flight requests on one connection, because port calls
-//! like [`crate::ports::VersionService::wait_revealed`] block
-//! server-side.
+//! traits over a small budget of *multiplexed* TCP connections (one frame
+//! per port call — one per *batch* for the vectored methods, with
+//! per-item status codes; service errors round-trip the wire as their own
+//! [`blobseer_types::Error`] variants), and
+//! `blobseer_rpc::LoopbackCluster::deploy` is nothing more than step
+//! 2 + 3: it fills an [`EnginePorts`] with the RPC adapters and hands it
+//! to [`BlobSeer::deploy_ports`]. Two practical notes for remote backends
+//! it illustrates: fetch fixed deployment *shape* (provider count,
+//! hosting nodes, block size) once at connect time so the non-`Result`
+//! trait methods stay cheap and infallible, and correlate responses with
+//! a per-frame request id rather than with connection order, because port
+//! calls like [`crate::ports::VersionService::wait_revealed`] block
+//! server-side — a caller parked for seconds must not occupy a
+//! connection that hundreds of fast reads could be sharing.
 //!
 //! [`write`]: BlobClient::write
 //! [`append`]: BlobClient::append

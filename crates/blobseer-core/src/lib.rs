@@ -43,6 +43,7 @@
 //! ```
 
 pub mod block_store;
+pub mod cache;
 pub mod client;
 pub mod dht;
 pub mod faults;
@@ -55,6 +56,7 @@ pub mod sharded;
 pub mod stats;
 pub mod version_manager;
 
+pub use cache::{CachedBlockStore, CachedMetaStore};
 pub use client::{BlobClient, BlobSeer, BlockLocation, EnginePorts};
 pub use faults::{FaultPlan, FaultyBlockStore, FaultyMetaStore, PutFault};
 pub use gc::GcReport;

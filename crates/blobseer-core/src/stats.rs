@@ -41,6 +41,21 @@ pub struct EngineStats {
     /// `delete_many`) on remote adapters; `batched_items /
     /// port_round_trips` approximates the achieved batch size.
     pub batched_items: AtomicU64,
+    /// Hot-read cache hits (blocks + metadata tree nodes served from the
+    /// client-side [`crate::cache`] decorators without touching the
+    /// backend).
+    pub cache_hits: AtomicU64,
+    /// Hot-read cache misses (requests the decorators forwarded).
+    pub cache_misses: AtomicU64,
+    /// Entries evicted from the hot-read cache to stay within its byte
+    /// budget.
+    pub cache_evictions: AtomicU64,
+    /// Diagnostic port calls (non-`Result` methods: counts, sizes, op
+    /// counters) that a remote adapter answered with a zero/empty default
+    /// because the backend was unreachable. Always 0 in a healthy
+    /// deployment — a growing value means monitoring data is silently
+    /// understating a half-dead cluster.
+    pub rpc_degraded_diagnostics: AtomicU64,
 }
 
 impl EngineStats {
@@ -70,6 +85,10 @@ impl EngineStats {
             gc_untracked_releases: g(&self.gc_untracked_releases),
             port_round_trips: g(&self.port_round_trips),
             batched_items: g(&self.batched_items),
+            cache_hits: g(&self.cache_hits),
+            cache_misses: g(&self.cache_misses),
+            cache_evictions: g(&self.cache_evictions),
+            rpc_degraded_diagnostics: g(&self.rpc_degraded_diagnostics),
         }
     }
 }
@@ -89,6 +108,10 @@ pub struct StatsSnapshot {
     pub gc_untracked_releases: u64,
     pub port_round_trips: u64,
     pub batched_items: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub rpc_degraded_diagnostics: u64,
 }
 
 #[cfg(test)]

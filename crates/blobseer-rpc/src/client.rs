@@ -1,11 +1,25 @@
-//! Client-side adapters: the three port traits implemented over pooled
-//! TCP connections.
+//! Client-side adapters: the three port traits implemented over
+//! *multiplexed* TCP connections.
 //!
-//! Each adapter holds a small connection pool per endpoint. A call checks
-//! a connection out, writes one request frame, reads one response frame,
-//! and returns the connection — so concurrent calls from many client
-//! threads each ride their own connection and a blocking call
-//! (`wait_revealed`) never head-of-line-blocks another request.
+//! Each adapter holds a small fixed budget of shared connections per
+//! endpoint ([`blobseer_types::BlobSeerConfig::rpc_client_connections`]).
+//! A call picks a connection round-robin, tags its frame with a fresh
+//! request id, writes it under the connection's writer lock, and parks on
+//! the connection's waiter table; a per-connection demux thread reads
+//! response frames and routes each to the waiter holding the matching id.
+//! Many client threads therefore pipeline on a few sockets, responses may
+//! arrive out of order, and a blocking call (`wait_revealed`) parks only
+//! its own waiter — never the connection.
+//!
+//! A connection that dies *idle* (server restart) is redialed
+//! transparently on next use: the demux thread observes EOF immediately
+//! and marks the connection dead, so the next call dials afresh instead
+//! of surfacing a stale [`Error::Transport`]. A call whose request frame
+//! *failed to write* also retries once on a fresh connection — the kernel
+//! never accepted the frame, so the server cannot have dispatched it and
+//! the retry is safe even for non-idempotent calls like `assign`. A call
+//! whose frame was sent but never answered fails with
+//! [`Error::Transport`]: its remote outcome is genuinely unknown.
 //!
 //! Service failures arrive as their real [`Error`] variants (decoded from
 //! the response envelope); only genuine connectivity problems — refused
@@ -14,10 +28,13 @@
 //!
 //! Port methods that return plain values rather than `Result` (they are
 //! diagnostics: counts, sizes, op counters) cannot propagate a transport
-//! failure; they degrade to a zero/empty answer. The fixed deployment
-//! *shape* — provider count, hosting nodes, DHT shard count, block size —
-//! is fetched once at connect time and served from cache, so the hot
-//! paths that consult it stay local.
+//! failure; they degrade to a zero/empty answer — but never silently:
+//! each degradation bumps `EngineStats::rpc_degraded_diagnostics` and the
+//! first one logs a warning, so a half-dead cluster is observable instead
+//! of reporting zeros. The fixed deployment *shape* — provider count,
+//! hosting nodes, DHT shard count, block size — is fetched once at
+//! connect time and served from cache, so the hot paths that consult it
+//! stay local.
 
 use crate::server::{block_tag, meta_tag, version_tag};
 use crate::wire::{self, batch_status, decode_response};
@@ -27,18 +44,16 @@ use blobseer_core::meta::node::TreeNode;
 use blobseer_core::ports::{BlockStore, MetaStore, VersionService};
 use blobseer_core::version_manager::{SnapshotInfo, WriteIntent, WriteTicket};
 use blobseer_core::EngineStats;
+use blobseer_types::config::DEFAULT_RPC_CLIENT_CONNECTIONS;
 use blobseer_types::wire::{WireReader, WireWriter};
 use blobseer_types::{BlobId, BlockId, Error, NodeId, Result, Version};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-
-/// Idle connections kept per endpoint; checkouts beyond this open fresh
-/// connections that are simply dropped on return.
-const POOL_KEEP: usize = 8;
 
 /// Max items per vectored *metadata* frame. Tree nodes and node keys are
 /// tens of bytes, so this bounds both request and response frames to a
@@ -46,65 +61,223 @@ const POOL_KEEP: usize = 8;
 /// any realistic tree level into one round trip.
 const META_BATCH_MAX: usize = 65_536;
 
-/// A small pool of connections to one endpoint.
-pub(crate) struct Pool {
+/// Counts a diagnostic degradation (a non-`Result` port method answering
+/// its zero/empty default because the backend was unreachable) and warns
+/// once per process — satisfying "observable, not silent" without
+/// flooding stderr when a whole cluster is down.
+fn degraded(stats: &EngineStats, what: &str, e: &Error) {
+    stats
+        .rpc_degraded_diagnostics
+        .fetch_add(1, Ordering::Relaxed);
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "blobseer-rpc: diagnostic {what} degraded to a default answer ({e}); \
+             further degradations are counted on EngineStats::rpc_degraded_diagnostics"
+        );
+    });
+}
+
+/// The waiter table of one multiplexed connection.
+struct Pending {
+    /// Request id → response body; `None` while still in flight. Entries
+    /// are inserted by [`MuxConn::send`] and removed by [`MuxConn::wait`],
+    /// so the table is bounded by the number of in-flight calls.
+    results: HashMap<u64, Option<Vec<u8>>>,
+    /// Set by the demux thread when the connection dies; every current
+    /// and future waiter fails with this error (outcome unknown).
+    closed: Option<Error>,
+}
+
+/// One multiplexed connection: a writer half shared under a mutex, a
+/// demux thread owning the reader half, and a waiter table keyed by
+/// request id.
+struct MuxConn {
     addr: SocketAddr,
-    idle: Mutex<Vec<TcpStream>>,
+    writer: Mutex<TcpStream>,
+    pending: Mutex<Pending>,
+    ready: Condvar,
+    next_id: AtomicU64,
+    /// Set when the demux thread exits or a frame write fails; the pool
+    /// replaces dead connections on next use.
+    dead: AtomicBool,
+}
+
+impl MuxConn {
+    /// Dials the endpoint and starts its demux thread.
+    fn dial(addr: SocketAddr) -> Result<Arc<Self>> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| wire::transport(&format!("connect to {addr}"), e))?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream
+            .try_clone()
+            .map_err(|e| wire::transport("clone mux stream", e))?;
+        let conn = Arc::new(Self {
+            addr,
+            writer: Mutex::new(stream),
+            pending: Mutex::new(Pending {
+                results: HashMap::new(),
+                closed: None,
+            }),
+            ready: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+        });
+        let demux = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name("rpc-demux".into())
+            .spawn(move || demux_loop(reader, &demux))
+            .map_err(|e| wire::transport("spawn demux thread", e))?;
+        Ok(conn)
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Registers a waiter and writes one request frame. On any failure the
+    /// frame is guaranteed undelivered (the connection is marked dead and
+    /// the waiter withdrawn), so the caller may safely retry on a fresh
+    /// connection.
+    fn send(&self, request: &WireWriter) -> Result<u64> {
+        if self.is_dead() {
+            return Err(Error::Transport(format!(
+                "{} died before the request was sent",
+                self.addr
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.pending.lock().results.insert(id, None);
+        let mut writer = self.writer.lock();
+        match wire::write_frame(&mut *writer, id, request.as_slice()) {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                drop(writer);
+                self.dead.store(true, Ordering::SeqCst);
+                self.pending.lock().results.remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Parks until the demux thread delivers the response for `id`, or
+    /// the connection dies.
+    fn wait(&self, id: u64) -> Result<Vec<u8>> {
+        let mut p = self.pending.lock();
+        loop {
+            if matches!(p.results.get(&id), Some(Some(_))) {
+                return match p.results.remove(&id) {
+                    Some(Some(body)) => Ok(body),
+                    _ => unreachable!("checked above"),
+                };
+            }
+            if let Some(e) = p.closed.clone() {
+                p.results.remove(&id);
+                return Err(e);
+            }
+            self.ready.wait(&mut p);
+        }
+    }
+}
+
+/// The demux thread: reads response frames and routes each to its waiter.
+/// Exits on EOF or a transport error — marking the connection dead first,
+/// so idle death (a server restart) is already known the next time the
+/// pool considers this connection.
+fn demux_loop(mut stream: TcpStream, conn: &MuxConn) {
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(Some((id, body))) => {
+                let mut p = conn.pending.lock();
+                if let Some(slot) = p.results.get_mut(&id) {
+                    *slot = Some(body);
+                }
+                drop(p);
+                self_notify(conn);
+            }
+            Ok(None) | Err(_) => {
+                conn.dead.store(true, Ordering::SeqCst);
+                let mut p = conn.pending.lock();
+                p.closed = Some(Error::Transport(format!(
+                    "{} closed the connection with requests in flight",
+                    conn.addr
+                )));
+                drop(p);
+                self_notify(conn);
+                return;
+            }
+        }
+    }
+}
+
+/// Wakes every waiter on the connection; each re-checks its own slot.
+fn self_notify(conn: &MuxConn) {
+    conn.ready.notify_all();
+}
+
+/// A fixed budget of multiplexed connections to one endpoint. Slots are
+/// dialed lazily (slot 0 eagerly at construction, as a reachability
+/// probe) and redialed transparently when found dead.
+pub(crate) struct MuxPool {
+    addr: SocketAddr,
+    slots: Vec<Mutex<Option<Arc<MuxConn>>>>,
+    next: AtomicUsize,
     /// Deployment counters: every request frame bumps
     /// `port_round_trips` — the client-side round-trip meter the batching
     /// tests assert on.
     stats: Arc<EngineStats>,
 }
 
-impl Pool {
-    /// Creates a pool and eagerly opens (and parks) one connection, so an
-    /// unreachable endpoint fails at adapter construction, not mid-write.
-    pub(crate) fn connect(addr: SocketAddr, stats: Arc<EngineStats>) -> Result<Self> {
+impl MuxPool {
+    /// Creates a pool of `budget` connection slots and eagerly dials one,
+    /// so an unreachable endpoint fails at adapter construction, not
+    /// mid-write.
+    pub(crate) fn connect_with(
+        addr: SocketAddr,
+        stats: Arc<EngineStats>,
+        budget: usize,
+    ) -> Result<Self> {
+        assert!(budget >= 1, "a pool needs at least one connection");
         let pool = Self {
             addr,
-            idle: Mutex::new(Vec::new()),
+            slots: (0..budget).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
             stats,
         };
-        let probe = pool.checkout()?;
-        pool.check_in(probe);
+        pool.conn_at(0)?;
         Ok(pool)
     }
 
-    fn checkout(&self) -> Result<TcpStream> {
-        if let Some(conn) = self.idle.lock().pop() {
-            return Ok(conn);
+    /// The healthy connection for a slot, dialing (or redialing a dead
+    /// one) under the slot lock so concurrent callers share one dial.
+    fn conn_at(&self, slot: usize) -> Result<Arc<MuxConn>> {
+        let mut guard = self.slots[slot].lock();
+        if let Some(conn) = guard.as_ref() {
+            if !conn.is_dead() {
+                return Ok(Arc::clone(conn));
+            }
         }
-        let conn = TcpStream::connect(self.addr)
-            .map_err(|e| wire::transport(&format!("connect to {}", self.addr), e))?;
-        let _ = conn.set_nodelay(true);
+        let conn = MuxConn::dial(self.addr)?;
+        *guard = Some(Arc::clone(&conn));
         Ok(conn)
     }
 
-    fn check_in(&self, conn: TcpStream) {
-        let mut idle = self.idle.lock();
-        if idle.len() < POOL_KEEP {
-            idle.push(conn);
-        }
-    }
-
-    /// One request/response exchange. The connection is returned to the
-    /// pool only after a complete, healthy round trip; any failure drops
-    /// it (a half-written frame poisons a connection for reuse).
+    /// One request/response exchange, multiplexed: requests from many
+    /// threads pipeline on the slot connections, matched back by request
+    /// id. If the request frame could not be *written*, the exchange
+    /// retries once on a fresh connection — safe for any operation,
+    /// because an unwritten frame was never dispatched.
     pub(crate) fn call(&self, request: &WireWriter) -> Result<Vec<u8>> {
         self.stats.port_round_trips.fetch_add(1, Ordering::Relaxed);
-        let mut conn = self.checkout()?;
-        let exchange = wire::write_frame(&mut conn, request.as_slice())
-            .and_then(|()| wire::read_frame(&mut conn));
-        match exchange {
-            Ok(Some(body)) => {
-                self.check_in(conn);
-                Ok(body)
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let conn = self.conn_at(slot)?;
+        match conn.send(request) {
+            Ok(id) => conn.wait(id),
+            Err(_) => {
+                let conn = self.conn_at(slot)?;
+                let id = conn.send(request)?;
+                conn.wait(id)
             }
-            Ok(None) => Err(Error::Transport(format!(
-                "{} closed the connection mid-call",
-                self.addr
-            ))),
-            Err(e) => Err(e),
         }
     }
 }
@@ -125,7 +298,7 @@ impl RpcPayload {
 
 /// A `Result`-returning RPC round trip: encodes, exchanges, unwraps the
 /// response envelope.
-fn call(pool: &Pool, request: WireWriter) -> Result<RpcPayload> {
+fn call(pool: &MuxPool, request: WireWriter) -> Result<RpcPayload> {
     let body = pool.call(&request)?;
     let reader = decode_response(&body)?;
     let start = body.len() - reader.remaining();
@@ -207,7 +380,7 @@ fn decode_get_many(
 
 /// One remote block-service endpoint.
 struct BlockEndpoint {
-    pool: Pool,
+    pool: MuxPool,
 }
 
 /// [`BlockStore`] over one or more remote block services.
@@ -227,12 +400,23 @@ pub struct RpcBlockStore {
 }
 
 impl RpcBlockStore {
-    /// Connects to the given block services and builds the dense index
-    /// space over them. Fails if any endpoint is unreachable or empty.
-    /// `stats` receives the adapter's round-trip/batch accounting
+    /// Connects to the given block services with the default connection
+    /// budget per endpoint. See [`Self::connect_with`].
+    pub fn connect(addrs: &[SocketAddr], stats: Arc<EngineStats>) -> Result<Self> {
+        Self::connect_with(addrs, stats, DEFAULT_RPC_CLIENT_CONNECTIONS)
+    }
+
+    /// Connects to the given block services (`budget` multiplexed
+    /// connections per endpoint) and builds the dense index space over
+    /// them. Fails if any endpoint is unreachable or empty. `stats`
+    /// receives the adapter's round-trip/batch accounting
     /// (`port_round_trips`, `batched_items`) — pass the deployment's
     /// [`EngineStats`].
-    pub fn connect(addrs: &[SocketAddr], stats: Arc<EngineStats>) -> Result<Self> {
+    pub fn connect_with(
+        addrs: &[SocketAddr],
+        stats: Arc<EngineStats>,
+        budget: usize,
+    ) -> Result<Self> {
         if addrs.is_empty() {
             return Err(Error::Transport(
                 "RpcBlockStore needs at least one endpoint".into(),
@@ -242,7 +426,7 @@ impl RpcBlockStore {
         let mut route = Vec::new();
         let mut nodes = Vec::new();
         for (ei, &addr) in addrs.iter().enumerate() {
-            let pool = Pool::connect(addr, Arc::clone(&stats))?;
+            let pool = MuxPool::connect_with(addr, Arc::clone(&stats), budget)?;
             let mut req = WireWriter::new();
             req.put_u8(block_tag::DESCRIBE);
             let payload = call(&pool, req)?;
@@ -265,7 +449,7 @@ impl RpcBlockStore {
 
     /// Request targeting one dense provider index, with the endpoint-local
     /// index substituted.
-    fn provider_request(&self, tag: u8, provider: usize) -> Option<(&Pool, WireWriter)> {
+    fn provider_request(&self, tag: u8, provider: usize) -> Option<(&MuxPool, WireWriter)> {
         let &(ei, local) = self.route.get(provider)?;
         let mut req = WireWriter::new();
         req.put_u8(tag);
@@ -319,15 +503,19 @@ impl BlockStore for RpcBlockStore {
     }
 
     /// Transport failures degrade to `false` (the port reports presence,
-    /// not reachability).
+    /// not reachability) — counted on `rpc_degraded_diagnostics`.
     fn contains(&self, provider: usize, id: BlockId) -> bool {
         let Some((pool, mut req)) = self.provider_request(block_tag::CONTAINS, provider) else {
             return false;
         };
         req.put_u64(id.raw());
-        call(pool, req)
-            .and_then(|payload| payload.reader().get_bool())
-            .unwrap_or(false)
+        match call(pool, req).and_then(|payload| payload.reader().get_bool()) {
+            Ok(present) => present,
+            Err(e) => {
+                degraded(&self.stats, "BlockStore::contains", &e);
+                false
+            }
+        }
     }
 
     /// Transport loss is an `Err`, distinguishable from `Ok(0)` ("absent")
@@ -477,37 +665,52 @@ impl BlockStore for RpcBlockStore {
         }
     }
 
-    /// Transport failures degrade to `0`.
+    /// Transport failures degrade to `0` — counted on
+    /// `rpc_degraded_diagnostics`.
     fn block_count(&self, provider: usize) -> usize {
         let Some((pool, req)) = self.provider_request(block_tag::BLOCK_COUNT, provider) else {
             return 0;
         };
-        call(pool, req)
-            .and_then(|payload| payload.reader().get_u64())
-            .unwrap_or(0) as usize
+        match call(pool, req).and_then(|payload| payload.reader().get_u64()) {
+            Ok(n) => n as usize,
+            Err(e) => {
+                degraded(&self.stats, "BlockStore::block_count", &e);
+                0
+            }
+        }
     }
 
-    /// Transport failures degrade to `0`.
+    /// Transport failures degrade to `0` — counted on
+    /// `rpc_degraded_diagnostics`.
     fn bytes_stored(&self, provider: usize) -> u64 {
         let Some((pool, req)) = self.provider_request(block_tag::BYTES_STORED, provider) else {
             return 0;
         };
-        call(pool, req)
-            .and_then(|payload| payload.reader().get_u64())
-            .unwrap_or(0)
+        match call(pool, req).and_then(|payload| payload.reader().get_u64()) {
+            Ok(n) => n,
+            Err(e) => {
+                degraded(&self.stats, "BlockStore::bytes_stored", &e);
+                0
+            }
+        }
     }
 
-    /// Transport failures degrade to `(0, 0)`.
+    /// Transport failures degrade to `(0, 0)` — counted on
+    /// `rpc_degraded_diagnostics`.
     fn op_counts(&self, provider: usize) -> (u64, u64) {
         let Some((pool, req)) = self.provider_request(block_tag::OP_COUNTS, provider) else {
             return (0, 0);
         };
-        call(pool, req)
-            .and_then(|payload| {
-                let mut r = payload.reader();
-                Ok((r.get_u64()?, r.get_u64()?))
-            })
-            .unwrap_or((0, 0))
+        match call(pool, req).and_then(|payload| {
+            let mut r = payload.reader();
+            Ok((r.get_u64()?, r.get_u64()?))
+        }) {
+            Ok(counts) => counts,
+            Err(e) => {
+                degraded(&self.stats, "BlockStore::op_counts", &e);
+                (0, 0)
+            }
+        }
     }
 }
 
@@ -515,16 +718,22 @@ impl BlockStore for RpcBlockStore {
 
 /// [`MetaStore`] over a remote metadata DHT service.
 pub struct RpcMetaStore {
-    pool: Pool,
+    pool: MuxPool,
     shard_count: usize,
     stats: Arc<EngineStats>,
 }
 
 impl RpcMetaStore {
-    /// Connects and caches the fixed shard count. `stats` receives the
-    /// adapter's round-trip/batch accounting.
+    /// [`Self::connect_with`] with the default connection budget.
     pub fn connect(addr: SocketAddr, stats: Arc<EngineStats>) -> Result<Self> {
-        let pool = Pool::connect(addr, Arc::clone(&stats))?;
+        Self::connect_with(addr, stats, DEFAULT_RPC_CLIENT_CONNECTIONS)
+    }
+
+    /// Connects (`budget` multiplexed connections) and caches the fixed
+    /// shard count. `stats` receives the adapter's round-trip/batch
+    /// accounting.
+    pub fn connect_with(addr: SocketAddr, stats: Arc<EngineStats>, budget: usize) -> Result<Self> {
+        let pool = MuxPool::connect_with(addr, Arc::clone(&stats), budget)?;
         let mut req = WireWriter::new();
         req.put_u8(meta_tag::SHARD_COUNT);
         let payload = call(&pool, req)?;
@@ -590,14 +799,19 @@ impl MetaStore for RpcMetaStore {
         Ok(node)
     }
 
-    /// Transport failures degrade to `false` (nothing deleted).
+    /// Transport failures degrade to `false` (nothing deleted) — counted
+    /// on `rpc_degraded_diagnostics`.
     fn delete(&self, key: &NodeKey) -> bool {
         let mut req = WireWriter::new();
         req.put_u8(meta_tag::DELETE);
         wire::put_node_key(&mut req, key);
-        call(&self.pool, req)
-            .and_then(|payload| payload.reader().get_bool())
-            .unwrap_or(false)
+        match call(&self.pool, req).and_then(|payload| payload.reader().get_bool()) {
+            Ok(existed) => existed,
+            Err(e) => {
+                degraded(&self.stats, "MetaStore::delete", &e);
+                false
+            }
+        }
     }
 
     /// One frame per batch: how a writer publishes a whole tree level in a
@@ -639,31 +853,41 @@ impl MetaStore for RpcMetaStore {
         self.shard_count
     }
 
-    /// Transport failures degrade to `0`.
+    /// Transport failures degrade to `0` — counted on
+    /// `rpc_degraded_diagnostics`.
     fn node_count(&self) -> usize {
         let mut req = WireWriter::new();
         req.put_u8(meta_tag::NODE_COUNT);
-        call(&self.pool, req)
-            .and_then(|payload| payload.reader().get_u64())
-            .unwrap_or(0) as usize
+        match call(&self.pool, req).and_then(|payload| payload.reader().get_u64()) {
+            Ok(n) => n as usize,
+            Err(e) => {
+                degraded(&self.stats, "MetaStore::node_count", &e);
+                0
+            }
+        }
     }
 
-    /// Transport failures degrade to an empty vector.
+    /// Transport failures degrade to an empty vector — counted on
+    /// `rpc_degraded_diagnostics`.
     fn shard_stats(&self) -> Vec<(usize, u64, u64)> {
         let mut req = WireWriter::new();
         req.put_u8(meta_tag::SHARD_STATS);
-        call(&self.pool, req)
-            .and_then(|payload| {
-                let mut r = payload.reader();
-                let n = r.get_u64()? as usize;
-                let mut out = Vec::with_capacity(n.min(4096));
-                for _ in 0..n {
-                    out.push((r.get_u64()? as usize, r.get_u64()?, r.get_u64()?));
-                }
-                r.finish()?;
-                Ok(out)
-            })
-            .unwrap_or_default()
+        match call(&self.pool, req).and_then(|payload| {
+            let mut r = payload.reader();
+            let n = r.get_u64()? as usize;
+            let mut out = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                out.push((r.get_u64()? as usize, r.get_u64()?, r.get_u64()?));
+            }
+            r.finish()?;
+            Ok(out)
+        }) {
+            Ok(stats) => stats,
+            Err(e) => {
+                degraded(&self.stats, "MetaStore::shard_stats", &e);
+                Vec::new()
+            }
+        }
     }
 
     /// Best-effort over the wire (a crash-injection hook; transport
@@ -680,15 +904,20 @@ impl MetaStore for RpcMetaStore {
 
 /// [`VersionService`] over a remote version manager.
 pub struct RpcVersionService {
-    pool: Pool,
+    pool: MuxPool,
     block_size: u64,
 }
 
 impl RpcVersionService {
-    /// Connects and caches the fixed block size. `stats` receives the
-    /// adapter's round-trip accounting.
+    /// [`Self::connect_with`] with the default connection budget.
     pub fn connect(addr: SocketAddr, stats: Arc<EngineStats>) -> Result<Self> {
-        let pool = Pool::connect(addr, stats)?;
+        Self::connect_with(addr, stats, DEFAULT_RPC_CLIENT_CONNECTIONS)
+    }
+
+    /// Connects (`budget` multiplexed connections) and caches the fixed
+    /// block size. `stats` receives the adapter's round-trip accounting.
+    pub fn connect_with(addr: SocketAddr, stats: Arc<EngineStats>, budget: usize) -> Result<Self> {
+        let pool = MuxPool::connect_with(addr, stats, budget)?;
         let mut req = WireWriter::new();
         req.put_u8(version_tag::BLOCK_SIZE);
         let payload = call(&pool, req)?;
@@ -782,7 +1011,8 @@ impl VersionService for RpcVersionService {
         req.put_u64(version.raw());
         wire::put_duration(&mut req, timeout);
         // The server enforces the timeout and answers with Ok or
-        // Error::Timeout; this call simply blocks on the response.
+        // Error::Timeout; this call parks on its waiter slot only, so
+        // other requests keep pipelining on the same connection.
         call(&self.pool, req)?;
         Ok(())
     }

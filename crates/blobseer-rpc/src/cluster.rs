@@ -22,9 +22,12 @@ use crate::client::{RpcBlockStore, RpcMetaStore, RpcVersionService};
 use crate::server::{RpcServer, RpcService};
 use blobseer_core::block_store::ProviderSet;
 use blobseer_core::dht::MetaDht;
+use blobseer_core::ports::{BlockStore, MetaStore};
 use blobseer_core::provider_manager::ProviderManager;
 use blobseer_core::version_manager::VersionManager;
-use blobseer_core::{BlobSeer, EnginePorts, EngineStats, NoopObserver};
+use blobseer_core::{
+    BlobSeer, CachedBlockStore, CachedMetaStore, EnginePorts, EngineStats, NoopObserver,
+};
 use blobseer_types::{BlobSeerConfig, Error, NodeId, Result};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,8 +66,12 @@ impl LoopbackCluster {
     /// client deployments.
     pub fn boot_seeded(cfg: BlobSeerConfig, n_providers: usize, pm_seed: u64) -> Result<Self> {
         assert!(n_providers > 0, "need at least one data provider");
-        let spawn = |svc: RpcService| {
-            RpcServer::spawn(svc)
+        // Worker-pool shape from the deployment config: N dispatcher
+        // threads over a bounded queue per server.
+        let workers = cfg.rpc_server_workers;
+        let queue = cfg.rpc_server_queue_depth;
+        let spawn = move |svc: RpcService| {
+            RpcServer::spawn_with(svc, workers, queue)
                 .map_err(|e| Error::Transport(format!("spawn loopback server: {e}")))
         };
         let mut servers = Vec::with_capacity(n_providers + 2);
@@ -112,15 +119,40 @@ impl LoopbackCluster {
         // The adapters account their round trips (`port_round_trips`) and
         // vectored items (`batched_items`) on this deployment's stats.
         let stats = Arc::new(EngineStats::new());
-        let ports = EnginePorts {
-            providers: Arc::new(RpcBlockStore::connect(
-                &self.block_addrs,
+        let budget = self.cfg.rpc_client_connections;
+        let mut providers: Arc<dyn BlockStore> = Arc::new(RpcBlockStore::connect_with(
+            &self.block_addrs,
+            Arc::clone(&stats),
+            budget,
+        )?);
+        let mut dht: Arc<dyn MetaStore> = Arc::new(RpcMetaStore::connect_with(
+            self.meta_addr,
+            Arc::clone(&stats),
+            budget,
+        )?);
+        // Opt-in hot-read cache tier: LRU decorators over both read-path
+        // ports, safe because revealed blocks and published tree nodes
+        // are immutable. `read_cache_bytes == 0` (the default, and the
+        // figure-reproduction setting) leaves the wire paths untouched.
+        if self.cfg.read_cache_bytes > 0 {
+            providers = Arc::new(CachedBlockStore::new(
+                providers,
+                self.cfg.read_cache_bytes,
                 Arc::clone(&stats),
-            )?),
-            dht: Arc::new(RpcMetaStore::connect(self.meta_addr, Arc::clone(&stats))?),
-            vm: Arc::new(RpcVersionService::connect(
+            ));
+            dht = Arc::new(CachedMetaStore::new(
+                dht,
+                self.cfg.read_cache_bytes,
+                Arc::clone(&stats),
+            ));
+        }
+        let ports = EnginePorts {
+            providers,
+            dht,
+            vm: Arc::new(RpcVersionService::connect_with(
                 self.vm_addr,
                 Arc::clone(&stats),
+                budget,
             )?),
             pm: Arc::new(ProviderManager::with_block_base(
                 self.block_addrs.len(),
@@ -150,6 +182,14 @@ impl LoopbackCluster {
     /// in their deployment's `port_round_trips`.
     pub fn frames_served(&self) -> u64 {
         self.servers.iter().map(|s| s.frames_served()).sum()
+    }
+
+    /// Total TCP connections accepted across every server of the cluster.
+    /// With muxed clients this is bounded by `deployments × endpoints ×
+    /// rpc_client_connections` no matter how many requests are in flight
+    /// — the mux tests assert on it.
+    pub fn connections_accepted(&self) -> u64 {
+        self.servers.iter().map(|s| s.connections_accepted()).sum()
     }
 
     /// Addresses of the per-provider block services.

@@ -9,15 +9,21 @@
 //! zero changes to the client protocol:
 //!
 //! * [`wire`] — a dependency-free length-prefixed binary codec: LEB128
-//!   varint frames, per-method request tags, and round-trippable encodings
+//!   varint frames carrying a request id (so responses may return out of
+//!   order), per-method request tags, and round-trippable encodings
 //!   for every type that crosses a port boundary, including all
 //!   [`blobseer_types::Error`] variants (service failures arrive at the
 //!   remote caller as themselves, not as opaque transport errors);
-//! * [`server`] — a thread-per-connection TCP server hosting any port
-//!   adapter behind its own listener, with graceful deterministic
-//!   shutdown;
-//! * [`client`] — pooled client adapters implementing the three traits,
-//!   pluggable into the unchanged [`blobseer_core::BlobSeer::deploy_ports`];
+//! * [`server`] — a TCP server hosting any port adapter behind its own
+//!   listener: per-connection reader threads feed a bounded queue drained
+//!   by a fixed worker pool, slow `wait_revealed` calls are offloaded so
+//!   they never occupy a worker, and shutdown stays graceful and
+//!   deterministic;
+//! * [`client`] — multiplexed client adapters implementing the three
+//!   traits over a small fixed budget of shared connections (any number
+//!   of in-flight requests per connection, correlated by request id; dead
+//!   connections redial transparently), pluggable into the unchanged
+//!   [`blobseer_core::BlobSeer::deploy_ports`];
 //! * [`cluster`] — [`cluster::LoopbackCluster`], an N-process-shaped
 //!   deployment over loopback: one server per data provider plus DHT and
 //!   version-manager servers.

@@ -1,4 +1,4 @@
-//! The threaded RPC server: hosts one service port behind a
+//! The RPC server: hosts one service port behind a
 //! `std::net::TcpListener`.
 //!
 //! One [`RpcServer`] serves exactly one port — a [`BlockStore`], a
@@ -7,24 +7,32 @@
 //! version manager on separate "nodes" (separate listeners, separate
 //! thread groups), mirroring the paper's process decomposition (§III-B).
 //!
-//! Concurrency model: thread-per-connection. The accept loop runs on its
-//! own thread; each accepted connection gets a handler thread that reads
-//! frames, dispatches to the hosted port, and writes responses until the
-//! peer disconnects. Blocking calls (`wait_revealed`) block only their
-//! connection's handler — which is exactly why the client pool never
-//! multiplexes two in-flight requests onto one connection.
+//! Concurrency model: per-connection *readers* feeding a bounded worker
+//! pool. The accept loop runs on its own thread; each accepted connection
+//! gets a reader thread that decodes frames and pushes them onto a
+//! bounded queue served by N shared workers (both knobs surface on
+//! `BlobSeerConfig` as `rpc_server_workers` / `rpc_server_queue_depth`).
+//! Every response frame echoes the request id of the frame it answers and
+//! may be written out of order, so one connection can carry many in-flight
+//! requests — the muxed client depends on it. Known-parking calls
+//! (`wait_revealed`) never enter the queue: the reader offloads them to a
+//! dedicated thread, so a request that deliberately blocks for its whole
+//! timeout cannot starve the worker pool. A full queue blocks only the
+//! reader that hit it (per-connection backpressure), never a worker.
 //!
 //! Shutdown is graceful and deterministic: [`RpcServer::shutdown`] stops
 //! the accept loop (waking it with a loopback connection), closes every
-//! open connection (unblocking handler reads), and joins all threads.
+//! open connection (unblocking reader threads), lets the workers drain
+//! the queue, and joins readers, workers and offload threads.
 
 use crate::wire::{self, encode_response};
 use blobseer_core::ports::{BlockStore, MetaStore, VersionService};
+use blobseer_types::config::{DEFAULT_RPC_SERVER_QUEUE_DEPTH, DEFAULT_RPC_SERVER_WORKERS};
 use blobseer_types::wire::{WireReader, WireWriter};
 use blobseer_types::{BlobId, BlockId, Error, Result, Version};
 use bytes::Bytes;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,56 +60,130 @@ impl RpcService {
     }
 }
 
-/// A running RPC server: one listener, one hosted service.
+/// A running RPC server: one listener, one hosted service, one bounded
+/// worker pool.
 pub struct RpcServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
 }
 
-/// State shared between the accept loop, the handlers and `shutdown()`.
+/// One decoded request waiting for a worker: where to write the answer
+/// (the connection's shared write half), which request id to echo, and
+/// the request body.
+struct Job {
+    writer: Arc<Mutex<TcpStream>>,
+    req_id: u64,
+    body: Vec<u8>,
+}
+
+/// State shared between the accept loop, the readers, the workers and
+/// `shutdown()`.
 ///
-/// Both registries are bounded by the number of *live* connections, not
-/// by the total ever accepted: a handler removes its own stream clone
-/// when its peer disconnects, and the accept loop reaps finished handler
-/// threads on every accept — a long-running server does not accumulate
-/// fds or join handles from churned connections.
+/// The registries are bounded by the number of *live* connections and
+/// in-flight offloads, not by the totals ever seen: a reader removes its
+/// own stream clone when its peer disconnects, and finished thread
+/// handles are reaped on every accept / offload spawn — a long-running
+/// server does not accumulate fds or join handles from churn.
 struct Shared {
+    /// Set once by `shutdown()`; every loop re-checks it after waking.
+    stop: AtomicBool,
     /// Clones of the currently open streams (keyed by connection id), so
-    /// shutdown can unblock handler reads by closing the sockets under
+    /// shutdown can unblock reader threads by closing the sockets under
     /// them.
     conns: Mutex<HashMap<u64, TcpStream>>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Dedicated threads for known-parking requests (`wait_revealed`).
+    offloads: Mutex<Vec<JoinHandle<()>>>,
+    /// The bounded request queue between readers and workers.
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    queue_cap: usize,
     /// Request frames served (one per dispatched request, batched or not)
     /// — the server-side round-trip counter the batching tests read.
     frames: AtomicU64,
+    /// Connections accepted over the server's lifetime (the shutdown
+    /// wake-up self-connect is not counted). The mux tests read this to
+    /// prove 64 concurrent requests ride a handful of sockets.
+    accepted: AtomicU64,
 }
 
 impl RpcServer {
     /// Binds a loopback listener on an ephemeral port and starts serving
-    /// `service` on it.
+    /// `service` on it with the default worker-pool shape.
     pub fn spawn(service: RpcService) -> io::Result<Self> {
+        Self::spawn_with(
+            service,
+            DEFAULT_RPC_SERVER_WORKERS,
+            DEFAULT_RPC_SERVER_QUEUE_DEPTH,
+        )
+    }
+
+    /// [`Self::spawn`] with an explicit worker-pool shape: `workers`
+    /// dispatcher threads draining a queue of at most `queue_depth`
+    /// decoded requests.
+    pub fn spawn_with(service: RpcService, workers: usize, queue_depth: usize) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::serve(listener, service, workers, queue_depth)
+    }
+
+    /// [`Self::spawn_with`] on an explicit address instead of an
+    /// ephemeral port — what lets a test restart a server on the port its
+    /// clients already hold muxed connections to.
+    pub fn spawn_at(
+        addr: SocketAddr,
+        service: RpcService,
+        workers: usize,
+        queue_depth: usize,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Self::serve(listener, service, workers, queue_depth)
+    }
+
+    fn serve(
+        listener: TcpListener,
+        service: RpcService,
+        workers: usize,
+        queue_depth: usize,
+    ) -> io::Result<Self> {
+        assert!(workers >= 1, "a server needs at least one worker");
+        assert!(queue_depth >= 1, "the request queue needs some depth");
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
+            offloads: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            queue_cap: queue_depth,
             frames: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
         });
+        let mut worker_threads = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let service = service.clone();
+            let shared = Arc::clone(&shared);
+            worker_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rpc-worker-{i}"))
+                    .spawn(move || worker_loop(service, shared))?,
+            );
+        }
         let accept_thread = {
-            let shutdown = Arc::clone(&shutdown);
             let shared = Arc::clone(&shared);
             let name = format!("rpc-{}-{}", service.name(), addr.port());
             std::thread::Builder::new()
                 .name(name)
-                .spawn(move || accept_loop(listener, service, shutdown, shared))?
+                .spawn(move || accept_loop(listener, service, shared))?
         };
         Ok(Self {
             addr,
-            shutdown,
             accept_thread: Some(accept_thread),
+            workers: worker_threads,
             shared,
         })
     }
@@ -119,10 +201,17 @@ impl RpcServer {
         self.shared.frames.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, closes every open connection, and joins all
-    /// threads. Idempotent; also runs on drop.
+    /// Connections this server has accepted over its lifetime. With a
+    /// muxed client this stays at the client's connection budget no
+    /// matter how many requests are in flight.
+    pub fn connections_accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, closes every open connection, drains the queue,
+    /// and joins all threads. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
         // Wake the accept loop: it is blocked in accept(); a throwaway
@@ -131,13 +220,27 @@ impl RpcServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Unblock handler reads by closing the sockets under them, then
-        // join the handlers.
+        // Unblock reader reads by closing the sockets under them.
         for (_, conn) in self.shared.conns.lock().drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
+        // Wake queue waiters *while holding the queue lock*: any thread
+        // not yet waiting still has the stop re-check ahead of it, so no
+        // wake-up can be lost.
+        {
+            let _q = self.shared.queue.lock();
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
         let handlers: Vec<_> = self.shared.handlers.lock().drain(..).collect();
         for h in handlers {
+            let _ = h.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let offloads: Vec<_> = self.shared.offloads.lock().drain(..).collect();
+        for h in offloads {
             let _ = h.join();
         }
     }
@@ -149,44 +252,47 @@ impl Drop for RpcServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    service: RpcService,
-    shutdown: Arc<AtomicBool>,
-    shared: Arc<Shared>,
-) {
+fn accept_loop(listener: TcpListener, service: RpcService, shared: Arc<Shared>) {
     let mut next_conn_id = 0u64;
     loop {
         let (stream, _) = match listener.accept() {
             Ok(accepted) => accepted,
             Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
                 continue;
             }
         };
-        if shutdown.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) {
             return; // the wake-up connection, or a late client
         }
-        // Reap handler threads whose connections already ended (dropping
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        // Reap reader threads whose connections already ended (dropping
         // a finished JoinHandle just releases it).
         shared.handlers.lock().retain(|h| !h.is_finished());
         let _ = stream.set_nodelay(true);
+        // The reader keeps the stream; workers answer through a cloned
+        // write half behind a mutex (responses can interleave across
+        // workers, never within a frame).
+        let writer = match stream.try_clone() {
+            Ok(w) => Arc::new(Mutex::new(w)),
+            Err(_) => continue,
+        };
         let conn_id = next_conn_id;
         next_conn_id += 1;
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().insert(conn_id, clone);
         }
         let service = service.clone();
-        let handler_shared = Arc::clone(&shared);
+        let reader_shared = Arc::clone(&shared);
         if let Ok(handle) = std::thread::Builder::new()
             .name("rpc-conn".into())
             .spawn(move || {
-                connection_loop(stream, service, &handler_shared.frames);
+                connection_loop(stream, writer, service, &reader_shared);
                 // Deregister on the way out so the fd closes with the
                 // peer, not at server shutdown.
-                handler_shared.conns.lock().remove(&conn_id);
+                reader_shared.conns.lock().remove(&conn_id);
             })
         {
             shared.handlers.lock().push(handle);
@@ -194,21 +300,97 @@ fn accept_loop(
     }
 }
 
-/// Serves one connection: frames in, responses out, until EOF or a
-/// transport error. Service errors are *answers* (encoded in the response
-/// envelope), never reasons to drop the connection.
-fn connection_loop(mut stream: TcpStream, service: RpcService, frames: &AtomicU64) {
+/// Reads one connection's frames until EOF or a transport error, routing
+/// each request to the worker queue — or to a dedicated offload thread
+/// for known-parking calls. Service errors are *answers* (encoded in the
+/// response envelope), never reasons to drop the connection.
+fn connection_loop(
+    mut stream: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    service: RpcService,
+    shared: &Arc<Shared>,
+) {
     loop {
-        let body = match wire::read_frame(&mut stream) {
-            Ok(Some(body)) => body,
+        let (req_id, body) = match wire::read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
             Ok(None) | Err(_) => return, // peer gone or socket closed
         };
-        frames.fetch_add(1, Ordering::Relaxed);
-        let response = dispatch(&service, &body);
-        if wire::write_frame(&mut stream, &response).is_err() {
-            return;
+        shared.frames.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            writer: Arc::clone(&writer),
+            req_id,
+            body,
+        };
+        if parks_a_thread(&service, &job.body) {
+            offload(&service, shared, job);
+            continue;
+        }
+        // Enqueue with backpressure: a full queue parks this reader (and
+        // only this reader) until a worker frees a slot.
+        let mut q = shared.queue.lock();
+        while q.len() >= shared.queue_cap {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            shared.not_full.wait(&mut q);
+        }
+        q.push_back(job);
+        drop(q);
+        shared.not_empty.notify_one();
+    }
+}
+
+/// Whether a request is one that deliberately blocks server-side for up
+/// to its whole timeout (`wait_revealed`). Such requests must never
+/// occupy a pool worker.
+fn parks_a_thread(service: &RpcService, body: &[u8]) -> bool {
+    matches!(service, RpcService::Version(_)) && body.first() == Some(&version_tag::WAIT_REVEALED)
+}
+
+/// Serves a known-parking request on its own thread. If the thread cannot
+/// be spawned (resource exhaustion) the request is dropped; its client
+/// sees the outcome when the connection eventually closes.
+fn offload(service: &RpcService, shared: &Arc<Shared>, job: Job) {
+    shared.offloads.lock().retain(|h| !h.is_finished());
+    let service = service.clone();
+    if let Ok(handle) = std::thread::Builder::new()
+        .name("rpc-wait".into())
+        .spawn(move || serve_job(&service, job))
+    {
+        shared.offloads.lock().push(handle);
+    }
+}
+
+/// A worker: drains the queue until shutdown, then exits once it is empty
+/// (queued requests are served even during shutdown — their responses
+/// simply fail to write if the connection is already gone).
+fn worker_loop(service: RpcService, shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    shared.not_full.notify_one();
+                    break Some(job);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                shared.not_empty.wait(&mut q);
+            }
+        };
+        match job {
+            Some(job) => serve_job(&service, job),
+            None => return,
         }
     }
+}
+
+/// Dispatches one request and writes its response frame, echoing the
+/// request id so the client's demux can route it.
+fn serve_job(service: &RpcService, job: Job) {
+    let response = dispatch(service, &job.body);
+    let _ = wire::write_frame(&mut *job.writer.lock(), job.req_id, &response);
 }
 
 fn dispatch(service: &RpcService, body: &[u8]) -> Vec<u8> {
@@ -564,9 +746,10 @@ fn handle_version(vm: &dyn VersionService, body: &[u8]) -> Result<WireWriter> {
             let version = Version::new(r.get_u64()?);
             let timeout = wire::get_duration(&mut r)?;
             r.finish()?;
-            // Blocks this connection's handler thread — by design; the
-            // client pool gives every concurrent request its own
-            // connection.
+            // Runs on a dedicated offload thread — the reader never
+            // queues this tag (see `parks_a_thread`), so a parked wait
+            // holds no worker slot and other requests on the same
+            // connection keep flowing.
             vm.wait_revealed(blob, version, timeout)?;
         }
         version_tag::PENDING_VERSIONS => {

@@ -1,7 +1,18 @@
 //! Wire codec for the port-trait domain types and the framing layer.
 //!
-//! Messages are length-prefixed binary frames: a LEB128 varint length
-//! followed by that many body bytes. Bodies are built from the primitives
+//! Messages are length-prefixed, request-correlated binary frames:
+//!
+//! ```text
+//! varint length | varint request id | body (length − id bytes)
+//! ```
+//!
+//! The length covers the request id and the body, so a peer can skip a
+//! whole frame knowing only the prefix. The request id is chosen by the
+//! client and echoed verbatim on the response frame; it is what lets many
+//! in-flight requests share one TCP connection — the server may answer
+//! out of order (a parked `wait_revealed` no longer blocks the answers
+//! behind it) and the client's demux thread routes each response to the
+//! waiter that sent the matching id. Bodies are built from the primitives
 //! in [`blobseer_types::wire`] (varints, length-prefixed byte strings);
 //! this module adds codecs for every composite type that crosses a port
 //! boundary — tree nodes, node keys, write tickets (including the full
@@ -65,20 +76,26 @@ pub(crate) fn transport(context: &str, e: std::io::Error) -> Error {
     Error::Transport(format!("{context}: {e}"))
 }
 
-/// Writes one length-prefixed frame.
-pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> Result<()> {
+/// Writes one length-prefixed frame tagged with `req_id`. The id varint
+/// is part of the prefixed length, and a response frame must echo the id
+/// of the request it answers.
+pub fn write_frame(stream: &mut impl Write, req_id: u64, body: &[u8]) -> Result<()> {
+    let mut id = WireWriter::new();
+    id.put_u64(req_id);
     let mut prefix = WireWriter::new();
-    prefix.put_u64(body.len() as u64);
+    prefix.put_u64((id.as_slice().len() + body.len()) as u64);
     stream
         .write_all(prefix.as_slice())
+        .and_then(|()| stream.write_all(id.as_slice()))
         .and_then(|()| stream.write_all(body))
         .and_then(|()| stream.flush())
         .map_err(|e| transport("write frame", e))
 }
 
-/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
-/// frame boundary (the peer closed the connection between requests).
-pub fn read_frame(stream: &mut impl Read) -> Result<Option<Vec<u8>>> {
+/// Reads one length-prefixed frame, returning its request id and body.
+/// Returns `Ok(None)` on clean EOF at a frame boundary (the peer closed
+/// the connection between requests).
+pub fn read_frame(stream: &mut impl Read) -> Result<Option<(u64, Vec<u8>)>> {
     // Read the varint length byte by byte (it is 1–10 bytes).
     let mut len = 0u64;
     let mut shift = 0u32;
@@ -104,11 +121,32 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Option<Vec<u8>>> {
             "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
         )));
     }
-    let mut body = vec![0u8; len as usize];
+    let mut framed = vec![0u8; len as usize];
     stream
-        .read_exact(&mut body)
+        .read_exact(&mut framed)
         .map_err(|e| transport("read frame body", e))?;
-    Ok(Some(body))
+    // Split the request-id varint off the front; the rest is the body.
+    let mut req_id = 0u64;
+    let mut shift = 0u32;
+    let mut id_end = None;
+    for (i, &byte) in framed.iter().enumerate() {
+        if shift == 63 && byte > 1 {
+            return Err(Error::Transport("request id overflows u64".into()));
+        }
+        req_id |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            id_end = Some(i + 1);
+            break;
+        }
+        shift += 7;
+    }
+    match id_end {
+        Some(n) => {
+            framed.drain(..n);
+            Ok(Some((req_id, framed)))
+        }
+        None => Err(Error::Transport("frame too short for request id".into())),
+    }
 }
 
 // --- composite-type codecs --------------------------------------------------
@@ -504,12 +542,27 @@ mod tests {
     #[test]
     fn frames_roundtrip_over_a_buffer() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, &[]).unwrap();
+        write_frame(&mut buf, 7, b"hello").unwrap();
+        write_frame(&mut buf, u64::MAX, &[]).unwrap();
         let mut cursor = &buf[..];
-        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), Vec::<u8>::new());
+        let (id, body) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!((id, body.as_slice()), (7, &b"hello"[..]));
+        let (id, body) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!((id, body), (u64::MAX, Vec::new()));
         assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_request_id_is_a_transport_error() {
+        // A frame whose length prefix says 1 byte, but that byte has its
+        // continuation bit set: the id varint runs off the end.
+        let buf = [1u8, 0x80];
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, Error::Transport(_)), "{err}");
+        // Length 0 cannot even hold an id.
+        let buf = [0u8];
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, Error::Transport(_)), "{err}");
     }
 
     #[test]

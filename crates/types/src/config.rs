@@ -18,6 +18,21 @@ pub const DEFAULT_UNALIGNED_APPEND_TIMEOUT: Duration = Duration::from_secs(30);
 /// real condvar wait can never be satisfied inside a SimGate turn.
 pub const DEFAULT_CLOSE_REVEAL_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Default multiplexed-connection budget per remote endpoint: how many TCP
+/// connections a client adapter opens to one service before pipelining
+/// further concurrent requests onto the existing ones.
+pub const DEFAULT_RPC_CLIENT_CONNECTIONS: usize = 4;
+
+/// Default worker threads per RPC server: how many requests one service
+/// listener executes concurrently (readers only parse frames; the workers
+/// run the port calls).
+pub const DEFAULT_RPC_SERVER_WORKERS: usize = 4;
+
+/// Default bound of an RPC server's request queue. A full queue makes
+/// connection readers stop pulling frames off their sockets (TCP
+/// backpressure) instead of buffering without limit.
+pub const DEFAULT_RPC_SERVER_QUEUE_DEPTH: usize = 128;
+
 /// Placement policy used by the provider manager (§III-B: "a load balancing
 /// strategy that aims at evenly distributing the blocks across data
 /// providers").
@@ -72,6 +87,21 @@ pub struct BlobSeerConfig {
     /// additionally bounds it so an abandoned stream can never stall a
     /// harness for the full production patience.
     pub close_reveal_timeout: Duration,
+    /// Multiplexed TCP connections a remote-backend client opens per
+    /// service endpoint. Concurrent requests beyond the budget pipeline
+    /// onto the shared connections instead of opening new sockets.
+    pub rpc_client_connections: usize,
+    /// Worker threads per RPC server listener — the degree of request
+    /// parallelism one service process offers.
+    pub rpc_server_workers: usize,
+    /// Bound of an RPC server's request queue (pending, not-yet-executing
+    /// requests across all of the listener's connections).
+    pub rpc_server_queue_depth: usize,
+    /// Byte budget of the client-side hot-read cache over blocks and
+    /// metadata tree nodes. `0` disables caching — the default, and what
+    /// the figure reproductions run with (the paper's curves are
+    /// cache-cold; see `docs/REPRODUCING.md`).
+    pub read_cache_bytes: u64,
 }
 
 impl Default for BlobSeerConfig {
@@ -85,6 +115,10 @@ impl Default for BlobSeerConfig {
             gc_keep_versions: None,
             unaligned_append_timeout: DEFAULT_UNALIGNED_APPEND_TIMEOUT,
             close_reveal_timeout: DEFAULT_CLOSE_REVEAL_TIMEOUT,
+            rpc_client_connections: DEFAULT_RPC_CLIENT_CONNECTIONS,
+            rpc_server_workers: DEFAULT_RPC_SERVER_WORKERS,
+            rpc_server_queue_depth: DEFAULT_RPC_SERVER_QUEUE_DEPTH,
+            read_cache_bytes: 0,
         }
     }
 }
@@ -104,6 +138,10 @@ impl BlobSeerConfig {
             gc_keep_versions: None,
             unaligned_append_timeout: DEFAULT_UNALIGNED_APPEND_TIMEOUT,
             close_reveal_timeout: Duration::from_secs(2),
+            rpc_client_connections: DEFAULT_RPC_CLIENT_CONNECTIONS,
+            rpc_server_workers: DEFAULT_RPC_SERVER_WORKERS,
+            rpc_server_queue_depth: DEFAULT_RPC_SERVER_QUEUE_DEPTH,
+            read_cache_bytes: 0,
         }
     }
 
@@ -149,6 +187,37 @@ impl BlobSeerConfig {
     #[must_use]
     pub fn with_close_reveal_timeout(mut self, timeout: Duration) -> Self {
         self.close_reveal_timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the per-endpoint connection budget.
+    #[must_use]
+    pub fn with_rpc_client_connections(mut self, connections: usize) -> Self {
+        assert!(connections >= 1, "need at least one connection");
+        self.rpc_client_connections = connections;
+        self
+    }
+
+    /// Builder-style override of the RPC server worker-thread count.
+    #[must_use]
+    pub fn with_rpc_server_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.rpc_server_workers = workers;
+        self
+    }
+
+    /// Builder-style override of the RPC server request-queue bound.
+    #[must_use]
+    pub fn with_rpc_server_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "queue depth must be at least 1");
+        self.rpc_server_queue_depth = depth;
+        self
+    }
+
+    /// Builder-style override of the hot-read cache budget (`0` disables).
+    #[must_use]
+    pub fn with_read_cache_bytes(mut self, bytes: u64) -> Self {
+        self.read_cache_bytes = bytes;
         self
     }
 }
@@ -228,6 +297,10 @@ mod tests {
         assert_eq!(c.metadata_providers, 20);
         assert_eq!(c.unaligned_append_timeout, Duration::from_secs(30));
         assert_eq!(c.close_reveal_timeout, Duration::from_secs(30));
+        assert_eq!(c.rpc_client_connections, 4);
+        assert_eq!(c.rpc_server_workers, 4);
+        assert_eq!(c.rpc_server_queue_depth, 128);
+        assert_eq!(c.read_cache_bytes, 0, "figure runs are cache-cold");
 
         let h = HdfsConfig::default();
         assert_eq!(h.chunk_size, 64 * 1024 * 1024);
@@ -242,13 +315,21 @@ mod tests {
             .with_placement(PlacementPolicy::LeastLoaded)
             .with_metadata_providers(2)
             .with_unaligned_append_timeout(Duration::from_millis(50))
-            .with_close_reveal_timeout(Duration::from_millis(80));
+            .with_close_reveal_timeout(Duration::from_millis(80))
+            .with_rpc_client_connections(2)
+            .with_rpc_server_workers(3)
+            .with_rpc_server_queue_depth(16)
+            .with_read_cache_bytes(1 << 20);
         assert_eq!(c.unaligned_append_timeout, Duration::from_millis(50));
         assert_eq!(c.close_reveal_timeout, Duration::from_millis(80));
         assert_eq!(c.block_size, 1024);
         assert_eq!(c.replication, 3);
         assert_eq!(c.placement, PlacementPolicy::LeastLoaded);
         assert_eq!(c.metadata_providers, 2);
+        assert_eq!(c.rpc_client_connections, 2);
+        assert_eq!(c.rpc_server_workers, 3);
+        assert_eq!(c.rpc_server_queue_depth, 16);
+        assert_eq!(c.read_cache_bytes, 1 << 20);
 
         let h = HdfsConfig::small_for_tests()
             .with_chunk_size(512)

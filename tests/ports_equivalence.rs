@@ -18,6 +18,11 @@
 //!    (including partial batch failures via `FailOnce`) and the RPC
 //!    loopback adapters (including per-item conflicts inside one frame).
 //!
+//! 4. **Cached ≡ uncached** (this PR): the hot-read LRU decorators
+//!    (`CachedBlockStore`/`CachedMetaStore`) must be observationally
+//!    invisible under every script — including conflicts, deletes and
+//!    evictions forced by a tiny byte budget.
+//!
 //! Plus wire-codec round-trip properties: random domain values encode and
 //! decode to themselves, and every `Error` variant survives the trip.
 
@@ -26,8 +31,8 @@ use blobseer_core::dht::MetaDht;
 use blobseer_core::faults::{FaultPlan, PutFault};
 use blobseer_core::meta::key::{NodeKey, Pos};
 use blobseer_core::meta::node::{BlockDescriptor, NodeRef, TreeNode};
-use blobseer_core::ports::BlockStore;
-use blobseer_core::{BlobSeer, WriteIntent};
+use blobseer_core::ports::{BlockStore, MetaStore};
+use blobseer_core::{BlobSeer, CachedBlockStore, CachedMetaStore, EngineStats, WriteIntent};
 use blobseer_rpc::LoopbackCluster;
 use blobseer_types::wire::{error_fixture, WireReader, WireWriter};
 use blobseer_types::{BlobId, BlobSeerConfig, BlockId, Error, NodeId, Version};
@@ -313,6 +318,83 @@ proptest! {
                 }
             }
             prop_assert_eq!(batched.node_count(), sequential.node_count());
+        }
+    }
+
+    /// The hot-read LRU decorator over the block store is observationally
+    /// invisible: every script answers identically with and without it.
+    /// The byte budget is tiny (256 B) so eviction churn happens mid-case;
+    /// the only permitted difference is the counters.
+    #[test]
+    fn cached_block_store_is_observationally_transparent(script in vec_ops()) {
+        let stats = Arc::new(EngineStats::new());
+        let cached = CachedBlockStore::new(
+            Arc::new(ProviderSet::with_shards(2, |i| NodeId::new(i as u64), 32)),
+            256,
+            Arc::clone(&stats),
+        );
+        let bare = ProviderSet::with_shards(2, |i| NodeId::new(i as u64), 32);
+        assert_block_batches_match_singles(&script, &cached, &bare, None);
+    }
+
+    /// Same for the metadata-tree decorator, including conflicting re-puts
+    /// (the cache must keep serving the *stored* node, never the refused
+    /// one) and deletes under eviction pressure.
+    #[test]
+    fn cached_meta_store_is_observationally_transparent(
+        script in proptest::collection::vec(
+            (0u8..3, proptest::collection::vec((any::<u8>(), any::<bool>()), 0..24)),
+            1..30,
+        )
+    ) {
+        let stats = Arc::new(EngineStats::new());
+        let cached = CachedMetaStore::new(
+            Arc::new(MetaDht::with_stripes(4, 1, 32)),
+            200,
+            Arc::clone(&stats),
+        );
+        let bare = MetaDht::with_stripes(4, 1, 32);
+        let key_of = |k: u8| NodeKey::new(
+            BlobId::new(1),
+            Version::new(1 + (k % 5) as u64),
+            Pos::new(k as u64, 1),
+        );
+        let node_of = |k: u8, salted: bool| {
+            TreeNode::Leaf(BlockDescriptor {
+                block_id: BlockId::new(k as u64 * 2 + salted as u64),
+                providers: vec![0],
+                len: 64,
+            })
+        };
+        for (kind, items) in &script {
+            match kind {
+                0 => {
+                    let batch: Vec<(NodeKey, TreeNode)> = items
+                        .iter()
+                        .map(|&(k, salted)| (key_of(k), node_of(k, salted)))
+                        .collect();
+                    let a = MetaStore::put_many(&cached, &batch);
+                    let b: Vec<_> = batch
+                        .iter()
+                        .map(|(key, node)| bare.put(*key, node.clone()))
+                        .collect();
+                    prop_assert_eq!(a, b, "cached meta put diverged");
+                }
+                1 => {
+                    let keys: Vec<NodeKey> = items.iter().map(|&(k, _)| key_of(k)).collect();
+                    let a = MetaStore::get_many(&cached, &keys);
+                    let b: Vec<_> = keys.iter().map(|key| bare.get(key)).collect();
+                    prop_assert_eq!(a, b, "cached meta get diverged");
+                }
+                _ => {
+                    let keys: Vec<NodeKey> = items.iter().map(|&(k, _)| key_of(k)).collect();
+                    let a = MetaStore::delete_many(&cached, &keys);
+                    let b: Vec<Result<bool, Error>> =
+                        keys.iter().map(|key| Ok(bare.delete(key))).collect();
+                    prop_assert_eq!(a, b, "cached meta delete diverged");
+                }
+            }
+            prop_assert_eq!(MetaStore::node_count(&cached), bare.node_count());
         }
     }
 }
