@@ -9,7 +9,9 @@ use blobseer_core::meta::key::BlockRange;
 use blobseer_core::meta::log::{LogChain, LogEntry, LogSegment};
 use blobseer_core::meta::node::BlockDescriptor;
 use blobseer_core::meta::tree::TreeStore;
+use blobseer_core::ports::MetaStore;
 use blobseer_core::stats::EngineStats;
+use blobseer_core::FanoutExecutor;
 use blobseer_types::{BlobId, BlockId, Version};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parking_lot::RwLock;
@@ -18,9 +20,10 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 struct Fx {
-    dht: MetaDht,
+    dht: Arc<dyn MetaStore>,
     gc: GcTracker,
     stats: EngineStats,
+    exec: FanoutExecutor,
     log: Arc<RwLock<Vec<LogEntry>>>,
     blob: BlobId,
 }
@@ -28,9 +31,10 @@ struct Fx {
 impl Fx {
     fn new() -> Self {
         Self {
-            dht: MetaDht::new(20, 1),
+            dht: Arc::new(MetaDht::new(20, 1)),
             gc: GcTracker::new(),
             stats: EngineStats::new(),
+            exec: FanoutExecutor::new(1),
             log: Arc::new(RwLock::new(Vec::new())),
             blob: BlobId::new(1),
         }
@@ -70,6 +74,7 @@ impl Fx {
             dht: &self.dht,
             gc: &self.gc,
             stats: &self.stats,
+            exec: &self.exec,
         };
         store
             .publish_write(self.blob, &entry, &self.chain(), &leaves)
@@ -127,6 +132,7 @@ fn bench_locate(c: &mut Criterion) {
         dht: &fx.dht,
         gc: &fx.gc,
         stats: &fx.stats,
+        exec: &fx.exec,
     };
     let mut g = c.benchmark_group("segment_tree/locate");
     g.bench_function("one_block", |b| {

@@ -1,12 +1,14 @@
 //! Deployment wiring: assembling the service processes of Fig. 2 behind the
 //! port traits and handing out client handles.
 
+use crate::exec::FanoutExecutor;
 use crate::gc::GcTracker;
 use crate::meta::tree::TreeStore;
 use crate::ports::{BlockStore, MetaStore, NoopObserver, ProtocolObserver, VersionService};
 use crate::provider_manager::ProviderManager;
 use crate::stats::EngineStats;
 use crate::version_manager::VersionManager;
+use blobseer_types::config::DEFAULT_CLIENT_IO_THREADS_CAP;
 use blobseer_types::{BlobSeerConfig, NodeId};
 use std::sync::Arc;
 
@@ -77,6 +79,7 @@ pub struct BlobSeer {
     pub(crate) gc: Arc<GcTracker>,
     pub(crate) stats: Arc<EngineStats>,
     pub(crate) observer: Arc<dyn ProtocolObserver>,
+    pub(crate) exec: FanoutExecutor,
 }
 
 /// Default provider-manager seed of the in-memory deployments (experiments
@@ -110,6 +113,13 @@ impl BlobSeer {
             ports.providers.len(),
             "provider manager and block store must agree on the provider count"
         );
+        // Auto-size the fan-out pool to the striping width, capped at the
+        // paper's per-client width of 8; an explicit `Some(1)` keeps the
+        // deployment thread-free (required under SimGate).
+        let io_threads = cfg
+            .client_io_threads
+            .unwrap_or_else(|| ports.providers.len().min(DEFAULT_CLIENT_IO_THREADS_CAP))
+            .max(1);
         Arc::new(Self {
             cfg,
             providers: ports.providers,
@@ -119,6 +129,7 @@ impl BlobSeer {
             gc: Arc::new(GcTracker::new()),
             stats: ports.stats,
             observer: ports.observer,
+            exec: FanoutExecutor::new(io_threads),
         })
     }
 
@@ -167,11 +178,18 @@ impl BlobSeer {
         self.providers.layout_vector()
     }
 
+    /// The client-side fan-out executor dispatching per-provider batches
+    /// concurrently (bsfs uses it for read-ahead prefetches).
+    pub fn executor(&self) -> &FanoutExecutor {
+        &self.exec
+    }
+
     pub(crate) fn tree(&self) -> TreeStore<'_> {
         TreeStore {
-            dht: &*self.dht,
+            dht: &self.dht,
             gc: &self.gc,
             stats: &self.stats,
+            exec: &self.exec,
         }
     }
 }

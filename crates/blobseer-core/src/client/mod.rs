@@ -204,9 +204,10 @@ impl BlobClient {
             report.merge(self.sys.gc.release_root(
                 root,
                 &*self.sys.dht,
-                &*self.sys.providers,
+                &self.sys.providers,
                 &self.sys.pm,
                 &self.sys.stats,
+                &self.sys.exec,
             )?);
         }
         Ok(report)
@@ -222,9 +223,10 @@ impl BlobClient {
             report.merge(self.sys.gc.release_root(
                 root,
                 &*self.sys.dht,
-                &*self.sys.providers,
+                &self.sys.providers,
                 &self.sys.pm,
                 &self.sys.stats,
+                &self.sys.exec,
             )?);
         }
         Ok(report)

@@ -3,12 +3,15 @@
 //! affinity scheduling (§IV-C).
 
 use crate::meta::key::BlockRange;
+use crate::meta::tree::LocatedBlock;
 use crate::ports::{ProtocolOp, ProtocolPhase};
 use crate::stats::EngineStats;
 use crate::version_manager::SnapshotInfo;
 use blobseer_types::{BlobId, BlockId, ByteRange, Error, Result, Version};
 use bytes::{Bytes, BytesMut};
+use std::sync::Arc;
 
+use super::write::push_grouped;
 use super::{BlobClient, BlockLocation};
 
 impl BlobClient {
@@ -37,31 +40,48 @@ impl BlobClient {
             .tree()
             .locate(info.root_blob, info.version, info.cap, query)?;
         self.observe(ProtocolOp::Read, ProtocolPhase::Located);
-        // Fetch phase, vectored: group the needed blocks by the replica
-        // provider chosen for each (deterministically by block index, to
-        // spread load) and issue one `get_many` per provider. A failed
-        // fetch falls back to the block's remaining replicas before the
-        // read surfaces an error.
+        // Fetch phase, vectored and fanned out: group the needed blocks by
+        // the replica provider chosen for each (deterministically by block
+        // index, to spread load) and issue one `get_many` per provider —
+        // concurrently, through the deployment's fan-out executor. Items
+        // that fail are retried in batched waves against their surviving
+        // replicas before the read surfaces an error.
         let mut fetched: Vec<Option<Bytes>> = vec![None; located.len()];
         let mut batches: Vec<(usize, Vec<(usize, BlockId)>)> = Vec::new();
         for (i, loc) in located.iter().enumerate() {
             if let Some(desc) = &loc.desc {
                 let replica = (loc.index as usize) % desc.providers.len();
                 let pidx = desc.providers[replica] as usize;
-                super::write::push_grouped(&mut batches, pidx, (i, desc.block_id));
+                push_grouped(&mut batches, pidx, (i, desc.block_id));
             }
         }
-        for (provider, items) in &batches {
-            let ids: Vec<BlockId> = items.iter().map(|&(_, id)| id).collect();
-            for (&(i, _), result) in items
-                .iter()
-                .zip(self.sys.providers.get_many(*provider, &ids))
-            {
-                fetched[i] = Some(match result {
-                    Ok(block) => block,
-                    Err(e) => self.fetch_fallback_replica(&located[i], *provider, e)?,
-                });
+        let jobs: Vec<_> = batches
+            .into_iter()
+            .map(|(provider, items)| {
+                let providers = Arc::clone(&self.sys.providers);
+                move || {
+                    let ids: Vec<BlockId> = items.iter().map(|&(_, id)| id).collect();
+                    let results = providers.get_many(provider, &ids);
+                    (provider, items, results)
+                }
+            })
+            .collect();
+        // `(item, failed primary, its error)` of every miss, in item order.
+        let mut failures: Vec<(usize, usize, Error)> = Vec::new();
+        if !jobs.is_empty() {
+            self.sys.stats.record_fanout(jobs.len());
+            for (provider, items, results) in self.sys.exec.fanout(jobs) {
+                for (&(i, _), result) in items.iter().zip(results) {
+                    match result {
+                        Ok(block) => fetched[i] = Some(block),
+                        Err(e) => failures.push((i, provider, e)),
+                    }
+                }
             }
+        }
+        if !failures.is_empty() {
+            failures.sort_by_key(|&(i, _, _)| i);
+            self.fetch_fallback_replicas(&located, failures, &mut fetched)?;
         }
         let mut out = BytesMut::with_capacity(size as usize);
         let spans = ByteRange::new(offset, size).block_spans(bs);
@@ -90,35 +110,88 @@ impl BlobClient {
         Ok(out.freeze())
     }
 
-    /// Replica failover for one block fetch: the deterministically chosen
-    /// replica on `failed_provider` refused or lost the block, so try the
-    /// descriptor's remaining replicas in order before surfacing an error
-    /// (the replication the paper relies on for fault tolerance, §VI-B —
-    /// `desc.providers` lists healthy replicas the read would otherwise
-    /// ignore). Returns the block, or the *last* replica's error once all
-    /// are exhausted.
-    fn fetch_fallback_replica(
+    /// Replica failover for the blocks whose deterministically chosen
+    /// replica refused or lost them: retry against the descriptors'
+    /// remaining replicas (the replication the paper relies on for fault
+    /// tolerance, §VI-B — `desc.providers` lists healthy replicas the read
+    /// would otherwise ignore). The retries are **batched per surviving
+    /// provider** (`get_many`, fanned out) instead of one blocking `get`
+    /// per block, and each attempt is counted in
+    /// `EngineStats::read_replica_fallbacks`. Fails with the lowest-index
+    /// unrecovered item's *last* replica error once all are exhausted.
+    fn fetch_fallback_replicas(
         &self,
-        loc: &crate::meta::tree::LocatedBlock,
-        failed_provider: usize,
-        first_err: blobseer_types::Error,
-    ) -> Result<Bytes> {
-        let desc = loc
-            .desc
-            .as_ref()
-            .expect("fallback only runs for fetched descriptors");
-        let mut last_err = first_err;
-        for &p in &desc.providers {
-            let p = p as usize;
-            if p == failed_provider {
-                continue;
+        located: &[LocatedBlock],
+        failures: Vec<(usize, usize, Error)>,
+        fetched: &mut [Option<Bytes>],
+    ) -> Result<()> {
+        // Per failed item: remaining replica candidates, in descriptor
+        // order with the already-failed primary skipped.
+        let mut states: Vec<(usize, Vec<usize>, Error)> = failures
+            .into_iter()
+            .map(|(i, failed, err)| {
+                let desc = located[i]
+                    .desc
+                    .as_ref()
+                    .expect("fallback only runs for fetched descriptors");
+                let mut candidates: Vec<usize> = desc
+                    .providers
+                    .iter()
+                    .map(|&p| p as usize)
+                    .filter(|&p| p != failed)
+                    .collect();
+                candidates.reverse(); // pop() yields descriptor order
+                (i, candidates, err)
+            })
+            .collect();
+        loop {
+            // One wave: each unresolved item tries its next candidate;
+            // attempts are grouped by provider and issued concurrently.
+            let mut wave: Vec<(usize, Vec<(usize, BlockId)>)> = Vec::new();
+            for (s, (i, candidates, _)) in states.iter_mut().enumerate() {
+                if fetched[*i].is_some() {
+                    continue;
+                }
+                if let Some(p) = candidates.pop() {
+                    let id = located[*i].desc.as_ref().expect("checked above").block_id;
+                    push_grouped(&mut wave, p, (s, id));
+                }
             }
-            match self.sys.providers.get(p, desc.block_id) {
-                Ok(block) => return Ok(block),
-                Err(e) => last_err = e,
+            if wave.is_empty() {
+                break;
+            }
+            let attempts: usize = wave.iter().map(|(_, items)| items.len()).sum();
+            EngineStats::add(&self.sys.stats.read_replica_fallbacks, attempts as u64);
+            self.sys.stats.record_fanout(wave.len());
+            let jobs: Vec<_> = wave
+                .into_iter()
+                .map(|(provider, items)| {
+                    let providers = Arc::clone(&self.sys.providers);
+                    move || {
+                        let ids: Vec<BlockId> = items.iter().map(|&(_, id)| id).collect();
+                        let results = providers.get_many(provider, &ids);
+                        (items, results)
+                    }
+                })
+                .collect();
+            for (items, results) in self.sys.exec.fanout(jobs) {
+                for (&(s, _), result) in items.iter().zip(results) {
+                    let (i, _, last_err) = &mut states[s];
+                    match result {
+                        Ok(block) => fetched[*i] = Some(block),
+                        Err(e) => *last_err = e,
+                    }
+                }
             }
         }
-        Err(last_err)
+        // `states` is in item order, so the surfaced error is the lowest
+        // unrecovered index's — deterministic, like the serial path's.
+        for (i, _, last_err) in states {
+            if fetched[i].is_none() {
+                return Err(last_err);
+            }
+        }
+        Ok(())
     }
 
     /// The data-location primitive backing Hadoop's affinity scheduling

@@ -8,6 +8,7 @@ use crate::version_manager::{WriteIntent, WriteTicket};
 use blobseer_types::{BlobId, BlockId, Error, Result, Version};
 use bytes::{Bytes, BytesMut};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use super::BlobClient;
 
@@ -166,11 +167,13 @@ impl BlobClient {
     /// Data phase: allocates providers, stores the payload's blocks, and
     /// returns `(block_index, descriptor)` pairs keyed from `first_block`.
     ///
-    /// The puts are **vectored**: every block (and replica) destined for
-    /// one provider ships in a single [`crate::ports::BlockStore::
-    /// put_many`] call, so a remote backend pays one round trip per
-    /// provider touched instead of one per block — the §III-D "store all
-    /// blocks in parallel" structure expressed at the port boundary.
+    /// The puts are **vectored** and **fanned out**: every block (and
+    /// replica) destined for one provider ships in a single
+    /// [`crate::ports::BlockStore::put_many`] call, and the per-provider
+    /// calls are issued concurrently through the deployment's
+    /// [`crate::exec::FanoutExecutor`] — the §III-D "store all blocks in
+    /// parallel" structure expressed at the port boundary: one round trip
+    /// per provider touched, and those round trips overlap.
     ///
     /// A failed block put aborts the whole write ("if writing of a block
     /// fails, then the whole write fails", §III-D). The data phase then
@@ -205,8 +208,21 @@ impl BlobClient {
                 },
             ));
         }
-        for (provider, items) in &batches {
-            let results = self.sys.providers.put_many(*provider, items);
+        let jobs: Vec<_> = batches
+            .into_iter()
+            .map(|(provider, items)| {
+                let providers = Arc::clone(&self.sys.providers);
+                move || {
+                    let results = providers.put_many(provider, &items);
+                    (items, results)
+                }
+            })
+            .collect();
+        self.sys.stats.record_fanout(jobs.len());
+        // Every batch settles before the first error is acted on, so the
+        // undo below always sees the complete (post-fan-out) state; batch
+        // and item order make the surfaced error deterministic.
+        for (items, results) in self.sys.exec.fanout(jobs) {
             for ((_, data), result) in items.iter().zip(results) {
                 if let Err(e) = result {
                     // Undo the whole allocation set: deleting a block that
@@ -219,9 +235,17 @@ impl BlobClient {
                             self.sys.pm.release(q);
                         }
                     }
-                    for (q, ids) in &undo {
-                        let _ = self.sys.providers.delete_many(*q, ids);
-                    }
+                    self.sys.stats.record_fanout(undo.len());
+                    let undo_jobs: Vec<_> = undo
+                        .into_iter()
+                        .map(|(q, ids)| {
+                            let providers = Arc::clone(&self.sys.providers);
+                            move || {
+                                let _ = providers.delete_many(q, &ids);
+                            }
+                        })
+                        .collect();
+                    self.sys.exec.fanout(undo_jobs);
                     return Err(e);
                 }
                 EngineStats::add(&self.sys.stats.blocks_written, 1);
@@ -246,9 +270,20 @@ impl BlobClient {
                 self.sys.pm.release(p as usize);
             }
         }
-        for (p, ids) in &batches {
-            let _ = self.sys.providers.delete_many(*p, ids);
+        if batches.is_empty() {
+            return;
         }
+        self.sys.stats.record_fanout(batches.len());
+        let jobs: Vec<_> = batches
+            .into_iter()
+            .map(|(p, ids)| {
+                let providers = Arc::clone(&self.sys.providers);
+                move || {
+                    let _ = providers.delete_many(p, &ids);
+                }
+            })
+            .collect();
+        self.sys.exec.fanout(jobs);
     }
 
     /// Metadata phase + commit.

@@ -18,6 +18,7 @@
 //! aliases, never by duplicating descriptors).
 
 use crate::client::push_grouped;
+use crate::exec::FanoutExecutor;
 use crate::meta::key::NodeKey;
 use crate::meta::node::TreeNode;
 use crate::ports::{BlockStore, MetaStore};
@@ -26,6 +27,7 @@ use crate::sharded::{ShardedMap, DEFAULT_SHARDS};
 use crate::stats::EngineStats;
 use blobseer_types::{BlockId, Result};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Outcome of a collection pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -101,16 +103,19 @@ impl GcTracker {
     /// decremented locally, then every node freed in one wave is fetched
     /// with a single [`MetaStore::get_many`], deleted with a single
     /// [`MetaStore::delete_many`], and the dead leaves' blocks are deleted
-    /// with one [`BlockStore::delete_many`] per provider — so collecting a
-    /// whole version costs O(tree levels + providers touched) round trips
-    /// on a remote backend instead of O(nodes + blocks).
+    /// with one [`BlockStore::delete_many`] per provider — issued
+    /// concurrently through the deployment's fan-out executor — so
+    /// collecting a whole version costs O(tree levels) round trips plus
+    /// one *parallel* provider wave per level on a remote backend instead
+    /// of O(nodes + blocks).
     pub fn release_root(
         &self,
         root: NodeKey,
         dht: &dyn MetaStore,
-        providers: &dyn BlockStore,
+        providers: &Arc<dyn BlockStore>,
         pm: &ProviderManager,
         stats: &EngineStats,
+        exec: &FanoutExecutor,
     ) -> Result<GcReport> {
         let mut report = GcReport::default();
         let mut frontier = vec![root];
@@ -186,8 +191,21 @@ impl GcTracker {
                     }
                 }
             }
-            for (provider, ids) in &block_dels {
-                for (&id, result) in ids.iter().zip(providers.delete_many(*provider, ids)) {
+            if !block_dels.is_empty() {
+                stats.record_fanout(block_dels.len());
+            }
+            let jobs: Vec<_> = block_dels
+                .into_iter()
+                .map(|(provider, ids)| {
+                    let providers = Arc::clone(providers);
+                    move || {
+                        let results = providers.delete_many(provider, &ids);
+                        (ids, results)
+                    }
+                })
+                .collect();
+            for (ids, results) in exec.fanout(jobs) {
+                for (&id, result) in ids.iter().zip(results) {
                     // Bytes are counted once per block (primary copies):
                     // take the max over replicas, treating an unreachable
                     // replica as 0 freed.
@@ -217,19 +235,35 @@ mod tests {
 
     struct Fixture {
         dht: MetaDht,
-        providers: ProviderSet,
+        providers: Arc<ProviderSet>,
         pm: ProviderManager,
         stats: EngineStats,
         gc: GcTracker,
+        exec: FanoutExecutor,
     }
 
     fn fixture() -> Fixture {
         Fixture {
             dht: MetaDht::new(4, 1),
-            providers: ProviderSet::new(2, |i| NodeId::new(i as u64)),
+            providers: Arc::new(ProviderSet::new(2, |i| NodeId::new(i as u64))),
             pm: ProviderManager::new(2, PlacementPolicy::RoundRobin, 0),
             stats: EngineStats::new(),
             gc: GcTracker::new(),
+            exec: FanoutExecutor::new(2),
+        }
+    }
+
+    impl Fixture {
+        fn release(&self, root: NodeKey) -> Result<GcReport> {
+            let providers: Arc<dyn BlockStore> = Arc::clone(&self.providers) as _;
+            self.gc.release_root(
+                root,
+                &self.dht,
+                &providers,
+                &self.pm,
+                &self.stats,
+                &self.exec,
+            )
         }
     }
 
@@ -289,9 +323,7 @@ mod tests {
     fn collecting_old_version_keeps_shared_leaves() {
         let f = fixture();
         build_two_versions(&f);
-        let report =
-            f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
-                .unwrap();
+        let report = f.release(key(1, 0, 2)).unwrap();
         // v1's root and its private leaf (0,1) die; the shared leaf (1,1)
         // survives with rc 1.
         assert_eq!(report.nodes_deleted, 2);
@@ -311,14 +343,8 @@ mod tests {
         let f = fixture();
         build_two_versions(&f);
         let mut total = GcReport::default();
-        total.merge(
-            f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
-                .unwrap(),
-        );
-        total.merge(
-            f.gc.release_root(key(2, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
-                .unwrap(),
-        );
+        total.merge(f.release(key(1, 0, 2)).unwrap());
+        total.merge(f.release(key(2, 0, 2)).unwrap());
         assert_eq!(total.nodes_deleted, 5, "2 roots + 3 leaves");
         assert_eq!(total.blocks_deleted, 3);
         assert_eq!(total.bytes_freed, 12);
@@ -338,20 +364,15 @@ mod tests {
         // the engine counters (the seed's debug_assert no-op'ed in release
         // builds, hiding the refcount bug as a permanent leak).
         let bogus = key(9, 0, 2);
-        let report =
-            f.gc.release_root(bogus, &f.dht, &f.providers, &f.pm, &f.stats)
-                .unwrap();
+        let report = f.release(bogus).unwrap();
         assert_eq!(report.untracked_releases, 1);
         assert_eq!(report.nodes_deleted, 0);
         assert_eq!(f.stats.snapshot().gc_untracked_releases, 1);
         assert_eq!(f.dht.node_count(), 5, "healthy metadata untouched");
         // A double release of a real root: the first pass frees it, the
         // second is untracked and counted.
-        f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
-            .unwrap();
-        let report =
-            f.gc.release_root(key(1, 0, 2), &f.dht, &f.providers, &f.pm, &f.stats)
-                .unwrap();
+        f.release(key(1, 0, 2)).unwrap();
+        let report = f.release(key(1, 0, 2)).unwrap();
         assert_eq!(report.untracked_releases, 1);
         assert_eq!(f.stats.snapshot().gc_untracked_releases, 2);
         // Reports merge the new counter too.
@@ -382,13 +403,11 @@ mod tests {
         f.gc.inc_node(key(2, 0, 1)); // v2 root registration (leaf is root here)
 
         // Release v2: the alias dies, v1's leaf survives (still v1's root).
-        f.gc.release_root(key(2, 0, 1), &f.dht, &f.providers, &f.pm, &f.stats)
-            .unwrap();
+        f.release(key(2, 0, 1)).unwrap();
         assert!(f.dht.get(&key(1, 0, 1)).is_ok());
         assert!(f.providers.get(1).contains(BlockId::new(20)));
         // Release v1: everything goes.
-        f.gc.release_root(key(1, 0, 1), &f.dht, &f.providers, &f.pm, &f.stats)
-            .unwrap();
+        f.release(key(1, 0, 1)).unwrap();
         assert!(f.dht.get(&key(1, 0, 1)).is_err());
         assert!(!f.providers.get(1).contains(BlockId::new(20)));
     }

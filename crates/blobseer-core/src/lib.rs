@@ -46,6 +46,7 @@ pub mod block_store;
 pub mod cache;
 pub mod client;
 pub mod dht;
+pub mod exec;
 pub mod faults;
 pub mod gc;
 pub mod meta;
@@ -58,6 +59,7 @@ pub mod version_manager;
 
 pub use cache::{CachedBlockStore, CachedMetaStore};
 pub use client::{BlobClient, BlobSeer, BlockLocation, EnginePorts};
+pub use exec::{FanoutExecutor, Pending};
 pub use faults::{FaultPlan, FaultyBlockStore, FaultyMetaStore, PutFault};
 pub use gc::GcReport;
 pub use placement::{manhattan_unbalance, Placer};

@@ -16,11 +16,14 @@
 use super::key::{BlockRange, NodeKey, Pos};
 use super::log::{LogChain, LogEntry};
 use super::node::{BlockDescriptor, NodeRef, TreeNode};
+use crate::exec::FanoutExecutor;
 use crate::gc::GcTracker;
 use crate::ports::MetaStore;
+use crate::sharded::group_indices_by;
 use crate::stats::EngineStats;
 use blobseer_types::{BlobId, Error, Result, Version};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A located block within a snapshot: its index and the descriptor of the
 /// stored block covering it (`None` = never-written hole, reads as zeros).
@@ -52,15 +55,74 @@ struct BuildCx<'a, 'b> {
 }
 
 /// Metadata operations bound to one deployment's metadata backend (any
-/// [`MetaStore`] adapter), GC tracker and stats.
+/// [`MetaStore`] adapter), GC tracker, stats and fan-out executor.
 #[derive(Clone, Copy)]
 pub struct TreeStore<'a> {
-    pub dht: &'a dyn MetaStore,
+    pub dht: &'a Arc<dyn MetaStore>,
     pub gc: &'a GcTracker,
     pub stats: &'a EngineStats,
+    pub exec: &'a FanoutExecutor,
 }
 
 impl<'a> TreeStore<'a> {
+    /// One level's vectored put, fanned out across the backend's
+    /// independently reachable DHT shards ([`MetaStore::fanout_shard`];
+    /// single-endpoint backends keep exactly one `put_many` per level).
+    /// Results come back in input order.
+    fn put_level(&self, level: &[(NodeKey, TreeNode)]) -> Vec<Result<()>> {
+        let groups = group_indices_by(level.iter().map(|(key, _)| *key), |key| {
+            self.dht.fanout_shard(key)
+        });
+        self.stats.record_fanout(groups.len());
+        if groups.len() <= 1 {
+            return self.dht.put_many(level);
+        }
+        let jobs: Vec<_> = groups
+            .iter()
+            .map(|(_, indices)| {
+                let dht = Arc::clone(self.dht);
+                let items: Vec<(NodeKey, TreeNode)> =
+                    indices.iter().map(|&i| level[i].clone()).collect();
+                move || dht.put_many(&items)
+            })
+            .collect();
+        let mut out: Vec<Option<Result<()>>> = (0..level.len()).map(|_| None).collect();
+        for ((_, indices), results) in groups.iter().zip(self.exec.fanout(jobs)) {
+            for (&i, result) in indices.iter().zip(results) {
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every level item grouped exactly once"))
+            .collect()
+    }
+
+    /// One level's vectored fetch, fanned out across DHT shards like
+    /// [`Self::put_level`]. Results come back in input order.
+    fn get_level(&self, keys: &[NodeKey]) -> Vec<Result<TreeNode>> {
+        let groups = group_indices_by(keys.iter().copied(), |key| self.dht.fanout_shard(key));
+        self.stats.record_fanout(groups.len());
+        if groups.len() <= 1 {
+            return self.dht.get_many(keys);
+        }
+        let jobs: Vec<_> = groups
+            .iter()
+            .map(|(_, indices)| {
+                let dht = Arc::clone(self.dht);
+                let subset: Vec<NodeKey> = indices.iter().map(|&i| keys[i]).collect();
+                move || dht.get_many(&subset)
+            })
+            .collect();
+        let mut out: Vec<Option<Result<TreeNode>>> = (0..keys.len()).map(|_| None).collect();
+        for ((_, indices), results) in groups.iter().zip(self.exec.fanout(jobs)) {
+            for (&i, result) in indices.iter().zip(results) {
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every frontier key grouped exactly once"))
+            .collect()
+    }
     /// Publishes the metadata of a normal write. `leaves` maps each block
     /// index in `entry.blocks` to its descriptor. Returns the new root key.
     ///
@@ -131,14 +193,17 @@ impl<'a> TreeStore<'a> {
         // Publish one vectored put per level, deepest first: children land
         // before the parents that reference them, exactly like the old
         // node-at-a-time post-order publish, but a remote backend now pays
-        // one round trip per level instead of one per node. A failed item
-        // leaves already-published nodes in place (the crashed-writer
-        // shape of §VI-B).
+        // one round trip per level instead of one per node — and backends
+        // with independently reachable shards split each level's put
+        // across them concurrently (put_level). The level barrier stays: a
+        // parent level is only dispatched once the whole child level
+        // settled. A failed item leaves already-published nodes in place
+        // (the crashed-writer shape of §VI-B).
         let is_repair = matches!(mode, LeafMode::Repair);
         for level in levels.iter().rev() {
             let mut first_err = None;
             let mut conflicts: Vec<usize> = Vec::new();
-            for (i, result) in self.dht.put_many(level).into_iter().enumerate() {
+            for (i, result) in self.put_level(level).into_iter().enumerate() {
                 match result {
                     Ok(()) => EngineStats::add(&self.stats.meta_nodes_written, 1),
                     Err(Error::MetadataConflict(_)) if is_repair => conflicts.push(i),
@@ -248,8 +313,9 @@ impl<'a> TreeStore<'a> {
     /// holes yield `desc: None`.
     ///
     /// The descent is level-synchronous: every node of one tree level that
-    /// intersects the query is fetched with a single
-    /// [`MetaStore::get_many`] — hops between levels stay sequential (a
+    /// intersects the query is fetched with one [`MetaStore::get_many`]
+    /// per reachable DHT shard, issued concurrently through the fan-out
+    /// executor — hops between levels stay sequential (a
     /// child reference is only known once its parent arrived, §III-C), but
     /// a remote backend pays one round trip per level instead of one per
     /// node. Alias chains extend the frontier at the same position, so a
@@ -274,7 +340,7 @@ impl<'a> TreeStore<'a> {
         let mut frontier = vec![NodeKey::new(root_blob, version, Pos::root(cap))];
         while !frontier.is_empty() {
             let mut next = Vec::new();
-            for (key, fetched) in frontier.iter().zip(self.dht.get_many(&frontier)) {
+            for (key, fetched) in frontier.iter().zip(self.get_level(&frontier)) {
                 let node = fetched?;
                 EngineStats::add(&self.stats.meta_nodes_read, 1);
                 match node {
@@ -341,9 +407,10 @@ mod tests {
     use std::sync::Arc;
 
     struct Fx {
-        dht: MetaDht,
+        dht: Arc<dyn MetaStore>,
         gc: GcTracker,
         stats: EngineStats,
+        exec: FanoutExecutor,
         log: Arc<RwLock<Vec<LogEntry>>>,
         blob: BlobId,
     }
@@ -351,9 +418,10 @@ mod tests {
     impl Fx {
         fn new() -> Self {
             Self {
-                dht: MetaDht::new(4, 1),
+                dht: Arc::new(MetaDht::new(4, 1)),
                 gc: GcTracker::new(),
                 stats: EngineStats::new(),
+                exec: FanoutExecutor::new(2),
                 log: Arc::new(RwLock::new(Vec::new())),
                 blob: BlobId::new(1),
             }
@@ -364,6 +432,7 @@ mod tests {
                 dht: &self.dht,
                 gc: &self.gc,
                 stats: &self.stats,
+                exec: &self.exec,
             }
         }
 

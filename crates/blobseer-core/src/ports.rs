@@ -239,6 +239,19 @@ pub trait MetaStore: Send + Sync {
         keys.iter().map(|key| Ok(self.delete(key))).collect()
     }
 
+    /// Stable shard index for client-side fan-out grouping: keys mapping
+    /// to different indices may be batched and issued *concurrently* by
+    /// the fan-out executor. Default: every key maps to group `0`, i.e.
+    /// one batch per tree level — correct for single-endpoint backends
+    /// (the RPC adapters: one socket pool, one frame per level) and for
+    /// decorators that must preserve their inner call structure (the
+    /// SimGate charging adapters' cost model counts `put_many` calls).
+    /// Only backends whose shards are independently reachable (the
+    /// in-memory [`crate::dht::MetaDht`]) override this.
+    fn fanout_shard(&self, _key: &NodeKey) -> usize {
+        0
+    }
+
     /// Number of metadata providers (DHT buckets).
     fn shard_count(&self) -> usize;
 
@@ -443,6 +456,11 @@ impl MetaStore for crate::dht::MetaDht {
             .into_iter()
             .map(Ok)
             .collect()
+    }
+    fn fanout_shard(&self, key: &NodeKey) -> usize {
+        // Replicated nodes span several shards; fan-out grouping only
+        // needs a *stable* partition, and the home shard is one.
+        crate::dht::MetaDht::shard_of(self, key)
     }
     fn shard_count(&self) -> usize {
         crate::dht::MetaDht::shard_count(self)

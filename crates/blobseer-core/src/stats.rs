@@ -56,6 +56,19 @@ pub struct EngineStats {
     /// deployment — a growing value means monitoring data is silently
     /// understating a half-dead cluster.
     pub rpc_degraded_diagnostics: AtomicU64,
+    /// Fan-out dispatch groups issued by the client (one per multi-provider
+    /// phase step: a data-phase store, a fetch wave, a tree level, a GC
+    /// delete wave). Structural — counted whether the executor runs the
+    /// group inline or across its pool.
+    pub fanout_batches: AtomicU64,
+    /// Widest fan-out group dispatched (jobs issued concurrently in one
+    /// group). For a W-provider striped write this reaches W — asserted in
+    /// `tests/rpc_cluster.rs` alongside the frame-count invariants.
+    pub fanout_max_width: AtomicU64,
+    /// Read-path block fetches recovered (or attempted) through a replica
+    /// other than the deterministic first choice, after that replica's
+    /// batch reported a per-item failure.
+    pub read_replica_fallbacks: AtomicU64,
 }
 
 impl EngineStats {
@@ -67,6 +80,19 @@ impl EngineStats {
     #[inline]
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a high-watermark counter to `n` if it is below.
+    #[inline]
+    pub(crate) fn raise(counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Records one fan-out dispatch group of `width` jobs.
+    #[inline]
+    pub(crate) fn record_fanout(&self, width: usize) {
+        Self::add(&self.fanout_batches, 1);
+        Self::raise(&self.fanout_max_width, width as u64);
     }
 
     /// Snapshot of all counters as plain integers, for reporting.
@@ -89,6 +115,9 @@ impl EngineStats {
             cache_misses: g(&self.cache_misses),
             cache_evictions: g(&self.cache_evictions),
             rpc_degraded_diagnostics: g(&self.rpc_degraded_diagnostics),
+            fanout_batches: g(&self.fanout_batches),
+            fanout_max_width: g(&self.fanout_max_width),
+            read_replica_fallbacks: g(&self.read_replica_fallbacks),
         }
     }
 }
@@ -112,6 +141,9 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     pub cache_evictions: u64,
     pub rpc_degraded_diagnostics: u64,
+    pub fanout_batches: u64,
+    pub fanout_max_width: u64,
+    pub read_replica_fallbacks: u64,
 }
 
 #[cfg(test)]
@@ -128,6 +160,18 @@ mod tests {
         assert_eq!(snap.blocks_written, 5);
         assert_eq!(snap.bytes_read, 10);
         assert_eq!(snap.versions_assigned, 0);
+    }
+
+    #[test]
+    fn fanout_recording_counts_batches_and_keeps_the_widest() {
+        let s = EngineStats::new();
+        s.record_fanout(4);
+        s.record_fanout(1);
+        s.record_fanout(8);
+        s.record_fanout(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.fanout_batches, 4);
+        assert_eq!(snap.fanout_max_width, 8);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   GC *effects* (DHT deletes, block deletes) do cross the wire.
 
 use crate::client::{RpcBlockStore, RpcMetaStore, RpcVersionService};
-use crate::server::{RpcServer, RpcService};
+use crate::server::{InFlight, RpcServer, RpcService};
 use blobseer_core::block_store::ProviderSet;
 use blobseer_core::dht::MetaDht;
 use blobseer_core::ports::{BlockStore, MetaStore};
@@ -45,6 +45,8 @@ pub struct LoopbackCluster {
     meta_addr: SocketAddr,
     vm_addr: SocketAddr,
     server_stats: Arc<EngineStats>,
+    /// Cluster-wide in-flight request tracker shared by every server.
+    in_flight: Arc<InFlight>,
     /// Client deployments wired so far — each gets a disjoint block-id
     /// range (see [`Self::deploy`]).
     deployments: AtomicU64,
@@ -70,9 +72,16 @@ impl LoopbackCluster {
         // threads over a bounded queue per server.
         let workers = cfg.rpc_server_workers;
         let queue = cfg.rpc_server_queue_depth;
-        let spawn = move |svc: RpcService| {
-            RpcServer::spawn_with(svc, workers, queue)
-                .map_err(|e| Error::Transport(format!("spawn loopback server: {e}")))
+        // One tracker across all servers: its high watermark observes
+        // requests overlapping *anywhere* in the cluster, which is what
+        // client-side fan-out produces and a serial client cannot.
+        let in_flight = Arc::new(InFlight::new());
+        let spawn = {
+            let in_flight = Arc::clone(&in_flight);
+            move |svc: RpcService| {
+                RpcServer::spawn_tracked(svc, workers, queue, Arc::clone(&in_flight))
+                    .map_err(|e| Error::Transport(format!("spawn loopback server: {e}")))
+            }
         };
         let mut servers = Vec::with_capacity(n_providers + 2);
         let mut block_addrs = Vec::with_capacity(n_providers);
@@ -100,6 +109,7 @@ impl LoopbackCluster {
             meta_addr,
             vm_addr,
             server_stats,
+            in_flight,
             deployments: AtomicU64::new(0),
         })
     }
@@ -190,6 +200,14 @@ impl LoopbackCluster {
     /// — the mux tests assert on it.
     pub fn connections_accepted(&self) -> u64 {
         self.servers.iter().map(|s| s.connections_accepted()).sum()
+    }
+
+    /// Highest number of simultaneously in-flight requests ever observed
+    /// across the whole cluster — the structural proof of client-side
+    /// fan-out. A deployment with `client_io_threads = Some(1)` can never
+    /// push this above 1 per client thread; the fan-out executor can.
+    pub fn in_flight_high_watermark(&self) -> u64 {
+        self.in_flight.high_watermark()
     }
 
     /// Addresses of the per-provider block services.

@@ -54,4 +54,4 @@ pub mod wire;
 
 pub use client::{RpcBlockStore, RpcMetaStore, RpcVersionService};
 pub use cluster::LoopbackCluster;
-pub use server::{RpcServer, RpcService};
+pub use server::{InFlight, RpcServer, RpcService};

@@ -69,6 +69,52 @@ pub struct RpcServer {
     shared: Arc<Shared>,
 }
 
+/// Concurrent-request tracker, shareable across every server of a
+/// deployment: counts the requests currently between frame decode and
+/// response write, and remembers the highest count ever seen. The high
+/// watermark is the *structural* proof of client-side fan-out — a serial
+/// client can never push it above 1, however fast it pipelines, because it
+/// always waits for each response before sending the next batch.
+#[derive(Debug, Default)]
+pub struct InFlight {
+    cur: AtomicU64,
+    high: AtomicU64,
+}
+
+impl InFlight {
+    /// Fresh tracker (wrap in an `Arc` to share across servers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests currently being served.
+    pub fn current(&self) -> u64 {
+        self.cur.load(Ordering::SeqCst)
+    }
+
+    /// Highest number of simultaneously in-flight requests ever observed.
+    pub fn high_watermark(&self) -> u64 {
+        self.high.load(Ordering::SeqCst)
+    }
+
+    fn enter(self: &Arc<Self>) -> InFlightGuard {
+        let now = self.cur.fetch_add(1, Ordering::SeqCst) + 1;
+        self.high.fetch_max(now, Ordering::SeqCst);
+        InFlightGuard(Arc::clone(self))
+    }
+}
+
+/// RAII span of one tracked request; decrements on drop (after the
+/// request was handled, just before its response frame is written — the
+/// guard travels inside the [`Job`]).
+struct InFlightGuard(Arc<InFlight>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.cur.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// One decoded request waiting for a worker: where to write the answer
 /// (the connection's shared write half), which request id to echo, and
 /// the request body.
@@ -76,6 +122,10 @@ struct Job {
     writer: Arc<Mutex<TcpStream>>,
     req_id: u64,
     body: Vec<u8>,
+    /// Holds the request in the deployment's [`InFlight`] tracker from
+    /// frame decode until it has been handled (response about to be
+    /// written).
+    _track: Option<InFlightGuard>,
 }
 
 /// State shared between the accept loop, the readers, the workers and
@@ -101,6 +151,9 @@ struct Shared {
     not_empty: Condvar,
     not_full: Condvar,
     queue_cap: usize,
+    /// Deployment-wide in-flight tracker, if the booter wants the
+    /// overlap watermark observed.
+    in_flight: Option<Arc<InFlight>>,
     /// Request frames served (one per dispatched request, batched or not)
     /// — the server-side round-trip counter the batching tests read.
     frames: AtomicU64,
@@ -126,7 +179,22 @@ impl RpcServer {
     /// decoded requests.
     pub fn spawn_with(service: RpcService, workers: usize, queue_depth: usize) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        Self::serve(listener, service, workers, queue_depth)
+        Self::serve(listener, service, workers, queue_depth, None)
+    }
+
+    /// [`Self::spawn_with`] with a shared [`InFlight`] tracker: every
+    /// request this server decodes is counted in `tracker` until its
+    /// response is written. Boot all servers of a deployment with one
+    /// tracker and its high watermark proves (or disproves) client-side
+    /// request overlap.
+    pub fn spawn_tracked(
+        service: RpcService,
+        workers: usize,
+        queue_depth: usize,
+        tracker: Arc<InFlight>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Self::serve(listener, service, workers, queue_depth, Some(tracker))
     }
 
     /// [`Self::spawn_with`] on an explicit address instead of an
@@ -139,7 +207,7 @@ impl RpcServer {
         queue_depth: usize,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        Self::serve(listener, service, workers, queue_depth)
+        Self::serve(listener, service, workers, queue_depth, None)
     }
 
     fn serve(
@@ -147,6 +215,7 @@ impl RpcServer {
         service: RpcService,
         workers: usize,
         queue_depth: usize,
+        in_flight: Option<Arc<InFlight>>,
     ) -> io::Result<Self> {
         assert!(workers >= 1, "a server needs at least one worker");
         assert!(queue_depth >= 1, "the request queue needs some depth");
@@ -160,6 +229,7 @@ impl RpcServer {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             queue_cap: queue_depth,
+            in_flight,
             frames: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
         });
@@ -320,6 +390,7 @@ fn connection_loop(
             writer: Arc::clone(&writer),
             req_id,
             body,
+            _track: shared.in_flight.as_ref().map(|t| t.enter()),
         };
         if parks_a_thread(&service, &job.body) {
             offload(&service, shared, job);
@@ -389,8 +460,19 @@ fn worker_loop(service: RpcService, shared: Arc<Shared>) {
 /// Dispatches one request and writes its response frame, echoing the
 /// request id so the client's demux can route it.
 fn serve_job(service: &RpcService, job: Job) {
-    let response = dispatch(service, &job.body);
-    let _ = wire::write_frame(&mut *job.writer.lock(), job.req_id, &response);
+    let Job {
+        writer,
+        req_id,
+        body,
+        _track: track,
+    } = job;
+    let response = dispatch(service, &body);
+    // End the tracked span before the response leaves: once the frame is
+    // on the wire the client may already be issuing its next request to
+    // another server, and a serial client overlapping with our own
+    // write-back would read as fan-out in the watermark.
+    drop(track);
+    let _ = wire::write_frame(&mut *writer.lock(), req_id, &response);
 }
 
 fn dispatch(service: &RpcService, body: &[u8]) -> Vec<u8> {

@@ -80,6 +80,16 @@ thread_local! {
     /// unaligned `write` performs nested boundary `read`s whose phase
     /// events must not pollute the recorder's top-level aggregates.
     static OPEN_OP: Cell<Option<ProtocolOp>> = const { Cell::new(None) };
+    /// Overlap accumulator of the current data phase: `(anchor, pending)`.
+    /// The real deployment fans per-provider batches out over threads; a
+    /// SimGate deployment must stay thread-free (`client_io_threads =
+    /// Some(1)`, the executor runs inline), so the charging adapters model
+    /// the overlap instead: every batch of one phase is charged as issued
+    /// from the same `anchor` instant, transfers serialize on the shared
+    /// client NIC (they all leave through one card), and the phase costs
+    /// `overhead + max(per-batch completions)` — the `pending` watermark —
+    /// settled at the next phase boundary, not the per-batch sum.
+    static OVERLAP: Cell<Option<(SimTime, SimTime)>> = const { Cell::new(None) };
 }
 
 /// The node of the simulated client on the calling thread.
@@ -182,64 +192,90 @@ impl ConcFabric {
         CLIENT_NODE.get().is_some() && self.aux.lock().charging
     }
 
+    /// Opens (or continues) the calling thread's overlapped data phase and
+    /// returns its `(anchor, pending)` state. The first batch of a phase
+    /// anchors it at the current instant; later batches of the same phase
+    /// are charged as issued from that same anchor — the fan-out.
+    fn overlap_open(&self) -> (SimTime, SimTime) {
+        OVERLAP.get().unwrap_or_else(|| {
+            let a = self.gate.now();
+            (a, a)
+        })
+    }
+
+    /// Closes the calling thread's overlapped data phase, if one is open:
+    /// sleeps until its `pending` watermark — the latest per-batch
+    /// completion. Every non-data charge and every protocol phase boundary
+    /// settles first, so the overlap never leaks across phases.
+    fn settle_overlap(&self) {
+        if let Some((_, pending)) = OVERLAP.take() {
+            self.gate.sleep_until(pending);
+        }
+    }
+
     /// Data phase of a batch of `n` blocks bound for one provider
     /// (§III-D step 1): client-side cache-flush overhead and *one*
-    /// request round trip for the whole batch — the amortization the
-    /// vectored port API buys — then the blocks stream back-to-back, each
-    /// paying its own disk, flow and per-block provider service.
-    /// Co-located clients skip the network. (`n = 1` charges exactly what
-    /// the old per-block put charged, so single-block figure legs are
-    /// unchanged.)
+    /// request round trip for the whole *phase* (all batches are issued
+    /// from the same anchor by the fan-out executor), then the blocks
+    /// stream back-to-back through the shared client NIC, each paying its
+    /// own disk, flow and per-block provider service. Disk drain and
+    /// service tails of different providers overlap: only the phase-wide
+    /// maximum is settled. Co-located clients skip the network. (A phase
+    /// of one single-block batch charges exactly what the old per-block
+    /// put charged, so single-block figure legs are unchanged.)
     fn charge_block_put(&self, provider: usize, n: usize) {
         if n == 0 {
             return;
         }
         let node = client_node();
         let pnode = NodeId::new(provider as u64);
-        let t0 = self.gate.now() + self.c.bsfs_block_overhead + self.c.rtt();
-        self.gate.sleep_until(t0);
+        let (anchor, mut pending) = self.overlap_open();
+        let t0 = anchor + self.c.bsfs_block_overhead + self.c.rtt();
+        self.gate.sleep_until(t0); // a no-op once the clock passed it
         for _ in 0..n {
             let disk_done =
                 self.aux.lock().write_disks[provider].submit(self.gate.now(), self.c.block_bytes);
-            stream_and_wait(
-                &self.gate,
-                node,
-                pnode,
-                self.c.block_bytes,
-                disk_done,
-                self.c.provider_svc,
-            );
+            let end = if node == pnode {
+                disk_done
+            } else {
+                disk_done.max(self.gate.transfer(node, pnode, self.c.block_bytes))
+            };
+            pending = pending.max(end + self.c.provider_svc);
         }
+        OVERLAP.set(Some((anchor, pending)));
     }
 
     /// A batch of `n` block fetches from one provider (§III-C): the
     /// provider's disk serves queued reads in order while each flow
-    /// streams back to the client; the client-side read loop overhead tops
-    /// every block off. The blocks of one batch stream back-to-back —
-    /// identical to the old per-block charging, which never paid a
-    /// per-request hop on the read side. Co-located readers skip the
-    /// network — the locality the grep scheduler exploits (§IV-C).
+    /// streams back to the client through its shared NIC; the client-side
+    /// read loop overhead tops the phase off via the overlap watermark.
+    /// Batches of one fetch phase are charged as issued concurrently (the
+    /// fan-out executor), so disks of different providers drain in
+    /// parallel and only the latest completion is settled. Co-located
+    /// readers skip the network — the locality the grep scheduler
+    /// exploits (§IV-C).
     fn charge_block_get(&self, provider: usize, n: usize) {
         let node = client_node();
         let pnode = NodeId::new(provider as u64);
+        let (anchor, mut pending) = self.overlap_open();
         for _ in 0..n {
-            let t0 = self.gate.now();
-            let disk_done = self.aux.lock().read_disks[provider].submit(t0, self.c.block_bytes);
-            stream_and_wait(
-                &self.gate,
-                pnode,
-                node,
-                self.c.block_bytes,
-                disk_done,
-                self.c.bsfs_read_overhead,
-            );
+            let disk_done =
+                self.aux.lock().read_disks[provider].submit(self.gate.now(), self.c.block_bytes);
+            let end = if node == pnode {
+                disk_done
+            } else {
+                disk_done.max(self.gate.transfer(pnode, node, self.c.block_bytes))
+            };
+            pending = pending.max(end + self.c.bsfs_read_overhead);
         }
+        OVERLAP.set(Some((anchor, pending)));
     }
 
     /// Version assignment: a queued RPC to the version manager — the only
     /// serialized step, and under N concurrent writers the queueing here
     /// is the knee of Fig. 5. Opens the caller's metadata phase.
     fn charge_assign(&self) {
+        self.settle_overlap();
         let done = rpc_done(
             &mut self.aux.lock().central,
             self.gate.now(),
@@ -253,6 +289,7 @@ impl ConcFabric {
     /// A read-side version-manager lookup (`latest`): same queue, cheaper
     /// service.
     fn charge_lookup(&self) {
+        self.settle_overlap();
         let done = rpc_done(
             &mut self.aux.lock().central,
             self.gate.now(),
@@ -270,6 +307,7 @@ impl ConcFabric {
     /// old per-node charging did: the caller ends at the latest
     /// completion.
     fn charge_meta_put(&self, n: usize) {
+        self.settle_overlap();
         let start = META_PHASE_START.get().max(SimTime::ZERO);
         let mut latest = start;
         {
@@ -291,6 +329,7 @@ impl ConcFabric {
     /// the caller resumes at the latest completion. This is where the
     /// vectored API flattens metadata latency under fan-out.
     fn charge_meta_get(&self, n: usize) {
+        self.settle_overlap();
         let now = self.gate.now();
         let mut latest = now;
         {
@@ -307,6 +346,7 @@ impl ConcFabric {
 
     /// Commit notification to the version manager.
     fn charge_commit(&self) {
+        self.settle_overlap();
         self.gate.sleep(self.c.rtt());
     }
 }
@@ -533,6 +573,10 @@ impl ProtocolObserver for PhaseRecorder {
         if !self.fabric.should_charge() {
             return;
         }
+        // A phase boundary ends any overlapped data phase: the recorded
+        // timestamp must include the batches still pending on the overlap
+        // watermark (and the next phase must not inherit them).
+        self.fabric.settle_overlap();
         // Only the top-level operation on this thread is recorded. The
         // single genuine nesting in the protocol is a write/append's
         // boundary-merge reads (`merge_boundaries` → `self.read`), so a
@@ -629,6 +673,11 @@ pub fn deploy(
         // so neither path is taken.)
         unaligned_append_timeout: Duration::from_millis(50),
         close_reveal_timeout: Duration::from_millis(50),
+        // The gate serializes simulated threads; an OS thread pool would
+        // run uncharged (its workers never set `CLIENT_NODE`) and deadlock
+        // the turn-taking. Inline execution + the charging adapters'
+        // overlap watermark model the fan-out instead.
+        client_io_threads: Some(1),
         ..BlobSeerConfig::small_for_tests()
     };
     let stats = Arc::new(EngineStats::new());
@@ -702,7 +751,9 @@ impl ConcurrentDeployment {
                     LAST_PHASE.set(None);
                     OPEN_OP.set(None);
                     META_PHASE_START.set(SimTime::ZERO);
+                    OVERLAP.set(None);
                     body(sys.client(node));
+                    OVERLAP.set(None);
                     CLIENT_NODE.set(None);
                 }) as SimTask<'env>
             })

@@ -33,6 +33,12 @@ pub const DEFAULT_RPC_SERVER_WORKERS: usize = 4;
 /// backpressure) instead of buffering without limit.
 pub const DEFAULT_RPC_SERVER_QUEUE_DEPTH: usize = 128;
 
+/// Cap on the auto-sized client fan-out pool: with
+/// `client_io_threads = None` a deployment uses `min(8, providers)` I/O
+/// threads (one per provider until the pool saturates at 8, the paper's
+/// per-client striping width in §V).
+pub const DEFAULT_CLIENT_IO_THREADS_CAP: usize = 8;
+
 /// Placement policy used by the provider manager (§III-B: "a load balancing
 /// strategy that aims at evenly distributing the blocks across data
 /// providers").
@@ -102,6 +108,22 @@ pub struct BlobSeerConfig {
     /// the figure reproductions run with (the paper's curves are
     /// cache-cold; see `docs/REPRODUCING.md`).
     pub read_cache_bytes: u64,
+    /// Threads in the client's fan-out I/O pool, which overlaps
+    /// per-provider batches across the data, fetch, publish and GC phases.
+    /// `None` (the default) auto-sizes to `min(8, providers)` at deploy
+    /// time; `Some(1)` disables fan-out entirely — every batch runs inline
+    /// on the caller, which is byte- and frame-identical to the serial
+    /// client and is required for SimGate deployments (the virtual-time
+    /// harness cannot gate extra OS threads; see
+    /// `experiments::concurrent`). Must be at least 1.
+    pub client_io_threads: Option<usize>,
+    /// Read-ahead window of a BSFS input stream in bytes. While a caller
+    /// consumes block *b*, the stream prefetches up to this many bytes
+    /// ahead through the fan-out executor. `0` (the default) disables
+    /// read-ahead. Values are interpreted as whole blocks (rounded up to a
+    /// multiple of `block_size`); the builder warns when the value is not
+    /// already a multiple.
+    pub readahead_bytes: u64,
 }
 
 impl Default for BlobSeerConfig {
@@ -119,6 +141,8 @@ impl Default for BlobSeerConfig {
             rpc_server_workers: DEFAULT_RPC_SERVER_WORKERS,
             rpc_server_queue_depth: DEFAULT_RPC_SERVER_QUEUE_DEPTH,
             read_cache_bytes: 0,
+            client_io_threads: None,
+            readahead_bytes: 0,
         }
     }
 }
@@ -142,6 +166,10 @@ impl BlobSeerConfig {
             rpc_server_workers: DEFAULT_RPC_SERVER_WORKERS,
             rpc_server_queue_depth: DEFAULT_RPC_SERVER_QUEUE_DEPTH,
             read_cache_bytes: 0,
+            // Small but real fan-out: tests exercise the pooled dispatch
+            // path by default while staying cheap on 1-CPU runners.
+            client_io_threads: Some(2),
+            readahead_bytes: 0,
         }
     }
 
@@ -219,6 +247,39 @@ impl BlobSeerConfig {
     pub fn with_read_cache_bytes(mut self, bytes: u64) -> Self {
         self.read_cache_bytes = bytes;
         self
+    }
+
+    /// Builder-style override of the fan-out I/O thread count. `1`
+    /// disables fan-out (inline, serial-identical dispatch); see the
+    /// field docs for the SimGate requirement.
+    #[must_use]
+    pub fn with_client_io_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one client I/O thread");
+        self.client_io_threads = Some(threads);
+        self
+    }
+
+    /// Builder-style override of the BSFS read-ahead window (`0`
+    /// disables). Warns on stderr when the window is not a multiple of
+    /// the *currently configured* block size — set the block size first
+    /// when chaining, or expect the effective window to round up to
+    /// whole blocks.
+    #[must_use]
+    pub fn with_readahead_bytes(mut self, bytes: u64) -> Self {
+        if !bytes.is_multiple_of(self.block_size) {
+            eprintln!(
+                "warning: readahead_bytes = {bytes} is not a multiple of block_size = {}; \
+                 the effective window rounds up to whole blocks",
+                self.block_size
+            );
+        }
+        self.readahead_bytes = bytes;
+        self
+    }
+
+    /// The read-ahead window in whole blocks (rounded up). `0` = off.
+    pub fn readahead_blocks(&self) -> u64 {
+        self.readahead_bytes.div_ceil(self.block_size)
     }
 }
 
@@ -301,6 +362,8 @@ mod tests {
         assert_eq!(c.rpc_server_workers, 4);
         assert_eq!(c.rpc_server_queue_depth, 128);
         assert_eq!(c.read_cache_bytes, 0, "figure runs are cache-cold");
+        assert_eq!(c.client_io_threads, None, "auto: min(8, providers)");
+        assert_eq!(c.readahead_bytes, 0, "read-ahead is opt-in");
 
         let h = HdfsConfig::default();
         assert_eq!(h.chunk_size, 64 * 1024 * 1024);
@@ -319,7 +382,9 @@ mod tests {
             .with_rpc_client_connections(2)
             .with_rpc_server_workers(3)
             .with_rpc_server_queue_depth(16)
-            .with_read_cache_bytes(1 << 20);
+            .with_read_cache_bytes(1 << 20)
+            .with_client_io_threads(4)
+            .with_readahead_bytes(4096);
         assert_eq!(c.unaligned_append_timeout, Duration::from_millis(50));
         assert_eq!(c.close_reveal_timeout, Duration::from_millis(80));
         assert_eq!(c.block_size, 1024);
@@ -330,6 +395,9 @@ mod tests {
         assert_eq!(c.rpc_server_workers, 3);
         assert_eq!(c.rpc_server_queue_depth, 16);
         assert_eq!(c.read_cache_bytes, 1 << 20);
+        assert_eq!(c.client_io_threads, Some(4));
+        assert_eq!(c.readahead_bytes, 4096);
+        assert_eq!(c.readahead_blocks(), 4, "1024-byte blocks, 4 KB window");
 
         let h = HdfsConfig::small_for_tests()
             .with_chunk_size(512)
@@ -348,5 +416,19 @@ mod tests {
     #[should_panic(expected = "replication level must be at least 1")]
     fn zero_replication_rejected() {
         let _ = BlobSeerConfig::default().with_replication(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one client I/O thread")]
+    fn zero_io_threads_rejected() {
+        let _ = BlobSeerConfig::default().with_client_io_threads(0);
+    }
+
+    #[test]
+    fn unaligned_readahead_rounds_up_to_whole_blocks() {
+        let c = BlobSeerConfig::small_for_tests().with_readahead_bytes(4096 + 1);
+        assert_eq!(c.readahead_blocks(), 2);
+        let off = BlobSeerConfig::small_for_tests();
+        assert_eq!(off.readahead_blocks(), 0);
     }
 }

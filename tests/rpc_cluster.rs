@@ -144,6 +144,16 @@ fn vectored_ports_cost_frames_proportional_to_levels_not_blocks() {
     assert_eq!(write_frames, 14, "write frames: O(levels + providers)");
     // All 64 blocks and all 127 tree nodes crossed inside those frames.
     assert_eq!(after_write.batched_items - before.batched_items, 64 + 127);
+    // The fan-out executor dispatched one concurrent group per phase: the
+    // data phase (4 provider batches wide) and one group per tree level
+    // (width 1 each — the RPC DHT is a single endpoint, so levels stay
+    // one vectored frame and the 14-frame invariant above holds).
+    assert_eq!(
+        after_write.fanout_batches - before.fanout_batches,
+        8,
+        "one data-phase fan-out + one per tree level"
+    );
+    assert_eq!(after_write.fanout_max_width, 4, "width = providers touched");
 
     let full = c.read(blob, None, 0, data.len() as u64).unwrap();
     assert_eq!(&full[..], &data[..], "byte-identical to what was written");
@@ -157,6 +167,14 @@ fn vectored_ports_cost_frames_proportional_to_levels_not_blocks() {
         after_read.batched_items - after_write.batched_items,
         64 + 127
     );
+    // Same shape on the read side: one fetch-phase fan-out (4 provider
+    // batches) plus one descent group per level, and no fallback retries.
+    assert_eq!(
+        after_read.fanout_batches - after_write.fanout_batches,
+        8,
+        "one fetch-phase fan-out + one per descent level"
+    );
+    assert_eq!(after_read.read_replica_fallbacks, 0);
 
     // The servers saw exactly the frames the client adapters counted.
     assert_eq!(
