@@ -1,6 +1,8 @@
 //! Distributed metadata: the versioned segment trees of §III-A.3.
 //!
 //! * [`key`] — node positions and DHT keys;
+//! * [`codec`] — the binary encoding shared by the RPC wire and the
+//!   disk-backed metadata store's durable record logs;
 //! * [`node`] — node payloads (inner nodes, leaves, aliases);
 //! * [`log`] — the per-BLOB write log and the materializing-version rule
 //!   that makes concurrent metadata *weaving* possible;
@@ -8,6 +10,7 @@
 //! * [`shape`] — pure node-count arithmetic shared with the figure-scale
 //!   simulator.
 
+pub mod codec;
 pub mod key;
 pub mod log;
 pub mod node;

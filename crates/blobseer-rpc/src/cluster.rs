@@ -28,7 +28,11 @@ use blobseer_core::version_manager::VersionManager;
 use blobseer_core::{
     BlobSeer, CachedBlockStore, CachedMetaStore, EnginePorts, EngineStats, NoopObserver,
 };
+use blobseer_disk::frame::FrameLog;
+use blobseer_disk::volume::volume_path;
+use blobseer_disk::{DiskMetaStore, DiskProviderSet, DiskVolume, DurableVersionService};
 use blobseer_types::{BlobSeerConfig, Error, NodeId, Result};
+use parking_lot::Mutex;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,6 +54,10 @@ pub struct LoopbackCluster {
     /// Client deployments wired so far — each gets a disjoint block-id
     /// range (see [`Self::deploy`]).
     deployments: AtomicU64,
+    /// Disk-backed clusters persist the deployment count (one frame per
+    /// deployment) so a rebooted cluster keeps handing out disjoint
+    /// block-id ranges; `None` for RAM-backed clusters.
+    deploy_log: Option<Mutex<FrameLog>>,
 }
 
 /// Block-id range width reserved per client deployment: ~10^12 blocks
@@ -85,22 +93,68 @@ impl LoopbackCluster {
         };
         let mut servers = Vec::with_capacity(n_providers + 2);
         let mut block_addrs = Vec::with_capacity(n_providers);
+        // Backend selection: `data_dir = None` hosts the in-memory
+        // adapters (state dies with the cluster); `Some(dir)` hosts the
+        // append-only disk stores of `blobseer-disk`, so booting again
+        // with the same directory resumes exactly where the previous
+        // cluster stopped. Same wire protocol, same client code, either
+        // way. Note the disk metadata store keeps a single durable copy
+        // per node — `metadata_replication` is an in-memory concern (its
+        // durability comes from shard record logs, not replica shards).
+        let server_stats = Arc::new(EngineStats::new());
         for i in 0..n_providers {
             let node = NodeId::new(i as u64);
-            let set = ProviderSet::new(1, |_| node);
-            let server = spawn(RpcService::Block(Arc::new(set)))?;
+            let set: Arc<dyn BlockStore> = match &cfg.data_dir {
+                None => Arc::new(ProviderSet::new(1, |_| node)),
+                Some(dir) => Arc::new(DiskProviderSet::from_volumes(vec![DiskVolume::open(
+                    volume_path(&dir.join("block"), i),
+                    node,
+                )?])),
+            };
+            let server = spawn(RpcService::Block(set))?;
             block_addrs.push(server.addr());
             servers.push(server);
         }
-        let dht = MetaDht::new(cfg.metadata_providers, cfg.metadata_replication);
-        let meta_server = spawn(RpcService::Meta(Arc::new(dht)))?;
+        let dht: Arc<dyn MetaStore> = match &cfg.data_dir {
+            None => Arc::new(MetaDht::new(
+                cfg.metadata_providers,
+                cfg.metadata_replication,
+            )),
+            Some(dir) => Arc::new(DiskMetaStore::open(
+                dir.join("meta"),
+                cfg.metadata_providers,
+            )?),
+        };
+        let meta_server = spawn(RpcService::Meta(dht))?;
         let meta_addr = meta_server.addr();
         servers.push(meta_server);
-        let server_stats = Arc::new(EngineStats::new());
-        let vm = VersionManager::new(cfg.block_size, Arc::clone(&server_stats));
-        let vm_server = spawn(RpcService::Version(Arc::new(vm)))?;
+        let vm: Arc<dyn blobseer_core::ports::VersionService> = match &cfg.data_dir {
+            None => Arc::new(VersionManager::new(
+                cfg.block_size,
+                Arc::clone(&server_stats),
+            )),
+            Some(dir) => Arc::new(DurableVersionService::open(
+                dir.join("version.log"),
+                cfg.block_size,
+            )?),
+        };
+        let vm_server = spawn(RpcService::Version(vm))?;
         let vm_addr = vm_server.addr();
         servers.push(vm_server);
+        // Resume the deployment counter from the persisted log: every
+        // past deployment claimed a block-id range, so a rebooted cluster
+        // must start allocating above all of them.
+        let (deployments, deploy_log) = match &cfg.data_dir {
+            None => (0, None),
+            Some(dir) => {
+                let mut past = 0u64;
+                let log = FrameLog::open_with(dir.join("deployments.log"), |_, _| {
+                    past += 1;
+                    Ok(())
+                })?;
+                (past, Some(Mutex::new(log)))
+            }
+        };
         Ok(Self {
             cfg,
             pm_seed,
@@ -110,7 +164,8 @@ impl LoopbackCluster {
             vm_addr,
             server_stats,
             in_flight,
-            deployments: AtomicU64::new(0),
+            deployments: AtomicU64::new(deployments),
+            deploy_log,
         })
     }
 
@@ -126,6 +181,14 @@ impl LoopbackCluster {
     /// readable through any other.
     pub fn deploy(&self) -> Result<Arc<BlobSeer>> {
         let idx = self.deployments.fetch_add(1, Ordering::Relaxed);
+        if let Some(log) = &self.deploy_log {
+            // One frame per deployment, ever: the frame count is the next
+            // deployment index after a reboot (the payload is only for
+            // humans reading the log).
+            let mut w = blobseer_types::wire::WireWriter::new();
+            w.put_u64(idx);
+            log.lock().append(&w.into_vec())?;
+        }
         // The adapters account their round trips (`port_round_trips`) and
         // vectored items (`batched_items`) on this deployment's stats.
         let stats = Arc::new(EngineStats::new());

@@ -23,9 +23,8 @@
 //! [`blobseer_types::Error::Transport`]; a malformed frame can never
 //! panic a server or client thread.
 
-use blobseer_core::meta::key::{BlockRange, NodeKey, Pos};
+use blobseer_core::meta::key::NodeKey;
 use blobseer_core::meta::log::{LogChain, LogEntry, LogSegment};
-use blobseer_core::meta::node::{BlockDescriptor, NodeRef, TreeNode};
 use blobseer_core::provider_manager::BlockAllocation;
 use blobseer_core::version_manager::{SnapshotInfo, WriteIntent, WriteTicket};
 use blobseer_types::wire::{WireReader, WireWriter};
@@ -151,58 +150,14 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Option<(u64, Vec<u8>)>> {
 
 // --- composite-type codecs --------------------------------------------------
 
-/// Encodes a node position.
-pub fn put_pos(w: &mut WireWriter, pos: Pos) {
-    w.put_u64(pos.start);
-    w.put_u64(pos.len);
-}
-
-/// Decodes a node position, validating the power-of-two/alignment
-/// invariants `Pos::new` only debug-asserts.
-pub fn get_pos(r: &mut WireReader<'_>) -> Result<Pos> {
-    let start = r.get_u64()?;
-    let len = r.get_u64()?;
-    if !len.is_power_of_two() || !start.is_multiple_of(len) {
-        return Err(Error::Transport(format!(
-            "wire: invalid tree position ({start},{len})"
-        )));
-    }
-    Ok(Pos::new(start, len))
-}
-
-/// Encodes a DHT node key.
-pub fn put_node_key(w: &mut WireWriter, key: &NodeKey) {
-    w.put_u64(key.blob.raw());
-    w.put_u64(key.version.raw());
-    put_pos(w, key.pos);
-}
-
-/// Decodes a DHT node key.
-pub fn get_node_key(r: &mut WireReader<'_>) -> Result<NodeKey> {
-    Ok(NodeKey::new(
-        BlobId::new(r.get_u64()?),
-        Version::new(r.get_u64()?),
-        get_pos(r)?,
-    ))
-}
-
-/// Encodes a block range.
-pub fn put_block_range(w: &mut WireWriter, range: BlockRange) {
-    w.put_u64(range.start);
-    w.put_u64(range.end);
-}
-
-/// Decodes a block range (rejecting inverted ranges).
-pub fn get_block_range(r: &mut WireReader<'_>) -> Result<BlockRange> {
-    let start = r.get_u64()?;
-    let end = r.get_u64()?;
-    if end < start {
-        return Err(Error::Transport(format!(
-            "wire: inverted block range [{start}, {end})"
-        )));
-    }
-    Ok(BlockRange::new(start, end))
-}
+// The metadata domain codecs (positions, node keys, block ranges and
+// descriptors, tree nodes) live in `blobseer_core::meta::codec` because
+// the disk-backed metadata store persists records in the same encoding;
+// re-exported here so wire call sites keep one import surface.
+pub use blobseer_core::meta::codec::{
+    get_block_descriptor, get_block_range, get_node_key, get_opt_node_ref, get_pos, get_tree_node,
+    put_block_descriptor, put_block_range, put_node_key, put_opt_node_ref, put_pos, put_tree_node,
+};
 
 /// Encodes a write-log entry.
 pub fn put_log_entry(w: &mut WireWriter, e: &LogEntry) {
@@ -221,84 +176,6 @@ pub fn get_log_entry(r: &mut WireReader<'_>) -> Result<LogEntry> {
         cap_before: r.get_u64()?,
         cap_after: r.get_u64()?,
         size_after: r.get_u64()?,
-    })
-}
-
-fn put_opt_node_ref(w: &mut WireWriter, r: &Option<NodeRef>) {
-    match r {
-        None => w.put_bool(false),
-        Some(nr) => {
-            w.put_bool(true);
-            w.put_u64(nr.blob.raw());
-            w.put_u64(nr.version.raw());
-        }
-    }
-}
-
-fn get_opt_node_ref(r: &mut WireReader<'_>) -> Result<Option<NodeRef>> {
-    if !r.get_bool()? {
-        return Ok(None);
-    }
-    Ok(Some(NodeRef {
-        blob: BlobId::new(r.get_u64()?),
-        version: Version::new(r.get_u64()?),
-    }))
-}
-
-/// Encodes a block descriptor.
-pub fn put_block_descriptor(w: &mut WireWriter, d: &BlockDescriptor) {
-    w.put_u64(d.block_id.raw());
-    w.put_u64(d.providers.len() as u64);
-    for &p in &d.providers {
-        w.put_u32(p);
-    }
-    w.put_u32(d.len);
-}
-
-/// Decodes a block descriptor.
-pub fn get_block_descriptor(r: &mut WireReader<'_>) -> Result<BlockDescriptor> {
-    let block_id = BlockId::new(r.get_u64()?);
-    let n = r.get_u64()? as usize;
-    let mut providers = Vec::with_capacity(n.min(1024));
-    for _ in 0..n {
-        providers.push(r.get_u32()?);
-    }
-    Ok(BlockDescriptor {
-        block_id,
-        providers,
-        len: r.get_u32()?,
-    })
-}
-
-/// Encodes a metadata tree node.
-pub fn put_tree_node(w: &mut WireWriter, node: &TreeNode) {
-    match node {
-        TreeNode::Inner { left, right } => {
-            w.put_u8(0);
-            put_opt_node_ref(w, left);
-            put_opt_node_ref(w, right);
-        }
-        TreeNode::Leaf(d) => {
-            w.put_u8(1);
-            put_block_descriptor(w, d);
-        }
-        TreeNode::LeafAlias(target) => {
-            w.put_u8(2);
-            put_opt_node_ref(w, target);
-        }
-    }
-}
-
-/// Decodes a metadata tree node.
-pub fn get_tree_node(r: &mut WireReader<'_>) -> Result<TreeNode> {
-    Ok(match r.get_u8()? {
-        0 => TreeNode::Inner {
-            left: get_opt_node_ref(r)?,
-            right: get_opt_node_ref(r)?,
-        },
-        1 => TreeNode::Leaf(get_block_descriptor(r)?),
-        2 => TreeNode::LeafAlias(get_opt_node_ref(r)?),
-        t => return Err(Error::Transport(format!("wire: unknown tree-node tag {t}"))),
     })
 }
 
@@ -538,6 +415,8 @@ pub fn decode_response(body: &[u8]) -> Result<WireReader<'_>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blobseer_core::meta::key::{BlockRange, Pos};
+    use blobseer_core::meta::node::{BlockDescriptor, NodeRef, TreeNode};
 
     #[test]
     fn frames_roundtrip_over_a_buffer() {

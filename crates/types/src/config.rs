@@ -5,6 +5,7 @@
 //! placement for BlobSeer. Tests and benches shrink the block size so that
 //! realistic multi-block files fit in memory.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Default patience of the unaligned-append slow path: how long a writer
@@ -117,6 +118,13 @@ pub struct BlobSeerConfig {
     /// harness cannot gate extra OS threads; see
     /// `experiments::concurrent`). Must be at least 1.
     pub client_io_threads: Option<usize>,
+    /// Root directory of the durable (disk-backed) storage tier. `None`
+    /// (the default) keeps every service RAM-backed, as in all previous
+    /// backends; `Some(dir)` makes a `LoopbackCluster` host its data
+    /// providers, metadata DHT and version manager on append-only files
+    /// under `dir`, so a stopped cluster can be re-booted on the same
+    /// directory with all BLOBs, versions and metadata intact.
+    pub data_dir: Option<PathBuf>,
     /// Read-ahead window of a BSFS input stream in bytes. While a caller
     /// consumes block *b*, the stream prefetches up to this many bytes
     /// ahead through the fan-out executor. `0` (the default) disables
@@ -141,6 +149,7 @@ impl Default for BlobSeerConfig {
             rpc_server_workers: DEFAULT_RPC_SERVER_WORKERS,
             rpc_server_queue_depth: DEFAULT_RPC_SERVER_QUEUE_DEPTH,
             read_cache_bytes: 0,
+            data_dir: None,
             client_io_threads: None,
             readahead_bytes: 0,
         }
@@ -166,6 +175,7 @@ impl BlobSeerConfig {
             rpc_server_workers: DEFAULT_RPC_SERVER_WORKERS,
             rpc_server_queue_depth: DEFAULT_RPC_SERVER_QUEUE_DEPTH,
             read_cache_bytes: 0,
+            data_dir: None,
             // Small but real fan-out: tests exercise the pooled dispatch
             // path by default while staying cheap on 1-CPU runners.
             client_io_threads: Some(2),
@@ -246,6 +256,15 @@ impl BlobSeerConfig {
     #[must_use]
     pub fn with_read_cache_bytes(mut self, bytes: u64) -> Self {
         self.read_cache_bytes = bytes;
+        self
+    }
+
+    /// Builder-style override of the durable-storage root. Booting a
+    /// cluster with this set hosts its services on append-only files
+    /// under `dir` (created if absent) instead of RAM.
+    #[must_use]
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
         self
     }
 
@@ -362,6 +381,7 @@ mod tests {
         assert_eq!(c.rpc_server_workers, 4);
         assert_eq!(c.rpc_server_queue_depth, 128);
         assert_eq!(c.read_cache_bytes, 0, "figure runs are cache-cold");
+        assert_eq!(c.data_dir, None, "RAM-backed unless opted in");
         assert_eq!(c.client_io_threads, None, "auto: min(8, providers)");
         assert_eq!(c.readahead_bytes, 0, "read-ahead is opt-in");
 
@@ -383,6 +403,7 @@ mod tests {
             .with_rpc_server_workers(3)
             .with_rpc_server_queue_depth(16)
             .with_read_cache_bytes(1 << 20)
+            .with_data_dir("/tmp/blobseer-data")
             .with_client_io_threads(4)
             .with_readahead_bytes(4096);
         assert_eq!(c.unaligned_append_timeout, Duration::from_millis(50));
@@ -395,6 +416,7 @@ mod tests {
         assert_eq!(c.rpc_server_workers, 3);
         assert_eq!(c.rpc_server_queue_depth, 16);
         assert_eq!(c.read_cache_bytes, 1 << 20);
+        assert_eq!(c.data_dir, Some(PathBuf::from("/tmp/blobseer-data")));
         assert_eq!(c.client_io_threads, Some(4));
         assert_eq!(c.readahead_bytes, 4096);
         assert_eq!(c.readahead_blocks(), 4, "1024-byte blocks, 4 KB window");

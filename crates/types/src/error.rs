@@ -81,6 +81,13 @@ pub enum Error {
     /// level, e.g. [`Error::WriteAborted`]) apart from "the provider is
     /// unreachable" (retriable at the transport level).
     Transport(String),
+    /// A durable-storage failure on a disk-backed provider: an I/O error
+    /// on the volume/record-log files, or an on-disk image that fails its
+    /// integrity checks beyond what torn-tail recovery can repair (e.g. a
+    /// version log replaying to a different state than it recorded).
+    /// Distinct from [`Error::Transport`]: the service is reachable but
+    /// its storage is not trustworthy.
+    Storage(String),
     /// Catch-all for internal invariant violations (a bug if ever seen).
     Internal(String),
 }
@@ -117,6 +124,7 @@ impl fmt::Display for Error {
             Error::StreamClosed => write!(f, "stream already closed"),
             Error::Timeout(what) => write!(f, "timed out waiting for {what}"),
             Error::Transport(why) => write!(f, "rpc transport failure: {why}"),
+            Error::Storage(why) => write!(f, "durable storage failure: {why}"),
             Error::Internal(why) => write!(f, "internal invariant violated: {why}"),
         }
     }
@@ -153,6 +161,10 @@ mod tests {
             (
                 Error::Transport("connection refused".into()),
                 "rpc transport failure: connection refused",
+            ),
+            (
+                Error::Storage("volume checksum mismatch".into()),
+                "durable storage failure: volume checksum mismatch",
             ),
         ];
         for (e, msg) in cases {

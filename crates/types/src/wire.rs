@@ -149,6 +149,10 @@ impl WireWriter {
                 self.put_u8(18);
                 self.put_str(s);
             }
+            Error::Storage(s) => {
+                self.put_u8(20);
+                self.put_str(s);
+            }
             Error::Internal(s) => {
                 self.put_u8(19);
                 self.put_str(s);
@@ -281,6 +285,7 @@ impl<'a> WireReader<'a> {
             17 => Error::Timeout(self.get_str()?),
             18 => Error::Transport(self.get_str()?),
             19 => Error::Internal(self.get_str()?),
+            20 => Error::Storage(self.get_str()?),
             t => return Err(Error::Transport(format!("wire: unknown error tag {t}"))),
         })
     }
@@ -359,6 +364,7 @@ pub fn error_fixture() -> Vec<Error> {
         Error::Timeout("reveal of blob#1 v4".into()),
         Error::Transport("connection reset by peer".into()),
         Error::Internal("double commit of blob#1 v1".into()),
+        Error::Storage("volume frame crc mismatch at offset 4096".into()),
     ]
 }
 

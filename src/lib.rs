@@ -6,6 +6,7 @@
 //! EXPERIMENTS.md for the reproduction methodology.
 
 pub use blobseer_core;
+pub use blobseer_disk;
 pub use blobseer_rpc;
 pub use blobseer_types;
 pub use bsfs;

@@ -18,10 +18,16 @@
 //!    (including partial batch failures via `FailOnce`) and the RPC
 //!    loopback adapters (including per-item conflicts inside one frame).
 //!
-//! 4. **Cached ≡ uncached** (this PR): the hot-read LRU decorators
+//! 4. **Cached ≡ uncached** (PR 7): the hot-read LRU decorators
 //!    (`CachedBlockStore`/`CachedMetaStore`) must be observationally
 //!    invisible under every script — including conflicts, deletes and
 //!    evictions forced by a tiny byte budget.
+//!
+//! 5. **Disk-backed ≡ in-memory** (this PR): the append-only stores of
+//!    `blobseer-disk` must answer every op script exactly like the
+//!    in-memory adapters — per-item results, conflicts, byte accounting —
+//!    including variants that close and reopen the disk stores mid-script
+//!    (a simulated restart must be observationally a no-op).
 //!
 //! Plus wire-codec round-trip properties: random domain values encode and
 //! decode to themselves, and every `Error` variant survives the trip.
@@ -33,6 +39,8 @@ use blobseer_core::meta::key::{NodeKey, Pos};
 use blobseer_core::meta::node::{BlockDescriptor, NodeRef, TreeNode};
 use blobseer_core::ports::{BlockStore, MetaStore};
 use blobseer_core::{BlobSeer, CachedBlockStore, CachedMetaStore, EngineStats, WriteIntent};
+use blobseer_disk::testutil::TempDir;
+use blobseer_disk::{DiskMetaStore, DiskProviderSet};
 use blobseer_rpc::LoopbackCluster;
 use blobseer_types::wire::{error_fixture, WireReader, WireWriter};
 use blobseer_types::{BlobId, BlobSeerConfig, BlockId, Error, NodeId, Version};
@@ -395,6 +403,116 @@ proptest! {
                 }
             }
             prop_assert_eq!(MetaStore::node_count(&cached), bare.node_count());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The disk-backed provider set answers every vectored op script
+    /// exactly like the in-memory store driven by the equivalent single-op
+    /// sequence — per-item results, block counts, byte accounting, layout.
+    #[test]
+    fn disk_blocks_equal_in_memory_single_op_sequence(script in vec_ops()) {
+        let tmp = TempDir::new("equiv-disk-blocks");
+        let disk = DiskProviderSet::open(tmp.path(), 2, |i| NodeId::new(i as u64)).unwrap();
+        let mem = ProviderSet::with_shards(2, |i| NodeId::new(i as u64), 32);
+        assert_block_batches_match_singles(&script, &disk, &mem, None);
+    }
+
+    /// Same property with a simulated process restart between script
+    /// sections: `reopen()` drops the in-memory index and rebuilds it from
+    /// the volume files, and the equivalence must not notice.
+    #[test]
+    fn disk_blocks_stay_equivalent_across_mid_script_reopen(script in vec_ops()) {
+        let tmp = TempDir::new("equiv-disk-reopen");
+        let disk = DiskProviderSet::open(tmp.path(), 2, |i| NodeId::new(i as u64)).unwrap();
+        let mem = ProviderSet::with_shards(2, |i| NodeId::new(i as u64), 32);
+        for chunk in script.chunks(4) {
+            assert_block_batches_match_singles(chunk, &disk, &mem, None);
+            disk.reopen().unwrap();
+        }
+        // Full sweep over the key space after the final restart.
+        for provider in 0..2u8 {
+            for key in 0..=255u8 {
+                let id = block_id(provider, key);
+                prop_assert_eq!(
+                    BlockStore::get(&disk, provider as usize, id).ok(),
+                    BlockStore::get(&mem, provider as usize, id).ok()
+                );
+            }
+        }
+    }
+
+    /// The disk metadata store ≡ the in-memory DHT under vectored scripts
+    /// with idempotent and conflicting re-puts, restarting the disk store
+    /// periodically mid-script. Single-replica DHT: the disk backend keeps
+    /// one durable copy per node, so `replication = 1` is the comparable
+    /// configuration.
+    #[test]
+    fn disk_meta_equals_in_memory_across_reopen(
+        script in proptest::collection::vec(
+            (0u8..3, proptest::collection::vec((any::<u8>(), any::<bool>()), 0..24)),
+            1..30,
+        )
+    ) {
+        let tmp = TempDir::new("equiv-disk-meta");
+        let disk = DiskMetaStore::open(tmp.path(), 4).unwrap();
+        let mem = MetaDht::with_stripes(4, 1, 32);
+        let key_of = |k: u8| NodeKey::new(
+            BlobId::new(1),
+            Version::new(1 + (k % 5) as u64),
+            Pos::new(k as u64, 1),
+        );
+        let node_of = |k: u8, salted: bool| {
+            TreeNode::Leaf(BlockDescriptor {
+                block_id: BlockId::new(k as u64 * 2 + salted as u64),
+                providers: vec![0],
+                len: 64,
+            })
+        };
+        for (i, (kind, items)) in script.iter().enumerate() {
+            match kind {
+                0 => {
+                    let batch: Vec<(NodeKey, TreeNode)> = items
+                        .iter()
+                        .map(|&(k, salted)| (key_of(k), node_of(k, salted)))
+                        .collect();
+                    let a = MetaStore::put_many(&disk, &batch);
+                    let b: Vec<_> = batch
+                        .iter()
+                        .map(|(key, node)| mem.put(*key, node.clone()))
+                        .collect();
+                    prop_assert_eq!(a, b, "disk meta put_many diverged");
+                }
+                1 => {
+                    let keys: Vec<NodeKey> = items.iter().map(|&(k, _)| key_of(k)).collect();
+                    let a = MetaStore::get_many(&disk, &keys);
+                    let b: Vec<_> = keys.iter().map(|key| mem.get(key)).collect();
+                    prop_assert_eq!(a, b, "disk meta get_many diverged");
+                }
+                _ => {
+                    let keys: Vec<NodeKey> = items.iter().map(|&(k, _)| key_of(k)).collect();
+                    let a = MetaStore::delete_many(&disk, &keys);
+                    let b: Vec<Result<bool, Error>> =
+                        keys.iter().map(|key| Ok(mem.delete(key))).collect();
+                    prop_assert_eq!(a, b, "disk meta delete_many diverged");
+                }
+            }
+            prop_assert_eq!(MetaStore::node_count(&disk), mem.node_count());
+            if i % 7 == 3 {
+                disk.reopen().unwrap();
+            }
+        }
+        // Placement parity: both sides home every key on the same shard,
+        // so a backend swap moves no keys.
+        for k in 0..=255u8 {
+            let key = key_of(k);
+            prop_assert_eq!(
+                MetaStore::fanout_shard(&disk, &key),
+                mem.shard_of(&key)
+            );
         }
     }
 }
