@@ -11,4 +11,8 @@ fn main() {
         fig4::paper_counts()
     };
     bench::print_figure(&fig4::run(&c, &counts));
+    if bench::verbose_mode() {
+        println!("--- diagnostics ---");
+        println!("{}", experiments::lock_stats_line());
+    }
 }

@@ -6,6 +6,7 @@
 //! * `benches/` — Criterion microbenchmarks of the live engine (segment
 //!   tree, DHT, version manager, concurrent I/O, placement) plus the
 //!   figure models and calibration-constant ablations.
+#![forbid(unsafe_code)]
 
 use experiments::Figure;
 
@@ -21,4 +22,10 @@ pub fn print_figure(fig: &Figure) {
 /// smoke tests stay fast.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Parses an optional `--verbose` flag: figure drivers then append
+/// diagnostics (e.g. the shim's lock-contention counters) after the CSV.
+pub fn verbose_mode() -> bool {
+    std::env::args().any(|a| a == "--verbose")
 }

@@ -1,0 +1,33 @@
+//! `cargo run -p blobseer-analysis --bin lint [root]` — scans every `.rs`
+//! file of the workspace against the repo's lint rules (see the crate
+//! docs and `docs/ANALYSIS.md`) and exits non-zero on any finding.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => blobseer_analysis::workspace_root(),
+    };
+    let findings = match blobseer_analysis::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!(
+            "lint: OK — no violations ({} rules) under {}",
+            blobseer_analysis::ALL_RULES.len(),
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

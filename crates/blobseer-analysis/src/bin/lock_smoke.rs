@@ -1,0 +1,50 @@
+//! CI smoke for the shim's deadlock detector: force-enables lock
+//! checking, acquires two named locks in one order and then in the
+//! opposite order, and exits 0 **only if the detector panicked**. A
+//! silently green run here would mean the `static-analysis` CI job can no
+//! longer fail on a real lock-order inversion.
+
+use parking_lot::{check, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    check::force_enable();
+    let a = Mutex::named(0u32, "smoke.a");
+    let b = Mutex::named(0u32, "smoke.b");
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    // Keep the detector's panic message off stderr: it is the expected
+    // outcome, not a failure.
+    std::panic::set_hook(Box::new(|_| {}));
+    let inverted = catch_unwind(AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }));
+    let _ = std::panic::take_hook();
+    match inverted {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            if msg.contains("lock-order cycle detected") {
+                println!("lock_smoke: OK — inversion caught:");
+                println!(
+                    "  {}",
+                    msg.lines().next().unwrap_or("lock-order cycle detected")
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("lock_smoke: panicked, but not with a cycle report: {msg}");
+                ExitCode::FAILURE
+            }
+        }
+        Ok(()) => {
+            eprintln!("lock_smoke: FAILED — inverted acquisition was not detected");
+            ExitCode::FAILURE
+        }
+    }
+}

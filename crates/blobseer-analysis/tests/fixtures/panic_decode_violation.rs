@@ -1,0 +1,8 @@
+// Fixture: panic! in an RPC decode path.
+pub fn decode_op(tag: u8) -> &'static str {
+    match tag {
+        0 => "read",
+        1 => "write",
+        _ => panic!("unknown opcode {tag}"),
+    }
+}

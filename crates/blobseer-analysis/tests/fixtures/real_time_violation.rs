@@ -1,0 +1,5 @@
+// Fixture: wall-clock time and real sleeps inside SimGate-charged code.
+pub fn wait_a_bit() -> std::time::Instant {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    std::time::Instant::now()
+}

@@ -1,0 +1,6 @@
+// Fixture: raw std::sync lock outside the shim and simnet::gate.
+pub static COUNTER: std::sync::Mutex<u64> = std::sync::Mutex::new(0);
+
+pub fn guard() -> std::sync::MutexGuard<'static, u64> {
+    COUNTER.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,11 @@
+// Fixture: protocol-library code using unwrap/expect. Linted by
+// tests/lint_rules.rs under a blobseer-core relative path; the walker
+// skips `fixtures/` directories so this file never reaches the real lint.
+pub fn decode(bytes: &[u8]) -> u32 {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}
+
+pub fn tail(v: &[u32]) -> u32 {
+    *v.last().expect("non-empty")
+}

@@ -38,7 +38,7 @@ impl DataProvider {
     pub fn with_shards(node: NodeId, n_shards: usize) -> Self {
         Self {
             node,
-            blocks: ShardedMap::new(n_shards),
+            blocks: ShardedMap::named(n_shards, "data_provider.blocks"),
             bytes_stored: AtomicU64::new(0),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),

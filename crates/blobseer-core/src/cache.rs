@@ -102,9 +102,9 @@ impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
         self.map.insert(key, LruEntry { value, size, tick });
         let mut evicted = 0;
         while self.bytes > self.budget {
-            let (&oldest, _) = self.order.iter().next().expect("bytes>0 implies entries");
-            let victim = self.order.remove(&oldest).expect("key just observed");
-            let entry = self.map.remove(&victim).expect("order and map in sync");
+            let (&oldest, _) = self.order.iter().next().expect("bytes>0 implies entries"); // lint:allow(no-unwrap): Lru invariant: bytes>0 implies resident entries
+            let victim = self.order.remove(&oldest).expect("key just observed"); // lint:allow(no-unwrap): key returned by the iterator one line up
+            let entry = self.map.remove(&victim).expect("order and map in sync"); // lint:allow(no-unwrap): Lru invariant: order and map always agree
             self.bytes -= entry.size;
             evicted += 1;
         }
@@ -140,7 +140,7 @@ impl CachedBlockStore {
     pub fn new(inner: Arc<dyn BlockStore>, budget_bytes: u64, stats: Arc<EngineStats>) -> Self {
         Self {
             inner,
-            lru: Mutex::new(Lru::new(budget_bytes)),
+            lru: Mutex::named(Lru::new(budget_bytes), "cache.blocks.lru"),
             stats,
         }
     }
@@ -247,7 +247,7 @@ impl BlockStore for CachedBlockStore {
         }
         self.count(hits, misses, evicted);
         out.into_iter()
-            .map(|r| r.expect("every slot answered"))
+            .map(|r| r.expect("every slot answered")) // lint:allow(no-unwrap): batched dispatch fills every slot exactly once
             .collect()
     }
 
@@ -303,7 +303,7 @@ impl CachedMetaStore {
     pub fn new(inner: Arc<dyn MetaStore>, budget_bytes: u64, stats: Arc<EngineStats>) -> Self {
         Self {
             inner,
-            lru: Mutex::new(Lru::new(budget_bytes)),
+            lru: Mutex::named(Lru::new(budget_bytes), "cache.meta.lru"),
             stats,
         }
     }
@@ -390,7 +390,7 @@ impl MetaStore for CachedMetaStore {
         }
         self.count(hits, misses, evicted);
         out.into_iter()
-            .map(|r| r.expect("every slot answered"))
+            .map(|r| r.expect("every slot answered")) // lint:allow(no-unwrap): batched dispatch fills every slot exactly once
             .collect()
     }
 

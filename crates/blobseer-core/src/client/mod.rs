@@ -141,7 +141,18 @@ impl BlobClient {
     }
 
     /// Creates a new empty BLOB (§III-A.1).
+    ///
+    /// # Panics
+    /// Panics when the version manager is unreachable or its durable log
+    /// cannot be appended; use [`Self::try_create`] to handle that as an
+    /// error instead.
     pub fn create(&self) -> BlobId {
+        // lint:allow(no-unwrap): documented convenience wrapper; the fallible path is try_create
+        self.try_create().expect("create_blob failed")
+    }
+
+    /// [`Self::create`], propagating service-level failures.
+    pub fn try_create(&self) -> Result<BlobId> {
         self.sys.vm.create_blob()
     }
 

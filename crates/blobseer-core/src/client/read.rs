@@ -133,7 +133,7 @@ impl BlobClient {
                 let desc = located[i]
                     .desc
                     .as_ref()
-                    .expect("fallback only runs for fetched descriptors");
+                    .expect("fallback only runs for fetched descriptors"); // lint:allow(no-unwrap): fallback waves only enumerate fetched descriptors
                 let mut candidates: Vec<usize> = desc
                     .providers
                     .iter()
@@ -153,7 +153,7 @@ impl BlobClient {
                     continue;
                 }
                 if let Some(p) = candidates.pop() {
-                    let id = located[*i].desc.as_ref().expect("checked above").block_id;
+                    let id = located[*i].desc.as_ref().expect("checked above").block_id; // lint:allow(no-unwrap): same descriptor unwrapped at wave setup
                     push_grouped(&mut wave, p, (s, id));
                 }
             }

@@ -31,7 +31,7 @@ impl Default for MetaProvider {
 impl MetaProvider {
     fn with_stripes(n_stripes: usize) -> Self {
         Self {
-            map: ShardedMap::new(n_stripes),
+            map: ShardedMap::named(n_stripes, "meta_dht.map"),
             puts: std::sync::atomic::AtomicU64::new(0),
             gets: std::sync::atomic::AtomicU64::new(0),
         }

@@ -28,10 +28,11 @@
 //! deterministic first-error and accounting semantics regardless of
 //! completion order.
 
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A queued unit of work. Each wraps one caller job plus the bookkeeping
@@ -53,7 +54,7 @@ impl Pool {
     /// Blocks until a job is available (running it is the caller's duty)
     /// or the pool is stopped.
     fn next_job(&self) -> Option<Job> {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = self.queue.lock();
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 return None;
@@ -61,7 +62,7 @@ impl Pool {
             if let Some(job) = q.pop_front() {
                 return Some(job);
             }
-            q = self.signal.wait(q).unwrap();
+            self.signal.wait(&mut q);
         }
     }
 }
@@ -105,8 +106,8 @@ impl FanoutExecutor {
             };
         }
         let pool = Arc::new(Pool {
-            queue: Mutex::new(VecDeque::new()),
-            signal: Condvar::new(),
+            queue: Mutex::named(VecDeque::new(), "exec.queue"),
+            signal: Condvar::named("exec.signal"),
             stop: AtomicBool::new(false),
         });
         let workers = (0..threads)
@@ -119,7 +120,7 @@ impl FanoutExecutor {
                             job();
                         }
                     })
-                    .expect("spawn fan-out worker")
+                    .expect("spawn fan-out worker") // lint:allow(no-unwrap): thread-spawn failure at pool construction is unrecoverable
             })
             .collect();
         Self {
@@ -152,25 +153,25 @@ impl FanoutExecutor {
             _ => return jobs.into_iter().map(|job| job()).collect(),
         };
         let group = Arc::new(Group {
-            slots: Mutex::new((0..n).map(|_| None).collect()),
+            slots: Mutex::named((0..n).map(|_| None).collect(), "exec.group.slots"),
             remaining: AtomicUsize::new(n),
         });
         {
-            let mut q = pool.queue.lock().unwrap();
+            let mut q = pool.queue.lock();
             for (i, job) in jobs.into_iter().enumerate() {
                 q.push_back(group_job(pool, &group, i, job));
             }
             pool.signal.notify_all();
         }
         // Help: run queued jobs (ours or anyone's) until our group is done.
-        let mut q = pool.queue.lock().unwrap();
+        let mut q = pool.queue.lock();
         while group.remaining.load(Ordering::Acquire) != 0 {
             if let Some(job) = q.pop_front() {
                 drop(q);
                 job();
-                q = pool.queue.lock().unwrap();
+                q = pool.queue.lock();
             } else {
-                q = pool.signal.wait(q).unwrap();
+                pool.signal.wait(&mut q);
             }
         }
         drop(q);
@@ -191,11 +192,11 @@ impl FanoutExecutor {
             return Pending(PendingState::Ready(job()));
         };
         let group = Arc::new(Group {
-            slots: Mutex::new(vec![None]),
+            slots: Mutex::named(vec![None], "exec.group.slots"),
             remaining: AtomicUsize::new(1),
         });
         {
-            let mut q = pool.queue.lock().unwrap();
+            let mut q = pool.queue.lock();
             q.push_back(group_job(pool, &group, 0, job));
             pool.signal.notify_one();
         }
@@ -217,20 +218,21 @@ where
     let group = Arc::clone(group);
     Box::new(move || {
         let out = catch_unwind(AssertUnwindSafe(job));
-        group.slots.lock().unwrap()[index] = Some(out);
+        group.slots.lock()[index] = Some(out);
         group.remaining.fetch_sub(1, Ordering::Release);
         // Taking the queue lock before notifying pairs with waiters that
         // re-check `remaining` under the same lock: no lost wakeups.
-        let _q = pool.queue.lock().unwrap();
+        let _q = pool.queue.lock();
         pool.signal.notify_all();
     })
 }
 
 /// Drains a settled group into results, re-raising the first panic.
 fn collect<T>(group: &Group<T>) -> Vec<T> {
-    let mut slots = group.slots.lock().unwrap();
+    let mut slots = group.slots.lock();
     slots
         .drain(..)
+        // lint:allow(no-unwrap): collect runs only after the group latch settles every slot
         .map(|slot| match slot.expect("group settled with empty slot") {
             Ok(value) => value,
             Err(payload) => resume_unwind(payload),
@@ -242,7 +244,7 @@ impl Drop for FanoutExecutor {
     fn drop(&mut self) {
         if let Some(pool) = &self.pool {
             pool.stop.store(true, Ordering::Relaxed);
-            let _q = pool.queue.lock().unwrap();
+            let _q = pool.queue.lock();
             pool.signal.notify_all();
         }
         for worker in self.workers.drain(..) {
@@ -275,18 +277,18 @@ impl<T: Send + 'static> Pending<T> {
         match self.0 {
             PendingState::Ready(value) => value,
             PendingState::Queued { pool, group } => {
-                let mut q = pool.queue.lock().unwrap();
+                let mut q = pool.queue.lock();
                 while group.remaining.load(Ordering::Acquire) != 0 {
                     if let Some(job) = q.pop_front() {
                         drop(q);
                         job();
-                        q = pool.queue.lock().unwrap();
+                        q = pool.queue.lock();
                     } else {
-                        q = pool.signal.wait(q).unwrap();
+                        pool.signal.wait(&mut q);
                     }
                 }
                 drop(q);
-                collect(&group).pop().expect("single-slot group")
+                collect(&group).pop().expect("single-slot group") // lint:allow(no-unwrap): single-slot group settled by the wait above
             }
         }
     }
@@ -307,14 +309,14 @@ mod tests {
             .map(|i| {
                 let order = Arc::clone(&order);
                 move || {
-                    order.lock().unwrap().push(i);
+                    order.lock().push(i);
                     i * 10
                 }
             })
             .collect();
         let results = exec.fanout(jobs);
         assert_eq!(results, (0..8).map(|i| i * 10).collect::<Vec<_>>());
-        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
     }
 
     #[test]

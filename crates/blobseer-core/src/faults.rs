@@ -129,7 +129,7 @@ impl FaultyBlockStore {
         Self {
             inner,
             plan,
-            delayed: Mutex::new(Vec::new()),
+            delayed: Mutex::named(Vec::new(), "faults.block.delayed"),
         }
     }
 
@@ -218,7 +218,7 @@ impl FaultyMetaStore {
         Self {
             inner,
             plan,
-            delayed: Mutex::new(Vec::new()),
+            delayed: Mutex::named(Vec::new(), "faults.meta.delayed"),
         }
     }
 

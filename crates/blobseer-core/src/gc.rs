@@ -68,7 +68,7 @@ pub struct GcTracker {
 impl Default for GcTracker {
     fn default() -> Self {
         Self {
-            node_rc: ShardedMap::new(DEFAULT_SHARDS),
+            node_rc: ShardedMap::named(DEFAULT_SHARDS, "gc.node_rc"),
         }
     }
 }

@@ -41,6 +41,7 @@
 //! assert_eq!(&client.read(blob, Some(v1), 0, 6).unwrap()[..], b"hello ");
 //! assert_eq!(&client.read(blob, Some(v2), 0, 11).unwrap()[..], b"hello world");
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod block_store;
 pub mod cache;

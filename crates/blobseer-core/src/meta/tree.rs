@@ -93,7 +93,7 @@ impl<'a> TreeStore<'a> {
             }
         }
         out.into_iter()
-            .map(|slot| slot.expect("every level item grouped exactly once"))
+            .map(|slot| slot.expect("every level item grouped exactly once")) // lint:allow(no-unwrap): grouping assigns each item to exactly one slot
             .collect()
     }
 
@@ -120,7 +120,7 @@ impl<'a> TreeStore<'a> {
             }
         }
         out.into_iter()
-            .map(|slot| slot.expect("every frontier key grouped exactly once"))
+            .map(|slot| slot.expect("every frontier key grouped exactly once")) // lint:allow(no-unwrap): grouping assigns each key to exactly one slot
             .collect()
     }
     /// Publishes the metadata of a normal write. `leaves` maps each block
@@ -260,7 +260,7 @@ impl<'a> TreeStore<'a> {
                 LeafMode::Blocks(leaves) => {
                     let desc = leaves
                         .get(&pos.start)
-                        .expect("materialized leaf must have a descriptor")
+                        .expect("materialized leaf must have a descriptor") // lint:allow(no-unwrap): LeafMode::Blocks materializes a descriptor per leaf
                         .clone();
                     TreeNode::Leaf(desc)
                 }
@@ -390,7 +390,7 @@ impl<'a> TreeStore<'a> {
         }
         let out: Vec<LocatedBlock> = slots
             .into_iter()
-            .map(|s| s.expect("descent covered every queried block"))
+            .map(|s| s.expect("descent covered every queried block")) // lint:allow(no-unwrap): descent covers every queried block or errors earlier
             .collect();
         debug_assert_eq!(out.len() as u64, query.len());
         Ok(out)

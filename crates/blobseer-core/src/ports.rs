@@ -282,7 +282,7 @@ pub trait MetaStore: Send + Sync {
 ///
 /// let vm: Arc<dyn VersionService> =
 ///     Arc::new(VersionManager::new(64, Arc::new(EngineStats::new())));
-/// let blob = vm.create_blob();
+/// let blob = vm.create_blob().unwrap();
 /// let ticket = vm.assign(blob, WriteIntent::Append { size: 128 }).unwrap();
 /// assert_eq!(ticket.version, Version::new(1));
 /// assert_eq!(vm.pending_versions(blob).unwrap(), vec![Version::new(1)]);
@@ -293,8 +293,10 @@ pub trait VersionService: Send + Sync {
     /// The configured block size (bytes).
     fn block_size(&self) -> u64;
 
-    /// Creates a new, empty BLOB.
-    fn create_blob(&self) -> BlobId;
+    /// Creates a new, empty BLOB. Fails only on service-level trouble
+    /// (unreachable version manager, durable log append failure) — there
+    /// is no per-blob precondition to violate.
+    fn create_blob(&self) -> Result<BlobId>;
 
     /// Forks `parent` at revealed version `at` (O(1), shares history).
     fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId>;
@@ -480,8 +482,8 @@ impl VersionService for crate::version_manager::VersionManager {
     fn block_size(&self) -> u64 {
         crate::version_manager::VersionManager::block_size(self)
     }
-    fn create_blob(&self) -> BlobId {
-        crate::version_manager::VersionManager::create_blob(self)
+    fn create_blob(&self) -> Result<BlobId> {
+        Ok(crate::version_manager::VersionManager::create_blob(self))
     }
     fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId> {
         crate::version_manager::VersionManager::branch(self, parent, at)
@@ -557,7 +559,7 @@ mod tests {
 
         let vm: Arc<dyn VersionService> =
             Arc::new(VersionManager::new(64, Arc::new(EngineStats::new())));
-        let blob = vm.create_blob();
+        let blob = vm.create_blob().unwrap();
         let t = vm.assign(blob, WriteIntent::Append { size: 64 }).unwrap();
         vm.commit(blob, t.version).unwrap();
         assert_eq!(vm.latest(blob).unwrap(), (Version::new(1), 64));

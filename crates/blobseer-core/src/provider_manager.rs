@@ -61,8 +61,8 @@ impl ProviderManager {
         assert!(first_block >= 1, "block ids start at 1");
         Self {
             n_providers,
-            placer: Mutex::new(Placer::new(policy, seed)),
-            loads: Mutex::new(vec![0; n_providers]),
+            placer: Mutex::named(Placer::new(policy, seed), "pm.placer"),
+            loads: Mutex::named(vec![0; n_providers], "pm.loads"),
             next_block: AtomicU64::new(first_block),
         }
     }

@@ -46,6 +46,21 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         }
     }
 
+    /// [`Self::new`] with a declared place in the lock hierarchy: stripe
+    /// `i` becomes rank `i` of the `name` family, so under
+    /// `BLOBSEER_LOCK_CHECK=1` any caller nesting stripes must take them
+    /// in ascending index order (the batched paths instead take them one
+    /// at a time; see [`stripe_runs`]).
+    pub fn named(n_shards: usize, name: &'static str) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        Self {
+            shards: (0..n_shards)
+                .map(|i| RwLock::ranked(HashMap::new(), name, i as u32))
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
     /// Number of lock stripes.
     pub fn shard_count(&self) -> usize {
         self.shards.len()

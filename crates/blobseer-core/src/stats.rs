@@ -98,6 +98,7 @@ impl EngineStats {
     /// Snapshot of all counters as plain integers, for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let locks = parking_lot::lock_stats();
         StatsSnapshot {
             blocks_written: g(&self.blocks_written),
             bytes_written: g(&self.bytes_written),
@@ -118,6 +119,8 @@ impl EngineStats {
             fanout_batches: g(&self.fanout_batches),
             fanout_max_width: g(&self.fanout_max_width),
             read_replica_fallbacks: g(&self.read_replica_fallbacks),
+            lock_contended_acquires: locks.contended_acquires,
+            lock_max_wait_ns: locks.max_wait_ns,
         }
     }
 }
@@ -144,6 +147,12 @@ pub struct StatsSnapshot {
     pub fanout_batches: u64,
     pub fanout_max_width: u64,
     pub read_replica_fallbacks: u64,
+    /// Lock acquisitions that had to block (process-wide, from the
+    /// instrumented `parking_lot` shim — not scoped to this engine).
+    pub lock_contended_acquires: u64,
+    /// Longest observed wait for any single lock acquisition, in
+    /// nanoseconds (process-wide, from the shim).
+    pub lock_max_wait_ns: u64,
 }
 
 #[cfg(test)]

@@ -152,7 +152,7 @@ impl VersionManager {
         assert!(block_size > 0, "block size must be positive");
         Self {
             block_size,
-            blobs: RwLock::new(HashMap::new()),
+            blobs: RwLock::named(HashMap::new(), "vm.blobs"),
             next_blob: AtomicU64::new(1),
             stats,
         }
@@ -169,15 +169,18 @@ impl VersionManager {
         let state = BlobState {
             id,
             base: Version::ZERO,
-            log: Arc::new(RwLock::new(Vec::new())),
+            log: Arc::new(RwLock::named(Vec::new(), "vm.blob.log")),
             ancestry: Vec::new(),
-            inner: Mutex::new(BlobInner {
-                latest_assigned: Version::ZERO,
-                revealed: Version::ZERO,
-                committed: BTreeSet::new(),
-                collected_up_to: Version::ZERO,
-            }),
-            reveal_cv: Condvar::new(),
+            inner: Mutex::named(
+                BlobInner {
+                    latest_assigned: Version::ZERO,
+                    revealed: Version::ZERO,
+                    committed: BTreeSet::new(),
+                    collected_up_to: Version::ZERO,
+                },
+                "vm.blob.inner",
+            ),
+            reveal_cv: Condvar::named("vm.blob.reveal"),
         };
         self.blobs.write().insert(id, Arc::new(state));
         id
@@ -244,15 +247,18 @@ impl VersionManager {
         let state = BlobState {
             id,
             base: at,
-            log: Arc::new(RwLock::new(Vec::new())),
+            log: Arc::new(RwLock::named(Vec::new(), "vm.blob.log")),
             ancestry,
-            inner: Mutex::new(BlobInner {
-                latest_assigned: at,
-                revealed: at,
-                committed: BTreeSet::new(),
-                collected_up_to: Version::ZERO,
-            }),
-            reveal_cv: Condvar::new(),
+            inner: Mutex::named(
+                BlobInner {
+                    latest_assigned: at,
+                    revealed: at,
+                    committed: BTreeSet::new(),
+                    collected_up_to: Version::ZERO,
+                },
+                "vm.blob.inner",
+            ),
+            reveal_cv: Condvar::named("vm.blob.reveal"),
         };
         self.blobs.write().insert(id, Arc::new(state));
         Ok(id)
@@ -274,7 +280,7 @@ impl VersionManager {
             state.base_geometry()
         } else {
             let log = state.log.read();
-            let e = log.last().expect("versions past base imply log entries");
+            let e = log.last().expect("versions past base imply log entries"); // lint:allow(no-unwrap): any version past base appended a log entry
             (e.size_after, e.cap_after)
         };
         let (offset, size) = match intent {

@@ -151,8 +151,8 @@ impl FrameLog {
             reader
                 .read_exact(&mut header)
                 .map_err(|e| storage_err(&path, "read frame header", e))?;
-            let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
-            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+            let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
             if len > MAX_FRAME_PAYLOAD || offset + FRAME_HEADER_LEN + len as u64 > file_len {
                 break; // corrupt length or torn payload
             }

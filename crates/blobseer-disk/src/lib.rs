@@ -33,6 +33,7 @@
 //! std-only scaffolding those suites share.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod frame;
 pub mod record_log;

@@ -108,8 +108,8 @@ impl DiskShard {
         let (log, table) = load_shard(&path)?;
         Ok(Self {
             path,
-            log: Mutex::new(log),
-            table: RwLock::new(table),
+            log: Mutex::named(log, "disk.record_log.log"),
+            table: RwLock::named(table, "disk.record_log.table"),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
         })
@@ -256,7 +256,7 @@ impl DiskShard {
         // Losing a disk shard means losing its file; truncate so a
         // reopen agrees with the in-memory view.
         log.truncate_all()
-            .expect("crash_shard: truncating the shard log failed");
+            .expect("crash_shard: truncating the shard log failed"); // lint:allow(no-unwrap): crash hook; a failing simulated truncate is itself a bug
         table.clear();
     }
 
@@ -334,7 +334,7 @@ impl MetaStore for DiskMetaStore {
         // rather than lie about the outcome.
         self.shards[self.shard_of(key)]
             .delete(key)
-            .expect("metadata shard log append failed during delete")
+            .expect("metadata shard log append failed during delete") // lint:allow(no-unwrap): in-memory delete already applied; diverging is fatal
     }
 
     fn put_many(&self, items: &[(NodeKey, TreeNode)]) -> Vec<Result<()>> {

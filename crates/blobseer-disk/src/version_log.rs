@@ -196,7 +196,7 @@ impl DurableVersionService {
         Ok(Self {
             path,
             block_size,
-            inner: Mutex::new(inner),
+            inner: Mutex::named(inner, "disk.version_log.inner"),
         })
     }
 
@@ -243,7 +243,7 @@ impl VersionService for DurableVersionService {
         self.block_size
     }
 
-    fn create_blob(&self) -> BlobId {
+    fn create_blob(&self) -> Result<BlobId> {
         self.mutate(
             |vm| Ok(vm.create_blob()),
             |id, w| {
@@ -251,7 +251,6 @@ impl VersionService for DurableVersionService {
                 w.put_u64(id.raw());
             },
         )
-        .expect("version log append failed during create_blob")
     }
 
     fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId> {
@@ -360,7 +359,7 @@ mod tests {
     fn versions_survive_close_and_reopen() {
         let tmp = TempDir::new("vm-reopen");
         let vm = DurableVersionService::open(log_path(&tmp), 64).unwrap();
-        let blob = vm.create_blob();
+        let blob = vm.create_blob().unwrap();
         let t1 = vm.assign(blob, WriteIntent::Append { size: 128 }).unwrap();
         vm.commit(blob, t1.version).unwrap();
         let t2 = vm
@@ -379,14 +378,14 @@ mod tests {
         assert_eq!(vm.latest(blob).unwrap(), (Version::new(2), 128));
         assert_eq!(vm.snapshot_info(blob, Version::new(1)).unwrap().size, 128);
         // Sequential id allocation resumes where the log left off.
-        assert_eq!(vm.create_blob(), BlobId::new(2));
+        assert_eq!(vm.create_blob().unwrap(), BlobId::new(2));
     }
 
     #[test]
     fn pending_versions_replay_as_pending() {
         let tmp = TempDir::new("vm-pending");
         let vm = DurableVersionService::open(log_path(&tmp), 64).unwrap();
-        let blob = vm.create_blob();
+        let blob = vm.create_blob().unwrap();
         let t1 = vm.assign(blob, WriteIntent::Append { size: 64 }).unwrap();
         let t2 = vm.assign(blob, WriteIntent::Append { size: 64 }).unwrap();
         vm.commit(blob, t1.version).unwrap();
@@ -403,7 +402,7 @@ mod tests {
     fn branches_and_gc_survive_reopen() {
         let tmp = TempDir::new("vm-branch");
         let vm = DurableVersionService::open(log_path(&tmp), 64).unwrap();
-        let blob = vm.create_blob();
+        let blob = vm.create_blob().unwrap();
         for _ in 0..3 {
             let t = vm.assign(blob, WriteIntent::Append { size: 64 }).unwrap();
             vm.commit(blob, t.version).unwrap();
@@ -425,8 +424,8 @@ mod tests {
     fn deleted_blobs_stay_deleted() {
         let tmp = TempDir::new("vm-delete");
         let vm = DurableVersionService::open(log_path(&tmp), 64).unwrap();
-        let a = vm.create_blob();
-        let b = vm.create_blob();
+        let a = vm.create_blob().unwrap();
+        let b = vm.create_blob().unwrap();
         let t = vm.assign(b, WriteIntent::Append { size: 64 }).unwrap();
         vm.commit(b, t.version).unwrap();
         vm.delete_blob(a).unwrap();
@@ -439,7 +438,7 @@ mod tests {
     fn failed_mutations_are_not_logged() {
         let tmp = TempDir::new("vm-failed");
         let vm = DurableVersionService::open(log_path(&tmp), 64).unwrap();
-        let blob = vm.create_blob();
+        let blob = vm.create_blob().unwrap();
         assert!(vm.assign(blob, WriteIntent::Append { size: 0 }).is_err());
         assert!(vm.branch(BlobId::new(99), Version::new(1)).is_err());
         // A log polluted with failed ops would fail this replay.
@@ -452,7 +451,7 @@ mod tests {
         let tmp = TempDir::new("vm-blocksize");
         {
             let vm = DurableVersionService::open(log_path(&tmp), 64).unwrap();
-            vm.create_blob();
+            vm.create_blob().unwrap();
         }
         let err = match DurableVersionService::open(log_path(&tmp), 128) {
             Err(e) => e,
@@ -465,7 +464,7 @@ mod tests {
     fn wait_revealed_crosses_threads() {
         let tmp = TempDir::new("vm-wait");
         let vm = Arc::new(DurableVersionService::open(log_path(&tmp), 64).unwrap());
-        let blob = vm.create_blob();
+        let blob = vm.create_blob().unwrap();
         let t = vm.assign(blob, WriteIntent::Append { size: 64 }).unwrap();
         let waiter = {
             let vm = Arc::clone(&vm);

@@ -133,9 +133,9 @@ impl DiskVolume {
         Ok(Self {
             node,
             path,
-            log: Mutex::new(log),
-            reader: RwLock::new(reader),
-            index: RwLock::new(index),
+            log: Mutex::named(log, "disk.volume.log"),
+            reader: RwLock::named(reader, "disk.volume.reader"),
+            index: RwLock::named(index, "disk.volume.index"),
             bytes_stored: AtomicU64::new(bytes),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),

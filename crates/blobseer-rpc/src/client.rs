@@ -114,12 +114,15 @@ impl MuxConn {
             .map_err(|e| wire::transport("clone mux stream", e))?;
         let conn = Arc::new(Self {
             addr,
-            writer: Mutex::new(stream),
-            pending: Mutex::new(Pending {
-                results: HashMap::new(),
-                closed: None,
-            }),
-            ready: Condvar::new(),
+            writer: Mutex::named(stream, "rpc.mux.writer"),
+            pending: Mutex::named(
+                Pending {
+                    results: HashMap::new(),
+                    closed: None,
+                },
+                "rpc.mux.pending",
+            ),
+            ready: Condvar::named("rpc.mux.ready"),
             next_id: AtomicU64::new(0),
             dead: AtomicBool::new(false),
         });
@@ -240,7 +243,9 @@ impl MuxPool {
         assert!(budget >= 1, "a pool needs at least one connection");
         let pool = Self {
             addr,
-            slots: (0..budget).map(|_| Mutex::new(None)).collect(),
+            slots: (0..budget)
+                .map(|i| Mutex::ranked(None, "rpc.mux.slot", i as u32))
+                .collect(),
             next: AtomicUsize::new(0),
             stats,
         };
@@ -938,20 +943,11 @@ impl VersionService for RpcVersionService {
         self.block_size
     }
 
-    /// # Panics
-    /// Panics if the version manager is unreachable — the port has no
-    /// error channel here, and inventing a blob id locally would corrupt
-    /// the deployment.
-    fn create_blob(&self) -> BlobId {
+    fn create_blob(&self) -> Result<BlobId> {
         let mut req = WireWriter::new();
         req.put_u8(version_tag::CREATE_BLOB);
-        let payload = call(&self.pool, req).expect("version manager unreachable in create_blob");
-        BlobId::new(
-            payload
-                .reader()
-                .get_u64()
-                .expect("malformed create_blob response"),
-        )
+        let payload = call(&self.pool, req)?;
+        Ok(BlobId::new(payload.reader().get_u64()?))
     }
 
     fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId> {

@@ -152,7 +152,7 @@ impl LoopbackCluster {
                     past += 1;
                     Ok(())
                 })?;
-                (past, Some(Mutex::new(log)))
+                (past, Some(Mutex::named(log, "cluster.deployments_log")))
             }
         };
         Ok(Self {

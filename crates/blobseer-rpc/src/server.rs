@@ -222,12 +222,12 @@ impl RpcServer {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
-            handlers: Mutex::new(Vec::new()),
-            offloads: Mutex::new(Vec::new()),
-            queue: Mutex::new(VecDeque::new()),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
+            conns: Mutex::named(HashMap::new(), "rpc.server.conns"),
+            handlers: Mutex::named(Vec::new(), "rpc.server.handlers"),
+            offloads: Mutex::named(Vec::new(), "rpc.server.offloads"),
+            queue: Mutex::named(VecDeque::new(), "rpc.server.queue"),
+            not_empty: Condvar::named("rpc.server.not_empty"),
+            not_full: Condvar::named("rpc.server.not_full"),
             queue_cap: queue_depth,
             in_flight,
             frames: AtomicU64::new(0),
@@ -346,7 +346,7 @@ fn accept_loop(listener: TcpListener, service: RpcService, shared: Arc<Shared>) 
         // write half behind a mutex (responses can interleave across
         // workers, never within a frame).
         let writer = match stream.try_clone() {
-            Ok(w) => Arc::new(Mutex::new(w)),
+            Ok(w) => Arc::new(Mutex::named(w, "rpc.server.writer")),
             Err(_) => continue,
         };
         let conn_id = next_conn_id;
@@ -782,7 +782,7 @@ fn handle_version(vm: &dyn VersionService, body: &[u8]) -> Result<WireWriter> {
         }
         version_tag::CREATE_BLOB => {
             r.finish()?;
-            w.put_u64(vm.create_blob().raw());
+            w.put_u64(vm.create_blob()?.raw());
         }
         version_tag::BRANCH => {
             let parent = BlobId::new(r.get_u64()?);

@@ -31,6 +31,7 @@
 //! assert_eq!(util::read_fully(&fs, "/data/input.txt").unwrap(), b"hello bsfs\n");
 //! assert_eq!(fs.backend_name(), "BSFS");
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod fs;
 pub mod namespace;

@@ -47,7 +47,7 @@ impl Tree {
     fn insert(&mut self, path: &DfsPath, entry: NsEntry) {
         debug_assert!(!path.is_root());
         self.entries.insert(path.clone(), entry);
-        let parent = path.parent().expect("non-root");
+        let parent = path.parent().expect("non-root"); // lint:allow(no-unwrap): callers guard against root paths
         self.children
             .entry(parent)
             .or_default()
@@ -66,10 +66,18 @@ impl Tree {
 }
 
 /// The centralized namespace service.
-#[derive(Default)]
 pub struct NamespaceManager {
     tree: RwLock<Tree>,
     ops: AtomicU64,
+}
+
+impl Default for NamespaceManager {
+    fn default() -> Self {
+        Self {
+            tree: RwLock::named(Tree::default(), "bsfs.namespace.tree"),
+            ops: AtomicU64::new(0),
+        }
+    }
 }
 
 impl NamespaceManager {
@@ -109,7 +117,7 @@ impl NamespaceManager {
         let mut tree = self.tree.write();
         let mut cur = DfsPath::root();
         for comp in path.components() {
-            cur = cur.join(comp).expect("validated components");
+            cur = cur.join(comp).expect("validated components"); // lint:allow(no-unwrap): components come from a parsed DfsPath
             match tree.entry(&cur) {
                 None => tree.insert(&cur, NsEntry::Dir),
                 Some(NsEntry::Dir) => {}
@@ -133,7 +141,7 @@ impl NamespaceManager {
         if path.is_root() {
             return Err(Error::AlreadyExists("/".into()));
         }
-        let parent = path.parent().expect("non-root");
+        let parent = path.parent().expect("non-root"); // lint:allow(no-unwrap): callers guard against root paths
         self.mkdirs(&parent)?;
         self.bump();
         let mut tree = self.tree.write();
@@ -180,7 +188,7 @@ impl NamespaceManager {
                 while let Some(p) = stack.pop() {
                     if let Some(children) = tree.children.get(&p) {
                         for (name, entry) in children {
-                            let child = p.join(name).expect("validated");
+                            let child = p.join(name).expect("validated"); // lint:allow(no-unwrap): name comes from an existing child entry
                             match entry {
                                 NsEntry::File(b) => {
                                     blobs.push(*b);
@@ -235,8 +243,8 @@ impl NamespaceManager {
                 if let Some(children) = tree.children.get(&from) {
                     for (name, child_entry) in children.clone() {
                         stack.push((
-                            from.join(&name).expect("validated"),
-                            to.join(&name).expect("validated"),
+                            from.join(&name).expect("validated"), // lint:allow(no-unwrap): rename iterates validated child names
+                            to.join(&name).expect("validated"), // lint:allow(no-unwrap): rename iterates validated child names
                             child_entry,
                         ));
                     }

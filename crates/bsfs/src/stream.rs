@@ -155,7 +155,7 @@ impl DfsInput for BsfsInput {
         if !self.covers(self.pos) {
             self.fill_cache(self.pos / self.block_size)?;
         }
-        let (first, data) = self.cache.as_ref().expect("just filled");
+        let (first, data) = self.cache.as_ref().expect("just filled"); // lint:allow(no-unwrap): fill_cache populated the cache one line up
         let off = (self.pos - first * self.block_size) as usize;
         let n = buf.len().min(data.len() - off);
         buf[..n].copy_from_slice(&data[off..off + n]);

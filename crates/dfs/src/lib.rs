@@ -8,6 +8,7 @@
 //! engine is written exclusively against [`FileSystem`], so benchmarks and
 //! applications run unmodified on either backend — just like Hadoop jobs
 //! ran "out-of-the-box" on BSFS (§V-B).
+#![forbid(unsafe_code)]
 
 pub mod api;
 pub mod conformance;

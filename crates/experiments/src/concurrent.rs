@@ -479,8 +479,8 @@ impl VersionService for ConcVersionService {
     fn block_size(&self) -> u64 {
         self.inner.block_size()
     }
-    fn create_blob(&self) -> BlobId {
-        self.inner.create_blob()
+    fn create_blob(&self) -> Result<BlobId> {
+        Ok(self.inner.create_blob())
     }
     fn branch(&self, parent: BlobId, at: Version) -> Result<BlobId> {
         self.inner.branch(parent, at)

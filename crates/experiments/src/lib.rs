@@ -23,6 +23,7 @@
 //! system under test) composed from the same simulated-time primitives.
 //! Calibrated constants live in [`constants`]; `docs/REPRODUCING.md` maps
 //! every figure to its driver, expected band, and real-vs-modeled layers.
+#![forbid(unsafe_code)]
 
 pub mod concurrent;
 pub mod constants;
@@ -35,5 +36,18 @@ pub mod report;
 pub mod topology;
 
 pub use constants::Constants;
+
+/// One-line report of the process-wide lock contention counters, as
+/// surfaced on [`blobseer_core::stats::StatsSnapshot`] — printed by the
+/// figure drivers under `--verbose`. The counters come from the
+/// instrumented `parking_lot` shim and cover every lock in the process,
+/// not just the engine the snapshot was taken from.
+pub fn lock_stats_line() -> String {
+    let snap = blobseer_core::stats::EngineStats::new().snapshot();
+    format!(
+        "lock_contended_acquires={} lock_max_wait_ns={}",
+        snap.lock_contended_acquires, snap.lock_max_wait_ns
+    )
+}
 pub use report::{Figure, Series};
 pub use topology::Backend;

@@ -32,7 +32,7 @@ impl DataNode {
     pub fn new(node: NodeId) -> Self {
         Self {
             node,
-            chunks: RwLock::new(HashMap::new()),
+            chunks: RwLock::named(HashMap::new(), "hdfs.datanode.chunks"),
             bytes_stored: AtomicU64::new(0),
         }
     }

@@ -28,6 +28,7 @@
 //! assert_eq!(util::read_fully(&fs, "/data/f").unwrap(), b"hdfs bytes");
 //! assert!(fs.append("/data/f").is_err(), "no append on 0.20 (§V-F)");
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod datanode;
 pub mod fs;

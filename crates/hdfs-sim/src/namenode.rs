@@ -95,7 +95,7 @@ impl NameNode {
         Self {
             cfg,
             n_datanodes,
-            inner: Mutex::new(inner),
+            inner: Mutex::named(inner, "hdfs.namenode.inner"),
             next_chunk: AtomicU64::new(1),
             next_lease: AtomicU64::new(1),
             placement_seed: AtomicU64::new(0xD1CE),

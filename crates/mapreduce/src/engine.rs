@@ -149,7 +149,7 @@ impl JobTracker {
             mapper,
             combiner,
             tracker_nodes: self.trackers.iter().map(|t| t.node).collect(),
-            tasks: Mutex::new(
+            tasks: Mutex::named(
                 splits
                     .into_iter()
                     .map(|split| MapTask {
@@ -157,16 +157,17 @@ impl JobTracker {
                         taken: false,
                     })
                     .collect(),
+                "mr.tasks",
             ),
             shuffle: (0..job.reducers.max(1))
-                .map(|_| Mutex::new(Vec::new()))
+                .map(|i| Mutex::ranked(Vec::new(), "mr.shuffle", i as u32))
                 .collect(),
             local_maps: AtomicUsize::new(0),
             remote_maps: AtomicUsize::new(0),
             input_records: AtomicU64::new(0),
             output_records: AtomicU64::new(0),
             shuffle_records: AtomicU64::new(0),
-            errors: Mutex::new(Vec::new()),
+            errors: Mutex::named(Vec::new(), "mr.errors"),
         };
 
         // --- map phase: every slot of every tracker pulls tasks ---------
@@ -186,7 +187,7 @@ impl JobTracker {
         let mut output_files = Vec::new();
         let output_records = AtomicU64::new(0);
         if reducer.is_some() {
-            let reduce_errors: Mutex<Vec<Error>> = Mutex::new(Vec::new());
+            let reduce_errors: Mutex<Vec<Error>> = Mutex::named(Vec::new(), "mr.reduce_errors");
             let next_reduce = AtomicUsize::new(0);
             std::thread::scope(|s| {
                 for tracker in &self.trackers {

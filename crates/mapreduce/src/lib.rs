@@ -15,6 +15,7 @@
 //! Shipping applications (§V-G): [`apps::RandomTextWriter`] (map-only,
 //! massive parallel writes), [`apps::DistributedGrep`] (concurrent reads of
 //! a shared file), and [`apps::WordCount`].
+#![forbid(unsafe_code)]
 
 pub mod apps;
 pub mod engine;

@@ -42,6 +42,7 @@
 //! assert_eq!(sim.world.ticks, 2);
 //! assert_eq!(sim.now().as_millis(), 10);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod disk;
 pub mod flow;

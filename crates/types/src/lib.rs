@@ -9,6 +9,7 @@
 //! [`blobseer-core`]: https://hal.inria.fr/inria-00456801
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod config;
 pub mod error;

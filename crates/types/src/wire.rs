@@ -314,7 +314,7 @@ impl<'a> WireReader<'a> {
 fn intern_unsupported(msg: String) -> &'static str {
     const MAX_INTERNED: usize = 64;
     const MAX_LEN: usize = 128;
-    static TABLE: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+    static TABLE: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new()); // lint:allow(no-std-sync): blobseer-types stays dependency-free; bounded, leaf-level table
     if msg.len() > MAX_LEN {
         return "unsupported operation (message too long to preserve)";
     }

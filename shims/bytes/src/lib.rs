@@ -7,6 +7,7 @@
 //! `blobseer-core`'s block store depends on ("get" hands back a refcount
 //! bump, not a memcpy). [`BytesMut`] is a growable buffer that
 //! [`BytesMut::freeze`]s into a `Bytes` without copying.
+#![forbid(unsafe_code)]
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;

@@ -13,6 +13,7 @@
 //! Under `cargo test` / `cargo bench -- --test` (cargo passes `--test` to
 //! harness-less bench targets) each benchmark body runs exactly once, so
 //! bench targets double as smoke tests.
+#![forbid(unsafe_code)]
 
 pub use std::hint::black_box;
 

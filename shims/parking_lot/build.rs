@@ -1,0 +1,5 @@
+fn main() {
+    // Declare the opt-in cfg so `--cfg lock_check` builds cleanly under
+    // `-D warnings` (unexpected_cfgs).
+    println!("cargo::rustc-check-cfg=cfg(lock_check)");
+}

@@ -1,0 +1,469 @@
+//! Opt-in lock-order / deadlock checking for the shim's [`crate::Mutex`],
+//! [`crate::RwLock`] and [`crate::Condvar`].
+//!
+//! Every lock carries a `LockMeta`: a lazily assigned stable instance id
+//! plus an optional `(name, rank)` class declared at construction
+//! ([`crate::Mutex::named`] / [`crate::Mutex::ranked`]). When checking is
+//! enabled the module maintains
+//!
+//! * a **per-thread held-lock stack** (pushed on acquire, popped by guard
+//!   drop), and
+//! * a **global lock-order graph** over lock *classes*: an edge `A -> B`
+//!   is recorded the first time some thread blocks on a `B` lock while
+//!   holding an `A` lock, together with the acquisition backtrace.
+//!
+//! On every blocking acquire the checker panics — *before* the thread can
+//! deadlock — when it sees:
+//!
+//! * a **cycle**: acquiring `B` while holding `A` when the graph already
+//!   proves `B -> … -> A` (message carries both acquisition backtraces);
+//! * a **re-entrant acquisition** of the same instance (mutex re-lock,
+//!   `write` while held in any mode, `read` under its own `write`;
+//!   `read`-after-`read` is allowed, matching the shim's historical
+//!   semantics);
+//! * **two instances of the same class** held at once (give them distinct
+//!   ranks — e.g. `ShardedMap` stripes are ranked by index);
+//! * a **rank inversion** within a named family (ranks must ascend);
+//! * a [`crate::Condvar`] wait that parks while the thread holds any
+//!   checked lock besides the waited mutex.
+//!
+//! `try_lock`-style acquisitions never block, so they push a held record
+//! (later blocking acquires must still order against them) but do not
+//! record an incoming order edge themselves.
+//!
+//! Checking is off by default: every hook is behind a single relaxed
+//! atomic load. It turns on when `BLOBSEER_LOCK_CHECK=1` is set in the
+//! environment, when the crate is compiled with `--cfg lock_check`, or
+//! when a test calls [`force_enable`].
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex as StdMutex, PoisonError};
+
+/// Per-lock identity: a lazily assigned instance id plus the optional
+/// `(name, rank)` class declared at construction.
+pub(crate) struct LockMeta {
+    /// 0 = not yet assigned; ids start at 1.
+    id: AtomicU64,
+    name: Option<&'static str>,
+    rank: u32,
+}
+
+impl LockMeta {
+    pub(crate) const fn unnamed() -> Self {
+        Self {
+            id: AtomicU64::new(0),
+            name: None,
+            rank: 0,
+        }
+    }
+
+    pub(crate) const fn named(name: &'static str, rank: u32) -> Self {
+        Self {
+            id: AtomicU64::new(0),
+            name: Some(name),
+            rank,
+        }
+    }
+
+    /// The lock's stable instance id, assigned on first use under checking.
+    fn instance(&self) -> u64 {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed) + 1;
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                if let Some(name) = self.name {
+                    REGISTRY
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert((name, self.rank));
+                }
+                fresh
+            }
+            Err(existing) => existing,
+        }
+    }
+
+    fn class(&self, instance: u64) -> ClassKey {
+        match self.name {
+            Some(name) => ClassKey::Named(name, self.rank),
+            None => ClassKey::Anon(instance),
+        }
+    }
+}
+
+/// How a lock is (being) held. `Read` is shared; the other two exclusive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum HoldKind {
+    Mutex,
+    Read,
+    Write,
+}
+
+impl HoldKind {
+    fn verb(self) -> &'static str {
+        match self {
+            HoldKind::Mutex => "lock",
+            HoldKind::Read => "read",
+            HoldKind::Write => "write",
+        }
+    }
+}
+
+/// Ordering key for the lock-order graph: named locks collapse onto their
+/// `(name, rank)` class; anonymous locks are a class of one.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum ClassKey {
+    Named(&'static str, u32),
+    Anon(u64),
+}
+
+fn describe(class: ClassKey) -> String {
+    match class {
+        ClassKey::Named(name, 0) => format!("`{name}`"),
+        ClassKey::Named(name, rank) => format!("`{name}#{rank}`"),
+        ClassKey::Anon(id) => format!("<unnamed lock #{id}>"),
+    }
+}
+
+/// One entry of the per-thread held-lock stack.
+struct Held {
+    instance: u64,
+    class: ClassKey,
+    kind: HoldKind,
+}
+
+/// Token carried across a condvar park: the waited mutex's held record,
+/// popped before parking (the mutex is released while parked) and
+/// re-pushed once the wait returns.
+pub(crate) struct WaitToken(Option<Held>);
+
+// ---------------------------------------------------------------------------
+// Global state. The checker itself must not use the shim's own locks, so the
+// graph and registry live behind `std::sync` primitives.
+// ---------------------------------------------------------------------------
+
+/// 0 = undecided, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+struct EdgeInfo {
+    /// Backtrace of the acquisition that first established the edge.
+    backtrace: String,
+}
+
+type Graph = HashMap<ClassKey, HashMap<ClassKey, EdgeInfo>>;
+
+static GRAPH: std::sync::LazyLock<StdMutex<Graph>> =
+    std::sync::LazyLock::new(|| StdMutex::new(HashMap::new()));
+static REGISTRY: StdMutex<BTreeSet<(&'static str, u32)>> = StdMutex::new(BTreeSet::new());
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    /// Order edges this thread has already pushed through the global
+    /// graph — re-observing one skips the global lock entirely.
+    static SEEN_EDGES: RefCell<HashSet<(ClassKey, ClassKey)>> =
+        RefCell::new(HashSet::new());
+}
+
+/// Whether lock checking is active for this process.
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_enabled(),
+    }
+}
+
+#[cold]
+fn init_enabled() -> bool {
+    let on = cfg!(lock_check) || std::env::var("BLOBSEER_LOCK_CHECK").is_ok_and(|v| v == "1");
+    // A racing `force_enable` must win over our computed "off".
+    let _ = STATE.compare_exchange(
+        0,
+        if on { 2 } else { 1 },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    STATE.load(Ordering::Relaxed) == 2
+}
+
+/// Turns checking on for the rest of the process, regardless of the
+/// environment. Meant for tests; enabling is sticky.
+pub fn force_enable() {
+    STATE.store(2, Ordering::Relaxed);
+}
+
+/// Every named lock class that has been touched while checking was
+/// enabled, as `name` / `name#rank` strings in sorted order.
+pub fn registered_locks() -> Vec<String> {
+    REGISTRY
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|&(name, rank)| match rank {
+            0 => name.to_string(),
+            r => format!("{name}#{r}"),
+        })
+        .collect()
+}
+
+/// The lock-order edges observed so far, as `(from, to)` description
+/// pairs. Useful for asserting that an expected hierarchy edge was
+/// actually exercised by a workload.
+pub fn graph_edges() -> Vec<(String, String)> {
+    let graph = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut edges: Vec<(String, String)> = graph
+        .iter()
+        .flat_map(|(from, tos)| {
+            tos.keys()
+                .map(|to| (describe(*from), describe(*to)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    edges.sort();
+    edges
+}
+
+// ---------------------------------------------------------------------------
+// Hooks called by the lock types.
+// ---------------------------------------------------------------------------
+
+/// Validates and records a blocking acquisition. Panics on any ordering
+/// violation; on success the lock is pushed onto the held stack (the
+/// guard's drop pops it).
+pub(crate) fn before_blocking_acquire(meta: &LockMeta, kind: HoldKind) {
+    if !enabled() {
+        return;
+    }
+    let instance = meta.instance();
+    let class = meta.class(instance);
+    // Phase 1: per-thread checks, collecting the held classes to order
+    // against. Any violation message is built (and the `RefCell` borrow
+    // released) before panicking.
+    let mut order_against: Vec<ClassKey> = Vec::new();
+    let violation = HELD.with(|held| {
+        let held = held.borrow();
+        for entry in held.iter() {
+            if entry.instance == instance {
+                if entry.kind == HoldKind::Read && kind == HoldKind::Read {
+                    continue; // shared re-entrant read: allowed
+                }
+                return Some(format!(
+                    "re-entrant lock acquisition would self-deadlock: \
+                     thread already holds {} (as {}) and is acquiring it again (as {})",
+                    describe(class),
+                    entry.kind.verb(),
+                    kind.verb(),
+                ));
+            }
+            match (entry.class, class) {
+                (ClassKey::Named(held_name, held_rank), ClassKey::Named(name, rank))
+                    if held_name == name =>
+                {
+                    if held_rank == rank {
+                        return Some(format!(
+                            "two locks of class {} held by one thread: rank instances \
+                             of a lock family ordered by rank must never share a rank",
+                            describe(class),
+                        ));
+                    }
+                    if rank < held_rank {
+                        return Some(format!(
+                            "lock-rank inversion in family `{name}`: holding rank \
+                             {held_rank} while acquiring rank {rank}; ranks must be \
+                             acquired in ascending order",
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            if !order_against.contains(&entry.class) {
+                order_against.push(entry.class);
+            }
+        }
+        None
+    });
+    if let Some(msg) = violation {
+        panic!("{msg}");
+    }
+    // Phase 2: order edges through the global graph. Edges this thread has
+    // already recorded are skipped without touching the global mutex.
+    for from in order_against {
+        let fresh = SEEN_EDGES.with(|seen| seen.borrow_mut().insert((from, class)));
+        if !fresh {
+            continue;
+        }
+        if let Some(msg) = record_edge(from, class) {
+            // Withdraw the optimistic thread-local insert: the edge was
+            // rejected, so it must stay visible as "unseen" for accurate
+            // re-reporting if the panic is caught.
+            SEEN_EDGES.with(|seen| {
+                seen.borrow_mut().remove(&(from, class));
+            });
+            panic!("{msg}");
+        }
+    }
+    push_held(instance, class, kind);
+}
+
+/// Records a successful non-blocking (`try_lock`) acquisition: pushes the
+/// held record but, since the acquire could not have blocked, does not add
+/// an incoming order edge.
+pub(crate) fn on_try_acquire(meta: &LockMeta, kind: HoldKind) {
+    if !enabled() {
+        return;
+    }
+    let instance = meta.instance();
+    let class = meta.class(instance);
+    push_held(instance, class, kind);
+}
+
+fn push_held(instance: u64, class: ClassKey, kind: HoldKind) {
+    HELD.with(|held| {
+        held.borrow_mut().push(Held {
+            instance,
+            class,
+            kind,
+        })
+    });
+}
+
+/// Pops the newest held record for `meta`, tolerating locks acquired
+/// before checking was enabled (no record to pop).
+pub(crate) fn on_release(meta: &LockMeta) {
+    if !enabled() {
+        return;
+    }
+    let instance = meta.instance();
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|e| e.instance == instance) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Called when a [`crate::Condvar`] is about to park. Panics if the thread
+/// holds any checked lock besides the waited mutex (the wakeup depends on
+/// another thread taking that mutex — and likely the held lock too), then
+/// pops the mutex's record for the duration of the park.
+pub(crate) fn before_condvar_wait(meta: &LockMeta, cv_name: Option<&'static str>) -> WaitToken {
+    if !enabled() {
+        return WaitToken(None);
+    }
+    let instance = meta.instance();
+    let violation = HELD.with(|held| {
+        let held = held.borrow();
+        held.iter().find(|e| e.instance != instance).map(|other| {
+            let cv = cv_name.unwrap_or("<unnamed condvar>");
+            format!(
+                "Condvar `{cv}` wait while holding {}: parking keeps that lock \
+                 held across the wait, deadlocking any notifier that needs it",
+                describe(other.class),
+            )
+        })
+    });
+    if let Some(msg) = violation {
+        panic!("{msg}");
+    }
+    let entry = HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        held.iter()
+            .rposition(|e| e.instance == instance)
+            .map(|pos| held.remove(pos))
+    });
+    WaitToken(entry)
+}
+
+/// Re-pushes the waited mutex's held record after the park returns.
+pub(crate) fn after_condvar_wait(token: WaitToken) {
+    if let WaitToken(Some(entry)) = token {
+        HELD.with(|held| held.borrow_mut().push(entry));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global lock-order graph.
+// ---------------------------------------------------------------------------
+
+/// Inserts `from -> to`, first checking that the reverse direction is not
+/// already reachable. Returns the violation message instead of inserting
+/// when adding the edge would close a cycle.
+fn record_edge(from: ClassKey, to: ClassKey) -> Option<String> {
+    let mut graph = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+    if graph.get(&from).is_some_and(|m| m.contains_key(&to)) {
+        return None;
+    }
+    if let Some(path) = find_path(&graph, to, from) {
+        // `path` runs to -> … -> from; together with the attempted
+        // from -> to edge it forms the cycle. The first hop of the path is
+        // where the opposite order was established.
+        let chain = path
+            .iter()
+            .map(|c| describe(*c))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let prior = graph
+            .get(&path[0])
+            .and_then(|m| m.get(&path[1]))
+            .map(|e| e.backtrace.clone())
+            .unwrap_or_else(|| "<unavailable>".to_string());
+        drop(graph);
+        let current = Backtrace::force_capture();
+        return Some(format!(
+            "lock-order cycle detected: acquiring {to_d} while holding {from_d}, \
+             but the opposite order {chain} is already established.\n\
+             \n--- opposite order ({p0} -> {p1}) first established at ---\n{prior}\n\
+             \n--- conflicting acquisition of {to_d} at ---\n{current}",
+            to_d = describe(to),
+            from_d = describe(from),
+            p0 = describe(path[0]),
+            p1 = describe(path[1]),
+        ));
+    }
+    let backtrace = Backtrace::force_capture().to_string();
+    graph
+        .entry(from)
+        .or_default()
+        .insert(to, EdgeInfo { backtrace });
+    None
+}
+
+/// Depth-first search for a path `start -> … -> goal`, returned inclusive
+/// of both endpoints.
+fn find_path(graph: &Graph, start: ClassKey, goal: ClassKey) -> Option<Vec<ClassKey>> {
+    let mut stack = vec![start];
+    let mut visited = HashSet::new();
+    let mut parent: HashMap<ClassKey, ClassKey> = HashMap::new();
+    visited.insert(start);
+    while let Some(node) = stack.pop() {
+        if node == goal {
+            let mut path = vec![goal];
+            let mut cur = goal;
+            while let Some(&p) = parent.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(next) = graph.get(&node) {
+            for &succ in next.keys() {
+                if visited.insert(succ) {
+                    parent.insert(succ, node);
+                    stack.push(succ);
+                }
+            }
+        }
+    }
+    None
+}

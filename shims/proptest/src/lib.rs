@@ -14,6 +14,7 @@
 //! its generated inputs (via `Debug`) and the deterministic per-case seed,
 //! which is reproducible because generation is seeded from the test name
 //! and case number only.
+#![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
 use rand::Rng as _;

@@ -8,6 +8,7 @@
 //! It is **not** the real `StdRng` stream (ChaCha12), so absolute sampled
 //! sequences differ from upstream rand; nothing in this workspace encodes
 //! the upstream stream.
+#![forbid(unsafe_code)]
 
 pub mod rngs {
     /// Deterministic xoshiro256** generator standing in for rand's StdRng.

@@ -4,6 +4,7 @@
 //! integration tests in `tests/` can reach the whole stack through one
 //! dependency. See the README for the architecture map and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction methodology.
+#![forbid(unsafe_code)]
 
 pub use blobseer_core;
 pub use blobseer_disk;

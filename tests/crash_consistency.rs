@@ -536,7 +536,7 @@ fn version_log_recovers_committed_prefix_at_every_offset() {
     };
     // A small deterministic history touching every op kind.
     for round in 0..3u64 {
-        let blob = vm.create_blob();
+        let blob = vm.create_blob().unwrap();
         blobs.push(blob);
         snapshots.push(snap(&vm, &blobs));
         for _ in 0..=round {
@@ -572,7 +572,7 @@ fn version_log_recovers_committed_prefix_at_every_offset() {
             );
         }
         // New ids never collide with ids the committed prefix handed out.
-        let next = recovered.create_blob();
+        let next = recovered.create_blob().unwrap();
         assert_eq!(next.raw(), expected.len() as u64 + 1, "cut at byte {cut}");
     }
 }
