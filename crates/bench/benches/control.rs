@@ -1,0 +1,87 @@
+//! Control-plane microbench: what does version-manager replication cost
+//! per issued version?
+//!
+//! The replicated group (`blobseer_control::ReplicatedVersionService`)
+//! pays one replication round per mutation — leader apply + log append,
+//! then append + apply on every live follower, all under the group lock.
+//! The figure reproductions run the paper's single version manager
+//! (`version_replicas = 1`, see docs/REPRODUCING.md), so this bench is
+//! the honest price list for turning fault tolerance on: replicated vs
+//! single-VM version-issue throughput, sequential and contended.
+
+use blobseer_control::ReplicatedVersionService;
+use blobseer_core::ports::VersionService;
+use blobseer_core::stats::EngineStats;
+use blobseer_core::version_manager::VersionManager;
+use blobseer_core::WriteIntent;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const BLOCK: u64 = 64 * 1024 * 1024;
+
+/// The backends under comparison, behind the same `VersionService` port
+/// the clients use.
+fn backends() -> Vec<(&'static str, Arc<dyn VersionService>)> {
+    vec![
+        (
+            "single_vm",
+            Arc::new(VersionManager::new(BLOCK, Arc::new(EngineStats::new()))) as _,
+        ),
+        ("replicated_3", ReplicatedVersionService::new(3, BLOCK) as _),
+        ("replicated_5", ReplicatedVersionService::new(5, BLOCK) as _),
+    ]
+}
+
+/// Sequential assign+commit pairs on one BLOB — the §III-A.4 serialized
+/// step as a single client sees it.
+fn bench_version_issue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control/version_issue");
+    for (label, vm) in backends() {
+        let blob = vm.create_blob().unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let t = vm
+                    .assign(blob, WriteIntent::Append { size: BLOCK })
+                    .unwrap();
+                vm.commit(blob, t.version).unwrap();
+                black_box(t.version)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Contended assignment: 8 threads on one BLOB (the Fig. 5 hot path) —
+/// replication serializes the whole round, so this is where its cost
+/// shows up at scale.
+fn bench_contended_issue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control/contended_8_threads");
+    g.sample_size(10);
+    for (label, vm) in backends() {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let blob = vm.create_blob().unwrap();
+                let threads: Vec<_> = (0..8)
+                    .map(|_| {
+                        let vm = Arc::clone(&vm);
+                        std::thread::spawn(move || {
+                            for _ in 0..200 {
+                                let t = vm.assign(blob, WriteIntent::Append { size: 64 }).unwrap();
+                                vm.commit(blob, t.version).unwrap();
+                            }
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().unwrap();
+                }
+                black_box(vm.latest(blob).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_version_issue, bench_contended_issue);
+criterion_main!(benches);

@@ -9,7 +9,7 @@ use blobseer_core::meta::key::BlockRange;
 use blobseer_core::meta::log::{LogChain, LogEntry, LogSegment};
 use blobseer_core::meta::node::BlockDescriptor;
 use blobseer_core::meta::tree::TreeStore;
-use blobseer_core::ports::MetaStore;
+use blobseer_core::ports::{GcService, MetaStore};
 use blobseer_core::stats::EngineStats;
 use blobseer_core::FanoutExecutor;
 use blobseer_types::{BlobId, BlockId, Version};
@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 struct Fx {
     dht: Arc<dyn MetaStore>,
-    gc: GcTracker,
+    gc: Arc<dyn GcService>,
     stats: EngineStats,
     exec: FanoutExecutor,
     log: Arc<RwLock<Vec<LogEntry>>>,
@@ -32,7 +32,7 @@ impl Fx {
     fn new() -> Self {
         Self {
             dht: Arc::new(MetaDht::new(20, 1)),
-            gc: GcTracker::new(),
+            gc: Arc::new(GcTracker::new()),
             stats: EngineStats::new(),
             exec: FanoutExecutor::new(1),
             log: Arc::new(RwLock::new(Vec::new())),

@@ -76,9 +76,10 @@ impl fmt::Display for Finding {
 
 /// Crates whose library code must propagate errors instead of unwrapping:
 /// everything on the client/server protocol paths.
-const NO_UNWRAP_SCOPE: [&str; 7] = [
+const NO_UNWRAP_SCOPE: [&str; 8] = [
     "crates/types/",
     "crates/blobseer-core/",
+    "crates/blobseer-control/",
     "crates/blobseer-rpc/",
     "crates/blobseer-disk/",
     "crates/bsfs/",
@@ -90,10 +91,12 @@ const NO_UNWRAP_SCOPE: [&str; 7] = [
 const NO_REAL_TIME_SCOPE: [&str; 3] = ["crates/simnet/", "crates/experiments/", "crates/hdfs-sim/"];
 
 /// Wire-decode files where a malformed peer frame must never panic.
-const NO_PANIC_DECODE_SCOPE: [&str; 3] = [
+const NO_PANIC_DECODE_SCOPE: [&str; 5] = [
     "crates/blobseer-rpc/src/wire.rs",
     "crates/types/src/wire.rs",
     "crates/blobseer-core/src/meta/codec.rs",
+    "crates/blobseer-control/src/codec.rs",
+    "crates/blobseer-control/src/replog.rs",
 ];
 
 /// The two sanctioned `std::sync` lock users: the shim itself (it *is*

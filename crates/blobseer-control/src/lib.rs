@@ -1,0 +1,42 @@
+//! `blobseer-control` — the BlobSeer control plane grown past its single
+//! points of failure.
+//!
+//! The paper's architecture (§II) runs four service roles next to the
+//! data providers: the **version manager**, the **provider manager**, the
+//! metadata DHT, and the GC tracker. The version manager is the one
+//! serialization point of the whole protocol — every append storm
+//! funnels through its version-number assignment — and the companion
+//! design paper explicitly leaves its fault tolerance open. This crate
+//! closes that gap for the reproduction:
+//!
+//! * [`ReplicatedVersionService`] — the version manager as a leader-based
+//!   replica group: a small replicated log (term + index entries,
+//!   [`replog`]), acknowledgement by every live replica under a majority
+//!   quorum, a countdown leader lease for reads, deterministic
+//!   re-election, and exactly-once retries across leader crashes. Each
+//!   replica can persist its log in the same checksummed frame format
+//!   `blobseer-disk` uses everywhere else, and recovery reconciles
+//!   divergent replica logs by the election ordering.
+//! * [`codec`] — the replicated command alphabet (the six mutating calls
+//!   of the `VersionService` port) and its panic-free wire codec.
+//!
+//! The placement and GC halves of the control plane need no replication
+//! layer of their own — they are hosted (one shared instance behind
+//! `blobseer-rpc` servers) rather than replicated; see
+//! `blobseer_core::ports::{PlacementService, GcService}` and the cluster
+//! module of `blobseer-rpc`.
+//!
+//! Lock classes introduced by this crate (all `ctl.*`): `ctl.group` →
+//! `ctl.replica` (ranked by replica index, ascending). See
+//! `docs/ANALYSIS.md` for the workspace lock-order discipline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod replog;
+pub mod service;
+
+pub use codec::{Command, CommandKind};
+pub use replog::RepEntry;
+pub use service::{CrashPoint, ReplicatedVersionService};

@@ -2,9 +2,12 @@
 //! port traits and handing out client handles.
 
 use crate::exec::FanoutExecutor;
-use crate::gc::GcTracker;
+use crate::gc::GcHost;
 use crate::meta::tree::TreeStore;
-use crate::ports::{BlockStore, MetaStore, NoopObserver, ProtocolObserver, VersionService};
+use crate::ports::{
+    BlockStore, GcService, MetaStore, NoopObserver, PlacementService, ProtocolObserver,
+    VersionService,
+};
 use crate::provider_manager::ProviderManager;
 use crate::stats::EngineStats;
 use crate::version_manager::VersionManager;
@@ -26,9 +29,15 @@ pub struct EnginePorts {
     pub dht: Arc<dyn MetaStore>,
     /// The version manager.
     pub vm: Arc<dyn VersionService>,
-    /// The provider manager scheduling block placement. Its provider count
-    /// must match `providers.len()`.
-    pub pm: Arc<ProviderManager>,
+    /// The placement service scheduling block placement (in-memory
+    /// [`ProviderManager`] or a remote adapter against a hosted one). Its
+    /// provider count must match `providers.len()`.
+    pub pm: Arc<dyn PlacementService>,
+    /// The GC service holding node refcounts and running cascades. `None`
+    /// wires a deployment-private [`GcHost`] over the ports above — correct
+    /// for single-process deployments; multi-process clusters must share
+    /// one hosted service or refcounts of shared subtrees diverge.
+    pub gc: Option<Arc<dyn GcService>>,
     /// Engine counters, shared with any decorators that want to account
     /// their own work.
     pub stats: Arc<EngineStats>,
@@ -62,6 +71,7 @@ impl EnginePorts {
                 cfg.placement,
                 pm_seed,
             )),
+            gc: None,
             stats,
             observer: Arc::new(NoopObserver),
         }
@@ -73,13 +83,13 @@ impl EnginePorts {
 pub struct BlobSeer {
     pub(crate) cfg: BlobSeerConfig,
     pub(crate) providers: Arc<dyn BlockStore>,
-    pub(crate) pm: Arc<ProviderManager>,
+    pub(crate) pm: Arc<dyn PlacementService>,
     pub(crate) dht: Arc<dyn MetaStore>,
     pub(crate) vm: Arc<dyn VersionService>,
-    pub(crate) gc: Arc<GcTracker>,
+    pub(crate) gc: Arc<dyn GcService>,
     pub(crate) stats: Arc<EngineStats>,
     pub(crate) observer: Arc<dyn ProtocolObserver>,
-    pub(crate) exec: FanoutExecutor,
+    pub(crate) exec: Arc<FanoutExecutor>,
 }
 
 /// Default provider-manager seed of the in-memory deployments (experiments
@@ -120,16 +130,30 @@ impl BlobSeer {
             .client_io_threads
             .unwrap_or_else(|| ports.providers.len().min(DEFAULT_CLIENT_IO_THREADS_CAP))
             .max(1);
+        let exec = Arc::new(FanoutExecutor::new(io_threads));
+        // No external GC service → embed a deployment-private host over
+        // the same ports (the single-process shape). Hosted clusters pass
+        // a remote adapter instead so every client process shares one
+        // refcount table.
+        let gc = ports.gc.unwrap_or_else(|| {
+            Arc::new(GcHost::new(
+                Arc::clone(&ports.dht),
+                Arc::clone(&ports.providers),
+                Arc::clone(&ports.pm),
+                Arc::clone(&ports.stats),
+                Arc::clone(&exec),
+            ))
+        });
         Arc::new(Self {
             cfg,
             providers: ports.providers,
             pm: ports.pm,
             dht: ports.dht,
             vm: ports.vm,
-            gc: Arc::new(GcTracker::new()),
+            gc,
             stats: ports.stats,
             observer: ports.observer,
-            exec: FanoutExecutor::new(io_threads),
+            exec,
         })
     }
 
@@ -168,9 +192,15 @@ impl BlobSeer {
         &*self.vm
     }
 
-    /// The provider manager.
-    pub fn provider_manager(&self) -> &ProviderManager {
-        &self.pm
+    /// The placement-service port (the provider manager, or a remote
+    /// adapter against a hosted one).
+    pub fn provider_manager(&self) -> &dyn PlacementService {
+        &*self.pm
+    }
+
+    /// The GC-service port (for inspection of refcounts in tests).
+    pub fn gc_service(&self) -> &dyn GcService {
+        &*self.gc
     }
 
     /// Per-provider block counts — the layout vector of Fig. 3(b).
@@ -181,7 +211,7 @@ impl BlobSeer {
     /// The client-side fan-out executor dispatching per-provider batches
     /// concurrently (bsfs uses it for read-ahead prefetches).
     pub fn executor(&self) -> &FanoutExecutor {
-        &self.exec
+        self.exec.as_ref()
     }
 
     pub(crate) fn tree(&self) -> TreeStore<'_> {
@@ -189,7 +219,7 @@ impl BlobSeer {
             dht: &self.dht,
             gc: &self.gc,
             stats: &self.stats,
-            exec: &self.exec,
+            exec: self.exec.as_ref(),
         }
     }
 }
@@ -214,6 +244,7 @@ mod tests {
                 blobseer_types::config::PlacementPolicy::RoundRobin,
                 7,
             )),
+            gc: None,
             stats,
             observer: Arc::new(NoopObserver),
         };

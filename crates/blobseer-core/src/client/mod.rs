@@ -200,7 +200,7 @@ impl BlobClient {
         let forked = self.sys.vm.branch(blob, at)?;
         if info.cap > 0 {
             // The fork holds a GC reference on the branch point's root.
-            self.sys.gc.inc_node(info.root_key());
+            self.sys.gc.inc_nodes(&[info.root_key()])?;
         }
         Ok(forked)
     }
@@ -210,18 +210,7 @@ impl BlobClient {
     /// references on the shared history).
     pub fn delete_blob(&self, blob: BlobId) -> Result<GcReport> {
         let roots = self.sys.vm.delete_blob(blob)?;
-        let mut report = GcReport::default();
-        for root in roots {
-            report.merge(self.sys.gc.release_root(
-                root,
-                &*self.sys.dht,
-                &self.sys.providers,
-                &self.sys.pm,
-                &self.sys.stats,
-                &self.sys.exec,
-            )?);
-        }
-        Ok(report)
+        self.sys.gc.release_roots(&roots)
     }
 
     /// Garbage-collects own versions strictly below `keep_from` (§III-A.1:
@@ -229,18 +218,7 @@ impl BlobClient {
     /// of storage space"). The latest revealed version is always kept.
     pub fn gc_before(&self, blob: BlobId, keep_from: Version) -> Result<GcReport> {
         let roots = self.sys.vm.collect_before(blob, keep_from)?;
-        let mut report = GcReport::default();
-        for root in roots {
-            report.merge(self.sys.gc.release_root(
-                root,
-                &*self.sys.dht,
-                &self.sys.providers,
-                &self.sys.pm,
-                &self.sys.stats,
-                &self.sys.exec,
-            )?);
-        }
-        Ok(report)
+        self.sys.gc.release_roots(&roots)
     }
 }
 

@@ -107,7 +107,7 @@ impl BlobClient {
     pub fn repair_aborted(&self, ticket: &WriteTicket) -> Result<()> {
         let tree = self.sys.tree();
         let root = tree.publish_repair(ticket.blob, &ticket.entry, &ticket.chain)?;
-        tree.register_root(root);
+        tree.register_root(root)?;
         EngineStats::add(&self.sys.stats.writes_aborted, 1);
         self.sys.vm.commit(ticket.blob, ticket.version)
     }
@@ -227,14 +227,18 @@ impl BlobClient {
                 if let Err(e) = result {
                     // Undo the whole allocation set: deleting a block that
                     // never landed is a no-op, and each replica's load was
-                    // charged exactly once at allocate time.
+                    // charged exactly once at allocate time. The load
+                    // release is one batched call — and best-effort, like
+                    // the block deletes: the write already failed.
                     let mut undo: Vec<(usize, Vec<BlockId>)> = Vec::new();
+                    let mut released: Vec<usize> = Vec::new();
                     for a in &allocs {
                         for &q in &a.providers {
                             push_grouped(&mut undo, q, a.block_id);
-                            self.sys.pm.release(q);
+                            released.push(q);
                         }
                     }
+                    let _ = self.sys.pm.release_many(&released);
                     self.sys.stats.record_fanout(undo.len());
                     let undo_jobs: Vec<_> = undo
                         .into_iter()
@@ -264,15 +268,19 @@ impl BlobClient {
     /// they are pure leaks until released.
     pub(crate) fn release_stored(&self, leaves: &[(u64, BlockDescriptor)]) {
         let mut batches: Vec<(usize, Vec<BlockId>)> = Vec::new();
+        let mut released: Vec<usize> = Vec::new();
         for (_, d) in leaves {
             for &p in &d.providers {
                 push_grouped(&mut batches, p as usize, d.block_id);
-                self.sys.pm.release(p as usize);
+                released.push(p as usize);
             }
         }
         if batches.is_empty() {
             return;
         }
+        // One batched, best-effort load release (the caller is already on
+        // an error path; a refused control frame must not mask its error).
+        let _ = self.sys.pm.release_many(&released);
         self.sys.stats.record_fanout(batches.len());
         let jobs: Vec<_> = batches
             .into_iter()
@@ -317,7 +325,15 @@ impl BlobClient {
                 return Err(e);
             }
         };
-        tree.register_root(root);
+        if let Err(e) = tree.register_root(root) {
+            // The tree is published but its root was never refcounted: a
+            // later collection of this version would be an untracked
+            // release. Repair-and-release exactly like a failed publish —
+            // the version must not reveal with unprotected metadata.
+            let _ = self.repair_aborted(ticket);
+            self.release_stored(&leaves);
+            return Err(e);
+        }
         self.observe(op, ProtocolPhase::MetadataPublished);
         if let Err(e) = self.sys.vm.commit(ticket.blob, ticket.version) {
             // Release only when the BLOB is gone (deleted mid-write): the

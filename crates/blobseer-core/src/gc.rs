@@ -21,8 +21,7 @@ use crate::client::push_grouped;
 use crate::exec::FanoutExecutor;
 use crate::meta::key::NodeKey;
 use crate::meta::node::TreeNode;
-use crate::ports::{BlockStore, MetaStore};
-use crate::provider_manager::ProviderManager;
+use crate::ports::{BlockStore, GcService, MetaStore, PlacementService};
 use crate::sharded::{ShardedMap, DEFAULT_SHARDS};
 use crate::stats::EngineStats;
 use blobseer_types::{BlockId, Result};
@@ -113,7 +112,7 @@ impl GcTracker {
         root: NodeKey,
         dht: &dyn MetaStore,
         providers: &Arc<dyn BlockStore>,
-        pm: &ProviderManager,
+        pm: &dyn PlacementService,
         stats: &EngineStats,
         exec: &FanoutExecutor,
     ) -> Result<GcReport> {
@@ -165,6 +164,7 @@ impl GcTracker {
             EngineStats::add(&stats.meta_nodes_collected, dead.len() as u64);
             let mut block_dels: Vec<(usize, Vec<BlockId>)> = Vec::new();
             let mut freed_of: HashMap<BlockId, u64> = HashMap::new();
+            let mut released: Vec<usize> = Vec::new();
             for (key, node) in fetched {
                 match node {
                     TreeNode::Inner { left, right } => {
@@ -186,10 +186,16 @@ impl GcTracker {
                         freed_of.insert(desc.block_id, 0);
                         for &p in &desc.providers {
                             push_grouped(&mut block_dels, p as usize, desc.block_id);
-                            pm.release(p as usize);
+                            released.push(p as usize);
                         }
                     }
                 }
+            }
+            // One batched load release per wave — a single control frame
+            // against a hosted placement service instead of one frame per
+            // replica of every dead block.
+            if !released.is_empty() {
+                pm.release_many(&released)?;
             }
             if !block_dels.is_empty() {
                 stats.record_fanout(block_dels.len());
@@ -222,6 +228,82 @@ impl GcTracker {
     }
 }
 
+/// Server-side host for the [`GcService`] port: a [`GcTracker`] wired to
+/// the storage ports its cascades delete through. Deployments that keep
+/// everything in one process embed a `GcHost` directly
+/// (`client::deploy_ports` builds one when no external GC service is
+/// given); an RPC cluster hosts one behind a `blobseer-rpc` server so all
+/// client processes share a single, globally consistent refcount table.
+pub struct GcHost {
+    tracker: GcTracker,
+    dht: Arc<dyn MetaStore>,
+    providers: Arc<dyn BlockStore>,
+    pm: Arc<dyn PlacementService>,
+    stats: Arc<EngineStats>,
+    exec: Arc<FanoutExecutor>,
+}
+
+impl std::fmt::Debug for GcHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcHost")
+            .field("tracker", &self.tracker)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GcHost {
+    /// Builds a host over the given storage and placement ports. Cascade
+    /// deletions run through `exec`; deletion counters land on `stats`.
+    pub fn new(
+        dht: Arc<dyn MetaStore>,
+        providers: Arc<dyn BlockStore>,
+        pm: Arc<dyn PlacementService>,
+        stats: Arc<EngineStats>,
+        exec: Arc<FanoutExecutor>,
+    ) -> Self {
+        Self {
+            tracker: GcTracker::new(),
+            dht,
+            providers,
+            pm,
+            stats,
+            exec,
+        }
+    }
+}
+
+impl GcService for GcHost {
+    fn inc_nodes(&self, keys: &[NodeKey]) -> Result<()> {
+        for &key in keys {
+            self.tracker.inc_node(key);
+        }
+        Ok(())
+    }
+
+    fn release_roots(&self, roots: &[NodeKey]) -> Result<GcReport> {
+        let mut total = GcReport::default();
+        for &root in roots {
+            total.merge(self.tracker.release_root(
+                root,
+                self.dht.as_ref(),
+                &self.providers,
+                self.pm.as_ref(),
+                &self.stats,
+                &self.exec,
+            )?);
+        }
+        Ok(total)
+    }
+
+    fn node_count(&self, key: &NodeKey) -> Result<u64> {
+        Ok(self.tracker.node_count(key))
+    }
+
+    fn tracked_nodes(&self) -> Result<usize> {
+        Ok(self.tracker.tracked_nodes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +311,7 @@ mod tests {
     use crate::dht::MetaDht;
     use crate::meta::key::Pos;
     use crate::meta::node::{BlockDescriptor, NodeRef};
+    use crate::provider_manager::ProviderManager;
     use blobseer_types::config::PlacementPolicy;
     use blobseer_types::{BlobId, BlockId, NodeId, Version};
     use bytes::Bytes;
@@ -379,6 +462,52 @@ mod tests {
         let mut total = GcReport::default();
         total.merge(report);
         assert_eq!(total.untracked_releases, 1);
+    }
+
+    #[test]
+    fn gc_host_serves_the_port_end_to_end() {
+        // The same two-version scenario, but driven exclusively through the
+        // GcService port of a GcHost (the shape a hosted deployment uses).
+        let dht = Arc::new(MetaDht::new(4, 1));
+        let providers = Arc::new(ProviderSet::new(2, |i| NodeId::new(i as u64)));
+        let pm = Arc::new(ProviderManager::new(2, PlacementPolicy::RoundRobin, 0));
+        let stats = Arc::new(EngineStats::new());
+        let host = GcHost::new(
+            Arc::clone(&dht) as Arc<dyn MetaStore>,
+            Arc::clone(&providers) as Arc<dyn BlockStore>,
+            Arc::clone(&pm) as Arc<dyn PlacementService>,
+            Arc::clone(&stats),
+            Arc::new(FanoutExecutor::new(2)),
+        );
+        let desc = BlockDescriptor {
+            block_id: BlockId::new(30),
+            providers: vec![0],
+            len: 4,
+        };
+        providers
+            .get(0)
+            .put(BlockId::new(30), Bytes::from_static(b"data"));
+        dht.put(key(1, 0, 1), TreeNode::Leaf(desc)).unwrap();
+        host.inc_nodes(&[key(1, 0, 1)]).unwrap();
+        assert_eq!(host.node_count(&key(1, 0, 1)).unwrap(), 1);
+        assert_eq!(host.tracked_nodes().unwrap(), 1);
+        let report = host.release_roots(&[key(1, 0, 1)]).unwrap();
+        assert_eq!(report.nodes_deleted, 1);
+        assert_eq!(report.blocks_deleted, 1);
+        assert_eq!(report.bytes_freed, 4);
+        assert_eq!(host.tracked_nodes().unwrap(), 0);
+        assert!(!providers.get(0).contains(BlockId::new(30)));
+        assert_eq!(stats.snapshot().blocks_collected, 1);
+    }
+
+    #[test]
+    fn bare_tracker_refuses_to_cascade() {
+        let gc = GcTracker::new();
+        let svc: &dyn GcService = &gc;
+        svc.inc_nodes(&[key(1, 0, 1), key(1, 1, 1)]).unwrap();
+        assert_eq!(svc.node_count(&key(1, 0, 1)).unwrap(), 1);
+        let err = svc.release_roots(&[key(1, 0, 1)]).unwrap_err();
+        assert!(matches!(err, blobseer_types::Error::Internal(_)), "{err}");
     }
 
     #[test]

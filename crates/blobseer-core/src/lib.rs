@@ -62,12 +62,13 @@ pub use cache::{CachedBlockStore, CachedMetaStore};
 pub use client::{BlobClient, BlobSeer, BlockLocation, EnginePorts};
 pub use exec::{FanoutExecutor, Pending};
 pub use faults::{FaultPlan, FaultyBlockStore, FaultyMetaStore, PutFault};
-pub use gc::GcReport;
+pub use gc::{GcHost, GcReport, GcTracker};
 pub use placement::{manhattan_unbalance, Placer};
 pub use ports::{
-    BlockStore, MetaStore, NoopObserver, ProtocolObserver, ProtocolOp, ProtocolPhase,
-    VersionService,
+    BlockStore, GcService, MetaStore, NoopObserver, PlacementService, ProtocolObserver, ProtocolOp,
+    ProtocolPhase, VersionService,
 };
+pub use provider_manager::{BlockAllocation, ProviderManager};
 pub use sharded::ShardedMap;
 pub use stats::{EngineStats, StatsSnapshot};
 pub use version_manager::{SnapshotInfo, VersionManager, WriteIntent, WriteTicket};

@@ -17,8 +17,7 @@ use super::key::{BlockRange, NodeKey, Pos};
 use super::log::{LogChain, LogEntry};
 use super::node::{BlockDescriptor, NodeRef, TreeNode};
 use crate::exec::FanoutExecutor;
-use crate::gc::GcTracker;
-use crate::ports::MetaStore;
+use crate::ports::{GcService, MetaStore};
 use crate::sharded::group_indices_by;
 use crate::stats::EngineStats;
 use blobseer_types::{BlobId, Error, Result, Version};
@@ -52,14 +51,18 @@ struct BuildCx<'a, 'b> {
     chain: &'a LogChain,
     mode: &'a LeafMode<'b>,
     levels: Vec<Vec<(NodeKey, TreeNode)>>,
+    /// GC child references the build discovers, registered with a single
+    /// batched [`GcService::inc_nodes`] call (one control frame against a
+    /// hosted refcount service instead of one per reference).
+    incs: Vec<NodeKey>,
 }
 
 /// Metadata operations bound to one deployment's metadata backend (any
-/// [`MetaStore`] adapter), GC tracker, stats and fan-out executor.
+/// [`MetaStore`] adapter), GC service, stats and fan-out executor.
 #[derive(Clone, Copy)]
 pub struct TreeStore<'a> {
     pub dht: &'a Arc<dyn MetaStore>,
-    pub gc: &'a GcTracker,
+    pub gc: &'a Arc<dyn GcService>,
     pub stats: &'a EngineStats,
     pub exec: &'a FanoutExecutor,
 }
@@ -180,6 +183,7 @@ impl<'a> TreeStore<'a> {
             chain,
             mode: &mode,
             levels: Vec::new(),
+            incs: Vec::new(),
         };
         let r = self.build(&mut cx, root, 0);
         debug_assert_eq!(
@@ -189,6 +193,12 @@ impl<'a> TreeStore<'a> {
                 version: entry.version
             })
         );
+        // Count every child reference the new tree will hold *before* any
+        // node is published: if a node lands in the DHT, its references are
+        // already protected from a concurrent collection wave.
+        if !cx.incs.is_empty() {
+            self.gc.inc_nodes(&cx.incs)?;
+        }
         let levels = cx.levels;
         // Publish one vectored put per level, deepest first: children land
         // before the parents that reference them, exactly like the old
@@ -273,7 +283,7 @@ impl<'a> TreeStore<'a> {
                             version: m.version,
                         });
                     if let Some(t) = target {
-                        self.gc.inc_node(NodeKey::new(t.blob, t.version, pos));
+                        cx.incs.push(NodeKey::new(t.blob, t.version, pos));
                     }
                     TreeNode::LeafAlias(target)
                 }
@@ -282,12 +292,10 @@ impl<'a> TreeStore<'a> {
             let left = self.build(cx, pos.left(), depth + 1);
             let right = self.build(cx, pos.right(), depth + 1);
             if let Some(l) = left {
-                self.gc
-                    .inc_node(NodeKey::new(l.blob, l.version, pos.left()));
+                cx.incs.push(NodeKey::new(l.blob, l.version, pos.left()));
             }
             if let Some(r) = right {
-                self.gc
-                    .inc_node(NodeKey::new(r.blob, r.version, pos.right()));
+                cx.incs.push(NodeKey::new(r.blob, r.version, pos.right()));
             }
             TreeNode::Inner { left, right }
         };
@@ -301,9 +309,10 @@ impl<'a> TreeStore<'a> {
         })
     }
 
-    /// Registers the root of a committed version (one GC reference).
-    pub fn register_root(&self, root: NodeKey) {
-        self.gc.inc_node(root);
+    /// Registers the root of a committed version (one GC reference — one
+    /// control frame against a hosted refcount service).
+    pub fn register_root(&self, root: NodeKey) -> Result<()> {
+        self.gc.inc_nodes(&[root])
     }
 
     /// Locates the blocks covering `query` in the snapshot rooted at
@@ -408,7 +417,7 @@ mod tests {
 
     struct Fx {
         dht: Arc<dyn MetaStore>,
-        gc: GcTracker,
+        gc: Arc<dyn GcService>,
         stats: EngineStats,
         exec: FanoutExecutor,
         log: Arc<RwLock<Vec<LogEntry>>>,
@@ -419,7 +428,7 @@ mod tests {
         fn new() -> Self {
             Self {
                 dht: Arc::new(MetaDht::new(4, 1)),
-                gc: GcTracker::new(),
+                gc: Arc::new(crate::gc::GcTracker::new()),
                 stats: EngineStats::new(),
                 exec: FanoutExecutor::new(2),
                 log: Arc::new(RwLock::new(Vec::new())),
@@ -695,12 +704,12 @@ mod tests {
         let _root2 = fx.write(2, 0, 1);
         // v1's right leaf is referenced by v1's root and v2's root.
         let shared = NodeKey::new(fx.blob, Version::new(1), Pos::new(1, 1));
-        assert_eq!(fx.gc.node_count(&shared), 2);
+        assert_eq!(fx.gc.node_count(&shared).unwrap(), 2);
         // v1's left leaf only by v1's root.
         let private = NodeKey::new(fx.blob, Version::new(1), Pos::new(0, 1));
-        assert_eq!(fx.gc.node_count(&private), 1);
+        assert_eq!(fx.gc.node_count(&private).unwrap(), 1);
         assert_eq!(
-            fx.gc.node_count(&root1),
+            fx.gc.node_count(&root1).unwrap(),
             0,
             "roots counted at commit, not publish"
         );

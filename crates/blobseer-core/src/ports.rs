@@ -58,11 +58,13 @@
 
 #![warn(missing_docs)]
 
+use crate::gc::GcReport;
 use crate::meta::key::NodeKey;
 use crate::meta::log::LogChain;
 use crate::meta::node::TreeNode;
+use crate::provider_manager::BlockAllocation;
 use crate::version_manager::{SnapshotInfo, WriteIntent, WriteTicket};
-use blobseer_types::{BlobId, BlockId, NodeId, Result, Version};
+use blobseer_types::{BlobId, BlockId, Error, NodeId, Result, Version};
 use bytes::Bytes;
 use std::time::Duration;
 
@@ -331,6 +333,78 @@ pub trait VersionService: Send + Sync {
     fn collect_before(&self, blob: BlobId, keep_from: Version) -> Result<Vec<NodeKey>>;
 }
 
+/// The provider manager as a service port: block placement, load
+/// accounting, provider registration and liveness (§III-B: it "keeps
+/// information about the available storage space and schedules the
+/// placement of newly generated blocks").
+///
+/// Historically the provider manager was a client-side struct, so two
+/// client processes sharing one cluster each ran a private copy and
+/// silently double-booked provider load. Behind this port it can be
+/// *hosted*: `blobseer-rpc`'s `LoopbackCluster` runs one
+/// [`crate::provider_manager::ProviderManager`] behind a placement server
+/// and every deployment's allocation stream and release traffic flows
+/// through it, so load accounting is globally consistent.
+///
+/// Remote adapters account their frames on
+/// [`crate::stats::EngineStats::control_round_trips`], never on the
+/// data-path counters: a clean write costs exactly one `allocate` call
+/// regardless of block count.
+pub trait PlacementService: Send + Sync {
+    /// Number of providers under management. Fixed deployment shape —
+    /// remote adapters fetch it once at connect time.
+    fn provider_count(&self) -> usize;
+
+    /// Allocates ids and replica targets for `n_blocks` new blocks,
+    /// charging one load unit per replica.
+    fn allocate(&self, n_blocks: usize, replication: usize) -> Result<Vec<BlockAllocation>>;
+
+    /// Releases load accounting, one unit per entry (an entry per replica
+    /// of every released block) — the batched undo of `allocate`, used by
+    /// data-phase aborts and GC cascades.
+    fn release_many(&self, providers: &[usize]) -> Result<()>;
+
+    /// Copy of the current load vector (blocks allocated per provider).
+    fn load_vector(&self) -> Result<Vec<u64>>;
+
+    /// Registers a new provider hosted on `node`; returns its dense index.
+    /// Subsequent allocations may target it.
+    fn register_provider(&self, node: NodeId) -> Result<usize>;
+
+    /// Liveness ping for provider `i`; returns its current allocated load.
+    fn heartbeat(&self, provider: usize) -> Result<u64>;
+}
+
+/// The distributed GC service: node refcounts and cascade triggers.
+///
+/// Subtree sharing means refcounts must be *globally* consistent — a leaf
+/// shared by snapshots written through two different client processes has
+/// one count, not one per process. Like [`PlacementService`], this port
+/// lets the refcount tracker be hosted ([`crate::gc::GcHost`] behind a
+/// `blobseer-rpc` server) instead of living per client deployment.
+///
+/// Remote adapters account frames on `control_round_trips`: a clean write
+/// costs exactly two GC calls (one `inc_nodes` batch for the child
+/// references of its published tree, one for the committed root — kept
+/// separate because abort repair re-registers the *same* root key).
+pub trait GcService: Send + Sync {
+    /// Adds one reference to each key (child references during publish,
+    /// root registration at commit, branch registration). Nodes need not
+    /// exist in the DHT yet.
+    fn inc_nodes(&self, keys: &[NodeKey]) -> Result<()>;
+
+    /// Releases one reference on each root and cascades deletion of every
+    /// node and block that becomes unreachable, returning the merged
+    /// report.
+    fn release_roots(&self, roots: &[NodeKey]) -> Result<GcReport>;
+
+    /// Current count for one node (0 if never referenced) — diagnostics.
+    fn node_count(&self, key: &NodeKey) -> Result<u64>;
+
+    /// Number of tracked (non-zero) entries — diagnostics.
+    fn tracked_nodes(&self) -> Result<usize>;
+}
+
 /// Which client operation a [`ProtocolObserver`] callback belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProtocolOp {
@@ -475,6 +549,54 @@ impl MetaStore for crate::dht::MetaDht {
     }
     fn crash_shard(&self, shard: usize) {
         crate::dht::MetaDht::crash_shard(self, shard)
+    }
+}
+
+impl PlacementService for crate::provider_manager::ProviderManager {
+    fn provider_count(&self) -> usize {
+        crate::provider_manager::ProviderManager::provider_count(self)
+    }
+    fn allocate(&self, n_blocks: usize, replication: usize) -> Result<Vec<BlockAllocation>> {
+        crate::provider_manager::ProviderManager::allocate(self, n_blocks, replication)
+    }
+    fn release_many(&self, providers: &[usize]) -> Result<()> {
+        crate::provider_manager::ProviderManager::release_many(self, providers);
+        Ok(())
+    }
+    fn load_vector(&self) -> Result<Vec<u64>> {
+        Ok(crate::provider_manager::ProviderManager::load_vector(self))
+    }
+    fn register_provider(&self, node: NodeId) -> Result<usize> {
+        Ok(crate::provider_manager::ProviderManager::register_provider(
+            self, node,
+        ))
+    }
+    fn heartbeat(&self, provider: usize) -> Result<u64> {
+        crate::provider_manager::ProviderManager::heartbeat(self, provider)
+    }
+}
+
+impl GcService for crate::gc::GcTracker {
+    fn inc_nodes(&self, keys: &[NodeKey]) -> Result<()> {
+        for &key in keys {
+            self.inc_node(key);
+        }
+        Ok(())
+    }
+    /// A bare tracker holds refcounts but no storage ports, so it cannot
+    /// cascade — deployments wire a [`crate::gc::GcHost`] for that. This
+    /// impl exists so refcount-only contexts (tree benches, unit fixtures)
+    /// can stand in for the full service.
+    fn release_roots(&self, _roots: &[NodeKey]) -> Result<GcReport> {
+        Err(Error::Internal(
+            "GcTracker has no storage ports to cascade into; deploy a GcHost".into(),
+        ))
+    }
+    fn node_count(&self, key: &NodeKey) -> Result<u64> {
+        Ok(crate::gc::GcTracker::node_count(self, key))
+    }
+    fn tracked_nodes(&self) -> Result<usize> {
+        Ok(crate::gc::GcTracker::tracked_nodes(self))
     }
 }
 

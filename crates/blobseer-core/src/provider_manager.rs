@@ -9,7 +9,7 @@
 
 use crate::placement::Placer;
 use blobseer_types::config::PlacementPolicy;
-use blobseer_types::{BlockId, Error, Result};
+use blobseer_types::{BlockId, Error, NodeId, Result};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -24,15 +24,20 @@ pub struct BlockAllocation {
     pub providers: Vec<usize>,
 }
 
-/// The provider manager service.
+/// The provider manager service — the in-memory adapter behind the
+/// [`crate::ports::PlacementService`] port (deployments host it behind an
+/// RPC server so N client processes share one load-accounting authority).
 #[derive(Debug)]
 pub struct ProviderManager {
-    n_providers: usize,
     placer: Mutex<Placer>,
     /// Blocks allocated (not necessarily yet stored) per provider; the load
-    /// signal for placement decisions.
+    /// signal for placement decisions. Its length is the authoritative
+    /// provider count ([`Self::register_provider`] grows it).
     loads: Mutex<Vec<u64>>,
     next_block: AtomicU64,
+    /// Nodes hosting dynamically registered providers, parallel to the
+    /// tail of `loads` past the initially configured count.
+    registered: Mutex<Vec<NodeId>>,
 }
 
 impl ProviderManager {
@@ -60,16 +65,49 @@ impl ProviderManager {
         assert!(n_providers > 0, "need at least one data provider");
         assert!(first_block >= 1, "block ids start at 1");
         Self {
-            n_providers,
             placer: Mutex::named(Placer::new(policy, seed), "pm.placer"),
             loads: Mutex::named(vec![0; n_providers], "pm.loads"),
             next_block: AtomicU64::new(first_block),
+            registered: Mutex::named(Vec::new(), "pm.registered"),
         }
     }
 
-    /// Number of providers under management.
+    /// Number of providers under management (initial count plus any
+    /// dynamically registered since).
     pub fn provider_count(&self) -> usize {
-        self.n_providers
+        self.loads.lock().len()
+    }
+
+    /// Registers a new provider hosted on `node`, growing the placement
+    /// and load-accounting state; returns the provider's dense index.
+    pub fn register_provider(&self, node: NodeId) -> usize {
+        // Lock order placer → loads, same as `allocate`, so a concurrent
+        // allocation observes either the old or the new provider count
+        // consistently in both structures.
+        let placer = self.placer.lock();
+        let mut loads = self.loads.lock();
+        let index = loads.len();
+        loads.push(0);
+        drop(placer);
+        self.registered.lock().push(node);
+        index
+    }
+
+    /// Nodes of providers added through [`Self::register_provider`], in
+    /// registration order.
+    pub fn registered_nodes(&self) -> Vec<NodeId> {
+        self.registered.lock().clone()
+    }
+
+    /// Liveness ping: returns provider `i`'s currently allocated load, or
+    /// an error for an unknown index (a dead or never-registered provider
+    /// in a real deployment).
+    pub fn heartbeat(&self, provider: usize) -> Result<u64> {
+        self.loads
+            .lock()
+            .get(provider)
+            .copied()
+            .ok_or_else(|| Error::NoProviderAvailable(format!("heartbeat: no provider {provider}")))
     }
 
     /// Allocates ids and replica targets for `n_blocks` new blocks.
@@ -77,14 +115,14 @@ impl ProviderManager {
     /// Fails when the replication level exceeds the provider count —
     /// "no data provider available" in the paper's terms.
     pub fn allocate(&self, n_blocks: usize, replication: usize) -> Result<Vec<BlockAllocation>> {
-        if replication > self.n_providers {
-            return Err(Error::NoProviderAvailable(format!(
-                "replication {replication} exceeds provider count {}",
-                self.n_providers
-            )));
-        }
         let mut placer = self.placer.lock();
         let mut loads = self.loads.lock();
+        if replication > loads.len() {
+            return Err(Error::NoProviderAvailable(format!(
+                "replication {replication} exceeds provider count {}",
+                loads.len()
+            )));
+        }
         let mut out = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
             let providers = placer.pick_replicas(&loads, replication);
@@ -105,6 +143,19 @@ impl ProviderManager {
         let mut loads = self.loads.lock();
         if let Some(l) = loads.get_mut(provider) {
             *l = l.saturating_sub(1);
+        }
+    }
+
+    /// Batched [`Self::release`]: one load unit per entry (entries repeat
+    /// per replica), under a single lock acquisition. This is the shape the
+    /// hosted placement service wants — a GC delete wave releases all of a
+    /// wave's replicas in one control frame instead of one per replica.
+    pub fn release_many(&self, providers: &[usize]) {
+        let mut loads = self.loads.lock();
+        for &p in providers {
+            if let Some(l) = loads.get_mut(p) {
+                *l = l.saturating_sub(1);
+            }
         }
     }
 
@@ -155,6 +206,40 @@ mod tests {
         pm.release(0);
         pm.release(0); // saturates at zero
         assert_eq!(pm.load_vector(), vec![0, 2]);
+    }
+
+    #[test]
+    fn release_many_decrements_in_one_pass() {
+        let pm = ProviderManager::new(3, PlacementPolicy::RoundRobin, 0);
+        pm.allocate(6, 1).unwrap();
+        assert_eq!(pm.load_vector(), vec![2, 2, 2]);
+        // Entries repeat per replica; out-of-range indices are ignored.
+        pm.release_many(&[0, 0, 1, 7]);
+        assert_eq!(pm.load_vector(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn registration_grows_the_provider_pool() {
+        let pm = ProviderManager::new(2, PlacementPolicy::RoundRobin, 0);
+        assert_eq!(pm.provider_count(), 2);
+        let idx = pm.register_provider(NodeId::new(9));
+        assert_eq!(idx, 2);
+        assert_eq!(pm.provider_count(), 3);
+        assert_eq!(pm.registered_nodes(), vec![NodeId::new(9)]);
+        // The new provider participates in placement and load accounting:
+        // replication 3 now succeeds and lands one replica on it.
+        let allocs = pm.allocate(1, 3).unwrap();
+        assert!(allocs[0].providers.contains(&2));
+        assert_eq!(pm.load_vector(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn heartbeat_reports_load_or_unknown_provider() {
+        let pm = ProviderManager::new(2, PlacementPolicy::RoundRobin, 0);
+        pm.allocate(2, 1).unwrap();
+        assert_eq!(pm.heartbeat(0).unwrap(), 1);
+        let err = pm.heartbeat(5).unwrap_err();
+        assert!(matches!(err, Error::NoProviderAvailable(_)), "{err}");
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub struct EngineStats {
     /// `delete_many`) on remote adapters; `batched_items /
     /// port_round_trips` approximates the achieved batch size.
     pub batched_items: AtomicU64,
+    /// Control-plane round trips issued by remote placement/GC adapters
+    /// (one per request frame to the hosted provider manager or GC
+    /// service). Kept separate from `port_round_trips` so the data-path
+    /// frame invariants (14 frames per 64-block write, 13 per read —
+    /// `tests/rpc_cluster.rs`) stay meaningful: a clean write costs
+    /// exactly 3 control frames (allocate, child refcounts, root
+    /// registration) and a read costs 0.
+    pub control_round_trips: AtomicU64,
     /// Hot-read cache hits (blocks + metadata tree nodes served from the
     /// client-side [`crate::cache`] decorators without touching the
     /// backend).
@@ -77,8 +85,11 @@ impl EngineStats {
         Self::default()
     }
 
+    /// Adds `n` to a counter (relaxed). Public so out-of-crate adapters
+    /// (e.g. the RPC GC client mirroring server-side reports) account on
+    /// the same counters the in-process engine uses.
     #[inline]
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+    pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -112,6 +123,7 @@ impl EngineStats {
             gc_untracked_releases: g(&self.gc_untracked_releases),
             port_round_trips: g(&self.port_round_trips),
             batched_items: g(&self.batched_items),
+            control_round_trips: g(&self.control_round_trips),
             cache_hits: g(&self.cache_hits),
             cache_misses: g(&self.cache_misses),
             cache_evictions: g(&self.cache_evictions),
@@ -140,6 +152,7 @@ pub struct StatsSnapshot {
     pub gc_untracked_releases: u64,
     pub port_round_trips: u64,
     pub batched_items: u64,
+    pub control_round_trips: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_evictions: u64,

@@ -1,4 +1,5 @@
-//! Client-side adapters: the three port traits implemented over
+//! Client-side adapters: the five port traits — block store, metadata
+//! DHT, version manager, placement and GC — implemented over
 //! *multiplexed* TCP connections.
 //!
 //! Each adapter holds a small fixed budget of shared connections per
@@ -36,12 +37,14 @@
 //! connect time and served from cache, so the hot paths that consult it
 //! stay local.
 
-use crate::server::{block_tag, meta_tag, version_tag};
+use crate::server::{block_tag, gc_tag, meta_tag, placement_tag, version_tag};
 use crate::wire::{self, batch_status, decode_response};
+use blobseer_core::gc::GcReport;
 use blobseer_core::meta::key::NodeKey;
 use blobseer_core::meta::log::LogChain;
 use blobseer_core::meta::node::TreeNode;
-use blobseer_core::ports::{BlockStore, MetaStore, VersionService};
+use blobseer_core::ports::{BlockStore, GcService, MetaStore, PlacementService, VersionService};
+use blobseer_core::provider_manager::BlockAllocation;
 use blobseer_core::version_manager::{SnapshotInfo, WriteIntent, WriteTicket};
 use blobseer_core::EngineStats;
 use blobseer_types::config::DEFAULT_RPC_CLIENT_CONNECTIONS;
@@ -227,8 +230,12 @@ pub(crate) struct MuxPool {
     next: AtomicUsize,
     /// Deployment counters: every request frame bumps
     /// `port_round_trips` — the client-side round-trip meter the batching
-    /// tests assert on.
+    /// tests assert on — or `control_round_trips` for a control-plane
+    /// pool (placement and GC traffic is metered separately from the
+    /// data path, so the 14/13 frame-count invariants stay untouched).
     stats: Arc<EngineStats>,
+    /// Control-plane pools meter on `control_round_trips`.
+    control: bool,
 }
 
 impl MuxPool {
@@ -240,6 +247,26 @@ impl MuxPool {
         stats: Arc<EngineStats>,
         budget: usize,
     ) -> Result<Self> {
+        Self::connect_metered(addr, stats, budget, false)
+    }
+
+    /// [`Self::connect_with`] for control-plane adapters: round trips land
+    /// on `EngineStats::control_round_trips` instead of
+    /// `port_round_trips`, and are never mixed into `batched_items`.
+    pub(crate) fn connect_control(
+        addr: SocketAddr,
+        stats: Arc<EngineStats>,
+        budget: usize,
+    ) -> Result<Self> {
+        Self::connect_metered(addr, stats, budget, true)
+    }
+
+    fn connect_metered(
+        addr: SocketAddr,
+        stats: Arc<EngineStats>,
+        budget: usize,
+        control: bool,
+    ) -> Result<Self> {
         assert!(budget >= 1, "a pool needs at least one connection");
         let pool = Self {
             addr,
@@ -248,6 +275,7 @@ impl MuxPool {
                 .collect(),
             next: AtomicUsize::new(0),
             stats,
+            control,
         };
         pool.conn_at(0)?;
         Ok(pool)
@@ -273,7 +301,13 @@ impl MuxPool {
     /// retries once on a fresh connection — safe for any operation,
     /// because an unwritten frame was never dispatched.
     pub(crate) fn call(&self, request: &WireWriter) -> Result<Vec<u8>> {
-        self.stats.port_round_trips.fetch_add(1, Ordering::Relaxed);
+        if self.control {
+            self.stats
+                .control_round_trips
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.port_round_trips.fetch_add(1, Ordering::Relaxed);
+        }
         let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
         let conn = self.conn_at(slot)?;
         match conn.send(request) {
@@ -1039,5 +1073,178 @@ impl VersionService for RpcVersionService {
         let roots = wire::get_node_keys(&mut r)?;
         r.finish()?;
         Ok(roots)
+    }
+}
+
+// --- placement service --------------------------------------------------------
+
+/// [`PlacementService`] over a remote provider manager.
+///
+/// This is the control-plane half of the deployment: N independent client
+/// processes allocate against *one* hosted load table, so global load
+/// accounting holds across processes (the paper's provider manager is a
+/// shared service, not client state). Round trips are metered on
+/// [`EngineStats::control_round_trips`] — the data-path
+/// `port_round_trips` invariants are unaffected.
+pub struct RpcPlacementService {
+    pool: MuxPool,
+    /// Connect-time provider count, advanced locally when a registration
+    /// through this adapter grows the pool — `provider_count` is a plain
+    /// (non-`Result`) shape accessor and must not fail on transport loss.
+    count: AtomicUsize,
+}
+
+impl RpcPlacementService {
+    /// [`Self::connect_with`] with the default connection budget.
+    pub fn connect(addr: SocketAddr, stats: Arc<EngineStats>) -> Result<Self> {
+        Self::connect_with(addr, stats, DEFAULT_RPC_CLIENT_CONNECTIONS)
+    }
+
+    /// Connects (`budget` multiplexed connections) and caches the
+    /// provider count. `stats` receives the adapter's round-trip
+    /// accounting on `control_round_trips`.
+    pub fn connect_with(addr: SocketAddr, stats: Arc<EngineStats>, budget: usize) -> Result<Self> {
+        let pool = MuxPool::connect_control(addr, stats, budget)?;
+        let mut req = WireWriter::new();
+        req.put_u8(placement_tag::PROVIDER_COUNT);
+        let payload = call(&pool, req)?;
+        let count = payload.reader().get_u64()? as usize;
+        Ok(Self {
+            pool,
+            count: AtomicUsize::new(count),
+        })
+    }
+}
+
+impl PlacementService for RpcPlacementService {
+    fn provider_count(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    fn allocate(&self, n_blocks: usize, replication: usize) -> Result<Vec<BlockAllocation>> {
+        let mut req = WireWriter::new();
+        req.put_u8(placement_tag::ALLOCATE);
+        req.put_u64(n_blocks as u64);
+        req.put_u64(replication as u64);
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let n = r.get_u64()? as usize;
+        let mut allocs = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            allocs.push(wire::get_block_allocation(&mut r)?);
+        }
+        r.finish()?;
+        Ok(allocs)
+    }
+
+    fn release_many(&self, providers: &[usize]) -> Result<()> {
+        let mut req = WireWriter::new();
+        req.put_u8(placement_tag::RELEASE_MANY);
+        req.put_u64(providers.len() as u64);
+        for &p in providers {
+            req.put_u64(p as u64);
+        }
+        call(&self.pool, req)?;
+        Ok(())
+    }
+
+    fn load_vector(&self) -> Result<Vec<u64>> {
+        let mut req = WireWriter::new();
+        req.put_u8(placement_tag::LOAD_VECTOR);
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let n = r.get_u64()? as usize;
+        let mut loads = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            loads.push(r.get_u64()?);
+        }
+        r.finish()?;
+        Ok(loads)
+    }
+
+    fn register_provider(&self, node: NodeId) -> Result<usize> {
+        let mut req = WireWriter::new();
+        req.put_u8(placement_tag::REGISTER_PROVIDER);
+        req.put_u64(node.raw());
+        let payload = call(&self.pool, req)?;
+        let idx = payload.reader().get_u64()? as usize;
+        self.count.fetch_max(idx + 1, Ordering::SeqCst);
+        Ok(idx)
+    }
+
+    fn heartbeat(&self, provider: usize) -> Result<u64> {
+        let mut req = WireWriter::new();
+        req.put_u8(placement_tag::HEARTBEAT);
+        req.put_u64(provider as u64);
+        call(&self.pool, req)?.reader().get_u64()
+    }
+}
+
+// --- gc service ---------------------------------------------------------------
+
+/// [`GcService`] over a remote [`blobseer_core::gc::GcHost`].
+///
+/// Distributed refcounts: a node shared by snapshots written through two
+/// different client processes has *one* count on the hosted tracker.
+/// Cascades run server-side, next to the metadata and block services; the
+/// returned [`GcReport`] is mirrored into this deployment's
+/// [`EngineStats`] so client-visible GC counters keep working. Round
+/// trips are metered on `control_round_trips`.
+pub struct RpcGcService {
+    pool: MuxPool,
+    stats: Arc<EngineStats>,
+}
+
+impl RpcGcService {
+    /// [`Self::connect_with`] with the default connection budget.
+    pub fn connect(addr: SocketAddr, stats: Arc<EngineStats>) -> Result<Self> {
+        Self::connect_with(addr, stats, DEFAULT_RPC_CLIENT_CONNECTIONS)
+    }
+
+    /// Connects (`budget` multiplexed connections). `stats` receives the
+    /// adapter's round-trip accounting on `control_round_trips` plus the
+    /// mirrored per-cascade GC counters.
+    pub fn connect_with(addr: SocketAddr, stats: Arc<EngineStats>, budget: usize) -> Result<Self> {
+        let pool = MuxPool::connect_control(addr, Arc::clone(&stats), budget)?;
+        Ok(Self { pool, stats })
+    }
+}
+
+impl GcService for RpcGcService {
+    fn inc_nodes(&self, keys: &[NodeKey]) -> Result<()> {
+        let mut req = WireWriter::new();
+        req.put_u8(gc_tag::INC_NODES);
+        wire::put_node_keys(&mut req, keys);
+        call(&self.pool, req)?;
+        Ok(())
+    }
+
+    fn release_roots(&self, roots: &[NodeKey]) -> Result<GcReport> {
+        let mut req = WireWriter::new();
+        req.put_u8(gc_tag::RELEASE_ROOTS);
+        wire::put_node_keys(&mut req, roots);
+        let payload = call(&self.pool, req)?;
+        let mut r = payload.reader();
+        let report = wire::get_gc_report(&mut r)?;
+        r.finish()?;
+        // Mirror the server-side cascade into this deployment's counters,
+        // so `delete_blob`/`gc_before` observability is hosting-agnostic.
+        EngineStats::add(&self.stats.meta_nodes_collected, report.nodes_deleted);
+        EngineStats::add(&self.stats.blocks_collected, report.blocks_deleted);
+        EngineStats::add(&self.stats.gc_untracked_releases, report.untracked_releases);
+        Ok(report)
+    }
+
+    fn node_count(&self, key: &NodeKey) -> Result<u64> {
+        let mut req = WireWriter::new();
+        req.put_u8(gc_tag::NODE_COUNT);
+        wire::put_node_key(&mut req, key);
+        call(&self.pool, req)?.reader().get_u64()
+    }
+
+    fn tracked_nodes(&self) -> Result<usize> {
+        let mut req = WireWriter::new();
+        req.put_u8(gc_tag::TRACKED_NODES);
+        Ok(call(&self.pool, req)?.reader().get_u64()? as usize)
     }
 }

@@ -3,38 +3,50 @@
 //!
 //! Boots the paper's service decomposition as separate server thread
 //! groups — one listener per data provider, one for the metadata DHT, one
-//! for the version manager — and wires client deployments to them through
-//! the RPC adapters. Every `BlobClient` obtained from such a deployment
-//! drives the *unchanged* protocol of `blobseer_core::client` end to end
-//! over TCP: data phase, version assignment, metadata publish, commit,
-//! reads, GC.
+//! for the version manager, one for the provider (placement) manager and
+//! one for the GC refcount service — and wires client deployments to them
+//! through the RPC adapters. Every `BlobClient` obtained from such a
+//! deployment drives the *unchanged* protocol of `blobseer_core::client`
+//! end to end over TCP: data phase, version assignment, metadata publish,
+//! commit, reads, GC.
 //!
-//! Two pieces of a full deployment intentionally stay client-side, as
-//! they do in the in-memory adapters:
+//! Hosting the control plane is what makes N deployments behave like N
+//! *processes of one system* rather than N private systems that happen to
+//! share storage:
 //!
-//! * the **provider manager** (placement + load accounting) — a separate
-//!   service in the paper, but not yet behind a port trait; each client
-//!   deployment runs its own; and
-//! * the **GC refcount tracker**, which `BlobSeer` owns per deployment.
-//!   GC *effects* (DHT deletes, block deletes) do cross the wire.
+//! * the **provider manager** is one server-side load table — blocks
+//!   written through any deployment charge the same per-provider load
+//!   vector, so placement balances globally; and
+//! * the **GC refcount tracker** is one server-side count per metadata
+//!   node — a subtree shared by snapshots written through two different
+//!   client processes has one count, and cascades (DHT deletes, block
+//!   deletes, load releases) run server-side next to the stores.
+//!
+//! With `version_replicas > 1` the version manager itself is a
+//! leader-based replica group (`blobseer_control`) hosted behind the same
+//! listener — the cluster survives version-manager crashes with no lost
+//! or duplicated version numbers.
 
-use crate::client::{RpcBlockStore, RpcMetaStore, RpcVersionService};
+use crate::client::{
+    RpcBlockStore, RpcGcService, RpcMetaStore, RpcPlacementService, RpcVersionService,
+};
 use crate::server::{InFlight, RpcServer, RpcService};
 use blobseer_core::block_store::ProviderSet;
 use blobseer_core::dht::MetaDht;
-use blobseer_core::ports::{BlockStore, MetaStore};
+use blobseer_core::gc::GcHost;
+use blobseer_core::ports::{BlockStore, GcService, MetaStore, PlacementService, ProtocolObserver};
 use blobseer_core::provider_manager::ProviderManager;
 use blobseer_core::version_manager::VersionManager;
 use blobseer_core::{
-    BlobSeer, CachedBlockStore, CachedMetaStore, EnginePorts, EngineStats, NoopObserver,
+    BlobSeer, CachedBlockStore, CachedMetaStore, EnginePorts, EngineStats, FanoutExecutor,
+    NoopObserver,
 };
 use blobseer_disk::frame::FrameLog;
 use blobseer_disk::volume::volume_path;
 use blobseer_disk::{DiskMetaStore, DiskProviderSet, DiskVolume, DurableVersionService};
-use blobseer_types::{BlobSeerConfig, Error, NodeId, Result};
-use parking_lot::Mutex;
+use blobseer_types::{BlobSeerConfig, BlockId, Error, NodeId, Result};
+use bytes::Bytes;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A booted loopback cluster: the server processes of Fig. 2, each behind
@@ -43,31 +55,120 @@ use std::sync::Arc;
 /// [`Error::Transport`] on their next call.
 pub struct LoopbackCluster {
     cfg: BlobSeerConfig,
-    pm_seed: u64,
     servers: Vec<RpcServer>,
     block_addrs: Vec<SocketAddr>,
     meta_addr: SocketAddr,
     vm_addr: SocketAddr,
+    placement_addr: SocketAddr,
+    gc_addr: SocketAddr,
     server_stats: Arc<EngineStats>,
     /// Cluster-wide in-flight request tracker shared by every server.
     in_flight: Arc<InFlight>,
-    /// Client deployments wired so far — each gets a disjoint block-id
-    /// range (see [`Self::deploy`]).
-    deployments: AtomicU64,
-    /// Disk-backed clusters persist the deployment count (one frame per
-    /// deployment) so a rebooted cluster keeps handing out disjoint
-    /// block-id ranges; `None` for RAM-backed clusters.
-    deploy_log: Option<Mutex<FrameLog>>,
+    /// The replicated version-manager group, when the cluster was booted
+    /// with `version_replicas > 1` (RAM or disk backend); `None` otherwise.
+    replicated_vm: Option<Arc<blobseer_control::ReplicatedVersionService>>,
 }
 
-/// Block-id range width reserved per client deployment: ~10^12 blocks
-/// each, with room for 2^24 deployments.
+/// Block-id range width reserved per cluster *boot*: ~10^12 blocks each,
+/// with room for 2^24 reboots of the same data directory. Within one
+/// boot every deployment allocates from the shared hosted provider
+/// manager, so disjointness needs no per-deployment carve-up.
 const BLOCK_ID_RANGE: u64 = 1 << 40;
+
+/// The cluster-side dense provider index space for the hosted GC service:
+/// provider `i` is index 0 of the `i`-th single-provider server set. The
+/// GC cascade deletes blocks through this adapter directly (in process,
+/// next to the stores), not over the wire.
+struct FannedProviders {
+    sets: Vec<Arc<dyn BlockStore>>,
+}
+
+impl std::fmt::Debug for FannedProviders {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FannedProviders")
+            .field("sets", &self.sets.len())
+            .finish()
+    }
+}
+
+impl BlockStore for FannedProviders {
+    fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn node(&self, provider: usize) -> NodeId {
+        self.sets[provider].node(0)
+    }
+
+    fn index_of_node(&self, node: NodeId) -> Option<usize> {
+        self.sets
+            .iter()
+            .position(|s| s.index_of_node(node).is_some())
+    }
+
+    fn put(&self, provider: usize, id: BlockId, data: Bytes) -> Result<()> {
+        self.set(provider)?.put(0, id, data)
+    }
+
+    fn get(&self, provider: usize, id: BlockId) -> Result<Bytes> {
+        self.set(provider)?.get(0, id)
+    }
+
+    fn contains(&self, provider: usize, id: BlockId) -> bool {
+        self.sets.get(provider).is_some_and(|s| s.contains(0, id))
+    }
+
+    fn delete(&self, provider: usize, id: BlockId) -> Result<u64> {
+        self.set(provider)?.delete(0, id)
+    }
+
+    fn put_many(&self, provider: usize, items: &[(BlockId, Bytes)]) -> Vec<Result<()>> {
+        match self.set(provider) {
+            Ok(s) => s.put_many(0, items),
+            Err(e) => items.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    fn get_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<Bytes>> {
+        match self.set(provider) {
+            Ok(s) => s.get_many(0, ids),
+            Err(e) => ids.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    fn delete_many(&self, provider: usize, ids: &[BlockId]) -> Vec<Result<u64>> {
+        match self.set(provider) {
+            Ok(s) => s.delete_many(0, ids),
+            Err(e) => ids.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    fn block_count(&self, provider: usize) -> usize {
+        self.sets.get(provider).map_or(0, |s| s.block_count(0))
+    }
+
+    fn bytes_stored(&self, provider: usize) -> u64 {
+        self.sets.get(provider).map_or(0, |s| s.bytes_stored(0))
+    }
+
+    fn op_counts(&self, provider: usize) -> (u64, u64) {
+        self.sets.get(provider).map_or((0, 0), |s| s.op_counts(0))
+    }
+}
+
+impl FannedProviders {
+    fn set(&self, provider: usize) -> Result<&Arc<dyn BlockStore>> {
+        self.sets
+            .get(provider)
+            .ok_or_else(|| Error::Internal(format!("provider index {provider} out of range")))
+    }
+}
 
 impl LoopbackCluster {
     /// Boots `n_providers` single-provider block servers (provider `i`
-    /// hosted on node `i`), one metadata-DHT server and one
-    /// version-manager server, all on loopback ephemeral ports.
+    /// hosted on node `i`), one metadata-DHT server, one version-manager
+    /// server, one placement (provider-manager) server and one GC server,
+    /// all on loopback ephemeral ports.
     pub fn boot(cfg: BlobSeerConfig, n_providers: usize) -> Result<Self> {
         Self::boot_seeded(cfg, n_providers, 0x5EED_0001)
     }
@@ -91,8 +192,9 @@ impl LoopbackCluster {
                     .map_err(|e| Error::Transport(format!("spawn loopback server: {e}")))
             }
         };
-        let mut servers = Vec::with_capacity(n_providers + 2);
+        let mut servers = Vec::with_capacity(n_providers + 4);
         let mut block_addrs = Vec::with_capacity(n_providers);
+        let mut sets: Vec<Arc<dyn BlockStore>> = Vec::with_capacity(n_providers);
         // Backend selection: `data_dir = None` hosts the in-memory
         // adapters (state dies with the cluster); `Some(dir)` hosts the
         // append-only disk stores of `blobseer-disk`, so booting again
@@ -111,9 +213,10 @@ impl LoopbackCluster {
                     node,
                 )?])),
             };
-            let server = spawn(RpcService::Block(set))?;
+            let server = spawn(RpcService::Block(Arc::clone(&set)))?;
             block_addrs.push(server.addr());
             servers.push(server);
+            sets.push(set);
         }
         let dht: Arc<dyn MetaStore> = match &cfg.data_dir {
             None => Arc::new(MetaDht::new(
@@ -125,72 +228,127 @@ impl LoopbackCluster {
                 cfg.metadata_providers,
             )?),
         };
-        let meta_server = spawn(RpcService::Meta(dht))?;
+        let meta_server = spawn(RpcService::Meta(Arc::clone(&dht)))?;
         let meta_addr = meta_server.addr();
         servers.push(meta_server);
-        let vm: Arc<dyn blobseer_core::ports::VersionService> = match &cfg.data_dir {
-            None => Arc::new(VersionManager::new(
-                cfg.block_size,
-                Arc::clone(&server_stats),
-            )),
-            Some(dir) => Arc::new(DurableVersionService::open(
-                dir.join("version.log"),
-                cfg.block_size,
-            )?),
+        // The version manager: a single VM (RAM or durable), or — with
+        // `version_replicas > 1` — a leader-based replica group that
+        // survives mid-storm leader kills (see `blobseer_control`).
+        let mut replicated_vm = None;
+        let vm: Arc<dyn blobseer_core::ports::VersionService> = if cfg.version_replicas > 1 {
+            let group = match &cfg.data_dir {
+                None => blobseer_control::ReplicatedVersionService::new(
+                    cfg.version_replicas,
+                    cfg.block_size,
+                ),
+                Some(dir) => blobseer_control::ReplicatedVersionService::open(
+                    dir.join("vm-replog"),
+                    cfg.version_replicas,
+                    cfg.block_size,
+                )?,
+            };
+            replicated_vm = Some(Arc::clone(&group));
+            group
+        } else {
+            match &cfg.data_dir {
+                None => Arc::new(VersionManager::new(
+                    cfg.block_size,
+                    Arc::clone(&server_stats),
+                )),
+                Some(dir) => Arc::new(DurableVersionService::open(
+                    dir.join("version.log"),
+                    cfg.block_size,
+                )?),
+            }
         };
         let vm_server = spawn(RpcService::Version(vm))?;
         let vm_addr = vm_server.addr();
         servers.push(vm_server);
-        // Resume the deployment counter from the persisted log: every
-        // past deployment claimed a block-id range, so a rebooted cluster
-        // must start allocating above all of them.
-        let (deployments, deploy_log) = match &cfg.data_dir {
-            None => (0, None),
+        // Resume the boot counter from the persisted log: every past boot
+        // of this data directory claimed a block-id range for its hosted
+        // provider manager, so a rebooted cluster must allocate above all
+        // of them (colliding ids would trip the providers' immutable-put
+        // check).
+        let boots = match &cfg.data_dir {
+            None => 0,
             Some(dir) => {
                 let mut past = 0u64;
-                let log = FrameLog::open_with(dir.join("deployments.log"), |_, _| {
+                let mut log = FrameLog::open_with(dir.join("deployments.log"), |_, _| {
                     past += 1;
                     Ok(())
                 })?;
-                (past, Some(Mutex::named(log, "cluster.deployments_log")))
+                // One frame per boot, ever: the frame count is the next
+                // boot index (the payload is only for humans reading the
+                // log).
+                let mut w = blobseer_types::wire::WireWriter::new();
+                w.put_u64(past);
+                log.append(&w.into_vec())?;
+                past
             }
         };
+        // The hosted control plane: ONE provider manager and ONE GC
+        // refcount tracker shared by every deployment wired to this
+        // cluster, each behind its own listener. The GC host cascades
+        // in-process, next to the stores it deletes from.
+        let pm = Arc::new(ProviderManager::with_block_base(
+            n_providers,
+            cfg.placement,
+            pm_seed,
+            1 + boots * BLOCK_ID_RANGE,
+        ));
+        let placement_server = spawn(RpcService::Placement(
+            Arc::clone(&pm) as Arc<dyn PlacementService>
+        ))?;
+        let placement_addr = placement_server.addr();
+        servers.push(placement_server);
+        let gc_host: Arc<dyn GcService> = Arc::new(GcHost::new(
+            dht,
+            Arc::new(FannedProviders { sets }),
+            pm,
+            Arc::clone(&server_stats),
+            Arc::new(FanoutExecutor::new(n_providers.min(8))),
+        ));
+        let gc_server = spawn(RpcService::Gc(gc_host))?;
+        let gc_addr = gc_server.addr();
+        servers.push(gc_server);
         Ok(Self {
             cfg,
-            pm_seed,
             servers,
             block_addrs,
             meta_addr,
             vm_addr,
+            placement_addr,
+            gc_addr,
             server_stats,
             in_flight,
-            deployments: AtomicU64::new(deployments),
-            deploy_log,
+            replicated_vm,
         })
     }
 
     /// Wires a fresh client deployment to the cluster: RPC adapters for
-    /// all three ports behind the unchanged [`BlobSeer::deploy_ports`].
+    /// all five ports behind the unchanged [`BlobSeer::deploy_ports`].
     /// Call it once per simulated client process.
     ///
-    /// Each deployment runs its own (client-side) provider manager against
-    /// the *shared* remote providers, so each receives a disjoint block-id
-    /// range — colliding ids from two deployments would trip the
-    /// providers' immutable-put check. Blob ids come from the shared
-    /// version-manager server, so blobs written through one deployment are
-    /// readable through any other.
+    /// Every deployment shares the cluster's hosted control plane: blob
+    /// ids and versions come from the shared version-manager server,
+    /// block ids and load accounting from the shared placement server,
+    /// and metadata refcounts from the shared GC server — so blobs
+    /// written through one deployment are readable (and collectable)
+    /// through any other, and placement balances globally.
     pub fn deploy(&self) -> Result<Arc<BlobSeer>> {
-        let idx = self.deployments.fetch_add(1, Ordering::Relaxed);
-        if let Some(log) = &self.deploy_log {
-            // One frame per deployment, ever: the frame count is the next
-            // deployment index after a reboot (the payload is only for
-            // humans reading the log).
-            let mut w = blobseer_types::wire::WireWriter::new();
-            w.put_u64(idx);
-            log.lock().append(&w.into_vec())?;
-        }
-        // The adapters account their round trips (`port_round_trips`) and
-        // vectored items (`batched_items`) on this deployment's stats.
+        self.deploy_observed(Arc::new(NoopObserver))
+    }
+
+    /// [`Self::deploy`] with a custom [`ProtocolObserver`] wired into the
+    /// deployment. Fault-injection tests use it to act at protocol phase
+    /// boundaries — e.g. killing the version-manager leader between a
+    /// storm's data phase and its version assignment
+    /// (`tests/control_plane.rs`).
+    pub fn deploy_observed(&self, observer: Arc<dyn ProtocolObserver>) -> Result<Arc<BlobSeer>> {
+        // The data-path adapters account their round trips
+        // (`port_round_trips`) and vectored items (`batched_items`) on
+        // this deployment's stats; the control-plane adapters account on
+        // `control_round_trips`.
         let stats = Arc::new(EngineStats::new());
         let budget = self.cfg.rpc_client_connections;
         let mut providers: Arc<dyn BlockStore> = Arc::new(RpcBlockStore::connect_with(
@@ -227,14 +385,18 @@ impl LoopbackCluster {
                 Arc::clone(&stats),
                 budget,
             )?),
-            pm: Arc::new(ProviderManager::with_block_base(
-                self.block_addrs.len(),
-                self.cfg.placement,
-                self.pm_seed,
-                1 + idx * BLOCK_ID_RANGE,
-            )),
+            pm: Arc::new(RpcPlacementService::connect_with(
+                self.placement_addr,
+                Arc::clone(&stats),
+                budget,
+            )?),
+            gc: Some(Arc::new(RpcGcService::connect_with(
+                self.gc_addr,
+                Arc::clone(&stats),
+                budget,
+            )?)),
             stats,
-            observer: Arc::new(NoopObserver),
+            observer,
         };
         Ok(BlobSeer::deploy_ports(self.cfg.clone(), ports))
     }
@@ -245,14 +407,16 @@ impl LoopbackCluster {
     }
 
     /// Number of server processes (listeners): one per provider, plus the
-    /// DHT, plus the version manager.
+    /// DHT, the version manager, the placement manager and the GC
+    /// service.
     pub fn server_count(&self) -> usize {
         self.servers.len()
     }
 
     /// Total request frames served across every server of the cluster —
     /// the server-side view of the round trips the client adapters count
-    /// in their deployment's `port_round_trips`.
+    /// in their deployment's `port_round_trips` (data path) and
+    /// `control_round_trips` (placement + GC).
     pub fn frames_served(&self) -> u64 {
         self.servers.iter().map(|s| s.frames_served()).sum()
     }
@@ -286,6 +450,23 @@ impl LoopbackCluster {
     /// Address of the version-manager service.
     pub fn vm_addr(&self) -> SocketAddr {
         self.vm_addr
+    }
+
+    /// Address of the placement (provider-manager) service.
+    pub fn placement_addr(&self) -> SocketAddr {
+        self.placement_addr
+    }
+
+    /// Address of the GC refcount service.
+    pub fn gc_addr(&self) -> SocketAddr {
+        self.gc_addr
+    }
+
+    /// The hosted replicated version-manager group, when the cluster was
+    /// booted with `version_replicas > 1` — fault-injection tests use it
+    /// to kill and revive replicas mid-storm.
+    pub fn replicated_vm(&self) -> Option<&Arc<blobseer_control::ReplicatedVersionService>> {
+        self.replicated_vm.as_ref()
     }
 
     /// Server-side engine counters (the hosted version manager's, e.g.

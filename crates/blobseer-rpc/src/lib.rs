@@ -2,10 +2,12 @@
 //!
 //! The paper's processes "communicate through remote procedure calls"
 //! (§III-B); until this crate, the reproduction ran every service as an
-//! in-process struct behind `Arc<dyn …>`. Here the same three port traits
+//! in-process struct behind `Arc<dyn …>`. Here the same five port traits
 //! — [`blobseer_core::ports::BlockStore`],
 //! [`blobseer_core::ports::MetaStore`],
-//! [`blobseer_core::ports::VersionService`] — go over real sockets, with
+//! [`blobseer_core::ports::VersionService`],
+//! [`blobseer_core::ports::PlacementService`],
+//! [`blobseer_core::ports::GcService`] — go over real sockets, with
 //! zero changes to the client protocol:
 //!
 //! * [`wire`] — a dependency-free length-prefixed binary codec: LEB128
@@ -19,14 +21,17 @@
 //!   by a fixed worker pool, slow `wait_revealed` calls are offloaded so
 //!   they never occupy a worker, and shutdown stays graceful and
 //!   deterministic;
-//! * [`client`] — multiplexed client adapters implementing the three
+//! * [`client`] — multiplexed client adapters implementing the five
 //!   traits over a small fixed budget of shared connections (any number
 //!   of in-flight requests per connection, correlated by request id; dead
 //!   connections redial transparently), pluggable into the unchanged
-//!   [`blobseer_core::BlobSeer::deploy_ports`];
+//!   [`blobseer_core::BlobSeer::deploy_ports`]. Data-path adapters meter
+//!   on `port_round_trips`; the placement/GC control-plane adapters
+//!   meter on `control_round_trips`, keeping the two budgets separately
+//!   observable;
 //! * [`cluster`] — [`cluster::LoopbackCluster`], an N-process-shaped
-//!   deployment over loopback: one server per data provider plus DHT and
-//!   version-manager servers.
+//!   deployment over loopback: one server per data provider plus DHT,
+//!   version-manager, placement and GC servers.
 //!
 //! ```
 //! use blobseer_rpc::LoopbackCluster;
@@ -53,6 +58,8 @@ pub mod cluster;
 pub mod server;
 pub mod wire;
 
-pub use client::{RpcBlockStore, RpcMetaStore, RpcVersionService};
+pub use client::{
+    RpcBlockStore, RpcGcService, RpcMetaStore, RpcPlacementService, RpcVersionService,
+};
 pub use cluster::LoopbackCluster;
 pub use server::{InFlight, RpcServer, RpcService};

@@ -2,10 +2,12 @@
 //! `std::net::TcpListener`.
 //!
 //! One [`RpcServer`] serves exactly one port — a [`BlockStore`], a
-//! [`MetaStore`] or a [`VersionService`] — on its own listener, which is
-//! what lets a deployment place data providers, the metadata DHT and the
-//! version manager on separate "nodes" (separate listeners, separate
-//! thread groups), mirroring the paper's process decomposition (§III-B).
+//! [`MetaStore`], a [`VersionService`], a [`PlacementService`] or a
+//! [`GcService`] — on its own listener, which is what lets a deployment
+//! place data providers, the metadata DHT, the version manager and the
+//! control-plane services on separate "nodes" (separate listeners,
+//! separate thread groups), mirroring the paper's process decomposition
+//! (§III-B).
 //!
 //! Concurrency model: per-connection *readers* feeding a bounded worker
 //! pool. The accept loop runs on its own thread; each accepted connection
@@ -26,9 +28,10 @@
 //! the queue, and joins readers, workers and offload threads.
 
 use crate::wire::{self, encode_response};
-use blobseer_core::ports::{BlockStore, MetaStore, VersionService};
+use blobseer_core::ports::{BlockStore, GcService, MetaStore, PlacementService, VersionService};
 use blobseer_types::config::{DEFAULT_RPC_SERVER_QUEUE_DEPTH, DEFAULT_RPC_SERVER_WORKERS};
 use blobseer_types::wire::{WireReader, WireWriter};
+use blobseer_types::NodeId;
 use blobseer_types::{BlobId, BlockId, Error, Result, Version};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -48,6 +51,12 @@ pub enum RpcService {
     Meta(Arc<dyn MetaStore>),
     /// A version manager (any [`VersionService`] adapter).
     Version(Arc<dyn VersionService>),
+    /// A provider manager (any [`PlacementService`] adapter) — the
+    /// control-plane authority for block placement and load accounting.
+    Placement(Arc<dyn PlacementService>),
+    /// A GC refcount service (any [`GcService`] adapter) — the
+    /// control-plane authority for node refcounts and cascades.
+    Gc(Arc<dyn GcService>),
 }
 
 impl RpcService {
@@ -56,6 +65,8 @@ impl RpcService {
             RpcService::Block(_) => "block",
             RpcService::Meta(_) => "meta",
             RpcService::Version(_) => "version",
+            RpcService::Placement(_) => "placement",
+            RpcService::Gc(_) => "gc",
         }
     }
 }
@@ -480,6 +491,8 @@ fn dispatch(service: &RpcService, body: &[u8]) -> Vec<u8> {
         RpcService::Block(store) => handle_block(&**store, body),
         RpcService::Meta(store) => handle_meta(&**store, body),
         RpcService::Version(vm) => handle_version(&**vm, body),
+        RpcService::Placement(pm) => handle_placement(&**pm, body),
+        RpcService::Gc(gc) => handle_gc(&**gc, body),
     };
     encode_response(result)
 }
@@ -854,6 +867,110 @@ fn handle_version(vm: &dyn VersionService, body: &[u8]) -> Result<WireWriter> {
             wire::put_node_keys(&mut w, &roots);
         }
         t => return Err(Error::Transport(format!("unknown version method tag {t}"))),
+    }
+    Ok(w)
+}
+
+/// Method tags of the placement service (mirrored by
+/// `client::RpcPlacementService`).
+pub(crate) mod placement_tag {
+    pub const PROVIDER_COUNT: u8 = 0;
+    pub const ALLOCATE: u8 = 1;
+    pub const RELEASE_MANY: u8 = 2;
+    pub const LOAD_VECTOR: u8 = 3;
+    pub const REGISTER_PROVIDER: u8 = 4;
+    pub const HEARTBEAT: u8 = 5;
+}
+
+fn handle_placement(pm: &dyn PlacementService, body: &[u8]) -> Result<WireWriter> {
+    let mut r = WireReader::new(body);
+    let tag = r.get_u8()?;
+    let mut w = WireWriter::new();
+    match tag {
+        placement_tag::PROVIDER_COUNT => {
+            r.finish()?;
+            w.put_u64(pm.provider_count() as u64);
+        }
+        placement_tag::ALLOCATE => {
+            let n_blocks = r.get_u64()? as usize;
+            let replication = r.get_u64()? as usize;
+            r.finish()?;
+            let allocs = pm.allocate(n_blocks, replication)?;
+            w.put_u64(allocs.len() as u64);
+            for a in &allocs {
+                wire::put_block_allocation(&mut w, a);
+            }
+        }
+        placement_tag::RELEASE_MANY => {
+            let n = r.get_u64()? as usize;
+            let mut providers = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                providers.push(r.get_u64()? as usize);
+            }
+            r.finish()?;
+            pm.release_many(&providers)?;
+        }
+        placement_tag::LOAD_VECTOR => {
+            r.finish()?;
+            let loads = pm.load_vector()?;
+            w.put_u64(loads.len() as u64);
+            for l in loads {
+                w.put_u64(l);
+            }
+        }
+        placement_tag::REGISTER_PROVIDER => {
+            let node = NodeId::new(r.get_u64()?);
+            r.finish()?;
+            w.put_u64(pm.register_provider(node)? as u64);
+        }
+        placement_tag::HEARTBEAT => {
+            let provider = r.get_u64()? as usize;
+            r.finish()?;
+            w.put_u64(pm.heartbeat(provider)?);
+        }
+        t => {
+            return Err(Error::Transport(format!(
+                "unknown placement method tag {t}"
+            )))
+        }
+    }
+    Ok(w)
+}
+
+/// Method tags of the GC service (mirrored by `client::RpcGcService`).
+pub(crate) mod gc_tag {
+    pub const INC_NODES: u8 = 0;
+    pub const RELEASE_ROOTS: u8 = 1;
+    pub const NODE_COUNT: u8 = 2;
+    pub const TRACKED_NODES: u8 = 3;
+}
+
+fn handle_gc(gc: &dyn GcService, body: &[u8]) -> Result<WireWriter> {
+    let mut r = WireReader::new(body);
+    let tag = r.get_u8()?;
+    let mut w = WireWriter::new();
+    match tag {
+        gc_tag::INC_NODES => {
+            let keys = wire::get_node_keys(&mut r)?;
+            r.finish()?;
+            gc.inc_nodes(&keys)?;
+        }
+        gc_tag::RELEASE_ROOTS => {
+            let roots = wire::get_node_keys(&mut r)?;
+            r.finish()?;
+            let report = gc.release_roots(&roots)?;
+            wire::put_gc_report(&mut w, &report);
+        }
+        gc_tag::NODE_COUNT => {
+            let key = wire::get_node_key(&mut r)?;
+            r.finish()?;
+            w.put_u64(gc.node_count(&key)?);
+        }
+        gc_tag::TRACKED_NODES => {
+            r.finish()?;
+            w.put_u64(gc.tracked_nodes()? as u64);
+        }
+        t => return Err(Error::Transport(format!("unknown gc method tag {t}"))),
     }
     Ok(w)
 }

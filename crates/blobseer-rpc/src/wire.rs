@@ -23,6 +23,7 @@
 //! [`blobseer_types::Error::Transport`]; a malformed frame can never
 //! panic a server or client thread.
 
+use blobseer_core::gc::GcReport;
 use blobseer_core::meta::key::NodeKey;
 use blobseer_core::meta::log::{LogChain, LogEntry, LogSegment};
 use blobseer_core::provider_manager::BlockAllocation;
@@ -373,6 +374,24 @@ pub fn get_node_keys(r: &mut WireReader<'_>) -> Result<Vec<NodeKey>> {
     Ok(out)
 }
 
+/// Encodes a GC report.
+pub fn put_gc_report(w: &mut WireWriter, report: &GcReport) {
+    w.put_u64(report.nodes_deleted);
+    w.put_u64(report.blocks_deleted);
+    w.put_u64(report.bytes_freed);
+    w.put_u64(report.untracked_releases);
+}
+
+/// Decodes a GC report.
+pub fn get_gc_report(r: &mut WireReader<'_>) -> Result<GcReport> {
+    Ok(GcReport {
+        nodes_deleted: r.get_u64()?,
+        blocks_deleted: r.get_u64()?,
+        bytes_freed: r.get_u64()?,
+        untracked_releases: r.get_u64()?,
+    })
+}
+
 // --- response envelope ------------------------------------------------------
 
 /// Wraps a handler outcome into a response body: status byte `0` followed
@@ -592,6 +611,13 @@ mod tests {
         put_write_intent(&mut w, WriteIntent::Write { offset: 5, size: 9 });
         put_write_intent(&mut w, WriteIntent::Append { size: 64 });
         put_duration(&mut w, Duration::from_millis(1500));
+        let report = GcReport {
+            nodes_deleted: 5,
+            blocks_deleted: 3,
+            bytes_freed: 4096,
+            untracked_releases: 1,
+        };
+        put_gc_report(&mut w, &report);
         let mut r = WireReader::new(w.as_slice());
         assert_eq!(get_block_allocation(&mut r).unwrap(), a);
         assert_eq!(get_snapshot_info(&mut r).unwrap(), info);
@@ -604,6 +630,7 @@ mod tests {
             WriteIntent::Append { size: 64 }
         );
         assert_eq!(get_duration(&mut r).unwrap(), Duration::from_millis(1500));
+        assert_eq!(get_gc_report(&mut r).unwrap(), report);
         r.finish().unwrap();
     }
 

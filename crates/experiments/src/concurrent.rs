@@ -695,6 +695,7 @@ pub fn deploy(
             fabric: Arc::clone(&fabric),
         }),
         pm: Arc::new(ProviderManager::new(n_providers, policy, seed)),
+        gc: None,
         stats,
         observer: Arc::clone(&phases) as Arc<dyn ProtocolObserver>,
     };

@@ -132,6 +132,12 @@ pub struct BlobSeerConfig {
     /// multiple of `block_size`); the builder warns when the value is not
     /// already a multiple.
     pub readahead_bytes: u64,
+    /// Number of version-manager replicas a hosted cluster boots. `1`
+    /// (the default, and the figure-reproduction setting) hosts the
+    /// single version manager of the paper; values above 1 host a
+    /// leader-based replica group (`blobseer-control`) that keeps issuing
+    /// gap-free version numbers across leader crashes.
+    pub version_replicas: usize,
 }
 
 impl Default for BlobSeerConfig {
@@ -152,6 +158,7 @@ impl Default for BlobSeerConfig {
             data_dir: None,
             client_io_threads: None,
             readahead_bytes: 0,
+            version_replicas: 1,
         }
     }
 }
@@ -180,6 +187,7 @@ impl BlobSeerConfig {
             // path by default while staying cheap on 1-CPU runners.
             client_io_threads: Some(2),
             readahead_bytes: 0,
+            version_replicas: 1,
         }
     }
 
@@ -296,6 +304,16 @@ impl BlobSeerConfig {
         self
     }
 
+    /// Builder-style override of the version-manager replica count a
+    /// hosted cluster boots. Must be at least 1; `1` keeps the paper's
+    /// single version manager.
+    #[must_use]
+    pub fn with_version_replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas >= 1, "a deployment needs at least one replica");
+        self.version_replicas = replicas;
+        self
+    }
+
     /// The read-ahead window in whole blocks (rounded up). `0` = off.
     pub fn readahead_blocks(&self) -> u64 {
         self.readahead_bytes.div_ceil(self.block_size)
@@ -384,6 +402,7 @@ mod tests {
         assert_eq!(c.data_dir, None, "RAM-backed unless opted in");
         assert_eq!(c.client_io_threads, None, "auto: min(8, providers)");
         assert_eq!(c.readahead_bytes, 0, "read-ahead is opt-in");
+        assert_eq!(c.version_replicas, 1, "the paper runs one version manager");
 
         let h = HdfsConfig::default();
         assert_eq!(h.chunk_size, 64 * 1024 * 1024);
@@ -405,7 +424,8 @@ mod tests {
             .with_read_cache_bytes(1 << 20)
             .with_data_dir("/tmp/blobseer-data")
             .with_client_io_threads(4)
-            .with_readahead_bytes(4096);
+            .with_readahead_bytes(4096)
+            .with_version_replicas(3);
         assert_eq!(c.unaligned_append_timeout, Duration::from_millis(50));
         assert_eq!(c.close_reveal_timeout, Duration::from_millis(80));
         assert_eq!(c.block_size, 1024);
@@ -420,6 +440,7 @@ mod tests {
         assert_eq!(c.client_io_threads, Some(4));
         assert_eq!(c.readahead_bytes, 4096);
         assert_eq!(c.readahead_blocks(), 4, "1024-byte blocks, 4 KB window");
+        assert_eq!(c.version_replicas, 3);
 
         let h = HdfsConfig::small_for_tests()
             .with_chunk_size(512)

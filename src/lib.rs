@@ -6,6 +6,7 @@
 //! EXPERIMENTS.md for the reproduction methodology.
 #![forbid(unsafe_code)]
 
+pub use blobseer_control;
 pub use blobseer_core;
 pub use blobseer_disk;
 pub use blobseer_rpc;

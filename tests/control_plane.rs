@@ -1,0 +1,339 @@
+//! Mid-storm failover of the replicated version manager, end to end.
+//!
+//! The version manager is the one serialization point of the protocol —
+//! every append storm funnels through its version assignment — and the
+//! companion design paper leaves its fault tolerance open. These tests
+//! pin down what `blobseer_control::ReplicatedVersionService` buys a
+//! cluster booted with `version_replicas = 3`:
+//!
+//! * the leader is killed **at every protocol phase boundary** (the
+//!   §III-D write phases and the read phases, via a `ProtocolObserver`
+//!   wired into the deployment) while a 16-appender storm runs over
+//!   real loopback RPC — and no appender observes a failure;
+//! * the surviving replicas hand out a **gap-free, duplicate-free**
+//!   version sequence: exactly `1..=N` for `N` successful appends, every
+//!   snapshot readable, the final bytes a permutation of exactly the
+//!   payloads written;
+//! * a disk-backed replica group replays the same history after a full
+//!   cluster reboot that follows the storm.
+
+use blobseer_control::ReplicatedVersionService;
+use blobseer_core::ports::{ProtocolObserver, ProtocolOp, ProtocolPhase};
+use blobseer_rpc::LoopbackCluster;
+use blobseer_types::{BlobSeerConfig, NodeId, Version};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const BLOCK: u64 = 256;
+const APPENDERS: usize = 16;
+const APPENDS_EACH: usize = 12;
+
+/// Every append-path phase boundary of §III-D, in protocol order.
+const APPEND_TARGETS: [(ProtocolOp, ProtocolPhase); 5] = [
+    (ProtocolOp::Append, ProtocolPhase::Start),
+    (ProtocolOp::Append, ProtocolPhase::DataDone),
+    (ProtocolOp::Append, ProtocolPhase::VersionAssigned),
+    (ProtocolOp::Append, ProtocolPhase::MetadataPublished),
+    (ProtocolOp::Append, ProtocolPhase::Committed),
+];
+
+/// Every read-path phase boundary.
+const READ_TARGETS: [(ProtocolOp, ProtocolPhase); 3] = [
+    (ProtocolOp::Read, ProtocolPhase::Start),
+    (ProtocolOp::Read, ProtocolPhase::Located),
+    (ProtocolOp::Read, ProtocolPhase::Done),
+];
+
+struct KillSchedule {
+    /// The phase boundaries to kill at, cycled in order.
+    targets: Vec<(ProtocolOp, ProtocolPhase)>,
+    /// Index of the next target in the cycle.
+    next: usize,
+    /// Event count at the last kill (cooldown reference).
+    last_kill_at: u64,
+    /// The replica killed last, revived just before the next kill so the
+    /// group never drops below its majority quorum (2 of 3).
+    downed: Option<usize>,
+    /// Every (op, phase) boundary a kill actually landed on.
+    kills: Vec<(ProtocolOp, ProtocolPhase)>,
+}
+
+/// A `ProtocolObserver` that assassinates the version-manager leader at
+/// protocol phase boundaries. It cycles through a target list so every
+/// boundary gets hit, and throttles kills (one per `cooldown` observed
+/// events) so elections settle between them.
+///
+/// Uses `std::sync::Mutex` for its own state: the observer runs on client
+/// threads and must stay invisible to the workspace lock-order checker
+/// while it calls into the `ctl.*` lock classes of the replica group.
+struct LeaderKiller {
+    vm: Arc<ReplicatedVersionService>,
+    events: AtomicU64,
+    cooldown: u64,
+    sched: Mutex<KillSchedule>,
+}
+
+impl LeaderKiller {
+    fn new(vm: Arc<ReplicatedVersionService>, cooldown: u64) -> Self {
+        Self {
+            vm,
+            events: AtomicU64::new(0),
+            cooldown,
+            sched: Mutex::new(KillSchedule {
+                targets: Vec::new(),
+                next: 0,
+                last_kill_at: 0,
+                downed: None,
+                kills: Vec::new(),
+            }),
+        }
+    }
+
+    /// Arms the killer with a fresh target cycle (kills accumulate).
+    fn arm(&self, targets: &[(ProtocolOp, ProtocolPhase)]) {
+        let mut s = self.sched.lock().unwrap();
+        s.targets = targets.to_vec();
+        s.next = 0;
+    }
+
+    /// Disarms the killer and revives any still-downed replica, returning
+    /// every boundary that got a kill.
+    fn stand_down(&self) -> Vec<(ProtocolOp, ProtocolPhase)> {
+        let mut s = self.sched.lock().unwrap();
+        s.targets = Vec::new();
+        if let Some(i) = s.downed.take() {
+            self.vm.revive(i).expect("revive downed replica");
+        }
+        s.kills.clone()
+    }
+}
+
+impl ProtocolObserver for LeaderKiller {
+    fn phase(&self, _node: NodeId, op: ProtocolOp, phase: ProtocolPhase) {
+        let now = self.events.fetch_add(1, Ordering::SeqCst);
+        let mut s = self.sched.lock().unwrap();
+        if s.targets.is_empty() {
+            return;
+        }
+        let want = s.targets[s.next % s.targets.len()];
+        if (op, phase) != want {
+            return;
+        }
+        if !s.kills.is_empty() && now < s.last_kill_at + self.cooldown {
+            return;
+        }
+        // Bring the previous victim back first: the group stays at 2-of-3
+        // (quorum) through the kill, never 1-of-3.
+        if let Some(i) = s.downed.take() {
+            self.vm.revive(i).expect("revive downed replica");
+        }
+        if let Some(victim) = self.vm.kill_leader() {
+            s.downed = Some(victim);
+            s.kills.push(want);
+            s.next += 1;
+            s.last_kill_at = now;
+        }
+    }
+}
+
+/// The storm: 16 appenders over loopback RPC, each appending one block at
+/// a time with a unique fill byte, while the observer kills the leader at
+/// every append-phase boundary. Then a read storm over every snapshot with
+/// kills at every read-phase boundary. No client ever sees an error.
+#[test]
+fn leader_kills_at_every_phase_boundary_leave_a_gap_free_history() {
+    let cfg = BlobSeerConfig::small_for_tests()
+        .with_block_size(BLOCK)
+        .with_version_replicas(3);
+    let cluster = LoopbackCluster::boot(cfg, 4).unwrap();
+    let vm = Arc::clone(cluster.replicated_vm().expect("replicated group"));
+    assert_eq!(vm.replica_count(), 3);
+    let killer = Arc::new(LeaderKiller::new(Arc::clone(&vm), 30));
+    let sys = cluster.deploy_observed(Arc::clone(&killer) as _).unwrap();
+
+    // A bystander BLOB written before the storm: it must stay readable
+    // through every failover.
+    let c0 = sys.client(NodeId::new(99));
+    let bystander = c0.create();
+    let bystander_bytes = vec![0xB5u8; 2 * BLOCK as usize];
+    c0.write(bystander, 0, &bystander_bytes).unwrap();
+
+    let blob = c0.create();
+    let term_before = vm.term();
+    killer.arm(&APPEND_TARGETS);
+
+    let handles: Vec<_> = (0..APPENDERS)
+        .map(|t| {
+            let sys = Arc::clone(&sys);
+            std::thread::spawn(move || {
+                let c = sys.client(NodeId::new(t as u64));
+                let mut fills = Vec::with_capacity(APPENDS_EACH);
+                for k in 0..APPENDS_EACH {
+                    // Unique fill byte per append (16 * 12 = 192 <= 255):
+                    // the final bytes identify exactly which append landed
+                    // in each block.
+                    let fill = (t * APPENDS_EACH + k) as u8;
+                    let (_, v) = c.append(blob, &[fill; BLOCK as usize]).unwrap();
+                    assert!(v >= Version::new(1), "appender {t} got version {v:?}");
+                    fills.push(fill);
+                }
+                fills
+            })
+        })
+        .collect();
+    let mut written: Vec<u8> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    let append_kills = killer.stand_down();
+    for target in APPEND_TARGETS {
+        assert!(
+            append_kills.contains(&target),
+            "no leader kill landed on {target:?} (kills: {append_kills:?})"
+        );
+    }
+    assert!(
+        vm.term() > term_before,
+        "leader kills must have forced re-elections"
+    );
+
+    // Gap-free and duplicate-free: N successful appends produced versions
+    // exactly 1..=N — every version exists with the size of its position
+    // in the sequence, and the newest covers all bytes.
+    let n = (APPENDERS * APPENDS_EACH) as u64;
+    let (latest, size) = c0.latest(blob).unwrap();
+    assert_eq!(latest, Version::new(n), "lost or duplicated versions");
+    assert_eq!(size, n * BLOCK);
+
+    // The read storm: every snapshot of the storm BLOB is read back while
+    // the killer cycles the read-phase boundaries.
+    killer.arm(&READ_TARGETS);
+    let readers: Vec<_> = (0..8u64)
+        .map(|r| {
+            let sys = Arc::clone(&sys);
+            std::thread::spawn(move || {
+                let c = sys.client(NodeId::new(200 + r));
+                for v in 1..=n {
+                    // Version v's newest block is its v-th segment; its
+                    // size grew by exactly one block per version.
+                    assert_eq!(c.size(blob, Version::new(v)).unwrap(), v * BLOCK);
+                    let seg = c
+                        .read(blob, Some(Version::new(v)), (v - 1) * BLOCK, BLOCK)
+                        .unwrap();
+                    assert!(
+                        seg.iter().all(|&b| b == seg[0]),
+                        "torn append block in v{v}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for r in readers {
+        r.join().unwrap();
+    }
+    let all_kills = killer.stand_down();
+    for target in READ_TARGETS {
+        assert!(
+            all_kills.contains(&target),
+            "no leader kill landed on {target:?} (kills: {all_kills:?})"
+        );
+    }
+
+    // Duplicate-free at the byte level: the final content is a
+    // permutation of exactly the 192 payloads the appenders wrote — no
+    // block lost, none applied twice.
+    let data = c0.read(blob, None, 0, n * BLOCK).unwrap();
+    let mut got: Vec<u8> = (0..n)
+        .map(|i| {
+            let seg = &data[(i * BLOCK) as usize..((i + 1) * BLOCK) as usize];
+            assert!(seg.iter().all(|&b| b == seg[0]), "torn block {i}");
+            seg[0]
+        })
+        .collect();
+    got.sort_unstable();
+    written.sort_unstable();
+    assert_eq!(got, written, "final bytes are not the appended payloads");
+
+    // The bystander BLOB survived every failover untouched.
+    let back = c0
+        .read(bystander, None, 0, bystander_bytes.len() as u64)
+        .unwrap();
+    assert_eq!(&back[..], &bystander_bytes[..]);
+
+    // The group converged: everyone alive again, identical log lengths.
+    for i in 0..vm.replica_count() {
+        assert!(vm.is_alive(i), "replica {i} still down after the storm");
+    }
+    assert_eq!(vm.log_len(0), vm.log_len(1));
+    assert_eq!(vm.log_len(1), vm.log_len(2));
+}
+
+/// A smaller storm against a *disk-backed* replica group, then a full
+/// cluster reboot from the same data directory: the replayed group serves
+/// the identical history.
+#[test]
+fn disk_backed_replica_group_survives_a_storm_then_a_reboot() {
+    let tmp = blobseer_disk::testutil::TempDir::new("control-plane-reboot");
+    let cfg = BlobSeerConfig::small_for_tests()
+        .with_block_size(BLOCK)
+        .with_version_replicas(3)
+        .with_data_dir(tmp.path());
+
+    let (blob, n, mut written) = {
+        let cluster = LoopbackCluster::boot(cfg.clone(), 2).unwrap();
+        let vm = Arc::clone(cluster.replicated_vm().expect("replicated group"));
+        let killer = Arc::new(LeaderKiller::new(Arc::clone(&vm), 12));
+        let sys = cluster.deploy_observed(Arc::clone(&killer) as _).unwrap();
+        let c = sys.client(NodeId::new(0));
+        let blob = c.create();
+        killer.arm(&APPEND_TARGETS);
+        let handles: Vec<_> = (0..4usize)
+            .map(|t| {
+                let sys = Arc::clone(&sys);
+                std::thread::spawn(move || {
+                    let c = sys.client(NodeId::new(t as u64));
+                    let mut fills = Vec::new();
+                    for k in 0..6usize {
+                        let fill = (t * 6 + k) as u8;
+                        c.append(blob, &[fill; BLOCK as usize]).unwrap();
+                        fills.push(fill);
+                    }
+                    fills
+                })
+            })
+            .collect();
+        let written: Vec<u8> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let kills = killer.stand_down();
+        assert!(!kills.is_empty(), "the storm must have killed a leader");
+        vm.sync().unwrap();
+        (blob, written.len() as u64, written)
+    };
+
+    // Second life: the replica logs replay into the same history.
+    let cluster = LoopbackCluster::boot(cfg, 2).unwrap();
+    let vm = cluster.replicated_vm().expect("replicated group");
+    for i in 0..vm.replica_count() {
+        assert_eq!(
+            vm.log_len(i),
+            vm.log_len(0),
+            "replica {i} replayed a different log"
+        );
+    }
+    let sys = cluster.deploy().unwrap();
+    let c = sys.client(NodeId::new(7));
+    let (latest, size) = c.latest(blob).unwrap();
+    assert_eq!(latest, Version::new(n));
+    assert_eq!(size, n * BLOCK);
+    let data = c.read(blob, None, 0, n * BLOCK).unwrap();
+    let mut got: Vec<u8> = (0..n).map(|i| data[(i * BLOCK) as usize]).collect();
+    got.sort_unstable();
+    written.sort_unstable();
+    assert_eq!(got, written, "rebooted history differs from the storm's");
+
+    // The rebooted group still issues fresh versions.
+    let v = c.write(blob, 0, &[0xEEu8; BLOCK as usize]).unwrap();
+    assert_eq!(v, Version::new(n + 1));
+}

@@ -257,14 +257,14 @@ fn refused_data_put_releases_allocation_accounting() {
     let c = r.sys.client(NodeId::new(0));
     let blob = c.create();
     c.write(blob, 0, &[1u8; 192]).unwrap(); // 3 blocks, healthy baseline
-    let baseline_loads = r.sys.provider_manager().load_vector();
+    let baseline_loads = r.sys.provider_manager().load_vector().unwrap();
     let baseline_blocks = r.sys.providers().total_block_count();
 
     r.data_plan.set(PutFault::Fail);
     let err = c.write(blob, 0, &[9u8; 256]).unwrap_err();
     assert!(matches!(err, Error::WriteAborted(_)), "{err}");
     assert_eq!(
-        r.sys.provider_manager().load_vector(),
+        r.sys.provider_manager().load_vector().unwrap(),
         baseline_loads,
         "refused data phase must release its allocations"
     );
@@ -274,14 +274,17 @@ fn refused_data_put_releases_allocation_accounting() {
     // refused, and the landed block is deleted with its load released.
     r.data_plan.set(PutFault::None);
     c.append(blob, &[2u8; 64]).unwrap(); // re-align the tail (192 + 64)
-    let baseline_loads = r.sys.provider_manager().load_vector();
+    let baseline_loads = r.sys.provider_manager().load_vector().unwrap();
     let baseline_blocks = r.sys.providers().total_block_count();
     r.data_plan.set(PutFault::FailOnce);
     // First put of this 4-block append fails; nothing may leak.
     let err = c.append(blob, &[9u8; 256]).unwrap_err();
     assert!(matches!(err, Error::WriteAborted(_)), "{err}");
     r.data_plan.set(PutFault::None);
-    assert_eq!(r.sys.provider_manager().load_vector(), baseline_loads);
+    assert_eq!(
+        r.sys.provider_manager().load_vector().unwrap(),
+        baseline_loads
+    );
     assert_eq!(r.sys.providers().total_block_count(), baseline_blocks);
 }
 
@@ -295,7 +298,7 @@ fn failed_metadata_publish_releases_orphaned_blocks() {
     let c = r.sys.client(NodeId::new(0));
     let blob = c.create();
     c.write(blob, 0, &[1u8; 128]).unwrap();
-    let baseline_loads = r.sys.provider_manager().load_vector();
+    let baseline_loads = r.sys.provider_manager().load_vector().unwrap();
     let baseline_blocks = r.sys.providers().total_block_count();
     let baseline_bytes = r.sys.providers().total_bytes_stored();
 
@@ -306,7 +309,7 @@ fn failed_metadata_publish_releases_orphaned_blocks() {
     assert!(matches!(err, Error::WriteAborted(_)), "{err}");
     assert_eq!(c.latest(blob).unwrap().0, Version::new(2), "repaired");
     assert_eq!(
-        r.sys.provider_manager().load_vector(),
+        r.sys.provider_manager().load_vector().unwrap(),
         baseline_loads,
         "orphaned blocks must release their load accounting"
     );
@@ -321,12 +324,15 @@ fn failed_metadata_publish_releases_orphaned_blocks() {
     assert_eq!(v3, Version::new(3));
 
     // Appends leak-check too: same fault, same invariant.
-    let baseline_loads = r.sys.provider_manager().load_vector();
+    let baseline_loads = r.sys.provider_manager().load_vector().unwrap();
     let baseline_blocks = r.sys.providers().total_block_count();
     r.meta_plan.set(PutFault::FailOnce);
     let err = c.append(blob, &[4u8; 64]).unwrap_err();
     assert!(matches!(err, Error::WriteAborted(_)), "{err}");
-    assert_eq!(r.sys.provider_manager().load_vector(), baseline_loads);
+    assert_eq!(
+        r.sys.provider_manager().load_vector().unwrap(),
+        baseline_loads
+    );
     assert_eq!(r.sys.providers().total_block_count(), baseline_blocks);
 }
 

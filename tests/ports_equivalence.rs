@@ -890,3 +890,148 @@ fn threaded_workload_converges_to_identical_state() {
     };
     assert_eq!(run(1), run(32));
 }
+
+// --- hosted placement/GC ≡ in-memory ----------------------------------------
+
+/// One step of a control-plane-heavy script: ops chosen to exercise the
+/// placement allocation stream (writes), subtree sharing (branches) and
+/// the GC refcount cascades (collections, deletions) — the traffic that
+/// flows through the *hosted* placement and GC services of a
+/// `LoopbackCluster` and through the in-memory `ProviderManager`/`GcHost`
+/// of a single-process deployment.
+#[derive(Clone, Debug)]
+enum ControlOp {
+    Create,
+    Append { blob: u8, len: u16 },
+    Write { blob: u8, offset: u16, len: u16 },
+    Branch { blob: u8, at: u8 },
+    GcBefore { blob: u8, keep_from: u8 },
+    DeleteBlob { blob: u8 },
+}
+
+fn control_ops() -> impl Strategy<Value = Vec<ControlOp>> {
+    let op = prop_oneof![
+        (0u8..1).prop_map(|_| ControlOp::Create),
+        (any::<u8>(), 1u16..200).prop_map(|(blob, len)| ControlOp::Append { blob, len }),
+        (any::<u8>(), 0u16..400, 1u16..200).prop_map(|(blob, offset, len)| ControlOp::Write {
+            blob,
+            offset,
+            len
+        }),
+        (any::<u8>(), 0u8..6).prop_map(|(blob, at)| ControlOp::Branch { blob, at }),
+        (any::<u8>(), 0u8..6).prop_map(|(blob, keep_from)| ControlOp::GcBefore { blob, keep_from }),
+        any::<u8>().prop_map(|blob| ControlOp::DeleteBlob { blob }),
+    ];
+    proptest::collection::vec(op, 1..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The hosted control plane is observationally identical to the
+    /// in-memory one. Each case boots a fresh cluster (so the global
+    /// placement/GC observables start from zero on both sides) and replays
+    /// one script against both deployments: every op result — versions,
+    /// blob ids, `GcReport`s, error variants — must agree, and afterwards
+    /// the *global* control-plane state must too: per-provider load
+    /// vectors, provider heartbeats, tracked refcount entries and the
+    /// per-provider block layout left behind by the cascades.
+    #[test]
+    fn hosted_placement_and_gc_match_in_memory(ops in control_ops()) {
+        let cfg = BlobSeerConfig::small_for_tests()
+            .with_block_size(RPC_BLOCK)
+            .with_unaligned_append_timeout(std::time::Duration::from_millis(200));
+        let cluster = LoopbackCluster::boot(cfg.clone(), 4).unwrap();
+        let hosted = cluster.deploy().unwrap();
+        let in_mem = BlobSeer::deploy(cfg, 4);
+        let mem = in_mem.client(NodeId::new(0));
+        let rpc = hosted.client(NodeId::new(0));
+
+        // Blob id sequences align (same version-manager logic on both
+        // sides), so one pool indexes both deployments.
+        let mut pool = vec![mem.create()];
+        prop_assert_eq!(pool[0], rpc.create());
+        for (i, op) in ops.iter().enumerate() {
+            let pick = |sel: u8| pool[sel as usize % pool.len()];
+            match *op {
+                ControlOp::Create => {
+                    let (a, b) = (mem.try_create(), rpc.try_create());
+                    prop_assert_eq!(&a, &b, "create diverged at step {}", i);
+                    if let Ok(blob) = a {
+                        pool.push(blob);
+                    }
+                }
+                ControlOp::Append { blob, len } => {
+                    let blob = pick(blob);
+                    let data = fill(i, len);
+                    prop_assert_eq!(
+                        mem.append(blob, &data),
+                        rpc.append(blob, &data),
+                        "append diverged at step {}", i
+                    );
+                }
+                ControlOp::Write { blob, offset, len } => {
+                    let blob = pick(blob);
+                    let data = fill(i, len);
+                    prop_assert_eq!(
+                        mem.write(blob, offset as u64, &data),
+                        rpc.write(blob, offset as u64, &data),
+                        "write diverged at step {}", i
+                    );
+                }
+                ControlOp::Branch { blob, at } => {
+                    let blob = pick(blob);
+                    let at = Version::new(at as u64);
+                    let (a, b) = (mem.branch(blob, at), rpc.branch(blob, at));
+                    prop_assert_eq!(&a, &b, "branch diverged at step {}", i);
+                    if let Ok(new_blob) = a {
+                        pool.push(new_blob);
+                    }
+                }
+                ControlOp::GcBefore { blob, keep_from } => {
+                    let blob = pick(blob);
+                    let keep = Version::new(keep_from as u64);
+                    prop_assert_eq!(
+                        mem.gc_before(blob, keep),
+                        rpc.gc_before(blob, keep),
+                        "collection diverged at step {}", i
+                    );
+                }
+                ControlOp::DeleteBlob { blob } => {
+                    let blob = pick(blob);
+                    let (a, b) = (mem.delete_blob(blob), rpc.delete_blob(blob));
+                    prop_assert_eq!(&a, &b, "delete diverged at step {}", i);
+                    if a.is_ok() && pool.len() > 1 {
+                        pool.retain(|&x| x != blob);
+                    }
+                }
+            }
+        }
+
+        // Global control-plane state: the hosted provider manager's load
+        // table and the hosted GC tracker's refcounts converged to exactly
+        // the in-memory deployment's.
+        let mem_pm = in_mem.provider_manager();
+        let rpc_pm = hosted.provider_manager();
+        prop_assert_eq!(mem_pm.provider_count(), rpc_pm.provider_count());
+        prop_assert_eq!(mem_pm.load_vector(), rpc_pm.load_vector());
+        for p in 0..mem_pm.provider_count() {
+            prop_assert_eq!(mem_pm.heartbeat(p), rpc_pm.heartbeat(p));
+        }
+        // Out-of-range probes answer the same error variant over the wire.
+        prop_assert_eq!(mem_pm.heartbeat(99), rpc_pm.heartbeat(99));
+        prop_assert_eq!(
+            in_mem.gc_service().tracked_nodes(),
+            hosted.gc_service().tracked_nodes()
+        );
+        // The storage the cascades left behind matches per provider.
+        prop_assert_eq!(
+            in_mem.providers().layout_vector(),
+            hosted.providers().layout_vector()
+        );
+        prop_assert_eq!(
+            BlockStore::total_bytes_stored(in_mem.providers()),
+            BlockStore::total_bytes_stored(hosted.providers())
+        );
+    }
+}

@@ -34,8 +34,9 @@ fn cluster_with_block(block_size: u64, n_providers: usize) -> LoopbackCluster {
 #[test]
 fn full_protocol_roundtrip_over_sockets() {
     let cluster = cluster_with_block(BLOCK, 4);
-    // One server process per provider, plus the DHT and the VM.
-    assert_eq!(cluster.server_count(), 6);
+    // One server process per provider, plus the DHT, the version manager,
+    // and the hosted control plane (placement + GC servers).
+    assert_eq!(cluster.server_count(), 8);
     let sys = cluster.deploy().unwrap();
     let c = sys.client(NodeId::new(100));
 
@@ -176,10 +177,27 @@ fn vectored_ports_cost_frames_proportional_to_levels_not_blocks() {
     );
     assert_eq!(after_read.read_replica_fallbacks, 0);
 
-    // The servers saw exactly the frames the client adapters counted.
+    // The control plane is hosted too, but it stays off the data-path
+    // counters: a clean write costs exactly three control frames (one
+    // placement `allocate`, one batched `inc_nodes` for the published
+    // tree, one for the committed root) and a read costs none.
+    assert_eq!(
+        after_write.control_round_trips - before.control_round_trips,
+        3,
+        "write control frames: allocate + tree inc_nodes + root inc_nodes"
+    );
+    assert_eq!(
+        after_read.control_round_trips - after_write.control_round_trips,
+        0,
+        "reads never touch the control plane"
+    );
+
+    // The servers saw exactly the frames the client adapters counted —
+    // data-path and control-plane together.
     assert_eq!(
         cluster.frames_served() - served_before,
-        after_read.port_round_trips - before.port_round_trips
+        (after_read.port_round_trips - before.port_round_trips)
+            + (after_read.control_round_trips - before.control_round_trips)
     );
 
     // And the bytes agree with the in-memory backend end to end.
@@ -407,12 +425,15 @@ fn bsfs_streams_and_namespace_work_over_sockets() {
 
 #[test]
 fn independent_deployments_share_one_cluster_without_colliding() {
-    // Two client "processes" (deployments) against the same cluster: each
-    // runs its own provider manager, so block ids must come from disjoint
-    // ranges — colliding ids would make the shared providers' immutable-put
-    // check reject (or, in release, silently drop) one client's blocks.
-    // Blob ids come from the shared version-manager server, so data
-    // written through one deployment is readable through the other.
+    // Two client "processes" (deployments) against the same cluster. With
+    // the provider manager *hosted* (PlacementService behind the placement
+    // server), both deployments draw block ids and placement decisions
+    // from one shared allocator — so ids are disjoint by construction and
+    // load accounting is globally consistent, instead of each process
+    // running a private manager that silently double-books provider load
+    // (the seam PR 4 documented). Blob ids come from the shared
+    // version-manager server, so data written through one deployment is
+    // readable through the other.
     let cluster = cluster_with_block(BLOCK, 3);
     let sys_a = cluster.deploy().unwrap();
     let sys_b = cluster.deploy().unwrap();
@@ -461,6 +482,22 @@ fn independent_deployments_share_one_cluster_without_colliding() {
     for chunk in data.chunks(BLOCK as usize) {
         assert!(chunk.iter().all(|&x| x == chunk[0]), "torn append");
     }
+
+    // Shared-global load accounting: both deployments observe the SAME
+    // hosted load vector, and it charges every block either process
+    // allocated — with private per-process managers each side would see
+    // only its own half.
+    let load_a = sys_a.provider_manager().load_vector().unwrap();
+    let load_b = sys_b.provider_manager().load_vector().unwrap();
+    assert_eq!(load_a, load_b, "one hosted allocator, one load vector");
+    let live_blocks = sys_a.providers().total_block_count() as u64;
+    assert_eq!(
+        load_a.iter().sum::<u64>(),
+        live_blocks,
+        "global accounting covers both deployments' allocations"
+    );
+    assert_eq!(sys_a.provider_manager().provider_count(), 3);
+    assert_eq!(sys_b.provider_manager().provider_count(), 3);
 }
 
 #[test]
